@@ -1,0 +1,57 @@
+//! Sec. 6.5: summary construction time.
+//!
+//! The paper reports under 10 minutes on a Pentium II for all CSTs and
+//! data sets; these benches measure the two construction phases (suffix
+//! trie build and prune+signature pass) on the synthetic corpora.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use twig_core::{Cst, CstConfig, SpaceBudget};
+use twig_datagen::{generate_dblp, DblpConfig};
+use twig_pst::{build_suffix_trie, TrieConfig};
+use twig_tree::DataTree;
+
+fn corpus(bytes: usize) -> DataTree {
+    let xml = generate_dblp(&DblpConfig { target_bytes: bytes, seed: 7, ..DblpConfig::default() });
+    DataTree::from_xml(&xml).expect("well-formed")
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for &kb in &[256usize, 1024] {
+        let tree = corpus(kb << 10);
+        group.bench_with_input(BenchmarkId::new("suffix_trie", kb), &tree, |b, tree| {
+            b.iter(|| black_box(build_suffix_trie(tree, &TrieConfig::default())));
+        });
+        let trie = build_suffix_trie(&tree, &TrieConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("prune_and_sign", kb),
+            &(&tree, &trie),
+            |b, (tree, trie)| {
+                b.iter(|| {
+                    black_box(Cst::from_trie(
+                        tree,
+                        trie,
+                        &CstConfig {
+                            budget: SpaceBudget::Fraction(0.05),
+                            ..CstConfig::default()
+                        },
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("xml_parse", kb), &(kb << 10), |b, &bytes| {
+            let xml = generate_dblp(&DblpConfig {
+                target_bytes: bytes,
+                seed: 7,
+                ..DblpConfig::default()
+            });
+            b.iter(|| black_box(DataTree::from_xml(&xml).expect("well-formed")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Sec. 6.5: estimation time — "about a millisecond for each algorithm".
+//!
+//! Benches one estimate call per algorithm over a fixed query mix, plus
+//! the exact counter for contrast (the whole point of the summary is that
+//! estimation is orders faster than counting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
+use twig_datagen::{generate_dblp, positive_queries, DblpConfig, WorkloadConfig};
+use twig_exact::count_occurrence;
+use twig_tree::{DataTree, Twig};
+
+fn fixture() -> (DataTree, Cst, Vec<Twig>) {
+    let xml = generate_dblp(&DblpConfig {
+        target_bytes: 1 << 20,
+        seed: 11,
+        ..DblpConfig::default()
+    });
+    let tree = DataTree::from_xml(&xml).expect("well-formed");
+    let cst = Cst::build(
+        &tree,
+        &CstConfig { budget: SpaceBudget::Fraction(0.10), ..CstConfig::default() },
+    );
+    let queries = positive_queries(
+        &tree,
+        &WorkloadConfig { count: 32, seed: 3, ..WorkloadConfig::default() },
+    );
+    (tree, cst, queries)
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let (tree, cst, queries) = fixture();
+    let mut group = c.benchmark_group("estimation");
+    for algo in Algorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("estimate", algo.name()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(cst.estimate(q, algo, CountKind::Occurrence));
+                    }
+                });
+            },
+        );
+    }
+    group.sample_size(10);
+    group.bench_function("exact_count_baseline", |b| {
+        b.iter(|| {
+            for q in queries.iter().take(4) {
+                black_box(count_occurrence(&tree, q));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablations (DESIGN.md §6): signature length sweep at a fixed byte
+//! budget, and the value of signatures at all (MOSH vs the same summary
+//! without signatures, i.e. conditional independence only).
+
+use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
+use twig_eval::metrics::{avg_relative_error, avg_relative_squared_error};
+use twig_eval::{Corpus, Scale, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let corpus = Corpus::dblp(scale.dblp_bytes, scale.seed);
+    let workload = Workload::positive(&corpus, &scale);
+    let budget = (corpus.tree.source_bytes() as f64 * 0.10) as usize;
+
+    println!("== ablation 1: signature length at a fixed {budget}-byte budget ==");
+    println!("(longer signatures resolve weaker correlations but buy fewer subpaths)");
+    for sig_len in [8usize, 16, 32, 64, 128] {
+        let cst = Cst::from_trie(
+            &corpus.tree,
+            &corpus.trie,
+            &CstConfig {
+                budget: SpaceBudget::Bytes(budget),
+                signature_len: sig_len,
+                ..CstConfig::default()
+            },
+        );
+        let estimates = workload.estimate_all(&cst, Algorithm::Mosh);
+        let rel = avg_relative_error(&workload.truths, &estimates);
+        let lsq = avg_relative_squared_error(&workload.truths, &estimates)
+            .max(1e-6)
+            .log10();
+        println!(
+            "L = {sig_len:>3}: nodes {:>6}  avg rel err {rel:>7.3}  log10 sq err {lsq:>6.2}",
+            cst.node_count()
+        );
+        println!("csv,ablation-siglen,{sig_len},{},{rel:.4},{lsq:.4}", cst.node_count());
+    }
+    println!();
+
+    println!("== ablation 2: are the signatures worth their bytes? ==");
+    let with = Cst::from_trie(
+        &corpus.tree,
+        &corpus.trie,
+        &CstConfig { budget: SpaceBudget::Bytes(budget), ..CstConfig::default() },
+    );
+    let without = Cst::from_trie(
+        &corpus.tree,
+        &corpus.trie,
+        &CstConfig {
+            budget: SpaceBudget::Bytes(budget),
+            with_signatures: false,
+            ..CstConfig::default()
+        },
+    );
+    for (label, cst) in [("with signatures", &with), ("without (cond. indep.)", &without)] {
+        let estimates: Vec<f64> = workload
+            .queries
+            .iter()
+            .map(|q| cst.estimate(q, Algorithm::Mosh, CountKind::Occurrence))
+            .collect();
+        let rel = avg_relative_error(&workload.truths, &estimates);
+        let lsq = avg_relative_squared_error(&workload.truths, &estimates)
+            .max(1e-6)
+            .log10();
+        println!(
+            "{label:<24} nodes {:>6}  avg rel err {rel:>7.3}  log10 sq err {lsq:>6.2}",
+            cst.node_count()
+        );
+        println!("csv,ablation-signatures,{label},{},{rel:.4},{lsq:.4}", cst.node_count());
+    }
+}

@@ -1,0 +1,24 @@
+//! Figure 3: Leaf vs pure MO on trivial (single-path) queries, DBLP-like
+//! corpus, average relative squared error vs space.
+
+use twig_bench::{print_expectation, print_series};
+use twig_eval::experiments::trivial_experiment;
+use twig_eval::{Corpus, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let corpus = Corpus::dblp(scale.dblp_bytes, scale.seed);
+    eprintln!(
+        "corpus {} bytes, {} elements; {} queries",
+        corpus.tree.source_bytes(),
+        corpus.tree.element_count(),
+        scale.queries
+    );
+    let spaces = [0.01, 0.02, 0.04, 0.07, 0.10];
+    let points = trivial_experiment(&corpus, &scale, &spaces);
+    print_series("fig3-trivial-dblp", "avg relative squared error", &points);
+    print_expectation(
+        "pure MO is up to a few orders of magnitude more accurate than Leaf — \
+         path information matters even for single-path queries",
+    );
+}

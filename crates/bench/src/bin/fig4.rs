@@ -1,0 +1,44 @@
+//! Figure 4: all six algorithms on positive non-trivial queries, average
+//! relative squared error vs space. `fig4 dblp` or `fig4 sprot`.
+
+use twig_bench::{print_expectation, print_series};
+use twig_eval::experiments::positive_experiment;
+use twig_eval::{Corpus, Scale};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "dblp".to_owned());
+    let scale = Scale::from_env();
+    let (corpus, spaces): (Corpus, Vec<f64>) = match which.as_str() {
+        "sprot" => (
+            Corpus::sprot(scale.sprot_bytes, scale.seed),
+            vec![0.02, 0.05, 0.10, 0.20, 0.30],
+        ),
+        _ => (
+            Corpus::dblp(scale.dblp_bytes, scale.seed),
+            vec![0.01, 0.02, 0.05, 0.10, 0.15, 0.20],
+        ),
+    };
+    eprintln!(
+        "corpus {}: {} bytes, {} elements; {} queries",
+        corpus.name,
+        corpus.tree.source_bytes(),
+        corpus.tree.element_count(),
+        scale.queries
+    );
+    let (squared, relative) = positive_experiment(&corpus, &scale, &spaces);
+    print_series(
+        &format!("fig4-positive-{}-squared", corpus.name),
+        "avg relative squared error",
+        &squared,
+    );
+    print_series(
+        &format!("fig4-positive-{}-relative", corpus.name),
+        "avg relative error",
+        &relative,
+    );
+    print_expectation(
+        "MOSH and MSH improve sharply with space and overtake Greedy/Leaf/MO; \
+         Greedy and MO are insensitive to space once query paths fit; \
+         PMOSH is unstable; the complex corpus needs more space for the same accuracy",
+    );
+}

@@ -1,0 +1,15 @@
+//! Table 1: qualitative properties of the six estimation algorithms.
+
+use twig_core::Algorithm;
+
+fn main() {
+    println!("== Table 1: Estimation Algorithms ==");
+    println!(
+        "{:<8} {:<12} {:<12} {:<32} {:<12}",
+        "Name", "Path Info", "Correlation", "Twiglets Formation", "Combination"
+    );
+    for algo in Algorithm::ALL {
+        let (path, corr, twiglets, comb) = algo.properties();
+        println!("{:<8} {:<12} {:<12} {:<32} {:<12}", algo.name(), path, corr, twiglets, comb);
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared output formatting for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §5) and prints two blocks: a human-readable table and
+//! machine-readable CSV lines prefixed with `csv,` for downstream
+//! plotting. Run with `TWIG_SCALE=small` for a fast smoke pass.
+
+use twig_core::Algorithm;
+use twig_eval::experiments::SeriesPoint;
+
+/// Formats an error-vs-space series as a table (rows = space fractions,
+/// columns = algorithms, cells = log10 error) followed by CSV lines.
+pub fn print_series(title: &str, metric: &str, points: &[SeriesPoint]) {
+    println!("== {title} ==");
+    println!("metric: log10({metric})");
+    let mut spaces: Vec<f64> = points.iter().map(|p| p.space).collect();
+    spaces.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    spaces.dedup();
+    let algorithms: Vec<Algorithm> = {
+        let mut seen = Vec::new();
+        for p in points {
+            if !seen.contains(&p.algorithm) {
+                seen.push(p.algorithm);
+            }
+        }
+        seen
+    };
+    print!("{:>8}", "space%");
+    for algo in &algorithms {
+        print!("{:>9}", algo.name());
+    }
+    println!();
+    for &space in &spaces {
+        print!("{:>7.2}%", space * 100.0);
+        for &algo in &algorithms {
+            match points.iter().find(|p| p.space == space && p.algorithm == algo) {
+                Some(p) => print!("{:>9.2}", p.log10_error),
+                None => print!("{:>9}", "-"),
+            }
+        }
+        println!();
+    }
+    for p in points {
+        println!(
+            "csv,{title},{space},{algo},{log10:.4},{raw:.6}",
+            space = p.space,
+            algo = p.algorithm.name(),
+            log10 = p.log10_error,
+            raw = p.error
+        );
+    }
+    println!();
+}
+
+/// The paper's qualitative expectation, echoed under each figure so the
+/// output is self-describing.
+pub fn print_expectation(text: &str) {
+    println!("paper expectation: {text}");
+    println!();
+}

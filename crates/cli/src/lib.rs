@@ -1,0 +1,487 @@
+//! Implementation of the `twig` command-line tool.
+//!
+//! The binary (`src/main.rs`) is a thin wrapper around [`run`] so the
+//! whole command surface is unit-testable without spawning processes.
+//!
+//! ```text
+//! twig generate --kind dblp --mb 8 --seed 42 --out corpus.xml
+//! twig build    --input corpus.xml --space 0.01 --out summary.cst
+//! twig inspect  --summary summary.cst
+//! twig estimate --summary summary.cst --query 'book(author("Su"),year("1999"))'
+//! twig exact    --input corpus.xml    --query 'book(author("Su"))'
+//! twig workload --input corpus.xml --count 20 --kind positive
+//! ```
+
+use std::fs;
+use std::io::Write;
+
+use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
+use twig_datagen::{
+    generate_dblp, generate_sprot, negative_query_candidates, positive_queries,
+    trivial_queries, DblpConfig, SprotConfig, WorkloadConfig,
+};
+use twig_exact::{count_occurrence, count_occurrence_ordered, count_presence};
+use twig_tree::{DataTree, Twig};
+
+/// Runs the CLI with `args` (not including the program name), writing
+/// human output to `out`. Returns an error message on failure.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut args = Arguments::parse(args)?;
+    let command = args.command.clone();
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&mut args, out),
+        "build" => cmd_build(&mut args, out),
+        "inspect" => cmd_inspect(&mut args, out),
+        "estimate" => cmd_estimate(&mut args, out),
+        "explain" => cmd_explain(&mut args, out),
+        "exact" => cmd_exact(&mut args, out),
+        "workload" => cmd_workload(&mut args, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(io_err)?;
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    result?;
+    args.ensure_consumed()
+}
+
+const USAGE: &str = "\
+twig — twig selectivity estimation (ICDE 2001 reproduction)
+
+USAGE:
+  twig generate --kind dblp|sprot [--mb N] [--seed N] --out FILE
+  twig build    --input XML [--space FRAC | --bytes N] [--sig L] [--seed N]
+                [--threads N] [--no-signatures] --out FILE
+  twig inspect  --summary FILE
+  twig estimate --summary FILE (--query TWIG | --xpath XPATH)
+                [--algo NAME] [--count-kind presence|occurrence]
+  twig explain  --summary FILE (--query TWIG | --xpath XPATH) [--algo NAME]
+  twig exact    --input XML (--query TWIG | --xpath XPATH) [--ordered]
+  twig workload --input XML [--count N] [--seed N] [--kind positive|trivial|negative]
+
+Twig query syntax: labels are elements, quoted strings are value-prefix
+leaves, parentheses enclose children: book(author(\"Su\"),year(\"1999\")).
+XPath-subset syntax: /dblp/book[author=\"Su\"][year=\"1999\"]/title";
+
+fn io_err(err: std::io::Error) -> String {
+    format!("I/O error: {err}")
+}
+
+/// Minimal `--flag value` argument parser with leftover detection.
+struct Arguments {
+    command: String,
+    pairs: Vec<(String, String)>,
+}
+
+impl Arguments {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let Some((command, rest)) = args.split_first() else {
+            return Err(format!("missing command\n{USAGE}"));
+        };
+        let mut pairs = Vec::new();
+        let mut iter = rest.iter();
+        while let Some(flag) = iter.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected --flag, found '{flag}'"));
+            };
+            // Boolean flags take no value.
+            if matches!(name, "ordered" | "no-signatures") {
+                pairs.push((name.to_owned(), "true".to_owned()));
+                continue;
+            }
+            let Some(value) = iter.next() else {
+                return Err(format!("flag --{name} needs a value"));
+            };
+            pairs.push((name.to_owned(), value.clone()));
+        }
+        Ok(Self { command: command.clone(), pairs })
+    }
+
+    fn take(&mut self, name: &str) -> Option<String> {
+        let pos = self.pairs.iter().position(|(n, _)| n == name)?;
+        Some(self.pairs.remove(pos).1)
+    }
+
+    fn take_parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+        match self.take(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{name}: '{raw}'")),
+        }
+    }
+
+    fn require(&mut self, name: &str) -> Result<String, String> {
+        self.take(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn ensure_consumed(&self) -> Result<(), String> {
+        if let Some((name, _)) = self.pairs.first() {
+            return Err(format!("unknown flag --{name} for '{}'", self.command));
+        }
+        Ok(())
+    }
+}
+
+fn load_tree(path: &str) -> Result<DataTree, String> {
+    let xml = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    DataTree::from_xml(&xml).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_summary(path: &str) -> Result<Cst, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Cst::read_from(&mut bytes.as_slice()).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn parse_query(text: &str) -> Result<Twig, String> {
+    Twig::parse(text).map_err(|e| format!("invalid query '{text}': {e}"))
+}
+
+/// Takes `--query` (twig expression) or `--xpath` (XPath subset).
+fn take_query(args: &mut Arguments) -> Result<Twig, String> {
+    match (args.take("query"), args.take("xpath")) {
+        (Some(_), Some(_)) => Err("--query and --xpath are mutually exclusive".into()),
+        (Some(text), None) => parse_query(&text),
+        (None, Some(text)) => twig_tree::parse_xpath(&text)
+            .map_err(|e| format!("invalid XPath '{text}': {e}")),
+        (None, None) => Err("missing required flag --query (or --xpath)".into()),
+    }
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    Algorithm::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+            format!("unknown algorithm '{name}' (expected one of {})", names.join(", "))
+        })
+}
+
+fn cmd_generate(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
+    let kind = args.take("kind").unwrap_or_else(|| "dblp".to_owned());
+    let mb: f64 = args.take_parsed("mb")?.unwrap_or(1.0);
+    let seed: u64 = args.take_parsed("seed")?.unwrap_or(42);
+    let path = args.require("out")?;
+    let bytes = (mb * 1048576.0) as usize;
+    let xml = match kind.as_str() {
+        "dblp" => generate_dblp(&DblpConfig { target_bytes: bytes, seed, ..DblpConfig::default() }),
+        "sprot" => generate_sprot(&SprotConfig { target_bytes: bytes, seed }),
+        other => return Err(format!("unknown corpus kind '{other}' (dblp|sprot)")),
+    };
+    fs::write(&path, &xml).map_err(|e| format!("cannot write {path}: {e}"))?;
+    writeln!(out, "wrote {} bytes of {kind} XML to {path}", xml.len()).map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_build(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
+    let input = args.require("input")?;
+    let output = args.require("out")?;
+    let space: Option<f64> = args.take_parsed("space")?;
+    let bytes: Option<usize> = args.take_parsed("bytes")?;
+    let sig: usize = args.take_parsed("sig")?.unwrap_or(32);
+    let seed: u64 = args.take_parsed("seed")?.unwrap_or(0x7716_C0DE);
+    let threads: usize = args.take_parsed("threads")?.unwrap_or(1);
+    let no_signatures = args.take("no-signatures").is_some();
+    let budget = match (space, bytes) {
+        (Some(_), Some(_)) => return Err("--space and --bytes are mutually exclusive".into()),
+        (Some(fraction), None) => SpaceBudget::Fraction(fraction),
+        (None, Some(b)) => SpaceBudget::Bytes(b),
+        (None, None) => SpaceBudget::Fraction(0.01),
+    };
+    let tree = load_tree(&input)?;
+    let cst = Cst::build(
+        &tree,
+        &CstConfig {
+            budget,
+            signature_len: sig,
+            seed,
+            with_signatures: !no_signatures,
+            threads,
+            ..CstConfig::default()
+        },
+    );
+    let mut buffer = Vec::new();
+    cst.write_to(&mut buffer).map_err(io_err)?;
+    fs::write(&output, &buffer).map_err(|e| format!("cannot write {output}: {e}"))?;
+    writeln!(
+        out,
+        "summary: {} nodes, threshold {}, accounted {} bytes ({:.3}% of data); file {} bytes -> {output}",
+        cst.node_count(),
+        cst.threshold(),
+        cst.size_bytes(),
+        cst.space_fraction() * 100.0,
+        buffer.len()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_inspect(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
+    let path = args.require("summary")?;
+    let cst = load_summary(&path)?;
+    writeln!(out, "summary {path}:").map_err(io_err)?;
+    writeln!(out, "  trie nodes:        {}", cst.node_count()).map_err(io_err)?;
+    writeln!(out, "  prune threshold:   {}", cst.threshold()).map_err(io_err)?;
+    writeln!(out, "  data elements (n): {}", cst.n()).map_err(io_err)?;
+    writeln!(out, "  source size:       {} bytes", cst.source_bytes()).map_err(io_err)?;
+    writeln!(
+        out,
+        "  accounted size:    {} bytes ({:.3}% of source)",
+        cst.size_bytes(),
+        cst.space_fraction() * 100.0
+    )
+    .map_err(io_err)?;
+    writeln!(out, "  signature length:  {}", cst.signature_len()).map_err(io_err)?;
+    writeln!(out, "  min-hash seed:     {:#x}", cst.seed()).map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_estimate(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
+    let summary = args.require("summary")?;
+    let query = take_query(args)?;
+    let algo_name = args.take("algo");
+    let kind = match args.take("count-kind").as_deref() {
+        None | Some("occurrence") => CountKind::Occurrence,
+        Some("presence") => CountKind::Presence,
+        Some(other) => return Err(format!("unknown count kind '{other}'")),
+    };
+    let cst = load_summary(&summary)?;
+    match algo_name {
+        Some(name) => {
+            let algo = parse_algorithm(&name)?;
+            let estimate = cst.estimate(&query, algo, kind);
+            writeln!(out, "{estimate:.3}").map_err(io_err)?;
+        }
+        None => {
+            for (algo, estimate) in cst.estimate_all(&query, kind) {
+                writeln!(out, "{:<7} {estimate:.3}", algo.name()).map_err(io_err)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
+    let summary = args.require("summary")?;
+    let query = take_query(args)?;
+    let algo = match args.take("algo") {
+        Some(name) => parse_algorithm(&name)?,
+        None => Algorithm::Msh,
+    };
+    let kind = match args.take("count-kind").as_deref() {
+        None | Some("occurrence") => CountKind::Occurrence,
+        Some("presence") => CountKind::Presence,
+        Some(other) => return Err(format!("unknown count kind '{other}'")),
+    };
+    let cst = load_summary(&summary)?;
+    let explanation = cst.explain(&query, algo, kind);
+    write!(out, "{explanation}").map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_exact(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
+    let input = args.require("input")?;
+    let query = take_query(args)?;
+    let ordered = args.take("ordered").is_some();
+    let tree = load_tree(&input)?;
+    let (presence, occurrence) = if ordered {
+        (
+            twig_exact::count_presence_ordered(&tree, &query),
+            count_occurrence_ordered(&tree, &query),
+        )
+    } else {
+        (count_presence(&tree, &query), count_occurrence(&tree, &query))
+    };
+    writeln!(out, "presence   {presence}").map_err(io_err)?;
+    writeln!(out, "occurrence {occurrence}").map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_workload(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
+    let input = args.require("input")?;
+    let count: usize = args.take_parsed("count")?.unwrap_or(20);
+    let seed: u64 = args.take_parsed("seed")?.unwrap_or(99);
+    let kind = args.take("kind").unwrap_or_else(|| "positive".to_owned());
+    let tree = load_tree(&input)?;
+    let cfg = WorkloadConfig { count, seed, ..WorkloadConfig::default() };
+    let queries = match kind.as_str() {
+        "positive" => positive_queries(&tree, &cfg),
+        "trivial" => trivial_queries(&tree, &cfg),
+        "negative" => negative_query_candidates(&tree, &cfg)
+            .into_iter()
+            .filter(|q| count_presence(&tree, q) == 0)
+            .take(count)
+            .collect(),
+        other => return Err(format!("unknown workload kind '{other}'")),
+    };
+    for query in &queries {
+        writeln!(out, "{query}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> Result<String, String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("UTF-8 output"))
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("twig-cli-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn full_cli_pipeline() {
+        let corpus = temp_path("corpus.xml");
+        let summary = temp_path("summary.cst");
+        let gen = run_capture(&[
+            "generate", "--kind", "dblp", "--mb", "0.1", "--seed", "5", "--out", &corpus,
+        ])
+        .expect("generate");
+        assert!(gen.contains("wrote"));
+
+        let build = run_capture(&[
+            "build", "--input", &corpus, "--space", "0.2", "--out", &summary,
+        ])
+        .expect("build");
+        assert!(build.contains("summary:"));
+
+        let inspect = run_capture(&["inspect", "--summary", &summary]).expect("inspect");
+        assert!(inspect.contains("trie nodes"));
+        assert!(inspect.contains("signature length:  32"));
+
+        let estimate = run_capture(&[
+            "estimate", "--summary", &summary, "--query", r#"article(author("S"))"#,
+        ])
+        .expect("estimate");
+        assert!(estimate.lines().count() == 6, "one line per algorithm: {estimate}");
+
+        let single = run_capture(&[
+            "estimate", "--summary", &summary, "--query", r#"article(author("S"))"#,
+            "--algo", "msh", "--count-kind", "presence",
+        ])
+        .expect("estimate single");
+        assert!(single.trim().parse::<f64>().is_ok(), "{single}");
+
+        let exact = run_capture(&[
+            "exact", "--input", &corpus, "--query", r#"article(author("S"))"#,
+        ])
+        .expect("exact");
+        assert!(exact.contains("presence"));
+
+        let workload =
+            run_capture(&["workload", "--input", &corpus, "--count", "5"]).expect("workload");
+        assert_eq!(workload.lines().count(), 5);
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run_capture(&[]).unwrap_err().contains("missing command"));
+        assert!(run_capture(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(run_capture(&["build", "--input"]).unwrap_err().contains("needs a value"));
+        assert!(run_capture(&["inspect"]).unwrap_err().contains("--summary"));
+        assert!(run_capture(&["inspect", "--summary", "/nonexistent/x.cst"])
+            .unwrap_err()
+            .contains("cannot read"));
+        let err = run_capture(&[
+            "estimate", "--summary", "x", "--query", "q(", "--algo", "msh",
+        ])
+        .unwrap_err();
+        assert!(err.contains("cannot read") || err.contains("invalid query"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let corpus = temp_path("corpus2.xml");
+        run_capture(&[
+            "generate", "--kind", "dblp", "--mb", "0.05", "--seed", "1", "--out", &corpus,
+        ])
+        .expect("generate");
+        let err = run_capture(&["exact", "--input", &corpus, "--query", "a", "--bogus", "1"])
+            .unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+    }
+
+    #[test]
+    fn ordered_flag_changes_counts() {
+        let corpus = temp_path("corpus3.xml");
+        fs::write(
+            &corpus,
+            "<r><x><a>2</a><a>1</a></x></r>",
+        )
+        .expect("write corpus");
+        let unordered = run_capture(&[
+            "exact", "--input", &corpus, "--query", r#"x(a("1"),a("2"))"#,
+        ])
+        .expect("exact");
+        let ordered = run_capture(&[
+            "exact", "--input", &corpus, "--query", r#"x(a("1"),a("2"))"#, "--ordered",
+        ])
+        .expect("exact ordered");
+        assert!(unordered.contains("occurrence 1"));
+        assert!(ordered.contains("occurrence 0"));
+    }
+
+    #[test]
+    fn xpath_and_explain_commands() {
+        let corpus = temp_path("corpus4.xml");
+        let summary = temp_path("summary4.cst");
+        run_capture(&[
+            "generate", "--kind", "dblp", "--mb", "0.1", "--seed", "9", "--out", &corpus,
+        ])
+        .expect("generate");
+        run_capture(&[
+            "build", "--input", &corpus, "--space", "0.2", "--threads", "2", "--out", &summary,
+        ])
+        .expect("build");
+
+        // XPath input works for estimate and exact.
+        let est = run_capture(&[
+            "estimate", "--summary", &summary, "--xpath", r#"/dblp/article[author="S"]"#,
+            "--algo", "mosh",
+        ])
+        .expect("estimate xpath");
+        assert!(est.trim().parse::<f64>().is_ok(), "{est}");
+        let exact = run_capture(&[
+            "exact", "--input", &corpus, "--xpath", r#"/dblp/article[author="S"]"#,
+        ])
+        .expect("exact xpath");
+        assert!(exact.contains("occurrence"));
+
+        // Explain prints the trace.
+        let explained = run_capture(&[
+            "explain", "--summary", &summary, "--xpath", r#"/dblp/article[author="S"]"#,
+        ])
+        .expect("explain");
+        assert!(explained.contains("parsed subpaths"), "{explained}");
+        assert!(explained.contains("estimate:"), "{explained}");
+
+        // Mutual exclusion and error paths.
+        let err = run_capture(&[
+            "estimate", "--summary", &summary, "--query", "a", "--xpath", "/a",
+        ])
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = run_capture(&[
+            "estimate", "--summary", &summary, "--xpath", "/a[@id='1']",
+        ])
+        .unwrap_err();
+        assert!(err.contains("attribute axis"), "{err}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let help = run_capture(&["help"]).expect("help");
+        assert!(help.contains("USAGE"));
+    }
+}

@@ -1,0 +1,601 @@
+//! Maximal-overlap conditioning and region count estimation (Sec. 3.6,
+//! 3.7).
+//!
+//! The combination step walks the parsed elements (single subpaths and
+//! twiglets) in query order, keeps the set of already-covered query units,
+//! and multiplies each element's count conditioned on its overlap with the
+//! covered region:
+//!
+//! ```text
+//! estimate = n · Π_elements  Pr(element) / Pr(overlap with covered)
+//! ```
+//!
+//! An empty overlap divides by nothing (independence); a single-chain
+//! overlap is read exactly from the CST (monotonicity guarantees it is
+//! present); a subtree-shaped overlap is itself estimated with set hashing
+//! — the "overlaps themselves are subtrees" case the paper calls out.
+
+use twig_pst::PathToken;
+use twig_sethash::{estimate_intersection, estimate_union_size};
+use twig_util::FxHashSet;
+
+use crate::cst::Cst;
+use crate::estimate::CountKind;
+use crate::parse::Piece;
+use crate::query::{CompiledQuery, Token, Unit};
+use crate::twiglets::Twiglet;
+
+/// A combination element: one parsed subpath or one twiglet.
+#[derive(Debug, Clone)]
+pub enum Element {
+    /// A single subpath.
+    Single(Piece),
+    /// A set-hash twiglet.
+    Group(Twiglet),
+}
+
+impl Element {
+    fn position(&self) -> (usize, usize, u8) {
+        match self {
+            // At equal (path, start), singles are processed before groups
+            // so the deepest available conditioning context is established
+            // first (the MSH `a.b.c.d` example).
+            Element::Single(p) => (p.path, p.start, 0),
+            Element::Group(t) => (t.position.0, t.position.1, 1),
+        }
+    }
+
+    fn chains(&self) -> Vec<Piece> {
+        match self {
+            Element::Single(p) => vec![p.clone()],
+            Element::Group(t) => t.chains.clone(),
+        }
+    }
+}
+
+/// Orders elements for combination: by first covered position, singles
+/// before groups on ties.
+pub fn order_elements(mut elements: Vec<Element>) -> Vec<Element> {
+    elements.sort_by_key(Element::position);
+    elements
+}
+
+/// Count (presence or occurrence) of a single CST chain.
+fn chain_count(cst: &Cst, piece: &Piece, kind: CountKind) -> f64 {
+    match kind {
+        CountKind::Presence => cst.presence(piece.trie) as f64,
+        CountKind::Occurrence => cst.occurrence(piece.trie) as f64,
+    }
+}
+
+/// Estimates the count of a region given as chains with a common start
+/// unit (a "star"). One chain → exact CST count; several chains →
+/// signature intersection, scaled to occurrences by the per-chain
+/// `Co/Cp` ratios in occurrence mode (Sec. 5).
+pub fn estimate_region(cst: &Cst, chains: &[Piece], kind: CountKind) -> f64 {
+    // Dedup identical unit chains (shared prefixes across paths).
+    let mut unique: Vec<&Piece> = Vec::new();
+    for chain in chains {
+        if !unique.iter().any(|c| c.units == chain.units) {
+            unique.push(chain);
+        }
+    }
+    // Drop chains strictly contained in another (prefixes of longer
+    // chains contribute nothing to the intersection).
+    let survivors: Vec<&Piece> = unique
+        .iter()
+        .copied()
+        .filter(|c| {
+            !unique
+                .iter()
+                .any(|other| !std::ptr::eq(*other, *c) && c.contained_in(other))
+        })
+        .collect();
+
+    match survivors.len() {
+        0 => 0.0,
+        1 => chain_count(cst, survivors[0], kind),
+        _ => match kind {
+            CountKind::Presence => star_presence(cst, &survivors),
+            // Every presence yields at least one mapping, so the
+            // occurrence estimate is floored at the presence estimate.
+            CountKind::Occurrence => {
+                star_occurrence(cst, &survivors).max(star_presence(cst, &survivors))
+            }
+        },
+    }
+}
+
+/// Occurrence estimate for a star of ≥ 2 chains.
+///
+/// When the chains diverge right after their shared start unit — the
+/// common twiglet shape — this is the paper's Sec. 5 formula: presence
+/// intersection times the per-chain `Co/Cp` ratios (the Figure 1 example:
+/// `2.9 × (6/3) × (3/3) ≈ 5.8`).
+///
+/// When the chains share a longer prefix (e.g. all rooted at the document
+/// root, where every chain has presence 1), the mapping multiplicity
+/// lives below the *divergence point*, not at the root: the presence
+/// intersection collapses to the handful of prefix roots and the
+/// full-chain ratios multiply unrelated whole-corpus multiplicities. In
+/// that case the estimate recurses on the *substar* of chain suffixes
+/// from the divergence unit (which share exactly one unit, the base
+/// case) and scales by the fraction of branch-label instances that sit
+/// under the prefix path — a uniformity assumption in the same spirit as
+/// the paper's.
+fn star_occurrence(cst: &Cst, chains: &[&Piece]) -> f64 {
+    let mut lcp = chains[0].units.len();
+    for chain in &chains[1..] {
+        let common = chain
+            .units
+            .iter()
+            .zip(&chains[0].units)
+            .take_while(|(a, b)| a == b)
+            .count();
+        lcp = lcp.min(common);
+    }
+    debug_assert!(lcp >= 1, "star chains share their start unit");
+    if lcp <= 1 {
+        // Base case: the paper's formula.
+        let presence = star_presence(cst, chains);
+        let mut scale = 1.0;
+        for chain in chains {
+            let cp = cst.presence(chain.trie) as f64;
+            let co = cst.occurrence(chain.trie) as f64;
+            if cp > 0.0 {
+                scale *= co / cp;
+            }
+        }
+        return presence * scale;
+    }
+    // Recurse on the substar at the divergence unit.
+    let divergence = lcp - 1;
+    let full_tokens = cst.trie().tokens_of(chains[0].trie);
+    let mut suffixes: Vec<Piece> = Vec::with_capacity(chains.len());
+    for chain in chains {
+        let tokens = cst.trie().tokens_of(chain.trie);
+        // Present by the monotonicity property.
+        let Some(trie) = cst.lookup(&tokens[divergence..]) else {
+            // Defensive: fall back to the base-case formula on the full
+            // chains rather than returning a wrong scale.
+            return star_presence(cst, chains);
+        };
+        suffixes.push(Piece {
+            path: chain.path,
+            start: chain.start + divergence,
+            end: chain.end,
+            trie,
+            units: chain.units[divergence..].to_vec(),
+        });
+    }
+    let suffix_refs: Vec<&Piece> = suffixes.iter().collect();
+    let sub_occurrence = star_occurrence(cst, &suffix_refs);
+    // Context: what fraction of branch-label instances lie under the
+    // shared prefix chain?
+    let prefix_node = cst.lookup(&full_tokens[..lcp]);
+    let branch_node = cst.lookup(&full_tokens[divergence..lcp]);
+    let context = match (prefix_node, branch_node) {
+        (Some(p), Some(b)) if cst.occurrence(b) > 0 => {
+            (cst.occurrence(p) as f64 / cst.occurrence(b) as f64).min(1.0)
+        }
+        _ => 1.0,
+    };
+    sub_occurrence * context
+}
+
+/// Presence estimate for a star of ≥ 2 chains: set-hash intersection of
+/// the chains' rooting sets.
+///
+/// Min-hash with `L` components cannot resolve resemblances below `~1/L`:
+/// a zero-match signature comparison only tells us the intersection is
+/// smaller than about `|∪|/L`, not that it is empty. In that regime the
+/// estimate falls back to the independence product (the pure-MO
+/// assumption), capped by the resolution bound — so set hashing improves
+/// on MO where it can see, and never zeroes out a query it cannot.
+fn star_presence(cst: &Cst, chains: &[&Piece]) -> f64 {
+    let independence = conditional_independence(cst, chains);
+    let mut sets = Vec::with_capacity(chains.len());
+    for chain in chains {
+        match cst.signature(chain.trie) {
+            Some(sig) => sets.push((sig, cst.presence(chain.trie))),
+            // No signature (signature-free summary, or a pure string
+            // fragment): conditional independence is all we have.
+            None => return independence,
+        }
+    }
+    if sets.iter().any(|&(_, size)| size == 0) {
+        return 0.0; // genuinely empty set: the intersection is empty
+    }
+    let signatures: Vec<_> = sets.iter().map(|&(sig, _)| sig).collect();
+    let len = cst.signature_len().max(1) as f64;
+    let matches = (twig_sethash::Signature::resemblance(&signatures) * len).round();
+    if matches == 0.0 {
+        return match cst.fallback() {
+            // The paper's literal formula: ρ̂ = 0 ⇒ |∩| = 0.
+            crate::cst::SignatureFallback::Zero => 0.0,
+            // Below the signature's resolution all we learn is an upper
+            // bound of roughly |∪|/L on the intersection; fall back to
+            // the MO-style no-correlation estimate under that bound.
+            crate::cst::SignatureFallback::ConditionalIndependence => {
+                let resolution = estimate_union_size(&sets) / len;
+                independence.min(resolution)
+            }
+        };
+    }
+    let estimate = estimate_intersection(&sets);
+    // Shrink toward the no-correlation baseline in proportion to the
+    // evidence: with m matching components the resemblance estimate has
+    // relative error ~1/√m, so a single match (which overstates weak
+    // correlations by up to L×) moves the estimate only one third of the
+    // way from independence. Strong signals (m ≫ 1) dominate quickly.
+    let weight = matches / (matches + 2.0);
+    let min_size = sets.iter().map(|&(_, size)| size).min().expect("non-empty") as f64;
+    (weight * estimate + (1.0 - weight) * independence).min(min_size)
+}
+
+/// The no-correlation baseline for a star: independence of the chains
+/// *conditioned on their longest common prefix* —
+/// `Cp(C) · Π (Cp(chain_i) / Cp(C))` — which is exactly what pure MO's
+/// overlap conditioning computes for the same subpaths. Falling back to
+/// anything weaker would make set hashing worse than MO whenever the
+/// signatures under-resolve.
+fn conditional_independence(cst: &Cst, chains: &[&Piece]) -> f64 {
+    // Longest common prefix length over the unit chains.
+    let mut lcp = chains[0].units.len();
+    for chain in &chains[1..] {
+        let common = chain
+            .units
+            .iter()
+            .zip(&chains[0].units)
+            .take_while(|(a, b)| a == b)
+            .count();
+        lcp = lcp.min(common);
+    }
+    // Trie node of the common prefix: walk up from any chain's node.
+    let mut prefix_node = chains[0].trie;
+    for _ in 0..(chains[0].units.len() - lcp) {
+        prefix_node = cst.trie().parent(prefix_node).expect("chain deeper than prefix");
+    }
+    let base = if lcp == 0 {
+        cst.n() as f64
+    } else {
+        cst.presence(prefix_node) as f64
+    };
+    if base <= 0.0 {
+        return 0.0;
+    }
+    base * chains
+        .iter()
+        .map(|c| cst.presence(c.trie) as f64 / base)
+        .product::<f64>()
+}
+
+/// The covered-prefix chains of an element's region: for each chain, the
+/// longest prefix whose units are all in `covered`.
+fn overlap_chains(cst: &Cst, query: &CompiledQuery, chains: &[Piece], covered: &FxHashSet<Unit>) -> Vec<Piece> {
+    let mut out: Vec<Piece> = Vec::new();
+    for chain in chains {
+        let mut len = 0;
+        for unit in &chain.units {
+            if covered.contains(unit) {
+                len += 1;
+            } else {
+                break;
+            }
+        }
+        if len == 0 {
+            continue;
+        }
+        let tokens: Vec<PathToken> = query.paths[chain.path].tokens
+            [chain.start..chain.start + len]
+            .iter()
+            .map(|t| match t {
+                Token::Ok(pt) => *pt,
+                _ => unreachable!("pieces contain only Ok tokens"),
+            })
+            .collect();
+        // Present by monotonicity.
+        let Some(trie) = cst.lookup(&tokens) else { continue };
+        let prefix = Piece {
+            path: chain.path,
+            start: chain.start,
+            end: chain.start + len,
+            trie,
+            units: chain.units[..len].to_vec(),
+        };
+        if !out.iter().any(|p| p.units == prefix.units) {
+            out.push(prefix);
+        }
+    }
+    out
+}
+
+/// One multiplicative factor of a combination, for explanation output.
+#[derive(Debug, Clone)]
+pub struct Factor {
+    /// Whether the element was a twiglet (set-hash group).
+    pub is_group: bool,
+    /// The element's chains (for rendering).
+    pub chains: Vec<Piece>,
+    /// The conditioning overlap chains (empty = independent join by `n`).
+    pub overlaps: Vec<Piece>,
+    /// Estimated count of the element's region.
+    pub numerator: f64,
+    /// Estimated count of the overlap (or `n` when independent).
+    pub denominator: f64,
+    /// True when the element was skipped as fully covered.
+    pub skipped: bool,
+}
+
+/// Runs MO conditioning over ordered elements and returns the final count
+/// estimate (Sec. 3.7).
+pub fn combine(
+    cst: &Cst,
+    query: &CompiledQuery,
+    elements: Vec<Element>,
+    kind: CountKind,
+) -> f64 {
+    combine_traced(cst, query, elements, kind, None)
+}
+
+/// [`combine`] with an optional trace sink recording every factor (used
+/// by [`crate::explain`]).
+pub fn combine_traced(
+    cst: &Cst,
+    query: &CompiledQuery,
+    elements: Vec<Element>,
+    kind: CountKind,
+    mut trace: Option<&mut Vec<Factor>>,
+) -> f64 {
+    let n = cst.n() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let elements = order_elements(elements);
+    let mut covered: FxHashSet<Unit> = FxHashSet::default();
+    let mut result = n;
+    for element in &elements {
+        let chains = element.chains();
+        let is_group = matches!(element, Element::Group(_));
+        // Fully covered elements contribute Pr(X|X) = 1.
+        let fully_covered = chains
+            .iter()
+            .all(|c| c.units.iter().all(|u| covered.contains(u)));
+        if fully_covered {
+            if let Some(sink) = trace.as_deref_mut() {
+                sink.push(Factor {
+                    is_group,
+                    chains,
+                    overlaps: Vec::new(),
+                    numerator: 1.0,
+                    denominator: 1.0,
+                    skipped: true,
+                });
+            }
+            continue;
+        }
+        let numerator = estimate_region(cst, &chains, kind);
+        let overlaps = overlap_chains(cst, query, &chains, &covered);
+        let denominator = if overlaps.is_empty() {
+            n
+        } else if numerator <= 0.0 {
+            // Denominator irrelevant; keep the trace informative.
+            estimate_region(cst, &overlaps, kind)
+        } else {
+            // count(overlap) ≥ count(region) must hold; repair signature
+            // noise that says otherwise.
+            estimate_region(cst, &overlaps, kind).max(numerator)
+        };
+        if let Some(sink) = trace.as_deref_mut() {
+            sink.push(Factor {
+                is_group,
+                chains: chains.clone(),
+                overlaps: overlaps.clone(),
+                numerator,
+                denominator,
+                skipped: false,
+            });
+        }
+        if numerator <= 0.0 {
+            return 0.0;
+        }
+        result *= numerator / denominator;
+        for chain in &chains {
+            covered.extend(chain.units.iter().copied());
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cst::{CstConfig, SpaceBudget};
+    use crate::parse::maximal_pieces;
+    use twig_pst::PathToken as PT;
+    use twig_tree::{DataTree, Twig};
+
+    fn fixture() -> Cst {
+        // 40 records: author Anna ⇔ year 1999 (20), Bo ⇔ 2000 (20).
+        let mut xml = String::from("<dblp>");
+        for _ in 0..20 {
+            xml.push_str("<book><author>Anna</author><year>1999</year></book>");
+        }
+        for _ in 0..20 {
+            xml.push_str("<book><author>Bo</author><year>2000</year></book>");
+        }
+        xml.push_str("</dblp>");
+        let tree = DataTree::from_xml(&xml).unwrap();
+        Cst::build(
+            &tree,
+            &CstConfig {
+                budget: SpaceBudget::Threshold(1),
+                signature_len: 128,
+                ..CstConfig::default()
+            },
+        )
+    }
+
+    fn pieces_for(cst: &Cst, expr: &str) -> (CompiledQuery, Vec<Piece>) {
+        let twig = Twig::parse(expr).unwrap();
+        let query = CompiledQuery::compile(cst, &twig);
+        let pieces = maximal_pieces(cst, &query);
+        (query, pieces)
+    }
+
+    #[test]
+    fn estimate_region_single_chain_is_exact() {
+        let cst = fixture();
+        let (_, pieces) = pieces_for(&cst, r#"book(author("Anna"))"#);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(estimate_region(&cst, &pieces, CountKind::Presence), 20.0);
+        assert_eq!(estimate_region(&cst, &pieces, CountKind::Occurrence), 20.0);
+    }
+
+    #[test]
+    fn estimate_region_dedups_identical_chains() {
+        let cst = fixture();
+        let (_, pieces) = pieces_for(&cst, r#"book(author("Anna"))"#);
+        let doubled = vec![pieces[0].clone(), pieces[0].clone()];
+        assert_eq!(estimate_region(&cst, &doubled, CountKind::Presence), 20.0);
+    }
+
+    #[test]
+    fn estimate_region_drops_prefix_chains() {
+        let cst = fixture();
+        let (_, pieces) = pieces_for(&cst, r#"book(author("Anna"))"#);
+        let full = pieces[0].clone();
+        let prefix = Piece {
+            path: full.path,
+            start: full.start,
+            end: full.end - 1,
+            trie: cst.trie().parent(full.trie).unwrap(),
+            units: full.units[..full.units.len() - 1].to_vec(),
+        };
+        let est = estimate_region(&cst, &[prefix, full], CountKind::Presence);
+        assert_eq!(est, 20.0, "prefix must not dilute the star");
+    }
+
+    #[test]
+    fn estimate_region_star_sees_correlation() {
+        let cst = fixture();
+        // Two chains from `book`: author Anna ∧ year 1999 — perfectly
+        // correlated, true intersection 20.
+        let (_, pieces) = pieces_for(&cst, r#"book(author("Anna"),year("1999"))"#);
+        assert_eq!(pieces.len(), 2);
+        let est = estimate_region(&cst, &pieces, CountKind::Presence);
+        assert!((est - 20.0).abs() < 4.0, "est = {est}");
+    }
+
+    #[test]
+    fn estimate_region_star_sees_anticorrelation() {
+        let cst = fixture();
+        let (_, pieces) = pieces_for(&cst, r#"book(author("Anna"),year("2000"))"#);
+        let est = estimate_region(&cst, &pieces, CountKind::Presence);
+        assert!(est < 3.0, "est = {est}");
+    }
+
+    #[test]
+    fn conditional_independence_matches_mo_formula() {
+        let cst = fixture();
+        let (_, pieces) = pieces_for(&cst, r#"book(author("Anna"),year("1999"))"#);
+        let refs: Vec<&Piece> = pieces.iter().collect();
+        let ind = conditional_independence(&cst, &refs);
+        // Cp(book)·(20/40)·(20/40) = 40/4 = 10.
+        assert!((ind - 10.0).abs() < 1e-9, "ind = {ind}");
+    }
+
+    #[test]
+    fn order_elements_sorts_singles_before_groups() {
+        let cst = fixture();
+        let (_, pieces) = pieces_for(&cst, r#"book(author("Anna"),year("1999"))"#);
+        let twiglet = crate::twiglets::Twiglet {
+            chains: pieces.clone(),
+            position: (0, 0),
+        };
+        let ordered = order_elements(vec![
+            Element::Group(twiglet),
+            Element::Single(pieces[0].clone()),
+        ]);
+        assert!(matches!(ordered[0], Element::Single(_)));
+        assert!(matches!(ordered[1], Element::Group(_)));
+    }
+
+    #[test]
+    fn combine_single_full_piece_returns_count() {
+        let cst = fixture();
+        let (query, pieces) = pieces_for(&cst, r#"book(author("Bo"))"#);
+        let elements = pieces.into_iter().map(Element::Single).collect();
+        let est = combine(&cst, &query, elements, CountKind::Presence);
+        assert!((est - 20.0).abs() < 1e-9, "est = {est}");
+    }
+
+    #[test]
+    fn combine_conditions_on_overlap() {
+        // Manufactured parse of book.author.Anna as two overlapping
+        // pieces: book.author + author.Anna → MO must condition on the
+        // shared `author` unit: Cp(b.a)·Cp(a.Anna)/Cp(a) = 40·20/40 = 20.
+        let cst = fixture();
+        let (query, pieces) = pieces_for(&cst, r#"book(author("Anna"))"#);
+        let full = &pieces[0];
+        let make = |lo: usize, hi: usize| {
+            let tokens: Vec<PT> = query.paths[0].tokens[lo..hi]
+                .iter()
+                .map(|t| match t {
+                    Token::Ok(pt) => *pt,
+                    _ => panic!("test tokens are Ok"),
+                })
+                .collect();
+            Piece {
+                path: 0,
+                start: lo,
+                end: hi,
+                trie: cst.lookup(&tokens).expect("in unpruned CST"),
+                units: query.paths[0].units[lo..hi].to_vec(),
+            }
+        };
+        let head = make(0, 2); // book.author
+        let tail = make(1, full.end); // author."Anna"
+        let est = combine(
+            &cst,
+            &query,
+            vec![Element::Single(head), Element::Single(tail)],
+            CountKind::Presence,
+        );
+        assert!((est - 20.0).abs() < 1e-9, "est = {est}");
+    }
+
+    #[test]
+    fn combine_skips_fully_covered_elements() {
+        let cst = fixture();
+        let (query, pieces) = pieces_for(&cst, r#"book(author("Anna"))"#);
+        let piece = pieces[0].clone();
+        let est = combine(
+            &cst,
+            &query,
+            vec![Element::Single(piece.clone()), Element::Single(piece)],
+            CountKind::Presence,
+        );
+        assert!((est - 20.0).abs() < 1e-9, "duplicate must contribute 1: {est}");
+    }
+
+    #[test]
+    fn combine_zero_when_chain_absent() {
+        let cst = fixture();
+        let (query, mut pieces) = pieces_for(&cst, r#"book(author("Anna"))"#);
+        // Zero out the count by pointing the piece at a chain whose
+        // presence is 0 — simulate with an empty-element query instead:
+        // an absent value prefix parses into pieces that never cover the
+        // value units, so combine is not even reached; instead check the
+        // numerator==0 path via a manufactured zero-presence chain.
+        // The root node has presence 0 in the pruned trie.
+        pieces[0].trie = twig_pst::TrieNodeId::ROOT;
+        let est = combine(
+            &cst,
+            &query,
+            pieces.into_iter().map(Element::Single).collect(),
+            CountKind::Presence,
+        );
+        assert_eq!(est, 0.0);
+    }
+}

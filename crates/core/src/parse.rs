@@ -1,0 +1,381 @@
+//! Query path parsing strategies (Sec. 3.3): maximal, piecewise-maximal
+//! and greedy.
+
+use twig_pst::TrieNodeId;
+use twig_tree::Twig;
+
+use crate::cst::Cst;
+use crate::query::{CompiledQuery, Token, Unit};
+
+/// A parsed subpath: a token range of one query path that exists in the
+/// CST.
+#[derive(Debug, Clone)]
+pub struct Piece {
+    /// Index of the query path in [`CompiledQuery::paths`].
+    pub path: usize,
+    /// Start token index (inclusive).
+    pub start: usize,
+    /// End token index (exclusive).
+    pub end: usize,
+    /// The CST node for exactly this token range.
+    pub trie: TrieNodeId,
+    /// The query units covered, in order (length `end - start`).
+    pub units: Vec<Unit>,
+}
+
+impl Piece {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Pieces are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when this piece's unit chain is contained in `other`'s.
+    ///
+    /// Units are globally unique positions of the query tree and pieces
+    /// are downward chains, so containment is just subset-ness.
+    pub fn contained_in(&self, other: &Piece) -> bool {
+        if self.units.len() > other.units.len() {
+            return false;
+        }
+        self.units.iter().all(|u| other.units.contains(u))
+    }
+}
+
+/// Walks the CST from token `start` of `path`, returning the matched
+/// length and the trie node per depth (index `d` = node after `d+1`
+/// tokens).
+fn walk(cst: &Cst, query: &CompiledQuery, path: usize, start: usize) -> Vec<TrieNodeId> {
+    let qpath = &query.paths[path];
+    let mut nodes = Vec::new();
+    let mut node = TrieNodeId::ROOT;
+    for token in &qpath.tokens[start..] {
+        let Token::Ok(pt) = token else { break };
+        match cst.trie().child(node, pt.edge()) {
+            Some(next) => {
+                node = next;
+                nodes.push(node);
+            }
+            None => break,
+        }
+    }
+    nodes
+}
+
+fn piece_at(query: &CompiledQuery, path: usize, start: usize, nodes: &[TrieNodeId]) -> Piece {
+    let end = start + nodes.len();
+    Piece {
+        path,
+        start,
+        end,
+        trie: *nodes.last().expect("non-empty match"),
+        units: query.paths[path].units[start..end].to_vec(),
+    }
+}
+
+/// Maximal parsing of one token range: all matches not contained in
+/// another match of the same range (the MO parse of Jagadish, Ng &
+/// Srivastava, PODS 1999).
+pub fn maximal_in_range(
+    cst: &Cst,
+    query: &CompiledQuery,
+    path: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut best_end = lo;
+    for start in lo..hi {
+        if !matches!(query.paths[path].tokens[start], Token::Ok(_)) {
+            continue;
+        }
+        let mut nodes = walk(cst, query, path, start);
+        nodes.truncate(hi - start);
+        if nodes.is_empty() {
+            continue;
+        }
+        let end = start + nodes.len();
+        // Keep only matches extending past everything seen: starts are
+        // increasing, so `end > best_end` is exactly non-containment.
+        if end > best_end {
+            best_end = end;
+            pieces.push(piece_at(query, path, start, &nodes));
+        }
+    }
+    pieces
+}
+
+/// Removes pieces whose region is contained in another piece's region
+/// (cross-path containment: the paper drops `a.b.c` when `a.b.c.d` from a
+/// sibling path covers it) and exact duplicates from shared prefixes.
+pub fn filter_contained(mut pieces: Vec<Piece>) -> Vec<Piece> {
+    let mut keep = vec![true; pieces.len()];
+    for i in 0..pieces.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..pieces.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            if pieces[i].contained_in(&pieces[j])
+                && !(pieces[j].contained_in(&pieces[i]) && j > i)
+            {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let mut iter = keep.iter();
+    pieces.retain(|_| *iter.next().expect("keep mask in sync"));
+    pieces
+}
+
+/// The **maximal** strategy: MO-parse every root-to-leaf path, then drop
+/// cross-path contained pieces.
+pub fn maximal_pieces(cst: &Cst, query: &CompiledQuery) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    for path in 0..query.paths.len() {
+        let len = query.paths[path].tokens.len();
+        pieces.extend(maximal_in_range(cst, query, path, 0, len));
+    }
+    filter_contained(pieces)
+}
+
+/// The **piecewise-maximal** strategy (PMOSH, Sec. 4.3): split each path
+/// into segments at root/branch/leaf boundaries (segments share their
+/// boundary node), MO-parse each segment independently.
+pub fn piecewise_maximal_pieces(cst: &Cst, query: &CompiledQuery, twig: &Twig) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    for path in 0..query.paths.len() {
+        let qpath = &query.paths[path];
+        let len = qpath.tokens.len();
+        // Boundaries: start of path, every branch element, end of path.
+        let mut boundaries = vec![0usize];
+        for (i, unit) in qpath.units.iter().enumerate() {
+            if let Unit::El(node) = unit {
+                if i > 0 && twig.is_branch(*node) {
+                    boundaries.push(i);
+                }
+            }
+        }
+        boundaries.push(len.saturating_sub(1));
+        boundaries.dedup();
+        if boundaries.len() < 2 {
+            // Single-token path: one degenerate segment.
+            pieces.extend(maximal_in_range(cst, query, path, 0, len));
+        } else {
+            for window in boundaries.windows(2) {
+                let (lo, hi) = (window[0], (window[1] + 1).min(len));
+                pieces.extend(maximal_in_range(cst, query, path, lo, hi));
+            }
+        }
+    }
+    filter_contained(pieces)
+}
+
+/// The **greedy** strategy of Krishnan, Vitter & Iyer (SIGMOD 1996):
+/// non-overlapping longest matches,
+/// left to right. Returns `None` when some token cannot be matched at a
+/// piece boundary (the estimate is then 0).
+pub fn greedy_pieces(cst: &Cst, query: &CompiledQuery) -> Option<Vec<Piece>> {
+    let mut pieces: Vec<Piece> = Vec::new();
+    for path in 0..query.paths.len() {
+        let qpath = &query.paths[path];
+        let mut i = 0;
+        while i < qpath.tokens.len() {
+            match qpath.tokens[i] {
+                Token::Wild => {
+                    i += 1;
+                    continue;
+                }
+                Token::Unknown => return None,
+                Token::Ok(_) => {}
+            }
+            let nodes = walk(cst, query, path, i);
+            if nodes.is_empty() {
+                return None;
+            }
+            let piece = piece_at(query, path, i, &nodes);
+            i = piece.end;
+            // Dedup shared-prefix pieces across paths.
+            if !pieces.iter().any(|p| p.units == piece.units) {
+                pieces.push(piece);
+            }
+        }
+    }
+    Some(pieces)
+}
+
+/// True when every coverable unit of the query is covered by some piece
+/// (a gap means the true count is below the prune threshold; the
+/// estimators return 0).
+pub fn covers_query(query: &CompiledQuery, pieces: &[Piece]) -> bool {
+    use twig_util::FxHashSet;
+    let covered: FxHashSet<Unit> =
+        pieces.iter().flat_map(|p| p.units.iter().copied()).collect();
+    query.coverable_units().all(|u| covered.contains(&u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cst::{CstConfig, SpaceBudget};
+    use twig_tree::DataTree;
+
+    fn fixture() -> (DataTree, Cst) {
+        let tree = DataTree::from_xml(concat!(
+            "<dblp>",
+            "<book><author>Anna</author><year>1999</year></book>",
+            "<book><author>Anton</author><year>1999</year></book>",
+            "<book><author>Bo</author><year>2000</year></book>",
+            "</dblp>"
+        ))
+        .unwrap();
+        let cst = Cst::build(
+            &tree,
+            &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
+        );
+        (tree, cst)
+    }
+
+    fn compiled(cst: &Cst, expr: &str) -> (Twig, CompiledQuery) {
+        let twig = Twig::parse(expr).unwrap();
+        let query = CompiledQuery::compile(cst, &twig);
+        (twig, query)
+    }
+
+    #[test]
+    fn fully_present_path_is_one_piece() {
+        let (_, cst) = fixture();
+        let (_, query) = compiled(&cst, r#"dblp(book(author("An")))"#);
+        let pieces = maximal_pieces(&cst, &query);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].len(), 5); // dblp book author 'A' 'n'
+        assert!(covers_query(&query, &pieces));
+    }
+
+    #[test]
+    fn unpruned_cst_covers_positive_queries() {
+        let (_, cst) = fixture();
+        let (_, query) = compiled(&cst, r#"book(author("Bo"),year("2000"))"#);
+        let pieces = maximal_pieces(&cst, &query);
+        assert!(covers_query(&query, &pieces));
+    }
+
+    #[test]
+    fn shared_prefix_deduplicated() {
+        let (_, cst) = fixture();
+        let (_, query) = compiled(&cst, r#"dblp(book(author,year))"#);
+        let pieces = maximal_pieces(&cst, &query);
+        // dblp.book.author and dblp.book.year both fully present; neither
+        // contains the other, both kept exactly once.
+        assert_eq!(pieces.len(), 2);
+    }
+
+    #[test]
+    fn absent_combination_parses_into_overlapping_pieces() {
+        let (_, cst) = fixture();
+        // author "Bo" exists, year 1999 exists, but "Bo"+"1999" books do
+        // not — paths still parse individually.
+        let (_, query) = compiled(&cst, r#"book(author("Bo"),year("1999"))"#);
+        let pieces = maximal_pieces(&cst, &query);
+        assert!(covers_query(&query, &pieces));
+    }
+
+    #[test]
+    fn unknown_label_leaves_gap() {
+        let (_, cst) = fixture();
+        let (_, query) = compiled(&cst, "book(publisher)");
+        let pieces = maximal_pieces(&cst, &query);
+        assert!(!covers_query(&query, &pieces));
+        assert!(greedy_pieces(&cst, &query).is_none());
+    }
+
+    #[test]
+    fn pruned_cst_creates_overlapping_maximal_pieces() {
+        let (tree, _) = fixture();
+        // Aggressive pruning: only frequent subpaths survive.
+        let cst = Cst::build(
+            &tree,
+            &CstConfig { budget: SpaceBudget::Threshold(3), ..CstConfig::default() },
+        );
+        let (_, query) = compiled(&cst, r#"dblp(book(author))"#);
+        let pieces = maximal_pieces(&cst, &query);
+        // dblp.book.author has pc=3 so it's one piece even here.
+        assert!(covers_query(&query, &pieces));
+        for w in pieces.windows(2) {
+            assert!(w[1].start <= w[0].end, "maximal pieces must chain");
+        }
+    }
+
+    #[test]
+    fn greedy_pieces_do_not_overlap() {
+        let (_, cst) = fixture();
+        let (_, query) = compiled(&cst, r#"book(author("An"),year("1999"))"#);
+        let pieces = greedy_pieces(&cst, &query).unwrap();
+        for w in pieces.windows(2) {
+            if w[0].path == w[1].path {
+                assert!(w[1].start >= w[0].end);
+            }
+        }
+        assert!(covers_query(&query, &pieces));
+    }
+
+    #[test]
+    fn piecewise_segments_at_branch() {
+        let (_, cst) = fixture();
+        let (twig, query) = compiled(&cst, r#"dblp(book(author("An"),year("1999")))"#);
+        let pieces = piecewise_maximal_pieces(&cst, &query, &twig);
+        // Segments: dblp.book, book.author.An, book.year.1999 — pieces
+        // cannot span the branch node `book` together with both sides.
+        assert!(covers_query(&query, &pieces));
+        let book_unit = query.paths[0].units[1];
+        for piece in &pieces {
+            if piece.units.contains(&book_unit) && piece.len() > 1 {
+                // A piece through `book` stays within one segment: it may
+                // not contain both an author unit and a year unit.
+                let has_author = piece.units.contains(&query.paths[0].units[2]);
+                let has_year = piece.units.contains(&query.paths[1].units[2]);
+                assert!(!(has_author && has_year));
+            }
+        }
+    }
+
+    #[test]
+    fn containment_filter_drops_nested() {
+        let (_, cst) = fixture();
+        let (_, query) = compiled(&cst, r#"dblp(book(author("An")))"#);
+        let mut pieces = maximal_pieces(&cst, &query);
+        // Manufacture a contained piece: the prefix of the full piece.
+        let full = pieces[0].clone();
+        let sub = Piece {
+            path: full.path,
+            start: full.start,
+            end: full.end - 1,
+            trie: cst
+                .trie()
+                .parent(full.trie)
+                .expect("full piece has depth > 1"),
+            units: full.units[..full.units.len() - 1].to_vec(),
+        };
+        pieces.push(sub);
+        let filtered = filter_contained(pieces);
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered[0].units, full.units);
+    }
+
+    #[test]
+    fn wildcard_splits_parse() {
+        let (_, cst) = fixture();
+        let (_, query) = compiled(&cst, r#"dblp(*(author("An")))"#);
+        let pieces = maximal_pieces(&cst, &query);
+        // Two pieces: "dblp" and "author.An"; the wildcard is exempt.
+        assert!(covers_query(&query, &pieces));
+        assert!(pieces.iter().all(|p| p.units.len() <= 3));
+    }
+}

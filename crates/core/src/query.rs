@@ -1,0 +1,157 @@
+//! Query compilation: a twig becomes token sequences over the CST
+//! vocabulary, with every token tied back to the query node it covers.
+
+use twig_pst::PathToken;
+use twig_tree::{Twig, TwigLabel, TwigNodeId};
+
+use crate::cst::Cst;
+
+/// One coverable position of the query tree.
+///
+/// Element query nodes are one unit each; a value leaf contributes one
+/// unit per character (subpaths may cover value prefixes partially).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Unit {
+    /// An element query node.
+    El(TwigNodeId),
+    /// Character `index` of the value at a leaf query node.
+    Ch(TwigNodeId, u16),
+}
+
+/// A token of a compiled query path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A token that can be walked in the CST trie.
+    Ok(PathToken),
+    /// An element label that does not occur in the data vocabulary — the
+    /// subpath containing it has true count 0.
+    Unknown,
+    /// A wildcard query node: exempt from coverage, never part of a
+    /// subpath (parsing restarts after it). See `DESIGN.md` §6.
+    Wild,
+}
+
+/// One compiled root-to-leaf query path.
+#[derive(Debug, Clone)]
+pub struct QPath {
+    /// Tokens, one per unit.
+    pub tokens: Vec<Token>,
+    /// The query unit each token covers.
+    pub units: Vec<Unit>,
+    /// The query nodes along the path (elements and the optional leaf).
+    pub nodes: Vec<TwigNodeId>,
+}
+
+/// The compiled query: all root-to-leaf paths.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// Paths in query-DFS order.
+    pub paths: Vec<QPath>,
+    /// Branch query nodes (two or more children).
+    pub branches: Vec<TwigNodeId>,
+}
+
+impl CompiledQuery {
+    /// Compiles `twig` against the CST's label vocabulary.
+    pub fn compile(cst: &Cst, twig: &Twig) -> Self {
+        let mut paths = Vec::new();
+        for node_path in twig.root_to_leaf_paths() {
+            let mut tokens = Vec::new();
+            let mut units = Vec::new();
+            for &node in &node_path {
+                match twig.label(node) {
+                    TwigLabel::Element(name) => {
+                        tokens.push(match cst.symbol(name) {
+                            Some(sym) => Token::Ok(PathToken::Element(sym)),
+                            None => Token::Unknown,
+                        });
+                        units.push(Unit::El(node));
+                    }
+                    TwigLabel::Value(value) => {
+                        for (i, byte) in value.bytes().enumerate() {
+                            tokens.push(Token::Ok(PathToken::Char(byte)));
+                            units.push(Unit::Ch(node, i as u16));
+                        }
+                    }
+                    TwigLabel::Star => {
+                        tokens.push(Token::Wild);
+                        units.push(Unit::El(node));
+                    }
+                }
+            }
+            paths.push(QPath { tokens, units, nodes: node_path });
+        }
+        CompiledQuery { paths, branches: twig.branch_nodes() }
+    }
+
+    /// All units that must be covered by parsed subpaths (wildcards are
+    /// exempt).
+    pub fn coverable_units(&self) -> impl Iterator<Item = Unit> + '_ {
+        self.paths.iter().flat_map(|path| {
+            path.tokens
+                .iter()
+                .zip(&path.units)
+                .filter(|(token, _)| !matches!(token, Token::Wild))
+                .map(|(_, &unit)| unit)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cst::{CstConfig, SpaceBudget};
+    use twig_tree::DataTree;
+
+    fn cst() -> Cst {
+        let tree = DataTree::from_xml(
+            "<dblp><book><author>A1</author><year>Y1</year></book></dblp>",
+        )
+        .unwrap();
+        Cst::build(
+            &tree,
+            &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
+        )
+    }
+
+    #[test]
+    fn compiles_paths_with_units() {
+        let cst = cst();
+        let twig = Twig::parse(r#"book(author("A1"),year("Y1"))"#).unwrap();
+        let compiled = CompiledQuery::compile(&cst, &twig);
+        assert_eq!(compiled.paths.len(), 2);
+        // book, author, 'A', '1'
+        assert_eq!(compiled.paths[0].tokens.len(), 4);
+        assert!(matches!(compiled.paths[0].units[0], Unit::El(_)));
+        assert!(matches!(compiled.paths[0].units[2], Unit::Ch(_, 0)));
+        assert!(matches!(compiled.paths[0].units[3], Unit::Ch(_, 1)));
+        assert_eq!(compiled.branches.len(), 1);
+    }
+
+    #[test]
+    fn shared_prefix_has_identical_units() {
+        let cst = cst();
+        let twig = Twig::parse(r#"book(author("A1"),year("Y1"))"#).unwrap();
+        let compiled = CompiledQuery::compile(&cst, &twig);
+        assert_eq!(compiled.paths[0].units[0], compiled.paths[1].units[0]);
+        assert_ne!(compiled.paths[0].units[1], compiled.paths[1].units[1]);
+    }
+
+    #[test]
+    fn unknown_labels_marked() {
+        let cst = cst();
+        let twig = Twig::parse("book(nosuchlabel)").unwrap();
+        let compiled = CompiledQuery::compile(&cst, &twig);
+        assert!(matches!(compiled.paths[0].tokens[1], Token::Unknown));
+    }
+
+    #[test]
+    fn wildcards_marked_and_exempt() {
+        let cst = cst();
+        let twig = Twig::parse(r#"book(*(year("Y1")))"#).unwrap();
+        let compiled = CompiledQuery::compile(&cst, &twig);
+        assert!(matches!(compiled.paths[0].tokens[1], Token::Wild));
+        let coverable: Vec<Unit> = compiled.coverable_units().collect();
+        assert_eq!(coverable.len(), compiled.paths[0].tokens.len() - 1);
+    }
+}

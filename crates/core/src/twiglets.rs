@@ -1,0 +1,327 @@
+//! Twiglet decomposition (Sec. 3.2, 4.2–4.4).
+//!
+//! A *twiglet* groups parsed subpaths that emanate from the same query
+//! node and pass through a branch node; its count is estimated by
+//! intersecting the member subpaths' rooting-node sets via set hashing.
+//! The three set-hashing algorithms differ only in how groups are formed:
+//!
+//! - **MOSH / PMOSH**: group the parsed pieces that *start at the same
+//!   unit* and pass through the branch node. (PMOSH feeds this the
+//!   piecewise-maximal parse, which makes shared starts more likely.)
+//! - **MSH**: for every start unit of a maximal piece through the branch,
+//!   group the *suffixes* of all maximal pieces through the branch that
+//!   contain that start — deep parses still meet at branch points without
+//!   shortening the pieces themselves.
+
+use twig_pst::PathToken;
+use twig_tree::TwigNodeId;
+use twig_util::FxHashSet;
+
+use crate::cst::Cst;
+use crate::parse::Piece;
+use crate::query::{CompiledQuery, Token, Unit};
+
+/// A twiglet: two or more chains sharing a start unit.
+#[derive(Debug, Clone)]
+pub struct Twiglet {
+    /// Member chains (deduplicated; all start at the same unit).
+    pub chains: Vec<Piece>,
+    /// Ordering position: the minimal `(path, start)` over members.
+    pub position: (usize, usize),
+}
+
+impl Twiglet {
+    /// All query units covered by this twiglet.
+    pub fn units(&self) -> FxHashSet<Unit> {
+        self.chains.iter().flat_map(|c| c.units.iter().copied()).collect()
+    }
+}
+
+/// Relative index of branch element `branch` within `piece`, when the
+/// piece passes *through* it (covers it and extends at least one unit
+/// beyond).
+fn through_index(piece: &Piece, branch: TwigNodeId) -> Option<usize> {
+    piece
+        .units
+        .iter()
+        .position(|&u| u == Unit::El(branch))
+        .filter(|&idx| idx + 1 < piece.units.len())
+}
+
+/// MOSH / PMOSH grouping: pieces through a branch sharing their own start
+/// unit. Returns the twiglets plus a mask of pieces consumed by one.
+pub fn mosh_twiglets(query: &CompiledQuery, pieces: &[Piece]) -> (Vec<Twiglet>, Vec<bool>) {
+    let mut consumed = vec![false; pieces.len()];
+    let mut twiglets: Vec<Twiglet> = Vec::new();
+    for &branch in &query.branches {
+        // Group member indexes by start unit.
+        let mut groups: Vec<(Unit, Vec<usize>)> = Vec::new();
+        for (i, piece) in pieces.iter().enumerate() {
+            if through_index(piece, branch).is_none() {
+                continue;
+            }
+            let start_unit = piece.units[0];
+            match groups.iter_mut().find(|(u, _)| *u == start_unit) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((start_unit, vec![i])),
+            }
+        }
+        for (_, members) in groups {
+            if members.len() < 2 {
+                continue;
+            }
+            let chains: Vec<Piece> = members.iter().map(|&i| pieces[i].clone()).collect();
+            let position = chains
+                .iter()
+                .map(|c| (c.path, c.start))
+                .min()
+                .expect("twiglet has members");
+            for &i in &members {
+                consumed[i] = true;
+            }
+            twiglets.push(Twiglet { chains, position });
+        }
+    }
+    (drop_contained_twiglets(twiglets), consumed)
+}
+
+/// MSH grouping (Sec. 4.4): for each branch and each start unit of a
+/// maximal piece through it, the suffixes at that start of *all* maximal
+/// pieces through it that contain the start.
+pub fn msh_twiglets(cst: &Cst, query: &CompiledQuery, pieces: &[Piece]) -> Vec<Twiglet> {
+    let mut twiglets: Vec<Twiglet> = Vec::new();
+    for &branch in &query.branches {
+        let through: Vec<&Piece> =
+            pieces.iter().filter(|p| through_index(p, branch).is_some()).collect();
+        if through.len() < 2 {
+            continue;
+        }
+        let mut starts: Vec<Unit> = through.iter().map(|p| p.units[0]).collect();
+        starts.sort();
+        starts.dedup();
+        for start in starts {
+            let mut chains: Vec<Piece> = Vec::new();
+            for piece in &through {
+                let Some(rel) = piece.units.iter().position(|&u| u == start) else {
+                    continue;
+                };
+                if rel + 1 >= piece.units.len() {
+                    continue; // suffix would be a single node
+                }
+                if let Some(suffix) = suffix_piece(cst, query, piece, rel) {
+                    if !chains.iter().any(|c| c.units == suffix.units) {
+                        chains.push(suffix);
+                    }
+                }
+            }
+            if chains.len() < 2 {
+                continue;
+            }
+            let position =
+                chains.iter().map(|c| (c.path, c.start)).min().expect("chains non-empty");
+            twiglets.push(Twiglet { chains, position });
+        }
+    }
+    drop_contained_twiglets(twiglets)
+}
+
+/// The suffix of `piece` starting at relative unit `rel`, looked up in the
+/// CST (present by the monotonicity property; `None` only defensively).
+fn suffix_piece(cst: &Cst, query: &CompiledQuery, piece: &Piece, rel: usize) -> Option<Piece> {
+    if rel == 0 {
+        return Some(piece.clone());
+    }
+    let start = piece.start + rel;
+    let tokens: Vec<PathToken> = query.paths[piece.path].tokens[start..piece.end]
+        .iter()
+        .map(|t| match t {
+            Token::Ok(pt) => *pt,
+            _ => unreachable!("pieces contain only Ok tokens"),
+        })
+        .collect();
+    let trie = cst.lookup(&tokens)?;
+    Some(Piece {
+        path: piece.path,
+        start,
+        end: piece.end,
+        trie,
+        units: piece.units[rel..].to_vec(),
+    })
+}
+
+/// Drops twiglets whose unit region is contained in another's (they would
+/// contribute a factor of 1 under MO conditioning, only adding signature
+/// noise).
+fn drop_contained_twiglets(twiglets: Vec<Twiglet>) -> Vec<Twiglet> {
+    let regions: Vec<FxHashSet<Unit>> = twiglets.iter().map(Twiglet::units).collect();
+    let mut keep = vec![true; twiglets.len()];
+    for i in 0..twiglets.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..twiglets.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            let subset = regions[i].is_subset(&regions[j]);
+            let superset = regions[j].is_subset(&regions[i]);
+            if subset && !(superset && j > i) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let mut iter = keep.iter();
+    let mut twiglets = twiglets;
+    twiglets.retain(|_| *iter.next().expect("mask in sync"));
+    twiglets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cst::{Cst, CstConfig, SpaceBudget};
+    use crate::parse::{maximal_pieces, Piece};
+    use twig_tree::{DataTree, Twig};
+
+    /// A corpus realizing the Figure 2 tree pattern: records shaped
+    /// a(b(c(d(e),f(g)))) — the query a.b.c with branches c→d→e and
+    /// c→f→g.
+    fn fixture() -> (DataTree, Cst) {
+        let mut xml = String::from("<root>");
+        for i in 0..30 {
+            xml.push_str(&format!(
+                "<a><b><c><d><e>v{}</e></d><f><g>w{}</g></f></c></b></a>",
+                i % 3,
+                i % 5
+            ));
+        }
+        xml.push_str("</root>");
+        let tree = DataTree::from_xml(&xml).unwrap();
+        let cst = Cst::build(
+            &tree,
+            &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
+        );
+        (tree, cst)
+    }
+
+    fn query(cst: &Cst, expr: &str) -> (Twig, CompiledQuery) {
+        let twig = Twig::parse(expr).unwrap();
+        let compiled = CompiledQuery::compile(cst, &twig);
+        (twig, compiled)
+    }
+
+    /// Splits a full-path piece into [lo, hi) subpieces for controlled
+    /// parses (mimicking what pruning would produce).
+    fn subpiece(cst: &Cst, q: &CompiledQuery, piece: &Piece, lo: usize, hi: usize) -> Piece {
+        let tokens: Vec<twig_pst::PathToken> = q.paths[piece.path].tokens[lo..hi]
+            .iter()
+            .map(|t| match t {
+                Token::Ok(pt) => *pt,
+                _ => panic!("only Ok tokens in test pieces"),
+            })
+            .collect();
+        Piece {
+            path: piece.path,
+            start: lo,
+            end: hi,
+            trie: cst.lookup(&tokens).expect("subpath in unpruned CST"),
+            units: q.paths[piece.path].units[lo..hi].to_vec(),
+        }
+    }
+
+    #[test]
+    fn whole_query_forms_one_twiglet_when_paths_fully_match() {
+        // Sec. 4.2: "If all root-to-leaf paths in a twig query are present
+        // in the CST, the whole twig will form one twiglet."
+        let (_, cst) = fixture();
+        let (_, q) = query(&cst, "a(b(c(d,f)))");
+        let pieces = maximal_pieces(&cst, &q);
+        assert_eq!(pieces.len(), 2, "one full piece per path");
+        let (twiglets, consumed) = mosh_twiglets(&q, &pieces);
+        assert_eq!(twiglets.len(), 1);
+        assert_eq!(twiglets[0].chains.len(), 2);
+        assert!(consumed.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn mosh_needs_shared_starts() {
+        // The Sec. 4.3 motivating example: parse pieces through the
+        // branch that start at different units → MOSH forms no twiglet.
+        let (_, cst) = fixture();
+        let (_, q) = query(&cst, "a(b(c(d,f)))");
+        let full = maximal_pieces(&cst, &q);
+        // Simulate the parse {a.b.c.d, b.c.f}: different start units.
+        let p1 = subpiece(&cst, &q, &full[0], 0, 4); // a.b.c.d
+        let p2 = subpiece(&cst, &q, &full[1], 1, 4); // b.c.f
+        let pieces = vec![p1, p2];
+        let (twiglets, consumed) = mosh_twiglets(&q, &pieces);
+        assert!(twiglets.is_empty(), "MOSH reduces to pure MO here");
+        assert!(consumed.iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn msh_recovers_via_suffixes() {
+        // Same parse, but MSH takes the suffix of a.b.c.d at b and groups
+        // it with b.c.f — the Sec. 4.4 example.
+        let (_, cst) = fixture();
+        let (_, q) = query(&cst, "a(b(c(d,f)))");
+        let full = maximal_pieces(&cst, &q);
+        let p1 = subpiece(&cst, &q, &full[0], 0, 4); // a.b.c.d
+        let p2 = subpiece(&cst, &q, &full[1], 1, 4); // b.c.f
+        let pieces = vec![p1, p2];
+        let twiglets = msh_twiglets(&cst, &q, &pieces);
+        assert_eq!(twiglets.len(), 1);
+        let chains = &twiglets[0].chains;
+        assert_eq!(chains.len(), 2);
+        // Both chains start at the `b` unit.
+        assert_eq!(chains[0].units[0], chains[1].units[0]);
+        assert_eq!(chains[0].units[0], q.paths[0].units[1]);
+        // The suffix chain b.c.d has its own (monotonicity-guaranteed)
+        // trie node with the right count.
+        for chain in chains {
+            assert!(cst.presence(chain.trie) > 0);
+        }
+    }
+
+    #[test]
+    fn contained_twiglets_dropped() {
+        // Twiglets at nested branches with the same start nest; only the
+        // largest survives.
+        let (_, cst) = fixture();
+        let (_, q) = query(&cst, "a(b(c(d(e),f(g))))");
+        let pieces = maximal_pieces(&cst, &q);
+        let (twiglets, _) = mosh_twiglets(&q, &pieces);
+        // Branch node is c only (a and b have one child); both paths
+        // fully parse → exactly one twiglet.
+        assert_eq!(twiglets.len(), 1);
+        let msh = msh_twiglets(&cst, &q, &pieces);
+        // MSH adds suffix groups at deeper starts, but they are contained
+        // in the root-start twiglet and dropped.
+        assert_eq!(msh.len(), 1);
+    }
+
+    #[test]
+    fn pieces_not_through_branch_stay_single() {
+        let (_, cst) = fixture();
+        let (_, q) = query(&cst, "a(b(c(d(e),f(g))))");
+        let full = maximal_pieces(&cst, &q);
+        // Parse: a.b.c.d / d-e-tail  and a.b.c.f.g; the e-tail piece does
+        // not pass through branch c.
+        let p1 = subpiece(&cst, &q, &full[0], 0, 4); // a.b.c.d
+        let p2 = subpiece(&cst, &q, &full[0], 3, full[0].end); // d.e...
+        let p3 = full[1].clone(); // a.b.c.f.g...
+        let (twiglets, consumed) = mosh_twiglets(&q, &[p1, p2, p3]);
+        assert_eq!(twiglets.len(), 1, "a.b.c.d groups with a.b.c.f.g at start a");
+        assert!(!consumed[1], "the d.e piece stays a single element");
+    }
+
+    #[test]
+    fn twiglet_position_is_min_chain_position() {
+        let (_, cst) = fixture();
+        let (_, q) = query(&cst, "a(b(c(d,f)))");
+        let pieces = maximal_pieces(&cst, &q);
+        let (twiglets, _) = mosh_twiglets(&q, &pieces);
+        assert_eq!(twiglets[0].position, (0, 0));
+    }
+}

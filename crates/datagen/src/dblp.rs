@@ -1,0 +1,294 @@
+//! The DBLP-like bibliography generator.
+//!
+//! Correlation model: every publication is drawn from a latent research
+//! *community*. A community fixes an author pool (a Zipf-weighted slice of
+//! the global author list), a couple of venues, a year window and — for
+//! books — a publisher. Twig queries that combine an author with a year or
+//! venue therefore have strongly non-independent selectivities, which is
+//! exactly the regime where the paper's set-hash algorithms beat the
+//! independence-based baselines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names::{CONFERENCES, FIRST_NAMES, JOURNALS, PUBLISHERS, SURNAMES, TITLE_WORDS};
+
+/// Configuration for [`generate_dblp`].
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Approximate size of the generated XML in bytes (generation stops at
+    /// the first record boundary past this).
+    pub target_bytes: usize,
+    /// RNG seed; equal seeds produce byte-identical corpora.
+    pub seed: u64,
+    /// Number of latent communities (fewer → stronger correlations).
+    pub communities: usize,
+    /// Authors per community pool.
+    pub pool_size: usize,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        Self { target_bytes: 8 << 20, seed: 42, communities: 16, pool_size: 12 }
+    }
+}
+
+struct Community {
+    authors: Vec<String>,
+    journal: &'static str,
+    conference: &'static str,
+    publisher: &'static str,
+    year_lo: u32,
+    year_hi: u32,
+    title_words: Vec<&'static str>,
+}
+
+fn build_communities(cfg: &DblpConfig, rng: &mut StdRng) -> Vec<Community> {
+    (0..cfg.communities)
+        .map(|community| {
+            // Disjoint surname slices keep communities "pure": an author
+            // name belongs to exactly one community, so author ↔ venue ↔
+            // year correlations are strong — the property that separates
+            // the set-hash algorithms from the independence baselines.
+            let slice_size = SURNAMES.len().div_ceil(cfg.communities);
+            let lo = (community * slice_size) % SURNAMES.len();
+            let authors = (0..cfg.pool_size)
+                .map(|i| {
+                    format!(
+                        "{} {}",
+                        FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())],
+                        SURNAMES[(lo + i % slice_size) % SURNAMES.len()]
+                    )
+                })
+                .collect();
+            let year_lo = rng.random_range(1975..1997);
+            let title_words = (0..8)
+                .map(|_| TITLE_WORDS[rng.random_range(0..TITLE_WORDS.len())])
+                .collect();
+            Community {
+                authors,
+                journal: JOURNALS[community % JOURNALS.len()],
+                conference: CONFERENCES[community % CONFERENCES.len()],
+                publisher: PUBLISHERS[community % PUBLISHERS.len()],
+                year_lo,
+                year_hi: year_lo + rng.random_range(2..5),
+                title_words,
+            }
+        })
+        .collect()
+}
+
+/// Zipf-ish index into `0..n`: rank r with weight ∝ 1/(r+1).
+fn zipf_index(rng: &mut StdRng, n: usize) -> usize {
+    debug_assert!(n > 0);
+    let harmonic: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+    let mut target = rng.random::<f64>() * harmonic;
+    for i in 0..n {
+        target -= 1.0 / (i + 1) as f64;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+fn push_field(out: &mut String, tag: &str, value: &str) {
+    out.push('<');
+    out.push_str(tag);
+    out.push('>');
+    // Vocabulary values never contain XML-special characters; assert in
+    // debug builds rather than paying escaping costs per field.
+    debug_assert!(!value.contains(['<', '>', '&']));
+    out.push_str(value);
+    out.push_str("</");
+    out.push_str(tag);
+    out.push('>');
+}
+
+/// Generates the DBLP-like XML document.
+pub fn generate_dblp(cfg: &DblpConfig) -> String {
+    assert!(cfg.communities > 0 && cfg.pool_size > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let communities = build_communities(cfg, &mut rng);
+    let mut out = String::with_capacity(cfg.target_bytes + 4096);
+    out.push_str("<dblp>");
+    while out.len() < cfg.target_bytes {
+        let community = &communities[zipf_index(&mut rng, communities.len())];
+        let kind_roll = rng.random_range(0..10);
+        let tag = match kind_roll {
+            0..=5 => "article",
+            6..=8 => "inproceedings",
+            _ => "book",
+        };
+        out.push('<');
+        out.push_str(tag);
+        out.push('>');
+        // Authors: 1–5, Zipf within the community pool (multiset siblings).
+        let author_count = 1 + rng.random_range(0..5).min(rng.random_range(0..5));
+        let mut chosen: Vec<&str> = Vec::with_capacity(author_count);
+        for _ in 0..author_count {
+            let author = &community.authors[zipf_index(&mut rng, community.authors.len())];
+            if !chosen.iter().any(|a| a == author) {
+                chosen.push(author);
+            }
+        }
+        for author in &chosen {
+            push_field(&mut out, "author", author);
+        }
+        // Title: 3–7 community-biased words.
+        let mut title = String::new();
+        for w in 0..rng.random_range(3..8) {
+            if w > 0 {
+                title.push(' ');
+            }
+            title.push_str(community.title_words[rng.random_range(0..community.title_words.len())]);
+        }
+        push_field(&mut out, "title", &title);
+        match tag {
+            "article" => {
+                push_field(&mut out, "journal", community.journal);
+                push_field(&mut out, "volume", &rng.random_range(1..40).to_string());
+            }
+            "inproceedings" => {
+                push_field(&mut out, "booktitle", community.conference);
+            }
+            _ => {
+                push_field(&mut out, "publisher", community.publisher);
+                push_field(&mut out, "isbn", &format!("0-{:05}-{:03}-X",
+                    rng.random_range(10000..99999u32), rng.random_range(100..999u32)));
+            }
+        }
+        let year = rng.random_range(community.year_lo..=community.year_hi);
+        push_field(&mut out, "year", &year.to_string());
+        let page_lo = rng.random_range(1..800);
+        push_field(&mut out, "pages", &format!("{}-{}", page_lo, page_lo + rng.random_range(5..40)));
+        // Citation blocks (as in real DBLP — the paper's `cite.Stonebraker`
+        // example): `author` and `year` recur under `cite`, and `cite`
+        // occurs under both articles and inproceedings, so these labels
+        // have multiple parent contexts with different value frequencies.
+        if tag != "book" && rng.random_range(0..4) == 0 {
+            for _ in 0..rng.random_range(1..3) {
+                let cited = &communities[zipf_index(&mut rng, communities.len())];
+                out.push_str("<cite>");
+                push_field(
+                    &mut out,
+                    "author",
+                    &cited.authors[zipf_index(&mut rng, cited.authors.len())],
+                );
+                push_field(
+                    &mut out,
+                    "year",
+                    &rng.random_range(cited.year_lo..=cited.year_hi).to_string(),
+                );
+                out.push_str("</cite>");
+            }
+        }
+        out.push_str("</");
+        out.push_str(tag);
+        out.push('>');
+    }
+    out.push_str("</dblp>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_tree::DataTree;
+
+    #[test]
+    fn generates_parseable_xml_of_requested_size() {
+        let cfg = DblpConfig { target_bytes: 100_000, seed: 1, ..DblpConfig::default() };
+        let xml = generate_dblp(&cfg);
+        assert!(xml.len() >= 100_000);
+        assert!(xml.len() < 110_000, "overshoot bounded by one record");
+        let tree = DataTree::from_xml(&xml).expect("well-formed");
+        assert!(tree.element_count() > 1000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = DblpConfig { target_bytes: 50_000, seed: 7, ..DblpConfig::default() };
+        assert_eq!(generate_dblp(&cfg), generate_dblp(&cfg));
+        let other = DblpConfig { seed: 8, ..cfg };
+        assert_ne!(generate_dblp(&cfg), generate_dblp(&other));
+    }
+
+    #[test]
+    fn has_expected_structure() {
+        let cfg = DblpConfig { target_bytes: 200_000, seed: 3, ..DblpConfig::default() };
+        let tree = DataTree::from_xml(&generate_dblp(&cfg)).unwrap();
+        for label in ["article", "inproceedings", "book", "author", "title", "year",
+                      "journal", "booktitle", "publisher", "pages"] {
+            let sym = tree.symbol(label).unwrap_or_else(|| panic!("missing {label}"));
+            assert!(!tree.nodes_with_label(sym).is_empty(), "no {label} nodes");
+        }
+    }
+
+    #[test]
+    fn multiset_authors_present() {
+        let cfg = DblpConfig { target_bytes: 200_000, seed: 3, ..DblpConfig::default() };
+        let tree = DataTree::from_xml(&generate_dblp(&cfg)).unwrap();
+        let author = tree.symbol("author").unwrap();
+        // Some record must have ≥ 2 authors.
+        let mut saw_multi = false;
+        for &a in tree.nodes_with_label(author) {
+            let parent = tree.parent(a).unwrap();
+            let authors = tree
+                .children(parent)
+                .filter(|&c| tree.element_symbol(c) == Some(author))
+                .count();
+            if authors >= 2 {
+                saw_multi = true;
+                break;
+            }
+        }
+        assert!(saw_multi, "no multi-author records generated");
+    }
+
+    #[test]
+    fn correlations_exist() {
+        // A frequent author's records must concentrate on few venues —
+        // the correlation the set-hash algorithms exploit.
+        let cfg = DblpConfig { target_bytes: 400_000, seed: 5, ..DblpConfig::default() };
+        let tree = DataTree::from_xml(&generate_dblp(&cfg)).unwrap();
+        let author_sym = tree.symbol("author").unwrap();
+        let journal_sym = tree.symbol("journal").unwrap();
+        use std::collections::HashMap;
+        let mut by_author: HashMap<String, Vec<String>> = HashMap::new();
+        for &a in tree.nodes_with_label(author_sym) {
+            let name = tree.text(tree.children(a).next().unwrap()).unwrap().to_owned();
+            let record = tree.parent(a).unwrap();
+            if let Some(j) = tree
+                .children(record)
+                .find(|&c| tree.element_symbol(c) == Some(journal_sym))
+            {
+                let journal = tree.text(tree.children(j).next().unwrap()).unwrap().to_owned();
+                by_author.entry(name).or_default().push(journal);
+            }
+        }
+        // Take the most prolific author; their journals should be few.
+        let (_, journals) = by_author
+            .iter()
+            .max_by_key(|(_, v)| v.len())
+            .expect("some author has articles");
+        assert!(journals.len() >= 5, "not enough data to check correlation");
+        let distinct: std::collections::HashSet<&String> = journals.iter().collect();
+        assert!(
+            distinct.len() <= journals.len() / 2,
+            "author spread over too many journals: {} of {}",
+            distinct.len(),
+            journals.len()
+        );
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf_index(&mut rng, 10)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 4, "{counts:?}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic corpora and query workloads for the experiments.
+//!
+//! The paper evaluates on two proprietary snapshots — the DBLP
+//! bibliography (50 MB, shallow wide records, duplicate `author` siblings)
+//! and SWISS-PROT (5 MB, far more complex structure). Neither snapshot is
+//! redistributable, so this crate generates synthetic stand-ins that
+//! reproduce the properties the estimators are sensitive to (see
+//! DESIGN.md §4):
+//!
+//! - [`dblp`]: bibliography records whose fields are *correlated* through
+//!   a latent research-community variable (author pool ↔ venue ↔ year
+//!   range ↔ publisher), with Zipf-distributed authors and venues and
+//!   1–5 `author` children per record (the multiset case),
+//! - [`sprot`]: protein entries with deep taxonomy chains, nested
+//!   reference blocks, feature tables and keyword lists — several times
+//!   more distinct element labels than the DBLP-like set,
+//! - [`workload`]: the paper's query workloads (Sec. 6.1): positive twig
+//!   queries sampled from the data (2–5 paths, 2–4 internal nodes, 1–4
+//!   leaf characters), negative queries glued from subpaths of different
+//!   record instances, and trivial single-path queries.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod dblp;
+pub mod names;
+pub mod sprot;
+pub mod workload;
+
+pub use dblp::{generate_dblp, DblpConfig};
+pub use sprot::{generate_sprot, SprotConfig};
+pub use workload::{
+    negative_query_candidates, positive_queries, trivial_queries, WorkloadConfig,
+};

@@ -1,0 +1,126 @@
+//! Vocabularies for the synthetic corpora.
+
+/// Surnames for authors (the prefix distribution matters: the workloads
+/// sample 1–4 character prefixes, so names sharing prefixes like
+/// "Su"/"Sud" exercise the value-prefix trie the way DBLP does).
+pub const SURNAMES: &[&str] = &[
+    "Suciu", "Sudarshan", "Srivastava", "Stonebraker", "Samet", "Sagiv", "Silberschatz",
+    "Jagadish", "Johnson", "Jones", "Jensen", "Jarke", "Koudas", "Korn", "Kanne", "Kossmann",
+    "Kersten", "Kifer", "Muthukrishnan", "Mendelzon", "Mumick", "Mohan", "Maier", "Motwani",
+    "Ng", "Naughton", "Navathe", "Nestorov", "Chen", "Chaudhuri", "Chamberlin", "Carey",
+    "Ceri", "Codd", "Widom", "Wiederhold", "Wong", "Wood", "Abiteboul", "Aho", "Agrawal",
+    "Afrati", "Bernstein", "Buneman", "Bancilhon", "Beeri", "Gray", "Garcia", "Gupta",
+    "Gottlob", "DeWitt", "Dayal", "Delobel", "Fernandez", "Florescu", "Fagin", "Franklin",
+    "Halevy", "Hellerstein", "Hull", "Haas", "Ioannidis", "Imielinski", "Lenzerini", "Libkin",
+    "Lomet", "Levy", "Ullman", "Vardi", "Vianu", "Valduriez", "Ramakrishnan", "Raghavan",
+    "Reuter", "Rosenthal", "Tannen", "Tsichritzis", "Ozsu", "Papadimitriou", "Pirahesh",
+    "Quass", "Zaniolo", "Zdonik", "Yannakakis", "Yu",
+];
+
+/// First names (used in author strings "First Last").
+pub const FIRST_NAMES: &[&str] = &[
+    "Serge", "Rakesh", "Philip", "Michael", "David", "Jennifer", "Hector", "Jeffrey", "Dan",
+    "Divesh", "Nick", "Flip", "Raymond", "Zhiyuan", "Mary", "Alin", "Daniela", "Laura",
+    "Victor", "Moshe", "Umesh", "Peter", "Raghu", "Ioana", "Wenfei", "Limsoon", "Timos",
+    "Gerhard", "Guido", "Catriel", "Anthony", "Yannis", "Christos", "Renee", "Sophie", "Val",
+];
+
+/// Journal names.
+pub const JOURNALS: &[&str] = &[
+    "TODS", "VLDB Journal", "SIGMOD Record", "TKDE", "Information Systems", "JACM",
+    "Data Engineering Bulletin", "Acta Informatica", "JCSS", "Theoretical Computer Science",
+    "Distributed and Parallel Databases", "Knowledge and Information Systems",
+];
+
+/// Conference names (booktitle).
+pub const CONFERENCES: &[&str] = &[
+    "SIGMOD Conference", "VLDB", "ICDE", "PODS", "EDBT", "ICDT", "CIKM", "SSDBM", "WebDB",
+    "DASFAA", "ADBIS", "IDEAL",
+];
+
+/// Book publishers.
+pub const PUBLISHERS: &[&str] = &[
+    "Morgan Kaufmann", "Addison-Wesley", "Springer", "Prentice Hall", "McGraw-Hill",
+    "Academic Press", "MIT Press", "Cambridge University Press",
+];
+
+/// Title vocabulary (drawn per community so that title words correlate
+/// with venues the way real sub-areas do).
+pub const TITLE_WORDS: &[&str] = &[
+    "query", "optimization", "selectivity", "estimation", "indexing", "histograms",
+    "aggregation", "views", "materialized", "semistructured", "XML", "relational",
+    "transactions", "concurrency", "recovery", "logging", "spatial", "temporal", "streams",
+    "sampling", "sketches", "wavelets", "mining", "association", "clustering",
+    "classification", "warehouse", "OLAP", "cube", "parallel", "distributed", "replication",
+    "mediation", "integration", "wrappers", "schema", "matching", "storage", "compression",
+    "caching", "joins", "nested", "recursive", "datalog", "constraints", "dependencies",
+    "normalization", "design", "evolution", "versioning", "workflow", "access", "control",
+    "security", "privacy", "approximate", "answers", "ranking", "top-k", "similarity",
+];
+
+/// Organism names for the SWISS-PROT-like corpus.
+pub const ORGANISMS: &[&str] = &[
+    "Homo sapiens", "Mus musculus", "Rattus norvegicus", "Escherichia coli",
+    "Saccharomyces cerevisiae", "Drosophila melanogaster", "Caenorhabditis elegans",
+    "Arabidopsis thaliana", "Bacillus subtilis", "Danio rerio", "Gallus gallus",
+    "Xenopus laevis", "Oryza sativa", "Zea mays", "Bos taurus", "Sus scrofa",
+];
+
+/// Taxonomy chains (kingdom → phylum → class → order), one per organism
+/// group; the deep nesting is what makes the corpus "complex".
+pub const LINEAGES: &[&[&str]] = &[
+    &["Eukaryota", "Metazoa", "Chordata", "Mammalia", "Primates"],
+    &["Eukaryota", "Metazoa", "Chordata", "Mammalia", "Rodentia"],
+    &["Bacteria", "Proteobacteria", "Gammaproteobacteria", "Enterobacterales"],
+    &["Eukaryota", "Fungi", "Ascomycota", "Saccharomycetes"],
+    &["Eukaryota", "Metazoa", "Arthropoda", "Insecta", "Diptera"],
+    &["Eukaryota", "Metazoa", "Nematoda", "Chromadorea"],
+    &["Eukaryota", "Viridiplantae", "Streptophyta", "Brassicales"],
+    &["Bacteria", "Firmicutes", "Bacilli", "Bacillales"],
+    &["Eukaryota", "Metazoa", "Chordata", "Actinopterygii"],
+    &["Eukaryota", "Metazoa", "Chordata", "Aves", "Galliformes"],
+];
+
+/// Protein keywords.
+pub const KEYWORDS: &[&str] = &[
+    "Hydrolase", "Transferase", "Kinase", "Oxidoreductase", "Ligase", "Isomerase", "Lyase",
+    "Membrane", "Transmembrane", "Signal", "Glycoprotein", "Phosphoprotein", "Zinc-finger",
+    "DNA-binding", "RNA-binding", "ATP-binding", "GTP-binding", "Calcium", "Iron", "Heme",
+    "Mitochondrion", "Nucleus", "Cytoplasm", "Secreted", "Repeat", "Transport", "Receptor",
+];
+
+/// Feature table types.
+pub const FEATURE_TYPES: &[&str] = &[
+    "DOMAIN", "CHAIN", "SIGNAL", "TRANSMEM", "ACT_SITE", "BINDING", "METAL", "MOD_RES",
+    "DISULFID", "HELIX", "STRAND", "TURN", "VARIANT", "CONFLICT", "REPEAT",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_nonempty_and_distinct() {
+        for vocab in [SURNAMES, FIRST_NAMES, JOURNALS, CONFERENCES, PUBLISHERS, TITLE_WORDS] {
+            assert!(!vocab.is_empty());
+            let mut sorted: Vec<&str> = vocab.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), vocab.len(), "duplicate vocabulary entry");
+        }
+    }
+
+    #[test]
+    fn surnames_share_prefixes() {
+        // The value-prefix experiments need names with common prefixes.
+        let su: Vec<&&str> = SURNAMES.iter().filter(|n| n.starts_with("Su")).collect();
+        assert!(su.len() >= 2);
+    }
+
+    #[test]
+    fn lineages_are_deep() {
+        for lineage in LINEAGES {
+            assert!(lineage.len() >= 4);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The SWISS-PROT-like protein corpus generator.
+//!
+//! The paper uses SWISS-PROT as the "far more complex structure" contrast
+//! to DBLP: many more distinct element labels, deeper nesting (taxonomy
+//! lineages), and nested repeated blocks (references with author lists,
+//! feature tables). Correlation model: each entry belongs to an organism
+//! group that fixes its taxonomy chain, biases its keywords and feature
+//! types, and selects the citation journal pool.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names::{
+    FEATURE_TYPES, FIRST_NAMES, JOURNALS, KEYWORDS, LINEAGES, ORGANISMS, SURNAMES,
+};
+
+/// Configuration for [`generate_sprot`].
+#[derive(Debug, Clone)]
+pub struct SprotConfig {
+    /// Approximate output size in bytes.
+    pub target_bytes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SprotConfig {
+    fn default() -> Self {
+        Self { target_bytes: 4 << 20, seed: 1789 }
+    }
+}
+
+fn push_field(out: &mut String, tag: &str, value: &str) {
+    out.push('<');
+    out.push_str(tag);
+    out.push('>');
+    debug_assert!(!value.contains(['<', '>', '&']));
+    out.push_str(value);
+    out.push_str("</");
+    out.push_str(tag);
+    out.push('>');
+}
+
+const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+
+/// Generates the SWISS-PROT-like XML document.
+pub fn generate_sprot(cfg: &SprotConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = String::with_capacity(cfg.target_bytes + 8192);
+    out.push_str("<sprot>");
+    let mut entry_no = 0u32;
+    while out.len() < cfg.target_bytes {
+        entry_no += 1;
+        let organism_idx = rng.random_range(0..ORGANISMS.len());
+        let lineage = LINEAGES[organism_idx % LINEAGES.len()];
+        out.push_str("<entry>");
+        push_field(&mut out, "id", &format!("P{entry_no:05}_{}", &ORGANISMS[organism_idx][..2].to_uppercase()));
+        for _ in 0..rng.random_range(1..4) {
+            push_field(&mut out, "accession", &format!("Q{:05}", rng.random_range(0..100_000)));
+        }
+        push_field(&mut out, "created", &format!("{}-{:02}", rng.random_range(1988..2001), rng.random_range(1..13)));
+        push_field(&mut out, "description", &format!(
+            "{} {}",
+            KEYWORDS[rng.random_range(0..KEYWORDS.len())],
+            ["precursor", "fragment", "isoform", "homolog", "subunit"][rng.random_range(0..5)]
+        ));
+        push_field(&mut out, "gene", &format!("{}{}", ["ab", "cd", "ef", "gh", "rp", "ss"][rng.random_range(0..6)], rng.random_range(1..30)));
+
+        // Organism block with a deep taxonomy chain (nested taxon elements).
+        out.push_str("<organism>");
+        push_field(&mut out, "species", ORGANISMS[organism_idx]);
+        out.push_str("<lineage>");
+        for taxon in lineage {
+            out.push_str("<taxon>");
+            push_field(&mut out, "name", taxon);
+        }
+        for _ in lineage {
+            out.push_str("</taxon>");
+        }
+        out.push_str("</lineage></organism>");
+
+        // Reference blocks: nested author lists + venue.
+        for ref_no in 1..=rng.random_range(1..5) {
+            out.push_str("<reference>");
+            push_field(&mut out, "position", &ref_no.to_string());
+            out.push_str("<authors>");
+            for _ in 0..rng.random_range(1..7) {
+                push_field(&mut out, "person", &format!(
+                    "{} {}",
+                    FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())],
+                    SURNAMES[rng.random_range(0..SURNAMES.len())]
+                ));
+            }
+            out.push_str("</authors>");
+            // Journal pool biased by organism group.
+            let journal = JOURNALS[(organism_idx + rng.random_range(0..3)) % JOURNALS.len()];
+            out.push_str("<citation>");
+            push_field(&mut out, "journal", journal);
+            push_field(&mut out, "year", &rng.random_range(1975..2001).to_string());
+            push_field(&mut out, "volume", &rng.random_range(1..300).to_string());
+            out.push_str("</citation></reference>");
+        }
+
+        // Keywords biased by organism group: first from a group slice,
+        // rest global.
+        let kw_base = (organism_idx * 3) % KEYWORDS.len();
+        for k in 0..rng.random_range(1..6) {
+            let idx = if k == 0 { kw_base } else { rng.random_range(0..KEYWORDS.len()) };
+            push_field(&mut out, "keyword", KEYWORDS[idx]);
+        }
+
+        // Feature table.
+        for _ in 0..rng.random_range(0..7) {
+            out.push_str("<feature>");
+            let ft_idx = if rng.random_range(0..2) == 0 {
+                (organism_idx * 2) % FEATURE_TYPES.len()
+            } else {
+                rng.random_range(0..FEATURE_TYPES.len())
+            };
+            push_field(&mut out, "type", FEATURE_TYPES[ft_idx]);
+            let from = rng.random_range(1..900);
+            push_field(&mut out, "from", &from.to_string());
+            push_field(&mut out, "to", &(from + rng.random_range(1..80)).to_string());
+            out.push_str("</feature>");
+        }
+
+        // Sequence summary.
+        out.push_str("<sequence>");
+        let length = rng.random_range(80..1200);
+        push_field(&mut out, "length", &length.to_string());
+        push_field(&mut out, "weight", &(length * 110 + rng.random_range(0..1000)).to_string());
+        let mut fragment = String::with_capacity(30);
+        for _ in 0..30 {
+            fragment.push(AMINO[rng.random_range(0..AMINO.len())] as char);
+        }
+        push_field(&mut out, "fragment", &fragment);
+        out.push_str("</sequence></entry>");
+    }
+    out.push_str("</sprot>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_tree::DataTree;
+
+    #[test]
+    fn generates_parseable_xml() {
+        let cfg = SprotConfig { target_bytes: 150_000, seed: 2 };
+        let xml = generate_sprot(&cfg);
+        assert!(xml.len() >= 150_000);
+        let tree = DataTree::from_xml(&xml).expect("well-formed");
+        assert!(tree.element_count() > 1000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SprotConfig { target_bytes: 60_000, seed: 11 };
+        assert_eq!(generate_sprot(&cfg), generate_sprot(&cfg));
+    }
+
+    #[test]
+    fn more_labels_than_dblp() {
+        let sprot = DataTree::from_xml(&generate_sprot(&SprotConfig {
+            target_bytes: 150_000,
+            seed: 3,
+        }))
+        .unwrap();
+        let dblp = DataTree::from_xml(&crate::generate_dblp(&crate::DblpConfig {
+            target_bytes: 150_000,
+            seed: 3,
+            ..Default::default()
+        }))
+        .unwrap();
+        assert!(
+            sprot.interner().len() > dblp.interner().len() + 5,
+            "sprot {} vs dblp {}",
+            sprot.interner().len(),
+            dblp.interner().len()
+        );
+    }
+
+    #[test]
+    fn taxonomy_chains_are_nested() {
+        let tree = DataTree::from_xml(&generate_sprot(&SprotConfig {
+            target_bytes: 60_000,
+            seed: 4,
+        }))
+        .unwrap();
+        let taxon = tree.symbol("taxon").unwrap();
+        // Some taxon must contain another taxon (nesting).
+        let nested = tree.nodes_with_label(taxon).iter().any(|&t| {
+            tree.children(t).any(|c| tree.element_symbol(c) == Some(taxon))
+        });
+        assert!(nested, "lineage taxa are not nested");
+    }
+
+    #[test]
+    fn deeper_than_dblp() {
+        let tree = DataTree::from_xml(&generate_sprot(&SprotConfig {
+            target_bytes: 60_000,
+            seed: 5,
+        }))
+        .unwrap();
+        let mut max_depth = 0;
+        tree.for_each_root_to_leaf_path(|path| max_depth = max_depth.max(path.len()));
+        assert!(max_depth >= 9, "max depth {max_depth}");
+    }
+}

@@ -1,0 +1,302 @@
+//! Corpora, workloads with ground truth, and CST construction helpers.
+
+use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
+use twig_datagen::{
+    generate_dblp, generate_sprot, negative_query_candidates, positive_queries,
+    trivial_queries, DblpConfig, SprotConfig, WorkloadConfig,
+};
+use twig_exact::{count_occurrence, count_presence};
+use twig_pst::{build_suffix_trie, SuffixTrie, TrieConfig};
+use twig_tree::{DataTree, Twig};
+
+/// Experiment scale knobs, so the same experiments run as fast smoke
+/// tests and as full figure regenerations.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// DBLP-like corpus size in bytes.
+    pub dblp_bytes: usize,
+    /// SWISS-PROT-like corpus size in bytes.
+    pub sprot_bytes: usize,
+    /// Queries per workload (the paper uses 1000).
+    pub queries: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Signature length for CSTs.
+    pub signature_len: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self {
+            dblp_bytes: 8 << 20,
+            sprot_bytes: 4 << 20,
+            queries: 1000,
+            seed: 20010402, // ICDE 2001
+            signature_len: 32,
+        }
+    }
+}
+
+impl Scale {
+    /// A fast scale for unit tests and smoke runs.
+    pub fn small() -> Self {
+        Self {
+            dblp_bytes: 200 << 10,
+            sprot_bytes: 150 << 10,
+            queries: 60,
+            seed: 20010402,
+            signature_len: 32,
+        }
+    }
+
+    /// Reads scale knobs from the environment:
+    /// `TWIG_SCALE=small|full` (default full), then optional overrides
+    /// `TWIG_QUERIES`, `TWIG_DBLP_MB`, `TWIG_SPROT_MB`, `TWIG_SIG`.
+    pub fn from_env() -> Self {
+        let mut scale = match std::env::var("TWIG_SCALE").as_deref() {
+            Ok("small") => Self::small(),
+            _ => Self::default(),
+        };
+        if let Ok(queries) = std::env::var("TWIG_QUERIES") {
+            scale.queries = queries.parse().expect("TWIG_QUERIES must be a number");
+        }
+        if let Ok(mb) = std::env::var("TWIG_DBLP_MB") {
+            let mb: f64 = mb.parse().expect("TWIG_DBLP_MB must be a number");
+            scale.dblp_bytes = (mb * 1048576.0) as usize;
+        }
+        if let Ok(mb) = std::env::var("TWIG_SPROT_MB") {
+            let mb: f64 = mb.parse().expect("TWIG_SPROT_MB must be a number");
+            scale.sprot_bytes = (mb * 1048576.0) as usize;
+        }
+        if let Ok(sig) = std::env::var("TWIG_SIG") {
+            scale.signature_len = sig.parse().expect("TWIG_SIG must be a number");
+        }
+        scale
+    }
+}
+
+/// A corpus: the parsed data tree plus its full (unpruned) suffix trie,
+/// shared across all space budgets of an experiment.
+pub struct Corpus {
+    /// Display name ("dblp" / "sprot").
+    pub name: String,
+    /// The parsed data tree.
+    pub tree: DataTree,
+    /// The full suffix trie (prune with a budget to get a CST).
+    pub trie: SuffixTrie,
+}
+
+impl Corpus {
+    /// Generates and parses the DBLP-like corpus.
+    pub fn dblp(bytes: usize, seed: u64) -> Self {
+        let xml = generate_dblp(&DblpConfig { target_bytes: bytes, seed, ..DblpConfig::default() });
+        Self::from_xml("dblp", &xml)
+    }
+
+    /// Generates and parses the SWISS-PROT-like corpus.
+    pub fn sprot(bytes: usize, seed: u64) -> Self {
+        let xml = generate_sprot(&SprotConfig { target_bytes: bytes, seed });
+        Self::from_xml("sprot", &xml)
+    }
+
+    /// Parses an arbitrary XML corpus.
+    pub fn from_xml(name: &str, xml: &str) -> Self {
+        let tree = DataTree::from_xml(xml).expect("generated XML is well-formed");
+        let trie = build_suffix_trie(&tree, &TrieConfig::default());
+        Self { name: name.to_owned(), tree, trie }
+    }
+
+    /// Builds a signature-carrying CST at `fraction` of the corpus source
+    /// size.
+    pub fn cst(&self, fraction: f64, scale: &Scale) -> Cst {
+        self.cst_with(fraction, scale, true)
+    }
+
+    /// Builds both summaries for one space budget: the signature-free one
+    /// the correlation-less baselines use, and the signature-carrying one
+    /// for MOSH/PMOSH/MSH (each algorithm gets the same byte budget spent
+    /// on its own summary, as in the paper's figures).
+    pub fn cst_pair(&self, fraction: f64, scale: &Scale) -> CstPair {
+        CstPair {
+            plain: self.cst_with(fraction, scale, false),
+            sethash: self.cst_with(fraction, scale, true),
+        }
+    }
+
+    fn cst_with(&self, fraction: f64, scale: &Scale, with_signatures: bool) -> Cst {
+        let config = CstConfig {
+            budget: SpaceBudget::Fraction(fraction),
+            signature_len: scale.signature_len,
+            seed: scale.seed ^ 0x5E7_4A54,
+            with_signatures,
+            ..CstConfig::default()
+        };
+        Cst::from_trie(&self.tree, &self.trie, &config)
+    }
+}
+
+/// The two summaries built for one space budget.
+pub struct CstPair {
+    /// Signature-free summary (Leaf, Greedy, pure MO).
+    pub plain: Cst,
+    /// Signature-carrying summary (MOSH, PMOSH, MSH).
+    pub sethash: Cst,
+}
+
+impl CstPair {
+    /// The summary `algorithm` runs against.
+    pub fn for_algorithm(&self, algorithm: Algorithm) -> &Cst {
+        if algorithm.uses_signatures() {
+            &self.sethash
+        } else {
+            &self.plain
+        }
+    }
+}
+
+/// A query workload with exact ground-truth counts.
+pub struct Workload {
+    /// The queries.
+    pub queries: Vec<Twig>,
+    /// Exact occurrence counts (the multiset problem's ground truth).
+    pub truths: Vec<u64>,
+}
+
+impl Workload {
+    /// Positive non-trivial queries with occurrence ground truths
+    /// (queries whose exact occurrence count is 0 — possible when value
+    /// prefixes collapse — are resampled away by filtering).
+    pub fn positive(corpus: &Corpus, scale: &Scale) -> Self {
+        let cfg = WorkloadConfig {
+            count: scale.queries + scale.queries / 5,
+            seed: scale.seed,
+            ..WorkloadConfig::default()
+        };
+        let mut queries = positive_queries(&corpus.tree, &cfg);
+        let mut truths: Vec<u64> = Vec::with_capacity(queries.len());
+        let mut kept: Vec<Twig> = Vec::with_capacity(scale.queries);
+        for twig in queries.drain(..) {
+            if kept.len() == scale.queries {
+                break;
+            }
+            let truth = count_occurrence(&corpus.tree, &twig);
+            if truth > 0 {
+                kept.push(twig);
+                truths.push(truth);
+            }
+        }
+        assert!(
+            kept.len() >= scale.queries * 9 / 10,
+            "too few positive queries survived: {}",
+            kept.len()
+        );
+        Self { queries: kept, truths }
+    }
+
+    /// Trivial (single-path) queries with occurrence ground truths.
+    pub fn trivial(corpus: &Corpus, scale: &Scale) -> Self {
+        let cfg = WorkloadConfig {
+            count: scale.queries,
+            seed: scale.seed.wrapping_add(1),
+            ..WorkloadConfig::default()
+        };
+        let queries = trivial_queries(&corpus.tree, &cfg);
+        let truths = queries
+            .iter()
+            .map(|twig| count_occurrence(&corpus.tree, twig))
+            .collect();
+        Self { queries, truths }
+    }
+
+    /// Negative queries: glued candidates filtered to exact count 0.
+    pub fn negative(corpus: &Corpus, scale: &Scale) -> Self {
+        let cfg = WorkloadConfig {
+            count: scale.queries * 3,
+            seed: scale.seed.wrapping_add(2),
+            ..WorkloadConfig::default()
+        };
+        let candidates = negative_query_candidates(&corpus.tree, &cfg);
+        let queries: Vec<Twig> = candidates
+            .into_iter()
+            .filter(|twig| count_presence(&corpus.tree, twig) == 0)
+            .take(scale.queries)
+            .collect();
+        assert!(
+            queries.len() >= scale.queries / 2,
+            "too few negative queries: {}",
+            queries.len()
+        );
+        let truths = vec![0u64; queries.len()];
+        Self { queries, truths }
+    }
+
+    /// Runs one algorithm over the whole workload against one summary.
+    pub fn estimate_all(&self, cst: &Cst, algorithm: Algorithm) -> Vec<f64> {
+        self.queries
+            .iter()
+            .map(|twig| cst.estimate(twig, algorithm, CountKind::Occurrence))
+            .collect()
+    }
+
+    /// Runs one algorithm against its appropriate summary in a pair.
+    pub fn estimate_pair(&self, pair: &CstPair, algorithm: Algorithm) -> Vec<f64> {
+        self.estimate_all(pair.for_algorithm(algorithm), algorithm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale { dblp_bytes: 120 << 10, queries: 20, ..Scale::small() }
+    }
+
+    #[test]
+    fn corpus_builds_with_trie() {
+        let scale = tiny_scale();
+        let corpus = Corpus::dblp(scale.dblp_bytes, scale.seed);
+        assert!(corpus.tree.element_count() > 500);
+        assert!(corpus.trie.node_count() > 1000);
+    }
+
+    #[test]
+    fn cst_fraction_budgets_scale() {
+        let scale = tiny_scale();
+        let corpus = Corpus::dblp(scale.dblp_bytes, scale.seed);
+        let small = corpus.cst(0.005, &scale);
+        let large = corpus.cst(0.05, &scale);
+        assert!(small.node_count() < large.node_count());
+        assert!(small.size_bytes() <= (corpus.tree.source_bytes() as f64 * 0.005) as usize);
+    }
+
+    #[test]
+    fn positive_workload_has_truths() {
+        let scale = tiny_scale();
+        let corpus = Corpus::dblp(scale.dblp_bytes, scale.seed);
+        let workload = Workload::positive(&corpus, &scale);
+        assert_eq!(workload.queries.len(), workload.truths.len());
+        assert!(workload.truths.iter().all(|&t| t > 0));
+    }
+
+    #[test]
+    fn negative_workload_all_zero() {
+        let scale = tiny_scale();
+        let corpus = Corpus::dblp(scale.dblp_bytes, scale.seed);
+        let workload = Workload::negative(&corpus, &scale);
+        for twig in &workload.queries {
+            assert_eq!(count_presence(&corpus.tree, twig), 0, "{twig}");
+        }
+    }
+
+    #[test]
+    fn estimates_cover_workload() {
+        let scale = tiny_scale();
+        let corpus = Corpus::dblp(scale.dblp_bytes, scale.seed);
+        let workload = Workload::positive(&corpus, &scale);
+        let cst = corpus.cst(0.05, &scale);
+        let estimates = workload.estimate_all(&cst, Algorithm::Mosh);
+        assert_eq!(estimates.len(), workload.queries.len());
+        assert!(estimates.iter().all(|e| e.is_finite() && *e >= 0.0));
+    }
+}

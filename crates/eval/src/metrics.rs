@@ -1,0 +1,205 @@
+//! The paper's error metrics (Sec. 6.1).
+
+/// Floor applied to the estimate in the denominator of the relative
+/// squared error: parse failures estimate exactly 0 and the paper's
+/// metric divides by the estimate. 0.01 keeps such queries severely
+/// penalized (as the paper's near-zero products are) without producing
+/// infinities.
+pub const ESTIMATE_FLOOR: f64 = 0.01;
+
+/// Average relative error: `mean(|c - ĉ| / c)` over positive queries.
+///
+/// # Panics
+/// Panics if lengths differ or some true count is 0.
+pub fn avg_relative_error(truths: &[u64], estimates: &[f64]) -> f64 {
+    assert_eq!(truths.len(), estimates.len());
+    assert!(!truths.is_empty(), "empty workload");
+    truths
+        .iter()
+        .zip(estimates)
+        .map(|(&c, &e)| {
+            assert!(c > 0, "relative error needs positive true counts");
+            (c as f64 - e).abs() / c as f64
+        })
+        .sum::<f64>()
+        / truths.len() as f64
+}
+
+/// Average relative squared error: `mean((c - ĉ)² / ĉ)` — the paper's
+/// primary metric; dividing by the *estimate* makes severe
+/// underestimation visible (their worked example in Sec. 6.1).
+pub fn avg_relative_squared_error(truths: &[u64], estimates: &[f64]) -> f64 {
+    assert_eq!(truths.len(), estimates.len());
+    assert!(!truths.is_empty(), "empty workload");
+    truths
+        .iter()
+        .zip(estimates)
+        .map(|(&c, &e)| {
+            let diff = c as f64 - e;
+            diff * diff / e.max(ESTIMATE_FLOOR)
+        })
+        .sum::<f64>()
+        / truths.len() as f64
+}
+
+/// Root mean squared error: `sqrt(mean((c - ĉ)²))` — used for negative
+/// queries where relative metrics are undefined (c = 0).
+pub fn rmse(truths: &[u64], estimates: &[f64]) -> f64 {
+    assert_eq!(truths.len(), estimates.len());
+    assert!(!truths.is_empty(), "empty workload");
+    let mean_sq = truths
+        .iter()
+        .zip(estimates)
+        .map(|(&c, &e)| {
+            let diff = c as f64 - e;
+            diff * diff
+        })
+        .sum::<f64>()
+        / truths.len() as f64;
+    mean_sq.sqrt()
+}
+
+/// The Fig. 5(a) histogram: fraction of queries whose `estimate / real`
+/// ratio falls into each bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RatioBuckets {
+    /// ratio < 0.1 (underestimated by more than 10×)
+    pub lt_0_1: f64,
+    /// 0.1 ≤ ratio < 0.5
+    pub lt_0_5: f64,
+    /// 0.5 ≤ ratio < 1
+    pub lt_1: f64,
+    /// 1 ≤ ratio < 1.5
+    pub lt_1_5: f64,
+    /// 1.5 ≤ ratio < 10
+    pub lt_10: f64,
+    /// ratio ≥ 10 (overestimated by 10× or more)
+    pub ge_10: f64,
+}
+
+impl RatioBuckets {
+    /// Bucket labels in the paper's Figure 5(a) order.
+    pub const LABELS: [&'static str; 6] = ["<0.1", "<0.5", "<1", "<1.5", "<10", ">=10"];
+
+    /// Buckets as an array in label order (percent values 0–100).
+    pub fn as_percentages(&self) -> [f64; 6] {
+        [
+            self.lt_0_1 * 100.0,
+            self.lt_0_5 * 100.0,
+            self.lt_1 * 100.0,
+            self.lt_1_5 * 100.0,
+            self.lt_10 * 100.0,
+            self.ge_10 * 100.0,
+        ]
+    }
+}
+
+/// Computes the ratio distribution over a positive workload.
+pub fn ratio_buckets(truths: &[u64], estimates: &[f64]) -> RatioBuckets {
+    assert_eq!(truths.len(), estimates.len());
+    assert!(!truths.is_empty(), "empty workload");
+    let mut buckets = RatioBuckets::default();
+    for (&c, &e) in truths.iter().zip(estimates) {
+        assert!(c > 0, "ratio buckets need positive true counts");
+        let ratio = e / c as f64;
+        let slot = if ratio < 0.1 {
+            &mut buckets.lt_0_1
+        } else if ratio < 0.5 {
+            &mut buckets.lt_0_5
+        } else if ratio < 1.0 {
+            &mut buckets.lt_1
+        } else if ratio < 1.5 {
+            &mut buckets.lt_1_5
+        } else if ratio < 10.0 {
+            &mut buckets.lt_10
+        } else {
+            &mut buckets.ge_10
+        };
+        *slot += 1.0;
+    }
+    let n = truths.len() as f64;
+    buckets.lt_0_1 /= n;
+    buckets.lt_0_5 /= n;
+    buckets.lt_1 /= n;
+    buckets.lt_1_5 /= n;
+    buckets.lt_10 /= n;
+    buckets.ge_10 /= n;
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimates_have_zero_error() {
+        let truths = [10, 20, 30];
+        let estimates = [10.0, 20.0, 30.0];
+        assert_eq!(avg_relative_error(&truths, &estimates), 0.0);
+        assert_eq!(avg_relative_squared_error(&truths, &estimates), 0.0);
+        assert_eq!(rmse(&truths, &estimates), 0.0);
+    }
+
+    #[test]
+    fn relative_error_basic() {
+        // |10-5|/10 = 0.5, |100-150|/100 = 0.5 → mean 0.5
+        assert_eq!(avg_relative_error(&[10, 100], &[5.0, 150.0]), 0.5);
+    }
+
+    #[test]
+    fn squared_error_matches_paper_example() {
+        // The Sec 6.1 worked example: algorithm A estimates 5000 for a
+        // true 10000 and 50 for a true 100: errors 5000 and 50 — the
+        // estimate for Q1 is "more erroneous".
+        let e1 = avg_relative_squared_error(&[10_000], &[5_000.0]);
+        let e2 = avg_relative_squared_error(&[100], &[50.0]);
+        assert_eq!(e1, 5_000.0);
+        assert_eq!(e2, 50.0);
+        assert!(e1 > e2);
+        // Algorithm B: 9950 and 50 — now Q2 is more erroneous.
+        let b1 = avg_relative_squared_error(&[10_000], &[9_950.0]);
+        assert!((b1 - 2500.0 / 9950.0).abs() < 1e-9);
+        assert!(b1 < e2);
+    }
+
+    #[test]
+    fn zero_estimates_heavily_penalized_not_infinite() {
+        let err = avg_relative_squared_error(&[100], &[0.0]);
+        assert!(err.is_finite());
+        assert!(err >= 100.0 * 100.0 / ESTIMATE_FLOOR * 0.99);
+    }
+
+    #[test]
+    fn rmse_for_negative_queries() {
+        // truths all zero; estimates 3,4 → sqrt((9+16)/2)
+        let err = rmse(&[0, 0], &[3.0, 4.0]);
+        assert!((err - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_buckets_partition() {
+        let truths = [100, 100, 100, 100, 100, 100];
+        let estimates = [5.0, 30.0, 80.0, 120.0, 500.0, 5000.0];
+        let buckets = ratio_buckets(&truths, &estimates);
+        let percentages = buckets.as_percentages();
+        for p in percentages {
+            assert!((p - 100.0 / 6.0).abs() < 1e-9);
+        }
+        assert!((percentages.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_bucket_boundaries() {
+        let buckets = ratio_buckets(&[10, 10, 10], &[1.0, 10.0, 15.0]);
+        // 0.1 goes to <0.5 (left-inclusive), 1.0 to <1.5, 1.5 to <10.
+        assert_eq!(buckets.lt_0_5, 1.0 / 3.0);
+        assert_eq!(buckets.lt_1_5, 1.0 / 3.0);
+        assert_eq!(buckets.lt_10, 1.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_workload_rejected() {
+        let _ = avg_relative_error(&[], &[]);
+    }
+}

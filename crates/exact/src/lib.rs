@@ -1,0 +1,30 @@
+//! Exact twig match counting — the ground truth the estimators are
+//! measured against.
+//!
+//! Implements the paper's match definitions directly:
+//!
+//! - **Presence** (Definition 2): the number of distinct data nodes at
+//!   which the twig is rooted by at least one 1-1 (sibling-injective)
+//!   mapping.
+//! - **Occurrence** (Definition 3): the total number of such mappings.
+//!   In the set version of the problem (no duplicate sibling labels) the
+//!   two coincide; they differ exactly on multiset data like DBLP's
+//!   repeated `author` children.
+//!
+//! Matching is *unordered* in the base problem; the [`ordered`] module
+//! implements the ordered variant from the paper's future-work section
+//! (query siblings must map to data siblings in document order). Wildcard
+//! (`*`) query nodes — the other future-work extension — are handled
+//! inline: a `*` matches a downward chain of one or more elements.
+//!
+//! The occurrence count at a node is the [permanent](perm) of the matrix
+//! `M[i][j] = count(query_child_i, data_child_j)`; query fan-out is tiny
+//! (≤ 5 in the paper's workloads) so the `O(m·2^k)` subset DP is cheap.
+//! Counts saturate at `u64::MAX` rather than overflow.
+
+pub mod count;
+pub mod ordered;
+pub mod perm;
+
+pub use count::{count_occurrence, count_presence, ExactCounter};
+pub use ordered::{count_occurrence_ordered, count_presence_ordered};

@@ -1,0 +1,165 @@
+//! Permanents of small match-count matrices.
+//!
+//! The number of sibling-injective mappings of `k` query children onto `m`
+//! data children, where pair `(i, j)` contributes `M[i][j]` sub-mappings,
+//! is the permanent of the `k × m` matrix (summed over all injective
+//! column choices). Query fan-out `k` is small, so a subset DP over query
+//! children — `O(m · 2^k · k)` — is exact and fast.
+
+/// Computes the injective-assignment permanent of a `k × m` matrix given
+/// as `rows[i][j]`, saturating at `u64::MAX`.
+///
+/// Rows are query children, columns data children; every row must be
+/// assigned a distinct column. Returns 1 for zero rows (the empty
+/// mapping) and 0 when `k > m`.
+#[allow(clippy::needless_range_loop)] // column-major access over `rows[i][j]`
+pub fn permanent(rows: &[Vec<u64>]) -> u64 {
+    let k = rows.len();
+    if k == 0 {
+        return 1;
+    }
+    let m = rows[0].len();
+    if k > m {
+        return 0;
+    }
+    assert!(k <= 20, "query fan-out too large for subset DP");
+    let full: u32 = (1u32 << k) - 1;
+    // f[mask] = number of ways to assign the rows in `mask` to the data
+    // children processed so far.
+    let mut f = vec![0u64; 1 << k];
+    f[0] = 1;
+    for j in 0..m {
+        // Iterate masks descending so each column is used at most once.
+        for mask in (0..=full).rev() {
+            if f[mask as usize] == 0 {
+                continue;
+            }
+            for i in 0..k {
+                if mask & (1 << i) == 0 {
+                    let contribution = rows[i][j];
+                    if contribution == 0 {
+                        continue;
+                    }
+                    let target = (mask | (1 << i)) as usize;
+                    let add = f[mask as usize].saturating_mul(contribution);
+                    f[target] = f[target].saturating_add(add);
+                }
+            }
+        }
+    }
+    f[full as usize]
+}
+
+/// Ordered variant: rows must map to strictly increasing column indices
+/// (document order). Standard sequence-alignment DP, `O(k · m)`.
+#[allow(clippy::needless_range_loop)] // column-major access over `rows[i][j]`
+pub fn ordered_permanent(rows: &[Vec<u64>]) -> u64 {
+    let k = rows.len();
+    if k == 0 {
+        return 1;
+    }
+    let m = rows[0].len();
+    if k > m {
+        return 0;
+    }
+    // g[i] = ways to map the first i rows into the columns seen so far,
+    // in order. Iterate columns, updating i descending.
+    let mut g = vec![0u64; k + 1];
+    g[0] = 1;
+    for j in 0..m {
+        for i in (0..k).rev() {
+            let contribution = rows[i][j];
+            if contribution != 0 && g[i] != 0 {
+                let add = g[i].saturating_mul(contribution);
+                g[i + 1] = g[i + 1].saturating_add(add);
+            }
+        }
+    }
+    g[k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_rows_is_one() {
+        assert_eq!(permanent(&[]), 1);
+        assert_eq!(ordered_permanent(&[]), 1);
+    }
+
+    #[test]
+    fn more_rows_than_columns_is_zero() {
+        let rows = vec![vec![1, 1], vec![1, 1], vec![1, 1]];
+        assert_eq!(permanent(&rows), 0);
+        assert_eq!(ordered_permanent(&rows), 0);
+    }
+
+    #[test]
+    fn single_row_sums_entries() {
+        assert_eq!(permanent(&[vec![2, 3, 5]]), 10);
+        assert_eq!(ordered_permanent(&[vec![2, 3, 5]]), 10);
+    }
+
+    #[test]
+    fn two_by_two_permanent() {
+        // perm [[a,b],[c,d]] = ad + bc = 1*4 + 2*3 = 10
+        assert_eq!(permanent(&[vec![1, 2], vec![3, 4]]), 10);
+    }
+
+    #[test]
+    fn ordered_two_by_two() {
+        // Ordered: row0 → col0, row1 → col1 only = 1*4 = 4
+        assert_eq!(ordered_permanent(&[vec![1, 2], vec![3, 4]]), 4);
+    }
+
+    #[test]
+    fn all_ones_counts_injections() {
+        // k=3 rows into m=5 columns, all weights 1: P(5,3) = 60 unordered,
+        // C(5,3) = 10 ordered.
+        let rows = vec![vec![1; 5]; 3];
+        assert_eq!(permanent(&rows), 60);
+        assert_eq!(ordered_permanent(&rows), 10);
+    }
+
+    #[test]
+    fn zero_entries_block_assignments() {
+        // Row 0 can only take column 0; row 1 only column 0 → impossible.
+        let rows = vec![vec![1, 0], vec![1, 0]];
+        assert_eq!(permanent(&rows), 0);
+    }
+
+    #[test]
+    fn brute_force_cross_check() {
+        // Compare against explicit enumeration for a 3x4 matrix.
+        let rows = vec![vec![1, 2, 0, 1], vec![0, 1, 3, 1], vec![2, 0, 1, 2]];
+        let mut expected: u64 = 0;
+        for c0 in 0..4 {
+            for c1 in 0..4 {
+                for c2 in 0..4 {
+                    if c0 != c1 && c0 != c2 && c1 != c2 {
+                        expected += rows[0][c0] * rows[1][c1] * rows[2][c2];
+                    }
+                }
+            }
+        }
+        assert_eq!(permanent(&rows), expected);
+
+        let mut expected_ordered: u64 = 0;
+        for c0 in 0..4 {
+            for c1 in (c0 + 1)..4 {
+                for c2 in (c1 + 1)..4 {
+                    expected_ordered += rows[0][c0] * rows[1][c1] * rows[2][c2];
+                }
+            }
+        }
+        assert_eq!(ordered_permanent(&rows), expected_ordered);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let rows = vec![vec![u64::MAX, u64::MAX], vec![u64::MAX, u64::MAX]];
+        assert_eq!(permanent(&rows), u64::MAX);
+        assert_eq!(ordered_permanent(&rows), u64::MAX);
+    }
+}

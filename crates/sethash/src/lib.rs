@@ -1,0 +1,476 @@
+//! Set hashing (min-hash signatures) for twig selectivity estimation.
+//!
+//! Implements the signature scheme of Sec. 3.4–3.6 of the paper, following
+//! the method of Chen et al. (PODS 2000) which the paper adopts:
+//!
+//! - a family of `L` independently seeded linear hash functions
+//!   ([`HashFamily`]), each mapping `u64` element ids into the full 64-bit
+//!   range ("significantly larger than the domain" to keep collisions
+//!   negligible),
+//! - a [`Signature`] per set: component `i` stores the minimum `h_i(x)`
+//!   over the set's elements,
+//! - **k-way resemblance** `ρ = |S₁ ∩ … ∩ S_k| / |S₁ ∪ … ∪ S_k|`,
+//!   estimated as the fraction of components on which all `k` signatures
+//!   agree,
+//! - the **intersection-size estimator** ([`estimate_intersection`]): with
+//!   the union signature (componentwise min) and the exact size of the
+//!   largest set `S_m` (which the CST stores as the presence count),
+//!   `|∩| ≈ ρ · |S_m| / F` where `F` estimates `|S_m| / |∪|` as the
+//!   fraction of components where `S_m`'s signature equals the union
+//!   signature.
+//!
+//! Signatures are generic over the component width. Full [`Signature<u64>`]
+//! values are built during summary construction; [`Signature::truncate`]
+//! keeps only the top 32 bits per component for storage
+//! ([`CompactSignature`]), halving the space per CST node. Truncation is a
+//! monotone map, so componentwise minima (unions) still commute, and a
+//! spurious component match requires two distinct minima agreeing on their
+//! top 32 bits — negligible against the `O(1/√L)` sampling noise.
+//!
+//! Signatures are only comparable when produced by the same [`HashFamily`]
+//! (same seed, same length); [`HashFamily::seed`] exposes the seed so
+//! summaries can record it.
+
+use twig_util::SplitMix64;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u64 {}
+    impl Sealed for u32 {}
+}
+
+/// A signature component type: `u64` for freshly built signatures, `u32`
+/// for truncated stored ones.
+pub trait Component: Copy + Ord + Eq + std::fmt::Debug + sealed::Sealed {
+    /// The value stored for the empty set (no minimum observed).
+    const EMPTY: Self;
+}
+
+impl Component for u64 {
+    const EMPTY: Self = u64::MAX;
+}
+
+impl Component for u32 {
+    const EMPTY: Self = u32::MAX;
+}
+
+/// A family of `L` independent linear hash functions over `u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashFamily {
+    mults: Vec<u64>,
+    adds: Vec<u64>,
+    seed: u64,
+}
+
+impl HashFamily {
+    /// Creates a family of `len` hash functions from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `len` is 0.
+    pub fn new(len: usize, seed: u64) -> Self {
+        assert!(len > 0, "signature length must be positive");
+        let mut rng = SplitMix64::new(seed);
+        let mults = (0..len).map(|_| rng.next_odd_u64()).collect();
+        let adds = (0..len).map(|_| rng.next_u64()).collect();
+        Self { mults, adds, seed }
+    }
+
+    /// Number of hash functions (= signature length).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mults.len()
+    }
+
+    /// True when the family is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.mults.is_empty()
+    }
+
+    /// The seed this family was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Applies hash function `i` to `element`.
+    ///
+    /// A wrapping multiply-add followed by a xor-shift finalizer: the
+    /// finalizer makes the *minimum* over a set behave like a uniform
+    /// order statistic, which plain linear congruences do not.
+    #[inline]
+    pub fn hash(&self, i: usize, element: u64) -> u64 {
+        let mut x = element
+            .wrapping_mul(self.mults[i])
+            .wrapping_add(self.adds[i]);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x
+    }
+}
+
+/// Storage-friendly signature with 32-bit components.
+pub type CompactSignature = Signature<u32>;
+
+/// A min-hash signature of a set of `u64` element ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature<C: Component = u64> {
+    components: Vec<C>,
+}
+
+impl Signature<u64> {
+    /// Builds a signature from an iterator of elements.
+    pub fn build(family: &HashFamily, elements: impl IntoIterator<Item = u64>) -> Self {
+        let mut sig = Self::empty(family.len());
+        for element in elements {
+            sig.insert(family, element);
+        }
+        sig
+    }
+
+    /// Folds one element into the signature.
+    #[inline]
+    pub fn insert(&mut self, family: &HashFamily, element: u64) {
+        debug_assert_eq!(self.components.len(), family.len());
+        for (i, comp) in self.components.iter_mut().enumerate() {
+            let h = family.hash(i, element);
+            if h < *comp {
+                *comp = h;
+            }
+        }
+    }
+
+    /// Truncates each component to its top 32 bits for storage.
+    ///
+    /// The map is monotone, so minima (and hence union signatures) are
+    /// preserved; `EMPTY` maps to `EMPTY`.
+    pub fn truncate(&self) -> CompactSignature {
+        Signature { components: self.components.iter().map(|&c| (c >> 32) as u32).collect() }
+    }
+}
+
+impl<C: Component> Signature<C> {
+    /// The signature of the empty set, of length `len`.
+    pub fn empty(len: usize) -> Self {
+        Self { components: vec![C::EMPTY; len] }
+    }
+
+    /// Rebuilds a signature from stored components (inverse of
+    /// [`Signature::components`]).
+    pub fn from_components(components: Vec<C>) -> Self {
+        Self { components }
+    }
+
+    /// Signature length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the signature has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// True when no element was ever inserted.
+    pub fn is_empty_set(&self) -> bool {
+        self.components.iter().all(|&c| c == C::EMPTY)
+    }
+
+    /// The union signature: componentwise minimum (Step 2 of the paper's
+    /// estimation procedure). Signatures must have equal length.
+    pub fn union(signatures: &[&Signature<C>]) -> Signature<C> {
+        assert!(!signatures.is_empty(), "union of no signatures");
+        let len = signatures[0].len();
+        let mut out = Signature::empty(len);
+        for sig in signatures {
+            assert_eq!(sig.len(), len, "signature length mismatch");
+            for (o, &c) in out.components.iter_mut().zip(&sig.components) {
+                if c < *o {
+                    *o = c;
+                }
+            }
+        }
+        out
+    }
+
+    /// Estimated k-way resemblance `|∩|/|∪|`: the fraction of components
+    /// on which all signatures agree (Step 1 / "set resemblance
+    /// estimation" in the paper). Zero if any set is empty.
+    pub fn resemblance(signatures: &[&Signature<C>]) -> f64 {
+        assert!(!signatures.is_empty(), "resemblance of no signatures");
+        let len = signatures[0].len();
+        if signatures.iter().any(|s| s.is_empty_set()) {
+            // An empty set makes the intersection empty; resemblance 0
+            // (the 0/0 all-empty case is also defined as 0: there is
+            // nothing to count).
+            return 0.0;
+        }
+        let mut matching = 0usize;
+        'component: for i in 0..len {
+            let first = signatures[0].components[i];
+            for sig in &signatures[1..] {
+                assert_eq!(sig.len(), len, "signature length mismatch");
+                if sig.components[i] != first {
+                    continue 'component;
+                }
+            }
+            matching += 1;
+        }
+        matching as f64 / len as f64
+    }
+
+    /// Raw component access (for serialization and size accounting).
+    pub fn components(&self) -> &[C] {
+        &self.components
+    }
+}
+
+/// Estimates `|S₁ ∪ … ∪ S_k|` from signatures plus exact sizes: the
+/// largest set's size divided by its resemblance with the union signature
+/// (Step 3 of Sec. 3.6). Returns 0 for all-empty input and falls back to
+/// the sum of sizes when the resemblance estimate degenerates to 0.
+pub fn estimate_union_size<C: Component>(sets: &[(&Signature<C>, u64)]) -> f64 {
+    assert!(!sets.is_empty(), "union of no sets");
+    let nonempty: Vec<&(&Signature<C>, u64)> =
+        sets.iter().filter(|&&(sig, size)| size > 0 && !sig.is_empty_set()).collect();
+    if nonempty.is_empty() {
+        return 0.0;
+    }
+    let signatures: Vec<&Signature<C>> = nonempty.iter().map(|&&(sig, _)| sig).collect();
+    let union_sig = Signature::union(&signatures);
+    let &&(largest_sig, largest_size) =
+        nonempty.iter().max_by_key(|&&&(_, size)| size).expect("non-empty");
+    let f = Signature::resemblance(&[largest_sig, &union_sig]);
+    if f == 0.0 {
+        return nonempty.iter().map(|&&(_, size)| size as f64).sum();
+    }
+    largest_size as f64 / f
+}
+
+/// Estimates `|S₁ ∩ … ∩ S_k|` from signatures plus exact set sizes
+/// (Steps 1–4 of Sec. 3.6).
+///
+/// `sets` pairs each signature with the exact cardinality of its set (the
+/// CST keeps presence counts, so sizes are known exactly). Returns 0.0
+/// when any set is empty. The estimate is clamped to `[0, min(sizes)]` —
+/// the intersection can never exceed the smallest set.
+pub fn estimate_intersection<C: Component>(sets: &[(&Signature<C>, u64)]) -> f64 {
+    assert!(!sets.is_empty(), "intersection of no sets");
+    if sets.iter().any(|&(sig, size)| size == 0 || sig.is_empty_set()) {
+        return 0.0;
+    }
+    let min_size = sets.iter().map(|&(_, size)| size).min().expect("non-empty") as f64;
+    if sets.len() == 1 {
+        return sets[0].1 as f64;
+    }
+    let signatures: Vec<&Signature<C>> = sets.iter().map(|&(sig, _)| sig).collect();
+    let rho = Signature::resemblance(&signatures);
+    if rho == 0.0 {
+        return 0.0;
+    }
+    // Largest set gives the most accurate |union| recovery (paper, fn. 6).
+    let &(largest_sig, largest_size) =
+        sets.iter().max_by_key(|&&(_, size)| size).expect("non-empty");
+    let union_sig = Signature::union(&signatures);
+    let f = Signature::resemblance(&[largest_sig, &union_sig]);
+    if f == 0.0 {
+        // Degenerate: the largest set's signature shares nothing with the
+        // union signature (cannot happen exactly — S_m ⊆ ∪ — but the
+        // estimator can produce it at tiny signature lengths). Fall back
+        // to resemblance times the largest size, a lower bound on ρ·|∪|.
+        return (rho * largest_size as f64).min(min_size);
+    }
+    let union_size = largest_size as f64 / f;
+    (rho * union_size).min(min_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family(len: usize) -> HashFamily {
+        HashFamily::new(len, 0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn identical_sets_have_resemblance_one() {
+        let fam = family(64);
+        let a = Signature::build(&fam, 0..100);
+        let b = Signature::build(&fam, 0..100);
+        assert_eq!(Signature::resemblance(&[&a, &b]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_low_resemblance() {
+        let fam = family(128);
+        let a = Signature::build(&fam, 0..200);
+        let b = Signature::build(&fam, 1000..1200);
+        assert!(Signature::resemblance(&[&a, &b]) < 0.05);
+    }
+
+    #[test]
+    fn resemblance_tracks_overlap() {
+        // |A∩B| = 50, |A∪B| = 150 → ρ = 1/3.
+        let fam = family(512);
+        let a = Signature::build(&fam, 0..100);
+        let b = Signature::build(&fam, 50..150);
+        let rho = Signature::resemblance(&[&a, &b]);
+        assert!((rho - 1.0 / 3.0).abs() < 0.08, "rho = {rho}");
+    }
+
+    #[test]
+    fn three_way_resemblance() {
+        // A=0..100, B=50..150, C=75..175: ∩ = 75..100 (25), ∪ = 175.
+        let fam = family(512);
+        let a = Signature::build(&fam, 0..100);
+        let b = Signature::build(&fam, 50..150);
+        let c = Signature::build(&fam, 75..175);
+        let rho = Signature::resemblance(&[&a, &b, &c]);
+        assert!((rho - 25.0 / 175.0).abs() < 0.06, "rho = {rho}");
+    }
+
+    #[test]
+    fn union_signature_equals_signature_of_union() {
+        let fam = family(64);
+        let a = Signature::build(&fam, 0..50);
+        let b = Signature::build(&fam, 30..90);
+        let direct = Signature::build(&fam, 0..90);
+        assert_eq!(Signature::union(&[&a, &b]), direct);
+    }
+
+    #[test]
+    fn truncation_commutes_with_union() {
+        let fam = family(64);
+        let a = Signature::build(&fam, 0..50);
+        let b = Signature::build(&fam, 30..90);
+        let union_then_truncate = Signature::union(&[&a, &b]).truncate();
+        let truncate_then_union = Signature::union(&[&a.truncate(), &b.truncate()]);
+        assert_eq!(union_then_truncate, truncate_then_union);
+    }
+
+    #[test]
+    fn truncated_resemblance_close_to_full() {
+        let fam = family(256);
+        let a = Signature::build(&fam, 0..100);
+        let b = Signature::build(&fam, 50..150);
+        let full = Signature::resemblance(&[&a, &b]);
+        let compact = Signature::resemblance(&[&a.truncate(), &b.truncate()]);
+        assert!((full - compact).abs() < 0.02, "full {full} vs compact {compact}");
+    }
+
+    #[test]
+    fn truncated_empty_stays_empty() {
+        let sig = Signature::<u64>::empty(8);
+        assert!(sig.truncate().is_empty_set());
+    }
+
+    #[test]
+    fn intersection_estimate_two_way() {
+        let fam = family(512);
+        let a = Signature::build(&fam, 0..1000);
+        let b = Signature::build(&fam, 500..1500);
+        let est = estimate_intersection(&[(&a, 1000), (&b, 1000)]);
+        assert!((est - 500.0).abs() < 150.0, "est = {est}");
+    }
+
+    #[test]
+    fn intersection_estimate_compact_matches_full() {
+        let fam = family(512);
+        let a = Signature::build(&fam, 0..1000);
+        let b = Signature::build(&fam, 500..1500);
+        let full = estimate_intersection(&[(&a, 1000), (&b, 1000)]);
+        let compact = estimate_intersection(&[(&a.truncate(), 1000), (&b.truncate(), 1000)]);
+        assert!((full - compact).abs() < 50.0, "full {full} vs compact {compact}");
+    }
+
+    #[test]
+    fn intersection_estimate_three_way() {
+        let fam = family(512);
+        let a = Signature::build(&fam, 0..600);
+        let b = Signature::build(&fam, 200..800);
+        let c = Signature::build(&fam, 400..1000);
+        // ∩ = 400..600 = 200
+        let est = estimate_intersection(&[(&a, 600), (&b, 600), (&c, 600)]);
+        assert!((est - 200.0).abs() < 100.0, "est = {est}");
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_near_zero() {
+        let fam = family(256);
+        let a = Signature::build(&fam, 0..500);
+        let b = Signature::build(&fam, 10_000..10_500);
+        let est = estimate_intersection(&[(&a, 500), (&b, 500)]);
+        assert!(est < 30.0, "est = {est}");
+    }
+
+    #[test]
+    fn intersection_with_empty_set_is_zero() {
+        let fam = family(64);
+        let a = Signature::build(&fam, 0..10);
+        let empty = Signature::empty(64);
+        assert_eq!(estimate_intersection(&[(&a, 10), (&empty, 0)]), 0.0);
+    }
+
+    #[test]
+    fn intersection_single_set_returns_size() {
+        let fam = family(64);
+        let a = Signature::build(&fam, 0..10);
+        assert_eq!(estimate_intersection(&[(&a, 10)]), 10.0);
+    }
+
+    #[test]
+    fn intersection_clamped_to_smallest_set() {
+        let fam = family(32); // tiny signature → noisy estimate
+        let a = Signature::build(&fam, 0..5);
+        let b = Signature::build(&fam, 0..1_000);
+        let est = estimate_intersection(&[(&a, 5), (&b, 1000)]);
+        assert!(est <= 5.0, "est = {est}");
+    }
+
+    #[test]
+    fn subset_estimation_recovers_subset_size() {
+        // A ⊂ B: |∩| = |A|.
+        let fam = family(512);
+        let a = Signature::build(&fam, 0..100);
+        let b = Signature::build(&fam, 0..1_000);
+        let est = estimate_intersection(&[(&a, 100), (&b, 1000)]);
+        assert!((est - 100.0).abs() < 40.0, "est = {est}");
+    }
+
+    #[test]
+    fn signatures_deterministic_across_builds() {
+        let fam1 = HashFamily::new(64, 7);
+        let fam2 = HashFamily::new(64, 7);
+        assert_eq!(Signature::build(&fam1, 0..50), Signature::build(&fam2, 0..50));
+    }
+
+    #[test]
+    fn different_seeds_give_different_signatures() {
+        let fam1 = HashFamily::new(64, 7);
+        let fam2 = HashFamily::new(64, 8);
+        assert_ne!(Signature::build(&fam1, 0..50), Signature::build(&fam2, 0..50));
+    }
+
+    #[test]
+    fn insertion_order_irrelevant() {
+        let fam = family(64);
+        let forward = Signature::build(&fam, 0..100);
+        let backward = Signature::build(&fam, (0..100).rev());
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn empty_set_flags() {
+        let sig = Signature::<u64>::empty(16);
+        assert!(sig.is_empty_set());
+        let fam = family(16);
+        let nonempty = Signature::build(&fam, [42]);
+        assert!(!nonempty.is_empty_set());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_family_rejected() {
+        let _ = HashFamily::new(0, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Statistical accuracy properties of the min-hash machinery, over
+//! randomized set families.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use twig_sethash::{estimate_intersection, estimate_union_size, HashFamily, Signature};
+
+/// Builds `k` random subsets of `0..universe`, each kept with its exact
+/// contents.
+fn random_sets(seed: u64, k: usize, universe: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| {
+            let density = rng.random_range(0.05..0.6);
+            (0..universe).filter(|_| rng.random_bool(density)).collect()
+        })
+        .collect()
+}
+
+fn exact_intersection(sets: &[Vec<u64>]) -> usize {
+    sets[0]
+        .iter()
+        .filter(|x| sets[1..].iter().all(|s| s.contains(x)))
+        .count()
+}
+
+fn exact_union(sets: &[Vec<u64>]) -> usize {
+    let mut all: Vec<u64> = sets.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all.dedup();
+    all.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Resemblance estimates stay within sampling error of the truth.
+    #[test]
+    fn resemblance_within_sampling_error(seed in 0u64..10_000, k in 2usize..4) {
+        let family = HashFamily::new(256, 0xACC);
+        let sets = random_sets(seed, k, 400);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let signatures: Vec<Signature> = sets
+            .iter()
+            .map(|s| Signature::build(&family, s.iter().copied()))
+            .collect();
+        let refs: Vec<&Signature> = signatures.iter().collect();
+        let estimated = Signature::resemblance(&refs);
+        let truth = exact_intersection(&sets) as f64 / exact_union(&sets) as f64;
+        // Binomial noise: ~4 standard deviations at L = 256.
+        let tolerance = 4.0 * (truth.max(0.02) * 1.02 / 256.0).sqrt();
+        prop_assert!(
+            (estimated - truth).abs() <= tolerance,
+            "estimated {estimated} truth {truth} tolerance {tolerance}"
+        );
+    }
+
+    /// Intersection estimates track exact intersections.
+    #[test]
+    fn intersection_tracks_truth(seed in 0u64..10_000, k in 2usize..4) {
+        let family = HashFamily::new(256, 0xACC);
+        let sets = random_sets(seed, k, 400);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let signatures: Vec<Signature> = sets
+            .iter()
+            .map(|s| Signature::build(&family, s.iter().copied()))
+            .collect();
+        let pairs: Vec<(&Signature, u64)> = signatures
+            .iter()
+            .zip(&sets)
+            .map(|(sig, s)| (sig, s.len() as u64))
+            .collect();
+        let estimated = estimate_intersection(&pairs);
+        let truth = exact_intersection(&sets) as f64;
+        let union = exact_union(&sets) as f64;
+        // Error scales with the union (resemblance noise × |∪|).
+        let tolerance = 4.0 * union * (1.0 / 256.0f64).sqrt() + 2.0;
+        prop_assert!(
+            (estimated - truth).abs() <= tolerance,
+            "estimated {estimated} truth {truth} tolerance {tolerance}"
+        );
+        prop_assert!(estimated <= sets.iter().map(Vec::len).min().unwrap() as f64 + 1e-9);
+    }
+
+    /// Union-size estimates track exact unions.
+    #[test]
+    fn union_tracks_truth(seed in 0u64..10_000, k in 2usize..4) {
+        let family = HashFamily::new(256, 0xACC);
+        let sets = random_sets(seed, k, 400);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let signatures: Vec<Signature> = sets
+            .iter()
+            .map(|s| Signature::build(&family, s.iter().copied()))
+            .collect();
+        let pairs: Vec<(&Signature, u64)> = signatures
+            .iter()
+            .zip(&sets)
+            .map(|(sig, s)| (sig, s.len() as u64))
+            .collect();
+        let estimated = estimate_union_size(&pairs);
+        let truth = exact_union(&sets) as f64;
+        prop_assert!(
+            (estimated - truth).abs() <= truth * 0.5 + 4.0,
+            "estimated {estimated} truth {truth}"
+        );
+    }
+
+    /// Truncated (u32) signatures agree with full (u64) ones.
+    #[test]
+    fn truncation_consistent(seed in 0u64..10_000) {
+        let family = HashFamily::new(128, 0xACC);
+        let sets = random_sets(seed, 2, 300);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let sigs: Vec<Signature> = sets
+            .iter()
+            .map(|s| Signature::build(&family, s.iter().copied()))
+            .collect();
+        let full = Signature::resemblance(&[&sigs[0], &sigs[1]]);
+        let compact =
+            Signature::resemblance(&[&sigs[0].truncate(), &sigs[1].truncate()]);
+        // Truncation can only create matches, never destroy them, and
+        // spurious matches are (|S|/2^32)-rare.
+        prop_assert!(compact >= full);
+        prop_assert!(compact - full <= 0.04);
+    }
+}

@@ -1,0 +1,538 @@
+//! The arena data tree.
+//!
+//! Layout choices are driven by corpus scale (a 50 MB DBLP snapshot is a
+//! few million nodes):
+//!
+//! - per-node storage is four `u32` words (label, parent, first child, next
+//!   sibling) in parallel vectors — first-child/next-sibling instead of
+//!   per-node child vectors avoids millions of small allocations,
+//! - element labels are interned [`Symbol`]s,
+//! - leaf text lives in one shared `String` buffer addressed by span.
+
+use twig_util::{FxHashMap, Interner, Symbol};
+use twig_xml::{Event, Reader};
+
+const NONE: u32 = u32::MAX;
+
+/// Index of a node in a [`DataTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The label of a data tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeLabel {
+    /// Non-leaf node: an element tag from Σ.
+    Element(Symbol),
+    /// Leaf node: a text value from ℒ*. The string is fetched with
+    /// [`DataTree::text`].
+    Text,
+}
+
+/// A rooted node-labeled data tree.
+#[derive(Debug, Clone)]
+pub struct DataTree {
+    labels: Vec<u32>,       // Symbol index, or NONE for text leaves
+    text_spans: Vec<(u32, u32)>, // (offset, len) into `text_buf`; parallel index via `text_idx`
+    text_idx: Vec<u32>,     // per node: index into text_spans, or NONE
+    parent: Vec<u32>,
+    first_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    text_buf: String,
+    interner: Interner,
+    label_index: FxHashMap<Symbol, Vec<NodeId>>,
+    source_bytes: usize,
+}
+
+impl DataTree {
+    /// Parses an XML document into a data tree.
+    ///
+    /// Mapping (the paper's "obtained by parsing an XML document"):
+    /// each element becomes an `Element` node; each text run becomes a
+    /// `Text` leaf child (whitespace-only runs are dropped by the parser);
+    /// each attribute `k="v"` becomes an `Element(k)` child with a `Text(v)`
+    /// leaf — so attributes are queryable exactly like subelements.
+    pub fn from_xml(input: &str) -> twig_xml::Result<Self> {
+        let mut builder = TreeBuilder::new();
+        let mut reader = Reader::new(input);
+        while let Some(event) = reader.next()? {
+            match event {
+                Event::Start { name, attrs, .. } => {
+                    builder.open_element(name);
+                    for (key, value) in attrs {
+                        builder.open_element(key);
+                        builder.text(&value);
+                        builder.close_element();
+                    }
+                }
+                Event::End { .. } => builder.close_element(),
+                Event::Text(text) => builder.text(&text),
+            }
+        }
+        let mut tree = builder.finish();
+        tree.source_bytes = input.len();
+        Ok(tree)
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes (elements + text leaves).
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of element (non-leaf-text) nodes. This is the `n` used in the
+    /// estimation formulae: probabilities are presence counts divided by
+    /// the number of nodes that could root a subpath.
+    pub fn element_count(&self) -> usize {
+        self.labels.iter().filter(|&&l| l != NONE).count()
+    }
+
+    /// Size in bytes of the XML source this tree was parsed from (0 when
+    /// built directly). The space axis in the experiments is a percentage
+    /// of this.
+    pub fn source_bytes(&self) -> usize {
+        self.source_bytes
+    }
+
+    /// Overrides the recorded source size (used when a tree is built
+    /// programmatically rather than parsed).
+    pub fn set_source_bytes(&mut self, bytes: usize) {
+        self.source_bytes = bytes;
+    }
+
+    /// Label of `node`.
+    #[inline]
+    pub fn label(&self, node: NodeId) -> NodeLabel {
+        let raw = self.labels[node.index()];
+        if raw == NONE {
+            NodeLabel::Text
+        } else {
+            NodeLabel::Element(Symbol(raw))
+        }
+    }
+
+    /// Element symbol of `node`, or `None` for a text leaf.
+    #[inline]
+    pub fn element_symbol(&self, node: NodeId) -> Option<Symbol> {
+        let raw = self.labels[node.index()];
+        (raw != NONE).then_some(Symbol(raw))
+    }
+
+    /// Text of a leaf node, or `None` for elements.
+    #[inline]
+    pub fn text(&self, node: NodeId) -> Option<&str> {
+        let idx = self.text_idx[node.index()];
+        if idx == NONE {
+            return None;
+        }
+        let (offset, len) = self.text_spans[idx as usize];
+        Some(&self.text_buf[offset as usize..(offset + len) as usize])
+    }
+
+    /// Parent of `node`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        let p = self.parent[node.index()];
+        (p != NONE).then_some(NodeId(p))
+    }
+
+    /// Iterates children of `node` in document order.
+    pub fn children(&self, node: NodeId) -> Children<'_> {
+        Children { tree: self, next: self.first_child[node.index()] }
+    }
+
+    /// True when `node` has no children.
+    #[inline]
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.first_child[node.index()] == NONE
+    }
+
+    /// The label interner (shared vocabulary for queries and summaries).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Resolves an element label string to its symbol, if it occurs.
+    pub fn symbol(&self, label: &str) -> Option<Symbol> {
+        self.interner.get(label)
+    }
+
+    /// Resolves a symbol to its label string.
+    pub fn label_str(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// All element nodes with the given label, in document order.
+    pub fn nodes_with_label(&self, sym: Symbol) -> &[NodeId] {
+        self.label_index.get(&sym).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Depth-first pre-order iteration over all nodes.
+    pub fn dfs(&self) -> Dfs<'_> {
+        Dfs { tree: self, stack: vec![self.root()] }
+    }
+
+    /// Invokes `visit` for every root-to-leaf path, in DFS order.
+    ///
+    /// The path slice contains node ids from the root to a node with no
+    /// children (either a text leaf, or a childless element). DFS order is
+    /// what the suffix-trie construction relies on for its O(1)-memory
+    /// count deduplication.
+    pub fn for_each_root_to_leaf_path<F: FnMut(&[NodeId])>(&self, visit: F) {
+        self.for_each_root_to_leaf_path_sharded(0, 1, visit);
+    }
+
+    /// Like [`for_each_root_to_leaf_path`](Self::for_each_root_to_leaf_path),
+    /// restricted to paths through top-level subtrees whose index is
+    /// `shard` modulo `of` — the work split used by parallel summary
+    /// construction. The shards partition the paths exactly (a childless
+    /// root belongs to shard 0).
+    pub fn for_each_root_to_leaf_path_sharded<F: FnMut(&[NodeId])>(
+        &self,
+        shard: usize,
+        of: usize,
+        mut visit: F,
+    ) {
+        assert!(of > 0 && shard < of, "invalid shard {shard}/{of}");
+        let root = self.root();
+        if self.is_leaf(root) {
+            if shard == 0 {
+                visit(&[root]);
+            }
+            return;
+        }
+        let mut path: Vec<NodeId> = Vec::with_capacity(32);
+        path.push(root);
+        // Stack entries: (node, depth). When we pop, truncate path to depth.
+        let mut stack: Vec<(NodeId, usize)> = Vec::new();
+        for (index, child) in self.children(root).enumerate() {
+            if index % of != shard {
+                continue;
+            }
+            stack.push((child, 1));
+            while let Some((node, depth)) = stack.pop() {
+                path.truncate(depth);
+                path.push(node);
+                if self.is_leaf(node) {
+                    visit(&path);
+                    continue;
+                }
+                // Push children in reverse so document order comes out of
+                // the stack.
+                let children: Vec<NodeId> = self.children(node).collect();
+                for &grandchild in children.iter().rev() {
+                    stack.push((grandchild, depth + 1));
+                }
+            }
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (for reporting).
+    pub fn memory_bytes(&self) -> usize {
+        self.labels.len() * 16 + self.text_spans.len() * 8 + self.text_buf.len()
+    }
+}
+
+/// Iterator over the children of a node.
+pub struct Children<'a> {
+    tree: &'a DataTree,
+    next: u32,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next == NONE {
+            return None;
+        }
+        let id = NodeId(self.next);
+        self.next = self.tree.next_sibling[id.index()];
+        Some(id)
+    }
+}
+
+/// Depth-first pre-order node iterator.
+pub struct Dfs<'a> {
+    tree: &'a DataTree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Dfs<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let node = self.stack.pop()?;
+        let children: Vec<NodeId> = self.tree.children(node).collect();
+        for &child in children.iter().rev() {
+            self.stack.push(child);
+        }
+        Some(node)
+    }
+}
+
+/// Incremental builder for a [`DataTree`].
+///
+/// Drives in document order: `open_element`, optional `text`/children,
+/// `close_element`. The XML path uses it internally; generators can use it
+/// directly to skip serialization.
+#[derive(Debug)]
+pub struct TreeBuilder {
+    tree: DataTree,
+    open: Vec<u32>,
+    last_child: Vec<u32>, // parallel to `open`: last child appended at that level
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self {
+            tree: DataTree {
+                labels: Vec::new(),
+                text_spans: Vec::new(),
+                text_idx: Vec::new(),
+                parent: Vec::new(),
+                first_child: Vec::new(),
+                next_sibling: Vec::new(),
+                text_buf: String::new(),
+                interner: Interner::new(),
+                label_index: FxHashMap::default(),
+                source_bytes: 0,
+            },
+            open: Vec::new(),
+            last_child: Vec::new(),
+        }
+    }
+
+    fn push_node(&mut self, label: u32, text_idx: u32) -> u32 {
+        let id = u32::try_from(self.tree.labels.len()).expect("tree too large");
+        let parent = self.open.last().copied().unwrap_or(NONE);
+        self.tree.labels.push(label);
+        self.tree.text_idx.push(text_idx);
+        self.tree.parent.push(parent);
+        self.tree.first_child.push(NONE);
+        self.tree.next_sibling.push(NONE);
+        if parent != NONE {
+            let prev = *self.last_child.last().expect("open stack in sync");
+            if prev == NONE {
+                self.tree.first_child[parent as usize] = id;
+            } else {
+                self.tree.next_sibling[prev as usize] = id;
+            }
+            *self.last_child.last_mut().expect("open stack in sync") = id;
+        } else {
+            assert!(self.tree.labels.len() == 1, "multiple roots");
+        }
+        id
+    }
+
+    /// Opens an element node; subsequent nodes become its children until
+    /// [`close_element`](Self::close_element).
+    pub fn open_element(&mut self, label: &str) {
+        let sym = self.tree.interner.intern(label);
+        let id = self.push_node(sym.0, NONE);
+        self.tree.label_index.entry(sym).or_default().push(NodeId(id));
+        self.open.push(id);
+        self.last_child.push(NONE);
+    }
+
+    /// Appends a text leaf under the current element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn text(&mut self, value: &str) {
+        assert!(!self.open.is_empty(), "text node requires an open element");
+        let offset = u32::try_from(self.tree.text_buf.len()).expect("text buffer too large");
+        let len = u32::try_from(value.len()).expect("text value too large");
+        self.tree.text_buf.push_str(value);
+        let span_idx = u32::try_from(self.tree.text_spans.len()).expect("too many text nodes");
+        self.tree.text_spans.push((offset, len));
+        self.push_node(NONE, span_idx);
+    }
+
+    /// Closes the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn close_element(&mut self) {
+        self.open.pop().expect("close_element with nothing open");
+        self.last_child.pop();
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    /// Panics if elements are still open or nothing was built.
+    pub fn finish(self) -> DataTree {
+        assert!(self.open.is_empty(), "unclosed elements at finish");
+        assert!(!self.tree.labels.is_empty(), "empty tree");
+        self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_tree() -> DataTree {
+        // The DBLP example of Figure 1 (condensed): three books.
+        DataTree::from_xml(concat!(
+            "<dblp>",
+            "<book><author>A1</author><title>T1</title><year>Y1</year></book>",
+            "<book><author>A1</author><author>A2</author><title>T2</title><year>Y1</year></book>",
+            "<book><author>A1</author><author>A2</author><author>A3</author><title>T3</title><year>Y2</year></book>",
+            "</dblp>"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_structure() {
+        let tree = figure1_tree();
+        let root = tree.root();
+        assert_eq!(tree.label_str(tree.element_symbol(root).unwrap()), "dblp");
+        let books: Vec<_> = tree.children(root).collect();
+        assert_eq!(books.len(), 3);
+        let first_book_children: Vec<_> = tree.children(books[0]).collect();
+        assert_eq!(first_book_children.len(), 3);
+    }
+
+    #[test]
+    fn text_leaves_resolve() {
+        let tree = figure1_tree();
+        let book = tree.children(tree.root()).next().unwrap();
+        let author = tree.children(book).next().unwrap();
+        let leaf = tree.children(author).next().unwrap();
+        assert_eq!(tree.label(leaf), NodeLabel::Text);
+        assert_eq!(tree.text(leaf), Some("A1"));
+        assert_eq!(tree.text(author), None);
+    }
+
+    #[test]
+    fn label_index_finds_all() {
+        let tree = figure1_tree();
+        let author = tree.symbol("author").unwrap();
+        assert_eq!(tree.nodes_with_label(author).len(), 6);
+        let book = tree.symbol("book").unwrap();
+        assert_eq!(tree.nodes_with_label(book).len(), 3);
+        assert_eq!(tree.symbol("missing"), None);
+    }
+
+    #[test]
+    fn parent_links_consistent() {
+        let tree = figure1_tree();
+        assert_eq!(tree.parent(tree.root()), None);
+        for node in tree.dfs() {
+            for child in tree.children(node) {
+                assert_eq!(tree.parent(child), Some(node));
+            }
+        }
+    }
+
+    #[test]
+    fn node_and_element_counts() {
+        let tree = figure1_tree();
+        // 1 dblp + 3 book + 6 author + 3 title + 3 year = 16 elements,
+        // 12 text leaves.
+        assert_eq!(tree.element_count(), 16);
+        assert_eq!(tree.node_count(), 28);
+    }
+
+    #[test]
+    fn attributes_become_child_elements() {
+        let tree = DataTree::from_xml(r#"<a><b key="v">txt</b></a>"#).unwrap();
+        let b = tree.nodes_with_label(tree.symbol("b").unwrap())[0];
+        let kids: Vec<_> = tree.children(b).collect();
+        // attribute element first, then the text leaf
+        assert_eq!(kids.len(), 2);
+        assert_eq!(tree.element_symbol(kids[0]), tree.symbol("key"));
+        let key_leaf = tree.children(kids[0]).next().unwrap();
+        assert_eq!(tree.text(key_leaf), Some("v"));
+        assert_eq!(tree.text(kids[1]), Some("txt"));
+    }
+
+    #[test]
+    fn root_to_leaf_paths_in_dfs_order() {
+        let tree = DataTree::from_xml("<a><b>x</b><c><d>y</d></c><e/></a>").unwrap();
+        let mut paths: Vec<Vec<String>> = Vec::new();
+        tree.for_each_root_to_leaf_path(|path| {
+            paths.push(
+                path.iter()
+                    .map(|&n| match tree.element_symbol(n) {
+                        Some(sym) => tree.label_str(sym).to_owned(),
+                        None => format!("\"{}\"", tree.text(n).unwrap()),
+                    })
+                    .collect(),
+            );
+        });
+        assert_eq!(
+            paths,
+            vec![
+                vec!["a", "b", "\"x\""],
+                vec!["a", "c", "d", "\"y\""],
+                vec!["a", "e"],
+            ]
+            .into_iter()
+            .map(|p: Vec<&str>| p.into_iter().map(str::to_owned).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dfs_visits_every_node_once() {
+        let tree = figure1_tree();
+        let visited: Vec<_> = tree.dfs().collect();
+        assert_eq!(visited.len(), tree.node_count());
+        let mut sorted = visited.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), visited.len());
+        assert_eq!(visited[0], tree.root());
+    }
+
+    #[test]
+    fn builder_direct_use() {
+        let mut builder = TreeBuilder::new();
+        builder.open_element("r");
+        builder.open_element("x");
+        builder.text("val");
+        builder.close_element();
+        builder.close_element();
+        let tree = builder.finish();
+        assert_eq!(tree.element_count(), 2);
+        assert_eq!(tree.node_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn builder_rejects_unclosed() {
+        let mut builder = TreeBuilder::new();
+        builder.open_element("r");
+        let _ = builder.finish();
+    }
+
+    #[test]
+    fn source_bytes_recorded() {
+        let xml = "<a><b>x</b></a>";
+        let tree = DataTree::from_xml(xml).unwrap();
+        assert_eq!(tree.source_bytes(), xml.len());
+    }
+}

@@ -1,0 +1,21 @@
+//! Node-labeled tree data model: the data tree and the twig query.
+//!
+//! The paper's setting (Sec. 2): a large rooted node-labeled tree `T` whose
+//! non-leaf nodes carry labels from an alphabet Σ (element tags) and whose
+//! leaf nodes carry strings from ℒ* (text values); and a small query tree
+//! (*twig*) `Q` over the same alphabets. This crate provides both:
+//!
+//! - [`DataTree`]: a compact arena representation (first-child /
+//!   next-sibling layout, interned labels, one shared text buffer) built
+//!   from XML in a single streaming pass,
+//! - [`Twig`]: the query model with element, value and wildcard nodes, a
+//!   small expression syntax for tests/examples, and helpers (root-to-leaf
+//!   path enumeration, branch-node detection) the estimators need.
+
+pub mod data;
+pub mod twig;
+pub mod xpath;
+
+pub use data::{DataTree, NodeId, NodeLabel, TreeBuilder};
+pub use twig::{Twig, TwigLabel, TwigNodeId};
+pub use xpath::parse_xpath;

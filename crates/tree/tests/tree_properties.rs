@@ -1,0 +1,143 @@
+//! Structural property tests for the data tree and twig model.
+
+use proptest::prelude::*;
+use twig_tree::{DataTree, TreeBuilder, Twig, TwigLabel};
+
+/// Deterministic pseudo-random tree built from proptest-chosen shape
+/// parameters (recursion driven by a splitmix-style counter).
+fn build_tree(seed: u64, fanout: u64, depth: u32) -> DataTree {
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^ (z >> 31)
+    }
+    fn grow(b: &mut TreeBuilder, state: &mut u64, depth: u32, fanout: u64) {
+        if depth == 0 {
+            b.text(&format!("t{}", mix(state) % 10));
+            return;
+        }
+        let kids = 1 + mix(state) % fanout;
+        for _ in 0..kids {
+            b.open_element(&format!("e{}", mix(state) % 4));
+            if !mix(state).is_multiple_of(4) {
+                grow(b, state, depth - 1, fanout);
+            }
+            b.close_element();
+        }
+    }
+    let mut state = seed;
+    let mut builder = TreeBuilder::new();
+    builder.open_element("root");
+    grow(&mut builder, &mut state, depth, fanout);
+    builder.close_element();
+    builder.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parent_child_links_are_mutual(seed in 0u64..10_000) {
+        let tree = build_tree(seed, 3, 3);
+        for node in tree.dfs() {
+            for child in tree.children(node) {
+                prop_assert_eq!(tree.parent(child), Some(node));
+            }
+            if let Some(parent) = tree.parent(node) {
+                prop_assert!(tree.children(parent).any(|c| c == node));
+            }
+        }
+    }
+
+    #[test]
+    fn node_counts_consistent(seed in 0u64..10_000) {
+        let tree = build_tree(seed, 3, 3);
+        let dfs_count = tree.dfs().count();
+        prop_assert_eq!(dfs_count, tree.node_count());
+        let text_leaves = tree.dfs().filter(|&n| tree.text(n).is_some()).count();
+        prop_assert_eq!(tree.element_count() + text_leaves, tree.node_count());
+    }
+
+    #[test]
+    fn label_index_complete(seed in 0u64..10_000) {
+        let tree = build_tree(seed, 3, 3);
+        for (sym, _) in tree.interner().iter() {
+            let indexed = tree.nodes_with_label(sym).len();
+            let scanned = tree
+                .dfs()
+                .filter(|&n| tree.element_symbol(n) == Some(sym))
+                .count();
+            prop_assert_eq!(indexed, scanned);
+        }
+    }
+
+    #[test]
+    fn paths_end_at_leaves_and_cover_all_leaves(seed in 0u64..10_000) {
+        let tree = build_tree(seed, 3, 3);
+        let mut path_ends = Vec::new();
+        tree.for_each_root_to_leaf_path(|path| {
+            assert_eq!(path[0], tree.root());
+            path_ends.push(*path.last().unwrap());
+        });
+        let leaves: Vec<_> = tree.dfs().filter(|&n| tree.is_leaf(n)).collect();
+        prop_assert_eq!(path_ends, leaves);
+    }
+
+    #[test]
+    fn twig_display_parse_roundtrip(seed in 0u64..10_000) {
+        // Build a random twig, print it, reparse, compare.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z ^ (z >> 31)
+        };
+        let mut twig = Twig::with_root_element("r0");
+        let mut frontier = vec![twig.root()];
+        for i in 0..(next() % 8) {
+            let parent = frontier[(next() % frontier.len() as u64) as usize];
+            if twig.label(parent).is_value() {
+                continue;
+            }
+            let id = if next() % 3 == 0 {
+                twig.add_value(parent, format!("v{i}"))
+            } else {
+                twig.add_element(parent, format!("e{i}"))
+            };
+            frontier.push(id);
+        }
+        let text = twig.to_string();
+        let reparsed = Twig::parse(&text).unwrap();
+        prop_assert_eq!(reparsed.to_string(), text);
+        prop_assert_eq!(reparsed.node_count(), twig.node_count());
+    }
+}
+
+#[test]
+fn twig_branch_nodes_and_paths_agree() {
+    let twig = Twig::parse(r#"a(b(c,d("x")),e,f(g))"#).unwrap();
+    let paths = twig.root_to_leaf_paths();
+    assert_eq!(paths.len(), 4);
+    // Total leaf count equals path count.
+    let leaves = (0..twig.node_count() as u32)
+        .filter(|&i| twig.is_leaf(twig_tree::TwigNodeId(i)))
+        .count();
+    assert_eq!(leaves, paths.len());
+    // Branch nodes are exactly a and b.
+    assert_eq!(twig.branch_nodes().len(), 2);
+}
+
+#[test]
+fn twig_label_kinds() {
+    let twig = Twig::parse(r#"a(*(b("x")))"#).unwrap();
+    let labels: Vec<bool> = (0..twig.node_count() as u32)
+        .map(|i| twig.label(twig_tree::TwigNodeId(i)).is_value())
+        .collect();
+    assert_eq!(labels.iter().filter(|&&v| v).count(), 1);
+    assert!(matches!(
+        twig.label(twig_tree::TwigNodeId(1)),
+        TwigLabel::Star
+    ));
+}

@@ -1,0 +1,21 @@
+//! Shared low-level utilities for the twig selectivity estimation workspace.
+//!
+//! This crate deliberately has no external dependencies. It provides:
+//!
+//! - [`hash`]: an FxHash-style fast hasher plus [`FxHashMap`]/[`FxHashSet`]
+//!   aliases, used everywhere hashing is hot (trie child tables, label
+//!   indexes) and HashDoS resistance is irrelevant,
+//! - [`intern`]: a string interner mapping element labels to dense
+//!   [`Symbol`]s so tree nodes store a `u32` instead of a `String`,
+//! - [`rng`]: a tiny deterministic SplitMix64 generator used to seed the
+//!   min-hash function family reproducibly,
+//! - [`stats`]: summary statistics used by the evaluation harness.
+
+pub mod hash;
+pub mod intern;
+pub mod rng;
+pub mod stats;
+
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use intern::{Interner, Symbol};
+pub use rng::SplitMix64;

@@ -1,0 +1,98 @@
+//! Summary statistics used by the evaluation harness.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; 0.0 for fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) using linear interpolation between order
+/// statistics; 0.0 for an empty slice.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// `log10(x)` clamped so that tiny or zero errors do not produce `-inf` in
+/// figure output. The paper plots log10(error); a floor of 1e-6 keeps the
+/// axes readable without changing any comparison.
+pub fn log10_floored(x: f64) -> f64 {
+    x.max(1e-6).log10()
+}
+
+/// Geometric mean of strictly positive values; 0.0 for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_basic() {
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&values, 0.0), 1.0);
+        assert_eq!(quantile(&values, 1.0), 4.0);
+        assert_eq!(quantile(&values, 0.5), 2.5);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        let values = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&values, 0.5), 2.5);
+    }
+
+    #[test]
+    fn log10_floored_clamps() {
+        assert_eq!(log10_floored(0.0), -6.0);
+        assert_eq!(log10_floored(100.0), 2.0);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! A small owned DOM on top of the pull parser.
+//!
+//! The tree-building code in `twig-tree` consumes [`Reader`] events
+//! directly for large corpora; the DOM here is for tests, examples and
+//! small documents where convenience beats streaming.
+
+use crate::error::{Error, ErrorKind, Result};
+use crate::reader::{Event, Reader};
+
+/// A parsed document: prolog is discarded, only the root element is kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// The root element.
+    pub root: Element,
+}
+
+/// An element with attributes and ordered children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// A text run (entities already resolved).
+    Text(String),
+}
+
+impl Document {
+    /// Parses a complete document.
+    pub fn parse(input: &str) -> Result<Self> {
+        let mut reader = Reader::new(input);
+        let mut stack: Vec<Element> = Vec::new();
+        let mut root: Option<Element> = None;
+        while let Some(event) = reader.next()? {
+            match event {
+                Event::Start { name, attrs, .. } => {
+                    stack.push(Element {
+                        name: name.to_owned(),
+                        attrs: attrs
+                            .into_iter()
+                            .map(|(k, v)| (k.to_owned(), v.into_owned()))
+                            .collect(),
+                        children: Vec::new(),
+                    });
+                }
+                Event::End { .. } => {
+                    let done = stack.pop().expect("reader guarantees balance");
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(Node::Element(done)),
+                        None => root = Some(done),
+                    }
+                }
+                Event::Text(text) => match stack.last_mut() {
+                    Some(parent) => parent.children.push(Node::Text(text.into_owned())),
+                    None => unreachable!("reader rejects text outside root"),
+                },
+            }
+        }
+        root.map(|root| Document { root })
+            .ok_or_else(|| Error::new(input.len(), ErrorKind::BadDocumentStructure("no root element")))
+    }
+}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder-style: adds an attribute.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builder-style: appends a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder-style: appends a text child.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Iterates child elements (skipping text nodes).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|node| match node {
+            Node::Element(el) => Some(el),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Concatenated text content of direct text children.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let Node::Text(text) = node {
+                out.push_str(text);
+            }
+        }
+        out
+    }
+
+    /// First child element with the given name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|el| el.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_builds_nested_structure() {
+        let doc = Document::parse("<dblp><book><title>TP</title><year>1993</year></book></dblp>")
+            .unwrap();
+        assert_eq!(doc.root.name, "dblp");
+        let book = doc.root.find("book").unwrap();
+        assert_eq!(book.find("title").unwrap().text(), "TP");
+        assert_eq!(book.find("year").unwrap().text(), "1993");
+    }
+
+    #[test]
+    fn attributes_preserved() {
+        let doc = Document::parse(r#"<a k="v"><b x="1" y="2"/></a>"#).unwrap();
+        assert_eq!(doc.root.attrs, vec![("k".to_owned(), "v".to_owned())]);
+        let b = doc.root.find("b").unwrap();
+        assert_eq!(b.attrs.len(), 2);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let el = Element::new("book")
+            .with_attr("id", "7")
+            .with_child(Element::new("title").with_text("X"))
+            .with_child(Element::new("year").with_text("2000"));
+        assert_eq!(el.child_elements().count(), 2);
+        assert_eq!(el.find("year").unwrap().text(), "2000");
+        assert_eq!(el.find("missing"), None);
+    }
+
+    #[test]
+    fn text_concatenates_runs() {
+        let doc = Document::parse("<a>one<b/>two</a>").unwrap();
+        assert_eq!(doc.root.text(), "onetwo");
+    }
+
+    #[test]
+    fn parse_propagates_errors() {
+        assert!(Document::parse("<a><b></a>").is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Parse error type with byte-offset diagnostics.
+
+use std::fmt;
+
+/// Result alias for XML operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An XML well-formedness or syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+/// Classification of parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof(&'static str),
+    /// A construct was syntactically malformed.
+    Malformed(&'static str),
+    /// Closing tag name did not match the open element.
+    MismatchedTag {
+        /// The element that was open.
+        expected: String,
+        /// The closing tag that arrived.
+        found: String,
+    },
+    /// A closing tag appeared with no element open.
+    UnopenedTag(String),
+    /// The document ended while elements were still open.
+    UnclosedElements(usize),
+    /// An entity reference could not be resolved.
+    BadEntity(String),
+    /// The document has no root element or trailing garbage.
+    BadDocumentStructure(&'static str),
+}
+
+impl Error {
+    pub(crate) fn new(offset: usize, kind: ErrorKind) -> Self {
+        Self { offset, kind }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: ", self.offset)?;
+        match &self.kind {
+            ErrorKind::UnexpectedEof(what) => write!(f, "unexpected end of input in {what}"),
+            ErrorKind::Malformed(what) => write!(f, "malformed {what}"),
+            ErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched closing tag: expected </{expected}>, found </{found}>")
+            }
+            ErrorKind::UnopenedTag(name) => write!(f, "closing tag </{name}> with no open element"),
+            ErrorKind::UnclosedElements(n) => write!(f, "{n} element(s) left open at end of input"),
+            ErrorKind::BadEntity(ent) => write!(f, "unknown or malformed entity &{ent};"),
+            ErrorKind::BadDocumentStructure(what) => write!(f, "bad document structure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offset_and_cause() {
+        let err = Error::new(17, ErrorKind::Malformed("start tag"));
+        let text = err.to_string();
+        assert!(text.contains("17"));
+        assert!(text.contains("start tag"));
+    }
+
+    #[test]
+    fn display_mismatched_tag() {
+        let err = Error::new(
+            0,
+            ErrorKind::MismatchedTag { expected: "book".into(), found: "year".into() },
+        );
+        let text = err.to_string();
+        assert!(text.contains("</book>"));
+        assert!(text.contains("</year>"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Entity escaping and unescaping.
+
+use std::borrow::Cow;
+
+/// Replaces the five predefined entities and numeric character references
+/// in `text`. Returns a borrowed slice when no entity occurs (the common
+/// case for corpus text), avoiding an allocation per text node.
+pub fn unescape(text: &str) -> Result<Cow<'_, str>, String> {
+    if !text.contains('&') {
+        return Ok(Cow::Borrowed(text));
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos + 1..];
+        let semi = rest.find(';').ok_or_else(|| truncate_entity(rest))?;
+        let entity = &rest[..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| entity.to_owned())?;
+                out.push(char::from_u32(code).ok_or_else(|| entity.to_owned())?);
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..].parse().map_err(|_| entity.to_owned())?;
+                out.push(char::from_u32(code).ok_or_else(|| entity.to_owned())?);
+            }
+            _ => return Err(entity.to_owned()),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+fn truncate_entity(rest: &str) -> String {
+    rest.chars().take(12).collect()
+}
+
+/// Escapes text content: `&`, `<`, `>`.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    escape_with(text, false)
+}
+
+/// Escapes attribute values: text escapes plus `"`.
+pub fn escape_attr(text: &str) -> Cow<'_, str> {
+    escape_with(text, true)
+}
+
+fn escape_with(text: &str, quotes: bool) -> Cow<'_, str> {
+    let needs = text
+        .bytes()
+        .any(|b| b == b'&' || b == b'<' || b == b'>' || (quotes && b == b'"'));
+    if !needs {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 8);
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if quotes => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unescape_passthrough_borrows() {
+        let result = unescape("plain text").unwrap();
+        assert!(matches!(result, Cow::Borrowed(_)));
+        assert_eq!(result, "plain text");
+    }
+
+    #[test]
+    fn unescape_predefined_entities() {
+        assert_eq!(unescape("a &amp; b &lt; c &gt; d &apos;e&apos; &quot;f&quot;").unwrap(),
+                   "a & b < c > d 'e' \"f\"");
+    }
+
+    #[test]
+    fn unescape_numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        assert!(unescape("&bogus;").is_err());
+        assert!(unescape("&unterminated").is_err());
+        assert!(unescape("&#xZZ;").is_err());
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let original = "Mellon & Grant <eds.> \"1993\"";
+        let escaped = escape_attr(original);
+        assert_eq!(unescape(&escaped).unwrap(), original);
+    }
+
+    #[test]
+    fn escape_text_leaves_quotes() {
+        assert_eq!(escape_text("say \"hi\""), "say \"hi\"");
+        assert_eq!(escape_attr("say \"hi\""), "say &quot;hi&quot;");
+    }
+}

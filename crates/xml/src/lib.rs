@@ -1,0 +1,29 @@
+//! A minimal, dependency-free, non-validating XML parser and writer.
+//!
+//! The twig estimation pipeline ingests XML documents (DBLP, SWISS-PROT in
+//! the paper) and turns them into node-labeled trees. This crate provides
+//! exactly the XML subset those corpora need:
+//!
+//! - elements with attributes, text content, self-closing tags,
+//! - the five predefined entities plus numeric character references,
+//! - comments, CDATA sections, processing instructions and a DOCTYPE
+//!   declaration (all skipped or passed through),
+//! - a streaming pull parser ([`Reader`]) for large documents and a small
+//!   DOM ([`Document`]/[`Element`]) built on top of it,
+//! - a writer ([`write_element`]) with correct escaping, used by the
+//!   synthetic corpus generators.
+//!
+//! It is *non-validating*: it checks well-formedness (tag balance, syntax)
+//! but not DTDs or namespaces — matching how the paper's systems treat XML
+//! as a labeled tree, nothing more.
+
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod reader;
+pub mod writer;
+
+pub use dom::{Document, Element, Node};
+pub use error::{Error, Result};
+pub use reader::{Event, Reader};
+pub use writer::write_element;

@@ -1,0 +1,455 @@
+//! Streaming pull parser.
+//!
+//! [`Reader`] walks a `&str` and yields [`Event`]s. It keeps an open-tag
+//! stack so well-formedness (tag balance) is checked during the single
+//! pass; memory use is O(depth), independent of document size.
+
+use std::borrow::Cow;
+
+use crate::error::{Error, ErrorKind, Result};
+use crate::escape::unescape;
+
+/// One parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// `<name attr="v">` — `empty` is true for `<name/>` (an `End` event is
+    /// still emitted immediately after, so consumers never special-case it).
+    Start {
+        /// Tag name.
+        name: &'a str,
+        /// Attributes in document order, values unescaped.
+        attrs: Vec<(&'a str, Cow<'a, str>)>,
+        /// True for a self-closing tag.
+        empty: bool,
+    },
+    /// `</name>` (or synthesized for a self-closing tag).
+    End {
+        /// Tag name.
+        name: &'a str,
+    },
+    /// Text content with entities resolved. Whitespace-only runs between
+    /// elements are skipped.
+    Text(Cow<'a, str>),
+}
+
+/// Pull parser over an in-memory document.
+pub struct Reader<'a> {
+    input: &'a str,
+    pos: usize,
+    stack: Vec<&'a str>,
+    /// Set when a self-closing tag was emitted and its `End` is pending.
+    pending_end: Option<&'a str>,
+    seen_root: bool,
+    finished_root: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self { input, pos: 0, stack: Vec::new(), pending_end: None, seen_root: false, finished_root: false }
+    }
+
+    /// Current byte offset (for diagnostics).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err(&self, kind: ErrorKind) -> Error {
+        Error::new(self.pos, kind)
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
+    /// Returns the next event, or `None` at a well-formed end of document.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Event<'a>>> {
+        if let Some(name) = self.pending_end.take() {
+            self.pop_tag(name)?;
+            return Ok(Some(Event::End { name }));
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if !self.stack.is_empty() {
+                    return Err(self.err(ErrorKind::UnclosedElements(self.stack.len())));
+                }
+                if !self.seen_root {
+                    return Err(self.err(ErrorKind::BadDocumentStructure("no root element")));
+                }
+                return Ok(None);
+            }
+            if self.bytes()[self.pos] == b'<' {
+                match self.peek_markup() {
+                    Markup::Comment => self.skip_until("-->", "comment")?,
+                    Markup::Cdata => return self.parse_cdata().map(Some),
+                    Markup::Declaration => self.skip_doctype()?,
+                    Markup::ProcessingInstruction => self.skip_until("?>", "processing instruction")?,
+                    Markup::EndTag => return self.parse_end_tag().map(Some),
+                    Markup::StartTag => return self.parse_start_tag().map(Some),
+                }
+            } else {
+                match self.parse_text()? {
+                    Some(event) => return Ok(Some(event)),
+                    None => continue, // whitespace-only run
+                }
+            }
+        }
+    }
+
+    fn peek_markup(&self) -> Markup {
+        let rest = &self.bytes()[self.pos..];
+        if rest.starts_with(b"<!--") {
+            Markup::Comment
+        } else if rest.starts_with(b"<![CDATA[") {
+            Markup::Cdata
+        } else if rest.starts_with(b"<!") {
+            Markup::Declaration
+        } else if rest.starts_with(b"<?") {
+            Markup::ProcessingInstruction
+        } else if rest.starts_with(b"</") {
+            Markup::EndTag
+        } else {
+            Markup::StartTag
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &str, what: &'static str) -> Result<()> {
+        match self.input[self.pos..].find(terminator) {
+            Some(found) => {
+                self.pos += found + terminator.len();
+                Ok(())
+            }
+            None => {
+                self.pos = self.input.len();
+                Err(self.err(ErrorKind::UnexpectedEof(what)))
+            }
+        }
+    }
+
+    /// Skips `<!DOCTYPE ...>` including a bracketed internal subset.
+    fn skip_doctype(&mut self) -> Result<()> {
+        let mut depth = 0usize;
+        let mut in_subset = false;
+        let bytes = self.bytes();
+        let mut i = self.pos;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'[' => in_subset = true,
+                b']' => in_subset = false,
+                b'<' => depth += 1,
+                b'>' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 && !in_subset {
+                        self.pos = i + 1;
+                        return Ok(());
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self.pos = self.input.len();
+        Err(self.err(ErrorKind::UnexpectedEof("declaration")))
+    }
+
+    fn parse_cdata(&mut self) -> Result<Event<'a>> {
+        let start = self.pos + "<![CDATA[".len();
+        match self.input[start..].find("]]>") {
+            Some(found) => {
+                let text = &self.input[start..start + found];
+                self.pos = start + found + 3;
+                Ok(Event::Text(Cow::Borrowed(text)))
+            }
+            None => {
+                self.pos = self.input.len();
+                Err(self.err(ErrorKind::UnexpectedEof("CDATA section")))
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<Option<Event<'a>>> {
+        let start = self.pos;
+        let end = self.input[start..]
+            .find('<')
+            .map(|found| start + found)
+            .unwrap_or(self.input.len());
+        let raw = &self.input[start..end];
+        self.pos = end;
+        if raw.trim().is_empty() {
+            return Ok(None);
+        }
+        if self.stack.is_empty() {
+            return Err(self.err(ErrorKind::BadDocumentStructure("text outside root element")));
+        }
+        let text = unescape(raw).map_err(|ent| self.err(ErrorKind::BadEntity(ent)))?;
+        Ok(Some(Event::Text(text)))
+    }
+
+    fn parse_start_tag(&mut self) -> Result<Event<'a>> {
+        debug_assert_eq!(self.bytes()[self.pos], b'<');
+        if self.finished_root {
+            return Err(self.err(ErrorKind::BadDocumentStructure("content after root element")));
+        }
+        self.pos += 1;
+        let name = self.read_name("start tag")?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.bytes().get(self.pos) {
+                None => return Err(self.err(ErrorKind::UnexpectedEof("start tag"))),
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.stack.push(name);
+                    self.seen_root = true;
+                    return Ok(Event::Start { name, attrs, empty: false });
+                }
+                Some(b'/') => {
+                    if self.bytes().get(self.pos + 1) != Some(&b'>') {
+                        return Err(self.err(ErrorKind::Malformed("start tag")));
+                    }
+                    self.pos += 2;
+                    self.stack.push(name);
+                    self.seen_root = true;
+                    self.pending_end = Some(name);
+                    return Ok(Event::Start { name, attrs, empty: true });
+                }
+                Some(_) => {
+                    let attr_name = self.read_name("attribute")?;
+                    self.skip_whitespace();
+                    if self.bytes().get(self.pos) != Some(&b'=') {
+                        return Err(self.err(ErrorKind::Malformed("attribute (missing '=')")));
+                    }
+                    self.pos += 1;
+                    self.skip_whitespace();
+                    let quote = match self.bytes().get(self.pos) {
+                        Some(&q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err(ErrorKind::Malformed("attribute (missing quote)"))),
+                    };
+                    self.pos += 1;
+                    let value_start = self.pos;
+                    let value_end = self.input[value_start..]
+                        .find(quote as char)
+                        .map(|found| value_start + found)
+                        .ok_or_else(|| self.err(ErrorKind::UnexpectedEof("attribute value")))?;
+                    let raw = &self.input[value_start..value_end];
+                    self.pos = value_end + 1;
+                    let value =
+                        unescape(raw).map_err(|ent| self.err(ErrorKind::BadEntity(ent)))?;
+                    attrs.push((attr_name, value));
+                }
+            }
+        }
+    }
+
+    fn parse_end_tag(&mut self) -> Result<Event<'a>> {
+        self.pos += 2; // "</"
+        let name = self.read_name("end tag")?;
+        self.skip_whitespace();
+        if self.bytes().get(self.pos) != Some(&b'>') {
+            return Err(self.err(ErrorKind::Malformed("end tag")));
+        }
+        self.pos += 1;
+        self.pop_tag(name)?;
+        Ok(Event::End { name })
+    }
+
+    fn pop_tag(&mut self, name: &'a str) -> Result<()> {
+        match self.stack.pop() {
+            Some(open) if open == name => {
+                if self.stack.is_empty() {
+                    self.finished_root = true;
+                }
+                Ok(())
+            }
+            Some(open) => Err(self.err(ErrorKind::MismatchedTag {
+                expected: open.to_owned(),
+                found: name.to_owned(),
+            })),
+            None => Err(self.err(ErrorKind::UnopenedTag(name.to_owned()))),
+        }
+    }
+
+    fn read_name(&mut self, what: &'static str) -> Result<&'a str> {
+        let start = self.pos;
+        let bytes = self.bytes();
+        while self.pos < bytes.len() && is_name_byte(bytes[self.pos], self.pos == start) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err(ErrorKind::Malformed(what)));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn skip_whitespace(&mut self) {
+        let bytes = self.bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+}
+
+enum Markup {
+    Comment,
+    Cdata,
+    Declaration,
+    ProcessingInstruction,
+    EndTag,
+    StartTag,
+}
+
+fn is_name_byte(byte: u8, first: bool) -> bool {
+    byte.is_ascii_alphabetic()
+        || byte == b'_'
+        || byte == b':'
+        || byte >= 0x80
+        || (!first && (byte.is_ascii_digit() || byte == b'-' || byte == b'.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<Event<'_>> {
+        let mut reader = Reader::new(input);
+        let mut out = Vec::new();
+        while let Some(event) = reader.next().expect("parse error") {
+            out.push(event);
+        }
+        out
+    }
+
+    fn parse_error(input: &str) -> Error {
+        let mut reader = Reader::new(input);
+        loop {
+            match reader.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("expected parse error for {input:?}"),
+                Err(err) => return err,
+            }
+        }
+    }
+
+    #[test]
+    fn simple_element_with_text() {
+        let evts = events("<a>hello</a>");
+        assert_eq!(evts.len(), 3);
+        assert!(matches!(&evts[0], Event::Start { name: "a", .. }));
+        assert!(matches!(&evts[1], Event::Text(t) if t == "hello"));
+        assert!(matches!(&evts[2], Event::End { name: "a" }));
+    }
+
+    #[test]
+    fn nested_elements_and_whitespace_skipping() {
+        let evts = events("<a>\n  <b>x</b>\n  <c/>\n</a>");
+        let names: Vec<String> = evts
+            .iter()
+            .map(|e| match e {
+                Event::Start { name, .. } => format!("+{name}"),
+                Event::End { name } => format!("-{name}"),
+                Event::Text(t) => format!("t:{t}"),
+            })
+            .collect();
+        assert_eq!(names, ["+a", "+b", "t:x", "-b", "+c", "-c", "-a"]);
+    }
+
+    #[test]
+    fn self_closing_emits_start_and_end() {
+        let evts = events("<a><b/></a>");
+        assert!(matches!(&evts[1], Event::Start { name: "b", empty: true, .. }));
+        assert!(matches!(&evts[2], Event::End { name: "b" }));
+    }
+
+    #[test]
+    fn attributes_parsed_and_unescaped() {
+        let evts = events(r#"<a key="v1" other='a &amp; b'/>"#);
+        match &evts[0] {
+            Event::Start { attrs, .. } => {
+                assert_eq!(attrs[0], ("key", Cow::Borrowed("v1")));
+                assert_eq!(attrs[1].0, "other");
+                assert_eq!(attrs[1].1, "a & b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prolog_comment_doctype_cdata() {
+        let input = "<?xml version=\"1.0\"?>\n<!DOCTYPE dblp SYSTEM \"dblp.dtd\" [<!ENTITY x \"y\">]>\n<!-- top --><a><![CDATA[1 < 2]]></a>";
+        let evts = events(input);
+        assert!(matches!(&evts[1], Event::Text(t) if t == "1 < 2"));
+    }
+
+    #[test]
+    fn entity_text_unescaped() {
+        let evts = events("<a>x &lt; y &#33;</a>");
+        assert!(matches!(&evts[1], Event::Text(t) if t == "x < y !"));
+    }
+
+    #[test]
+    fn mismatched_tag_is_error() {
+        let err = parse_error("<a><b></a></b>");
+        assert!(matches!(err.kind, ErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_element_is_error() {
+        let err = parse_error("<a><b>");
+        assert!(matches!(err.kind, ErrorKind::UnclosedElements(2)));
+    }
+
+    #[test]
+    fn unopened_end_tag_is_error() {
+        let err = parse_error("<a></a></b>");
+        assert!(matches!(
+            err.kind,
+            ErrorKind::UnopenedTag(_) | ErrorKind::BadDocumentStructure(_)
+        ));
+    }
+
+    #[test]
+    fn text_outside_root_is_error() {
+        let err = parse_error("hello<a></a>");
+        assert!(matches!(err.kind, ErrorKind::BadDocumentStructure(_)));
+    }
+
+    #[test]
+    fn empty_document_is_error() {
+        let err = parse_error("   ");
+        assert!(matches!(err.kind, ErrorKind::BadDocumentStructure(_)));
+    }
+
+    #[test]
+    fn second_root_is_error() {
+        let err = parse_error("<a></a><b></b>");
+        assert!(matches!(err.kind, ErrorKind::BadDocumentStructure(_)));
+    }
+
+    #[test]
+    fn bad_entity_reported() {
+        let err = parse_error("<a>&nope;</a>");
+        assert!(matches!(err.kind, ErrorKind::BadEntity(ref e) if e == "nope"));
+    }
+
+    #[test]
+    fn unterminated_comment_is_eof_error() {
+        let err = parse_error("<a></a><!-- never closed");
+        assert!(matches!(err.kind, ErrorKind::UnexpectedEof(_)));
+    }
+
+    #[test]
+    fn depth_tracks_nesting() {
+        let mut reader = Reader::new("<a><b></b></a>");
+        assert_eq!(reader.depth(), 0);
+        reader.next().unwrap();
+        assert_eq!(reader.depth(), 1);
+        reader.next().unwrap();
+        assert_eq!(reader.depth(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! XML serialization with correct escaping.
+
+use std::io::{self, Write};
+
+use crate::dom::{Element, Node};
+use crate::escape::{escape_attr, escape_text};
+
+/// Writes `element` (and its subtree) to `out` with no added whitespace.
+///
+/// Output re-parses to an equal DOM: `Document::parse(written).root ==
+/// *element` — the property the generator crate relies on.
+pub fn write_element<W: Write>(out: &mut W, element: &Element) -> io::Result<()> {
+    write!(out, "<{}", element.name)?;
+    for (key, value) in &element.attrs {
+        write!(out, " {}=\"{}\"", key, escape_attr(value))?;
+    }
+    if element.children.is_empty() {
+        return write!(out, "/>");
+    }
+    write!(out, ">")?;
+    for child in &element.children {
+        match child {
+            Node::Element(el) => write_element(out, el)?,
+            Node::Text(text) => write!(out, "{}", escape_text(text))?,
+        }
+    }
+    write!(out, "</{}>", element.name)
+}
+
+/// Convenience: serializes to a `String`.
+pub fn element_to_string(element: &Element) -> String {
+    let mut buf = Vec::new();
+    write_element(&mut buf, element).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("writer emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    #[test]
+    fn simple_serialization() {
+        let el = Element::new("book")
+            .with_attr("id", "3")
+            .with_child(Element::new("title").with_text("A & B"))
+            .with_child(Element::new("note"));
+        assert_eq!(
+            element_to_string(&el),
+            r#"<book id="3"><title>A &amp; B</title><note/></book>"#
+        );
+    }
+
+    #[test]
+    fn roundtrip_with_special_chars() {
+        let el = Element::new("a")
+            .with_attr("q", "x \"y\" <z>")
+            .with_text("1 < 2 & 3 > 2");
+        let written = element_to_string(&el);
+        let reparsed = Document::parse(&written).unwrap();
+        assert_eq!(reparsed.root, el);
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let el = Element::new("dblp").with_child(
+            Element::new("book")
+                .with_child(Element::new("author").with_text("Suciu"))
+                .with_child(Element::new("author").with_text("Sudarshan"))
+                .with_child(Element::new("year").with_text("1993")),
+        );
+        let reparsed = Document::parse(&element_to_string(&el)).unwrap();
+        assert_eq!(reparsed.root, el);
+    }
+}

@@ -1,0 +1,65 @@
+//! Robustness: the parser must never panic, whatever the input.
+
+use proptest::prelude::*;
+use twig_xml::{Document, Reader};
+
+fn drive(input: &str) {
+    // Pull every event until end or error; must not panic.
+    let mut reader = Reader::new(input);
+    loop {
+        match reader.next() {
+            Ok(Some(_)) => continue,
+            Ok(None) | Err(_) => break,
+        }
+    }
+    let _ = Document::parse(input);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary UTF-8 never panics the parser.
+    #[test]
+    fn arbitrary_strings_do_not_panic(input in ".{0,200}") {
+        drive(&input);
+    }
+
+    /// Markup-dense strings never panic the parser.
+    #[test]
+    fn markup_soup_does_not_panic(input in r#"[<>/&;="'a-z\[\]!? -]{0,200}"#) {
+        drive(&input);
+    }
+
+    /// Truncations of valid documents never panic and never succeed
+    /// with missing structure.
+    #[test]
+    fn truncated_documents_fail_cleanly(cut in 1usize..60) {
+        let valid = r#"<a k="v&amp;w"><!--c--><b>text</b><![CDATA[x]]><c/></a>"#;
+        let boundary = valid
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([valid.len()])
+            .filter(|&i| i <= cut)
+            .next_back()
+            .unwrap_or(0);
+        let truncated = &valid[..boundary];
+        if !truncated.is_empty() {
+            drive(truncated);
+            // A strict prefix shorter than the whole document must not
+            // parse into a complete DOM.
+            if boundary < valid.len() {
+                prop_assert!(Document::parse(truncated).is_err());
+            }
+        }
+    }
+}
+
+#[test]
+fn pathological_nesting_of_brackets() {
+    for input in [
+        "<!DOCTYPE [[[[", "<![CDATA[", "<!--", "<?", "</", "<a b=", "<a b='",
+        "&#xFFFFFFFFFF;", "<a>&#x;</a>", "<<<<>>>>",
+    ] {
+        drive(input);
+    }
+}

@@ -1,0 +1,146 @@
+//! Edge-case coverage for the XML reader beyond the unit tests.
+
+use twig_xml::{Document, Element, Event, Reader};
+
+fn events(input: &str) -> Vec<String> {
+    let mut reader = Reader::new(input);
+    let mut out = Vec::new();
+    while let Some(event) = reader.next().expect("parse error") {
+        out.push(match event {
+            Event::Start { name, attrs, .. } => {
+                format!("+{name}[{}]", attrs.len())
+            }
+            Event::End { name } => format!("-{name}"),
+            Event::Text(t) => format!("t:{t}"),
+        });
+    }
+    out
+}
+
+#[test]
+fn utf8_element_names_and_text() {
+    let evts = events("<données><été>çà</été></données>");
+    assert_eq!(evts, ["+données[0]", "+été[0]", "t:çà", "-été", "-données"]);
+}
+
+#[test]
+fn multibyte_text_with_entities() {
+    let evts = events("<a>día &amp; noche — 日本語</a>");
+    assert_eq!(evts[1], "t:día & noche — 日本語");
+}
+
+#[test]
+fn attribute_edge_cases() {
+    let evts = events(r#"<a empty="" spaced = "v" single='s"q'/>"#);
+    assert_eq!(evts[0], "+a[3]");
+    let doc = Document::parse(r#"<a empty="" single='s"q'/>"#).unwrap();
+    assert_eq!(doc.root.attrs[0], ("empty".to_owned(), String::new()));
+    assert_eq!(doc.root.attrs[1], ("single".to_owned(), "s\"q".to_owned()));
+}
+
+#[test]
+fn deep_nesting_does_not_overflow() {
+    let depth = 5_000;
+    let mut xml = String::new();
+    for i in 0..depth {
+        xml.push_str(&format!("<d{}>", i % 7));
+    }
+    xml.push('x');
+    for i in (0..depth).rev() {
+        xml.push_str(&format!("</d{}>", i % 7));
+    }
+    let mut reader = Reader::new(&xml);
+    let mut count = 0usize;
+    while reader.next().expect("parses").is_some() {
+        count += 1;
+    }
+    assert_eq!(count, depth * 2 + 1);
+}
+
+#[test]
+fn cdata_with_markup_inside() {
+    let evts = events("<a><![CDATA[<b>&amp;</b>]]></a>");
+    assert_eq!(evts[1], "t:<b>&amp;</b>", "CDATA content is literal");
+}
+
+#[test]
+fn comments_between_everything() {
+    let evts = events("<!--x--><a><!--y-->1<!--z--><b/><!--w--></a><!--v-->");
+    assert_eq!(evts, ["+a[0]", "t:1", "+b[0]", "-b", "-a"]);
+}
+
+#[test]
+fn processing_instruction_mid_document() {
+    let evts = events("<a><?php echo ?><b/></a>");
+    assert_eq!(evts, ["+a[0]", "+b[0]", "-b", "-a"]);
+}
+
+#[test]
+fn numeric_references_boundaries() {
+    let evts = events("<a>&#9;&#x10FFFF;</a>");
+    assert_eq!(evts[1], format!("t:\t{}", char::from_u32(0x10FFFF).unwrap()));
+    // Surrogate code points are invalid chars.
+    let mut reader = Reader::new("<a>&#xD800;</a>");
+    let mut failed = false;
+    loop {
+        match reader.next() {
+            Ok(Some(_)) => continue,
+            Ok(None) => break,
+            Err(_) => {
+                failed = true;
+                break;
+            }
+        }
+    }
+    assert!(failed, "surrogate reference must be rejected");
+}
+
+#[test]
+fn tag_names_with_allowed_punctuation() {
+    let evts = events("<ns:a-b.c_1><x/></ns:a-b.c_1>");
+    assert_eq!(evts[0], "+ns:a-b.c_1[0]");
+}
+
+#[test]
+fn crlf_and_tabs_as_whitespace() {
+    let evts = events("<a\r\n\tk=\"v\"\r\n>\r\n<b/>\r\n</a>");
+    assert_eq!(evts, ["+a[1]", "+b[0]", "-b", "-a"]);
+}
+
+#[test]
+fn doctype_with_internal_subset_and_angle_brackets() {
+    let input = r#"<!DOCTYPE r [
+        <!ELEMENT r (a)*>
+        <!ENTITY x "y">
+    ]><r><a/></r>"#;
+    let evts = events(input);
+    assert_eq!(evts, ["+r[0]", "+a[0]", "-a", "-r"]);
+}
+
+#[test]
+fn writer_escapes_everything_roundtrip() {
+    let nasty = "a<b>c&d\"e'f\u{1F980}g";
+    let el = Element::new("x").with_attr("k", nasty).with_text(nasty);
+    let text = twig_xml::writer::element_to_string(&el);
+    let doc = Document::parse(&text).unwrap();
+    assert_eq!(doc.root, el);
+}
+
+#[test]
+fn malformed_inputs_fail_cleanly() {
+    for bad in [
+        "<a", "<a b></a>", "<a 1k=\"v\"></a>", "< a></a>", "<a></ a>",
+        "<a><![CDATA[x]></a>", "<a>&#;</a>", "<a k=v></a>", "<>x</>",
+        "<a k=\"v></a>",
+    ] {
+        assert!(Document::parse(bad).is_err(), "accepted: {bad}");
+    }
+}
+
+#[test]
+fn large_text_nodes() {
+    let big = "x".repeat(1 << 20);
+    let xml = format!("<a>{big}</a>");
+    let doc = Document::parse(&xml).unwrap();
+    assert_eq!(doc.root.text().len(), 1 << 20);
+}

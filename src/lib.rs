@@ -1,0 +1,15 @@
+//! Meta-crate for the twig selectivity estimation workspace.
+//!
+//! Re-exports the public crates so the `examples/` and `tests/` targets can
+//! reach every subsystem through one dependency. Library users should depend
+//! on the individual crates (`twig-core` for the estimator) instead.
+
+pub use twig_core as core;
+pub use twig_datagen as datagen;
+pub use twig_eval as eval;
+pub use twig_exact as exact;
+pub use twig_pst as pst;
+pub use twig_sethash as sethash;
+pub use twig_tree as tree;
+pub use twig_util as util;
+pub use twig_xml as xml;

@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: generate → parse → summarize →
+//! estimate, checked against exact counting.
+
+use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
+use twig_datagen::{
+    generate_dblp, generate_sprot, positive_queries, trivial_queries, DblpConfig, SprotConfig,
+    WorkloadConfig,
+};
+use twig_exact::{count_occurrence, count_presence};
+use twig_tree::{DataTree, Twig};
+
+fn dblp_tree(bytes: usize, seed: u64) -> DataTree {
+    let xml = generate_dblp(&DblpConfig { target_bytes: bytes, seed, ..DblpConfig::default() });
+    DataTree::from_xml(&xml).expect("generated XML is well-formed")
+}
+
+fn unpruned(tree: &DataTree) -> Cst {
+    Cst::build(
+        tree,
+        &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
+    )
+}
+
+#[test]
+fn full_pipeline_runs_on_both_corpora() {
+    let dblp = dblp_tree(100 << 10, 5);
+    let sprot_xml = generate_sprot(&SprotConfig { target_bytes: 100 << 10, seed: 5 });
+    let sprot = DataTree::from_xml(&sprot_xml).expect("well-formed");
+    for tree in [&dblp, &sprot] {
+        let cst = Cst::build(
+            tree,
+            &CstConfig { budget: SpaceBudget::Fraction(0.10), ..CstConfig::default() },
+        );
+        assert!(cst.node_count() > 1);
+        let queries = positive_queries(
+            tree,
+            &WorkloadConfig { count: 10, seed: 9, ..WorkloadConfig::default() },
+        );
+        for query in &queries {
+            for algo in Algorithm::ALL {
+                let est = cst.estimate(query, algo, CountKind::Occurrence);
+                assert!(est.is_finite() && est >= 0.0, "{algo} {query}: {est}");
+            }
+        }
+    }
+}
+
+#[test]
+fn unpruned_cst_is_exact_on_trivial_queries() {
+    // With threshold 1 (nothing pruned) a single-path query's count is
+    // read directly from the CST: every MO-family estimator must return
+    // the exact occurrence count.
+    let tree = dblp_tree(60 << 10, 11);
+    let cst = unpruned(&tree);
+    let queries = trivial_queries(
+        &tree,
+        &WorkloadConfig { count: 25, seed: 13, ..WorkloadConfig::default() },
+    );
+    for query in &queries {
+        let truth = count_occurrence(&tree, query) as f64;
+        for algo in [Algorithm::Greedy, Algorithm::PureMo, Algorithm::Mosh, Algorithm::Msh] {
+            let est = cst.estimate(query, algo, CountKind::Occurrence);
+            assert!(
+                (est - truth).abs() < 1e-6 * truth.max(1.0),
+                "{algo} on {query}: est {est} truth {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unpruned_cst_presence_exact_on_trivial_queries() {
+    let tree = dblp_tree(60 << 10, 17);
+    let cst = unpruned(&tree);
+    let queries = trivial_queries(
+        &tree,
+        &WorkloadConfig { count: 20, seed: 19, ..WorkloadConfig::default() },
+    );
+    for query in &queries {
+        let truth = count_presence(&tree, query) as f64;
+        let est = cst.estimate(query, Algorithm::Mosh, CountKind::Presence);
+        assert!(
+            (est - truth).abs() < 1e-6 * truth.max(1.0),
+            "{query}: est {est} truth {truth}"
+        );
+    }
+}
+
+#[test]
+fn estimates_shrink_with_budget_but_never_break() {
+    let tree = dblp_tree(120 << 10, 23);
+    let queries = positive_queries(
+        &tree,
+        &WorkloadConfig { count: 15, seed: 29, ..WorkloadConfig::default() },
+    );
+    for fraction in [0.01, 0.05, 0.2] {
+        let cst = Cst::build(
+            &tree,
+            &CstConfig { budget: SpaceBudget::Fraction(fraction), ..CstConfig::default() },
+        );
+        assert!(
+            cst.size_bytes() as f64 <= tree.source_bytes() as f64 * fraction + 1.0,
+            "budget overrun at {fraction}"
+        );
+        for query in &queries {
+            for algo in Algorithm::ALL {
+                let est = cst.estimate(query, algo, CountKind::Occurrence);
+                assert!(est.is_finite() && est >= 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn estimators_agree_with_exact_on_figure1() {
+    // The paper's running example, end to end, unpruned.
+    let xml = concat!(
+        "<dblp>",
+        "<book><author>A1</author><title>T1</title><year>Y1</year></book>",
+        "<book><author>A1</author><author>A2</author><title>T2</title><year>Y1</year></book>",
+        "<book><author>A1</author><author>A2</author><author>A3</author><title>T3</title><year>Y1</year></book>",
+        "</dblp>"
+    );
+    let tree = DataTree::from_xml(xml).unwrap();
+    let cst = unpruned(&tree);
+    let query1 = Twig::parse(r#"book(author("A1"),year("Y1"))"#).unwrap();
+    assert_eq!(count_presence(&tree, &query1), 3);
+    let est = cst.estimate(&query1, Algorithm::Mosh, CountKind::Presence);
+    assert!((est - 3.0).abs() < 0.6, "est {est}");
+
+    // Section 5's occurrence arithmetic: ≈ presence × (6/3) × (3/3).
+    let query2 = Twig::parse(r#"book(author,year("Y1"))"#).unwrap();
+    assert_eq!(count_occurrence(&tree, &query2), 6);
+    let est_occ = cst.estimate(&query2, Algorithm::Mosh, CountKind::Occurrence);
+    assert!((est_occ - 6.0).abs() < 1.2, "est {est_occ}");
+}
+
+#[test]
+fn negative_queries_estimate_small() {
+    let tree = dblp_tree(120 << 10, 31);
+    let cst = Cst::build(
+        &tree,
+        &CstConfig { budget: SpaceBudget::Fraction(0.10), ..CstConfig::default() },
+    );
+    let candidates = twig_datagen::negative_query_candidates(
+        &tree,
+        &WorkloadConfig { count: 30, seed: 37, ..WorkloadConfig::default() },
+    );
+    let negatives: Vec<Twig> = candidates
+        .into_iter()
+        .filter(|q| count_presence(&tree, q) == 0)
+        .take(10)
+        .collect();
+    assert!(!negatives.is_empty());
+    for query in &negatives {
+        // Greedy multiplies small probabilities: near-zero on negatives.
+        let greedy = cst.estimate(query, Algorithm::Greedy, CountKind::Occurrence);
+        assert!(greedy < 50.0, "greedy on negative {query}: {greedy}");
+    }
+}
+
+#[test]
+fn occurrence_at_least_presence_for_estimates_and_truth() {
+    let tree = dblp_tree(100 << 10, 41);
+    let cst = unpruned(&tree);
+    let queries = positive_queries(
+        &tree,
+        &WorkloadConfig { count: 15, seed: 43, ..WorkloadConfig::default() },
+    );
+    for query in &queries {
+        assert!(count_occurrence(&tree, query) >= count_presence(&tree, query), "{query}");
+        let p = cst.estimate(query, Algorithm::Mosh, CountKind::Presence);
+        let o = cst.estimate(query, Algorithm::Mosh, CountKind::Occurrence);
+        // The uniformity scaling multiplies by Co/Cp ≥ 1 per chain.
+        assert!(o >= p * 0.999, "{query}: presence {p} occurrence {o}");
+    }
+}
+
+#[test]
+fn summary_is_self_contained() {
+    // Estimation must not need the data tree: drop it and keep estimating.
+    let cst = {
+        let tree = dblp_tree(60 << 10, 47);
+        unpruned(&tree)
+    };
+    let query = Twig::parse(r#"article(author("S"),year("19"))"#).unwrap();
+    let est = cst.estimate(&query, Algorithm::Msh, CountKind::Occurrence);
+    assert!(est.is_finite() && est >= 0.0);
+}

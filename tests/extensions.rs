@@ -1,0 +1,118 @@
+//! Integration tests for the paper's future-work extensions: wildcard
+//! queries, ordered matching, and summary persistence.
+
+use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
+use twig_datagen::{generate_sprot, SprotConfig};
+use twig_exact::{
+    count_occurrence, count_occurrence_ordered, count_presence, count_presence_ordered,
+};
+use twig_tree::{DataTree, Twig};
+
+fn sprot() -> DataTree {
+    DataTree::from_xml(&generate_sprot(&SprotConfig { target_bytes: 120 << 10, seed: 5150 }))
+        .unwrap()
+}
+
+#[test]
+fn wildcard_queries_estimate_and_count() {
+    let tree = sprot();
+    let cst = Cst::build(
+        &tree,
+        &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
+    );
+    // `*` bridges the taxonomy nesting of unknown depth.
+    let query = Twig::parse(r#"organism(*(name("Eukaryota")))"#).unwrap();
+    let presence = count_presence(&tree, &query);
+    assert!(presence > 0, "taxonomy chains exist");
+    for algo in Algorithm::ALL {
+        let est = cst.estimate(&query, algo, CountKind::Presence);
+        assert!(est.is_finite() && est >= 0.0, "{algo}");
+    }
+}
+
+#[test]
+fn wildcard_chain_length_matters() {
+    let tree = DataTree::from_xml(
+        "<r><a><m><n><x>v</x></n></m></a><a><x>v</x></a></r>",
+    )
+    .unwrap();
+    // `*` matches element chains of length >= 1 below `a`, and the
+    // chain's end must have an `x("v")` child. First record: chains m
+    // (no x child) and m.n (x child ✓) -> 1 mapping. Second record: the
+    // only chain is x itself, which has no x child -> 0.
+    let q = Twig::parse(r#"a(*(x("v")))"#).unwrap();
+    assert_eq!(count_occurrence(&tree, &q), 1);
+    assert_eq!(count_presence(&tree, &q), 1);
+}
+
+#[test]
+fn ordered_counting_full_workload_invariants() {
+    let tree = sprot();
+    let queries = twig_datagen::positive_queries(
+        &tree,
+        &twig_datagen::WorkloadConfig { count: 20, seed: 6, ..Default::default() },
+    );
+    for q in &queries {
+        assert!(count_presence_ordered(&tree, q) <= count_presence(&tree, q));
+        assert!(count_occurrence_ordered(&tree, q) <= count_occurrence(&tree, q));
+    }
+}
+
+#[test]
+fn ordered_estimation_reasonable_on_workload() {
+    let tree = sprot();
+    let cst = Cst::build(
+        &tree,
+        &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
+    );
+    let queries = twig_datagen::positive_queries(
+        &tree,
+        &twig_datagen::WorkloadConfig { count: 15, seed: 8, ..Default::default() },
+    );
+    for q in &queries {
+        let unordered = cst.estimate(q, Algorithm::Msh, CountKind::Occurrence);
+        let ordered = cst.estimate_ordered(q, Algorithm::Msh, CountKind::Occurrence);
+        assert!(ordered <= unordered + 1e-9, "{q}");
+        assert!(ordered >= 0.0);
+    }
+}
+
+#[test]
+fn summary_file_roundtrip_through_disk() {
+    let tree = sprot();
+    let cst = Cst::build(
+        &tree,
+        &CstConfig { budget: SpaceBudget::Fraction(0.2), ..CstConfig::default() },
+    );
+    let path = std::env::temp_dir().join(format!("twig-ext-{}.cst", std::process::id()));
+    let mut buffer = Vec::new();
+    cst.write_to(&mut buffer).unwrap();
+    std::fs::write(&path, &buffer).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let restored = Cst::read_from(&mut bytes.as_slice()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let queries = twig_datagen::positive_queries(
+        &tree,
+        &twig_datagen::WorkloadConfig { count: 10, seed: 10, ..Default::default() },
+    );
+    for q in &queries {
+        for algo in Algorithm::ALL {
+            assert_eq!(
+                cst.estimate(q, algo, CountKind::Occurrence),
+                restored.estimate(q, algo, CountKind::Occurrence),
+                "{algo} {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wildcard_star_as_leaf() {
+    let tree = DataTree::from_xml("<r><a><b>x</b></a><a>y</a></r>").unwrap();
+    // A bare * leaf matches any element chain below a.
+    let q = Twig::parse("a(*)").unwrap();
+    // First a: chains b (len 1) → 1 mapping; second a: no element child.
+    assert_eq!(count_occurrence(&tree, &q), 1);
+    assert_eq!(count_presence(&tree, &q), 1);
+}

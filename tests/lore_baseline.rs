@@ -1,0 +1,96 @@
+//! Integration: the Lore-style Markov baseline vs the paper's estimators
+//! (the Sec. 1.1 claim that CST-based estimation beats subpath-statistics
+//! approaches on twig queries).
+
+use twig_core::lore::LoreSummary;
+use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
+use twig_datagen::{generate_dblp, positive_queries, DblpConfig, WorkloadConfig};
+use twig_exact::count_occurrence;
+use twig_tree::DataTree;
+
+fn fixture() -> DataTree {
+    DataTree::from_xml(&generate_dblp(&DblpConfig {
+        target_bytes: 400 << 10,
+        seed: 1101,
+        ..DblpConfig::default()
+    }))
+    .unwrap()
+}
+
+#[test]
+fn lore_estimates_are_finite_and_nonnegative() {
+    let tree = fixture();
+    let lore = LoreSummary::build(&tree, 3);
+    let queries = positive_queries(
+        &tree,
+        &WorkloadConfig { count: 30, seed: 2, ..WorkloadConfig::default() },
+    );
+    for q in &queries {
+        let est = lore.estimate(q);
+        assert!(est.is_finite() && est >= 0.0, "{q}: {est}");
+    }
+}
+
+#[test]
+fn lore_single_path_equals_unpruned_cst() {
+    // On single paths within the Markov order both summaries are exact,
+    // so they must agree.
+    let tree = fixture();
+    let lore = LoreSummary::build(&tree, 4);
+    let cst = Cst::build(
+        &tree,
+        &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
+    );
+    let queries = twig_datagen::trivial_queries(
+        &tree,
+        &WorkloadConfig { count: 20, seed: 3, internal: (2, 3), ..WorkloadConfig::default() },
+    );
+    for q in &queries {
+        let lore_est = lore.estimate(q);
+        let cst_est = cst.estimate(q, Algorithm::PureMo, CountKind::Occurrence);
+        assert!(
+            (lore_est - cst_est).abs() <= 0.02 * cst_est.max(1.0),
+            "{q}: lore {lore_est} vs cst {cst_est}"
+        );
+    }
+}
+
+#[test]
+fn set_hashing_beats_lore_on_twig_workload() {
+    // Aggregate relative error over a positive workload: MSH (with
+    // correlations) must beat the Markov baseline (without), per Sec. 1.1.
+    let tree = fixture();
+    let lore = LoreSummary::build(&tree, 3);
+    let cst = Cst::build(
+        &tree,
+        &CstConfig {
+            budget: SpaceBudget::Threshold(1),
+            signature_len: 64,
+            ..CstConfig::default()
+        },
+    );
+    let queries = positive_queries(
+        &tree,
+        &WorkloadConfig { count: 40, seed: 4, ..WorkloadConfig::default() },
+    );
+    let mut lore_err = 0.0;
+    let mut msh_err = 0.0;
+    let mut counted = 0usize;
+    for q in &queries {
+        let truth = count_occurrence(&tree, q) as f64;
+        if truth == 0.0 {
+            continue;
+        }
+        counted += 1;
+        lore_err += (truth - lore.estimate(q)).abs() / truth;
+        msh_err +=
+            (truth - cst.estimate(q, Algorithm::Msh, CountKind::Occurrence)).abs() / truth;
+    }
+    assert!(counted >= 30, "not enough queries");
+    let lore_avg = lore_err / counted as f64;
+    let msh_avg = msh_err / counted as f64;
+    assert!(
+        msh_avg < lore_avg,
+        "MSH avg rel err {msh_avg:.3} must beat Lore {lore_avg:.3}"
+    );
+}

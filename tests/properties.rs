@@ -1,0 +1,295 @@
+//! Property-based tests over randomly generated trees and queries.
+//!
+//! The key cross-check: the suffix trie's three counts (`pc`, `Cp`, `Co`)
+//! are validated against *independent* implementations — `twig-exact`'s
+//! match counters for label-rooted subpaths and a direct substring scan
+//! for string fragments.
+
+use proptest::prelude::*;
+use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
+use twig_exact::{count_occurrence, count_occurrence_ordered, count_presence};
+use twig_pst::{build_suffix_trie, PathToken, TrieConfig, TrieNodeId};
+use twig_tree::{DataTree, TreeBuilder, Twig};
+use twig_util::SplitMix64;
+
+/// Builds a random tree from a seed. Labels encode their depth
+/// (`l<depth>_<k>`) so no label ever repeats along a vertical chain —
+/// the precondition under which the trie counts are exact.
+fn random_tree(seed: u64, max_children: u64, depth: usize) -> DataTree {
+    let mut rng = SplitMix64::new(seed);
+    let mut builder = TreeBuilder::new();
+    fn grow(
+        builder: &mut TreeBuilder,
+        rng: &mut SplitMix64,
+        depth: usize,
+        max_depth: usize,
+        max_children: u64,
+    ) {
+        if depth == max_depth {
+            // Leaf value: short string over a tiny alphabet so fragments
+            // repeat across leaves.
+            let len = 1 + rng.next_below(4) as usize;
+            let mut value = String::new();
+            for _ in 0..len {
+                value.push((b'a' + rng.next_below(3) as u8) as char);
+            }
+            builder.text(&value);
+            return;
+        }
+        let children = 1 + rng.next_below(max_children);
+        for _ in 0..children {
+            let label = format!("l{}_{}", depth, rng.next_below(3));
+            builder.open_element(&label);
+            if rng.next_below(5) > 0 {
+                grow(builder, rng, depth + 1, max_depth, max_children);
+            }
+            builder.close_element();
+        }
+    }
+    builder.open_element("root");
+    grow(&mut builder, &mut rng, 1, depth, max_children);
+    builder.close_element();
+    let mut tree = builder.finish();
+    tree.set_source_bytes(tree.node_count() * 24);
+    tree
+}
+
+
+/// True when the workload sampler can operate on `tree` (some non-root
+/// element has an element child). Degenerate random trees are skipped.
+fn sampleable(tree: &DataTree) -> bool {
+    tree.dfs().any(|n| {
+        n != tree.root()
+            && tree.element_symbol(n).is_some()
+            && tree.children(n).any(|c| tree.element_symbol(c).is_some())
+    })
+}
+
+/// Reconstructs the `(labels, value-prefix)` form of a label-rooted trie
+/// node's token sequence.
+fn tokens_to_twig(tree: &DataTree, tokens: &[PathToken]) -> Option<Twig> {
+    let mut labels: Vec<&str> = Vec::new();
+    let mut value = String::new();
+    for token in tokens {
+        match token {
+            PathToken::Element(sym) => {
+                if !value.is_empty() {
+                    return None; // labels after value chars: not a path twig
+                }
+                labels.push(tree.label_str(*sym));
+            }
+            PathToken::Char(byte) => value.push(*byte as char),
+        }
+    }
+    if labels.is_empty() {
+        return None;
+    }
+    Some(Twig::path(&labels, (!value.is_empty()).then_some(value.as_str())))
+}
+
+/// Counts occurrences of `fragment` across all `(leaf, offset)` positions.
+fn substring_positions(tree: &DataTree, fragment: &[u8]) -> u64 {
+    let mut total = 0u64;
+    for node in tree.dfs() {
+        if let Some(text) = tree.text(node) {
+            let bytes = text.as_bytes();
+            if fragment.len() <= bytes.len() {
+                for offset in 0..=(bytes.len() - fragment.len()) {
+                    if &bytes[offset..offset + fragment.len()] == fragment {
+                        total += 1;
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every label-rooted trie count equals what the exact twig counter
+    /// computes for the corresponding single-path query.
+    #[test]
+    fn trie_counts_match_exact_counter(seed in 0u64..5_000) {
+        let tree = random_tree(seed, 3, 4);
+        let trie = build_suffix_trie(&tree, &TrieConfig::default());
+        let pruned = trie.prune(1);
+        for node in pruned.node_ids().skip(1) {
+            if !pruned.label_rooted(node) {
+                continue;
+            }
+            let tokens = pruned.tokens_of(node);
+            let Some(twig) = tokens_to_twig(&tree, &tokens) else { continue };
+            let presence = count_presence(&tree, &twig);
+            let occurrence = count_occurrence(&tree, &twig);
+            prop_assert_eq!(
+                u64::from(pruned.presence(node)), presence,
+                "presence mismatch for {}", twig
+            );
+            prop_assert_eq!(
+                u64::from(pruned.occurrence(node)), occurrence,
+                "occurrence mismatch for {}", twig
+            );
+        }
+    }
+
+    /// String-fragment presence counts equal a direct substring scan.
+    #[test]
+    fn trie_string_counts_match_scan(seed in 0u64..5_000) {
+        let tree = random_tree(seed, 3, 3);
+        let trie = build_suffix_trie(&tree, &TrieConfig::default());
+        let pruned = trie.prune(1);
+        for node in pruned.node_ids().skip(1) {
+            if pruned.label_rooted(node) {
+                continue;
+            }
+            let tokens = pruned.tokens_of(node);
+            let fragment: Vec<u8> = tokens
+                .iter()
+                .map(|t| match t {
+                    PathToken::Char(byte) => *byte,
+                    PathToken::Element(_) => unreachable!("string node"),
+                })
+                .collect();
+            prop_assert_eq!(
+                u64::from(pruned.presence(node)),
+                substring_positions(&tree, &fragment),
+                "fragment {:?}", String::from_utf8_lossy(&fragment)
+            );
+        }
+    }
+
+    /// pc is monotone: child counts never exceed parents'.
+    #[test]
+    fn trie_path_counts_monotone(seed in 0u64..5_000) {
+        let tree = random_tree(seed, 3, 4);
+        let pruned = build_suffix_trie(&tree, &TrieConfig::default()).prune(1);
+        for node in pruned.node_ids().skip(1) {
+            let parent = pruned.parent(node).expect("non-root");
+            if parent != TrieNodeId::ROOT {
+                prop_assert!(pruned.path_count(node) <= pruned.path_count(parent));
+            }
+            prop_assert!(pruned.presence(node) <= pruned.occurrence(node));
+            prop_assert!(pruned.occurrence(node) >= 1);
+        }
+    }
+
+    /// Exact-counting invariants on random twigs sampled from the tree.
+    #[test]
+    fn exact_counting_invariants(seed in 0u64..5_000) {
+        let tree = random_tree(seed, 4, 4);
+        prop_assume!(sampleable(&tree));
+        let queries = twig_datagen::positive_queries(
+            &tree,
+            &twig_datagen::WorkloadConfig {
+                count: 4,
+                seed,
+                paths: (2, 3),
+                internal: (2, 3),
+                leaf_chars: (1, 2),
+            },
+        );
+        for query in &queries {
+            let presence = count_presence(&tree, query);
+            let occurrence = count_occurrence(&tree, query);
+            let ordered_presence = twig_exact::count_presence_ordered(&tree, query);
+            let ordered_occurrence = count_occurrence_ordered(&tree, query);
+            prop_assert!(presence >= 1, "positive query must match: {}", query);
+            prop_assert!(occurrence >= presence);
+            prop_assert!(ordered_occurrence <= occurrence);
+            prop_assert!(ordered_presence <= presence);
+        }
+    }
+
+    /// Estimates are finite and non-negative for every algorithm, count
+    /// kind and budget, on arbitrary queries (matching or not).
+    #[test]
+    fn estimates_always_sane(seed in 0u64..5_000, fraction in 0.02f64..0.9) {
+        let tree = random_tree(seed, 3, 4);
+        prop_assume!(sampleable(&tree));
+        let cst = Cst::build(
+            &tree,
+            &CstConfig { budget: SpaceBudget::Fraction(fraction), ..CstConfig::default() },
+        );
+        let queries = twig_datagen::positive_queries(
+            &tree,
+            &twig_datagen::WorkloadConfig {
+                count: 3,
+                seed: seed ^ 0xF00D,
+                paths: (2, 3),
+                internal: (2, 3),
+                leaf_chars: (1, 2),
+            },
+        );
+        // Plus a certainly-absent query.
+        let mut all = queries;
+        all.push(Twig::parse(r#"zz_no_such(l9_9("q"))"#).expect("valid"));
+        for query in &all {
+            for algo in Algorithm::ALL {
+                for kind in [CountKind::Presence, CountKind::Occurrence] {
+                    let est = cst.estimate(query, algo, kind);
+                    prop_assert!(est.is_finite() && est >= 0.0, "{} {:?} {}", algo, kind, query);
+                }
+            }
+        }
+    }
+
+    /// An unpruned summary answers trivial queries exactly (all MO-family
+    /// algorithms).
+    #[test]
+    fn unpruned_trivial_exactness(seed in 0u64..5_000) {
+        let tree = random_tree(seed, 3, 4);
+        prop_assume!(sampleable(&tree));
+        let cst = Cst::build(
+            &tree,
+            &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
+        );
+        let queries = twig_datagen::trivial_queries(
+            &tree,
+            &twig_datagen::WorkloadConfig {
+                count: 4,
+                seed: seed ^ 0xBEEF,
+                internal: (2, 3),
+                leaf_chars: (1, 2),
+                ..twig_datagen::WorkloadConfig::default()
+            },
+        );
+        for query in &queries {
+            let truth = count_occurrence(&tree, query) as f64;
+            for algo in [Algorithm::PureMo, Algorithm::Mosh, Algorithm::Msh] {
+                let est = cst.estimate(query, algo, CountKind::Occurrence);
+                prop_assert!(
+                    (est - truth).abs() <= 1e-6 * truth.max(1.0),
+                    "{} on {}: {} vs {}", algo, query, est, truth
+                );
+            }
+        }
+    }
+
+    /// XML roundtrip through the writer and parser preserves the tree.
+    #[test]
+    fn xml_roundtrip_via_dom(seed in 0u64..5_000) {
+        use twig_xml::{Document, Element};
+        let mut rng = SplitMix64::new(seed);
+        fn random_element(rng: &mut SplitMix64, depth: usize) -> Element {
+            let mut el = Element::new(format!("e{}", rng.next_below(5)));
+            if rng.next_below(2) == 0 {
+                el = el.with_attr(format!("a{}", rng.next_below(3)), "v&<>\"'");
+            }
+            if depth < 3 {
+                for _ in 0..rng.next_below(3) {
+                    el = el.with_child(random_element(rng, depth + 1));
+                }
+            }
+            if rng.next_below(2) == 0 {
+                el = el.with_text(format!("text {} <&> {}", rng.next_below(100), depth));
+            }
+            el
+        }
+        let original = random_element(&mut rng, 0);
+        let written = twig_xml::writer::element_to_string(&original);
+        let reparsed = Document::parse(&written).expect("roundtrip parses");
+        prop_assert_eq!(reparsed.root, original);
+    }
+}
