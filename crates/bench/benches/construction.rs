@@ -37,7 +37,7 @@ fn bench_construction(c: &mut Criterion) {
                             budget: SpaceBudget::Fraction(0.05),
                             ..CstConfig::default()
                         },
-                    ))
+                    ).expect("CST config is valid"))
                 });
             },
         );

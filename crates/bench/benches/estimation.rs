@@ -21,7 +21,7 @@ fn fixture() -> (DataTree, Cst, Vec<Twig>) {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.10), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     let queries = positive_queries(
         &tree,
         &WorkloadConfig { count: 32, seed: 3, ..WorkloadConfig::default() },

@@ -37,7 +37,7 @@ fn bench_query_pipeline(c: &mut Criterion) {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.10), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     let mut group = c.benchmark_group("query");
     group.bench_function("twig_parse", |b| {
         b.iter(|| black_box(Twig::parse(r#"article(author("S"),journal("TODS"),year("199"))"#)))

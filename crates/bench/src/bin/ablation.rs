@@ -23,7 +23,7 @@ fn main() {
                 signature_len: sig_len,
                 ..CstConfig::default()
             },
-        );
+        ).expect("CST config is valid");
         let estimates = workload.estimate_all(&cst, Algorithm::Mosh);
         let rel = avg_relative_error(&workload.truths, &estimates);
         let lsq = avg_relative_squared_error(&workload.truths, &estimates)
@@ -42,7 +42,7 @@ fn main() {
         &corpus.tree,
         &corpus.trie,
         &CstConfig { budget: SpaceBudget::Bytes(budget), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     let without = Cst::from_trie(
         &corpus.tree,
         &corpus.trie,
@@ -51,7 +51,7 @@ fn main() {
             with_signatures: false,
             ..CstConfig::default()
         },
-    );
+    ).expect("CST config is valid");
     for (label, cst) in [("with signatures", &with), ("without (cond. indep.)", &without)] {
         let estimates: Vec<f64> = workload
             .queries

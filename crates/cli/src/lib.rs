@@ -35,6 +35,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "estimate" => cmd_estimate(&mut args, out),
         "explain" => cmd_explain(&mut args, out),
         "exact" => cmd_exact(&mut args, out),
+        "audit" => cmd_audit(&mut args, out),
         "workload" => cmd_workload(&mut args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
@@ -58,6 +59,7 @@ USAGE:
                 [--algo NAME] [--count-kind presence|occurrence]
   twig explain  --summary FILE (--query TWIG | --xpath XPATH) [--algo NAME]
   twig exact    --input XML (--query TWIG | --xpath XPATH) [--ordered]
+  twig audit    --summary FILE [--queries FILE]
   twig workload --input XML [--count N] [--seed N] [--kind positive|trivial|negative]
 
 Twig query syntax: labels are elements, quoted strings are value-prefix
@@ -202,7 +204,8 @@ fn cmd_build(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
             threads,
             ..CstConfig::default()
         },
-    );
+    )
+    .map_err(|e| e.to_string())?;
     let mut buffer = Vec::new();
     cst.write_to(&mut buffer).map_err(io_err)?;
     fs::write(&output, &buffer).map_err(|e| format!("cannot write {output}: {e}"))?;
@@ -298,6 +301,33 @@ fn cmd_exact(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
     writeln!(out, "presence   {presence}").map_err(io_err)?;
     writeln!(out, "occurrence {occurrence}").map_err(io_err)?;
     Ok(())
+}
+
+/// Runs the CST invariant auditor (see `twig_core::audit`) on a stored
+/// summary. With `--queries`, additionally audits estimate sanity (I8)
+/// for every listed twig expression (one per line). Exits non-zero when
+/// any invariant is violated.
+fn cmd_audit(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
+    let path = args.require("summary")?;
+    let queries_path = args.take("queries");
+    let cst = load_summary(&path)?;
+    let mut violations = cst.audit();
+    if let Some(list) = queries_path {
+        let text = fs::read_to_string(&list).map_err(|e| format!("cannot read {list}: {e}"))?;
+        let mut queries = Vec::new();
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            queries.push(parse_query(line)?);
+        }
+        violations.extend(cst.audit_estimates(&queries));
+    }
+    if violations.is_empty() {
+        writeln!(out, "ok: all CST invariants hold for {path}").map_err(io_err)?;
+        return Ok(());
+    }
+    for violation in &violations {
+        writeln!(out, "violation: {violation}").map_err(io_err)?;
+    }
+    Err(format!("{} invariant violation(s) in {path}", violations.len()))
 }
 
 fn cmd_workload(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
@@ -477,6 +507,52 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("attribute axis"), "{err}");
+    }
+
+    #[test]
+    fn audit_command_detects_corruption() {
+        let corpus = temp_path("corpus5.xml");
+        let summary = temp_path("summary5.cst");
+        run_capture(&[
+            "generate", "--kind", "dblp", "--mb", "0.05", "--seed", "3", "--out", &corpus,
+        ])
+        .expect("generate");
+        run_capture(&["build", "--input", &corpus, "--space", "0.2", "--out", &summary])
+            .expect("build");
+
+        let ok = run_capture(&["audit", "--summary", &summary]).expect("audit clean");
+        assert!(ok.contains("ok:"), "{ok}");
+
+        // Estimate audit (I8) over a small query list is also clean.
+        let queries = temp_path("queries5.txt");
+        fs::write(&queries, "article(author(\"S\"))\n\nbook(title)\n").expect("write queries");
+        let ok = run_capture(&["audit", "--summary", &summary, "--queries", &queries])
+            .expect("audit with queries");
+        assert!(ok.contains("ok:"), "{ok}");
+
+        // Corrupt the stored presence count of the first non-root node so
+        // it exceeds its occurrence count (invariant I2). The node table
+        // sits after the fixed header and the label table; each record is
+        // five u32 fields plus a flag byte (see `serialize`).
+        let mut bytes = fs::read(&summary).expect("read summary");
+        let read_u32 = |bytes: &[u8], at: usize| {
+            u32::from_le_bytes(bytes[at..at + 4].try_into().expect("u32"))
+        };
+        let mut at = 8 + 4 * 8 + 3 * 4;
+        let label_count = read_u32(&bytes, at);
+        at += 4;
+        for _ in 0..label_count {
+            let len = read_u32(&bytes, at) as usize;
+            at += 4 + len;
+        }
+        at += 4; // node count
+        let node1 = at + 21; // skip the root record
+        let occurrence = read_u32(&bytes, node1 + 16);
+        bytes[node1 + 12..node1 + 16].copy_from_slice(&(occurrence + 7).to_le_bytes());
+        fs::write(&summary, &bytes).expect("write corrupted");
+
+        let err = run_capture(&["audit", "--summary", &summary]).unwrap_err();
+        assert!(err.contains("violation"), "{err}");
     }
 
     #[test]

@@ -433,7 +433,7 @@ mod tests {
                 signature_len: 128,
                 ..CstConfig::default()
             },
-        )
+        ).expect("CST config is valid")
     }
 
     fn pieces_for(cst: &Cst, expr: &str) -> (CompiledQuery, Vec<Piece>) {

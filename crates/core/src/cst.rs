@@ -9,6 +9,8 @@ use twig_sethash::{CompactSignature, HashFamily, Signature};
 use twig_tree::DataTree;
 use twig_util::{Interner, Symbol};
 
+use crate::error::CstError;
+
 /// What a set-hash intersection estimate returns when the signatures
 /// share *no* matching components (resemblance below the `~1/L`
 /// resolution of min-hash).
@@ -112,15 +114,31 @@ impl Cst {
     /// Two passes over the data: one to build and count the full suffix
     /// trie (then pruned to budget), one to fold rooting-node ids into the
     /// signatures of the surviving label-rooted subpaths.
-    pub fn build(tree: &DataTree, config: &CstConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CstError`] when the configuration is unusable (zero
+    /// signature length, non-positive space fraction).
+    pub fn build(tree: &DataTree, config: &CstConfig) -> Result<Self, CstError> {
         let full = build_suffix_trie(tree, &config.trie);
         Self::from_trie(tree, &full, config)
     }
 
     /// Builds the CST from an already-constructed full suffix trie (lets
     /// the experiment harness share one trie across many space budgets).
-    pub fn from_trie(tree: &DataTree, full: &twig_pst::SuffixTrie, config: &CstConfig) -> Self {
-        assert!(config.signature_len > 0, "signature length must be positive");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CstError`] when the configuration is unusable (zero
+    /// signature length, non-positive space fraction).
+    pub fn from_trie(
+        tree: &DataTree,
+        full: &twig_pst::SuffixTrie,
+        config: &CstConfig,
+    ) -> Result<Self, CstError> {
+        if config.signature_len == 0 {
+            return Err(CstError::ZeroSignatureLength);
+        }
         let sig_cost = if config.with_signatures { config.signature_len * 4 } else { 0 };
         let cost = move |info: NodeCostInfo| {
             NODE_BASE_COST + if info.label_rooted { sig_cost } else { 0 }
@@ -128,8 +146,12 @@ impl Cst {
         let trie = match config.budget {
             SpaceBudget::Bytes(bytes) => full.prune_to_budget(bytes, cost),
             SpaceBudget::Fraction(fraction) => {
-                assert!(fraction > 0.0, "space fraction must be positive");
-                let bytes = (tree.source_bytes() as f64 * fraction) as usize;
+                if !(fraction > 0.0 && fraction.is_finite()) {
+                    return Err(CstError::InvalidSpaceFraction(fraction));
+                }
+                let bytes = twig_util::cast::f64_to_size_saturating(
+                    twig_util::cast::size_to_f64(tree.source_bytes()) * fraction,
+                );
                 full.prune_to_budget(bytes, cost)
             }
             SpaceBudget::Threshold(threshold) => full.prune(threshold),
@@ -166,25 +188,35 @@ impl Cst {
             let building = if threads == 1 {
                 shard_signatures(0, 1)
             } else {
-                let mut shards: Vec<Vec<Option<Signature<u64>>>> =
+                let shards: Vec<Vec<Option<Signature<u64>>>> =
                     std::thread::scope(|scope| {
                         let handles: Vec<_> = (0..threads)
                             .map(|shard| scope.spawn(move || shard_signatures(shard, threads)))
                             .collect();
                         handles
                             .into_iter()
-                            .map(|h| h.join().expect("signature shard panicked"))
+                            .map(|h| match h.join() {
+                                Ok(shard) => shard,
+                                // Propagate a worker panic verbatim instead
+                                // of wrapping it in a second panic site.
+                                Err(payload) => std::panic::resume_unwind(payload),
+                            })
                             .collect()
                     });
-                let mut merged = shards.pop().expect("at least one shard");
-                for shard in shards {
-                    for (into, from) in merged.iter_mut().zip(shard) {
-                        if let (Some(a), Some(b)) = (into.as_mut(), from) {
-                            *a = Signature::union(&[a, &b]);
+                shards
+                    .into_iter()
+                    .reduce(|mut merged, shard| {
+                        for (into, from) in merged.iter_mut().zip(shard) {
+                            if let (Some(a), Some(b)) = (into.as_mut(), from) {
+                                *a = Signature::union(&[a, &b]);
+                            }
                         }
-                    }
-                }
-                merged
+                        merged
+                    })
+                    // threads >= 2 on this branch, so there is always a
+                    // shard to reduce; an empty default keeps this
+                    // expression panic-free regardless.
+                    .unwrap_or_default()
             };
             building.iter().map(|sig| sig.as_ref().map(Signature::truncate)).collect()
         } else {
@@ -194,17 +226,17 @@ impl Cst {
         let size_bytes = (trie.node_count() - 1) * NODE_BASE_COST
             + signatures.iter().flatten().count() * sig_cost;
 
-        Self {
+        Ok(Self {
             trie,
             signatures,
             interner: tree.interner().clone(),
-            n: tree.element_count() as u64,
+            n: u64::try_from(tree.element_count()).unwrap_or(u64::MAX),
             signature_len: config.signature_len,
             seed: config.seed,
             size_bytes,
             source_bytes: tree.source_bytes(),
             fallback: config.fallback,
-        }
+        })
     }
 
     /// Reassembles a summary from deserialized parts (see `serialize`).
@@ -218,9 +250,14 @@ impl Cst {
         seed: u64,
         size_bytes: usize,
         source_bytes: usize,
-    ) -> Self {
-        assert_eq!(signatures.len(), trie.node_count(), "signature table size mismatch");
-        Self {
+    ) -> Result<Self, CstError> {
+        if signatures.len() != trie.node_count() {
+            return Err(CstError::SignatureTableMismatch {
+                signatures: signatures.len(),
+                nodes: trie.node_count(),
+            });
+        }
+        Ok(Self {
             trie,
             signatures,
             interner,
@@ -230,7 +267,7 @@ impl Cst {
             size_bytes,
             source_bytes,
             fallback: SignatureFallback::default(),
-        }
+        })
     }
 
     /// The label vocabulary (for serialization).
@@ -246,6 +283,13 @@ impl Cst {
     /// Signature of the subpath at `node`, if it is label-rooted.
     pub fn signature(&self, node: TrieNodeId) -> Option<&CompactSignature> {
         self.signatures[node.index()].as_ref()
+    }
+
+    /// Number of entries in the signature table (the auditor's I1 checks
+    /// it against the trie's node count).
+    #[cfg(any(test, feature = "audit"))]
+    pub(crate) fn signature_table_len(&self) -> usize {
+        self.signatures.len()
     }
 
     /// Number of data tree element nodes — the `n` of the estimation
@@ -270,7 +314,8 @@ impl Cst {
         if self.source_bytes == 0 {
             0.0
         } else {
-            self.size_bytes as f64 / self.source_bytes as f64
+            twig_util::cast::size_to_f64(self.size_bytes)
+                / twig_util::cast::size_to_f64(self.source_bytes)
         }
     }
 
@@ -362,7 +407,7 @@ mod tests {
     #[test]
     fn builds_with_counts_and_signatures() {
         let tree = sample_tree();
-        let cst = Cst::build(&tree, &unpruned_config());
+        let cst = Cst::build(&tree, &unpruned_config()).expect("CST config is valid");
         let ba = cst.lookup(&tokens(&cst, &["book", "author"], "")).unwrap();
         assert_eq!(cst.presence(ba), 3);
         assert!(cst.signature(ba).is_some());
@@ -372,7 +417,7 @@ mod tests {
     #[test]
     fn string_fragments_have_no_signature() {
         let tree = sample_tree();
-        let cst = Cst::build(&tree, &unpruned_config());
+        let cst = Cst::build(&tree, &unpruned_config()).expect("CST config is valid");
         let a1: Vec<PathToken> = "A1".bytes().map(PathToken::Char).collect();
         let node = cst.lookup(&a1).unwrap();
         assert!(cst.signature(node).is_none(), "paper fn. 3: leaf paths carry no signature");
@@ -387,7 +432,7 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { signature_len: 64, budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        );
+        ).expect("CST config is valid");
         let a = cst.lookup(&tokens(&cst, &["book", "author"], "A1")).unwrap();
         let y = cst.lookup(&tokens(&cst, &["book", "year"], "Y1")).unwrap();
         let est = twig_sethash::estimate_intersection(&[
@@ -411,7 +456,7 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Fraction(0.5), ..CstConfig::default() },
-        );
+        ).expect("CST config is valid");
         assert!(cst.size_bytes() <= tree.source_bytes() / 2 + 1);
         assert!(cst.space_fraction() <= 0.51);
     }
@@ -422,26 +467,26 @@ mod tests {
         let small = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Bytes(300), ..CstConfig::default() },
-        );
+        ).expect("CST config is valid");
         let large = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Bytes(30_000), ..CstConfig::default() },
-        );
+        ).expect("CST config is valid");
         assert!(small.node_count() <= large.node_count());
     }
 
     #[test]
     fn n_is_element_count() {
         let tree = sample_tree();
-        let cst = Cst::build(&tree, &unpruned_config());
+        let cst = Cst::build(&tree, &unpruned_config()).expect("CST config is valid");
         assert_eq!(cst.n(), tree.element_count() as u64);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let tree = sample_tree();
-        let cst1 = Cst::build(&tree, &unpruned_config());
-        let cst2 = Cst::build(&tree, &unpruned_config());
+        let cst1 = Cst::build(&tree, &unpruned_config()).expect("CST config is valid");
+        let cst2 = Cst::build(&tree, &unpruned_config()).expect("CST config is valid");
         assert_eq!(cst1.node_count(), cst2.node_count());
         let ba1 = cst1.lookup(&tokens(&cst1, &["book", "author"], "")).unwrap();
         let ba2 = cst2.lookup(&tokens(&cst2, &["book", "author"], "")).unwrap();
@@ -463,9 +508,9 @@ mod parallel_tests {
         });
         let tree = DataTree::from_xml(&xml).unwrap();
         let base = CstConfig { budget: SpaceBudget::Fraction(0.2), ..CstConfig::default() };
-        let serial = Cst::build(&tree, &base);
+        let serial = Cst::build(&tree, &base).expect("CST config is valid");
         for threads in [2usize, 4, 7] {
-            let parallel = Cst::build(&tree, &CstConfig { threads, ..base.clone() });
+            let parallel = Cst::build(&tree, &CstConfig { threads, ..base.clone() }).expect("CST config is valid");
             let mut a = Vec::new();
             let mut b = Vec::new();
             serial.write_to(&mut a).unwrap();

@@ -1,0 +1,60 @@
+//! Construction-time error reporting for the CST.
+
+use std::fmt;
+
+/// Why a [`Cst`](crate::Cst) could not be constructed.
+///
+/// These were once `assert!`s in the constructor; misconfiguration (a CLI
+/// flag, a corrupt file) must surface as a value the caller can report,
+/// not a library panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CstError {
+    /// `CstConfig::signature_len` was 0; min-hash signatures need at
+    /// least one component.
+    ZeroSignatureLength,
+    /// `SpaceBudget::Fraction` was not a positive finite number.
+    InvalidSpaceFraction(f64),
+    /// The signature table does not pair up with the trie (deserialized
+    /// parts disagree about the node count).
+    SignatureTableMismatch {
+        /// Entries in the signature table.
+        signatures: usize,
+        /// Nodes in the pruned trie.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for CstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroSignatureLength => {
+                write!(f, "signature length must be positive")
+            }
+            Self::InvalidSpaceFraction(fraction) => {
+                write!(f, "space fraction must be positive and finite, got {fraction}")
+            }
+            Self::SignatureTableMismatch { signatures, nodes } => {
+                write!(
+                    f,
+                    "signature table has {signatures} entries for {nodes} trie nodes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CstError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CstError::ZeroSignatureLength.to_string().contains("positive"));
+        assert!(CstError::InvalidSpaceFraction(-0.5).to_string().contains("-0.5"));
+        let mismatch = CstError::SignatureTableMismatch { signatures: 3, nodes: 7 };
+        assert!(mismatch.to_string().contains('3'));
+        assert!(mismatch.to_string().contains('7'));
+    }
+}

@@ -2,6 +2,7 @@
 
 use twig_pst::PathToken;
 use twig_tree::Twig;
+use twig_util::cast::{count_to_f64, size_to_f64};
 
 use crate::combine::{combine, Element};
 use crate::cst::Cst;
@@ -221,15 +222,15 @@ impl Cst {
                 ]) else {
                     continue; // pair below threshold: no evidence, no discount
                 };
-                let cp = self.presence(node) as f64;
-                let co = self.occurrence(node) as f64;
+                let cp = count_to_f64(self.presence(node));
+                let co = count_to_f64(self.occurrence(node));
                 if cp <= 0.0 {
                     continue;
                 }
                 let multiplicity = co / cp;
                 let mut factor = 1.0;
                 for i in 0..k {
-                    factor *= (multiplicity - i as f64).max(0.0) / multiplicity;
+                    factor *= (multiplicity - size_to_f64(i)).max(0.0) / multiplicity;
                 }
                 discount *= factor;
             }
@@ -273,7 +274,7 @@ impl Cst {
 /// The Leaf baseline: per value leaf, MO-estimate the leaf string from
 /// pure string-fragment statistics, multiply the per-leaf probabilities.
 fn estimate_leaf(cst: &Cst, query: &CompiledQuery, kind: CountKind) -> f64 {
-    let n = cst.n() as f64;
+    let n = count_to_f64(cst.n());
     if n == 0.0 {
         return 0.0;
     }
@@ -298,8 +299,8 @@ fn estimate_leaf(cst: &Cst, query: &CompiledQuery, kind: CountKind) -> f64 {
                 return 0.0; // gap: fragment below threshold
             }
             let count = match kind {
-                CountKind::Presence => cst.presence(piece.trie) as f64,
-                CountKind::Occurrence => cst.occurrence(piece.trie) as f64,
+                CountKind::Presence => count_to_f64(cst.presence(piece.trie)),
+                CountKind::Occurrence => count_to_f64(cst.occurrence(piece.trie)),
             };
             if count == 0.0 {
                 return 0.0;
@@ -308,18 +309,21 @@ fn estimate_leaf(cst: &Cst, query: &CompiledQuery, kind: CountKind) -> f64 {
             let denom = if overlap == 0 {
                 n
             } else {
-                let tokens: Vec<PathToken> = qpath.tokens
+                // The value range holds only resolved char tokens; an
+                // unresolved token here means the query compiler changed
+                // under us, and the conditioning falls back to `n`.
+                let tokens: Option<Vec<PathToken>> = qpath.tokens
                     [piece.start..piece.start + overlap]
                     .iter()
                     .map(|t| match t {
-                        Token::Ok(pt) => *pt,
-                        _ => unreachable!("value range holds only chars"),
+                        Token::Ok(pt) => Some(*pt),
+                        _ => None,
                     })
                     .collect();
-                match cst.lookup(&tokens) {
+                match tokens.as_deref().and_then(|tokens| cst.lookup(tokens)) {
                     Some(node) => (match kind {
-                        CountKind::Presence => cst.presence(node) as f64,
-                        CountKind::Occurrence => cst.occurrence(node) as f64,
+                        CountKind::Presence => count_to_f64(cst.presence(node)),
+                        CountKind::Occurrence => count_to_f64(cst.occurrence(node)),
                     })
                     .max(count),
                     None => n,
@@ -338,7 +342,7 @@ fn estimate_leaf(cst: &Cst, query: &CompiledQuery, kind: CountKind) -> f64 {
 
 /// The Greedy baseline: greedy parse, independence combination.
 fn estimate_greedy(cst: &Cst, query: &CompiledQuery, kind: CountKind) -> f64 {
-    let n = cst.n() as f64;
+    let n = count_to_f64(cst.n());
     if n == 0.0 {
         return 0.0;
     }
@@ -348,8 +352,8 @@ fn estimate_greedy(cst: &Cst, query: &CompiledQuery, kind: CountKind) -> f64 {
     let mut result = n;
     for piece in &pieces {
         let count = match kind {
-            CountKind::Presence => cst.presence(piece.trie) as f64,
-            CountKind::Occurrence => cst.occurrence(piece.trie) as f64,
+            CountKind::Presence => count_to_f64(cst.presence(piece.trie)),
+            CountKind::Occurrence => count_to_f64(cst.occurrence(piece.trie)),
         };
         result *= count / n;
     }
@@ -387,7 +391,7 @@ mod tests {
                 signature_len: 128,
                 ..CstConfig::default()
             },
-        )
+        ).expect("CST config is valid")
     }
 
     fn q(expr: &str) -> Twig {
@@ -543,7 +547,7 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Fraction(0.05), ..CstConfig::default() },
-        );
+        ).expect("CST config is valid");
         let query = q(r#"book(author("Anna"),year("1999"))"#);
         for algo in Algorithm::ALL {
             let est = cst.estimate(&query, algo, CountKind::Presence);
@@ -563,7 +567,7 @@ mod discount_tests {
         Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        )
+        ).expect("CST config is valid")
     }
 
     #[test]

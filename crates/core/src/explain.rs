@@ -276,7 +276,7 @@ mod tests {
         Cst::build(
             &DataTree::from_xml(&xml).unwrap(),
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        )
+        ).expect("CST config is valid")
     }
 
     #[test]

@@ -44,14 +44,17 @@
 //!   <book><author>Korn</author><year>1999</year></book>
 //! </dblp>"#;
 //! let tree = DataTree::from_xml(xml).unwrap();
-//! let cst = Cst::build(&tree, &CstConfig::default());
+//! let cst = Cst::build(&tree, &CstConfig::default()).unwrap();
 //! let query = Twig::parse(r#"book(author("Su"),year("1999"))"#).unwrap();
 //! let estimate = cst.estimate(&query, Algorithm::Mosh, CountKind::Presence);
 //! assert!(estimate >= 0.0);
 //! ```
 
+#[cfg(any(test, feature = "audit"))]
+pub mod audit;
 pub mod combine;
 pub mod cst;
+pub mod error;
 pub mod estimate;
 pub mod explain;
 pub mod lore;
@@ -61,5 +64,8 @@ pub mod query;
 pub mod serialize;
 pub mod twiglets;
 
+#[cfg(any(test, feature = "audit"))]
+pub use audit::AuditViolation;
 pub use cst::{Cst, CstConfig, SignatureFallback, SpaceBudget};
+pub use error::CstError;
 pub use estimate::{Algorithm, CountKind};

@@ -301,7 +301,7 @@ mod tests {
                 signature_len: 128,
                 ..CstConfig::default()
             },
-        );
+        ).expect("CST config is valid");
         let query = Twig::parse(r#"book(author("Anna"),year("1999"))"#).unwrap();
         let truth = count_occurrence(&tree, &query) as f64;
         let lore_est = lore.estimate(&query);

@@ -239,7 +239,7 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        );
+        ).expect("CST config is valid");
         (tree, cst)
     }
 
@@ -303,7 +303,7 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(3), ..CstConfig::default() },
-        );
+        ).expect("CST config is valid");
         let (_, query) = compiled(&cst, r#"dblp(book(author))"#);
         let pieces = maximal_pieces(&cst, &query);
         // dblp.book.author has pc=3 so it's one piece even here.

@@ -111,7 +111,7 @@ mod tests {
         Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        )
+        ).expect("CST config is valid")
     }
 
     #[test]

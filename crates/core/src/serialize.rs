@@ -204,7 +204,7 @@ impl Cst {
             }
         }
 
-        Ok(Cst::from_parts(
+        Cst::from_parts(
             trie,
             signatures,
             interner,
@@ -213,7 +213,8 @@ impl Cst {
             seed,
             size_bytes,
             source_bytes,
-        ))
+        )
+        .map_err(|_| ReadError::Corrupt("signature table size mismatch"))
     }
 }
 
@@ -236,7 +237,7 @@ mod tests {
         Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        )
+        ).expect("CST config is valid")
     }
 
     #[test]

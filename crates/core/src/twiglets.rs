@@ -201,7 +201,7 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        );
+        ).expect("CST config is valid");
         (tree, cst)
     }
 

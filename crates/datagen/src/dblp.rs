@@ -8,8 +8,7 @@
 //! exactly the regime where the paper's set-hash algorithms beat the
 //! independence-based baselines.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use twig_util::SplitMix64;
 
 use crate::names::{CONFERENCES, FIRST_NAMES, JOURNALS, PUBLISHERS, SURNAMES, TITLE_WORDS};
 
@@ -43,7 +42,7 @@ struct Community {
     title_words: Vec<&'static str>,
 }
 
-fn build_communities(cfg: &DblpConfig, rng: &mut StdRng) -> Vec<Community> {
+fn build_communities(cfg: &DblpConfig, rng: &mut SplitMix64) -> Vec<Community> {
     (0..cfg.communities)
         .map(|community| {
             // Disjoint surname slices keep communities "pure": an author
@@ -56,14 +55,14 @@ fn build_communities(cfg: &DblpConfig, rng: &mut StdRng) -> Vec<Community> {
                 .map(|i| {
                     format!(
                         "{} {}",
-                        FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())],
+                        FIRST_NAMES[rng.index(FIRST_NAMES.len())],
                         SURNAMES[(lo + i % slice_size) % SURNAMES.len()]
                     )
                 })
                 .collect();
-            let year_lo = rng.random_range(1975..1997);
+            let year_lo = rng.u32_in(1975, 1996);
             let title_words = (0..8)
-                .map(|_| TITLE_WORDS[rng.random_range(0..TITLE_WORDS.len())])
+                .map(|_| TITLE_WORDS[rng.index(TITLE_WORDS.len())])
                 .collect();
             Community {
                 authors,
@@ -71,7 +70,7 @@ fn build_communities(cfg: &DblpConfig, rng: &mut StdRng) -> Vec<Community> {
                 conference: CONFERENCES[community % CONFERENCES.len()],
                 publisher: PUBLISHERS[community % PUBLISHERS.len()],
                 year_lo,
-                year_hi: year_lo + rng.random_range(2..5),
+                year_hi: year_lo + rng.u32_in(2, 4),
                 title_words,
             }
         })
@@ -79,10 +78,10 @@ fn build_communities(cfg: &DblpConfig, rng: &mut StdRng) -> Vec<Community> {
 }
 
 /// Zipf-ish index into `0..n`: rank r with weight ∝ 1/(r+1).
-fn zipf_index(rng: &mut StdRng, n: usize) -> usize {
+fn zipf_index(rng: &mut SplitMix64, n: usize) -> usize {
     debug_assert!(n > 0);
     let harmonic: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
-    let mut target = rng.random::<f64>() * harmonic;
+    let mut target = rng.f64_unit() * harmonic;
     for i in 0..n {
         target -= 1.0 / (i + 1) as f64;
         if target <= 0.0 {
@@ -108,13 +107,13 @@ fn push_field(out: &mut String, tag: &str, value: &str) {
 /// Generates the DBLP-like XML document.
 pub fn generate_dblp(cfg: &DblpConfig) -> String {
     assert!(cfg.communities > 0 && cfg.pool_size > 0);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let communities = build_communities(cfg, &mut rng);
     let mut out = String::with_capacity(cfg.target_bytes + 4096);
     out.push_str("<dblp>");
     while out.len() < cfg.target_bytes {
         let community = &communities[zipf_index(&mut rng, communities.len())];
-        let kind_roll = rng.random_range(0..10);
+        let kind_roll = rng.index(10);
         let tag = match kind_roll {
             0..=5 => "article",
             6..=8 => "inproceedings",
@@ -124,7 +123,7 @@ pub fn generate_dblp(cfg: &DblpConfig) -> String {
         out.push_str(tag);
         out.push('>');
         // Authors: 1–5, Zipf within the community pool (multiset siblings).
-        let author_count = 1 + rng.random_range(0..5).min(rng.random_range(0..5));
+        let author_count = 1 + rng.index(5).min(rng.index(5));
         let mut chosen: Vec<&str> = Vec::with_capacity(author_count);
         for _ in 0..author_count {
             let author = &community.authors[zipf_index(&mut rng, community.authors.len())];
@@ -137,17 +136,17 @@ pub fn generate_dblp(cfg: &DblpConfig) -> String {
         }
         // Title: 3–7 community-biased words.
         let mut title = String::new();
-        for w in 0..rng.random_range(3..8) {
+        for w in 0..rng.usize_in(3, 7) {
             if w > 0 {
                 title.push(' ');
             }
-            title.push_str(community.title_words[rng.random_range(0..community.title_words.len())]);
+            title.push_str(community.title_words[rng.index(community.title_words.len())]);
         }
         push_field(&mut out, "title", &title);
         match tag {
             "article" => {
                 push_field(&mut out, "journal", community.journal);
-                push_field(&mut out, "volume", &rng.random_range(1..40).to_string());
+                push_field(&mut out, "volume", &rng.u32_in(1, 39).to_string());
             }
             "inproceedings" => {
                 push_field(&mut out, "booktitle", community.conference);
@@ -155,19 +154,19 @@ pub fn generate_dblp(cfg: &DblpConfig) -> String {
             _ => {
                 push_field(&mut out, "publisher", community.publisher);
                 push_field(&mut out, "isbn", &format!("0-{:05}-{:03}-X",
-                    rng.random_range(10000..99999u32), rng.random_range(100..999u32)));
+                    rng.u32_in(10_000, 99_998), rng.u32_in(100, 998)));
             }
         }
-        let year = rng.random_range(community.year_lo..=community.year_hi);
+        let year = rng.u32_in(community.year_lo, community.year_hi);
         push_field(&mut out, "year", &year.to_string());
-        let page_lo = rng.random_range(1..800);
-        push_field(&mut out, "pages", &format!("{}-{}", page_lo, page_lo + rng.random_range(5..40)));
+        let page_lo = rng.u32_in(1, 799);
+        push_field(&mut out, "pages", &format!("{}-{}", page_lo, page_lo + rng.u32_in(5, 39)));
         // Citation blocks (as in real DBLP — the paper's `cite.Stonebraker`
         // example): `author` and `year` recur under `cite`, and `cite`
         // occurs under both articles and inproceedings, so these labels
         // have multiple parent contexts with different value frequencies.
-        if tag != "book" && rng.random_range(0..4) == 0 {
-            for _ in 0..rng.random_range(1..3) {
+        if tag != "book" && rng.index(4) == 0 {
+            for _ in 0..rng.usize_in(1, 2) {
                 let cited = &communities[zipf_index(&mut rng, communities.len())];
                 out.push_str("<cite>");
                 push_field(
@@ -178,7 +177,7 @@ pub fn generate_dblp(cfg: &DblpConfig) -> String {
                 push_field(
                     &mut out,
                     "year",
-                    &rng.random_range(cited.year_lo..=cited.year_hi).to_string(),
+                    &rng.u32_in(cited.year_lo, cited.year_hi).to_string(),
                 );
                 out.push_str("</cite>");
             }
@@ -284,7 +283,7 @@ mod tests {
 
     #[test]
     fn zipf_is_skewed() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::new(9);
         let mut counts = [0usize; 10];
         for _ in 0..10_000 {
             counts[zipf_index(&mut rng, 10)] += 1;

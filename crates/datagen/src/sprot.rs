@@ -7,8 +7,7 @@
 //! group that fixes its taxonomy chain, biases its keywords and feature
 //! types, and selects the citation journal pool.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use twig_util::SplitMix64;
 
 use crate::names::{
     FEATURE_TYPES, FIRST_NAMES, JOURNALS, KEYWORDS, LINEAGES, ORGANISMS, SURNAMES,
@@ -44,26 +43,26 @@ const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
 
 /// Generates the SWISS-PROT-like XML document.
 pub fn generate_sprot(cfg: &SprotConfig) -> String {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let mut out = String::with_capacity(cfg.target_bytes + 8192);
     out.push_str("<sprot>");
     let mut entry_no = 0u32;
     while out.len() < cfg.target_bytes {
         entry_no += 1;
-        let organism_idx = rng.random_range(0..ORGANISMS.len());
+        let organism_idx = rng.index(ORGANISMS.len());
         let lineage = LINEAGES[organism_idx % LINEAGES.len()];
         out.push_str("<entry>");
         push_field(&mut out, "id", &format!("P{entry_no:05}_{}", &ORGANISMS[organism_idx][..2].to_uppercase()));
-        for _ in 0..rng.random_range(1..4) {
-            push_field(&mut out, "accession", &format!("Q{:05}", rng.random_range(0..100_000)));
+        for _ in 0..rng.usize_in(1, 3) {
+            push_field(&mut out, "accession", &format!("Q{:05}", rng.u32_in(0, 99_999)));
         }
-        push_field(&mut out, "created", &format!("{}-{:02}", rng.random_range(1988..2001), rng.random_range(1..13)));
+        push_field(&mut out, "created", &format!("{}-{:02}", rng.u32_in(1988, 2000), rng.u32_in(1, 12)));
         push_field(&mut out, "description", &format!(
             "{} {}",
-            KEYWORDS[rng.random_range(0..KEYWORDS.len())],
-            ["precursor", "fragment", "isoform", "homolog", "subunit"][rng.random_range(0..5)]
+            KEYWORDS[rng.index(KEYWORDS.len())],
+            ["precursor", "fragment", "isoform", "homolog", "subunit"][rng.index(5)]
         ));
-        push_field(&mut out, "gene", &format!("{}{}", ["ab", "cd", "ef", "gh", "rp", "ss"][rng.random_range(0..6)], rng.random_range(1..30)));
+        push_field(&mut out, "gene", &format!("{}{}", ["ab", "cd", "ef", "gh", "rp", "ss"][rng.index(6)], rng.u32_in(1, 29)));
 
         // Organism block with a deep taxonomy chain (nested taxon elements).
         out.push_str("<organism>");
@@ -79,58 +78,58 @@ pub fn generate_sprot(cfg: &SprotConfig) -> String {
         out.push_str("</lineage></organism>");
 
         // Reference blocks: nested author lists + venue.
-        for ref_no in 1..=rng.random_range(1..5) {
+        for ref_no in 1..=rng.u32_in(1, 4) {
             out.push_str("<reference>");
             push_field(&mut out, "position", &ref_no.to_string());
             out.push_str("<authors>");
-            for _ in 0..rng.random_range(1..7) {
+            for _ in 0..rng.usize_in(1, 6) {
                 push_field(&mut out, "person", &format!(
                     "{} {}",
-                    FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())],
-                    SURNAMES[rng.random_range(0..SURNAMES.len())]
+                    FIRST_NAMES[rng.index(FIRST_NAMES.len())],
+                    SURNAMES[rng.index(SURNAMES.len())]
                 ));
             }
             out.push_str("</authors>");
             // Journal pool biased by organism group.
-            let journal = JOURNALS[(organism_idx + rng.random_range(0..3)) % JOURNALS.len()];
+            let journal = JOURNALS[(organism_idx + rng.index(3)) % JOURNALS.len()];
             out.push_str("<citation>");
             push_field(&mut out, "journal", journal);
-            push_field(&mut out, "year", &rng.random_range(1975..2001).to_string());
-            push_field(&mut out, "volume", &rng.random_range(1..300).to_string());
+            push_field(&mut out, "year", &rng.u32_in(1975, 2000).to_string());
+            push_field(&mut out, "volume", &rng.u32_in(1, 299).to_string());
             out.push_str("</citation></reference>");
         }
 
         // Keywords biased by organism group: first from a group slice,
         // rest global.
         let kw_base = (organism_idx * 3) % KEYWORDS.len();
-        for k in 0..rng.random_range(1..6) {
-            let idx = if k == 0 { kw_base } else { rng.random_range(0..KEYWORDS.len()) };
+        for k in 0..rng.usize_in(1, 5) {
+            let idx = if k == 0 { kw_base } else { rng.index(KEYWORDS.len()) };
             push_field(&mut out, "keyword", KEYWORDS[idx]);
         }
 
         // Feature table.
-        for _ in 0..rng.random_range(0..7) {
+        for _ in 0..rng.usize_in(0, 6) {
             out.push_str("<feature>");
-            let ft_idx = if rng.random_range(0..2) == 0 {
+            let ft_idx = if rng.index(2) == 0 {
                 (organism_idx * 2) % FEATURE_TYPES.len()
             } else {
-                rng.random_range(0..FEATURE_TYPES.len())
+                rng.index(FEATURE_TYPES.len())
             };
             push_field(&mut out, "type", FEATURE_TYPES[ft_idx]);
-            let from = rng.random_range(1..900);
+            let from = rng.u32_in(1, 899);
             push_field(&mut out, "from", &from.to_string());
-            push_field(&mut out, "to", &(from + rng.random_range(1..80)).to_string());
+            push_field(&mut out, "to", &(from + rng.u32_in(1, 79)).to_string());
             out.push_str("</feature>");
         }
 
         // Sequence summary.
         out.push_str("<sequence>");
-        let length = rng.random_range(80..1200);
+        let length = rng.u32_in(80, 1199);
         push_field(&mut out, "length", &length.to_string());
-        push_field(&mut out, "weight", &(length * 110 + rng.random_range(0..1000)).to_string());
+        push_field(&mut out, "weight", &(length * 110 + rng.u32_in(0, 999)).to_string());
         let mut fragment = String::with_capacity(30);
         for _ in 0..30 {
-            fragment.push(AMINO[rng.random_range(0..AMINO.len())] as char);
+            fragment.push(AMINO[rng.index(AMINO.len())] as char);
         }
         push_field(&mut out, "fragment", &fragment);
         out.push_str("</sequence></entry>");

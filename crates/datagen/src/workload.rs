@@ -10,8 +10,7 @@
 //!   harness filters with the exact counter (this crate does not depend
 //!   on `twig-exact`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use twig_util::SplitMix64;
 use twig_tree::{DataTree, NodeId, Twig, TwigNodeId};
 use twig_util::FxHashMap;
 
@@ -44,7 +43,7 @@ fn element_children(tree: &DataTree, node: NodeId) -> Vec<NodeId> {
 
 /// Walks a random downward element path of exactly `depth` nodes starting
 /// at `start` (inclusive). Returns `None` when the subtree is too shallow.
-fn random_path(tree: &DataTree, rng: &mut StdRng, start: NodeId, depth: usize) -> Option<Vec<NodeId>> {
+fn random_path(tree: &DataTree, rng: &mut SplitMix64, start: NodeId, depth: usize) -> Option<Vec<NodeId>> {
     let mut path = vec![start];
     let mut cursor = start;
     for _ in 1..depth {
@@ -52,7 +51,7 @@ fn random_path(tree: &DataTree, rng: &mut StdRng, start: NodeId, depth: usize) -
         if kids.is_empty() {
             return None;
         }
-        cursor = kids[rng.random_range(0..kids.len())];
+        cursor = kids[rng.index(kids.len())];
         path.push(cursor);
     }
     Some(path)
@@ -128,7 +127,7 @@ fn sample_roots(tree: &DataTree) -> Vec<NodeId> {
 /// by construction). Returns fewer when the tree is too shallow to yield
 /// enough distinct samples.
 pub fn positive_queries(tree: &DataTree, cfg: &WorkloadConfig) -> Vec<Twig> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let roots = sample_roots(tree);
     assert!(!roots.is_empty(), "tree has no internal structure to sample");
     let mut out = Vec::with_capacity(cfg.count);
@@ -138,28 +137,28 @@ pub fn positive_queries(tree: &DataTree, cfg: &WorkloadConfig) -> Vec<Twig> {
         if attempts > cfg.count * 200 + 10_000 {
             break; // tree too shallow to yield more; return what we have
         }
-        let root = roots[rng.random_range(0..roots.len())];
+        let root = roots[rng.index(roots.len())];
         // Half the queries get the sampled node's parent prepended, so the
         // branch node sits below the twig root (a root→branch segment —
         // the shape where the MOSH/PMOSH/MSH decompositions differ).
-        let prefix: Option<NodeId> = if rng.random_range(0..2) == 0 {
+        let prefix: Option<NodeId> = if rng.index(2) == 0 {
             tree.parent(root).filter(|&p| tree.element_symbol(p).is_some())
         } else {
             None
         };
-        let n_paths = rng.random_range(cfg.paths.0..=cfg.paths.1);
+        let n_paths = rng.usize_in(cfg.paths.0, cfg.paths.1);
         let mut paths = Vec::with_capacity(n_paths);
         let mut leaves = Vec::with_capacity(n_paths);
         let mut ok = true;
         for _ in 0..n_paths {
-            let budget = rng.random_range(cfg.internal.0..=cfg.internal.1);
+            let budget = rng.usize_in(cfg.internal.0, cfg.internal.1);
             let depth = if prefix.is_some() { budget.saturating_sub(1).max(1) } else { budget };
             match random_path(tree, &mut rng, root, depth) {
                 // Tolerate shallower paths than requested as long as the
                 // path has at least 2 internal nodes.
                 Some(mut path) => {
                     let leaf = leaf_value(tree, *path.last().expect("non-empty"));
-                    let chars = rng.random_range(cfg.leaf_chars.0..=cfg.leaf_chars.1);
+                    let chars = rng.usize_in(cfg.leaf_chars.0, cfg.leaf_chars.1);
                     leaves.push(leaf.map(|v| char_prefix(&v, chars)));
                     if let Some(parent) = prefix {
                         path.insert(0, parent);
@@ -189,7 +188,7 @@ pub fn positive_queries(tree: &DataTree, cfg: &WorkloadConfig) -> Vec<Twig> {
 /// the tree is too shallow).
 pub fn trivial_queries(tree: &DataTree, cfg: &WorkloadConfig) -> Vec<Twig> {
     let single = WorkloadConfig { paths: (1, 1), ..cfg.clone() };
-    let mut rng = StdRng::seed_from_u64(single.seed);
+    let mut rng = SplitMix64::new(single.seed);
     let roots = sample_roots(tree);
     assert!(!roots.is_empty(), "tree has no internal structure to sample");
     let mut out = Vec::with_capacity(single.count);
@@ -199,11 +198,11 @@ pub fn trivial_queries(tree: &DataTree, cfg: &WorkloadConfig) -> Vec<Twig> {
         if attempts > single.count * 200 + 10_000 {
             break; // tree too shallow to yield more; return what we have
         }
-        let root = roots[rng.random_range(0..roots.len())];
-        let depth = rng.random_range(single.internal.0..=single.internal.1);
+        let root = roots[rng.index(roots.len())];
+        let depth = rng.usize_in(single.internal.0, single.internal.1);
         let Some(path) = random_path(tree, &mut rng, root, depth) else { continue };
         let Some(value) = leaf_value(tree, *path.last().expect("non-empty")) else { continue };
-        let chars = rng.random_range(single.leaf_chars.0..=single.leaf_chars.1);
+        let chars = rng.usize_in(single.leaf_chars.0, single.leaf_chars.1);
         let twig = twig_from_paths(tree, &[path], &[Some(char_prefix(&value, chars))]);
         out.push(twig);
     }
@@ -215,7 +214,7 @@ pub fn trivial_queries(tree: &DataTree, cfg: &WorkloadConfig) -> Vec<Twig> {
 /// filter with an exact counter — gluing usually but not always produces
 /// count 0 (the paper's negative workload has true count exactly 0).
 pub fn negative_query_candidates(tree: &DataTree, cfg: &WorkloadConfig) -> Vec<Twig> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4E47); // "NG"
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x4E47); // "NG"
     let roots = sample_roots(tree);
     assert!(!roots.is_empty(), "tree has no internal structure to sample");
     // Group sampling roots by label so we can glue across instances.
@@ -239,9 +238,9 @@ pub fn negative_query_candidates(tree: &DataTree, cfg: &WorkloadConfig) -> Vec<T
         if attempts > cfg.count * 500 + 10_000 {
             break; // caller will see fewer candidates
         }
-        let label = labels[rng.random_range(0..labels.len())];
+        let label = labels[rng.index(labels.len())];
         let instances = &by_label[&label];
-        let n_paths = rng.random_range(cfg.paths.0..=cfg.paths.1);
+        let n_paths = rng.usize_in(cfg.paths.0, cfg.paths.1);
         // Sample each path from a different instance, then re-root all of
         // them onto the FIRST instance's node so the twig glues subpaths
         // that never co-occur.
@@ -249,12 +248,12 @@ pub fn negative_query_candidates(tree: &DataTree, cfg: &WorkloadConfig) -> Vec<T
         let mut leaves = Vec::with_capacity(n_paths);
         let mut ok = true;
         for _ in 0..n_paths {
-            let inst = instances[rng.random_range(0..instances.len())];
-            let depth = rng.random_range(cfg.internal.0..=cfg.internal.1);
+            let inst = instances[rng.index(instances.len())];
+            let depth = rng.usize_in(cfg.internal.0, cfg.internal.1);
             match random_path(tree, &mut rng, inst, depth) {
                 Some(path) => {
                     let leaf = leaf_value(tree, *path.last().expect("non-empty"));
-                    let chars = rng.random_range(cfg.leaf_chars.0..=cfg.leaf_chars.1);
+                    let chars = rng.usize_in(cfg.leaf_chars.0, cfg.leaf_chars.1);
                     leaves.push(leaf.map(|v| char_prefix(&v, chars)));
                     paths.push(path);
                 }
@@ -303,7 +302,7 @@ mod tests {
     mod twig_exact_shim {
         use twig_tree::{DataTree, NodeId, Twig, TwigLabel, TwigNodeId};
 
-        pub fn count_presence(tree: &DataTree, twig: &Twig) -> u64 {
+        pub(super) fn count_presence(tree: &DataTree, twig: &Twig) -> u64 {
             let TwigLabel::Element(root_label) = twig.label(twig.root()) else {
                 panic!("workload twigs have element roots")
             };

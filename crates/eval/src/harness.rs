@@ -131,7 +131,7 @@ impl Corpus {
             with_signatures,
             ..CstConfig::default()
         };
-        Cst::from_trie(&self.tree, &self.trie, &config)
+        Cst::from_trie(&self.tree, &self.trie, &config).expect("CST config is valid")
     }
 }
 

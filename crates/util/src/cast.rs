@@ -1,0 +1,107 @@
+//! Checked conversions between the two numeric domains of the estimator
+//! pipeline.
+//!
+//! Counts (`u64`: presence, occurrence, path counts, node totals) and
+//! estimates (`f64`: probabilities, expected match counts) are different
+//! domains, and bare `as` casts between them are banned by `cargo xtask
+//! lint` outside this module. The helpers here make the two directions
+//! explicit:
+//!
+//! - count → estimate is lossless for every count this system can produce
+//!   (trie counts are `u32`-backed, far below 2^53), and
+//! - estimate → count must decide what to do with NaN, infinities, and
+//!   negative values *somewhere* — better here, once, than at every call
+//!   site.
+
+/// Converts a count into the estimate domain.
+///
+/// Exact for counts below 2^53 (every count in this workspace: per-node
+/// counts are `u32`, totals are sums of `u32`s); rounds to nearest even
+/// above that, which only distant-future corpora could reach.
+#[inline]
+#[must_use]
+pub fn count_to_f64(count: u64) -> f64 {
+    count as f64
+}
+
+/// Converts a byte size / length into the estimate domain (same numeric
+/// rules as [`count_to_f64`], separate name so call sites say what the
+/// number means).
+#[inline]
+#[must_use]
+pub fn size_to_f64(size: usize) -> f64 {
+    size as f64
+}
+
+/// Converts an estimate back into a count, saturating: NaN and negative
+/// values become 0, values beyond `u64::MAX` become `u64::MAX`, everything
+/// else truncates toward zero.
+#[inline]
+#[must_use]
+pub fn f64_to_count_saturating(estimate: f64) -> u64 {
+    if estimate.is_nan() || estimate <= 0.0 {
+        0
+    } else if estimate >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        estimate as u64
+    }
+}
+
+/// Converts an estimate into a byte size, saturating like
+/// [`f64_to_count_saturating`] but capped at `usize::MAX`.
+#[inline]
+#[must_use]
+pub fn f64_to_size_saturating(estimate: f64) -> usize {
+    if estimate.is_nan() || estimate <= 0.0 {
+        0
+    } else if estimate >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        estimate as usize
+    }
+}
+
+/// The ratio of two counts as an estimate; 0 when the denominator is 0
+/// (the convention every estimator in this workspace wants: an absent
+/// denominator means an absent subpath, and absent subpaths contribute
+/// nothing, not NaN).
+#[inline]
+#[must_use]
+pub fn count_ratio(numerator: u64, denominator: u64) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        count_to_f64(numerator) / count_to_f64(denominator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_roundtrips_exactly_below_2_53() {
+        for count in [0u64, 1, 42, u32::MAX as u64, (1 << 53) - 1] {
+            assert_eq!(f64_to_count_saturating(count_to_f64(count)), count);
+        }
+    }
+
+    #[test]
+    fn saturation_handles_pathological_estimates() {
+        assert_eq!(f64_to_count_saturating(f64::NAN), 0);
+        assert_eq!(f64_to_count_saturating(f64::NEG_INFINITY), 0);
+        assert_eq!(f64_to_count_saturating(-1.5), 0);
+        assert_eq!(f64_to_count_saturating(f64::INFINITY), u64::MAX);
+        assert_eq!(f64_to_count_saturating(2.9), 2);
+        assert_eq!(f64_to_size_saturating(f64::NAN), 0);
+        assert_eq!(f64_to_size_saturating(1e300), usize::MAX);
+    }
+
+    #[test]
+    fn ratio_of_zero_denominator_is_zero() {
+        assert_eq!(count_ratio(5, 0), 0.0);
+        assert_eq!(count_ratio(0, 5), 0.0);
+        assert_eq!(count_ratio(3, 4), 0.75);
+    }
+}

@@ -11,11 +11,13 @@
 //!   min-hash function family reproducibly,
 //! - [`stats`]: summary statistics used by the evaluation harness.
 
+pub mod cast;
 pub mod hash;
 pub mod intern;
 pub mod rng;
 pub mod stats;
 
+pub use cast::{count_ratio, count_to_f64, f64_to_count_saturating};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
 pub use rng::SplitMix64;

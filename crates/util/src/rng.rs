@@ -45,6 +45,56 @@ impl SplitMix64 {
     pub fn next_odd_u64(&mut self) -> u64 {
         self.next_u64() | 1
     }
+
+    /// Returns a uniform index into a collection of `len` elements.
+    ///
+    /// A `len` of 0 is a caller bug (there is nothing to pick); it returns
+    /// 0 in release builds and trips a debug assertion.
+    #[inline]
+    pub fn index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0, "index into an empty collection");
+        if len == 0 {
+            return 0;
+        }
+        self.next_below(len as u64) as usize
+    }
+
+    /// Returns a value uniform in the inclusive range `[lo, hi]`.
+    ///
+    /// An inverted range (`lo > hi`) is a caller bug; it clamps to `lo` in
+    /// release builds and trips a debug assertion.
+    #[inline]
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        debug_assert!(lo <= hi, "inverted range {lo}..={hi}");
+        if lo >= hi {
+            return lo;
+        }
+        lo + self.next_below(u64::from(hi - lo) + 1) as u32
+    }
+
+    /// Returns a value uniform in the inclusive range `[lo, hi]` (`usize`
+    /// flavor of [`u32_in`](Self::u32_in), for counts and lengths).
+    #[inline]
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi, "inverted range {lo}..={hi}");
+        if lo >= hi {
+            return lo;
+        }
+        lo + self.next_below((hi - lo) as u64 + 1) as usize
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision (the
+    /// standard shift-and-scale construction).
+    #[inline]
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +143,51 @@ mod tests {
         let mut rng = SplitMix64::new(42);
         for _ in 0..100 {
             assert_eq!(rng.next_odd_u64() & 1, 1);
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_cover_endpoints() {
+        let mut rng = SplitMix64::new(3);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..1_000 {
+            let v = rng.u32_in(10, 13);
+            assert!((10..=13).contains(&v));
+            lo_seen |= v == 10;
+            hi_seen |= v == 13;
+            let u = rng.usize_in(0, 2);
+            assert!(u <= 2);
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn degenerate_ranges_return_lo() {
+        let mut rng = SplitMix64::new(4);
+        assert_eq!(rng.u32_in(5, 5), 5);
+        assert_eq!(rng.usize_in(7, 7), 7);
+    }
+
+    #[test]
+    fn f64_unit_in_half_open_interval() {
+        let mut rng = SplitMix64::new(5);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.f64_unit();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean of 10k uniforms is 0.5 ± a few percent.
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn index_stays_in_bounds() {
+        let mut rng = SplitMix64::new(6);
+        for len in 1..20usize {
+            for _ in 0..100 {
+                assert!(rng.index(len) < len);
+            }
         }
     }
 }

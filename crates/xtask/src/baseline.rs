@@ -1,0 +1,151 @@
+//! Baseline bookkeeping for incremental burn-down.
+//!
+//! The seed codebase predates the lint rules, so the pass records the
+//! existing violations in a checked-in baseline and fails only on *new*
+//! ones. The file is a sorted TSV (`rule\tfile\tcount\tnormalized
+//! content`), keyed by normalized line content rather than line numbers
+//! so unrelated edits that shift lines do not churn it. Deleting entries
+//! (burning violations down) is always safe; `--update-baseline` rewrites
+//! the file from the current state.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Violation;
+
+/// Baseline key: which rule fired, where, on what (content-normalized).
+pub(crate) type Key = (String, String, String);
+
+/// Collapses runs of whitespace so formatting churn does not invalidate
+/// baseline entries.
+pub(crate) fn normalize(content: &str) -> String {
+    content.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+pub(crate) fn key_of(violation: &Violation) -> Key {
+    (
+        violation.rule.to_owned(),
+        violation.file.clone(),
+        normalize(&violation.content),
+    )
+}
+
+/// Parses the TSV baseline. Unknown/malformed lines are rejected loudly —
+/// a silently dropped entry would resurface as a phantom "new" violation.
+pub(crate) fn parse(text: &str) -> Result<BTreeMap<Key, usize>, String> {
+    let mut entries = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.splitn(4, '\t');
+        let (Some(rule), Some(file), Some(count), Some(content)) =
+            (fields.next(), fields.next(), fields.next(), fields.next())
+        else {
+            return Err(format!("baseline line {}: expected 4 tab-separated fields", idx + 1));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count '{count}'", idx + 1))?;
+        *entries
+            .entry((rule.to_owned(), file.to_owned(), content.to_owned()))
+            .or_insert(0) += count;
+    }
+    Ok(entries)
+}
+
+/// Renders the baseline for the current violation set.
+pub(crate) fn render(violations: &[Violation]) -> String {
+    let mut counts: BTreeMap<Key, usize> = BTreeMap::new();
+    for violation in violations {
+        *counts.entry(key_of(violation)).or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# twig-lint baseline: pre-existing violations, one `rule<TAB>file<TAB>count<TAB>content`\n\
+         # per line. Only delete entries (burn-down) or regenerate with\n\
+         # `cargo xtask lint --update-baseline`.\n",
+    );
+    for ((rule, file, content), count) in &counts {
+        out.push_str(&format!("{rule}\t{file}\t{count}\t{content}\n"));
+    }
+    out
+}
+
+/// Splits `violations` into (baselined, new) against `baseline`.
+/// For each key the first `allowed` occurrences (in file/line order) are
+/// considered baselined; any excess is new.
+pub(crate) fn partition(
+    violations: Vec<Violation>,
+    baseline: &BTreeMap<Key, usize>,
+) -> (Vec<Violation>, Vec<Violation>) {
+    let mut used: BTreeMap<Key, usize> = BTreeMap::new();
+    let mut old = Vec::new();
+    let mut fresh = Vec::new();
+    for violation in violations {
+        let key = key_of(&violation);
+        let allowed = baseline.get(&key).copied().unwrap_or(0);
+        let slot = used.entry(key).or_insert(0);
+        if *slot < allowed {
+            *slot += 1;
+            old.push(violation);
+        } else {
+            fresh.push(violation);
+        }
+    }
+    (old, fresh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, file: &str, line: usize, content: &str) -> Violation {
+        Violation { rule, file: file.to_owned(), line, content: content.to_owned() }
+    }
+
+    #[test]
+    fn roundtrip_preserves_counts() {
+        let violations = vec![
+            v("no-unwrap", "a.rs", 3, "x.unwrap();"),
+            v("no-unwrap", "a.rs", 9, "x.unwrap();"),
+            v("no-panic", "b.rs", 1, "panic!(\"boom\")"),
+        ];
+        let parsed = parse(&render(&violations)).expect("parses");
+        assert_eq!(
+            parsed.get(&("no-unwrap".into(), "a.rs".into(), "x.unwrap();".into())),
+            Some(&2)
+        );
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn partition_flags_only_excess() {
+        let baseline = parse("no-unwrap\ta.rs\t1\tx.unwrap();\n").expect("parses");
+        let (old, fresh) = partition(
+            vec![
+                v("no-unwrap", "a.rs", 3, "x.unwrap();"),
+                v("no-unwrap", "a.rs", 9, "x.unwrap();"),
+                v("no-panic", "a.rs", 5, "panic!()"),
+            ],
+            &baseline,
+        );
+        assert_eq!(old.len(), 1);
+        assert_eq!(fresh.len(), 2);
+    }
+
+    #[test]
+    fn normalization_survives_whitespace_churn() {
+        let baseline = parse("no-unwrap\ta.rs\t1\tlet y = x.unwrap();\n").expect("parses");
+        let (old, fresh) =
+            partition(vec![v("no-unwrap", "a.rs", 7, "let  y =   x.unwrap();")], &baseline);
+        assert_eq!(old.len(), 1);
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_rejected() {
+        assert!(parse("no-unwrap\tonly-two-fields\n").is_err());
+        assert!(parse("no-unwrap\ta.rs\tNaN\tx\n").is_err());
+        assert!(parse("# comment\n\n").expect("ok").is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! Workspace automation tasks (`cargo xtask <task>`).
+//!
+//! The only task today is `lint`: the twig-lint static-analysis pass
+//! described in DESIGN.md. It is dependency-free by design — the build
+//! container is offline, so no `syn`, no `serde`, no `walkdir`; the
+//! scanner in `scan.rs` is a purpose-built lexer and the JSON report is
+//! printed by hand.
+//!
+//! ```text
+//! cargo xtask lint                     # human report, exit 1 on new violations
+//! cargo xtask lint --json              # machine-readable report on stdout
+//! cargo xtask lint --update-baseline   # accept the current state
+//! ```
+
+mod baseline;
+mod rules;
+mod scan;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rules::Violation;
+
+const BASELINE_FILE: &str = "lint-baseline.tsv";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown task '{other}'\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cargo xtask — workspace automation
+
+TASKS:
+  lint [--json] [--update-baseline] [--baseline FILE] [--root DIR]
+      Run the twig-lint static-analysis pass over every workspace .rs
+      file. Exits non-zero when violations beyond the baseline exist.";
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut update = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--update-baseline" => update = true,
+            "--baseline" => match iter.next() {
+                Some(path) => baseline_path = Some(PathBuf::from(path)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--root" => match iter.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => return usage_error("--root needs a value"),
+            },
+            other => return usage_error(&format!("unknown flag '{other}'")),
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+
+    let mut violations: Vec<Violation> = Vec::new();
+    for file in &files {
+        match fs::read_to_string(root.join(file)) {
+            Ok(src) => violations.extend(rules::check_file(file, &src)),
+            Err(err) => {
+                eprintln!("warning: cannot read {file}: {err}");
+            }
+        }
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    if update {
+        let rendered = baseline::render(&violations);
+        if let Err(err) = fs::write(&baseline_path, rendered) {
+            eprintln!("error: cannot write {}: {err}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "baseline updated: {} violation(s) across {} file(s) recorded in {}",
+            violations.len(),
+            files.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(parsed) => parsed,
+            Err(err) => {
+                eprintln!("error: {}: {err}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Default::default(), // no baseline: everything is new
+    };
+    let scanned = files.len();
+    let (old, fresh) = baseline::partition(violations, &baseline);
+
+    if json {
+        println!("{}", json_report(scanned, &old, &fresh));
+    } else {
+        human_report(scanned, &old, &fresh);
+    }
+    if fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Recursively collects `.rs` files under `dir` as repo-relative
+/// `/`-separated paths, skipping build output and VCS internals.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "results") {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel: Vec<_> =
+                    rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+                out.push(rel.join("/"));
+            }
+        }
+    }
+}
+
+fn human_report(scanned: usize, old: &[Violation], fresh: &[Violation]) {
+    for violation in fresh {
+        println!(
+            "{}:{}: [{}] {}",
+            violation.file, violation.line, violation.rule, violation.content
+        );
+    }
+    println!(
+        "twig-lint: {scanned} files scanned, {} new violation(s), {} baselined",
+        fresh.len(),
+        old.len()
+    );
+    if !fresh.is_empty() {
+        println!(
+            "  fix the lines above, or run `cargo xtask lint --update-baseline` if they are\n  \
+             intentional pre-existing debt"
+        );
+    }
+}
+
+/// Renders the machine-readable report. Hand-rolled (offline build, no
+/// serde); `json_escape` covers everything source lines can contain.
+fn json_report(scanned: usize, old: &[Violation], fresh: &[Violation]) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"files_scanned\":{scanned},\"new\":{},\"baselined\":{},\"violations\":[",
+        fresh.len(),
+        old.len()
+    ));
+    let mut first = true;
+    for (violation, is_new) in fresh
+        .iter()
+        .map(|v| (v, true))
+        .chain(old.iter().map(|v| (v, false)))
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"new\":{},\"content\":\"{}\"}}",
+            json_escape(violation.rule),
+            json_escape(&violation.file),
+            violation.line,
+            is_new,
+            json_escape(&violation.content)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny\tz"), "x\\ny\\tz");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let fresh = vec![Violation {
+            rule: "no-unwrap",
+            file: "crates/core/src/a.rs".into(),
+            line: 3,
+            content: "x.unwrap() // \"quoted\"".into(),
+        }];
+        let report = json_report(10, &[], &fresh);
+        assert!(report.starts_with('{') && report.ends_with('}'));
+        assert!(report.contains("\"files_scanned\":10"));
+        assert!(report.contains("\"new\":1"));
+        assert!(report.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn collect_skips_target_and_finds_sources() {
+        let root = workspace_root();
+        let mut files = Vec::new();
+        collect_rs_files(&root, &root, &mut files);
+        assert!(files.iter().any(|f| f == "crates/core/src/cst.rs"), "{files:?}");
+        assert!(files.iter().all(|f| !f.starts_with("target/")));
+    }
+
+    #[test]
+    fn end_to_end_on_synthetic_tree() {
+        // Build a small fake workspace in a temp dir, seed a violation,
+        // and drive the same functions `lint` composes.
+        let dir = std::env::temp_dir().join(format!("twig-xtask-test-{}", std::process::id()));
+        let src_dir = dir.join("crates/core/src");
+        fs::create_dir_all(&src_dir).expect("mkdir");
+        fs::write(src_dir.join("lib.rs"), "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n")
+            .expect("write");
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &dir, &mut files);
+        assert_eq!(files, ["crates/core/src/lib.rs"]);
+        let src = fs::read_to_string(dir.join(&files[0])).expect("read");
+        let violations = rules::check_file(&files[0], &src);
+        assert_eq!(violations.len(), 1);
+
+        // Baselining it silences the pass; a second unwrap is new again.
+        let parsed = baseline::parse(&baseline::render(&violations)).expect("parse");
+        let (old, fresh) = baseline::partition(violations.clone(), &parsed);
+        assert_eq!((old.len(), fresh.len()), (1, 0));
+        let more = rules::check_file(
+            &files[0],
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\npub fn g(y: Option<u32>) -> u32 { y.unwrap() }\n",
+        );
+        let (_, fresh) = baseline::partition(more, &parsed);
+        assert_eq!(fresh.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

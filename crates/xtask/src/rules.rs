@@ -1,0 +1,255 @@
+//! The twig-lint rule set.
+//!
+//! Each rule matches on *masked* source lines (comments and literal
+//! contents blanked by `scan::mask_source`) and is scoped by path, so the
+//! checks stay cheap and deterministic. Violation text is taken from the
+//! original line for readable reports.
+
+use crate::scan::{mask_source, test_line_mask};
+
+/// One finding: a rule fired on a line of a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Violation {
+    /// Rule identifier (stable; keys the baseline).
+    pub(crate) rule: &'static str,
+    /// Repo-relative path with `/` separators.
+    pub(crate) file: String,
+    /// 1-based line number.
+    pub(crate) line: usize,
+    /// The offending line, trimmed (from the unmasked source).
+    pub(crate) content: String,
+}
+
+/// The estimator-pipeline crates held to the strictest standard: their
+/// library paths must be panic-free (violations burn down via the
+/// baseline).
+const STRICT_SCOPES: &[&str] = &["crates/core/src/", "crates/sethash/src/", "crates/pst/src/"];
+
+/// Files inside the strict scope that may still hold bare
+/// count↔estimate `as` casts (none today; the checked helpers live in
+/// `twig_util::cast`, outside the scope by construction).
+const CAST_ALLOWLIST: &[&str] = &[];
+
+/// Files allowed to contain `unsafe` (none today; additions need a code
+/// review that lands them here *and* an `unsafe_code` lint override).
+const UNSAFE_ALLOWLIST: &[&str] = &[];
+
+/// Is `file` (repo-relative) test-ish by location alone? Integration
+/// tests, benches, examples and build scripts may panic freely.
+fn test_path(file: &str) -> bool {
+    file.split('/').any(|part| {
+        matches!(part, "tests" | "benches" | "examples") || part == "build.rs"
+    })
+        // The lint driver itself is a dev tool, not pipeline code.
+        || file.starts_with("crates/xtask/")
+}
+
+fn in_strict_scope(file: &str) -> bool {
+    STRICT_SCOPES.iter().any(|scope| file.starts_with(scope))
+}
+
+/// Scope of the bare-cast rule: the strict estimator crates. `twig-util`
+/// is exempt — it is where the checked conversion helpers
+/// (`twig_util::cast`) are implemented, and a cast helper must be allowed
+/// to cast.
+fn in_cast_scope(file: &str) -> bool {
+    in_strict_scope(file) && !CAST_ALLOWLIST.contains(&file)
+}
+
+/// True when `masked[pos..]` starts a match of `needle` on an identifier
+/// boundary (the previous byte is not part of an identifier).
+fn word_match(masked: &str, pos: usize) -> bool {
+    pos == 0 || {
+        let prev = masked.as_bytes()[pos - 1];
+        !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'.')
+    }
+}
+
+/// Occurrences of `needle` in `line` on identifier boundaries.
+fn word_occurrences(line: &str, needle: &str, boundary: bool) -> usize {
+    let mut count = 0;
+    let mut from = 0;
+    while let Some(at) = line[from..].find(needle) {
+        let pos = from + at;
+        if !boundary || word_match(line, pos) {
+            count += 1;
+        }
+        from = pos + needle.len();
+    }
+    count
+}
+
+/// Patterns whose presence on a non-test line of a strict-scope file is a
+/// `no-unwrap` violation.
+const UNWRAP_PATTERNS: &[&str] = &[".unwrap()", ".expect("];
+
+/// Panic-family macros banned from strict-scope library paths.
+/// `debug_assert*` is deliberately absent: it compiles out of release
+/// builds and is the sanctioned way to state internal expectations.
+const PANIC_PATTERNS: &[&str] = &[
+    "panic!", "assert!", "assert_eq!", "assert_ne!", "unreachable!", "todo!", "unimplemented!",
+];
+
+/// Count↔estimate domain casts: `… as f64` (count widened without saying
+/// whether it is exact) and `… as u64` (estimate truncated without saying
+/// what happens to NaN). `twig_util::cast` provides the checked versions.
+const CAST_PATTERNS: &[&str] = &["as f64", "as u64"];
+
+/// Runs every rule over one file. `file` is the repo-relative path,
+/// `src` its full text.
+pub(crate) fn check_file(file: &str, src: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if test_path(file) {
+        return violations;
+    }
+    let masked = mask_source(src);
+    let test_lines = test_line_mask(&masked);
+    let originals: Vec<&str> = src.lines().collect();
+
+    for (idx, line) in masked.lines().enumerate() {
+        if test_lines.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let mut report = |rule: &'static str| {
+            violations.push(Violation {
+                rule,
+                file: file.to_owned(),
+                line: idx + 1,
+                content: originals.get(idx).unwrap_or(&"").trim().to_owned(),
+            });
+        };
+
+        if in_strict_scope(file) {
+            for pattern in UNWRAP_PATTERNS {
+                for _ in 0..word_occurrences(line, pattern, false) {
+                    report("no-unwrap");
+                }
+            }
+            for pattern in PANIC_PATTERNS {
+                for _ in 0..word_occurrences(line, pattern, true) {
+                    report("no-panic");
+                }
+            }
+        }
+        if in_cast_scope(file) {
+            for pattern in CAST_PATTERNS {
+                for _ in 0..cast_occurrences(line, pattern) {
+                    report("no-bare-cast");
+                }
+            }
+        }
+        if !UNSAFE_ALLOWLIST.contains(&file)
+            && word_occurrences(line, "unsafe", true) > 0
+            && !line.contains("forbid(unsafe")
+            && !line.contains("deny(unsafe")
+        {
+            report("no-unsafe");
+        }
+    }
+    violations
+}
+
+/// Occurrences of a cast pattern (`as f64` / `as u64`) as whole words:
+/// `as` must sit on identifier boundaries on both sides and the type name
+/// must not continue (`as f64x4` would be some other type).
+fn cast_occurrences(line: &str, pattern: &str) -> usize {
+    let mut count = 0;
+    let mut from = 0;
+    while let Some(at) = line[from..].find(pattern) {
+        let pos = from + at;
+        let end = pos + pattern.len();
+        let left_ok = word_match(line, pos);
+        let right_ok = line.as_bytes().get(end).is_none_or(|&b| {
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        });
+        if left_ok && right_ok {
+            count += 1;
+        }
+        from = end;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_strict_library_code_flagged() {
+        let violations = check_file("crates/core/src/foo.rs", "fn f() { x.unwrap(); }\n");
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "no-unwrap");
+        assert_eq!(violations[0].line, 1);
+    }
+
+    #[test]
+    fn expect_flagged_expect_err_not_double_counted() {
+        let violations =
+            check_file("crates/pst/src/foo.rs", "fn f() { x.expect(\"reason\"); }\n");
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        let violations = check_file(
+            "crates/core/src/foo.rs",
+            "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }\n",
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn panic_family_flagged_debug_assert_allowed() {
+        let src = "fn f() { assert!(x); assert_eq!(a, b); panic!(\"no\"); debug_assert!(y); }\n";
+        let violations = check_file("crates/sethash/src/lib.rs", src);
+        let rules: Vec<_> = violations.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, ["no-panic", "no-panic", "no-panic"], "{violations:?}");
+    }
+
+    #[test]
+    fn test_code_and_test_files_exempt() {
+        let gated = "#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); panic!(); }\n}\n";
+        assert!(check_file("crates/core/src/foo.rs", gated).is_empty());
+        let test_file = "fn t() { x.unwrap(); }\n";
+        assert!(check_file("crates/core/tests/it.rs", test_file).is_empty());
+        assert!(check_file("examples/demo.rs", test_file).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_not_held_to_unwrap_rule() {
+        let violations = check_file("crates/cli/src/lib.rs", "fn f() { x.unwrap(); }\n");
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn bare_casts_flagged_in_scope_allowed_in_cast_module() {
+        let src = "fn f(n: u64) -> f64 { n as f64 }\n";
+        let violations = check_file("crates/core/src/foo.rs", src);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "no-bare-cast");
+        assert!(check_file("crates/util/src/cast.rs", src).is_empty());
+        // Other numeric casts are not this rule's business.
+        assert!(check_file("crates/core/src/foo.rs", "fn f(n: usize) { n as u32; }\n")
+            .is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "// call .unwrap() as f64\nfn f() { let s = \"panic! as u64\"; }\n";
+        assert!(check_file("crates/core/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_flagged_everywhere_lint_attrs_exempt() {
+        let violations = check_file("crates/cli/src/lib.rs", "unsafe { std::hint::unreachable_unchecked() }\n");
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "no-unsafe");
+        assert!(check_file("crates/cli/src/lib.rs", "#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn multiple_hits_on_one_line_counted_separately() {
+        let src = "fn f() { a.unwrap(); b.unwrap(); }\n";
+        assert_eq!(check_file("crates/core/src/foo.rs", src).len(), 2);
+    }
+}

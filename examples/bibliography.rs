@@ -35,7 +35,7 @@ fn main() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.05), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     println!(
         "summary: {} nodes, {:.1} KB ({:.2}% of data), built in {:.2?}\n",
         cst.node_count(),

@@ -48,7 +48,7 @@ fn main() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.05), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     println!(
         "corpus {:.1} MB, summary {:.1} KB\n",
         xml.len() as f64 / 1048576.0,

@@ -38,7 +38,7 @@ fn main() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     println!(
         "CST: {} subpath nodes, {} accounted bytes",
         cst.node_count(),

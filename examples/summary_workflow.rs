@@ -20,7 +20,7 @@ fn main() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.08), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     let mut stored = Vec::new();
     cst.write_to(&mut stored).expect("serialize");
     println!(

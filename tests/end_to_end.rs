@@ -18,7 +18,7 @@ fn unpruned(tree: &DataTree) -> Cst {
     Cst::build(
         tree,
         &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-    )
+    ).expect("CST config is valid")
 }
 
 #[test]
@@ -30,7 +30,7 @@ fn full_pipeline_runs_on_both_corpora() {
         let cst = Cst::build(
             tree,
             &CstConfig { budget: SpaceBudget::Fraction(0.10), ..CstConfig::default() },
-        );
+        ).expect("CST config is valid");
         assert!(cst.node_count() > 1);
         let queries = positive_queries(
             tree,
@@ -97,7 +97,7 @@ fn estimates_shrink_with_budget_but_never_break() {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Fraction(fraction), ..CstConfig::default() },
-        );
+        ).expect("CST config is valid");
         assert!(
             cst.size_bytes() as f64 <= tree.source_bytes() as f64 * fraction + 1.0,
             "budget overrun at {fraction}"
@@ -141,7 +141,7 @@ fn negative_queries_estimate_small() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.10), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     let candidates = twig_datagen::negative_query_candidates(
         &tree,
         &WorkloadConfig { count: 30, seed: 37, ..WorkloadConfig::default() },

@@ -19,7 +19,7 @@ fn wildcard_queries_estimate_and_count() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     // `*` bridges the taxonomy nesting of unknown depth.
     let query = Twig::parse(r#"organism(*(name("Eukaryota")))"#).unwrap();
     let presence = count_presence(&tree, &query);
@@ -64,7 +64,7 @@ fn ordered_estimation_reasonable_on_workload() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     let queries = twig_datagen::positive_queries(
         &tree,
         &twig_datagen::WorkloadConfig { count: 15, seed: 8, ..Default::default() },
@@ -83,7 +83,7 @@ fn summary_file_roundtrip_through_disk() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.2), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     let path = std::env::temp_dir().join(format!("twig-ext-{}.cst", std::process::id()));
     let mut buffer = Vec::new();
     cst.write_to(&mut buffer).unwrap();

@@ -40,7 +40,7 @@ fn lore_single_path_equals_unpruned_cst() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-    );
+    ).expect("CST config is valid");
     let queries = twig_datagen::trivial_queries(
         &tree,
         &WorkloadConfig { count: 20, seed: 3, internal: (2, 3), ..WorkloadConfig::default() },
@@ -68,7 +68,7 @@ fn set_hashing_beats_lore_on_twig_workload() {
             signature_len: 64,
             ..CstConfig::default()
         },
-    );
+    ).expect("CST config is valid");
     let queries = positive_queries(
         &tree,
         &WorkloadConfig { count: 40, seed: 4, ..WorkloadConfig::default() },
