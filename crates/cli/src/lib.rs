@@ -21,6 +21,7 @@ use twig_datagen::{
     trivial_queries, DblpConfig, SprotConfig, WorkloadConfig,
 };
 use twig_exact::{count_occurrence, count_occurrence_ordered, count_presence};
+use twig_serve::{error_chain, Server, ServerConfig, SummaryRegistry, SummarySpec};
 use twig_tree::{DataTree, Twig};
 
 /// Runs the CLI with `args` (not including the program name), writing
@@ -37,6 +38,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "exact" => cmd_exact(&mut args, out),
         "audit" => cmd_audit(&mut args, out),
         "workload" => cmd_workload(&mut args, out),
+        "serve" => cmd_serve(&mut args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
@@ -61,6 +63,8 @@ USAGE:
   twig exact    --input XML (--query TWIG | --xpath XPATH) [--ordered]
   twig audit    --summary FILE [--queries FILE]
   twig workload --input XML [--count N] [--seed N] [--kind positive|trivial|negative]
+  twig serve    --summary [NAME=]FILE [--summary ...] [--addr HOST:PORT]
+                [--threads N] [--queue N] [--max-body-kb N] [--max-batch N]
 
 Twig query syntax: labels are elements, quoted strings are value-prefix
 leaves, parentheses enclose children: book(author(\"Su\"),year(\"1999\")).
@@ -103,6 +107,15 @@ impl Arguments {
     fn take(&mut self, name: &str) -> Option<String> {
         let pos = self.pairs.iter().position(|(n, _)| n == name)?;
         Some(self.pairs.remove(pos).1)
+    }
+
+    /// Takes every occurrence of a repeatable flag, in order.
+    fn take_all(&mut self, name: &str) -> Vec<String> {
+        let mut values = Vec::new();
+        while let Some(value) = self.take(name) {
+            values.push(value);
+        }
+        values
     }
 
     fn take_parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
@@ -353,6 +366,46 @@ fn cmd_workload(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String>
     Ok(())
 }
 
+/// Boots the estimation server (`twig-serve`) over one or more stored
+/// summaries and blocks until it is shut down (`POST /admin/shutdown`).
+/// Prints `listening on ADDR` once the socket is bound, so scripts can
+/// wait for readiness on stdout.
+fn cmd_serve(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
+    let specs = args.take_all("summary");
+    if specs.is_empty() {
+        return Err("serve needs at least one --summary [NAME=]FILE".into());
+    }
+    let addr = args.take("addr").unwrap_or_else(|| "127.0.0.1:7716".to_owned());
+    let workers: usize = args.take_parsed("threads")?.unwrap_or(8);
+    let queue_capacity: usize = args.take_parsed("queue")?.unwrap_or(64);
+    let max_body_kb: usize = args.take_parsed("max-body-kb")?.unwrap_or(1024);
+    let max_batch: usize = args.take_parsed("max-batch")?.unwrap_or(4096);
+    // Surface leftover-flag mistakes before binding the socket; `run`'s
+    // own check would otherwise only fire after shutdown.
+    args.ensure_consumed()?;
+
+    let registry = SummaryRegistry::new();
+    for text in specs {
+        let spec = SummarySpec::parse(&text)?;
+        let name = spec.name.clone();
+        registry.load(spec).map_err(|e| error_chain(&e))?;
+        writeln!(out, "loaded summary '{name}'").map_err(io_err)?;
+    }
+    let config = ServerConfig {
+        workers,
+        queue_capacity,
+        max_body_bytes: max_body_kb.saturating_mul(1024),
+        max_batch,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&addr, config, registry)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    writeln!(out, "listening on {} ({workers} workers, queue {queue_capacity})", server.local_addr())
+        .map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    server.run().map_err(|e| format!("server error: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,5 +612,72 @@ mod tests {
     fn help_prints_usage() {
         let help = run_capture(&["help"]).expect("help");
         assert!(help.contains("USAGE"));
+        assert!(help.contains("twig serve"));
+    }
+
+    #[test]
+    fn serve_error_paths() {
+        let err = run_capture(&["serve"]).unwrap_err();
+        assert!(err.contains("--summary"), "{err}");
+        let err = run_capture(&["serve", "--summary", "=x"]).unwrap_err();
+        assert!(err.contains("invalid summary spec"), "{err}");
+        let err = run_capture(&["serve", "--summary", "/nonexistent/x.cst"]).unwrap_err();
+        assert!(err.contains("cannot load summary"), "{err}");
+        assert!(err.contains("I/O error"), "{err}");
+
+        let corpus = temp_path("corpus6.xml");
+        let summary = temp_path("summary6.cst");
+        run_capture(&[
+            "generate", "--kind", "dblp", "--mb", "0.05", "--seed", "6", "--out", &corpus,
+        ])
+        .expect("generate");
+        run_capture(&["build", "--input", &corpus, "--space", "0.2", "--out", &summary])
+            .expect("build");
+
+        // Leftover flags are rejected before the socket is bound.
+        let err =
+            run_capture(&["serve", "--summary", &summary, "--bogus", "1"]).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+        let err = run_capture(&["serve", "--summary", &summary, "--addr", "not-an-addr"])
+            .unwrap_err();
+        assert!(err.contains("cannot bind"), "{err}");
+    }
+
+    #[test]
+    fn serve_boots_answers_and_shuts_down() {
+        let corpus = temp_path("corpus7.xml");
+        let summary = temp_path("summary7.cst");
+        run_capture(&[
+            "generate", "--kind", "dblp", "--mb", "0.05", "--seed", "7", "--out", &corpus,
+        ])
+        .expect("generate");
+        run_capture(&["build", "--input", &corpus, "--space", "0.2", "--out", &summary])
+            .expect("build");
+
+        // Reserve an ephemeral port, then serve on it from a thread.
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+            probe.local_addr().expect("probe addr").port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let spec = format!("dblp={summary}");
+        let serve_addr = addr.clone();
+        let thread = std::thread::spawn(move || {
+            let args: Vec<String> =
+                ["serve", "--summary", &spec, "--addr", &serve_addr, "--threads", "2"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            let mut out = Vec::new();
+            run(&args, &mut out).map(|()| String::from_utf8(out).expect("UTF-8 output"))
+        });
+
+        // The smoke loop proves the served estimates flow end to end,
+        // then posts /admin/shutdown.
+        let report = twig_serve::loadgen::smoke(&addr, "dblp").expect("smoke against twig serve");
+        assert!(report.requests > 0);
+        let output = thread.join().expect("serve thread").expect("serve exits cleanly");
+        assert!(output.contains("loaded summary 'dblp'"), "{output}");
+        assert!(output.contains(&format!("listening on {addr}")), "{output}");
     }
 }

@@ -43,6 +43,10 @@ impl fmt::Display for CstError {
     }
 }
 
+// `CstError` is a chain *root*: every variant describes a terminal
+// misconfiguration with no underlying cause, so `source()` is `None`.
+// Errors that wrap it (`serialize::ReadError::Invalid`, the serve
+// registry's load errors) chain back to it via their own `source()`.
 impl std::error::Error for CstError {}
 
 #[cfg(test)]

@@ -135,12 +135,12 @@ impl Cst {
                         twiglets.iter().map(crate::twiglets::Twiglet::units).collect();
                     let mut elements: Vec<Element> = pieces
                         .iter()
-                        .cloned()
                         .filter(|p| {
                             !regions
                                 .iter()
                                 .any(|region| p.units.iter().all(|u| region.contains(u)))
                         })
+                        .cloned()
                         .map(Element::Single)
                         .collect();
                     elements.extend(twiglets.into_iter().map(Element::Group));

@@ -69,3 +69,4 @@ pub use audit::AuditViolation;
 pub use cst::{Cst, CstConfig, SignatureFallback, SpaceBudget};
 pub use error::CstError;
 pub use estimate::{Algorithm, CountKind};
+pub use serialize::ReadError;

@@ -112,7 +112,7 @@ impl LoreSummary {
 
         // Value phase: chain characters against a fixed label tail.
         if !chars.is_empty() {
-            let tail_start = label_len.saturating_sub(self.k.saturating_sub(1)).max(0);
+            let tail_start = label_len.saturating_sub(self.k.saturating_sub(1));
             let tail = &labels[tail_start..];
             let mut window: Vec<PathToken> = tail.to_vec();
             // Only the stored prefix length carries statistics; deeper

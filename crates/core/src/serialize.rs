@@ -17,12 +17,15 @@
 //! roundtrip and corruption tests.
 
 use std::io::{self, Read, Write};
+use std::path::Path;
 
 use twig_pst::{ExportedNode, PrunedTrie};
 use twig_sethash::CompactSignature;
+use twig_util::cast::size_to_u64;
 use twig_util::Interner;
 
 use crate::cst::Cst;
+use crate::error::CstError;
 
 const MAGIC: &[u8; 8] = b"TWIGCST\x01";
 
@@ -35,6 +38,10 @@ pub enum ReadError {
     BadMagic,
     /// The input is structurally invalid.
     Corrupt(&'static str),
+    /// The parts deserialized cleanly but do not assemble into a valid
+    /// CST (the construction error is chained via
+    /// [`source`](std::error::Error::source)).
+    Invalid(CstError),
 }
 
 impl std::fmt::Display for ReadError {
@@ -43,11 +50,20 @@ impl std::fmt::Display for ReadError {
             ReadError::Io(err) => write!(f, "I/O error: {err}"),
             ReadError::BadMagic => write!(f, "not a twig CST file (bad magic/version)"),
             ReadError::Corrupt(what) => write!(f, "corrupt CST file: {what}"),
+            ReadError::Invalid(err) => write!(f, "CST file assembles invalid summary: {err}"),
         }
     }
 }
 
-impl std::error::Error for ReadError {}
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(err) => Some(err),
+            ReadError::Invalid(err) => Some(err),
+            ReadError::BadMagic | ReadError::Corrupt(_) => None,
+        }
+    }
+}
 
 impl From<io::Error> for ReadError {
     fn from(err: io::Error) -> Self {
@@ -83,8 +99,8 @@ impl Cst {
     pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
         out.write_all(MAGIC)?;
         write_u64(out, self.n())?;
-        write_u64(out, self.source_bytes() as u64)?;
-        write_u64(out, self.size_bytes() as u64)?;
+        write_u64(out, size_to_u64(self.source_bytes()))?;
+        write_u64(out, size_to_u64(self.size_bytes()))?;
         write_u64(out, self.seed())?;
         write_u32(out, self.signature_len() as u32)?;
         write_u32(out, self.threshold())?;
@@ -214,7 +230,20 @@ impl Cst {
             size_bytes,
             source_bytes,
         )
-        .map_err(|_| ReadError::Corrupt("signature table size mismatch"))
+        .map_err(ReadError::Invalid)
+    }
+
+    /// Deserializes a summary from an in-memory byte buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Cst, ReadError> {
+        Cst::read_from(&mut &bytes[..])
+    }
+
+    /// Reads and deserializes a summary file written by
+    /// [`Cst::write_to`]. This is the loading path shared by the CLI and
+    /// the `twig-serve` summary registry.
+    pub fn load_file(path: &Path) -> Result<Cst, ReadError> {
+        let bytes = std::fs::read(path)?;
+        Cst::from_bytes(&bytes)
     }
 }
 
@@ -291,6 +320,49 @@ mod tests {
                 "cut at {cut} accepted"
             );
         }
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        use std::error::Error as _;
+        // Io wraps the underlying io::Error.
+        let truncated: &[u8] = &[];
+        let err = Cst::read_from(&mut &truncated[..]).expect_err("empty input");
+        assert!(matches!(err, ReadError::Io(_)));
+        assert!(err.source().is_some(), "Io chains to io::Error");
+        // Invalid chains to the CstError construction failure; the chain
+        // walks to a terminal root (source of the root is None).
+        let invalid = ReadError::Invalid(crate::CstError::SignatureTableMismatch {
+            signatures: 1,
+            nodes: 2,
+        });
+        let root = invalid.source().expect("Invalid chains to CstError");
+        assert!(root.to_string().contains("signature table"));
+        assert!(root.source().is_none());
+        // Terminal variants have no source.
+        assert!(ReadError::BadMagic.source().is_none());
+        assert!(ReadError::Corrupt("x").source().is_none());
+    }
+
+    #[test]
+    fn load_file_and_from_bytes_roundtrip() {
+        let cst = sample_cst();
+        let mut buffer = Vec::new();
+        cst.write_to(&mut buffer).unwrap();
+        let restored = Cst::from_bytes(&buffer).unwrap();
+        assert_eq!(restored.node_count(), cst.node_count());
+
+        let dir = std::env::temp_dir().join(format!("twig-serialize-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.cst");
+        std::fs::write(&path, &buffer).unwrap();
+        let loaded = Cst::load_file(&path).unwrap();
+        assert_eq!(loaded.node_count(), cst.node_count());
+        assert!(matches!(
+            Cst::load_file(&dir.join("missing.cst")),
+            Err(ReadError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Hostile-input tests for `Cst::read_from`.
+//!
+//! The serve subsystem's reload endpoint makes summary deserialization an
+//! external attack surface: an operator (or an attacker who can write the
+//! summary directory) can feed the loader arbitrary bytes. The contract
+//! is that `read_from` returns a structured [`ReadError`] for *any* input
+//! — it must never panic, never abort, and never allocate absurdly.
+//!
+//! The sweeps below are deterministic (SplitMix64-seeded), so a failure
+//! reproduces exactly from the printed seed/position.
+
+use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
+use twig_tree::{DataTree, Twig};
+use twig_util::SplitMix64;
+
+fn sample_summary_bytes() -> Vec<u8> {
+    let tree = DataTree::from_xml(concat!(
+        "<dblp>",
+        "<book><author>Anna</author><year>1999</year><title>TreeQL</title></book>",
+        "<book><author>Bo</author><year>2000</year></book>",
+        "<article><author>Cy</author><title>Twigs</title></article>",
+        "</dblp>"
+    ))
+    .expect("sample XML parses");
+    let cst = Cst::build(
+        &tree,
+        &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
+    )
+    .expect("sample CST builds");
+    let mut buffer = Vec::new();
+    cst.write_to(&mut buffer).expect("serialize sample");
+    buffer
+}
+
+/// Every possible truncation point must produce `Err`, not a panic.
+/// (The full prefix sweep is cheap: the sample summary is a few KB.)
+#[test]
+fn every_truncation_is_a_structured_error() {
+    let bytes = sample_summary_bytes();
+    for cut in 0..bytes.len() {
+        let truncated = &bytes[..cut];
+        let result = Cst::from_bytes(truncated);
+        assert!(result.is_err(), "truncation at {cut}/{} accepted", bytes.len());
+    }
+    // The untruncated input still loads, so the sweep tested real data.
+    assert!(Cst::from_bytes(&bytes).is_ok());
+}
+
+/// Random single-bit flips: the loader either rejects the input or
+/// produces a summary whose estimates are finite (a flip in a count or
+/// signature component can go unnoticed by construction — that is what
+/// `twig audit` is for — but it must not panic or poison estimation).
+#[test]
+fn seeded_bit_flips_never_panic() {
+    let bytes = sample_summary_bytes();
+    let mut rng = SplitMix64::new(0xB17_F11B5);
+    let query = Twig::parse(r#"book(author("A"),year("19"))"#).expect("query parses");
+    for round in 0..600 {
+        let mut mutated = bytes.clone();
+        let position = rng.index(mutated.len());
+        let bit = (rng.next_below(8)) as u8;
+        mutated[position] ^= 1 << bit;
+        match Cst::from_bytes(&mutated) {
+            Err(_) => {}
+            Ok(cst) => {
+                for algo in Algorithm::ALL {
+                    for kind in [CountKind::Presence, CountKind::Occurrence] {
+                        let estimate = cst.estimate(&query, algo, kind);
+                        assert!(
+                            estimate.is_finite() && estimate >= 0.0,
+                            "round {round}: flip at byte {position} bit {bit} \
+                             poisoned {algo} {kind:?}: {estimate}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Random multi-byte stomps (burst corruption, as from a torn write).
+#[test]
+fn seeded_byte_stomps_never_panic() {
+    let bytes = sample_summary_bytes();
+    let mut rng = SplitMix64::new(0x0005_7011_1135);
+    let query = Twig::parse(r#"article(title("T"))"#).expect("query parses");
+    for _ in 0..300 {
+        let mut mutated = bytes.clone();
+        let start = rng.index(mutated.len());
+        let len = 1 + rng.index(64);
+        let end = (start + len).min(mutated.len());
+        for byte in &mut mutated[start..end] {
+            *byte = (rng.next_u64() & 0xFF) as u8;
+        }
+        if let Ok(cst) = Cst::from_bytes(&mutated) {
+            let estimate = cst.estimate(&query, Algorithm::Msh, CountKind::Presence);
+            assert!(estimate.is_finite() && estimate >= 0.0);
+        }
+    }
+}
+
+/// Adversarial headers: huge declared counts must be rejected before any
+/// allocation proportional to them happens (guarded by `MAX_REASONABLE`
+/// in the reader). This test would OOM, not merely fail, if the guard
+/// were removed.
+#[test]
+fn absurd_header_counts_rejected_cheaply() {
+    let bytes = sample_summary_bytes();
+    // Label count lives after magic(8) + 4×u64 + 3×u32.
+    let label_count_at = 8 + 4 * 8 + 3 * 4;
+    let mut mutated = bytes.clone();
+    mutated[label_count_at..label_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(Cst::from_bytes(&mutated).is_err());
+
+    // Signature length sits 8 bytes before the label count.
+    let mut mutated = bytes;
+    let sig_len_at = label_count_at - 12;
+    mutated[sig_len_at..sig_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(Cst::from_bytes(&mutated).is_err());
+}

@@ -1,0 +1,90 @@
+//! Closed-loop load generator for a running twig-serve instance.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7716 [--connections 8] [--secs 5] [--batch 16]
+//!         [--summary default] [--algo msh] [--count-kind occurrence]
+//!         [--seed N] [--shutdown] [--smoke]
+//! ```
+//!
+//! `--smoke` runs a short fixed burst, requires nonzero throughput with
+//! zero failures, shuts the server down, and exits nonzero otherwise —
+//! this is what CI runs.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use twig_serve::loadgen::{self, LoadgenConfig};
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut config = LoadgenConfig::default();
+    let mut smoke = false;
+    let mut iter = args.into_iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--shutdown" => config.shutdown_after = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen --addr HOST:PORT [--connections N] [--secs S] \
+                     [--batch B] [--summary NAME] [--algo NAME] [--count-kind KIND] \
+                     [--seed N] [--shutdown] [--smoke]"
+                );
+                return Ok(());
+            }
+            "--addr" => config.addr = value(&mut iter, "--addr")?,
+            "--summary" => config.summary = value(&mut iter, "--summary")?,
+            "--algo" => config.algorithm = value(&mut iter, "--algo")?,
+            "--count-kind" => config.count_kind = value(&mut iter, "--count-kind")?,
+            "--connections" => config.connections = parsed(&mut iter, "--connections")?,
+            "--batch" => config.batch = parsed(&mut iter, "--batch")?,
+            "--seed" => config.seed = parsed(&mut iter, "--seed")?,
+            "--secs" => {
+                let secs: f64 = parsed(&mut iter, "--secs")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--secs must be a positive number".to_owned());
+                }
+                config.duration = Duration::from_secs_f64(secs);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+
+    if smoke {
+        let report = loadgen::smoke(&config.addr, &config.summary)?;
+        println!("smoke ok: {}", report.render());
+        return Ok(());
+    }
+
+    let report = loadgen::run(&config)?;
+    println!(
+        "loadgen: {} conns, batch {}, {:?} against {}",
+        config.connections, config.batch, config.duration, config.addr
+    );
+    println!("{}", report.render());
+    if report.requests == 0 {
+        return Err("no successful requests".to_owned());
+    }
+    Ok(())
+}
+
+fn value(iter: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    iter.next().ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parsed<T: std::str::FromStr>(
+    iter: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    let raw = value(iter, flag)?;
+    raw.parse().map_err(|_| format!("{flag}: cannot parse '{raw}'"))
+}

@@ -1,0 +1,484 @@
+//! A minimal, dependency-free JSON codec for the serve API.
+//!
+//! The workspace builds offline (no `serde`), and the serve protocol only
+//! needs a small, strict subset of JSON: objects with string keys,
+//! arrays, strings, finite numbers, booleans and null. The parser is a
+//! plain recursive-descent over bytes with a depth limit; the serializer
+//! emits numbers through `f64`'s `Display`, which prints the shortest
+//! decimal that round-trips — this is what makes served estimates
+//! *bit-identical* to offline `twig estimate` values after the client
+//! parses them back.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also used to serialize non-finite floats, which JSON
+    /// cannot represent).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: byte offset plus a static message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset in the input where the error was detected.
+    pub at: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting beyond this depth is rejected (stack-overflow guard: the
+/// parser is recursive and the input is attacker-controlled).
+const MAX_DEPTH: usize = 64;
+
+impl Json {
+    /// Parses `text` as a single JSON value (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser { bytes: text.as_bytes(), at: 0 };
+        parser.skip_ws();
+        let value = parser.value(0)?;
+        parser.skip_ws();
+        if parser.at != parser.bytes.len() {
+            return Err(parser.err("trailing characters after value"));
+        }
+        Ok(value)
+    }
+
+    /// Object member lookup; `None` for missing keys and non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor: a string value.
+    #[must_use]
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+
+    /// Renders the value as compact JSON text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_into(self, &mut out);
+        out
+    }
+}
+
+fn render_into(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => {
+            if n.is_finite() {
+                // Display prints the shortest round-tripping decimal.
+                out.push_str(&format!("{n}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => escape_into(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (index, item) in items.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (index, (key, member)) in members.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                escape_into(key, out);
+                out.push(':');
+                render_into(member, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError { at: self.at, message }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(expected) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Json) -> Result<Json, JsonError> {
+        let end = self.at + literal.len();
+        if self.bytes.get(self.at..end) == Some(literal.as_bytes()) {
+            self.at = end;
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.at += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(byte) if byte < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character (input is &str, so the
+                    // boundaries are valid by construction).
+                    let start = self.at;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    if let Ok(chunk) = std::str::from_utf8(&self.bytes[start..end]) {
+                        out.push_str(chunk);
+                    }
+                    self.at = end;
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (and a following low surrogate
+    /// when needed); `self.at` points at the first hex digit on entry and
+    /// one past the escape on successful exit.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let high = self.hex4()?;
+        if (0xD800..0xDC00).contains(&high) {
+            // High surrogate: must be followed by \uDC00..DFFF.
+            if self.bytes.get(self.at) == Some(&b'\\')
+                && self.bytes.get(self.at + 1) == Some(&b'u')
+            {
+                self.at += 2;
+                let low = self.hex4()?;
+                if !(0xDC00..0xE000).contains(&low) {
+                    return Err(self.err("invalid low surrogate"));
+                }
+                let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                return char::from_u32(code).ok_or_else(|| self.err("invalid code point"));
+            }
+            return Err(self.err("lone high surrogate"));
+        }
+        if (0xDC00..0xE000).contains(&high) {
+            return Err(self.err("lone low surrogate"));
+        }
+        char::from_u32(high).ok_or_else(|| self.err("invalid code point"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid unicode escape")),
+            };
+            code = code * 16 + digit;
+            self.at += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let digits_start = self.at;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        if self.at == digits_start {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.at += 1;
+            let frac_start = self.at;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+            if self.at == frac_start {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            let exp_start = self.at;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+            if self.at == exp_start {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|_| self.err("invalid number"))?;
+        let value: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if value.is_finite() {
+            Ok(Json::Num(value))
+        } else {
+            Err(self.err("number out of range"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_protocol_subset() {
+        let value = Json::parse(
+            r#"{"summary":"default","queries":["a(b(\"x\"))","c"],"batch":2.5,"ok":true,"nil":null}"#,
+        )
+        .unwrap();
+        assert_eq!(value.get("summary").unwrap().as_str(), Some("default"));
+        let queries = value.get("queries").unwrap().as_array().unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].as_str(), Some(r#"a(b("x"))"#));
+        assert_eq!(value.get("batch").unwrap().as_f64(), Some(2.5));
+        assert_eq!(value.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(value.get("nil"), Some(&Json::Null));
+        assert_eq!(value.get("missing"), None);
+    }
+
+    #[test]
+    fn roundtrips_numbers_bit_exactly() {
+        for n in [0.0, 1.5, -2.25, 1.0 / 3.0, 1e-300, 123_456_789.123_456_79, f64::MIN_POSITIVE] {
+            let rendered = Json::Num(n).render();
+            let back = Json::parse(&rendered).unwrap();
+            assert_eq!(back.as_f64().map(f64::to_bits), Some(n.to_bits()), "{rendered}");
+        }
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let original = "quote \" backslash \\ newline \n tab \t unicode ☃ control \u{1}";
+        let rendered = Json::str(original).render();
+        let back = Json::parse(&rendered).unwrap();
+        assert_eq!(back.as_str(), Some(original));
+        // Standard escape forms parse too.
+        let parsed = Json::parse(r#""\u2603 \ud83d\ude00 \/""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("☃ 😀 /"));
+    }
+
+    #[test]
+    fn hostile_inputs_are_errors_not_panics() {
+        for bad in [
+            "", "{", "}", "[", "]", "{\"a\"}", "{\"a\":}", "[1,]", "{,}", "nul", "tru",
+            "\"unterminated", "\"\\q\"", "\"\\u12\"", "\"\\ud800\"", "\"\\ud800\\u0041\"",
+            "1.", ".5", "1e", "-", "1 2", "{\"a\":1}x", "1e999", "\u{1}", "\"\u{1}\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Depth bomb is rejected, not a stack overflow.
+        let bomb = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(Json::parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn renders_compact_objects() {
+        let value = Json::Obj(vec![
+            ("a".into(), Json::Arr(vec![Json::Num(1.0), Json::Null])),
+            ("b".into(), Json::Bool(false)),
+        ]);
+        assert_eq!(value.render(), r#"{"a":[1,null],"b":false}"#);
+    }
+}

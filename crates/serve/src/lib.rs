@@ -1,0 +1,42 @@
+//! twig-serve: a dependency-free twig-selectivity estimation server.
+//!
+//! Wraps the offline estimator pipeline (`twig-core`) in a long-running
+//! network service built entirely on `std`:
+//!
+//! - [`server::Server`] — an HTTP/1.1 service over `std::net` with a
+//!   bounded worker [`pool::ThreadPool`], explicit admission control
+//!   (queue full → `503` + `Retry-After`, written inline by the accept
+//!   thread), per-connection read/idle deadlines, body-size limits, and
+//!   a graceful shutdown that drains in-flight work.
+//! - [`registry::SummaryRegistry`] — named CST summaries behind an
+//!   `RwLock`, hot-reloadable via `POST /admin/reload` without dropping
+//!   traffic (a failed reload keeps the old summary serving).
+//! - [`json`] — a small strict JSON parser/serializer whose `f64`
+//!   rendering is shortest-round-trip, so served estimates are
+//!   bit-identical to `twig estimate` output.
+//! - [`metrics::ServeMetrics`] — atomic counters plus log-bucketed
+//!   latency histograms, exposed at `GET /metrics` in the Prometheus
+//!   text format.
+//! - [`loadgen`] — a closed-loop load generator (also shipped as the
+//!   `loadgen` binary) with a deterministic seeded workload and exact
+//!   latency percentiles.
+//!
+//! Endpoints: `POST /estimate` (single query or batch; any
+//! [`twig_core::Algorithm`] and count kind), `GET /healthz`,
+//! `GET /summaries`, `GET /metrics`, `POST /admin/reload`,
+//! `POST /admin/shutdown`. See `DESIGN.md` §8 for the full contract.
+
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+pub mod server;
+
+pub use json::{Json, JsonError};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use metrics::ServeMetrics;
+pub use pool::{Rejected, ThreadPool};
+pub use registry::{error_chain, LoadError, SummaryRegistry, SummarySpec};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,158 @@
+//! Serve-level metrics: a fixed set of counters and histograms built on
+//! [`twig_util::metrics`], rendered in the Prometheus text exposition
+//! format by `GET /metrics`.
+//!
+//! The set is fixed (plain struct fields, no dynamic registry): every
+//! metric the server can emit is declared here, recording is a single
+//! relaxed `fetch_add`, and rendering cannot race with registration.
+
+use std::fmt::Write as _;
+
+use twig_util::metrics::{bucket_bound, Counter, HistogramSnapshot, LogHistogram, LOG_BUCKETS};
+
+/// All metrics the server exposes.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Connections accepted (admitted or rejected).
+    pub connections_total: Counter,
+    /// Connections rejected at admission with `503` (pool saturated).
+    pub rejected_saturated: Counter,
+    /// Requests fully parsed and routed.
+    pub requests_total: Counter,
+    /// Responses with 2xx status.
+    pub responses_2xx: Counter,
+    /// Responses with 4xx status.
+    pub responses_4xx: Counter,
+    /// Responses with 5xx status.
+    pub responses_5xx: Counter,
+    /// Individual twig estimates computed by `/estimate`.
+    pub estimates_total: Counter,
+    /// `/estimate` request bodies processed (batch of 1 counts once).
+    pub batches_total: Counter,
+    /// Successful summary (re)loads via `/admin/reload`.
+    pub reloads_total: Counter,
+    /// Failed summary (re)loads via `/admin/reload`.
+    pub reload_failures_total: Counter,
+    /// Worker panics caught by the pool.
+    pub worker_panics_total: Counter,
+    /// Wall time per routed request, microseconds.
+    pub request_latency_us: LogHistogram,
+    /// Wall time per single estimate inside a batch, microseconds.
+    pub estimate_latency_us: LogHistogram,
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics.
+    #[must_use]
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Buckets a response status into the class counters.
+    pub fn count_status(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_2xx.inc(),
+            400..=499 => self.responses_4xx.inc(),
+            500..=599 => self.responses_5xx.inc(),
+            _ => {}
+        }
+    }
+
+    /// Renders every metric in the Prometheus text format.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let counters: [(&str, &str, &Counter); 11] = [
+            ("twig_serve_connections_total", "Connections accepted", &self.connections_total),
+            (
+                "twig_serve_rejected_saturated_total",
+                "Connections rejected with 503 (queue full)",
+                &self.rejected_saturated,
+            ),
+            ("twig_serve_requests_total", "Requests routed", &self.requests_total),
+            ("twig_serve_responses_2xx_total", "2xx responses", &self.responses_2xx),
+            ("twig_serve_responses_4xx_total", "4xx responses", &self.responses_4xx),
+            ("twig_serve_responses_5xx_total", "5xx responses", &self.responses_5xx),
+            ("twig_serve_estimates_total", "Individual estimates computed", &self.estimates_total),
+            ("twig_serve_batches_total", "Estimate bodies processed", &self.batches_total),
+            ("twig_serve_reloads_total", "Successful summary reloads", &self.reloads_total),
+            (
+                "twig_serve_reload_failures_total",
+                "Failed summary reloads",
+                &self.reload_failures_total,
+            ),
+            ("twig_serve_worker_panics_total", "Worker panics caught", &self.worker_panics_total),
+        ];
+        for (name, help, counter) in counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", counter.get());
+        }
+        render_histogram(
+            &mut out,
+            "twig_serve_request_latency_us",
+            "Request wall time, microseconds",
+            &self.request_latency_us.snapshot(),
+        );
+        render_histogram(
+            &mut out,
+            "twig_serve_estimate_latency_us",
+            "Per-estimate wall time, microseconds",
+            &self.estimate_latency_us.snapshot(),
+        );
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, help: &str, snapshot: &HistogramSnapshot) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    // Only buckets that received observations are listed (cumulative
+    // counts stay monotone, which is all the exposition format needs);
+    // the 40-bucket histogram would otherwise be mostly zeros.
+    let mut prev = 0;
+    for (index, &cumulative) in snapshot.cumulative.iter().enumerate() {
+        if index + 1 == LOG_BUCKETS {
+            break; // the terminal bucket is rendered as +Inf below
+        }
+        if cumulative > prev {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket_bound(index));
+        }
+        prev = cumulative;
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snapshot.count);
+    let _ = writeln!(out, "{name}_sum {}", snapshot.sum);
+    let _ = writeln!(out, "{name}_count {}", snapshot.count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let metrics = ServeMetrics::new();
+        metrics.requests_total.add(3);
+        metrics.count_status(200);
+        metrics.count_status(404);
+        metrics.count_status(503);
+        metrics.request_latency_us.record(100);
+        metrics.request_latency_us.record(900);
+        let text = metrics.render_prometheus();
+        assert!(text.contains("twig_serve_requests_total 3"), "{text}");
+        assert!(text.contains("twig_serve_responses_2xx_total 1"), "{text}");
+        assert!(text.contains("twig_serve_responses_4xx_total 1"), "{text}");
+        assert!(text.contains("twig_serve_responses_5xx_total 1"), "{text}");
+        assert!(text.contains("twig_serve_request_latency_us_bucket{le=\"128\"} 1"), "{text}");
+        assert!(text.contains("twig_serve_request_latency_us_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("twig_serve_request_latency_us_sum 1000"), "{text}");
+        assert!(text.contains("twig_serve_request_latency_us_count 2"), "{text}");
+        // Every line is well-formed exposition: name{labels} value or # comment.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+}

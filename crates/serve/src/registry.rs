@@ -1,0 +1,357 @@
+//! The summary registry: named, hot-swappable CST summaries.
+//!
+//! The registry owns every summary the server can answer queries from,
+//! keyed by name. Readers (`/estimate` handlers) clone an `Arc<Cst>` out
+//! under a read lock and then estimate entirely lock-free; the write
+//! lock is only taken for the brief pointer swap during a reload.
+//! Reloads are **fail-safe**: a summary whose file became unreadable or
+//! corrupt keeps serving its previous in-memory version, and the error
+//! is reported to the caller — an operator fat-fingering a file must
+//! never take a serving summary down.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+use twig_core::{Cst, ReadError};
+
+/// Where a summary comes from: a registry name plus the file backing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummarySpec {
+    /// Registry key, e.g. `default`.
+    pub name: String,
+    /// Path to the `Cst::write_to` file.
+    pub path: PathBuf,
+}
+
+impl SummarySpec {
+    /// Parses a CLI-style spec: `name=path`, or a bare path whose file
+    /// stem becomes the name.
+    pub fn parse(text: &str) -> Result<SummarySpec, String> {
+        let (name, path) = match text.split_once('=') {
+            Some((name, path)) => {
+                if name.is_empty() || path.is_empty() {
+                    return Err(format!("invalid summary spec '{text}' (want name=path)"));
+                }
+                (name.to_owned(), PathBuf::from(path))
+            }
+            None => {
+                let path = PathBuf::from(text);
+                let Some(stem) = path.file_stem().map(|s| s.to_string_lossy().into_owned())
+                else {
+                    return Err(format!("cannot derive a summary name from '{text}'"));
+                };
+                (stem, path)
+            }
+        };
+        Ok(SummarySpec { name, path })
+    }
+}
+
+/// A failure to load one summary. Chains to the underlying
+/// [`ReadError`] (and through it to `io::Error` / `CstError`) via
+/// [`source`](std::error::Error::source), so callers can render the full
+/// cause chain in one error envelope.
+#[derive(Debug)]
+pub struct LoadError {
+    /// The registry name being (re)loaded.
+    pub name: String,
+    /// The file that failed.
+    pub path: PathBuf,
+    /// The underlying read failure.
+    pub source: ReadError,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot load summary '{}' from {}", self.name, self.path.display())
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Renders `err` and its full `source()` chain as one line, outermost
+/// first: `cannot load summary 'x' from p: I/O error: …`. This is the
+/// uniform error envelope text for load failures.
+#[must_use]
+pub fn error_chain(err: &dyn std::error::Error) -> String {
+    let mut text = err.to_string();
+    let mut cursor = err.source();
+    while let Some(cause) = cursor {
+        let rendered = cause.to_string();
+        // Skip a cause whose Display the parent already inlined.
+        if !text.ends_with(&rendered) {
+            text.push_str(": ");
+            text.push_str(&rendered);
+        }
+        cursor = cause.source();
+    }
+    text
+}
+
+struct Entry {
+    spec: SummarySpec,
+    cst: Arc<Cst>,
+    /// Bumped on every successful (re)load; lets clients observe swaps.
+    generation: u64,
+    /// Size of the file the current summary was loaded from.
+    file_bytes: usize,
+}
+
+/// Descriptive snapshot of one registry entry (for `/summaries`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryInfo {
+    /// Registry key.
+    pub name: String,
+    /// Backing file.
+    pub path: PathBuf,
+    /// Reload generation (1 = initial load).
+    pub generation: u64,
+    /// Size of the backing file at load time.
+    pub file_bytes: usize,
+    /// Trie nodes in the summary.
+    pub nodes: usize,
+    /// Data elements summarized (`n`).
+    pub n: u64,
+    /// Prune threshold.
+    pub threshold: u32,
+    /// Min-hash signature length.
+    pub signature_len: usize,
+}
+
+/// Named summaries behind a reader-writer lock.
+#[derive(Default)]
+pub struct SummaryRegistry {
+    entries: RwLock<Vec<Entry>>,
+}
+
+impl SummaryRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> SummaryRegistry {
+        SummaryRegistry::default()
+    }
+
+    fn read_entries(&self) -> std::sync::RwLockReadGuard<'_, Vec<Entry>> {
+        // Entries are swapped whole under the write lock; a panicking
+        // writer cannot leave them half-updated, so poison recovery is
+        // sound.
+        self.entries.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write_entries(&self) -> std::sync::RwLockWriteGuard<'_, Vec<Entry>> {
+        self.entries.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Loads `spec` from disk and inserts it (replacing any entry with
+    /// the same name). The registry is untouched on failure.
+    pub fn load(&self, spec: SummarySpec) -> Result<(), LoadError> {
+        let (cst, file_bytes) = load_cst(&spec)?;
+        let mut entries = self.write_entries();
+        match entries.iter().position(|e| e.spec.name == spec.name) {
+            Some(at) => {
+                let generation = entries[at].generation + 1;
+                entries[at] = Entry { spec, cst: Arc::new(cst), generation, file_bytes };
+            }
+            None => {
+                entries.push(Entry { spec, cst: Arc::new(cst), generation: 1, file_bytes });
+            }
+        }
+        Ok(())
+    }
+
+    /// The summary registered under `name`, if any. The returned `Arc`
+    /// keeps serving the version current at lookup time even if a reload
+    /// swaps the entry mid-request — estimates within one request are
+    /// always computed against one consistent summary.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<Cst>> {
+        self.read_entries()
+            .iter()
+            .find(|e| e.spec.name == name)
+            .map(|e| Arc::clone(&e.cst))
+    }
+
+    /// Registered names, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.read_entries().iter().map(|e| e.spec.name.clone()).collect()
+    }
+
+    /// Descriptive snapshots of every entry.
+    #[must_use]
+    pub fn infos(&self) -> Vec<SummaryInfo> {
+        self.read_entries()
+            .iter()
+            .map(|e| SummaryInfo {
+                name: e.spec.name.clone(),
+                path: e.spec.path.clone(),
+                generation: e.generation,
+                file_bytes: e.file_bytes,
+                nodes: e.cst.node_count(),
+                n: e.cst.n(),
+                threshold: e.cst.threshold(),
+                signature_len: e.cst.signature_len(),
+            })
+            .collect()
+    }
+
+    /// Number of registered summaries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.read_entries().len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.read_entries().is_empty()
+    }
+
+    /// Re-reads every entry's backing file. Files are read and parsed
+    /// *outside* the lock (a slow disk cannot stall readers); each entry
+    /// is then swapped in under the write lock only on success. Failed
+    /// entries keep serving their previous summary. Returns per-name
+    /// results with the new generation on success.
+    pub fn reload_all(&self) -> Vec<(String, Result<u64, LoadError>)> {
+        let specs: Vec<SummarySpec> =
+            self.read_entries().iter().map(|e| e.spec.clone()).collect();
+        let mut results = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let name = spec.name.clone();
+            match load_cst(&spec) {
+                Err(err) => results.push((name, Err(err))),
+                Ok((cst, file_bytes)) => {
+                    let mut entries = self.write_entries();
+                    match entries.iter().position(|e| e.spec.name == spec.name) {
+                        Some(at) => {
+                            let generation = entries[at].generation + 1;
+                            entries[at] =
+                                Entry { spec, cst: Arc::new(cst), generation, file_bytes };
+                            results.push((name, Ok(generation)));
+                        }
+                        // Entry vanished mid-reload (concurrent admin
+                        // action); treat as a fresh insert.
+                        None => {
+                            entries.push(Entry {
+                                spec,
+                                cst: Arc::new(cst),
+                                generation: 1,
+                                file_bytes,
+                            });
+                            results.push((name, Ok(1)));
+                        }
+                    }
+                }
+            }
+        }
+        results
+    }
+}
+
+fn load_cst(spec: &SummarySpec) -> Result<(Cst, usize), LoadError> {
+    let wrap = |source: ReadError| LoadError {
+        name: spec.name.clone(),
+        path: spec.path.clone(),
+        source,
+    };
+    let bytes = std::fs::read(&spec.path).map_err(|e| wrap(ReadError::Io(e)))?;
+    let cst = Cst::from_bytes(&bytes).map_err(wrap)?;
+    Ok((cst, bytes.len()))
+}
+
+/// Loads a summary directly from `path` (CLI convenience, bypassing the
+/// registry).
+pub fn load_summary_file(path: &Path) -> Result<Cst, ReadError> {
+    Cst::load_file(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_core::{CstConfig, SpaceBudget};
+    use twig_tree::DataTree;
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("twig-registry-test-{}-{:?}", std::process::id(), std::thread::current().id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_summary(path: &Path, xml: &str) -> Cst {
+        let tree = DataTree::from_xml(xml).unwrap();
+        let cst = Cst::build(
+            &tree,
+            &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        cst.write_to(&mut bytes).unwrap();
+        std::fs::write(path, &bytes).unwrap();
+        cst
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let spec = SummarySpec::parse("main=/tmp/a.cst").unwrap();
+        assert_eq!(spec.name, "main");
+        assert_eq!(spec.path, PathBuf::from("/tmp/a.cst"));
+        let spec = SummarySpec::parse("/tmp/dblp.cst").unwrap();
+        assert_eq!(spec.name, "dblp");
+        assert!(SummarySpec::parse("=x").is_err());
+        assert!(SummarySpec::parse("x=").is_err());
+    }
+
+    #[test]
+    fn load_get_reload_and_failsafe() {
+        let dir = temp_dir();
+        let path = dir.join("main.cst");
+        let original = write_summary(&path, "<r><a><b>x</b></a></r>");
+        let registry = SummaryRegistry::new();
+        registry
+            .load(SummarySpec { name: "main".into(), path: path.clone() })
+            .unwrap();
+        assert_eq!(registry.names(), ["main"]);
+        let served = registry.get("main").unwrap();
+        assert_eq!(served.node_count(), original.node_count());
+        assert!(registry.get("other").is_none());
+        assert_eq!(registry.infos()[0].generation, 1);
+
+        // Swap the file for a different tree; reload picks it up.
+        let replacement =
+            write_summary(&path, "<r><a><b>x</b></a><c><d>y</d><d>z</d></c></r>");
+        let results = registry.reload_all();
+        assert!(matches!(results[0], (_, Ok(2))));
+        assert_eq!(registry.get("main").unwrap().node_count(), replacement.node_count());
+
+        // Corrupt the file: reload fails, old summary keeps serving.
+        std::fs::write(&path, [0x67u8; 64]).unwrap();
+        let results = registry.reload_all();
+        let (_, Err(err)) = &results[0] else { panic!("expected failure") };
+        let chain = error_chain(err);
+        assert!(chain.contains("cannot load summary 'main'"), "{chain}");
+        assert!(chain.contains("bad magic"), "{chain}");
+        assert_eq!(registry.get("main").unwrap().node_count(), replacement.node_count());
+        assert_eq!(registry.infos()[0].generation, 2, "failed reload must not bump");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_chain_includes_io_cause() {
+        let registry = SummaryRegistry::new();
+        let err = registry
+            .load(SummarySpec { name: "x".into(), path: "/nonexistent/x.cst".into() })
+            .unwrap_err();
+        let chain = error_chain(&err);
+        assert!(chain.contains("cannot load summary 'x'"), "{chain}");
+        assert!(chain.contains("I/O error"), "{chain}");
+        // The io::Error itself is the chain root.
+        use std::error::Error as _;
+        assert!(err.source().unwrap().source().is_some(), "ReadError::Io chains to io::Error");
+    }
+}

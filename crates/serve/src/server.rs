@@ -1,0 +1,561 @@
+//! The estimation server: accept loop, routing, endpoint handlers,
+//! backpressure and graceful shutdown.
+//!
+//! Threading model (documented in DESIGN.md §8): one accept thread (the
+//! caller of [`Server::run`]) plus a bounded worker pool. A job is one
+//! *connection*; a worker owns its connection for the connection's
+//! lifetime and serves any number of keep-alive requests on it. When the
+//! pool queue is full, the accept thread itself writes a `503` with a
+//! `Retry-After` hint and closes — admission control costs one small
+//! write, never a queued latency pile-up. Shutdown stops admission,
+//! lets every worker finish the request in flight (responses during
+//! drain carry `Connection: close`), serves already-queued connections
+//! one final request, then joins all workers.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use twig_core::{Algorithm, CountKind};
+use twig_tree::Twig;
+use twig_util::cast::{count_to_f64, size_to_u64};
+
+use crate::http::{read_request, Limits, ReadOutcome, Request, Response};
+use crate::json::Json;
+use crate::metrics::ServeMetrics;
+use crate::pool::{Rejected, ThreadPool};
+use crate::registry::{error_chain, SummaryRegistry};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (= maximum concurrently served connections).
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before `503`.
+    pub queue_capacity: usize,
+    /// Maximum request body size, bytes.
+    pub max_body_bytes: usize,
+    /// Maximum queries per `/estimate` body.
+    pub max_batch: usize,
+    /// Per-request read deadline.
+    pub read_deadline: Duration,
+    /// Keep-alive idle deadline.
+    pub idle_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            queue_capacity: 64,
+            max_body_bytes: 1024 * 1024,
+            max_batch: 4096,
+            read_deadline: Duration::from_secs(10),
+            idle_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// State shared between the accept thread, workers, and handles.
+pub struct ServerState {
+    config: ServerConfig,
+    registry: SummaryRegistry,
+    metrics: ServeMetrics,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl ServerState {
+    /// The summary registry (e.g. to inspect from tests or the CLI).
+    #[must_use]
+    pub fn registry(&self) -> &SummaryRegistry {
+        &self.registry
+    }
+
+    /// The server metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A cloneable handle that can stop a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Requests shutdown: admission stops, in-flight work drains,
+    /// [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutting_down()
+    }
+
+    /// Shared state access (registry, metrics).
+    #[must_use]
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and wraps
+    /// `registry` with `config`.
+    pub fn bind(
+        addr: &str,
+        config: ServerConfig,
+        registry: SummaryRegistry,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            state: Arc::new(ServerState {
+                config,
+                registry,
+                metrics: ServeMetrics::new(),
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for stopping the server from another thread.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { state: Arc::clone(&self.state) }
+    }
+
+    /// Serves until shutdown is requested, then drains and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let state = self.state;
+        let pool_state = Arc::clone(&state);
+        let pool: ThreadPool<TcpStream> =
+            ThreadPool::new(state.config.workers, state.config.queue_capacity, move |stream| {
+                handle_connection(stream, &pool_state);
+            });
+        self.listener.set_nonblocking(true)?;
+        while !state.shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    state.metrics.connections_total.inc();
+                    prepare_stream(&stream);
+                    match pool.try_submit(stream) {
+                        Ok(()) => {}
+                        Err(Rejected::Saturated(stream)) => {
+                            state.metrics.rejected_saturated.inc();
+                            state.metrics.count_status(503);
+                            reject_connection(stream, "server saturated, retry shortly");
+                        }
+                        Err(Rejected::ShuttingDown(stream)) => {
+                            state.metrics.count_status(503);
+                            reject_connection(stream, "server shutting down");
+                        }
+                    }
+                }
+                Err(err) if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+                {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                // Transient per-connection failures (peer reset during
+                // the handshake); keep serving.
+                Err(err) if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+                Err(err) => {
+                    // Fatal listener error: begin shutdown so in-flight
+                    // work still drains, then surface the error.
+                    state.shutdown.store(true, Ordering::SeqCst);
+                    let panics = pool.shutdown();
+                    state.metrics.worker_panics_total.add(panics);
+                    return Err(err);
+                }
+            }
+        }
+        drop(self.listener); // stop accepting before the drain
+        let panics = pool.shutdown();
+        state.metrics.worker_panics_total.add(panics);
+        Ok(())
+    }
+}
+
+fn prepare_stream(stream: &TcpStream) {
+    // Accepted sockets must be blocking regardless of what the listener
+    // inherits; per-call read timeouts do the waiting.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+}
+
+/// Writes the admission-control `503` from the accept thread. A short
+/// write timeout bounds how long a slow client can stall accepts.
+fn reject_connection(mut stream: TcpStream, message: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let response = error_response(503, "saturated", message).with_header("retry-after", "1".into());
+    let _ = response.write_to(&mut stream, true);
+    let _ = stream.flush();
+}
+
+/// Serves one connection for its whole lifetime (any number of
+/// keep-alive requests).
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    let limits = Limits {
+        max_head_bytes: 16 * 1024,
+        max_body_bytes: state.config.max_body_bytes,
+        read_deadline: state.config.read_deadline,
+        idle_deadline: state.config.idle_deadline,
+    };
+    loop {
+        let shutdown_probe = || state.shutting_down();
+        match read_request(&mut stream, &limits, &shutdown_probe) {
+            Ok(request) => {
+                let started = Instant::now();
+                state.metrics.requests_total.inc();
+                let response = route(&request, state);
+                state.metrics.count_status(response.status);
+                state.metrics.request_latency_us.record(micros(started.elapsed()));
+                // Drain policy: during shutdown every response closes.
+                let keep_alive = request.keep_alive() && !state.shutting_down();
+                if response.write_to(&mut stream, !keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(outcome) => {
+                respond_to_read_error(&mut stream, state, &outcome);
+                return;
+            }
+        }
+    }
+}
+
+/// Sends the appropriate error response (if any) for a failed request
+/// read, then lets the connection close.
+fn respond_to_read_error(stream: &mut TcpStream, state: &Arc<ServerState>, outcome: &ReadOutcome) {
+    let response = match outcome {
+        // Nothing arrived (clean close / idle / shutdown while idle):
+        // closing silently is the correct keep-alive protocol.
+        ReadOutcome::Closed | ReadOutcome::IdleTimeout | ReadOutcome::ShuttingDown => None,
+        ReadOutcome::Io(_) => None,
+        ReadOutcome::Timeout => Some(error_response(408, "timeout", "request read timed out")),
+        ReadOutcome::HeadTooLarge => {
+            Some(error_response(431, "head_too_large", "request head too large"))
+        }
+        ReadOutcome::BodyTooLarge { declared } => Some(error_response(
+            413,
+            "body_too_large",
+            &format!(
+                "request body of {declared} bytes exceeds the {}-byte limit",
+                state.config.max_body_bytes
+            ),
+        )),
+        ReadOutcome::Malformed(what) => {
+            Some(error_response(400, "malformed", &format!("malformed request: {what}")))
+        }
+    };
+    if let Some(response) = response {
+        state.metrics.count_status(response.status);
+        let _ = response.write_to(stream, true);
+    }
+}
+
+fn route(request: &Request, state: &Arc<ServerState>) -> Response {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => handle_healthz(state),
+        ("GET", "/summaries") => handle_summaries(state),
+        ("GET", "/metrics") => Response::text(200, &state.metrics.render_prometheus()),
+        ("POST", "/estimate") => handle_estimate(request, state),
+        ("POST", "/admin/reload") => handle_reload(state),
+        ("POST", "/admin/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            Response::json(
+                200,
+                &Json::Obj(vec![("status".into(), Json::str("shutting down"))]),
+            )
+        }
+        (_, "/healthz" | "/summaries" | "/metrics" | "/estimate" | "/admin/reload"
+        | "/admin/shutdown") => error_response(
+            405,
+            "method_not_allowed",
+            &format!("{} does not support {}", request.path(), request.method),
+        ),
+        (_, path) => error_response(404, "not_found", &format!("no such endpoint: {path}")),
+    }
+}
+
+fn handle_healthz(state: &Arc<ServerState>) -> Response {
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("status".into(), Json::str("ok")),
+            ("uptime_secs".into(), num_u64(state.started.elapsed().as_secs())),
+            ("summaries".into(), num_usize(state.registry.len())),
+        ]),
+    )
+}
+
+fn handle_summaries(state: &Arc<ServerState>) -> Response {
+    let summaries = state
+        .registry
+        .infos()
+        .into_iter()
+        .map(|info| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(info.name)),
+                ("path".into(), Json::Str(info.path.display().to_string())),
+                ("generation".into(), num_u64(info.generation)),
+                ("file_bytes".into(), num_usize(info.file_bytes)),
+                ("nodes".into(), num_usize(info.nodes)),
+                ("n".into(), num_u64(info.n)),
+                ("threshold".into(), num_u64(u64::from(info.threshold))),
+                ("signature_len".into(), num_usize(info.signature_len)),
+            ])
+        })
+        .collect();
+    Response::json(200, &Json::Obj(vec![("summaries".into(), Json::Arr(summaries))]))
+}
+
+fn handle_reload(state: &Arc<ServerState>) -> Response {
+    let results = state.registry.reload_all();
+    let mut any_failed = false;
+    let entries = results
+        .into_iter()
+        .map(|(name, result)| {
+            let mut fields = vec![("name".into(), Json::Str(name))];
+            match result {
+                Ok(generation) => {
+                    state.metrics.reloads_total.inc();
+                    fields.push(("ok".into(), Json::Bool(true)));
+                    fields.push(("generation".into(), num_u64(generation)));
+                }
+                Err(err) => {
+                    state.metrics.reload_failures_total.inc();
+                    any_failed = true;
+                    fields.push(("ok".into(), Json::Bool(false)));
+                    fields.push(("error".into(), Json::Str(error_chain(&err))));
+                }
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    // 200 even with failures: the reload *request* was served; per-entry
+    // status is in the body and failed entries keep their old summary.
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("reloaded".into(), Json::Arr(entries)),
+            ("all_ok".into(), Json::Bool(!any_failed)),
+        ]),
+    )
+}
+
+fn handle_estimate(request: &Request, state: &Arc<ServerState>) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return error_response(400, "bad_request", "body is not UTF-8");
+    };
+    let body = match Json::parse(text) {
+        Ok(body) => body,
+        Err(err) => return error_response(400, "bad_json", &err.to_string()),
+    };
+
+    let summary_name = match body.get("summary") {
+        None => "default",
+        Some(value) => match value.as_str() {
+            Some(name) => name,
+            None => return error_response(400, "bad_request", "'summary' must be a string"),
+        },
+    };
+    let algorithm = match body.get("algorithm") {
+        None => Algorithm::Msh,
+        Some(value) => match value.as_str().and_then(parse_algorithm) {
+            Some(algorithm) => algorithm,
+            None => {
+                return error_response(
+                    400,
+                    "bad_request",
+                    &format!("unknown algorithm (expected one of {})", algorithm_names()),
+                )
+            }
+        },
+    };
+    let kind = match body.get("count_kind") {
+        None => CountKind::Occurrence,
+        Some(value) => match value.as_str() {
+            Some("occurrence") => CountKind::Occurrence,
+            Some("presence") => CountKind::Presence,
+            _ => {
+                return error_response(
+                    400,
+                    "bad_request",
+                    "'count_kind' must be \"presence\" or \"occurrence\"",
+                )
+            }
+        },
+    };
+
+    let query_texts: Vec<&str> = match (body.get("query"), body.get("queries")) {
+        (Some(_), Some(_)) => {
+            return error_response(400, "bad_request", "'query' and 'queries' are exclusive")
+        }
+        (Some(single), None) => match single.as_str() {
+            Some(text) => vec![text],
+            None => return error_response(400, "bad_request", "'query' must be a string"),
+        },
+        (None, Some(many)) => match many.as_array() {
+            Some(items) => {
+                let mut texts = Vec::with_capacity(items.len());
+                for (index, item) in items.iter().enumerate() {
+                    match item.as_str() {
+                        Some(text) => texts.push(text),
+                        None => {
+                            return error_response(
+                                400,
+                                "bad_request",
+                                &format!("'queries[{index}]' must be a string"),
+                            )
+                        }
+                    }
+                }
+                texts
+            }
+            None => return error_response(400, "bad_request", "'queries' must be an array"),
+        },
+        (None, None) => {
+            return error_response(400, "bad_request", "body needs 'query' or 'queries'")
+        }
+    };
+    if query_texts.is_empty() {
+        return error_response(400, "bad_request", "'queries' must not be empty");
+    }
+    if query_texts.len() > state.config.max_batch {
+        return error_response(
+            413,
+            "batch_too_large",
+            &format!(
+                "batch of {} queries exceeds the limit of {}",
+                query_texts.len(),
+                state.config.max_batch
+            ),
+        );
+    }
+
+    let Some(cst) = state.registry.get(summary_name) else {
+        return error_response(
+            404,
+            "unknown_summary",
+            &format!(
+                "no summary named '{summary_name}' (loaded: {})",
+                state.registry.names().join(", ")
+            ),
+        );
+    };
+
+    let mut queries = Vec::with_capacity(query_texts.len());
+    for (index, text) in query_texts.iter().enumerate() {
+        match Twig::parse(text) {
+            Ok(query) => queries.push(query),
+            Err(err) => {
+                return error_response(
+                    400,
+                    "bad_query",
+                    &format!("queries[{index}] '{text}' does not parse: {err}"),
+                )
+            }
+        }
+    }
+
+    let mut estimates = Vec::with_capacity(queries.len());
+    for query in &queries {
+        let started = Instant::now();
+        let estimate = cst.estimate(query, algorithm, kind);
+        state.metrics.estimate_latency_us.record(micros(started.elapsed()));
+        estimates.push(Json::Num(estimate));
+    }
+    state.metrics.batches_total.inc();
+    state.metrics.estimates_total.add(size_to_u64(estimates.len()));
+
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("summary".into(), Json::str(summary_name)),
+            ("algorithm".into(), Json::str(algorithm.name())),
+            (
+                "count_kind".into(),
+                Json::str(match kind {
+                    CountKind::Presence => "presence",
+                    CountKind::Occurrence => "occurrence",
+                }),
+            ),
+            ("count".into(), num_usize(estimates.len())),
+            ("estimates".into(), Json::Arr(estimates)),
+        ]),
+    )
+}
+
+fn parse_algorithm(name: &str) -> Option<Algorithm> {
+    Algorithm::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+fn algorithm_names() -> String {
+    let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+    names.join(", ")
+}
+
+/// The uniform error envelope: `{"error":{"kind":…,"message":…}}`.
+#[must_use]
+pub fn error_response(status: u16, kind: &str, message: &str) -> Response {
+    Response::json(
+        status,
+        &Json::Obj(vec![(
+            "error".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::str(kind)),
+                ("message".into(), Json::str(message)),
+            ]),
+        )]),
+    )
+}
+
+fn micros(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn num_u64(value: u64) -> Json {
+    Json::Num(count_to_f64(value))
+}
+
+fn num_usize(value: usize) -> Json {
+    Json::Num(count_to_f64(size_to_u64(value)))
+}

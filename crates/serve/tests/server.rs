@@ -1,0 +1,431 @@
+//! End-to-end tests for the estimation server: boot on an ephemeral
+//! port, drive it over real sockets, and check the full contract —
+//! estimate parity with the offline API, error envelopes, backpressure,
+//! hot reload, and graceful shutdown.
+
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
+use twig_serve::http::{read_response, write_request, ClientResponse, Limits};
+use twig_serve::json::Json;
+use twig_serve::loadgen;
+use twig_serve::{Server, ServerConfig, ServerHandle, SummaryRegistry, SummarySpec};
+use twig_tree::{DataTree, Twig};
+
+const XML: &str = "<dblp>\
+    <book><author>AAA</author><author>BBB</author><title>T1</title><year>1999</year></book>\
+    <book><author>AAA</author><title>T2</title><year>2001</year></book>\
+    <book><author>CCC</author><title>T3</title></book>\
+    <article><author>AAA</author><title>T4</title><year>1999</year></article>\
+    <article><author>DDD</author><journal>J1</journal><year>2003</year></article>\
+    <inproceedings><author>BBB</author><title>T5</title><year>2001</year></inproceedings>\
+</dblp>";
+
+fn build_cst(xml: &str) -> Cst {
+    let tree = DataTree::from_xml(xml).unwrap();
+    Cst::build(&tree, &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() })
+        .unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("twig-serve-test-{tag}-{}-{:?}", std::process::id(), std::thread::current().id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_summary_file(path: &Path, xml: &str) -> Cst {
+    let cst = build_cst(xml);
+    let mut bytes = Vec::new();
+    cst.write_to(&mut bytes).unwrap();
+    std::fs::write(path, &bytes).unwrap();
+    cst
+}
+
+struct TestServer {
+    addr: String,
+    handle: ServerHandle,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(config: ServerConfig, registry: SummaryRegistry) -> TestServer {
+        let server = Server::bind("127.0.0.1:0", config, registry).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        TestServer { addr, handle, thread: Some(thread) }
+    }
+
+    /// Requests shutdown and asserts `run()` returns cleanly.
+    fn stop(mut self) {
+        self.handle.shutdown();
+        let thread = self.thread.take().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !thread.is_finished() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(thread.is_finished(), "server did not drain within 10s");
+        thread.join().unwrap().unwrap();
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn client_limits() -> Limits {
+    Limits {
+        max_head_bytes: 64 * 1024,
+        max_body_bytes: 16 * 1024 * 1024,
+        read_deadline: Duration::from_secs(10),
+        idle_deadline: Duration::from_secs(10),
+    }
+}
+
+fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> ClientResponse {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    write_request(&mut stream, method, path, body).unwrap();
+    read_response(&mut stream, &client_limits()).unwrap()
+}
+
+fn get(addr: &str, path: &str) -> ClientResponse {
+    request(addr, "GET", path, b"")
+}
+
+fn post_json(addr: &str, path: &str, body: &str) -> ClientResponse {
+    request(addr, "POST", path, body.as_bytes())
+}
+
+fn default_registry(dir: &Path) -> (SummaryRegistry, Cst) {
+    let path = dir.join("default.cst");
+    let cst = write_summary_file(&path, XML);
+    let registry = SummaryRegistry::new();
+    registry.load(SummarySpec { name: "default".into(), path }).unwrap();
+    (registry, cst)
+}
+
+#[test]
+fn endpoints_and_estimate_parity() {
+    let dir = temp_dir("endpoints");
+    let (registry, cst) = default_registry(&dir);
+    let server = TestServer::start(ServerConfig::default(), registry);
+    let addr = &server.addr;
+
+    // healthz
+    let response = get(addr, "/healthz");
+    assert_eq!(response.status, 200);
+    let body = Json::parse(&response.body_text()).unwrap();
+    assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(body.get("summaries").unwrap().as_f64(), Some(1.0));
+
+    // summaries
+    let response = get(addr, "/summaries");
+    assert_eq!(response.status, 200);
+    let body = Json::parse(&response.body_text()).unwrap();
+    let list = body.get("summaries").unwrap().as_array().unwrap();
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].get("name").unwrap().as_str(), Some("default"));
+    assert_eq!(list[0].get("generation").unwrap().as_f64(), Some(1.0));
+    let nodes = list[0].get("nodes").unwrap().as_f64().unwrap();
+    assert!(nodes > 0.0);
+
+    // Single-query estimate, every algorithm × count kind: the served
+    // number must be bit-identical to the in-process estimate.
+    let queries = [
+        r#"book(author("AAA"))"#,
+        r#"book(author("AAA"),year("1999"))"#,
+        r#"dblp(book(title("T1")))"#,
+        r#"article(year("2003"))"#,
+        r#"phdthesis(author("ZZZ"))"#,
+    ];
+    for algorithm in Algorithm::ALL {
+        for (kind, kind_name) in
+            [(CountKind::Presence, "presence"), (CountKind::Occurrence, "occurrence")]
+        {
+            for query_text in queries {
+                let body = format!(
+                    r#"{{"query":{},"algorithm":"{}","count_kind":"{kind_name}"}}"#,
+                    Json::str(query_text).render(),
+                    algorithm.name(),
+                );
+                let response = post_json(addr, "/estimate", &body);
+                assert_eq!(response.status, 200, "{}", response.body_text());
+                let parsed = Json::parse(&response.body_text()).unwrap();
+                assert_eq!(parsed.get("algorithm").unwrap().as_str(), Some(algorithm.name()));
+                assert_eq!(parsed.get("count_kind").unwrap().as_str(), Some(kind_name));
+                let served = parsed.get("estimates").unwrap().as_array().unwrap()[0]
+                    .as_f64()
+                    .unwrap();
+                let expected = cst.estimate(&Twig::parse(query_text).unwrap(), algorithm, kind);
+                assert_eq!(
+                    served.to_bits(),
+                    expected.to_bits(),
+                    "{} {} {kind_name}: served {served} != offline {expected}",
+                    query_text,
+                    algorithm.name(),
+                );
+            }
+        }
+    }
+
+    // Batch estimate: order-preserving, same parity.
+    let batch_body = format!(
+        r#"{{"queries":[{},{},{}],"algorithm":"mosh"}}"#,
+        Json::str(queries[0]).render(),
+        Json::str(queries[1]).render(),
+        Json::str(queries[3]).render(),
+    );
+    let response = post_json(addr, "/estimate", &batch_body);
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    let parsed = Json::parse(&response.body_text()).unwrap();
+    assert_eq!(parsed.get("count").unwrap().as_f64(), Some(3.0));
+    let served: Vec<f64> = parsed
+        .get("estimates")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    for (index, query_text) in [queries[0], queries[1], queries[3]].iter().enumerate() {
+        let expected = cst.estimate(
+            &Twig::parse(query_text).unwrap(),
+            Algorithm::Mosh,
+            CountKind::Occurrence,
+        );
+        assert_eq!(served[index].to_bits(), expected.to_bits(), "batch[{index}]");
+    }
+
+    // Keep-alive: two requests over one connection.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_request(&mut stream, "GET", "/healthz", b"").unwrap();
+        let first = read_response(&mut stream, &client_limits()).unwrap();
+        assert_eq!(first.status, 200);
+        write_request(&mut stream, "GET", "/healthz", b"").unwrap();
+        let second = read_response(&mut stream, &client_limits()).unwrap();
+        assert_eq!(second.status, 200);
+    }
+
+    // Error envelopes.
+    let cases: [(&str, &str, &str, u16, &str); 8] = [
+        ("POST", "/estimate", "{not json", 400, "bad_json"),
+        ("POST", "/estimate", r#"{"queries":[]}"#, 400, "bad_request"),
+        ("POST", "/estimate", r#"{"query":"a(b)","queries":["a(b)"]}"#, 400, "bad_request"),
+        ("POST", "/estimate", r#"{"query":"not a twig(("}"#, 400, "bad_query"),
+        ("POST", "/estimate", r#"{"query":"a(b)","algorithm":"quantum"}"#, 400, "bad_request"),
+        ("POST", "/estimate", r#"{"query":"a(b)","summary":"nope"}"#, 404, "unknown_summary"),
+        ("GET", "/estimate", "", 405, "method_not_allowed"),
+        ("GET", "/no/such/path", "", 404, "not_found"),
+    ];
+    for (method, path, body, status, kind) in cases {
+        let response = request(addr, method, path, body.as_bytes());
+        assert_eq!(response.status, status, "{method} {path} {body}: {}", response.body_text());
+        let parsed = Json::parse(&response.body_text()).unwrap();
+        assert_eq!(
+            parsed.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some(kind),
+            "{method} {path}"
+        );
+    }
+
+    // Metrics reflect the traffic.
+    let response = get(addr, "/metrics");
+    assert_eq!(response.status, 200);
+    let text = response.body_text();
+    assert!(text.contains("twig_serve_requests_total"), "{text}");
+    assert!(text.contains("twig_serve_estimates_total"), "{text}");
+    assert!(text.contains("twig_serve_request_latency_us_bucket"), "{text}");
+    assert!(text.contains("twig_serve_request_latency_us_count"), "{text}");
+    let estimates_line = text
+        .lines()
+        .find(|line| line.starts_with("twig_serve_estimates_total "))
+        .unwrap();
+    let count: f64 = estimates_line.split(' ').nth(1).unwrap().parse().unwrap();
+    assert!(count >= 63.0, "expected >= 63 estimates recorded, got {count}");
+
+    // Shutdown over HTTP: acknowledged, connection closed, clean drain.
+    let response = post_json(addr, "/admin/shutdown", "");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("connection"), Some("close"));
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_body_is_rejected() {
+    let dir = temp_dir("oversize");
+    let (registry, _cst) = default_registry(&dir);
+    let config = ServerConfig { max_body_bytes: 1024, ..ServerConfig::default() };
+    let server = TestServer::start(config, registry);
+
+    let huge = format!(r#"{{"query":"{}"}}"#, "x".repeat(4096));
+    let response = post_json(&server.addr, "/estimate", &huge);
+    assert_eq!(response.status, 413, "{}", response.body_text());
+    let parsed = Json::parse(&response.body_text()).unwrap();
+    assert_eq!(parsed.get("error").unwrap().get("kind").unwrap().as_str(), Some("body_too_large"));
+
+    // A small request still works: the limit is per-request, not fatal.
+    let response = post_json(&server.addr, "/estimate", r#"{"query":"book(author(\"AAA\"))"}"#);
+    assert_eq!(response.status, 200, "{}", response.body_text());
+
+    // Batch cap separately from byte cap.
+    let many: Vec<String> = (0..9).map(|_| r#""a(b)""#.to_owned()).collect();
+    let config_small_batch =
+        ServerConfig { max_batch: 8, ..ServerConfig::default() };
+    let (registry2, _) = default_registry(&dir);
+    let server2 = TestServer::start(config_small_batch, registry2);
+    let body = format!(r#"{{"queries":[{}]}}"#, many.join(","));
+    let response = post_json(&server2.addr, "/estimate", &body);
+    assert_eq!(response.status, 413, "{}", response.body_text());
+    let parsed = Json::parse(&response.body_text()).unwrap();
+    assert_eq!(parsed.get("error").unwrap().get("kind").unwrap().as_str(), Some("batch_too_large"));
+
+    server.stop();
+    server2.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn saturation_yields_503_with_retry_after() {
+    let dir = temp_dir("saturation");
+    let (registry, _cst) = default_registry(&dir);
+    // One worker, one queue slot: the third connection must be bounced.
+    let config = ServerConfig { workers: 1, queue_capacity: 1, ..ServerConfig::default() };
+    let server = TestServer::start(config, registry);
+    let addr = &server.addr;
+
+    // Connection A: prove the single worker owns it by completing a
+    // request; the worker then sits in A's keep-alive read loop.
+    let mut conn_a = TcpStream::connect(addr).unwrap();
+    write_request(&mut conn_a, "GET", "/healthz", b"").unwrap();
+    assert_eq!(read_response(&mut conn_a, &client_limits()).unwrap().status, 200);
+
+    // Connection B: admitted into the queue (never served while A holds
+    // the worker).
+    let conn_b = TcpStream::connect(addr).unwrap();
+    // Give the accept loop time to move B into the queue.
+    std::thread::sleep(Duration::from_millis(500));
+
+    // Connection C: queue full -> inline 503 from the accept thread.
+    let mut conn_c = TcpStream::connect(addr).unwrap();
+    let response = read_response(&mut conn_c, &client_limits()).unwrap();
+    assert_eq!(response.status, 503, "{}", response.body_text());
+    assert_eq!(response.header("retry-after"), Some("1"));
+    let parsed = Json::parse(&response.body_text()).unwrap();
+    assert_eq!(parsed.get("error").unwrap().get("kind").unwrap().as_str(), Some("saturated"));
+
+    // The rejection is visible in metrics (read through the handle to
+    // avoid needing a free worker).
+    assert_eq!(server.handle.state().metrics().rejected_saturated.get(), 1);
+
+    drop(conn_a);
+    drop(conn_b);
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reload_swaps_and_is_failsafe() {
+    let dir = temp_dir("reload");
+    let path = dir.join("main.cst");
+    write_summary_file(&path, XML);
+    let registry = SummaryRegistry::new();
+    registry.load(SummarySpec { name: "main".into(), path: path.clone() }).unwrap();
+    let server = TestServer::start(ServerConfig::default(), registry);
+    let addr = &server.addr;
+
+    let estimate = |addr: &str| -> f64 {
+        let response = post_json(
+            addr,
+            "/estimate",
+            r#"{"summary":"main","query":"book(author(\"AAA\"))","algorithm":"leaf"}"#,
+        );
+        assert_eq!(response.status, 200, "{}", response.body_text());
+        Json::parse(&response.body_text()).unwrap().get("estimates").unwrap().as_array().unwrap()
+            [0]
+        .as_f64()
+        .unwrap()
+    };
+
+    let before = estimate(addr);
+
+    // Swap the backing file for a doc with more matching books.
+    let bigger = XML.replace(
+        "</dblp>",
+        "<book><author>AAA</author><title>T9</title></book>\
+         <book><author>AAA</author><title>T10</title></book></dblp>",
+    );
+    let replacement = write_summary_file(&path, &bigger);
+    let response = post_json(addr, "/admin/reload", "");
+    assert_eq!(response.status, 200);
+    let parsed = Json::parse(&response.body_text()).unwrap();
+    assert_eq!(parsed.get("all_ok").unwrap(), &Json::Bool(true));
+
+    let after = estimate(addr);
+    assert_ne!(before.to_bits(), after.to_bits(), "reload must change the estimate");
+    let expected = replacement.estimate(
+        &Twig::parse(r#"book(author("AAA"))"#).unwrap(),
+        Algorithm::Leaf,
+        CountKind::Occurrence,
+    );
+    assert_eq!(after.to_bits(), expected.to_bits());
+
+    // Corrupt the file: reload reports the failure, old summary serves.
+    std::fs::write(&path, [0x67u8; 64]).unwrap();
+    let response = post_json(addr, "/admin/reload", "");
+    assert_eq!(response.status, 200);
+    let parsed = Json::parse(&response.body_text()).unwrap();
+    assert_eq!(parsed.get("all_ok").unwrap(), &Json::Bool(false));
+    let entry = &parsed.get("reloaded").unwrap().as_array().unwrap()[0];
+    assert_eq!(entry.get("ok").unwrap(), &Json::Bool(false));
+    let error_text = entry.get("error").unwrap().as_str().unwrap();
+    assert!(error_text.contains("cannot load summary 'main'"), "{error_text}");
+
+    let still = estimate(addr);
+    assert_eq!(still.to_bits(), after.to_bits(), "failed reload must keep serving");
+
+    // Generation only bumped by the successful reload.
+    let response = get(addr, "/summaries");
+    let parsed = Json::parse(&response.body_text()).unwrap();
+    let list = parsed.get("summaries").unwrap().as_array().unwrap();
+    assert_eq!(list[0].get("generation").unwrap().as_f64(), Some(2.0));
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loadgen_smoke_hits_the_server() {
+    let dir = temp_dir("loadgen");
+    let (registry, _cst) = default_registry(&dir);
+    let server = TestServer::start(ServerConfig::default(), registry);
+    let addr = server.addr.clone();
+
+    // smoke() drives 2 connections for ~1.5s, asserts zero failures, and
+    // shuts the server down itself.
+    let report = loadgen::smoke(&addr, "default").unwrap();
+    assert!(report.requests > 0);
+    assert_eq!(report.estimates, report.requests * 8);
+    assert!(report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
+    assert!(report.requests_per_sec > 0.0);
+
+    // The server was shut down by the smoke run.
+    let thread_done = Instant::now() + Duration::from_secs(10);
+    let state = server.handle.clone();
+    while !state.is_shutting_down() && Instant::now() < thread_done {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(state.is_shutting_down());
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}

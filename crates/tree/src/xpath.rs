@@ -47,10 +47,8 @@ impl XPathParser<'_> {
         }
         // Leading axis.
         let mut pending_star = false;
-        if self.eat(b'/') {
-            if self.eat(b'/') {
-                pending_star = true;
-            }
+        if self.eat(b'/') && self.eat(b'/') {
+            pending_star = true;
         }
         let (name, predicates) = self.parse_step()?;
         let mut twig;

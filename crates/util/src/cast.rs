@@ -62,6 +62,15 @@ pub fn f64_to_size_saturating(estimate: f64) -> usize {
     }
 }
 
+/// Converts a byte size / length into the count domain. Lossless on
+/// every supported platform (usize is at most 64 bits); saturates if a
+/// future 128-bit platform ever appears, rather than truncating.
+#[inline]
+#[must_use]
+pub fn size_to_u64(size: usize) -> u64 {
+    u64::try_from(size).unwrap_or(u64::MAX)
+}
+
 /// The ratio of two counts as an estimate; 0 when the denominator is 0
 /// (the convention every estimator in this workspace wants: an absent
 /// denominator means an absent subpath, and absent subpaths contribute

@@ -9,15 +9,18 @@
 //!   [`Symbol`]s so tree nodes store a `u32` instead of a `String`,
 //! - [`rng`]: a tiny deterministic SplitMix64 generator used to seed the
 //!   min-hash function family reproducibly,
-//! - [`stats`]: summary statistics used by the evaluation harness.
+//! - [`stats`]: summary statistics used by the evaluation harness,
+//! - [`metrics`]: lock-free counters and log-bucketed latency histograms
+//!   for long-running services (the `twig-serve` `/metrics` endpoint).
 
 pub mod cast;
 pub mod hash;
 pub mod intern;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 
-pub use cast::{count_ratio, count_to_f64, f64_to_count_saturating};
+pub use cast::{count_ratio, count_to_f64, f64_to_count_saturating, size_to_u64};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
 pub use rng::SplitMix64;

@@ -13,12 +13,7 @@ const CASES: u64 = 512;
 fn drive(input: &str) {
     // Pull every event until end or error; must not panic.
     let mut reader = Reader::new(input);
-    loop {
-        match reader.next() {
-            Ok(Some(_)) => continue,
-            Ok(None) | Err(_) => break,
-        }
-    }
+    while let Ok(Some(_)) = reader.next() {}
     let _ = Document::parse(input);
 }
 
@@ -88,8 +83,7 @@ fn truncated_documents_fail_cleanly() {
             .char_indices()
             .map(|(i, _)| i)
             .chain([valid.len()])
-            .filter(|&i| i <= cut)
-            .next_back()
+            .rfind(|&i| i <= cut)
             .unwrap_or(0);
         let truncated = &valid[..boundary];
         if truncated.is_empty() {

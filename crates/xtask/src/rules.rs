@@ -22,8 +22,14 @@ pub(crate) struct Violation {
 
 /// The estimator-pipeline crates held to the strictest standard: their
 /// library paths must be panic-free (violations burn down via the
-/// baseline).
-const STRICT_SCOPES: &[&str] = &["crates/core/src/", "crates/sethash/src/", "crates/pst/src/"];
+/// baseline). `crates/serve` joined with an empty baseline — the serving
+/// layer was written panic-free from the start and must stay that way.
+const STRICT_SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/sethash/src/",
+    "crates/pst/src/",
+    "crates/serve/src/",
+];
 
 /// Files inside the strict scope that may still hold bare
 /// count↔estimate `as` casts (none today; the checked helpers live in
@@ -219,6 +225,19 @@ mod tests {
     fn out_of_scope_crates_not_held_to_unwrap_rule() {
         let violations = check_file("crates/cli/src/lib.rs", "fn f() { x.unwrap(); }\n");
         assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn serve_crate_is_strict_including_binaries() {
+        let src = "fn f() { x.unwrap(); let y = n as f64; }\n";
+        let rules: Vec<_> =
+            check_file("crates/serve/src/server.rs", src).iter().map(|v| v.rule).collect::<Vec<_>>();
+        assert_eq!(rules, ["no-unwrap", "no-bare-cast"]);
+        let rules: Vec<_> =
+            check_file("crates/serve/src/bin/loadgen.rs", src).iter().map(|v| v.rule).collect::<Vec<_>>();
+        assert_eq!(rules, ["no-unwrap", "no-bare-cast"]);
+        // The serve crate's integration tests stay exempt like everyone's.
+        assert!(check_file("crates/serve/tests/server.rs", src).is_empty());
     }
 
     #[test]

@@ -98,9 +98,7 @@ pub(crate) fn mask_source(src: &str) -> String {
                     }
                     if bytes[i] == b'"' && closes_raw(bytes, i, hashes) {
                         out.push(b'"');
-                        for _ in 0..hashes {
-                            out.push(b'#');
-                        }
+                        out.extend(std::iter::repeat_n(b'#', hashes));
                         i += 1 + hashes;
                         break;
                     }
