@@ -173,7 +173,12 @@ fn read_head(
                 if first_byte_at.is_none() {
                     first_byte_at = Some(Instant::now());
                 }
-                buffer.extend_from_slice(&chunk[..n]);
+                // A sane `Read` never returns more than the buffer
+                // holds; map a broken impl to an error, not a panic.
+                match chunk.get(..n) {
+                    Some(filled) => buffer.extend_from_slice(filled),
+                    None => return Err(ReadOutcome::Malformed("read length out of range")),
+                }
             }
             Err(err) if is_timeout(&err) => match first_byte_at {
                 Some(started) => {
@@ -214,7 +219,10 @@ fn read_body(
     while buffer.len() < want {
         match stream.read(&mut chunk) {
             Ok(0) => return Err(ReadOutcome::Malformed("connection closed mid-body")),
-            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+            Ok(n) => match chunk.get(..n) {
+                Some(filled) => buffer.extend_from_slice(filled),
+                None => return Err(ReadOutcome::Malformed("read length out of range")),
+            },
             Err(err) if is_timeout(&err) => {
                 if started.elapsed() > limits.read_deadline {
                     return Err(ReadOutcome::Timeout);
@@ -236,7 +244,13 @@ pub fn read_request(
 ) -> Result<Request, ReadOutcome> {
     let mut buffer = Vec::new();
     let head_end = read_head(stream, &mut buffer, limits, shutdown)?;
-    let head = std::str::from_utf8(&buffer[..head_end - 4])
+    // `read_head` returned the index just past `\r\n\r\n`, so the
+    // bound holds by construction — but slice checked anyway: a panic
+    // here would take down a worker on attacker-controlled input.
+    let head_bytes = buffer
+        .get(..head_end.saturating_sub(4))
+        .ok_or(ReadOutcome::Malformed("head boundary out of range"))?;
+    let head = std::str::from_utf8(head_bytes)
         .map_err(|_| ReadOutcome::Malformed("head is not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
@@ -276,7 +290,13 @@ pub fn read_request(
         return Err(ReadOutcome::Malformed("transfer-encoding not supported"));
     }
     read_body(stream, &mut buffer, head_end, length, limits)?;
-    request.body = buffer[head_end..head_end + length].to_vec();
+    let body_end = head_end
+        .checked_add(length)
+        .ok_or(ReadOutcome::Malformed("content-length overflow"))?;
+    request.body = buffer
+        .get(head_end..body_end)
+        .ok_or(ReadOutcome::Malformed("body shorter than content-length"))?
+        .to_vec();
     Ok(request)
 }
 

@@ -31,6 +31,7 @@
 //! (same seed, same length); [`HashFamily::seed`] exposes the seed so
 //! summaries can record it.
 
+use twig_util::cast::{count_to_f64, size_to_f64};
 use twig_util::SplitMix64;
 
 mod sealed {
@@ -216,7 +217,7 @@ impl<C: Component> Signature<C> {
             }
             matching += 1;
         }
-        matching as f64 / len as f64
+        size_to_f64(matching) / size_to_f64(len)
     }
 
     /// Raw component access (for serialization and size accounting).
@@ -242,9 +243,9 @@ pub fn estimate_union_size<C: Component>(sets: &[(&Signature<C>, u64)]) -> f64 {
         nonempty.iter().max_by_key(|&&&(_, size)| size).expect("non-empty");
     let f = Signature::resemblance(&[largest_sig, &union_sig]);
     if f == 0.0 {
-        return nonempty.iter().map(|&&(_, size)| size as f64).sum();
+        return nonempty.iter().map(|&&(_, size)| count_to_f64(size)).sum();
     }
-    largest_size as f64 / f
+    count_to_f64(largest_size) / f
 }
 
 /// Estimates `|S₁ ∩ … ∩ S_k|` from signatures plus exact set sizes
@@ -259,9 +260,11 @@ pub fn estimate_intersection<C: Component>(sets: &[(&Signature<C>, u64)]) -> f64
     if sets.iter().any(|&(sig, size)| size == 0 || sig.is_empty_set()) {
         return 0.0;
     }
-    let min_size = sets.iter().map(|&(_, size)| size).min().expect("non-empty") as f64;
+    // `sets` is non-empty (asserted above); `unwrap_or` keeps the path
+    // panic-free with a harmless 0-clamp if that ever changes.
+    let min_size = count_to_f64(sets.iter().map(|&(_, size)| size).min().unwrap_or(0));
     if sets.len() == 1 {
-        return sets[0].1 as f64;
+        return count_to_f64(sets[0].1);
     }
     let signatures: Vec<&Signature<C>> = sets.iter().map(|&(sig, _)| sig).collect();
     let rho = Signature::resemblance(&signatures);
@@ -278,9 +281,9 @@ pub fn estimate_intersection<C: Component>(sets: &[(&Signature<C>, u64)]) -> f64
         // union signature (cannot happen exactly — S_m ⊆ ∪ — but the
         // estimator can produce it at tiny signature lengths). Fall back
         // to resemblance times the largest size, a lower bound on ρ·|∪|.
-        return (rho * largest_size as f64).min(min_size);
+        return (rho * count_to_f64(largest_size)).min(min_size);
     }
-    let union_size = largest_size as f64 / f;
+    let union_size = count_to_f64(largest_size) / f;
     (rho * union_size).min(min_size)
 }
 

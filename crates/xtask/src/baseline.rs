@@ -56,14 +56,21 @@ pub(crate) fn parse(text: &str) -> Result<BTreeMap<Key, usize>, String> {
 
 /// Renders the baseline for the current violation set.
 pub(crate) fn render(violations: &[Violation]) -> String {
+    render_titled("twig-lint", "cargo xtask lint --update-baseline", violations)
+}
+
+/// Renders a baseline under a pass-specific header. Both `lint` and
+/// `flow` baselines share the TSV format, parser and partition logic;
+/// only the banner differs.
+pub(crate) fn render_titled(pass: &str, regen: &str, violations: &[Violation]) -> String {
     let mut counts: BTreeMap<Key, usize> = BTreeMap::new();
     for violation in violations {
         *counts.entry(key_of(violation)).or_insert(0) += 1;
     }
-    let mut out = String::from(
-        "# twig-lint baseline: pre-existing violations, one `rule<TAB>file<TAB>count<TAB>content`\n\
+    let mut out = format!(
+        "# {pass} baseline: pre-existing violations, one `rule<TAB>file<TAB>count<TAB>content`\n\
          # per line. Only delete entries (burn-down) or regenerate with\n\
-         # `cargo xtask lint --update-baseline`.\n",
+         # `{regen}`.\n",
     );
     for ((rule, file, content), count) in &counts {
         out.push_str(&format!("{rule}\t{file}\t{count}\t{content}\n"));
@@ -78,18 +85,29 @@ pub(crate) fn partition(
     violations: Vec<Violation>,
     baseline: &BTreeMap<Key, usize>,
 ) -> (Vec<Violation>, Vec<Violation>) {
+    partition_by(violations, baseline, key_of)
+}
+
+/// Generic partition over anything with a baseline key — the flow pass
+/// carries a witness chain alongside each violation, so it partitions
+/// its own finding type with the same bookkeeping.
+pub(crate) fn partition_by<T>(
+    items: Vec<T>,
+    baseline: &BTreeMap<Key, usize>,
+    key_fn: impl Fn(&T) -> Key,
+) -> (Vec<T>, Vec<T>) {
     let mut used: BTreeMap<Key, usize> = BTreeMap::new();
     let mut old = Vec::new();
     let mut fresh = Vec::new();
-    for violation in violations {
-        let key = key_of(&violation);
+    for item in items {
+        let key = key_fn(&item);
         let allowed = baseline.get(&key).copied().unwrap_or(0);
         let slot = used.entry(key).or_insert(0);
         if *slot < allowed {
             *slot += 1;
-            old.push(violation);
+            old.push(item);
         } else {
-            fresh.push(violation);
+            fresh.push(item);
         }
     }
     (old, fresh)

@@ -1,0 +1,359 @@
+//! Conservative workspace call graph.
+//!
+//! Call sites are extracted from function-body token ranges and resolved
+//! by *suffix matching* against every function the item model knows:
+//! `Signature::union(` resolves to any fn whose qualified path ends in
+//! `Signature::union`, `.record(` to every method named `record`, a bare
+//! `load_cst(` to every non-method of that name. Over-resolution is the
+//! point — an edge too many makes panic-reachability conservative, an
+//! edge too few makes it wrong. Calls that resolve to nothing (std,
+//! primitives) are dropped: their panics are modeled as *direct* panic
+//! sources at the call site (`unwrap`, indexing, …) by `reach.rs`, not
+//! as edges.
+
+use std::collections::BTreeMap;
+
+use crate::items::{FileModel, FnItem};
+use crate::tokens::{Token, TokenKind};
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CallSite {
+    /// Path segments (`["Signature", "union"]`); a single segment for
+    /// bare and method calls.
+    pub(crate) path: Vec<String>,
+    /// `receiver.name(…)` rather than `path::name(…)`.
+    pub(crate) method: bool,
+    /// 1-based line of the call.
+    pub(crate) line: usize,
+}
+
+/// A resolved caller→callee edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Edge {
+    /// Index into [`Graph::fns`].
+    pub(crate) callee: usize,
+    /// Line of the call site in the caller's file.
+    pub(crate) line: usize,
+}
+
+/// One function in the global graph: the item plus the index of its
+/// [`FileModel`] (for token access).
+#[derive(Debug)]
+pub(crate) struct GraphFn {
+    pub(crate) item: FnItem,
+    pub(crate) model: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub(crate) struct Graph {
+    pub(crate) fns: Vec<GraphFn>,
+    /// Outgoing edges per fn, deduplicated by callee.
+    pub(crate) edges: Vec<Vec<Edge>>,
+}
+
+/// Keywords and primitives that look like call names but are not.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "let", "else", "move", "in", "as", "break",
+    "continue", "where", "unsafe", "ref", "mut", "box", "dyn", "impl", "fn", "use", "pub", "mod",
+    "const", "static", "type", "enum", "struct", "trait", "true", "false", "super", "crate",
+];
+
+/// Extracts the call sites in `tokens[range]`. `impl_type` substitutes
+/// for a leading `Self` segment.
+pub(crate) fn call_sites(
+    tokens: &[Token],
+    range: (usize, usize),
+    impl_type: Option<&str>,
+) -> Vec<CallSite> {
+    let (start, end) = range;
+    let end = end.min(tokens.len());
+    let mut sites = Vec::new();
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        // Method call: `.name(` (with optional turbofish).
+        if t.is_punct(".") {
+            if let Some(next) = tokens.get(i + 1) {
+                if next.kind == TokenKind::Ident {
+                    let mut j = i + 2;
+                    if at_punct(tokens, j, "::") && at_punct(tokens, j + 1, "<") {
+                        j = skip_angles(tokens, j + 1);
+                    }
+                    if at_punct(tokens, j, "(") {
+                        sites.push(CallSite {
+                            path: vec![next.text.clone()],
+                            method: true,
+                            line: next.line,
+                        });
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Path call: `a::b::name(`, excluding declarations (`fn name(`)
+        // and macro invocations (`name!(…)`).
+        if t.kind == TokenKind::Ident
+            && !NON_CALL_IDENTS.contains(&t.text.as_str())
+            && !(i > 0 && (tokens[i - 1].is_punct(".") || tokens[i - 1].is_ident("fn")))
+        {
+            let line = t.line;
+            let mut path = vec![t.text.clone()];
+            let mut j = i + 1;
+            loop {
+                if at_punct(tokens, j, "::") {
+                    if at_punct(tokens, j + 1, "<") {
+                        j = skip_angles(tokens, j + 1);
+                        continue;
+                    }
+                    if tokens.get(j + 1).is_some_and(|n| n.kind == TokenKind::Ident) {
+                        path.push(tokens[j + 1].text.clone());
+                        j += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            let is_macro = at_punct(tokens, j, "!");
+            if at_punct(tokens, j, "(") && !is_macro {
+                if path[0] == "Self" {
+                    match impl_type {
+                        Some(ty) => path[0] = ty.to_owned(),
+                        None => {
+                            path.remove(0);
+                        }
+                    }
+                }
+                if !path.is_empty() && !NON_CALL_IDENTS.contains(&path.last().map(String::as_str).unwrap_or("")) {
+                    sites.push(CallSite { path, method: false, line });
+                }
+            }
+            // Resume after the path (arguments are scanned normally).
+            i = j.max(i + 1);
+            continue;
+        }
+        i += 1;
+    }
+    sites
+}
+
+fn at_punct(tokens: &[Token], i: usize, punct: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(punct))
+}
+
+fn skip_angles(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "<" if tokens[j].kind == TokenKind::Punct => depth += 1,
+            "<<" if tokens[j].kind == TokenKind::Punct => depth += 2,
+            ">" if tokens[j].kind == TokenKind::Punct => {
+                depth -= 1;
+                if depth <= 0 {
+                    return j + 1;
+                }
+            }
+            ">>" if tokens[j].kind == TokenKind::Punct => {
+                depth -= 2;
+                if depth <= 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Builds the global graph over every file model.
+pub(crate) fn build(models: &[FileModel]) -> Graph {
+    let mut fns = Vec::new();
+    for (model_idx, model) in models.iter().enumerate() {
+        for item in &model.fns {
+            fns.push(GraphFn { item: item.clone(), model: model_idx });
+        }
+    }
+    // Bare-name index for suffix resolution.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, f) in fns.iter().enumerate() {
+        by_name.entry(f.item.name.as_str()).or_default().push(idx);
+    }
+
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
+    for (caller, f) in fns.iter().enumerate() {
+        let Some(body) = f.item.body else { continue };
+        let tokens = &models[f.model].tokens;
+        let sites = call_sites(tokens, body, f.item.impl_type.as_deref());
+        let mut seen = vec![false; fns.len()];
+        for site in sites {
+            let Some(last) = site.path.last() else { continue };
+            let Some(candidates) = by_name.get(last.as_str()) else { continue };
+            for &callee in candidates {
+                let target = &fns[callee].item;
+                let matches = if site.method {
+                    target.has_self
+                } else if site.path.len() == 1 {
+                    // A bare call can reach free/associated fns only;
+                    // methods need a receiver or a qualified path.
+                    !target.has_self && suffix_matches(&target.qual, &site.path)
+                } else {
+                    path_matches(&target.qual, &site.path)
+                };
+                if matches && !seen[callee] {
+                    seen[callee] = true;
+                    edges[caller].push(Edge { callee, line: site.line });
+                }
+            }
+        }
+    }
+    Graph { fns, edges }
+}
+
+/// Multi-segment call paths can carry module segments the item model
+/// never sees (`sig::Signature::union` through a `use … as sig` or a
+/// re-export), so leading segments may be dropped — but at least the
+/// final two (`Type::name` / `mod::name`) must line up, otherwise
+/// `other::union` would degrade to a bare-name match.
+fn path_matches(qual: &str, path: &[String]) -> bool {
+    (2..=path.len()).any(|k| suffix_matches(qual, &path[path.len() - k..]))
+}
+
+/// Do the final segments of `qual` equal `path`?
+fn suffix_matches(qual: &str, path: &[String]) -> bool {
+    let segments: Vec<&str> = qual.split("::").collect();
+    if path.len() > segments.len() {
+        return false;
+    }
+    segments[segments.len() - path.len()..]
+        .iter()
+        .zip(path)
+        .all(|(a, b)| *a == b)
+}
+
+impl Graph {
+    /// Index of the fn with exactly this qualified path, if unique.
+    #[cfg(test)]
+    pub(crate) fn find(&self, qual: &str) -> Option<usize> {
+        self.fns.iter().position(|f| f.item.qual == qual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use crate::scan::{mask_source, test_line_mask};
+    use crate::tokens::tokenize;
+
+    fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
+        files
+            .iter()
+            .map(|(file, src)| {
+                let masked = mask_source(src);
+                let test_lines = test_line_mask(&masked);
+                parse_file(file, tokenize(&masked), &test_lines, false)
+            })
+            .collect()
+    }
+
+    fn edge_quals(graph: &Graph, caller: &str) -> Vec<String> {
+        let idx = graph.find(caller).expect("caller exists");
+        graph.edges[idx].iter().map(|e| graph.fns[e.callee].item.qual.clone()).collect()
+    }
+
+    #[test]
+    fn bare_calls_resolve_within_and_across_files() {
+        let graph = build(&models(&[
+            ("crates/core/src/a.rs", "pub fn entry() { helper(); }\nfn helper() {}"),
+            ("crates/util/src/b.rs", "pub fn helper() {}"),
+        ]));
+        let callees = edge_quals(&graph, "core::entry");
+        assert!(callees.contains(&"core::helper".to_owned()));
+        assert!(callees.contains(&"util::helper".to_owned()), "conservative cross-crate match");
+    }
+
+    #[test]
+    fn qualified_calls_match_by_suffix() {
+        let graph = build(&models(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn entry() { sig::Signature::union(); other::union(); }",
+            ),
+            (
+                "crates/sethash/src/lib.rs",
+                "impl Signature { pub fn union() {} }\npub fn union() {}",
+            ),
+        ]));
+        let callees = edge_quals(&graph, "core::entry");
+        assert!(callees.contains(&"sethash::Signature::union".to_owned()));
+        // `other::union` does not suffix-match `sethash::union`.
+        assert!(!callees.contains(&"sethash::union".to_owned()));
+    }
+
+    #[test]
+    fn method_calls_resolve_to_methods_only() {
+        let graph = build(&models(&[
+            ("crates/core/src/a.rs", "pub fn entry(x: W) { x.poke(); poke(); }"),
+            (
+                "crates/util/src/b.rs",
+                "impl W { pub fn poke(&self) {} }\npub fn poke() {}",
+            ),
+        ]));
+        let callees = edge_quals(&graph, "core::entry");
+        assert!(callees.contains(&"util::W::poke".to_owned()));
+        assert!(callees.contains(&"util::poke".to_owned()));
+        // The bare `poke()` call must NOT resolve to the method.
+        let idx = graph.find("core::entry").expect("entry");
+        let method_edges = graph.edges[idx]
+            .iter()
+            .filter(|e| graph.fns[e.callee].item.qual == "util::W::poke")
+            .count();
+        assert_eq!(method_edges, 1);
+    }
+
+    #[test]
+    fn self_calls_resolve_through_the_impl_type() {
+        let graph = build(&models(&[(
+            "crates/core/src/a.rs",
+            "impl Cst { pub fn outer(&self) { Self::inner(); } fn inner() {} }",
+        )]));
+        let callees = edge_quals(&graph, "core::Cst::outer");
+        assert_eq!(callees, ["core::Cst::inner"]);
+    }
+
+    #[test]
+    fn macro_invocations_are_not_calls_but_their_args_are() {
+        let graph = build(&models(&[(
+            "crates/core/src/a.rs",
+            "pub fn entry() { format!(\"{}\", helper()); } fn helper() {} fn format() {}",
+        )]));
+        let callees = edge_quals(&graph, "core::entry");
+        assert_eq!(callees, ["core::helper"]);
+    }
+
+    #[test]
+    fn turbofish_paths_still_resolve() {
+        let graph = build(&models(&[(
+            "crates/core/src/a.rs",
+            "pub fn entry() { Signature::<u64>::empty(4); } impl Signature { pub fn empty(n: usize) {} }",
+        )]));
+        let callees = edge_quals(&graph, "core::entry");
+        assert_eq!(callees, ["core::Signature::empty"]);
+    }
+
+    #[test]
+    fn declarations_are_not_call_sites() {
+        let graph = build(&models(&[(
+            "crates/core/src/a.rs",
+            "pub fn entry() { fn inner() {} inner(); }",
+        )]));
+        let callees = edge_quals(&graph, "core::entry");
+        assert_eq!(callees, ["core::inner"]);
+    }
+}

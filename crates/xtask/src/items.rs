@@ -1,0 +1,530 @@
+//! Brace-aware item model for the flow analyzer.
+//!
+//! Walks a file's token stream (see `tokens.rs`) and extracts the items
+//! the call graph needs: function declarations with their qualified
+//! paths (`crate::module::Type::name`), visibility, `self`-ness, return
+//! type text, and body token ranges — plus the names of struct fields
+//! holding `Mutex`/`RwLock` values, which seed the lock-discipline pass.
+//!
+//! The model is deliberately *conservative*, not complete: nested
+//! functions are attributed to their lexical module (not the enclosing
+//! function), and a nested function's tokens remain inside the outer
+//! function's body range, so the outer function inherits the nested
+//! one's call sites. Over-approximation is safe for reachability; what
+//! matters is never *losing* an edge.
+
+use crate::tokens::{matching_brace, Token, TokenKind};
+
+/// One `fn` item (free function, inherent/trait method, or default
+/// trait method).
+#[derive(Debug, Clone)]
+pub(crate) struct FnItem {
+    /// Bare function name.
+    pub(crate) name: String,
+    /// Qualified path: `crate::module::Type::name`.
+    pub(crate) qual: String,
+    /// Repo-relative file path.
+    pub(crate) file: String,
+    /// 1-based line of the `fn` keyword.
+    pub(crate) line: usize,
+    /// Declared `pub` (unrestricted; `pub(crate)` and friends are not
+    /// entry points and count as private here).
+    pub(crate) is_pub: bool,
+    /// Takes `self` in any form (method).
+    pub(crate) has_self: bool,
+    /// Inside `#[cfg(test)]` code or a test-path file.
+    pub(crate) in_test: bool,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub(crate) impl_type: Option<String>,
+    /// Return type text (tokens joined with spaces), empty for `()`.
+    pub(crate) ret: String,
+    /// Body token range `[start, end)` into the file's token vector
+    /// (exclusive of the braces); `None` for bodyless declarations.
+    pub(crate) body: Option<(usize, usize)>,
+}
+
+/// Everything the analyzer extracted from one file.
+#[derive(Debug)]
+pub(crate) struct FileModel {
+    /// Repo-relative path.
+    pub(crate) file: String,
+    /// The file's full token stream (masked source).
+    pub(crate) tokens: Vec<Token>,
+    /// Functions declared in the file.
+    pub(crate) fns: Vec<FnItem>,
+    /// Names of struct fields with `Mutex<…>` / `RwLock<…>` types.
+    pub(crate) lock_fields: Vec<String>,
+}
+
+/// The crate segment for a repo-relative path: `crates/<name>/…` uses
+/// the directory name; the root `src/` tree is the meta-crate.
+pub(crate) fn crate_of(file: &str) -> String {
+    let mut parts = file.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_owned(),
+        _ => "twig_repro".to_owned(),
+    }
+}
+
+/// Builds the item model for one file. `test_lines` is the per-line
+/// `#[cfg(test)]` mask from `scan::test_line_mask`; `path_is_test`
+/// marks whole files that are test-only by location (`tests/`, …).
+pub(crate) fn parse_file(
+    file: &str,
+    tokens: Vec<Token>,
+    test_lines: &[bool],
+    path_is_test: bool,
+) -> FileModel {
+    let krate = crate_of(file);
+    let mut fns = Vec::new();
+    let mut lock_fields = Vec::new();
+
+    // (name, depth inside the scope): popped when depth drops back.
+    let mut scopes: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending_pub = false;
+    let mut i = 0usize;
+
+    let in_test_line =
+        |line: usize| path_is_test || test_lines.get(line.saturating_sub(1)).copied().unwrap_or(false);
+
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match (&t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "#") if next_is(&tokens, i + 1, "[") => {
+                i = skip_balanced(&tokens, i + 1, "[", "]");
+            }
+            (TokenKind::Punct, "{") => {
+                depth += 1;
+                pending_pub = false;
+                i += 1;
+            }
+            (TokenKind::Punct, "}") => {
+                depth = depth.saturating_sub(1);
+                while scopes.last().is_some_and(|&(_, d)| d > depth) {
+                    scopes.pop();
+                }
+                pending_pub = false;
+                i += 1;
+            }
+            (TokenKind::Punct, ";" | ",") => {
+                pending_pub = false;
+                i += 1;
+            }
+            (TokenKind::Ident, "pub") => {
+                if next_is(&tokens, i + 1, "(") {
+                    // pub(crate) / pub(super): not an external entry point.
+                    i = skip_balanced(&tokens, i + 1, "(", ")");
+                } else {
+                    pending_pub = true;
+                    i += 1;
+                }
+            }
+            (TokenKind::Ident, "mod") if is_ident(&tokens, i + 1) => {
+                let name = tokens[i + 1].text.clone();
+                pending_pub = false;
+                if next_is(&tokens, i + 2, "{") {
+                    scopes.push((name, depth + 1));
+                    depth += 1;
+                    i += 3;
+                } else {
+                    i += 2; // `mod foo;`
+                }
+            }
+            (TokenKind::Ident, "impl" | "trait") => {
+                let (type_name, after) = parse_impl_head(&tokens, i);
+                pending_pub = false;
+                if next_is(&tokens, after, "{") {
+                    scopes.push((type_name, depth + 1));
+                    depth += 1;
+                    i = after + 1;
+                } else {
+                    i = after.max(i + 1);
+                }
+            }
+            (TokenKind::Ident, "struct" | "enum" | "union") if is_ident(&tokens, i + 1) => {
+                pending_pub = false;
+                let mut j = i + 2;
+                if next_is(&tokens, j, "<") {
+                    j = skip_angles(&tokens, j);
+                }
+                while j < tokens.len()
+                    && !tokens[j].is_punct("{")
+                    && !tokens[j].is_punct("(")
+                    && !tokens[j].is_punct(";")
+                {
+                    j += 1;
+                }
+                if next_is(&tokens, j, "{") {
+                    let close = matching_brace(&tokens, j);
+                    if t.text == "struct" {
+                        collect_lock_fields(&tokens[j + 1..close], &mut lock_fields);
+                    }
+                    i = close + 1; // field types hold no fn items
+                } else if next_is(&tokens, j, "(") {
+                    i = skip_balanced(&tokens, j, "(", ")");
+                } else {
+                    i = j + 1;
+                }
+            }
+            (TokenKind::Ident, "macro_rules") if next_is(&tokens, i + 1, "!") => {
+                pending_pub = false;
+                let mut j = i + 2;
+                while j < tokens.len() && !tokens[j].is_punct("{") {
+                    j += 1;
+                }
+                i = matching_brace(&tokens, j) + 1;
+            }
+            (TokenKind::Ident, "fn") if is_ident(&tokens, i + 1) => {
+                let is_pub = pending_pub;
+                pending_pub = false;
+                let name = tokens[i + 1].text.clone();
+                let line = t.line;
+                let (has_self, ret, body_open) = parse_fn_head(&tokens, i + 2);
+                let impl_type = match scopes.last() {
+                    Some((scope, d)) if *d == depth && is_type_name(scope) => Some(scope.clone()),
+                    _ => None,
+                };
+                let mut qual = krate.clone();
+                for (segment, _) in &scopes {
+                    qual.push_str("::");
+                    qual.push_str(segment);
+                }
+                qual.push_str("::");
+                qual.push_str(&name);
+                let body = match body_open {
+                    Some(open) => {
+                        let close = matching_brace(&tokens, open);
+                        Some((open + 1, close))
+                    }
+                    None => None,
+                };
+                fns.push(FnItem {
+                    name,
+                    qual,
+                    file: file.to_owned(),
+                    line,
+                    is_pub,
+                    has_self,
+                    in_test: in_test_line(line),
+                    impl_type,
+                    ret,
+                    body,
+                });
+                // Walk *into* the body: nested items are still parsed.
+                i = match body_open {
+                    Some(open) => open, // the `{` arm bumps depth
+                    None => i + 2,
+                };
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    lock_fields.sort();
+    lock_fields.dedup();
+    FileModel { file: file.to_owned(), tokens, fns, lock_fields }
+}
+
+/// Heuristic: impl/trait scope names are capitalized type names; module
+/// scopes are snake_case. Used to decide whether the innermost scope
+/// contributes an `impl_type`.
+fn is_type_name(name: &str) -> bool {
+    name.chars().next().is_some_and(char::is_uppercase)
+}
+
+fn is_ident(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident)
+}
+
+fn next_is(tokens: &[Token], i: usize, punct: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(punct))
+}
+
+/// Skips a balanced `open`…`close` pair starting at `i` (which must be
+/// the opener); returns the index after the closer.
+fn skip_balanced(tokens: &[Token], i: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < tokens.len() {
+        if tokens[j].is_punct(open) {
+            depth += 1;
+        } else if tokens[j].is_punct(close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Skips a balanced generic-argument list starting at the `<` at `i`.
+/// `>>` closes two levels (shift tokens double as generic closers).
+fn skip_angles(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "<" | "<<" if tokens[j].kind == TokenKind::Punct => {
+                depth += if tokens[j].text == "<<" { 2 } else { 1 };
+            }
+            ">" | ">>" if tokens[j].kind == TokenKind::Punct => {
+                depth -= if tokens[j].text == ">>" { 2 } else { 1 };
+                if depth <= 0 {
+                    return j + 1;
+                }
+            }
+            "->" | "=>" if tokens[j].kind == TokenKind::Punct => {}
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Parses an `impl`/`trait` head starting at the keyword. Returns the
+/// scope name (the implementing type for `impl Trait for Type`) and the
+/// index of the expected `{`.
+fn parse_impl_head(tokens: &[Token], i: usize) -> (String, usize) {
+    let mut j = i + 1;
+    if next_is(tokens, j, "<") {
+        j = skip_angles(tokens, j);
+    }
+    let mut last_type = String::new();
+    let mut angle = 0isize;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match (&t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "{") if angle <= 0 => break,
+            (TokenKind::Punct, ";") if angle <= 0 => break,
+            (TokenKind::Ident, "for") if angle <= 0 => {
+                last_type.clear(); // the implementing type follows
+            }
+            (TokenKind::Ident, "where") if angle <= 0 => {
+                while j < tokens.len() && !tokens[j].is_punct("{") && !tokens[j].is_punct(";") {
+                    j += 1;
+                }
+                break;
+            }
+            (TokenKind::Punct, "<") => angle += 1,
+            (TokenKind::Punct, "<<") => angle += 2,
+            (TokenKind::Punct, ">") => angle -= 1,
+            (TokenKind::Punct, ">>") => angle -= 2,
+            (TokenKind::Ident, name) if angle <= 0 && name != "dyn" && name != "mut" => {
+                last_type = name.to_owned();
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (last_type, j)
+}
+
+/// Parses a fn head after the name: generics, parameter list (checking
+/// for `self`), return type text, and the index of the body `{` (None
+/// for `;`-terminated declarations).
+fn parse_fn_head(tokens: &[Token], mut j: usize) -> (bool, String, Option<usize>) {
+    if next_is(tokens, j, "<") {
+        j = skip_angles(tokens, j);
+    }
+    let mut has_self = false;
+    if next_is(tokens, j, "(") {
+        let end = skip_balanced(tokens, j, "(", ")");
+        // `self` in the first parameter slot (before the first
+        // top-level comma) marks a method.
+        let mut depth = 0usize;
+        for t in &tokens[j..end] {
+            match t.text.as_str() {
+                "(" | "[" | "{" if t.kind == TokenKind::Punct => depth += 1,
+                ")" | "]" | "}" if t.kind == TokenKind::Punct => depth = depth.saturating_sub(1),
+                "," if t.kind == TokenKind::Punct && depth == 1 => break,
+                "self" if t.kind == TokenKind::Ident => {
+                    has_self = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        j = end;
+    }
+    let mut ret = String::new();
+    if next_is(tokens, j, "->") {
+        j += 1;
+        let mut angle = 0isize;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            match (&t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "{" | ";") if angle <= 0 => break,
+                (TokenKind::Ident, "where") if angle <= 0 => break,
+                (TokenKind::Punct, "<") => angle += 1,
+                (TokenKind::Punct, "<<") => angle += 2,
+                (TokenKind::Punct, ">") => angle -= 1,
+                (TokenKind::Punct, ">>") => angle -= 2,
+                _ => {}
+            }
+            if !ret.is_empty() {
+                ret.push(' ');
+            }
+            ret.push_str(&t.text);
+            j += 1;
+        }
+    }
+    // Where clause (and anything else) up to the body or terminator.
+    while j < tokens.len() && !tokens[j].is_punct("{") && !tokens[j].is_punct(";") {
+        j += 1;
+    }
+    if next_is(tokens, j, "{") {
+        (has_self, ret, Some(j))
+    } else {
+        (has_self, ret, None)
+    }
+}
+
+/// Records struct fields whose type mentions `Mutex`/`RwLock`.
+fn collect_lock_fields(body: &[Token], out: &mut Vec<String>) {
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i].kind == TokenKind::Ident && next_is(body, i + 1, ":") {
+            let name = body[i].text.clone();
+            let mut j = i + 2;
+            let mut depth = 0isize;
+            let mut is_lock = false;
+            while j < body.len() {
+                let t = &body[j];
+                match (&t.kind, t.text.as_str()) {
+                    (TokenKind::Punct, ",") if depth <= 0 => break,
+                    (TokenKind::Punct, "<" | "(") => depth += 1,
+                    (TokenKind::Punct, "<<") => depth += 2,
+                    (TokenKind::Punct, ">" | ")") => depth -= 1,
+                    (TokenKind::Punct, ">>") => depth -= 2,
+                    (TokenKind::Ident, "Mutex" | "RwLock") => is_lock = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_lock {
+                out.push(name);
+            }
+            i = j;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{mask_source, test_line_mask};
+    use crate::tokens::tokenize;
+
+    fn model(file: &str, src: &str) -> FileModel {
+        let masked = mask_source(src);
+        let test_lines = test_line_mask(&masked);
+        parse_file(file, tokenize(&masked), &test_lines, false)
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_qualified() {
+        let src = "
+pub fn top() {}
+mod inner {
+    fn helper() {}
+    impl Widget {
+        pub fn poke(&self) {}
+        fn quiet() {}
+    }
+}
+";
+        let m = model("crates/core/src/x.rs", src);
+        let quals: Vec<&str> = m.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            ["core::top", "core::inner::helper", "core::inner::Widget::poke", "core::inner::Widget::quiet"]
+        );
+        assert!(m.fns[0].is_pub && !m.fns[1].is_pub);
+        assert!(m.fns[2].has_self && !m.fns[3].has_self);
+        assert_eq!(m.fns[2].impl_type.as_deref(), Some("Widget"));
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let src = "impl std::fmt::Display for LoadError { fn fmt(&self) {} }";
+        let m = model("crates/serve/src/x.rs", src);
+        assert_eq!(m.fns[0].qual, "serve::LoadError::fmt");
+    }
+
+    #[test]
+    fn generic_impl_blocks_resolve_the_base_type() {
+        let src = "impl<C: Component> Signature<C> { pub fn len(&self) -> usize { 0 } }";
+        let m = model("crates/sethash/src/lib.rs", src);
+        assert_eq!(m.fns[0].qual, "sethash::Signature::len");
+        assert_eq!(m.fns[0].ret, "usize");
+    }
+
+    #[test]
+    fn pub_crate_is_not_an_entry_point() {
+        let src = "pub(crate) fn internal() {} pub fn external() {}";
+        let m = model("crates/core/src/x.rs", src);
+        assert!(!m.fns[0].is_pub);
+        assert!(m.fns[1].is_pub);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn t() {}
+}
+";
+        let m = model("crates/core/src/x.rs", src);
+        assert!(!m.fns[0].in_test);
+        assert!(m.fns[1].in_test);
+    }
+
+    #[test]
+    fn guard_return_types_are_captured() {
+        let src = "
+struct R { entries: RwLock<Vec<Entry>>, plain: usize }
+impl R {
+    fn read_entries(&self) -> std::sync::RwLockReadGuard<'_, Vec<Entry>> { x }
+}
+";
+        let m = model("crates/serve/src/x.rs", src);
+        assert_eq!(m.lock_fields, ["entries"]);
+        assert!(m.fns[0].ret.contains("RwLockReadGuard"));
+    }
+
+    #[test]
+    fn nested_fn_bodies_stay_inside_the_outer_range() {
+        let src = "fn outer() { fn inner() { poke(); } inner(); }";
+        let m = model("crates/core/src/x.rs", src);
+        assert_eq!(m.fns.len(), 2);
+        let (outer, inner) = (&m.fns[0], &m.fns[1]);
+        let (os, oe) = outer.body.unwrap_or((0, 0));
+        let (is_, ie) = inner.body.unwrap_or((0, 0));
+        assert!(os < is_ && ie <= oe, "inner range nests in outer");
+    }
+
+    #[test]
+    fn bodyless_trait_methods_have_no_body() {
+        let src = "trait Probe { fn poke(&self); fn dflt(&self) { self.poke() } }";
+        let m = model("crates/core/src/x.rs", src);
+        assert!(m.fns[0].body.is_none());
+        assert!(m.fns[1].body.is_some());
+        assert_eq!(m.fns[1].qual, "core::Probe::dflt");
+    }
+
+    #[test]
+    fn struct_bodies_do_not_hide_following_items() {
+        let src = "struct S { a: u32 } pub fn after() {}";
+        let m = model("crates/core/src/x.rs", src);
+        assert_eq!(m.fns.len(), 1);
+        assert!(m.fns[0].is_pub);
+    }
+}

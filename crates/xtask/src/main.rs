@@ -1,33 +1,54 @@
 //! Workspace automation tasks (`cargo xtask <task>`).
 //!
-//! The only task today is `lint`: the twig-lint static-analysis pass
-//! described in DESIGN.md. It is dependency-free by design — the build
-//! container is offline, so no `syn`, no `serde`, no `walkdir`; the
-//! scanner in `scan.rs` is a purpose-built lexer and the JSON report is
-//! printed by hand.
+//! Two tasks today, both described in DESIGN.md §9:
+//!
+//! - `lint` — twig-lint, line-oriented rules over masked source.
+//! - `flow` — twig-flow, the call-graph analyzer: panic-reachability of
+//!   every public entry point of the strict crates (with witness call
+//!   chains) plus lock-discipline over `crates/serve`.
+//!
+//! Both are dependency-free by design — the build container is offline,
+//! so no `syn`, no `serde`, no `walkdir`; the scanner in `scan.rs` is a
+//! purpose-built lexer, `tokens.rs` a purpose-built tokenizer, and the
+//! JSON reports are printed by hand.
 //!
 //! ```text
 //! cargo xtask lint                     # human report, exit 1 on new violations
 //! cargo xtask lint --json              # machine-readable report on stdout
 //! cargo xtask lint --update-baseline   # accept the current state
+//! cargo xtask flow                     # panic-reachability + lock discipline
+//! cargo xtask flow --json              # same, machine-readable (with witnesses)
+//! cargo xtask flow --update-baseline   # accept the current state
 //! ```
 
 mod baseline;
+mod callgraph;
+mod items;
+mod locks;
+mod reach;
 mod rules;
 mod scan;
+mod tokens;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use reach::FlowFinding;
 use rules::Violation;
 
 const BASELINE_FILE: &str = "lint-baseline.tsv";
+const FLOW_BASELINE_FILE: &str = "flow-baseline.tsv";
+
+/// Path prefix the lock-discipline pass runs over: the serving layer is
+/// where locks guard cross-thread state.
+const LOCK_SCOPE: &str = "crates/serve/src/";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("flow") => flow(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{USAGE}");
             ExitCode::SUCCESS
@@ -45,29 +66,48 @@ cargo xtask — workspace automation
 TASKS:
   lint [--json] [--update-baseline] [--baseline FILE] [--root DIR]
       Run the twig-lint static-analysis pass over every workspace .rs
-      file. Exits non-zero when violations beyond the baseline exist.";
+      file. Exits non-zero when violations beyond the baseline exist.
+  flow [--json] [--update-baseline] [--baseline FILE] [--root DIR]
+      Run the twig-flow call-graph analyzer: panic-reachability of every
+      public entry point of the strict crates (each finding carries a
+      witness call chain) and lock-discipline over crates/serve. Exits
+      non-zero when findings beyond the baseline exist.";
 
-fn lint(args: &[String]) -> ExitCode {
-    let mut json = false;
-    let mut update = false;
-    let mut baseline_path: Option<PathBuf> = None;
-    let mut root: Option<PathBuf> = None;
+/// Shared CLI flags for the baseline-driven passes.
+struct PassArgs {
+    json: bool,
+    update: bool,
+    baseline_path: Option<PathBuf>,
+    root: Option<PathBuf>,
+}
+
+fn parse_pass_args(args: &[String]) -> Result<PassArgs, String> {
+    let mut parsed =
+        PassArgs { json: false, update: false, baseline_path: None, root: None };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--json" => json = true,
-            "--update-baseline" => update = true,
+            "--json" => parsed.json = true,
+            "--update-baseline" => parsed.update = true,
             "--baseline" => match iter.next() {
-                Some(path) => baseline_path = Some(PathBuf::from(path)),
-                None => return usage_error("--baseline needs a value"),
+                Some(path) => parsed.baseline_path = Some(PathBuf::from(path)),
+                None => return Err("--baseline needs a value".to_owned()),
             },
             "--root" => match iter.next() {
-                Some(path) => root = Some(PathBuf::from(path)),
-                None => return usage_error("--root needs a value"),
+                Some(path) => parsed.root = Some(PathBuf::from(path)),
+                None => return Err("--root needs a value".to_owned()),
             },
-            other => return usage_error(&format!("unknown flag '{other}'")),
+            other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    Ok(parsed)
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let PassArgs { json, update, baseline_path, root } = match parse_pass_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => return usage_error(&message),
+    };
     let root = root.unwrap_or_else(workspace_root);
     let baseline_path = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
 
@@ -124,6 +164,150 @@ fn lint(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn flow(args: &[String]) -> ExitCode {
+    let PassArgs { json, update, baseline_path, root } = match parse_pass_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => return usage_error(&message),
+    };
+    let root = root.unwrap_or_else(workspace_root);
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join(FLOW_BASELINE_FILE));
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+
+    // Stage 1: tokenize + item model for every file.
+    let mut models = Vec::new();
+    for file in &files {
+        match fs::read_to_string(root.join(file)) {
+            Ok(src) => {
+                let masked = scan::mask_source(&src);
+                let test_lines = scan::test_line_mask(&masked);
+                models.push(items::parse_file(
+                    file,
+                    tokens::tokenize(&masked),
+                    &test_lines,
+                    rules::test_path(file),
+                ));
+            }
+            Err(err) => {
+                eprintln!("warning: cannot read {file}: {err}");
+            }
+        }
+    }
+
+    // Stage 2: call graph; stage 3: panic-reachability; stage 4: locks.
+    let graph = callgraph::build(&models);
+    let mut findings = reach::panic_reachability(&models, &graph);
+    findings.extend(locks::analyze(&models, &graph, LOCK_SCOPE));
+    findings.sort_by(|a, b| {
+        (&a.violation.file, a.violation.line, a.violation.rule)
+            .cmp(&(&b.violation.file, b.violation.line, b.violation.rule))
+    });
+
+    if update {
+        let violations: Vec<Violation> =
+            findings.iter().map(|f| f.violation.clone()).collect();
+        let rendered =
+            baseline::render_titled("twig-flow", "cargo xtask flow --update-baseline", &violations);
+        if let Err(err) = fs::write(&baseline_path, rendered) {
+            eprintln!("error: cannot write {}: {err}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "baseline updated: {} finding(s) across {} file(s) recorded in {}",
+            findings.len(),
+            files.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(parsed) => parsed,
+            Err(err) => {
+                eprintln!("error: {}: {err}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Default::default(), // no baseline: everything is new
+    };
+    let scanned = files.len();
+    let (old, fresh) =
+        baseline::partition_by(findings, &baseline, |f| baseline::key_of(&f.violation));
+
+    if json {
+        println!("{}", flow_json_report(scanned, &old, &fresh));
+    } else {
+        flow_human_report(scanned, &old, &fresh);
+    }
+    if fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn flow_human_report(scanned: usize, old: &[FlowFinding], fresh: &[FlowFinding]) {
+    for finding in fresh {
+        let v = &finding.violation;
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.content);
+        for hop in &finding.witness {
+            println!("    {hop}");
+        }
+    }
+    println!(
+        "twig-flow: {scanned} files scanned, {} new finding(s), {} baselined",
+        fresh.len(),
+        old.len()
+    );
+    if !fresh.is_empty() {
+        println!(
+            "  break the witness chains above (handle the error, drop the guard), or run\n  \
+             `cargo xtask flow --update-baseline` if they are intentional pre-existing debt"
+        );
+    }
+}
+
+fn flow_json_report(scanned: usize, old: &[FlowFinding], fresh: &[FlowFinding]) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"files_scanned\":{scanned},\"new\":{},\"baselined\":{},\"findings\":[",
+        fresh.len(),
+        old.len()
+    ));
+    let mut first = true;
+    for (finding, is_new) in fresh
+        .iter()
+        .map(|f| (f, true))
+        .chain(old.iter().map(|f| (f, false)))
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let v = &finding.violation;
+        let witness = finding
+            .witness
+            .iter()
+            .map(|hop| format!("\"{}\"", json_escape(hop)))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"new\":{},\"content\":\"{}\",\"witness\":[{}]}}",
+            json_escape(v.rule),
+            json_escape(&v.file),
+            v.line,
+            is_new,
+            json_escape(&v.content),
+            witness
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 fn usage_error(message: &str) -> ExitCode {

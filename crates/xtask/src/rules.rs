@@ -42,7 +42,9 @@ const UNSAFE_ALLOWLIST: &[&str] = &[];
 
 /// Is `file` (repo-relative) test-ish by location alone? Integration
 /// tests, benches, examples and build scripts may panic freely.
-fn test_path(file: &str) -> bool {
+/// Shared with the flow analyzer, which scopes its entry points the
+/// same way.
+pub(crate) fn test_path(file: &str) -> bool {
     file.split('/').any(|part| {
         matches!(part, "tests" | "benches" | "examples") || part == "build.rs"
     })
@@ -50,7 +52,7 @@ fn test_path(file: &str) -> bool {
         || file.starts_with("crates/xtask/")
 }
 
-fn in_strict_scope(file: &str) -> bool {
+pub(crate) fn in_strict_scope(file: &str) -> bool {
     STRICT_SCOPES.iter().any(|scope| file.starts_with(scope))
 }
 
@@ -71,13 +73,21 @@ fn word_match(masked: &str, pos: usize) -> bool {
     }
 }
 
-/// Occurrences of `needle` in `line` on identifier boundaries.
+/// Occurrences of `needle` in `line` on identifier boundaries. A needle
+/// that *starts* with a non-identifier byte (`.expect(`) carries its own
+/// boundary: the preceding byte is the receiver (`y.expect(` inside a
+/// chained `unwrap_or_else` closure), and demanding a word boundary
+/// there would silently skip every such hit.
 fn word_occurrences(line: &str, needle: &str, boundary: bool) -> usize {
+    let self_bounded = needle
+        .as_bytes()
+        .first()
+        .is_some_and(|&b| !(b.is_ascii_alphanumeric() || b == b'_'));
     let mut count = 0;
     let mut from = 0;
     while let Some(at) = line[from..].find(needle) {
         let pos = from + at;
-        if !boundary || word_match(line, pos) {
+        if !boundary || self_bounded || word_match(line, pos) {
             count += 1;
         }
         from = pos + needle.len();
@@ -127,7 +137,7 @@ pub(crate) fn check_file(file: &str, src: &str) -> Vec<Violation> {
 
         if in_strict_scope(file) {
             for pattern in UNWRAP_PATTERNS {
-                for _ in 0..word_occurrences(line, pattern, false) {
+                for _ in 0..word_occurrences(line, pattern, true) {
                     report("no-unwrap");
                 }
             }
@@ -193,6 +203,17 @@ mod tests {
         let violations =
             check_file("crates/pst/src/foo.rs", "fn f() { x.expect(\"reason\"); }\n");
         assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn expect_inside_chained_closure_counted_once() {
+        // Regression: with the boundary check applied to dot-prefixed
+        // needles, the `.expect(` here sits right after the receiver
+        // `y` and was skipped entirely.
+        let src = "fn f() { x.unwrap_or_else(|| y.expect(\"fallback\")); }\n";
+        let violations = check_file("crates/core/src/foo.rs", src);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "no-unwrap");
     }
 
     #[test]

@@ -174,8 +174,10 @@ fn closes_raw(bytes: &[u8], i: usize, hashes: usize) -> bool {
 fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
     let next = *bytes.get(i + 1)?;
     if next == b'\\' {
-        // Escape: scan to the first unescaped quote.
-        let mut j = i + 2;
+        // Escape: the byte after the backslash is part of the escape —
+        // `'\''` ends at index 3, not at the escaped quote — then scan
+        // to the first unescaped quote (`'\x41'`, `'\u{1F600}'`).
+        let mut j = i + 3;
         while j < bytes.len() {
             match bytes[j] {
                 b'\\' => j += 2,
@@ -204,16 +206,19 @@ fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
 }
 
 /// Returns one flag per line of `masked`: `true` when the line lies
-/// inside a `#[cfg(test)]`-gated item (attribute line included).
+/// inside a `#[cfg(test)]`-gated item (attribute line included). The
+/// attribute is matched token-wise, so rustfmt splitting it across
+/// lines (`#[cfg(\n    test\n)]`) still gates the item.
 pub(crate) fn test_line_mask(masked: &str) -> Vec<bool> {
     let line_count = masked.lines().count();
     let mut flags = vec![false; line_count];
     let bytes = masked.as_bytes();
-    let needle = b"#[cfg(test)]";
     let mut search_from = 0;
-    while let Some(pos) = find(bytes, needle, search_from) {
-        let attr_end = pos + needle.len();
-        search_from = attr_end;
+    while let Some(pos) = find(bytes, b"#", search_from) {
+        search_from = pos + 1;
+        let Some(attr_end) = cfg_test_end(bytes, pos) else {
+            continue;
+        };
         let Some((item_start, item_end)) = gated_item_span(bytes, attr_end) else {
             continue;
         };
@@ -226,6 +231,25 @@ pub(crate) fn test_line_mask(masked: &str) -> Vec<bool> {
         search_from = item_end.max(item_start);
     }
     flags
+}
+
+/// If a `#[cfg(test)]` attribute starts at the `#` at `pos` — with any
+/// whitespace (including newlines) between its tokens — returns the
+/// index just past the closing `]`. Exactly `test` must fill the
+/// parentheses: `#[cfg(any(test, …))]` compiles into non-test builds
+/// and must not match.
+fn cfg_test_end(bytes: &[u8], pos: usize) -> Option<usize> {
+    let mut i = pos;
+    for token in [&b"#"[..], b"[", b"cfg", b"(", b"test", b")", b"]"] {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if !bytes[i..].starts_with(token) {
+            return None;
+        }
+        i += token.len();
+    }
+    Some(i)
 }
 
 /// Finds the span of the item following a `#[cfg(test)]` attribute that
@@ -385,6 +409,38 @@ fn also_library() {}
         let src = "#[cfg(any(test, feature = \"audit\"))]\npub mod audit;\nfn lib() {}\n";
         let flags = test_line_mask(&mask_source(src));
         assert!(flags.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn escaped_quote_char_literals() {
+        // `'\''` and `b'\''` end at the 4th byte, not at the escaped
+        // quote — getting this wrong desynchronizes everything after.
+        let masked = mask_source("let q = '\\''; let bq = b'\\''; x.unwrap();");
+        assert!(masked.contains("x.unwrap();"), "{masked:?}");
+        assert!(!masked.contains('\\'), "escape masked: {masked:?}");
+        let masked = mask_source("let bs = b'\\\\'; y.f()");
+        assert!(masked.contains("y.f()"), "{masked:?}");
+    }
+
+    #[test]
+    fn unterminated_block_comment_masks_to_eof() {
+        let masked = mask_source("fn f() {}\n/* dangling panic!()\nstill comment unwrap()");
+        assert!(masked.contains("fn f() {}"));
+        assert!(!masked.contains("panic"));
+        assert!(!masked.contains("unwrap"));
+        assert_eq!(masked.lines().count(), 3, "newlines survive: {masked:?}");
+    }
+
+    #[test]
+    fn cfg_test_attribute_split_across_lines() {
+        let src = "#[cfg(\n    test\n)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib() {}\n";
+        let flags = test_line_mask(&mask_source(src));
+        assert!(flags[..6].iter().all(|&f| f), "{flags:?}");
+        assert!(!flags[6]);
+        // `any(test, …)` stays non-test even when split.
+        let src = "#[cfg(any(\n    test,\n    feature = \"x\"\n))]\nmod audit {}\n";
+        let flags = test_line_mask(&mask_source(src));
+        assert!(flags.iter().all(|&f| !f), "{flags:?}");
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Token stream for the flow analyzer.
+//!
+//! `cargo xtask flow` needs more structure than the line-oriented lint
+//! rules: call graphs and guard lifetimes are *path* properties, so the
+//! analyzer works over a token stream instead of lines. The tokenizer
+//! runs on **masked** source (see `scan::mask_source`): comments and
+//! literal contents are already blanked, so it only has to split
+//! identifiers, numbers, the husks of string/char literals, and
+//! punctuation — exactly as much Rust as the item model and call-site
+//! extractor consume. No `syn` (the workspace builds offline).
+
+/// One lexical token of masked Rust source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub(crate) kind: TokenKind,
+    /// Token text (identifier name, punct characters, literal husk).
+    pub(crate) text: String,
+    /// 1-based line the token starts on.
+    pub(crate) line: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integer or float; see [`Token::is_float`]).
+    Number,
+    /// Punctuation: single characters plus the multi-character operators
+    /// the analyzer cares about (`::`, `->`, `=>`, `..`, `/=`, …).
+    Punct,
+    /// The husk of a (masked) string literal.
+    Str,
+    /// The husk of a (masked) char literal.
+    Char,
+    /// A lifetime or loop label (`'a`).
+    Lifetime,
+}
+
+impl Token {
+    pub(crate) fn is(&self, kind: TokenKind, text: &str) -> bool {
+        self.kind == kind && self.text == text
+    }
+
+    pub(crate) fn is_ident(&self, text: &str) -> bool {
+        self.is(TokenKind::Ident, text)
+    }
+
+    pub(crate) fn is_punct(&self, text: &str) -> bool {
+        self.is(TokenKind::Punct, text)
+    }
+
+    /// Is this number a float literal (`1.5`, `1e9`, `2f64`)? Integer
+    /// div/rem is a panic source; float division is not.
+    pub(crate) fn is_float(&self) -> bool {
+        self.kind == TokenKind::Number
+            && (self.text.contains('.')
+                || self.text.ends_with("f32")
+                || self.text.ends_with("f64")
+                || (self.text.contains(['e', 'E'])
+                    && !self.text.starts_with("0x")
+                    && !self.text.starts_with("0X")))
+    }
+}
+
+/// Multi-character punctuation, longest first so `..=` wins over `..`.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "..", "&&", "||", "<<", ">>", "==", "!=", "<=", ">=",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Tokenizes masked source. Total: every byte is consumed; unknown bytes
+/// become single-character puncts rather than failures, so a file the
+/// masker half-understood still yields a usable (if degraded) stream.
+pub(crate) fn tokenize(masked: &str) -> Vec<Token> {
+    let bytes = masked.as_bytes();
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' || !b.is_ascii() {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || !bytes[i].is_ascii())
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: masked[start..i].to_owned(),
+                line,
+            });
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < bytes.len() {
+                let c = bytes[i];
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    i += 1;
+                } else if c == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    && !masked[start..i].contains('.')
+                {
+                    // `1.5` continues the number; `0..n` does not.
+                    i += 1;
+                } else if (c == b'+' || c == b'-')
+                    && matches!(bytes[i - 1], b'e' | b'E')
+                    && !masked[start..i].starts_with("0x")
+                {
+                    // Exponent sign: `1e-3`.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: masked[start..i].to_owned(),
+                line,
+            });
+            continue;
+        }
+        if b == b'"' {
+            // Masked string: contents are spaces/newlines, so the next
+            // quote closes it (escapes were blanked by the masker).
+            let start = i;
+            i += 1;
+            while i < bytes.len() && bytes[i] != b'"' {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(bytes.len());
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text: masked[start..i].to_owned(),
+                line,
+            });
+            continue;
+        }
+        if b == b'\'' {
+            // Masked char literal (`' '`) vs lifetime (`'a`). The masker
+            // blanked char contents, so a closing quote within a few
+            // bytes means char literal.
+            let close = (i + 1..(i + 6).min(bytes.len())).find(|&j| bytes[j] == b'\'');
+            if let Some(close) = close {
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: masked[i..=close].to_owned(),
+                    line,
+                });
+                i = close + 1;
+                continue;
+            }
+            let start = i;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text: masked[start..i].to_owned(),
+                line,
+            });
+            continue;
+        }
+        let mut matched = false;
+        for punct in MULTI_PUNCT {
+            if masked[i..].starts_with(punct) {
+                tokens.push(Token { kind: TokenKind::Punct, text: (*punct).to_owned(), line });
+                i += punct.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: masked[i..i + 1].to_owned(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Finds the index of the `}` matching the `{` at `open` (token index),
+/// or the last token when unbalanced (truncated input degrades to "rest
+/// of file", never panics).
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, token) in tokens.iter().enumerate().skip(open) {
+        if token.is_punct("{") {
+            depth += 1;
+        } else if token.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::mask_source;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(&mask_source(src)).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let tokens = kinds("fn f2(x: u32) -> u64 { x as u64 }");
+        assert!(tokens.contains(&(TokenKind::Ident, "fn".into())));
+        assert!(tokens.contains(&(TokenKind::Ident, "f2".into())));
+        assert!(tokens.contains(&(TokenKind::Punct, "->".into())));
+        assert!(tokens.contains(&(TokenKind::Punct, "(".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let tokens = tokenize(&mask_source("a\nb\n\nc"));
+        let lines: Vec<usize> = tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn float_vs_integer_literals() {
+        let tokens = tokenize(&mask_source("1.5 2 1e9 0x1f 3f64 10_000"));
+        let floats: Vec<bool> = tokens.iter().map(Token::is_float).collect();
+        assert_eq!(floats, [true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let tokens = kinds("0..10");
+        assert_eq!(
+            tokens,
+            [
+                (TokenKind::Number, "0".into()),
+                (TokenKind::Punct, "..".into()),
+                (TokenKind::Number, "10".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_are_husks() {
+        let tokens = kinds(r#"let s = "panic!()"; let c = 'x';"#);
+        assert!(tokens.iter().any(|(k, _)| *k == TokenKind::Str));
+        assert!(tokens.iter().any(|(k, _)| *k == TokenKind::Char));
+        assert!(!tokens.iter().any(|(_, t)| t.contains("panic")));
+    }
+
+    #[test]
+    fn lifetimes_and_labels() {
+        let tokens = kinds("fn f<'a>(x: &'a str) { 'outer: loop { break 'outer; } }");
+        let lifetimes: Vec<&str> = tokens
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'outer", "'outer"]);
+    }
+
+    #[test]
+    fn compound_assignment_is_one_token() {
+        let tokens = kinds("x /= y; x %= z; a::b(c)");
+        assert!(tokens.contains(&(TokenKind::Punct, "/=".into())));
+        assert!(tokens.contains(&(TokenKind::Punct, "%=".into())));
+        assert!(tokens.contains(&(TokenKind::Punct, "::".into())));
+    }
+
+    #[test]
+    fn matching_brace_handles_nesting_and_truncation() {
+        let tokens = tokenize(&mask_source("{ a { b } c }"));
+        assert_eq!(matching_brace(&tokens, 0), tokens.len() - 1);
+        let truncated = tokenize(&mask_source("{ a { b }"));
+        assert_eq!(matching_brace(&truncated, 0), truncated.len() - 1);
+    }
+}
