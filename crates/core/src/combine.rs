@@ -328,11 +328,12 @@ pub struct Factor {
 }
 
 /// Runs MO conditioning over ordered elements and returns the final count
-/// estimate (Sec. 3.7).
+/// estimate (Sec. 3.7). Elements are borrowed so a cached plan can be
+/// combined repeatedly without cloning.
 pub fn combine(
     cst: &Cst,
     query: &CompiledQuery,
-    elements: Vec<Element>,
+    elements: &[Element],
     kind: CountKind,
 ) -> f64 {
     combine_traced(cst, query, elements, kind, None)
@@ -343,7 +344,7 @@ pub fn combine(
 pub fn combine_traced(
     cst: &Cst,
     query: &CompiledQuery,
-    elements: Vec<Element>,
+    elements: &[Element],
     kind: CountKind,
     mut trace: Option<&mut Vec<Factor>>,
 ) -> f64 {
@@ -351,10 +352,11 @@ pub fn combine_traced(
     if n == 0.0 {
         return 0.0;
     }
-    let elements = order_elements(elements);
+    let mut ordered: Vec<&Element> = elements.iter().collect();
+    ordered.sort_by_key(|e| e.position());
     let mut covered: FxHashSet<Unit> = FxHashSet::default();
     let mut result = n;
-    for element in &elements {
+    for element in ordered {
         let chains = element.chains();
         let is_group = matches!(element, Element::Group(_));
         // Fully covered elements contribute Pr(X|X) = 1.
@@ -525,8 +527,8 @@ mod tests {
     fn combine_single_full_piece_returns_count() {
         let cst = fixture();
         let (query, pieces) = pieces_for(&cst, r#"book(author("Bo"))"#);
-        let elements = pieces.into_iter().map(Element::Single).collect();
-        let est = combine(&cst, &query, elements, CountKind::Presence);
+        let elements: Vec<Element> = pieces.into_iter().map(Element::Single).collect();
+        let est = combine(&cst, &query, &elements, CountKind::Presence);
         assert!((est - 20.0).abs() < 1e-9, "est = {est}");
     }
 
@@ -559,7 +561,7 @@ mod tests {
         let est = combine(
             &cst,
             &query,
-            vec![Element::Single(head), Element::Single(tail)],
+            &[Element::Single(head), Element::Single(tail)],
             CountKind::Presence,
         );
         assert!((est - 20.0).abs() < 1e-9, "est = {est}");
@@ -573,7 +575,7 @@ mod tests {
         let est = combine(
             &cst,
             &query,
-            vec![Element::Single(piece.clone()), Element::Single(piece)],
+            &[Element::Single(piece.clone()), Element::Single(piece)],
             CountKind::Presence,
         );
         assert!((est - 20.0).abs() < 1e-9, "duplicate must contribute 1: {est}");
@@ -590,12 +592,8 @@ mod tests {
         // numerator==0 path via a manufactured zero-presence chain.
         // The root node has presence 0 in the pruned trie.
         pieces[0].trie = twig_pst::TrieNodeId::ROOT;
-        let est = combine(
-            &cst,
-            &query,
-            pieces.into_iter().map(Element::Single).collect(),
-            CountKind::Presence,
-        );
+        let elements: Vec<Element> = pieces.into_iter().map(Element::Single).collect();
+        let est = combine(&cst, &query, &elements, CountKind::Presence);
         assert_eq!(est, 0.0);
     }
 }

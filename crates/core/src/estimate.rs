@@ -8,7 +8,9 @@ use crate::combine::{combine, Element};
 use crate::cst::Cst;
 use crate::parse::{
     covers_query, greedy_pieces, maximal_in_range, maximal_pieces, piecewise_maximal_pieces,
+    Piece,
 };
+use crate::plan::{LeafPathPlan, PlannedEstimator, QueryPlan};
 use crate::query::{CompiledQuery, Token};
 use crate::twiglets::{mosh_twiglets, msh_twiglets};
 
@@ -59,6 +61,18 @@ impl Algorithm {
         matches!(self, Algorithm::Mosh | Algorithm::Pmosh | Algorithm::Msh)
     }
 
+    /// Position in [`Algorithm::ALL`] (the plan's per-algorithm slot).
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Algorithm::Leaf => 0,
+            Algorithm::Greedy => 1,
+            Algorithm::PureMo => 2,
+            Algorithm::Mosh => 3,
+            Algorithm::Pmosh => 4,
+            Algorithm::Msh => 5,
+        }
+    }
+
     /// Display name matching the paper's figures.
     pub fn name(self) -> &'static str {
         match self {
@@ -99,80 +113,35 @@ impl Cst {
     /// piece is absent from the summary (its true count is below the prune
     /// threshold).
     pub fn estimate(&self, twig: &Twig, algorithm: Algorithm, kind: CountKind) -> f64 {
-        self.estimate_raw(twig, algorithm, kind) * self.sibling_discount(twig)
+        self.estimate_raw(twig, algorithm, kind, None) * self.sibling_discount(twig)
     }
 
     /// The estimate before the sibling-multiplicity discount — the
     /// paper-literal combination result.
-    pub fn estimate_raw(&self, twig: &Twig, algorithm: Algorithm, kind: CountKind) -> f64 {
-        let query = CompiledQuery::compile(self, twig);
-        match algorithm {
-            Algorithm::Leaf => estimate_leaf(self, &query, kind),
-            Algorithm::Greedy => estimate_greedy(self, &query, kind),
-            Algorithm::PureMo => {
-                let pieces = maximal_pieces(self, &query);
-                if !covers_query(&query, &pieces) {
-                    return 0.0;
-                }
-                let elements = pieces.into_iter().map(Element::Single).collect();
-                combine(self, &query, elements, kind)
+    ///
+    /// With `plan: Some(_)`, the kind-independent stages (compile, parse,
+    /// twiglet grouping) are read from — and on first use written into —
+    /// the [`QueryPlan`]; the plan must belong to this summary and this
+    /// twig. Both paths run the same build and run code, so the result is
+    /// bit-identical with and without a plan.
+    pub fn estimate_raw(
+        &self,
+        twig: &Twig,
+        algorithm: Algorithm,
+        kind: CountKind,
+        plan: Option<&QueryPlan>,
+    ) -> f64 {
+        match plan {
+            Some(plan) => {
+                let query = plan.compiled_or_init(|| CompiledQuery::compile(self, twig));
+                let planned = plan
+                    .estimator_or_init(algorithm, || build_estimator(self, twig, query, algorithm));
+                run_estimator(self, query, planned, kind)
             }
-            Algorithm::Mosh => {
-                let pieces = maximal_pieces(self, &query);
-                if !covers_query(&query, &pieces) {
-                    return 0.0;
-                }
-                let (twiglets, consumed) = mosh_twiglets(&query, &pieces);
-                let mut elements: Vec<Element> = pieces
-                    .into_iter()
-                    .zip(&consumed)
-                    .filter(|(_, &used)| !used)
-                    .map(|(p, _)| Element::Single(p))
-                    .collect();
-                elements.extend(twiglets.into_iter().map(Element::Group));
-                combine(self, &query, elements, kind)
-            }
-            Algorithm::Pmosh => {
-                let pieces = piecewise_maximal_pieces(self, &query, twig);
-                if !covers_query(&query, &pieces) {
-                    return 0.0;
-                }
-                let (twiglets, consumed) = mosh_twiglets(&query, &pieces);
-                let mut elements: Vec<Element> = pieces
-                    .into_iter()
-                    .zip(&consumed)
-                    .filter(|(_, &used)| !used)
-                    .map(|(p, _)| Element::Single(p))
-                    .collect();
-                elements.extend(twiglets.into_iter().map(Element::Group));
-                combine(self, &query, elements, kind)
-            }
-            Algorithm::Msh => {
-                let pieces = maximal_pieces(self, &query);
-                if !covers_query(&query, &pieces) {
-                    return 0.0;
-                }
-                let twiglets = msh_twiglets(self, &query, &pieces);
-                // MSH keeps the full maximal pieces alongside the suffix
-                // twiglets (Sec. 4.4: `a.b.c.d` still heads the paper's
-                // formula) — but a piece whose region lies entirely inside
-                // a twiglet (like the paper's `b.c.f.g`, absorbed by the
-                // twiglet at `b`) must not appear separately: processed
-                // first it would cover the twiglet's region and silently
-                // discard its correlation estimate.
-                let regions: Vec<twig_util::FxHashSet<crate::query::Unit>> =
-                    twiglets.iter().map(crate::twiglets::Twiglet::units).collect();
-                let mut elements: Vec<Element> = pieces
-                    .into_iter()
-                    .filter(|p| {
-                        !regions
-                            .iter()
-                            .any(|region| p.units.iter().all(|u| region.contains(u)))
-                    })
-                    .map(Element::Single)
-                    .collect();
-                elements.extend(twiglets.into_iter().map(Element::Group));
-                combine(self, &query, elements, kind)
+            None => {
+                let query = CompiledQuery::compile(self, twig);
+                let planned = build_estimator(self, twig, &query, algorithm);
+                run_estimator(self, &query, &planned, kind)
             }
         }
     }
@@ -257,12 +226,12 @@ impl Cst {
         // Compare at chain granularity: two decompositions can cover the
         // same query units with different chain sets (MSH adds suffix
         // chains), and that is a different parse.
-        let canon = |tw: &crate::twiglets::Twiglet| {
-            let mut chains: Vec<Vec<crate::query::Unit>> =
-                tw.chains.iter().map(|c| c.units.clone()).collect();
+        fn canon(tw: &crate::twiglets::Twiglet) -> Vec<&[crate::query::Unit]> {
+            let mut chains: Vec<&[crate::query::Unit]> =
+                tw.chains.iter().map(|c| c.units.as_slice()).collect();
             chains.sort();
             chains
-        };
+        }
         let mut a: Vec<_> = mosh.iter().map(canon).collect();
         let mut b: Vec<_> = msh.iter().map(canon).collect();
         a.sort();
@@ -271,14 +240,99 @@ impl Cst {
     }
 }
 
-/// The Leaf baseline: per value leaf, MO-estimate the leaf string from
-/// pure string-fragment statistics, multiply the per-leaf probabilities.
-fn estimate_leaf(cst: &Cst, query: &CompiledQuery, kind: CountKind) -> f64 {
-    let n = count_to_f64(cst.n());
-    if n == 0.0 {
-        return 0.0;
+/// Builds the kind-independent stages of one algorithm: compile-time
+/// walks, piece parsing, twiglet grouping, element assembly. This is the
+/// stage a [`QueryPlan`] memoizes.
+pub(crate) fn build_estimator(
+    cst: &Cst,
+    twig: &Twig,
+    query: &CompiledQuery,
+    algorithm: Algorithm,
+) -> PlannedEstimator {
+    match algorithm {
+        Algorithm::Leaf => PlannedEstimator::Leaf(build_leaf_paths(cst, query)),
+        Algorithm::Greedy => PlannedEstimator::Greedy(greedy_pieces(cst, query)),
+        Algorithm::PureMo => {
+            let pieces = maximal_pieces(cst, query);
+            if !covers_query(query, &pieces) {
+                return PlannedEstimator::Elements(None);
+            }
+            let elements = pieces.into_iter().map(Element::Single).collect();
+            PlannedEstimator::Elements(Some(elements))
+        }
+        Algorithm::Mosh => {
+            PlannedEstimator::Elements(mosh_elements(query, maximal_pieces(cst, query)))
+        }
+        Algorithm::Pmosh => PlannedEstimator::Elements(mosh_elements(
+            query,
+            piecewise_maximal_pieces(cst, query, twig),
+        )),
+        Algorithm::Msh => {
+            let pieces = maximal_pieces(cst, query);
+            if !covers_query(query, &pieces) {
+                return PlannedEstimator::Elements(None);
+            }
+            let twiglets = msh_twiglets(cst, query, &pieces);
+            // MSH keeps the full maximal pieces alongside the suffix
+            // twiglets (Sec. 4.4: `a.b.c.d` still heads the paper's
+            // formula) — but a piece whose region lies entirely inside
+            // a twiglet (like the paper's `b.c.f.g`, absorbed by the
+            // twiglet at `b`) must not appear separately: processed
+            // first it would cover the twiglet's region and silently
+            // discard its correlation estimate.
+            let regions: Vec<twig_util::FxHashSet<crate::query::Unit>> =
+                twiglets.iter().map(crate::twiglets::Twiglet::units).collect();
+            let mut elements: Vec<Element> = pieces
+                .into_iter()
+                .filter(|p| {
+                    !regions
+                        .iter()
+                        .any(|region| p.units.iter().all(|u| region.contains(u)))
+                })
+                .map(Element::Single)
+                .collect();
+            elements.extend(twiglets.into_iter().map(Element::Group));
+            PlannedEstimator::Elements(Some(elements))
+        }
     }
-    let mut result = n;
+}
+
+/// MOSH/PMOSH element assembly over an already-parsed piece set.
+fn mosh_elements(query: &CompiledQuery, pieces: Vec<Piece>) -> Option<Vec<Element>> {
+    if !covers_query(query, &pieces) {
+        return None;
+    }
+    let (twiglets, consumed) = mosh_twiglets(query, &pieces);
+    let mut elements: Vec<Element> = pieces
+        .into_iter()
+        .zip(&consumed)
+        .filter(|(_, &used)| !used)
+        .map(|(p, _)| Element::Single(p))
+        .collect();
+    elements.extend(twiglets.into_iter().map(Element::Group));
+    Some(elements)
+}
+
+/// Runs the count-dependent stage over a built estimator — the only work
+/// a plan-cache hit re-does per estimate.
+pub(crate) fn run_estimator(
+    cst: &Cst,
+    query: &CompiledQuery,
+    planned: &PlannedEstimator,
+    kind: CountKind,
+) -> f64 {
+    match planned {
+        PlannedEstimator::Leaf(paths) => run_leaf(cst, query, paths, kind),
+        PlannedEstimator::Greedy(pieces) => run_greedy(cst, pieces.as_deref(), kind),
+        PlannedEstimator::Elements(None) => 0.0,
+        PlannedEstimator::Elements(Some(elements)) => combine(cst, query, elements, kind),
+    }
+}
+
+/// The parse stage of the Leaf baseline: per value path, the maximal
+/// parse of the value char range.
+fn build_leaf_paths(cst: &Cst, query: &CompiledQuery) -> Vec<LeafPathPlan> {
+    let mut plans = Vec::new();
     for path in 0..query.paths.len() {
         let qpath = &query.paths[path];
         // The value char range, if this path ends in a value leaf.
@@ -291,10 +345,25 @@ fn estimate_leaf(cst: &Cst, query: &CompiledQuery, kind: CountKind) -> f64 {
         };
         let len = qpath.tokens.len();
         let pieces = maximal_in_range(cst, query, path, first_char, len);
+        plans.push(LeafPathPlan { path, first_char, len, pieces });
+    }
+    plans
+}
+
+/// The Leaf baseline: per value leaf, MO-estimate the leaf string from
+/// pure string-fragment statistics, multiply the per-leaf probabilities.
+fn run_leaf(cst: &Cst, query: &CompiledQuery, paths: &[LeafPathPlan], kind: CountKind) -> f64 {
+    let n = count_to_f64(cst.n());
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mut result = n;
+    for plan in paths {
+        let qpath = &query.paths[plan.path];
         // Coverage of the string.
-        let mut covered_to = first_char;
+        let mut covered_to = plan.first_char;
         let mut prob = 1.0;
-        for piece in &pieces {
+        for piece in &plan.pieces {
             if piece.start > covered_to {
                 return 0.0; // gap: fragment below threshold
             }
@@ -332,7 +401,7 @@ fn estimate_leaf(cst: &Cst, query: &CompiledQuery, kind: CountKind) -> f64 {
             prob *= count / denom;
             covered_to = piece.end;
         }
-        if covered_to < len {
+        if covered_to < plan.len {
             return 0.0;
         }
         result *= prob;
@@ -341,16 +410,16 @@ fn estimate_leaf(cst: &Cst, query: &CompiledQuery, kind: CountKind) -> f64 {
 }
 
 /// The Greedy baseline: greedy parse, independence combination.
-fn estimate_greedy(cst: &Cst, query: &CompiledQuery, kind: CountKind) -> f64 {
+fn run_greedy(cst: &Cst, pieces: Option<&[Piece]>, kind: CountKind) -> f64 {
     let n = count_to_f64(cst.n());
     if n == 0.0 {
         return 0.0;
     }
-    let Some(pieces) = greedy_pieces(cst, query) else {
+    let Some(pieces) = pieces else {
         return 0.0;
     };
     let mut result = n;
-    for piece in &pieces {
+    for piece in pieces {
         let count = match kind {
             CountKind::Presence => count_to_f64(cst.presence(piece.trie)),
             CountKind::Occurrence => count_to_f64(cst.occurrence(piece.trie)),
@@ -630,6 +699,6 @@ mod discount_tests {
         let cst = cst_for("<r><b><x>1</x></b><b><x>2</x></b></r>");
         let twig = Twig::parse("b(x,x)").unwrap();
         assert_eq!(cst.estimate(&twig, Algorithm::PureMo, CountKind::Occurrence), 0.0);
-        assert!(cst.estimate_raw(&twig, Algorithm::PureMo, CountKind::Occurrence) > 0.0);
+        assert!(cst.estimate_raw(&twig, Algorithm::PureMo, CountKind::Occurrence, None) > 0.0);
     }
 }

@@ -89,15 +89,16 @@ impl Cst {
                     _ => maximal_pieces(self, &query),
                 };
                 let covered = covers_query(&query, &pieces);
-                let raw = self.estimate_raw(twig, algorithm, kind);
+                let raw = self.estimate_raw(twig, algorithm, kind, None);
                 (pieces, covered, raw)
             }
             Algorithm::PureMo => {
                 let pieces = maximal_pieces(self, &query);
                 let covered = covers_query(&query, &pieces);
                 let raw = if covered {
-                    let elements = pieces.iter().cloned().map(Element::Single).collect();
-                    combine_traced(self, &query, elements, kind, Some(&mut factors))
+                    let elements: Vec<Element> =
+                        pieces.iter().cloned().map(Element::Single).collect();
+                    combine_traced(self, &query, &elements, kind, Some(&mut factors))
                 } else {
                     0.0
                 };
@@ -120,7 +121,7 @@ impl Cst {
                         .map(|(p, _)| Element::Single(p))
                         .collect();
                     elements.extend(twiglets.into_iter().map(Element::Group));
-                    combine_traced(self, &query, elements, kind, Some(&mut factors))
+                    combine_traced(self, &query, &elements, kind, Some(&mut factors))
                 } else {
                     0.0
                 };
@@ -144,7 +145,7 @@ impl Cst {
                         .map(Element::Single)
                         .collect();
                     elements.extend(twiglets.into_iter().map(Element::Group));
-                    combine_traced(self, &query, elements, kind, Some(&mut factors))
+                    combine_traced(self, &query, &elements, kind, Some(&mut factors))
                 } else {
                     0.0
                 };

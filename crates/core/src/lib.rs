@@ -60,6 +60,7 @@ pub mod explain;
 pub mod lore;
 pub mod ordered;
 pub mod parse;
+pub mod plan;
 pub mod query;
 pub mod serialize;
 pub mod twiglets;
@@ -69,4 +70,5 @@ pub use audit::AuditViolation;
 pub use cst::{Cst, CstConfig, SignatureFallback, SpaceBudget};
 pub use error::CstError;
 pub use estimate::{Algorithm, CountKind};
+pub use plan::QueryPlan;
 pub use serialize::ReadError;

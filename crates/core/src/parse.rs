@@ -1,11 +1,30 @@
 //! Query path parsing strategies (Sec. 3.3): maximal, piecewise-maximal
 //! and greedy.
 
+use std::cell::RefCell;
+
 use twig_pst::TrieNodeId;
 use twig_tree::Twig;
+use twig_util::FxHashSet;
 
 use crate::cst::Cst;
 use crate::query::{CompiledQuery, Token, Unit};
+
+/// Reusable per-thread buffers for the parsing hot loops: one walk
+/// buffer for trie descents and one unit set for coverage checks. Kept
+/// in a thread-local so concurrent estimates (server workers) never
+/// contend, and cleared — never shrunk — between uses.
+pub(crate) struct EstimateScratch {
+    walk: Vec<TrieNodeId>,
+    covered: FxHashSet<Unit>,
+}
+
+thread_local! {
+    pub(crate) static SCRATCH: RefCell<EstimateScratch> = RefCell::new(EstimateScratch {
+        walk: Vec::new(),
+        covered: FxHashSet::default(),
+    });
+}
 
 /// A parsed subpath: a token range of one query path that exists in the
 /// CST.
@@ -46,12 +65,18 @@ impl Piece {
     }
 }
 
-/// Walks the CST from token `start` of `path`, returning the matched
-/// length and the trie node per depth (index `d` = node after `d+1`
-/// tokens).
-fn walk(cst: &Cst, query: &CompiledQuery, path: usize, start: usize) -> Vec<TrieNodeId> {
+/// Walks the CST from token `start` of `path` into `nodes` (cleared
+/// first): the trie node per matched depth (index `d` = node after
+/// `d+1` tokens).
+fn walk_into(
+    cst: &Cst,
+    query: &CompiledQuery,
+    path: usize,
+    start: usize,
+    nodes: &mut Vec<TrieNodeId>,
+) {
+    nodes.clear();
     let qpath = &query.paths[path];
-    let mut nodes = Vec::new();
     let mut node = TrieNodeId::ROOT;
     for token in &qpath.tokens[start..] {
         let Token::Ok(pt) = token else { break };
@@ -63,7 +88,6 @@ fn walk(cst: &Cst, query: &CompiledQuery, path: usize, start: usize) -> Vec<Trie
             None => break,
         }
     }
-    nodes
 }
 
 fn piece_at(query: &CompiledQuery, path: usize, start: usize, nodes: &[TrieNodeId]) -> Piece {
@@ -89,23 +113,26 @@ pub fn maximal_in_range(
 ) -> Vec<Piece> {
     let mut pieces = Vec::new();
     let mut best_end = lo;
-    for start in lo..hi {
-        if !matches!(query.paths[path].tokens[start], Token::Ok(_)) {
-            continue;
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        for start in lo..hi {
+            if !matches!(query.paths[path].tokens[start], Token::Ok(_)) {
+                continue;
+            }
+            walk_into(cst, query, path, start, &mut scratch.walk);
+            scratch.walk.truncate(hi - start);
+            if scratch.walk.is_empty() {
+                continue;
+            }
+            let end = start + scratch.walk.len();
+            // Keep only matches extending past everything seen: starts are
+            // increasing, so `end > best_end` is exactly non-containment.
+            if end > best_end {
+                best_end = end;
+                pieces.push(piece_at(query, path, start, &scratch.walk));
+            }
         }
-        let mut nodes = walk(cst, query, path, start);
-        nodes.truncate(hi - start);
-        if nodes.is_empty() {
-            continue;
-        }
-        let end = start + nodes.len();
-        // Keep only matches extending past everything seen: starts are
-        // increasing, so `end > best_end` is exactly non-containment.
-        if end > best_end {
-            best_end = end;
-            pieces.push(piece_at(query, path, start, &nodes));
-        }
-    }
+    });
     pieces
 }
 
@@ -183,42 +210,47 @@ pub fn piecewise_maximal_pieces(cst: &Cst, query: &CompiledQuery, twig: &Twig) -
 /// left to right. Returns `None` when some token cannot be matched at a
 /// piece boundary (the estimate is then 0).
 pub fn greedy_pieces(cst: &Cst, query: &CompiledQuery) -> Option<Vec<Piece>> {
-    let mut pieces: Vec<Piece> = Vec::new();
-    for path in 0..query.paths.len() {
-        let qpath = &query.paths[path];
-        let mut i = 0;
-        while i < qpath.tokens.len() {
-            match qpath.tokens[i] {
-                Token::Wild => {
-                    i += 1;
-                    continue;
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let mut pieces: Vec<Piece> = Vec::new();
+        for path in 0..query.paths.len() {
+            let qpath = &query.paths[path];
+            let mut i = 0;
+            while i < qpath.tokens.len() {
+                match qpath.tokens[i] {
+                    Token::Wild => {
+                        i += 1;
+                        continue;
+                    }
+                    Token::Unknown => return None,
+                    Token::Ok(_) => {}
                 }
-                Token::Unknown => return None,
-                Token::Ok(_) => {}
-            }
-            let nodes = walk(cst, query, path, i);
-            if nodes.is_empty() {
-                return None;
-            }
-            let piece = piece_at(query, path, i, &nodes);
-            i = piece.end;
-            // Dedup shared-prefix pieces across paths.
-            if !pieces.iter().any(|p| p.units == piece.units) {
-                pieces.push(piece);
+                walk_into(cst, query, path, i, &mut scratch.walk);
+                if scratch.walk.is_empty() {
+                    return None;
+                }
+                let piece = piece_at(query, path, i, &scratch.walk);
+                i = piece.end;
+                // Dedup shared-prefix pieces across paths.
+                if !pieces.iter().any(|p| p.units == piece.units) {
+                    pieces.push(piece);
+                }
             }
         }
-    }
-    Some(pieces)
+        Some(pieces)
+    })
 }
 
 /// True when every coverable unit of the query is covered by some piece
 /// (a gap means the true count is below the prune threshold; the
 /// estimators return 0).
 pub fn covers_query(query: &CompiledQuery, pieces: &[Piece]) -> bool {
-    use twig_util::FxHashSet;
-    let covered: FxHashSet<Unit> =
-        pieces.iter().flat_map(|p| p.units.iter().copied()).collect();
-    query.coverable_units().all(|u| covered.contains(&u))
+    SCRATCH.with(|scratch| {
+        let covered = &mut scratch.borrow_mut().covered;
+        covered.clear();
+        covered.extend(pieces.iter().flat_map(|p| p.units.iter().copied()));
+        query.coverable_units().all(|u| covered.contains(&u))
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,83 @@
+//! Memoized per-query estimation plans.
+//!
+//! Estimating the same twig repeatedly (the optimizer-inner-loop case
+//! the paper targets) re-does a lot of kind-independent work: compiling
+//! the twig against the summary's interner, walking its subpaths through
+//! the trie, parsing maximal pieces, and grouping twiglets. A
+//! [`QueryPlan`] memoizes exactly those stages, per algorithm, so only
+//! the cheap count-dependent combination runs per estimate.
+//!
+//! A plan is *passive*: it caches nothing until
+//! [`Cst::estimate_raw`](crate::Cst::estimate_raw) is handed one, and
+//! the cached stages are produced by the same code the plan-free path
+//! runs — estimates are bit-identical with and without a plan. A plan is
+//! only meaningful for the `(summary, twig)` pair it was first used
+//! with; callers (the serve plan cache) key plans by canonical twig text
+//! plus summary generation and drop them on reload.
+
+use std::sync::OnceLock;
+
+use crate::combine::Element;
+use crate::estimate::Algorithm;
+use crate::parse::Piece;
+use crate::query::CompiledQuery;
+
+/// The memoized kind-independent stages of one algorithm.
+#[derive(Debug)]
+pub(crate) enum PlannedEstimator {
+    /// Per value-leaf-path plans for the Leaf baseline.
+    Leaf(Vec<LeafPathPlan>),
+    /// Greedy parse; `None` when a token failed to match (estimate 0).
+    Greedy(Option<Vec<Piece>>),
+    /// Combination elements for the MO-family algorithms; `None` when
+    /// the parse does not cover the query (estimate 0).
+    Elements(Option<Vec<Element>>),
+}
+
+/// One value path's parsed fragments for the Leaf baseline.
+#[derive(Debug)]
+pub(crate) struct LeafPathPlan {
+    /// Index into [`CompiledQuery::paths`].
+    pub(crate) path: usize,
+    /// First value-character token of the path.
+    pub(crate) first_char: usize,
+    /// Token count of the path.
+    pub(crate) len: usize,
+    /// Maximal parse of the value range.
+    pub(crate) pieces: Vec<Piece>,
+}
+
+/// A lazily filled estimation plan for one `(summary, twig)` pair.
+///
+/// Thread-safe: the cells are [`OnceLock`]s, so a plan shared behind an
+/// `Arc` across server workers fills each stage exactly once and serves
+/// concurrent readers lock-free afterwards.
+#[derive(Debug, Default)]
+pub struct QueryPlan {
+    compiled: OnceLock<CompiledQuery>,
+    estimators: [OnceLock<PlannedEstimator>; 6],
+}
+
+impl QueryPlan {
+    /// An empty plan; stages fill on first use by
+    /// [`Cst::estimate_raw`](crate::Cst::estimate_raw).
+    #[must_use]
+    pub fn new() -> QueryPlan {
+        QueryPlan::default()
+    }
+
+    pub(crate) fn compiled_or_init(
+        &self,
+        init: impl FnOnce() -> CompiledQuery,
+    ) -> &CompiledQuery {
+        self.compiled.get_or_init(init)
+    }
+
+    pub(crate) fn estimator_or_init(
+        &self,
+        algorithm: Algorithm,
+        init: impl FnOnce() -> PlannedEstimator,
+    ) -> &PlannedEstimator {
+        self.estimators[algorithm.index()].get_or_init(init)
+    }
+}

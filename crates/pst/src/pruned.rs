@@ -17,14 +17,72 @@ struct PrunedNode {
 
 /// The pruned subpath tree `T'` — the structural part of the CST.
 ///
-/// Nodes are renumbered densely in BFS order from the root; the root keeps
-/// id 0 ([`TrieNodeId::ROOT`]).
+/// Nodes are renumbered densely in depth-first order from the root (the
+/// root keeps id 0, [`TrieNodeId::ROOT`]); parents always precede their
+/// children, and a unary chain gets consecutive ids.
+///
+/// Child transitions are stored in CSR (compressed sparse row) form:
+/// node `k`'s outgoing entries live in
+/// `children[child_start[k]..child_start[k+1]]`, sorted by edge key.
+/// Each entry carries the *target's* own CSR window alongside the edge,
+/// so a root-to-leaf walk resolves every step from the one contiguous
+/// `children` array — one dependent memory region per step instead of
+/// an extra `child_start` indirection, which is what makes cold
+/// (cache-miss-bound) walks cheaper than a global transition hashmap.
+/// A hashmap is used only while *building* tries, never for serving
+/// reads.
 #[derive(Debug)]
 pub struct PrunedTrie {
     nodes: Vec<PrunedNode>,
-    children: FxHashMap<(u32, u32), u32>,
+    /// `len() == nodes.len() + 1`; prefix offsets into `children`.
+    child_start: Vec<u32>,
+    /// Transition entries, edge-sorted within each node's range.
+    children: Vec<ChildEntry>,
     total_paths: u32,
     threshold: u32,
+}
+
+/// One CSR transition: the edge key, the child it leads to, and the
+/// child's own `children` window (start + length), embedded so walks
+/// never have to consult `child_start` between steps.
+#[derive(Debug, Clone, Copy)]
+struct ChildEntry {
+    edge: u32,
+    target: u32,
+    target_start: u32,
+    target_len: u32,
+}
+
+/// Branch-free lower-bound search of one node's edge-sorted transition
+/// slice: wide nodes (the root) are first narrowed by a halving search
+/// whose select compiles to a conditional move, then the surviving
+/// window of at most 16 entries is resolved by a fixed-trip count that
+/// vectorizes — no data-dependent branch is taken until the final
+/// hit/miss test.
+#[inline]
+fn search(entries: &[ChildEntry], wanted: u32) -> Option<&ChildEntry> {
+    let mut lo = 0usize;
+    let mut len = entries.len();
+    while len > 16 {
+        let half = len / 2;
+        lo = if entries[lo + half].edge <= wanted { lo + half } else { lo };
+        len -= half;
+    }
+    let mut below = 0usize;
+    for entry in &entries[lo..lo + len] {
+        below += usize::from(entry.edge < wanted);
+    }
+    entries.get(lo + below).filter(|entry| entry.edge == wanted)
+}
+
+/// Second build pass: once `child_start` is final, stamp every entry
+/// with its target's transition window.
+fn backfill_windows(child_start: &[u32], children: &mut [ChildEntry]) {
+    for entry in children {
+        let target = entry.target as usize;
+        entry.target_start = child_start[target];
+        entry.target_len = child_start[target + 1] - child_start[target];
+    }
 }
 
 /// The information the per-node cost model receives when pruning to a byte
@@ -55,9 +113,6 @@ impl SuffixTrie {
             occurrence: 0,
             label_rooted: false,
         }];
-        let mut children: FxHashMap<(u32, u32), u32> = FxHashMap::default();
-        // BFS from the root, mapping old ids to new dense ids.
-        let mut queue: std::collections::VecDeque<(u32, u32)> = [(0u32, 0u32)].into();
         // Old trie children are only reachable through the global map; walk
         // all edges grouped by parent. Build a per-parent adjacency pass
         // first to avoid scanning the whole map per node.
@@ -67,12 +122,21 @@ impl SuffixTrie {
                 adjacency.entry(parent).or_default().push((edge, child));
             }
         }
-        while let Some((old_id, new_id)) = queue.pop_front() {
+        // Depth-first renumbering: siblings get consecutive ids in edge
+        // order, and a node's subtree is numbered before its next
+        // sibling's. CSR regions are laid out in id order, so a unary
+        // chain — the common shape, one value byte per node — occupies
+        // *adjacent* regions and a downward walk streams sequentially
+        // through `children` instead of striding across BFS levels.
+        let mut kids: Vec<Vec<(u32, u32)>> = vec![Vec::new()];
+        let mut stack: Vec<(u32, u32)> = vec![(0, 0)];
+        while let Some((old_id, new_id)) = stack.pop() {
             let Some(edges) = adjacency.get(&old_id) else { continue };
             // Deterministic ordering for reproducible node ids.
             let mut edges = edges.clone();
             edges.sort_unstable();
-            for (edge, old_child) in edges {
+            let mut assigned: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+            for &(edge, old_child) in &edges {
                 let data = &self.nodes[old_child as usize];
                 let new_child = u32::try_from(nodes.len()).expect("pruned trie too large");
                 nodes.push(PrunedNode {
@@ -83,11 +147,33 @@ impl SuffixTrie {
                     occurrence: data.occurrence,
                     label_rooted: data.label_rooted,
                 });
-                children.insert((new_id, edge), new_child);
-                queue.push_back((old_child, new_child));
+                kids[new_id as usize].push((edge, new_child));
+                kids.push(Vec::new());
+                assigned.push((old_child, new_child));
+            }
+            // LIFO stack: push in reverse so the smallest edge's subtree
+            // is numbered first.
+            for &entry in assigned.iter().rev() {
+                stack.push(entry);
             }
         }
-        PrunedTrie { nodes, children, total_paths: self.total_paths, threshold }
+        let mut child_start: Vec<u32> = Vec::with_capacity(nodes.len() + 1);
+        let mut children: Vec<ChildEntry> = Vec::with_capacity(nodes.len().saturating_sub(1));
+        for list in &kids {
+            child_start.push(children.len() as u32);
+            for &(edge, target) in list {
+                children.push(ChildEntry { edge, target, target_start: 0, target_len: 0 });
+            }
+        }
+        child_start.push(children.len() as u32);
+        backfill_windows(&child_start, &mut children);
+        PrunedTrie {
+            nodes,
+            child_start,
+            children,
+            total_paths: self.total_paths,
+            threshold,
+        }
     }
 
     /// Finds the smallest threshold whose pruned trie fits in
@@ -140,10 +226,13 @@ impl PrunedTrie {
         self.total_paths
     }
 
-    /// Child of `node` along `edge`, if kept.
+    /// Child of `node` along `edge`, if kept ([`search`] over the
+    /// node's CSR transition slice).
     #[inline]
     pub fn child(&self, node: TrieNodeId, edge: EdgeKey) -> Option<TrieNodeId> {
-        self.children.get(&(node.0, edge.raw())).map(|&c| TrieNodeId(c))
+        let start = self.child_start[node.index()] as usize;
+        let end = self.child_start[node.index() + 1] as usize;
+        search(&self.children[start..end], edge.raw()).map(|entry| TrieNodeId(entry.target))
     }
 
     /// `pc(α)`.
@@ -178,12 +267,20 @@ impl PrunedTrie {
     }
 
     /// Walks `tokens` from the root; returns the deepest node and tokens
-    /// consumed.
+    /// consumed. Carries each step's embedded target window forward, so
+    /// the whole walk reads only the `children` array — `child_start` is
+    /// consulted once, for the root.
     pub fn walk(&self, tokens: &[PathToken]) -> (TrieNodeId, usize) {
         let mut node = TrieNodeId::ROOT;
+        let mut start = self.child_start[0] as usize;
+        let mut len = (self.child_start[1] - self.child_start[0]) as usize;
         for (i, token) in tokens.iter().enumerate() {
-            match self.child(node, token.edge()) {
-                Some(next) => node = next,
+            match search(&self.children[start..start + len], token.edge().raw()) {
+                Some(entry) => {
+                    node = TrieNodeId(entry.target);
+                    start = entry.target_start as usize;
+                    len = entry.target_len as usize;
+                }
                 None => return (node, i),
             }
         }
@@ -198,7 +295,13 @@ impl PrunedTrie {
 
     /// Reconstructs the token sequence of `node` (root → node).
     pub fn tokens_of(&self, node: TrieNodeId) -> Vec<PathToken> {
-        let mut out = Vec::new();
+        let mut depth = 0usize;
+        let mut cursor = node;
+        while let Some(parent) = self.parent(cursor) {
+            depth += 1;
+            cursor = parent;
+        }
+        let mut out = Vec::with_capacity(depth);
         let mut cursor = node;
         while let Some(edge) = self.edge(cursor) {
             out.push(match edge.as_element() {
@@ -218,17 +321,16 @@ impl PrunedTrie {
 
     /// Exports the node table for serialization (root included, id order).
     pub fn export_nodes(&self) -> Vec<ExportedNode> {
-        self.nodes
-            .iter()
-            .map(|n| ExportedNode {
-                parent: n.parent,
-                edge: n.edge,
-                path_count: n.path_count,
-                presence: n.presence,
-                occurrence: n.occurrence,
-                label_rooted: n.label_rooted,
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.nodes.len());
+        out.extend(self.nodes.iter().map(|n| ExportedNode {
+            parent: n.parent,
+            edge: n.edge,
+            path_count: n.path_count,
+            presence: n.presence,
+            occurrence: n.occurrence,
+            label_rooted: n.label_rooted,
+        }));
+        out
     }
 
     /// Rebuilds a pruned trie from exported parts (inverse of
@@ -237,19 +339,37 @@ impl PrunedTrie {
     /// # Panics
     /// Panics when the node table is empty, the first entry is not a
     /// root, or a parent reference is out of range / not smaller than the
-    /// child id (nodes must arrive in BFS export order).
+    /// child id (nodes must arrive in an order where parents precede
+    /// children, which [`export_nodes`](Self::export_nodes) guarantees).
     pub fn from_exported(nodes: Vec<ExportedNode>, total_paths: u32, threshold: u32) -> Self {
         assert!(!nodes.is_empty(), "empty node table");
         assert_eq!(nodes[0].parent, u32::MAX, "first entry must be the root");
-        let mut children = FxHashMap::default();
+        // Rebuild the CSR transition arrays: gather (parent, edge, child)
+        // triples, sort them (grouped by parent, edge-sorted within), and
+        // lay them out contiguously. Export order already satisfies both
+        // groupings, so the sort is a no-op pass in practice.
+        let mut triples: Vec<(u32, u32, u32)> = Vec::with_capacity(nodes.len().saturating_sub(1));
         for (id, node) in nodes.iter().enumerate().skip(1) {
             assert!(
                 (node.parent as usize) < id,
                 "parent {} of node {id} out of order",
                 node.parent
             );
-            children.insert((node.parent, node.edge), id as u32);
+            triples.push((node.parent, node.edge, id as u32));
         }
+        triples.sort_unstable();
+        let mut child_start = Vec::with_capacity(nodes.len() + 1);
+        let mut children = Vec::with_capacity(triples.len());
+        for (parent, edge, id) in triples {
+            while child_start.len() <= parent as usize {
+                child_start.push(children.len() as u32);
+            }
+            children.push(ChildEntry { edge, target: id, target_start: 0, target_len: 0 });
+        }
+        while child_start.len() <= nodes.len() {
+            child_start.push(children.len() as u32);
+        }
+        backfill_windows(&child_start, &mut children);
         let nodes = nodes
             .into_iter()
             .map(|n| PrunedNode {
@@ -261,7 +381,7 @@ impl PrunedTrie {
                 label_rooted: n.label_rooted,
             })
             .collect();
-        PrunedTrie { nodes, children, total_paths, threshold }
+        PrunedTrie { nodes, child_start, children, total_paths, threshold }
     }
 }
 
@@ -400,6 +520,45 @@ mod tests {
         let trie = build_suffix_trie(&tree, &TrieConfig::default());
         let pruned = trie.prune_to_budget(0, |_| 10);
         assert_eq!(pruned.node_count(), 1);
+    }
+
+    #[test]
+    fn from_exported_roundtrips_root_only_trie() {
+        let tree = sample_tree();
+        let trie = build_suffix_trie(&tree, &TrieConfig::default());
+        let pruned = trie.prune(u32::MAX);
+        assert_eq!(pruned.node_count(), 1);
+        let rebuilt = PrunedTrie::from_exported(
+            pruned.export_nodes(),
+            pruned.total_paths(),
+            pruned.threshold(),
+        );
+        assert_eq!(rebuilt.node_count(), 1);
+        assert_eq!(rebuilt.total_paths(), pruned.total_paths());
+        assert_eq!(rebuilt.find(&[]), Some(TrieNodeId::ROOT));
+        assert!(rebuilt.find(&tokens(&tree, &["book"], "")).is_none());
+        assert!(rebuilt.parent(TrieNodeId::ROOT).is_none());
+        assert!(rebuilt.tokens_of(TrieNodeId::ROOT).is_empty());
+    }
+
+    #[test]
+    fn from_exported_matches_original_child_transitions() {
+        let tree = sample_tree();
+        let trie = build_suffix_trie(&tree, &TrieConfig::default());
+        for threshold in [1, 2, 3] {
+            let pruned = trie.prune(threshold);
+            let rebuilt = PrunedTrie::from_exported(
+                pruned.export_nodes(),
+                pruned.total_paths(),
+                pruned.threshold(),
+            );
+            assert_eq!(rebuilt.node_count(), pruned.node_count());
+            for node in pruned.node_ids() {
+                let toks = pruned.tokens_of(node);
+                assert_eq!(rebuilt.find(&toks), Some(node));
+                assert_eq!(rebuilt.tokens_of(node), toks);
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod http;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
+mod plan;
 pub mod pool;
 pub mod registry;
 pub mod server;

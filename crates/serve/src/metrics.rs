@@ -35,6 +35,12 @@ pub struct ServeMetrics {
     pub reload_failures_total: Counter,
     /// Worker panics caught by the pool.
     pub worker_panics_total: Counter,
+    /// `/estimate` queries whose plan was already cached.
+    pub plan_cache_hits_total: Counter,
+    /// `/estimate` queries that had to insert a fresh plan.
+    pub plan_cache_misses_total: Counter,
+    /// Plans evicted from a full plan-cache shard.
+    pub plan_cache_evictions_total: Counter,
     /// Wall time per routed request, microseconds.
     pub request_latency_us: LogHistogram,
     /// Wall time per single estimate inside a batch, microseconds.
@@ -62,7 +68,7 @@ impl ServeMetrics {
     #[must_use]
     pub fn render_prometheus(&self) -> String {
         let mut out = String::with_capacity(4096);
-        let counters: [(&str, &str, &Counter); 11] = [
+        let counters: [(&str, &str, &Counter); 14] = [
             ("twig_serve_connections_total", "Connections accepted", &self.connections_total),
             (
                 "twig_serve_rejected_saturated_total",
@@ -82,6 +88,21 @@ impl ServeMetrics {
                 &self.reload_failures_total,
             ),
             ("twig_serve_worker_panics_total", "Worker panics caught", &self.worker_panics_total),
+            (
+                "twig_serve_plan_cache_hits_total",
+                "Estimate queries served from a cached plan",
+                &self.plan_cache_hits_total,
+            ),
+            (
+                "twig_serve_plan_cache_misses_total",
+                "Estimate queries that inserted a fresh plan",
+                &self.plan_cache_misses_total,
+            ),
+            (
+                "twig_serve_plan_cache_evictions_total",
+                "Plans evicted from a full cache shard",
+                &self.plan_cache_evictions_total,
+            ),
         ];
         for (name, help, counter) in counters {
             let _ = writeln!(out, "# HELP {name} {help}");

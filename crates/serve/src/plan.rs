@@ -1,0 +1,172 @@
+//! The server-side query-plan cache.
+//!
+//! `/estimate` traffic from a query optimizer repeats the same twigs —
+//! every join-order candidate re-asks the selectivity of the same
+//! predicates. A [`PlanCache`] keeps one [`twig_core::QueryPlan`] (plus
+//! the memoized sibling discount) per `(summary, generation, twig)`
+//! key, so a repeated twig skips compilation, trie walking, parsing and
+//! twiglet grouping entirely and only re-runs the cheap combination.
+//!
+//! The cache is sharded (one mutex per shard, key-hashed) so workers
+//! rarely contend, and bounded per shard with least-recently-probed
+//! eviction. Keys embed the registry generation: a reload bumps the
+//! generation, so stale plans can never serve a swapped summary — the
+//! reload handler additionally clears the cache to release memory.
+
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use twig_core::QueryPlan;
+use twig_tree::Twig;
+use twig_util::cast::size_to_u64;
+use twig_util::FxHashMap;
+
+/// One cached fast path: the lazily filled plan and the memoized
+/// sibling-injectivity discount for the same twig.
+pub(crate) struct CachedPlan {
+    pub(crate) plan: QueryPlan,
+    pub(crate) discount: OnceLock<f64>,
+}
+
+/// What one [`PlanCache::probe`] did, for the metrics counters.
+pub(crate) struct Probe {
+    pub(crate) hit: bool,
+    pub(crate) evicted: bool,
+}
+
+struct Shard {
+    entries: FxHashMap<String, (Arc<CachedPlan>, u64)>,
+    clock: u64,
+}
+
+/// A bounded, sharded map from plan key to [`CachedPlan`].
+pub(crate) struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+}
+
+impl PlanCache {
+    /// A cache of `shards` shards holding at most ~`capacity` plans
+    /// total (rounded up to a whole number per shard).
+    pub(crate) fn new(shards: usize, capacity: usize) -> PlanCache {
+        let shards = shards.max(1);
+        let shard_capacity = capacity.div_ceil(shards).max(1);
+        PlanCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { entries: FxHashMap::default(), clock: 0 }))
+                .collect(),
+            shard_capacity,
+        }
+    }
+
+    /// The cache key: registry name, reload generation, canonical twig
+    /// text. The generation component makes reloads self-invalidating.
+    pub(crate) fn key(summary: &str, generation: u64, twig: &Twig) -> String {
+        format!("{summary}@{generation}:{twig}")
+    }
+
+    /// Returns the plan for `key`, inserting a fresh empty one on miss
+    /// (evicting the least-recently-probed entry of a full shard).
+    pub(crate) fn probe(&self, key: &str) -> (Arc<CachedPlan>, Probe) {
+        let shard = &mut *self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if let Some((plan, last_probed)) = shard.entries.get_mut(key) {
+            *last_probed = stamp;
+            return (Arc::clone(plan), Probe { hit: true, evicted: false });
+        }
+        let mut evicted = false;
+        if shard.entries.len() >= self.shard_capacity {
+            let stale = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, probed))| *probed)
+                .map(|(key, _)| key.clone());
+            if let Some(stale) = stale {
+                evicted = shard.entries.remove(&stale).is_some();
+            }
+        }
+        let plan = Arc::new(CachedPlan { plan: QueryPlan::new(), discount: OnceLock::new() });
+        shard.entries.insert(key.to_owned(), (Arc::clone(&plan), stamp));
+        (plan, Probe { hit: false, evicted })
+    }
+
+    /// Drops every cached plan (called on `/admin/reload`).
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(PoisonError::into_inner).entries.clear();
+        }
+    }
+
+    /// Total cached plans across all shards.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().unwrap_or_else(PoisonError::into_inner).entries.len())
+            .sum()
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        // FNV-1a over the key bytes; any stable spread works here.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in key.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        let index = (hash % size_to_u64(self.shards.len())) as usize;
+        &self.shards[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_miss_then_hit_shares_the_plan() {
+        let cache = PlanCache::new(4, 64);
+        let (first, probe) = cache.probe("default@1:a(b)");
+        assert!(!probe.hit);
+        let (second, probe) = cache.probe("default@1:a(b)");
+        assert!(probe.hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn generation_in_key_separates_entries() {
+        let cache = PlanCache::new(4, 64);
+        cache.probe(&PlanCache::key("default", 1, &Twig::parse("a(b)").unwrap()));
+        let (_, probe) =
+            cache.probe(&PlanCache::key("default", 2, &Twig::parse("a(b)").unwrap()));
+        assert!(!probe.hit, "a reload generation must never hit old plans");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn full_shard_evicts_least_recently_probed() {
+        let cache = PlanCache::new(1, 2);
+        cache.probe("a");
+        cache.probe("b");
+        cache.probe("a"); // refresh a: b is now the eviction victim
+        let (_, probe) = cache.probe("c");
+        assert!(probe.evicted);
+        let (_, probe) = cache.probe("a");
+        assert!(probe.hit, "refreshed entry survives");
+        let (_, probe) = cache.probe("b");
+        assert!(!probe.hit, "stale entry was evicted");
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache = PlanCache::new(4, 64);
+        for key in ["a", "b", "c", "d", "e"] {
+            cache.probe(key);
+        }
+        assert_eq!(cache.len(), 5);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        let (_, probe) = cache.probe("a");
+        assert!(!probe.hit);
+    }
+}

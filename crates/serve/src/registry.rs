@@ -175,6 +175,16 @@ impl SummaryRegistry {
             .map(|e| Arc::clone(&e.cst))
     }
 
+    /// Like [`get`](SummaryRegistry::get), but also returns the entry's
+    /// reload generation — the component of the plan-cache key that
+    /// makes cached plans self-invalidating across reloads.
+    pub(crate) fn get_with_generation(&self, name: &str) -> Option<(Arc<Cst>, u64)> {
+        self.read_entries()
+            .iter()
+            .find(|e| e.spec.name == name)
+            .map(|e| (Arc::clone(&e.cst), e.generation))
+    }
+
     /// Registered names, in registration order.
     #[must_use]
     pub fn names(&self) -> Vec<String> {

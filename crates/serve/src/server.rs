@@ -25,6 +25,7 @@ use twig_util::cast::{count_to_f64, size_to_u64};
 use crate::http::{read_request, Limits, ReadOutcome, Request, Response};
 use crate::json::Json;
 use crate::metrics::ServeMetrics;
+use crate::plan::PlanCache;
 use crate::pool::{Rejected, ThreadPool};
 use crate::registry::{error_chain, SummaryRegistry};
 
@@ -43,6 +44,8 @@ pub struct ServerConfig {
     pub read_deadline: Duration,
     /// Keep-alive idle deadline.
     pub idle_deadline: Duration,
+    /// Query plans cached across `/estimate` requests (0 disables).
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +57,7 @@ impl Default for ServerConfig {
             max_batch: 4096,
             read_deadline: Duration::from_secs(10),
             idle_deadline: Duration::from_secs(30),
+            plan_cache_capacity: 1024,
         }
     }
 }
@@ -63,6 +67,7 @@ pub struct ServerState {
     config: ServerConfig,
     registry: SummaryRegistry,
     metrics: ServeMetrics,
+    plans: PlanCache,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -132,6 +137,7 @@ impl Server {
             listener,
             addr,
             state: Arc::new(ServerState {
+                plans: PlanCache::new(config.workers.max(1), config.plan_cache_capacity),
                 config,
                 registry,
                 metrics: ServeMetrics::new(),
@@ -349,6 +355,9 @@ fn handle_summaries(state: &Arc<ServerState>) -> Response {
 
 fn handle_reload(state: &Arc<ServerState>) -> Response {
     let results = state.registry.reload_all();
+    // Generation-keyed plans could never hit again anyway; clearing
+    // releases their memory promptly.
+    state.plans.clear();
     let mut any_failed = false;
     let entries = results
         .into_iter()
@@ -471,7 +480,7 @@ fn handle_estimate(request: &Request, state: &Arc<ServerState>) -> Response {
         );
     }
 
-    let Some(cst) = state.registry.get(summary_name) else {
+    let Some((cst, generation)) = state.registry.get_with_generation(summary_name) else {
         return error_response(
             404,
             "unknown_summary",
@@ -499,7 +508,25 @@ fn handle_estimate(request: &Request, state: &Arc<ServerState>) -> Response {
     let mut estimates = Vec::with_capacity(queries.len());
     for query in &queries {
         let started = Instant::now();
-        let estimate = cst.estimate(query, algorithm, kind);
+        let estimate = if state.config.plan_cache_capacity == 0 {
+            cst.estimate(query, algorithm, kind)
+        } else {
+            let key = PlanCache::key(summary_name, generation, query);
+            let (cached, probe) = state.plans.probe(&key);
+            if probe.hit {
+                state.metrics.plan_cache_hits_total.inc();
+            } else {
+                state.metrics.plan_cache_misses_total.inc();
+            }
+            if probe.evicted {
+                state.metrics.plan_cache_evictions_total.inc();
+            }
+            // Same stages the plan-free path runs, memoized: the product
+            // below is bit-identical to `cst.estimate(...)`.
+            let raw = cst.estimate_raw(query, algorithm, kind, Some(&cached.plan));
+            let discount = *cached.discount.get_or_init(|| cst.sibling_discount(query));
+            raw * discount
+        };
         state.metrics.estimate_latency_us.record(micros(started.elapsed()));
         estimates.push(Json::Num(estimate));
     }

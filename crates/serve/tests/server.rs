@@ -429,3 +429,66 @@ fn loadgen_smoke_hits_the_server() {
     server.stop();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn plan_cache_hits_repeated_twigs_and_reload_invalidates() {
+    let dir = temp_dir("plancache");
+    let path = dir.join("main.cst");
+    let original = write_summary_file(&path, XML);
+    let registry = SummaryRegistry::new();
+    registry.load(SummarySpec { name: "main".into(), path: path.clone() }).unwrap();
+    let server = TestServer::start(ServerConfig::default(), registry);
+    let addr = &server.addr;
+
+    let counter = |name: &str| -> u64 {
+        let text = get(addr, "/metrics").body_text();
+        text.lines()
+            .find_map(|line| line.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+            .and_then(|value| value.trim().parse().ok())
+            .unwrap_or_else(|| panic!("missing metric {name} in:\n{text}"))
+    };
+    let estimate = || -> f64 {
+        let response = post_json(
+            addr,
+            "/estimate",
+            r#"{"summary":"main","query":"book(author(\"AAA\"),year(\"1999\"))","algorithm":"msh"}"#,
+        );
+        assert_eq!(response.status, 200, "{}", response.body_text());
+        Json::parse(&response.body_text()).unwrap().get("estimates").unwrap().as_array().unwrap()
+            [0]
+        .as_f64()
+        .unwrap()
+    };
+    let twig = Twig::parse(r#"book(author("AAA"),year("1999"))"#).unwrap();
+
+    // Cold twig: one miss; repeat: one hit, bit-identical, and still in
+    // parity with the offline plan-free API.
+    let cold = estimate();
+    assert_eq!(counter("twig_serve_plan_cache_misses_total"), 1);
+    assert_eq!(counter("twig_serve_plan_cache_hits_total"), 0);
+    let warm = estimate();
+    assert_eq!(counter("twig_serve_plan_cache_hits_total"), 1);
+    assert_eq!(counter("twig_serve_plan_cache_misses_total"), 1);
+    assert_eq!(cold.to_bits(), warm.to_bits());
+    let expected = original.estimate(&twig, Algorithm::Msh, CountKind::Occurrence);
+    assert_eq!(cold.to_bits(), expected.to_bits(), "cached plan must not change the estimate");
+
+    // Reload a changed file: the generation bump keys the twig to a
+    // fresh plan (a miss), and the estimate tracks the new summary.
+    let bigger = XML.replace(
+        "</dblp>",
+        "<book><author>AAA</author><year>1999</year><title>T9</title></book></dblp>",
+    );
+    let replacement = write_summary_file(&path, &bigger);
+    let response = post_json(addr, "/admin/reload", "");
+    assert_eq!(response.status, 200);
+    let after = estimate();
+    assert_eq!(counter("twig_serve_plan_cache_misses_total"), 2, "reload must invalidate");
+    assert_eq!(counter("twig_serve_plan_cache_hits_total"), 1);
+    let expected = replacement.estimate(&twig, Algorithm::Msh, CountKind::Occurrence);
+    assert_eq!(after.to_bits(), expected.to_bits());
+    assert_ne!(after.to_bits(), cold.to_bits(), "the swapped summary changes the estimate");
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -34,6 +34,8 @@
 use twig_util::cast::{count_to_f64, size_to_f64};
 use twig_util::SplitMix64;
 
+pub mod kernels;
+
 mod sealed {
     pub trait Sealed {}
     impl Sealed for u64 {}
@@ -178,25 +180,23 @@ impl<C: Component> Signature<C> {
     }
 
     /// The union signature: componentwise minimum (Step 2 of the paper's
-    /// estimation procedure). Signatures must have equal length.
+    /// estimation procedure). Signatures must have equal length. The
+    /// fold itself is the branch-free [`kernels::union_min_into`].
     pub fn union(signatures: &[&Signature<C>]) -> Signature<C> {
         assert!(!signatures.is_empty(), "union of no signatures");
         let len = signatures[0].len();
         let mut out = Signature::empty(len);
         for sig in signatures {
             assert_eq!(sig.len(), len, "signature length mismatch");
-            for (o, &c) in out.components.iter_mut().zip(&sig.components) {
-                if c < *o {
-                    *o = c;
-                }
-            }
+            kernels::union_min_into(&mut out.components, &sig.components);
         }
         out
     }
 
     /// Estimated k-way resemblance `|∩|/|∪|`: the fraction of components
     /// on which all signatures agree (Step 1 / "set resemblance
-    /// estimation" in the paper). Zero if any set is empty.
+    /// estimation" in the paper). Zero if any set is empty. The
+    /// agreement count is the branch-free [`kernels::agreement_count`].
     pub fn resemblance(signatures: &[&Signature<C>]) -> f64 {
         assert!(!signatures.is_empty(), "resemblance of no signatures");
         let len = signatures[0].len();
@@ -206,17 +206,15 @@ impl<C: Component> Signature<C> {
             // nothing to count).
             return 0.0;
         }
-        let mut matching = 0usize;
-        'component: for i in 0..len {
-            let first = signatures[0].components[i];
-            for sig in &signatures[1..] {
+        let first = signatures[0];
+        let rest: Vec<&[C]> = signatures[1..]
+            .iter()
+            .map(|sig| {
                 assert_eq!(sig.len(), len, "signature length mismatch");
-                if sig.components[i] != first {
-                    continue 'component;
-                }
-            }
-            matching += 1;
-        }
+                sig.components.as_slice()
+            })
+            .collect();
+        let matching = kernels::agreement_count(&first.components, &rest);
         size_to_f64(matching) / size_to_f64(len)
     }
 

@@ -1,0 +1,445 @@
+//! `cargo xtask bench` — the checked-in benchmark harness (DESIGN.md
+//! §10). Dependency-free by design: seeded corpora via `twig-datagen`,
+//! wall-clock timing via `std::time::Instant`, warmup plus trimmed-mean
+//! sampling instead of criterion.
+//!
+//! Measured sections:
+//!
+//! - `build_secs` — full CST construction over the seeded corpus,
+//! - `csr_lookup_us` / `hashmap_lookup_us` — cold path lookups (the
+//!   cache is evicted before every timed sweep) through the trie's CSR
+//!   transition layout vs. a global `(parent, edge)` hashmap rebuilt
+//!   from the same trie (the pre-CSR layout),
+//! - `estimate_<algo>_us` — plan-free estimate latency per algorithm,
+//! - `plan_off_us` / `plan_on_us` — repeated-twig estimates without and
+//!   with a warmed [`QueryPlan`] (the serve plan-cache hit path),
+//! - `serve_requests_per_sec` / `serve_p95_us` — closed-loop loadgen
+//!   throughput against an in-process server.
+//!
+//! `--quick` shrinks the corpus and windows for CI smoke runs; `--out`
+//! writes the JSON report; `--check FILE` compares against a previous
+//! report and fails on a >2x regression of any shared metric.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use twig_core::{Algorithm, CountKind, Cst, CstConfig, QueryPlan, SpaceBudget};
+use twig_datagen::{generate_dblp, positive_queries, DblpConfig, WorkloadConfig};
+use twig_pst::{EdgeKey, PathToken, PrunedTrie, TrieNodeId};
+use twig_serve::loadgen::{self, LoadgenConfig};
+use twig_serve::{Json, Server, ServerConfig, SummaryRegistry, SummarySpec};
+use twig_tree::DataTree;
+use twig_util::{FxHashMap, SplitMix64};
+
+const SEED: u64 = 0xbe9c_0004;
+
+struct BenchConfig {
+    quick: bool,
+    corpus_bytes: usize,
+    workload: usize,
+    lookup_paths: usize,
+    warmup: usize,
+    samples: usize,
+    serve_window: Duration,
+}
+
+impl BenchConfig {
+    fn new(quick: bool) -> BenchConfig {
+        if quick {
+            BenchConfig {
+                quick,
+                corpus_bytes: 60_000,
+                workload: 15,
+                lookup_paths: 400,
+                warmup: 1,
+                samples: 5,
+                serve_window: Duration::from_millis(800),
+            }
+        } else {
+            BenchConfig {
+                quick,
+                // Large enough that the summary trie dwarfs the cache:
+                // the lookup benches measure miss-bound probes, not L2.
+                corpus_bytes: 4_000_000,
+                workload: 60,
+                lookup_paths: 5000,
+                warmup: 2,
+                samples: 9,
+                serve_window: Duration::from_millis(2500),
+            }
+        }
+    }
+}
+
+pub(crate) fn bench(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match iter.next() {
+                Some(path) => out = Some(path.clone()),
+                None => return usage_error("--out needs a file argument"),
+            },
+            "--check" => match iter.next() {
+                Some(path) => check = Some(path.clone()),
+                None => return usage_error("--check needs a file argument"),
+            },
+            other => return usage_error(&format!("unknown bench flag '{other}'")),
+        }
+    }
+
+    let config = BenchConfig::new(quick);
+    let metrics = match run_benchmarks(&config) {
+        Ok(metrics) => metrics,
+        Err(message) => {
+            eprintln!("bench failed: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for (name, value) in &metrics {
+        println!("{name:<28} {value:>14.3}");
+    }
+    let report = render_json(&config, &metrics);
+    if let Some(path) = out {
+        if let Err(err) = std::fs::write(&path, &report) {
+            eprintln!("cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    } else {
+        println!("{report}");
+    }
+
+    match check {
+        Some(path) => check_regressions(&path, &metrics),
+        None => ExitCode::SUCCESS,
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}\nusage: cargo xtask bench [--quick] [--out FILE] [--check FILE]");
+    ExitCode::FAILURE
+}
+
+/// Streams writes through a buffer much larger than the last-level
+/// cache, evicting the benchmarked structures so the next timed sweep
+/// runs against cold lines. Used by the lookup benches, whose metric
+/// is explicitly the *cold* (cache-miss-bound) probe cost — a warm
+/// sweep over a summary-sized working set measures L2 latency, not
+/// the layout.
+struct CacheEvictor {
+    buffer: Vec<u64>,
+}
+
+impl CacheEvictor {
+    fn new() -> Self {
+        Self { buffer: vec![1u64; 32 * 1024 * 1024 / 8] }
+    }
+
+    fn evict(&mut self) {
+        for slot in &mut self.buffer {
+            *slot = slot.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        black_box(&mut self.buffer);
+    }
+}
+
+/// Mean with the fastest and slowest fifth trimmed off.
+fn trimmed_mean(mut times: Vec<f64>) -> f64 {
+    times.sort_by(f64::total_cmp);
+    let trim = times.len() / 5;
+    let kept = &times[trim..times.len() - trim];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// Warmup runs, then `samples` timed runs; returns the trimmed mean.
+fn trimmed_mean_secs<R>(warmup: usize, samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    trimmed_mean(
+        (0..samples.max(1))
+            .map(|_| {
+                let started = Instant::now();
+                black_box(f());
+                started.elapsed().as_secs_f64()
+            })
+            .collect(),
+    )
+}
+
+fn run_benchmarks(config: &BenchConfig) -> Result<Vec<(String, f64)>, String> {
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    eprintln!(
+        "generating ~{} KiB corpus (seed {SEED:#x})...",
+        config.corpus_bytes / 1024
+    );
+    let xml = generate_dblp(&DblpConfig {
+        target_bytes: config.corpus_bytes,
+        seed: SEED,
+        ..DblpConfig::default()
+    });
+    let tree = DataTree::from_xml(&xml).map_err(|e| format!("corpus XML invalid: {e}"))?;
+    let cst_config =
+        CstConfig { budget: SpaceBudget::Threshold(2), ..CstConfig::default() };
+
+    eprintln!("benchmarking summary build...");
+    let build_secs = trimmed_mean_secs(config.warmup, config.samples.min(5), || {
+        Cst::build(&tree, &cst_config)
+    });
+    metrics.push(("build_secs".into(), build_secs));
+
+    let cst = Cst::build(&tree, &cst_config).map_err(|e| format!("CST build failed: {e}"))?;
+    metrics.push(("summary_nodes".into(), approx(cst.node_count())));
+
+    eprintln!("benchmarking trie lookups ({} paths)...", config.lookup_paths);
+    bench_lookups(&cst, config, &mut metrics);
+
+    let twigs = positive_queries(
+        &tree,
+        &WorkloadConfig { count: config.workload, seed: SEED ^ 1, ..WorkloadConfig::default() },
+    );
+    if twigs.is_empty() {
+        return Err("workload generation produced no queries".into());
+    }
+
+    eprintln!("benchmarking estimators ({} twigs)...", twigs.len());
+    for algorithm in Algorithm::ALL {
+        let secs = trimmed_mean_secs(config.warmup, config.samples, || {
+            let mut acc = 0.0;
+            for twig in &twigs {
+                acc += cst.estimate(twig, algorithm, CountKind::Occurrence);
+            }
+            acc
+        });
+        metrics.push((format!("estimate_{algorithm}_us"), per(secs, twigs.len())));
+    }
+
+    eprintln!("benchmarking plan-cache hit path...");
+    let plan_off = trimmed_mean_secs(config.warmup, config.samples, || {
+        let mut acc = 0.0;
+        for twig in &twigs {
+            acc += cst.estimate_raw(twig, Algorithm::Msh, CountKind::Occurrence, None);
+        }
+        acc
+    });
+    let plans: Vec<QueryPlan> = twigs.iter().map(|_| QueryPlan::new()).collect();
+    for (twig, plan) in twigs.iter().zip(&plans) {
+        // Warm every stage once: timed runs below are pure cache hits.
+        cst.estimate_raw(twig, Algorithm::Msh, CountKind::Occurrence, Some(plan));
+    }
+    let plan_on = trimmed_mean_secs(config.warmup, config.samples, || {
+        let mut acc = 0.0;
+        for (twig, plan) in twigs.iter().zip(&plans) {
+            acc += cst.estimate_raw(twig, Algorithm::Msh, CountKind::Occurrence, Some(plan));
+        }
+        acc
+    });
+    metrics.push(("plan_off_us".into(), per(plan_off, twigs.len())));
+    metrics.push(("plan_on_us".into(), per(plan_on, twigs.len())));
+    metrics.push(("plan_speedup".into(), plan_off / plan_on));
+
+    eprintln!("benchmarking served throughput ({:?} window)...", config.serve_window);
+    let (requests_per_sec, p95_us) = bench_serve(&cst, config)?;
+    metrics.push(("serve_requests_per_sec".into(), requests_per_sec));
+    metrics.push(("serve_p95_us".into(), approx_u64(p95_us)));
+
+    Ok(metrics)
+}
+
+/// Cold lookups through the CSR layout vs. the pre-CSR global
+/// `(parent, edge) -> child` hashmap, over the same sampled paths.
+fn bench_lookups(cst: &Cst, config: &BenchConfig, metrics: &mut Vec<(String, f64)>) {
+    let trie = cst.trie();
+    let nodes: Vec<TrieNodeId> = trie.node_ids().collect();
+    let mut rng = SplitMix64::new(SEED ^ 2);
+    let paths: Vec<Vec<PathToken>> = (0..config.lookup_paths)
+        .map(|_| trie.tokens_of(nodes[rng.index(nodes.len())]))
+        .filter(|tokens| !tokens.is_empty())
+        .collect();
+
+    let mut map: FxHashMap<(TrieNodeId, EdgeKey), TrieNodeId> = FxHashMap::default();
+    for &node in &nodes {
+        if let (Some(parent), Some(edge)) = (trie.parent(node), trie.edge(node)) {
+            map.insert((parent, edge), node);
+        }
+    }
+    let csr_sweep = || {
+        let mut hits = 0usize;
+        for tokens in &paths {
+            hits += usize::from(trie.find(tokens).is_some());
+        }
+        hits
+    };
+    let map_sweep = || {
+        let mut hits = 0usize;
+        for tokens in &paths {
+            hits += usize::from(hashmap_find(&map, tokens).is_some());
+        }
+        hits
+    };
+    // The two layouts are sampled interleaved, each sweep against an
+    // evicted cache, so slow drift in machine load biases both sides
+    // equally instead of whichever happened to be measured second.
+    let mut evictor = CacheEvictor::new();
+    let mut csr_times = Vec::with_capacity(config.samples);
+    let mut map_times = Vec::with_capacity(config.samples);
+    for _ in 0..config.warmup {
+        evictor.evict();
+        black_box(csr_sweep());
+        evictor.evict();
+        black_box(map_sweep());
+    }
+    for _ in 0..config.samples.max(1) {
+        evictor.evict();
+        let started = Instant::now();
+        black_box(csr_sweep());
+        csr_times.push(started.elapsed().as_secs_f64());
+        evictor.evict();
+        let started = Instant::now();
+        black_box(map_sweep());
+        map_times.push(started.elapsed().as_secs_f64());
+    }
+    let csr = trimmed_mean(csr_times);
+    let hashmap = trimmed_mean(map_times);
+
+    metrics.push(("csr_lookup_us".into(), per(csr, paths.len())));
+    metrics.push(("hashmap_lookup_us".into(), per(hashmap, paths.len())));
+    metrics.push(("csr_speedup".into(), hashmap / csr));
+    let _ = trie as &PrunedTrie;
+}
+
+fn hashmap_find(
+    map: &FxHashMap<(TrieNodeId, EdgeKey), TrieNodeId>,
+    tokens: &[PathToken],
+) -> Option<TrieNodeId> {
+    let mut node = TrieNodeId::ROOT;
+    for token in tokens {
+        node = *map.get(&(node, token.edge()))?;
+    }
+    Some(node)
+}
+
+fn bench_serve(cst: &Cst, config: &BenchConfig) -> Result<(f64, u64), String> {
+    let dir = std::env::temp_dir().join(format!("twig-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join("bench.cst");
+    let mut bytes = Vec::new();
+    cst.write_to(&mut bytes).map_err(|e| format!("cannot serialize summary: {e}"))?;
+    std::fs::write(&path, &bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+
+    let registry = SummaryRegistry::new();
+    registry
+        .load(SummarySpec { name: "bench".into(), path })
+        .map_err(|e| format!("cannot load bench summary: {e}"))?;
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default(), registry)
+        .map_err(|e| format!("cannot bind bench server: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let thread = std::thread::spawn(move || server.run());
+
+    let result = loadgen::run(&LoadgenConfig {
+        addr,
+        summary: "bench".into(),
+        connections: 4,
+        batch: 8,
+        duration: config.serve_window,
+        seed: SEED ^ 3,
+        shutdown_after: true,
+        ..LoadgenConfig::default()
+    });
+    let _ = thread.join();
+    std::fs::remove_dir_all(&dir).ok();
+    let report = result?;
+    if report.requests == 0 || report.errors > 0 {
+        return Err(format!("loadgen run unhealthy: {}", report.render()));
+    }
+    Ok((report.requests_per_sec, report.p95_us))
+}
+
+fn per(total_secs: f64, items: usize) -> f64 {
+    total_secs * 1e6 / items.max(1) as f64
+}
+
+fn approx(value: usize) -> f64 {
+    u32::try_from(value).map_or(f64::MAX, f64::from)
+}
+
+fn approx_u64(value: u64) -> f64 {
+    u32::try_from(value).map_or(f64::MAX, f64::from)
+}
+
+fn render_json(config: &BenchConfig, metrics: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"twig-bench-v1\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", config.quick));
+    out.push_str("  \"metrics\": {\n");
+    for (index, (name, value)) in metrics.iter().enumerate() {
+        let comma = if index + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("    \"{name}\": {value:?}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Compares current metrics against a previous report: shared metrics
+/// may not regress by more than 2x (times up, rates/speedups down).
+fn check_regressions(path: &str, metrics: &[(String, f64)]) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read baseline {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match Json::parse(&text) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("baseline {path} is not valid JSON: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(old_metrics) = parsed.get("metrics") else {
+        eprintln!("baseline {path} has no \"metrics\" object");
+        return ExitCode::FAILURE;
+    };
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (name, new_value) in metrics {
+        let Some(old_value) = old_metrics.get(name).and_then(Json::as_f64) else {
+            continue;
+        };
+        // Not a time: trie size is corpus-determined. The *_speedup
+        // ratios are excluded because they do not survive a scale
+        // change (a --quick run's cache-resident trie makes the cold
+        // CSR-vs-hashmap ratio meaningless); their component times are
+        // still compared, which is what catches a real regression.
+        if name == "summary_nodes" || name.ends_with("_speedup") {
+            continue;
+        }
+        compared += 1;
+        let higher_is_better = name.ends_with("_per_sec");
+        let regressed = if higher_is_better {
+            *new_value < old_value / 2.0
+        } else {
+            *new_value > old_value * 2.0
+        };
+        if regressed {
+            regressions += 1;
+            eprintln!("REGRESSION {name}: {old_value:.3} -> {new_value:.3} (>2x)");
+        }
+    }
+    if compared == 0 {
+        eprintln!("baseline {path} shares no metrics with this run");
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!("{regressions} metric(s) regressed by more than 2x vs {path}");
+        return ExitCode::FAILURE;
+    }
+    println!("no >2x regressions vs {path} ({compared} metrics compared)");
+    ExitCode::SUCCESS
+}

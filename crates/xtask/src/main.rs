@@ -22,6 +22,7 @@
 //! ```
 
 mod baseline;
+mod bench;
 mod callgraph;
 mod items;
 mod locks;
@@ -49,6 +50,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("flow") => flow(&args[1..]),
+        Some("bench") => bench::bench(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{USAGE}");
             ExitCode::SUCCESS
@@ -71,7 +73,12 @@ TASKS:
       Run the twig-flow call-graph analyzer: panic-reachability of every
       public entry point of the strict crates (each finding carries a
       witness call chain) and lock-discipline over crates/serve. Exits
-      non-zero when findings beyond the baseline exist.";
+      non-zero when findings beyond the baseline exist.
+  bench [--quick] [--out FILE] [--check FILE]
+      Run the estimation benchmark harness (seeded corpora, warmup +
+      trimmed-mean timing): summary build, CSR vs hashmap trie lookups,
+      per-algorithm estimates, the plan-cache hit path, and served
+      throughput. --check fails on a >2x regression vs a prior report.";
 
 /// Shared CLI flags for the baseline-driven passes.
 struct PassArgs {
