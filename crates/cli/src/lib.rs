@@ -17,11 +17,13 @@ use std::io::Write;
 
 use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
 use twig_datagen::{
-    generate_dblp, generate_sprot, negative_query_candidates, positive_queries,
-    trivial_queries, DblpConfig, SprotConfig, WorkloadConfig,
+    generate_dblp, generate_sprot, negative_query_candidates, positive_queries, trivial_queries,
+    DblpConfig, SprotConfig, WorkloadConfig,
 };
 use twig_exact::{count_occurrence, count_occurrence_ordered, count_presence};
-use twig_serve::{error_chain, Server, ServerConfig, SummaryRegistry, SummarySpec};
+use twig_serve::{
+    error_chain, LoadOutcome, Server, ServerConfig, SnapshotStore, SummaryRegistry, SummarySpec,
+};
 use twig_tree::{DataTree, Twig};
 
 /// Runs the CLI with `args` (not including the program name), writing
@@ -65,6 +67,7 @@ USAGE:
   twig workload --input XML [--count N] [--seed N] [--kind positive|trivial|negative]
   twig serve    --summary [NAME=]FILE [--summary ...] [--addr HOST:PORT]
                 [--threads N] [--queue N] [--max-body-kb N] [--max-batch N]
+                [--state-dir DIR]
 
 Twig query syntax: labels are elements, quoted strings are value-prefix
 leaves, parentheses enclose children: book(author(\"Su\"),year(\"1999\")).
@@ -121,10 +124,9 @@ impl Arguments {
     fn take_parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
         match self.take(name) {
             None => Ok(None),
-            Some(raw) => raw
-                .parse()
-                .map(Some)
-                .map_err(|_| format!("invalid value for --{name}: '{raw}'")),
+            Some(raw) => {
+                raw.parse().map(Some).map_err(|_| format!("invalid value for --{name}: '{raw}'"))
+            }
         }
     }
 
@@ -159,20 +161,18 @@ fn take_query(args: &mut Arguments) -> Result<Twig, String> {
     match (args.take("query"), args.take("xpath")) {
         (Some(_), Some(_)) => Err("--query and --xpath are mutually exclusive".into()),
         (Some(text), None) => parse_query(&text),
-        (None, Some(text)) => twig_tree::parse_xpath(&text)
-            .map_err(|e| format!("invalid XPath '{text}': {e}")),
+        (None, Some(text)) => {
+            twig_tree::parse_xpath(&text).map_err(|e| format!("invalid XPath '{text}': {e}"))
+        }
         (None, None) => Err("missing required flag --query (or --xpath)".into()),
     }
 }
 
 fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
-    Algorithm::ALL
-        .into_iter()
-        .find(|a| a.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
-            format!("unknown algorithm '{name}' (expected one of {})", names.join(", "))
-        })
+    Algorithm::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(name)).ok_or_else(|| {
+        let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        format!("unknown algorithm '{name}' (expected one of {})", names.join(", "))
+    })
 }
 
 fn cmd_generate(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
@@ -304,10 +304,7 @@ fn cmd_exact(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
     let ordered = args.take("ordered").is_some();
     let tree = load_tree(&input)?;
     let (presence, occurrence) = if ordered {
-        (
-            twig_exact::count_presence_ordered(&tree, &query),
-            count_occurrence_ordered(&tree, &query),
-        )
+        (twig_exact::count_presence_ordered(&tree, &query), count_occurrence_ordered(&tree, &query))
     } else {
         (count_presence(&tree, &query), count_occurrence(&tree, &query))
     };
@@ -380,16 +377,40 @@ fn cmd_serve(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
     let queue_capacity: usize = args.take_parsed("queue")?.unwrap_or(64);
     let max_body_kb: usize = args.take_parsed("max-body-kb")?.unwrap_or(1024);
     let max_batch: usize = args.take_parsed("max-batch")?.unwrap_or(4096);
+    let state_dir = args.take("state-dir");
     // Surface leftover-flag mistakes before binding the socket; `run`'s
     // own check would otherwise only fire after shutdown.
     args.ensure_consumed()?;
 
     let registry = SummaryRegistry::new();
+    if let Some(dir) = &state_dir {
+        let store = SnapshotStore::open(std::path::Path::new(dir))
+            .map_err(|e| format!("cannot open state dir '{dir}': {e}"))?;
+        registry.attach_store(store);
+    }
     for text in specs {
         let spec = SummarySpec::parse(&text)?;
         let name = spec.name.clone();
-        registry.load(spec).map_err(|e| error_chain(&e))?;
-        writeln!(out, "loaded summary '{name}'").map_err(io_err)?;
+        if state_dir.is_some() {
+            // With a state dir, a summary whose file is torn or missing
+            // can still come up degraded from its last good snapshot.
+            match registry.load_or_recover(spec).map_err(|e| error_chain(&e))? {
+                LoadOutcome::Fresh(_) => {
+                    writeln!(out, "loaded summary '{name}'").map_err(io_err)?;
+                }
+                LoadOutcome::Recovered { generation, error } => {
+                    writeln!(
+                        out,
+                        "recovered summary '{name}' from snapshot generation \
+                         {generation} (source load failed: {error})"
+                    )
+                    .map_err(io_err)?;
+                }
+            }
+        } else {
+            registry.load(spec).map_err(|e| error_chain(&e))?;
+            writeln!(out, "loaded summary '{name}'").map_err(io_err)?;
+        }
     }
     let config = ServerConfig {
         workers,
@@ -398,10 +419,14 @@ fn cmd_serve(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
         max_batch,
         ..ServerConfig::default()
     };
-    let server = Server::bind(&addr, config, registry)
-        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    writeln!(out, "listening on {} ({workers} workers, queue {queue_capacity})", server.local_addr())
-        .map_err(io_err)?;
+    let server =
+        Server::bind(&addr, config, registry).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    writeln!(
+        out,
+        "listening on {} ({workers} workers, queue {queue_capacity})",
+        server.local_addr()
+    )
+    .map_err(io_err)?;
     out.flush().map_err(io_err)?;
     server.run().map_err(|e| format!("server error: {e}"))
 }
@@ -433,33 +458,37 @@ mod tests {
         .expect("generate");
         assert!(gen.contains("wrote"));
 
-        let build = run_capture(&[
-            "build", "--input", &corpus, "--space", "0.2", "--out", &summary,
-        ])
-        .expect("build");
+        let build =
+            run_capture(&["build", "--input", &corpus, "--space", "0.2", "--out", &summary])
+                .expect("build");
         assert!(build.contains("summary:"));
 
         let inspect = run_capture(&["inspect", "--summary", &summary]).expect("inspect");
         assert!(inspect.contains("trie nodes"));
         assert!(inspect.contains("signature length:  32"));
 
-        let estimate = run_capture(&[
-            "estimate", "--summary", &summary, "--query", r#"article(author("S"))"#,
-        ])
-        .expect("estimate");
+        let estimate =
+            run_capture(&["estimate", "--summary", &summary, "--query", r#"article(author("S"))"#])
+                .expect("estimate");
         assert!(estimate.lines().count() == 6, "one line per algorithm: {estimate}");
 
         let single = run_capture(&[
-            "estimate", "--summary", &summary, "--query", r#"article(author("S"))"#,
-            "--algo", "msh", "--count-kind", "presence",
+            "estimate",
+            "--summary",
+            &summary,
+            "--query",
+            r#"article(author("S"))"#,
+            "--algo",
+            "msh",
+            "--count-kind",
+            "presence",
         ])
         .expect("estimate single");
         assert!(single.trim().parse::<f64>().is_ok(), "{single}");
 
-        let exact = run_capture(&[
-            "exact", "--input", &corpus, "--query", r#"article(author("S"))"#,
-        ])
-        .expect("exact");
+        let exact =
+            run_capture(&["exact", "--input", &corpus, "--query", r#"article(author("S"))"#])
+                .expect("exact");
         assert!(exact.contains("presence"));
 
         let workload =
@@ -476,10 +505,8 @@ mod tests {
         assert!(run_capture(&["inspect", "--summary", "/nonexistent/x.cst"])
             .unwrap_err()
             .contains("cannot read"));
-        let err = run_capture(&[
-            "estimate", "--summary", "x", "--query", "q(", "--algo", "msh",
-        ])
-        .unwrap_err();
+        let err = run_capture(&["estimate", "--summary", "x", "--query", "q(", "--algo", "msh"])
+            .unwrap_err();
         assert!(err.contains("cannot read") || err.contains("invalid query"), "{err}");
     }
 
@@ -498,17 +525,17 @@ mod tests {
     #[test]
     fn ordered_flag_changes_counts() {
         let corpus = temp_path("corpus3.xml");
-        fs::write(
-            &corpus,
-            "<r><x><a>2</a><a>1</a></x></r>",
-        )
-        .expect("write corpus");
-        let unordered = run_capture(&[
-            "exact", "--input", &corpus, "--query", r#"x(a("1"),a("2"))"#,
-        ])
-        .expect("exact");
+        fs::write(&corpus, "<r><x><a>2</a><a>1</a></x></r>").expect("write corpus");
+        let unordered =
+            run_capture(&["exact", "--input", &corpus, "--query", r#"x(a("1"),a("2"))"#])
+                .expect("exact");
         let ordered = run_capture(&[
-            "exact", "--input", &corpus, "--query", r#"x(a("1"),a("2"))"#, "--ordered",
+            "exact",
+            "--input",
+            &corpus,
+            "--query",
+            r#"x(a("1"),a("2"))"#,
+            "--ordered",
         ])
         .expect("exact ordered");
         assert!(unordered.contains("occurrence 1"));
@@ -524,41 +551,54 @@ mod tests {
         ])
         .expect("generate");
         run_capture(&[
-            "build", "--input", &corpus, "--space", "0.2", "--threads", "2", "--out", &summary,
+            "build",
+            "--input",
+            &corpus,
+            "--space",
+            "0.2",
+            "--threads",
+            "2",
+            "--out",
+            &summary,
         ])
         .expect("build");
 
         // XPath input works for estimate and exact.
         let est = run_capture(&[
-            "estimate", "--summary", &summary, "--xpath", r#"/dblp/article[author="S"]"#,
-            "--algo", "mosh",
+            "estimate",
+            "--summary",
+            &summary,
+            "--xpath",
+            r#"/dblp/article[author="S"]"#,
+            "--algo",
+            "mosh",
         ])
         .expect("estimate xpath");
         assert!(est.trim().parse::<f64>().is_ok(), "{est}");
-        let exact = run_capture(&[
-            "exact", "--input", &corpus, "--xpath", r#"/dblp/article[author="S"]"#,
-        ])
-        .expect("exact xpath");
+        let exact =
+            run_capture(&["exact", "--input", &corpus, "--xpath", r#"/dblp/article[author="S"]"#])
+                .expect("exact xpath");
         assert!(exact.contains("occurrence"));
 
         // Explain prints the trace.
         let explained = run_capture(&[
-            "explain", "--summary", &summary, "--xpath", r#"/dblp/article[author="S"]"#,
+            "explain",
+            "--summary",
+            &summary,
+            "--xpath",
+            r#"/dblp/article[author="S"]"#,
         ])
         .expect("explain");
         assert!(explained.contains("parsed subpaths"), "{explained}");
         assert!(explained.contains("estimate:"), "{explained}");
 
         // Mutual exclusion and error paths.
-        let err = run_capture(&[
-            "estimate", "--summary", &summary, "--query", "a", "--xpath", "/a",
-        ])
-        .unwrap_err();
+        let err =
+            run_capture(&["estimate", "--summary", &summary, "--query", "a", "--xpath", "/a"])
+                .unwrap_err();
         assert!(err.contains("mutually exclusive"), "{err}");
-        let err = run_capture(&[
-            "estimate", "--summary", &summary, "--xpath", "/a[@id='1']",
-        ])
-        .unwrap_err();
+        let err = run_capture(&["estimate", "--summary", &summary, "--xpath", "/a[@id='1']"])
+            .unwrap_err();
         assert!(err.contains("attribute axis"), "{err}");
     }
 
@@ -635,11 +675,10 @@ mod tests {
             .expect("build");
 
         // Leftover flags are rejected before the socket is bound.
-        let err =
-            run_capture(&["serve", "--summary", &summary, "--bogus", "1"]).unwrap_err();
+        let err = run_capture(&["serve", "--summary", &summary, "--bogus", "1"]).unwrap_err();
         assert!(err.contains("unknown flag --bogus"), "{err}");
-        let err = run_capture(&["serve", "--summary", &summary, "--addr", "not-an-addr"])
-            .unwrap_err();
+        let err =
+            run_capture(&["serve", "--summary", &summary, "--addr", "not-an-addr"]).unwrap_err();
         assert!(err.contains("cannot bind"), "{err}");
     }
 

@@ -118,33 +118,27 @@ pub enum AuditViolation {
 impl fmt::Display for AuditViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::SignatureTableSize { signatures, nodes } => write!(
-                f,
-                "I1: signature table has {signatures} entries for {nodes} trie nodes"
-            ),
-            Self::PresenceExceedsOccurrence { node, presence, occurrence } => write!(
-                f,
-                "I2a: node {node} has presence {presence} > occurrence {occurrence}"
-            ),
+            Self::SignatureTableSize { signatures, nodes } => {
+                write!(f, "I1: signature table has {signatures} entries for {nodes} trie nodes")
+            }
+            Self::PresenceExceedsOccurrence { node, presence, occurrence } => {
+                write!(f, "I2a: node {node} has presence {presence} > occurrence {occurrence}")
+            }
             Self::ZeroCount { node } => {
                 write!(f, "I2b: kept node {node} has a zero presence or occurrence count")
             }
-            Self::PathCountExceedsParent { node, child, parent } => write!(
-                f,
-                "I3a: node {node} has pc {child} > parent pc {parent}"
-            ),
-            Self::PresenceExceedsParent { node, child, parent } => write!(
-                f,
-                "I3b: node {node} has presence {child} > parent presence {parent}"
-            ),
-            Self::BelowThreshold { node, path_count, threshold } => write!(
-                f,
-                "I4: node {node} kept with pc {path_count} below threshold {threshold}"
-            ),
-            Self::WrongSignatureLength { node, len, expected } => write!(
-                f,
-                "I5: node {node} has a {len}-component signature, expected {expected}"
-            ),
+            Self::PathCountExceedsParent { node, child, parent } => {
+                write!(f, "I3a: node {node} has pc {child} > parent pc {parent}")
+            }
+            Self::PresenceExceedsParent { node, child, parent } => {
+                write!(f, "I3b: node {node} has presence {child} > parent presence {parent}")
+            }
+            Self::BelowThreshold { node, path_count, threshold } => {
+                write!(f, "I4: node {node} kept with pc {path_count} below threshold {threshold}")
+            }
+            Self::WrongSignatureLength { node, len, expected } => {
+                write!(f, "I5: node {node} has a {len}-component signature, expected {expected}")
+            }
             Self::SignatureOnStringPath { node } => {
                 write!(f, "I6a: string-path node {node} carries a signature")
             }
@@ -154,10 +148,9 @@ impl fmt::Display for AuditViolation {
             Self::ParentChildMismatch { node } => {
                 write!(f, "I7: child table does not point back at node {node}")
             }
-            Self::NonFiniteEstimate { algorithm, kind, query, value } => write!(
-                f,
-                "I8: {algorithm} {kind:?} on {query} produced {value}"
-            ),
+            Self::NonFiniteEstimate { algorithm, kind, query, value } => {
+                write!(f, "I8: {algorithm} {kind:?} on {query} produced {value}")
+            }
         }
     }
 }
@@ -187,9 +180,7 @@ impl Cst {
         // Signature use is all-or-nothing per summary: if any node has a
         // signature the summary was built `with_signatures` and I6b
         // applies to every label-rooted node.
-        let any_signature = trie
-            .node_ids()
-            .any(|node| self.signature(node).is_some());
+        let any_signature = trie.node_ids().any(|node| self.signature(node).is_some());
 
         for node in trie.node_ids().skip(1) {
             let presence = trie.presence(node);
@@ -228,9 +219,7 @@ impl Cst {
 
                 // I7: the parent's child table points back at this node
                 // through this node's incoming edge.
-                let linked = trie
-                    .edge(node)
-                    .and_then(|edge| trie.child(parent, edge));
+                let linked = trie.edge(node).and_then(|edge| trie.child(parent, edge));
                 if linked != Some(node) {
                     violations.push(AuditViolation::ParentChildMismatch { node: node.0 });
                 }
@@ -333,11 +322,8 @@ mod tests {
     ) -> Cst {
         let mut nodes = cst.trie().export_nodes();
         corrupt(&mut nodes);
-        let trie = PrunedTrie::from_exported(
-            nodes,
-            cst.trie().total_paths(),
-            cst.trie().threshold(),
-        );
+        let trie =
+            PrunedTrie::from_exported(nodes, cst.trie().total_paths(), cst.trie().threshold());
         let signatures: Vec<Option<CompactSignature>> =
             trie.node_ids().map(|id| cst.signature(id).cloned()).collect();
         Cst::from_parts(
@@ -367,13 +353,7 @@ mod tests {
         );
         let signatures: Vec<Option<CompactSignature>> = trie
             .node_ids()
-            .map(|id| {
-                if id.0 == target {
-                    signature.clone()
-                } else {
-                    cst.signature(id).cloned()
-                }
-            })
+            .map(|id| if id.0 == target { signature.clone() } else { cst.signature(id).cloned() })
             .collect();
         Cst::from_parts(
             trie,
@@ -452,10 +432,7 @@ mod tests {
             cst.source_bytes(),
         )
         .expect_err("truncated table must be rejected");
-        assert_eq!(
-            err,
-            CstError::SignatureTableMismatch { signatures: nodes - 1, nodes }
-        );
+        assert_eq!(err, CstError::SignatureTableMismatch { signatures: nodes - 1, nodes });
     }
 
     // Corruption class 2: presence exceeding occurrence.
@@ -486,9 +463,7 @@ mod tests {
             .skip(1)
             .find(|&id| cst.trie().parent(id) != Some(twig_pst::TrieNodeId::ROOT))
             .expect("trie has depth >= 2");
-        let parent_pc = cst
-            .trie()
-            .path_count(cst.trie().parent(deep).expect("non-root"));
+        let parent_pc = cst.trie().path_count(cst.trie().parent(deep).expect("non-root"));
         let bad = rebuilt_with(&tree, &cst, |nodes| {
             nodes[deep.index()].path_count = parent_pc + 10;
             // Keep occurrence >= presence untouched; only pc is corrupted.
@@ -518,9 +493,10 @@ mod tests {
         });
         let violations = bad.audit();
         assert!(
-            violations
-                .iter()
-                .any(|v| matches!(v, AuditViolation::BelowThreshold { node: 1, path_count: 1, .. })),
+            violations.iter().any(|v| matches!(
+                v,
+                AuditViolation::BelowThreshold { node: 1, path_count: 1, .. }
+            )),
             "got {violations:?}"
         );
     }
@@ -550,9 +526,9 @@ mod tests {
         let bad = with_signature(&tree, &cst, unsigned, Some(stray));
         let violations = bad.audit();
         assert!(
-            violations
-                .iter()
-                .any(|v| matches!(v, AuditViolation::SignatureOnStringPath { node } if *node == unsigned)),
+            violations.iter().any(
+                |v| matches!(v, AuditViolation::SignatureOnStringPath { node } if *node == unsigned)
+            ),
             "got {violations:?}"
         );
     }

@@ -85,11 +85,7 @@ pub fn estimate_region(cst: &Cst, chains: &[Piece], kind: CountKind) -> f64 {
     let survivors: Vec<&Piece> = unique
         .iter()
         .copied()
-        .filter(|c| {
-            !unique
-                .iter()
-                .any(|other| !std::ptr::eq(*other, *c) && c.contained_in(other))
-        })
+        .filter(|c| !unique.iter().any(|other| !std::ptr::eq(*other, *c) && c.contained_in(other)))
         .collect();
 
     match survivors.len() {
@@ -126,12 +122,7 @@ pub fn estimate_region(cst: &Cst, chains: &[Piece], kind: CountKind) -> f64 {
 fn star_occurrence(cst: &Cst, chains: &[&Piece]) -> f64 {
     let mut lcp = chains[0].units.len();
     for chain in &chains[1..] {
-        let common = chain
-            .units
-            .iter()
-            .zip(&chains[0].units)
-            .take_while(|(a, b)| a == b)
-            .count();
+        let common = chain.units.iter().zip(&chains[0].units).take_while(|(a, b)| a == b).count();
         lcp = lcp.min(common);
     }
     debug_assert!(lcp >= 1, "star chains share their start unit");
@@ -243,12 +234,7 @@ fn conditional_independence(cst: &Cst, chains: &[&Piece]) -> f64 {
     // Longest common prefix length over the unit chains.
     let mut lcp = chains[0].units.len();
     for chain in &chains[1..] {
-        let common = chain
-            .units
-            .iter()
-            .zip(&chains[0].units)
-            .take_while(|(a, b)| a == b)
-            .count();
+        let common = chain.units.iter().zip(&chains[0].units).take_while(|(a, b)| a == b).count();
         lcp = lcp.min(common);
     }
     // Trie node of the common prefix: walk up from any chain's node.
@@ -256,23 +242,21 @@ fn conditional_independence(cst: &Cst, chains: &[&Piece]) -> f64 {
     for _ in 0..(chains[0].units.len() - lcp) {
         prefix_node = cst.trie().parent(prefix_node).expect("chain deeper than prefix");
     }
-    let base = if lcp == 0 {
-        cst.n() as f64
-    } else {
-        cst.presence(prefix_node) as f64
-    };
+    let base = if lcp == 0 { cst.n() as f64 } else { cst.presence(prefix_node) as f64 };
     if base <= 0.0 {
         return 0.0;
     }
-    base * chains
-        .iter()
-        .map(|c| cst.presence(c.trie) as f64 / base)
-        .product::<f64>()
+    base * chains.iter().map(|c| cst.presence(c.trie) as f64 / base).product::<f64>()
 }
 
 /// The covered-prefix chains of an element's region: for each chain, the
 /// longest prefix whose units are all in `covered`.
-fn overlap_chains(cst: &Cst, query: &CompiledQuery, chains: &[Piece], covered: &FxHashSet<Unit>) -> Vec<Piece> {
+fn overlap_chains(
+    cst: &Cst,
+    query: &CompiledQuery,
+    chains: &[Piece],
+    covered: &FxHashSet<Unit>,
+) -> Vec<Piece> {
     let mut out: Vec<Piece> = Vec::new();
     for chain in chains {
         let mut len = 0;
@@ -286,8 +270,7 @@ fn overlap_chains(cst: &Cst, query: &CompiledQuery, chains: &[Piece], covered: &
         if len == 0 {
             continue;
         }
-        let tokens: Vec<PathToken> = query.paths[chain.path].tokens
-            [chain.start..chain.start + len]
+        let tokens: Vec<PathToken> = query.paths[chain.path].tokens[chain.start..chain.start + len]
             .iter()
             .map(|t| match t {
                 Token::Ok(pt) => *pt,
@@ -295,7 +278,9 @@ fn overlap_chains(cst: &Cst, query: &CompiledQuery, chains: &[Piece], covered: &
             })
             .collect();
         // Present by monotonicity.
-        let Some(trie) = cst.lookup(&tokens) else { continue };
+        let Some(trie) = cst.lookup(&tokens) else {
+            continue;
+        };
         let prefix = Piece {
             path: chain.path,
             start: chain.start,
@@ -330,12 +315,7 @@ pub struct Factor {
 /// Runs MO conditioning over ordered elements and returns the final count
 /// estimate (Sec. 3.7). Elements are borrowed so a cached plan can be
 /// combined repeatedly without cloning.
-pub fn combine(
-    cst: &Cst,
-    query: &CompiledQuery,
-    elements: &[Element],
-    kind: CountKind,
-) -> f64 {
+pub fn combine(cst: &Cst, query: &CompiledQuery, elements: &[Element], kind: CountKind) -> f64 {
     combine_traced(cst, query, elements, kind, None)
 }
 
@@ -360,9 +340,7 @@ pub fn combine_traced(
         let chains = element.chains();
         let is_group = matches!(element, Element::Group(_));
         // Fully covered elements contribute Pr(X|X) = 1.
-        let fully_covered = chains
-            .iter()
-            .all(|c| c.units.iter().all(|u| covered.contains(u)));
+        let fully_covered = chains.iter().all(|c| c.units.iter().all(|u| covered.contains(u)));
         if fully_covered {
             if let Some(sink) = trace.as_deref_mut() {
                 sink.push(Factor {
@@ -435,7 +413,8 @@ mod tests {
                 signature_len: 128,
                 ..CstConfig::default()
             },
-        ).expect("CST config is valid")
+        )
+        .expect("CST config is valid")
     }
 
     fn pieces_for(cst: &Cst, expr: &str) -> (CompiledQuery, Vec<Piece>) {
@@ -511,14 +490,9 @@ mod tests {
     fn order_elements_sorts_singles_before_groups() {
         let cst = fixture();
         let (_, pieces) = pieces_for(&cst, r#"book(author("Anna"),year("1999"))"#);
-        let twiglet = crate::twiglets::Twiglet {
-            chains: pieces.clone(),
-            position: (0, 0),
-        };
-        let ordered = order_elements(vec![
-            Element::Group(twiglet),
-            Element::Single(pieces[0].clone()),
-        ]);
+        let twiglet = crate::twiglets::Twiglet { chains: pieces.clone(), position: (0, 0) };
+        let ordered =
+            order_elements(vec![Element::Group(twiglet), Element::Single(pieces[0].clone())]);
         assert!(matches!(ordered[0], Element::Single(_)));
         assert!(matches!(ordered[1], Element::Group(_)));
     }

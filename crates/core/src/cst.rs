@@ -140,9 +140,8 @@ impl Cst {
             return Err(CstError::ZeroSignatureLength);
         }
         let sig_cost = if config.with_signatures { config.signature_len * 4 } else { 0 };
-        let cost = move |info: NodeCostInfo| {
-            NODE_BASE_COST + if info.label_rooted { sig_cost } else { 0 }
-        };
+        let cost =
+            move |info: NodeCostInfo| NODE_BASE_COST + if info.label_rooted { sig_cost } else { 0 };
         let trie = match config.budget {
             SpaceBudget::Bytes(bytes) => full.prune_to_budget(bytes, cost),
             SpaceBudget::Fraction(fraction) => {
@@ -188,21 +187,20 @@ impl Cst {
             let building = if threads == 1 {
                 shard_signatures(0, 1)
             } else {
-                let shards: Vec<Vec<Option<Signature<u64>>>> =
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = (0..threads)
-                            .map(|shard| scope.spawn(move || shard_signatures(shard, threads)))
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| match h.join() {
-                                Ok(shard) => shard,
-                                // Propagate a worker panic verbatim instead
-                                // of wrapping it in a second panic site.
-                                Err(payload) => std::panic::resume_unwind(payload),
-                            })
-                            .collect()
-                    });
+                let shards: Vec<Vec<Option<Signature<u64>>>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|shard| scope.spawn(move || shard_signatures(shard, threads)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(shard) => shard,
+                            // Propagate a worker panic verbatim instead
+                            // of wrapping it in a second panic site.
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .collect()
+                });
                 shards
                     .into_iter()
                     .reduce(|mut merged, shard| {
@@ -431,8 +429,13 @@ mod tests {
         let tree = sample_tree();
         let cst = Cst::build(
             &tree,
-            &CstConfig { signature_len: 64, budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        ).expect("CST config is valid");
+            &CstConfig {
+                signature_len: 64,
+                budget: SpaceBudget::Threshold(1),
+                ..CstConfig::default()
+            },
+        )
+        .expect("CST config is valid");
         let a = cst.lookup(&tokens(&cst, &["book", "author"], "A1")).unwrap();
         let y = cst.lookup(&tokens(&cst, &["book", "year"], "Y1")).unwrap();
         let est = twig_sethash::estimate_intersection(&[
@@ -456,7 +459,8 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Fraction(0.5), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         assert!(cst.size_bytes() <= tree.source_bytes() / 2 + 1);
         assert!(cst.space_fraction() <= 0.51);
     }
@@ -467,11 +471,13 @@ mod tests {
         let small = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Bytes(300), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         let large = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Bytes(30_000), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         assert!(small.node_count() <= large.node_count());
     }
 
@@ -510,7 +516,8 @@ mod parallel_tests {
         let base = CstConfig { budget: SpaceBudget::Fraction(0.2), ..CstConfig::default() };
         let serial = Cst::build(&tree, &base).expect("CST config is valid");
         for threads in [2usize, 4, 7] {
-            let parallel = Cst::build(&tree, &CstConfig { threads, ..base.clone() }).expect("CST config is valid");
+            let parallel = Cst::build(&tree, &CstConfig { threads, ..base.clone() })
+                .expect("CST config is valid");
             let mut a = Vec::new();
             let mut b = Vec::new();
             serial.write_to(&mut a).unwrap();
@@ -521,11 +528,8 @@ mod parallel_tests {
 
     #[test]
     fn sharded_paths_partition_exactly() {
-        let xml = generate_dblp(&DblpConfig {
-            target_bytes: 60 << 10,
-            seed: 5,
-            ..DblpConfig::default()
-        });
+        let xml =
+            generate_dblp(&DblpConfig { target_bytes: 60 << 10, seed: 5, ..DblpConfig::default() });
         let tree = DataTree::from_xml(&xml).unwrap();
         let mut all = 0usize;
         tree.for_each_root_to_leaf_path(|_| all += 1);

@@ -34,10 +34,7 @@ impl fmt::Display for CstError {
                 write!(f, "space fraction must be positive and finite, got {fraction}")
             }
             Self::SignatureTableMismatch { signatures, nodes } => {
-                write!(
-                    f,
-                    "signature table has {signatures} entries for {nodes} trie nodes"
-                )
+                write!(f, "signature table has {signatures} entries for {nodes} trie nodes")
             }
         }
     }

@@ -7,8 +7,7 @@ use twig_util::cast::{count_to_f64, size_to_f64};
 use crate::combine::{combine, Element};
 use crate::cst::Cst;
 use crate::parse::{
-    covers_query, greedy_pieces, maximal_in_range, maximal_pieces, piecewise_maximal_pieces,
-    Piece,
+    covers_query, greedy_pieces, maximal_in_range, maximal_pieces, piecewise_maximal_pieces, Piece,
 };
 use crate::plan::{LeafPathPlan, PlannedEstimator, QueryPlan};
 use crate::query::{CompiledQuery, Token};
@@ -169,12 +168,18 @@ impl Cst {
         let mut discount = 1.0;
         for idx in 0..twig.node_count() as u32 {
             let parent = twig_tree::TwigNodeId(idx);
-            let TwigLabel::Element(parent_label) = twig.label(parent) else { continue };
-            let Some(parent_sym) = self.symbol(parent_label) else { continue };
+            let TwigLabel::Element(parent_label) = twig.label(parent) else {
+                continue;
+            };
+            let Some(parent_sym) = self.symbol(parent_label) else {
+                continue;
+            };
             // Count same-labeled element children.
             let mut groups: Vec<(&str, usize)> = Vec::new();
             for &child in twig.children(parent) {
-                let TwigLabel::Element(child_label) = twig.label(child) else { continue };
+                let TwigLabel::Element(child_label) = twig.label(child) else {
+                    continue;
+                };
                 match groups.iter_mut().find(|(l, _)| *l == child_label.as_str()) {
                     Some((_, count)) => *count += 1,
                     None => groups.push((child_label, 1)),
@@ -184,11 +189,12 @@ impl Cst {
                 if k < 2 {
                     continue;
                 }
-                let Some(child_sym) = self.symbol(child_label) else { continue };
-                let Some(node) = self.lookup(&[
-                    PathToken::Element(parent_sym),
-                    PathToken::Element(child_sym),
-                ]) else {
+                let Some(child_sym) = self.symbol(child_label) else {
+                    continue;
+                };
+                let Some(node) =
+                    self.lookup(&[PathToken::Element(parent_sym), PathToken::Element(child_sym)])
+                else {
                     continue; // pair below threshold: no evidence, no discount
                 };
                 let cp = count_to_f64(self.presence(node));
@@ -285,9 +291,7 @@ pub(crate) fn build_estimator(
             let mut elements: Vec<Element> = pieces
                 .into_iter()
                 .filter(|p| {
-                    !regions
-                        .iter()
-                        .any(|region| p.units.iter().all(|u| region.contains(u)))
+                    !regions.iter().any(|region| p.units.iter().all(|u| region.contains(u)))
                 })
                 .map(Element::Single)
                 .collect();
@@ -337,9 +341,7 @@ fn build_leaf_paths(cst: &Cst, query: &CompiledQuery) -> Vec<LeafPathPlan> {
         let qpath = &query.paths[path];
         // The value char range, if this path ends in a value leaf.
         let Some(first_char) =
-            qpath.tokens.iter().position(|t| {
-                matches!(t, Token::Ok(PathToken::Char(_)))
-            })
+            qpath.tokens.iter().position(|t| matches!(t, Token::Ok(PathToken::Char(_))))
         else {
             continue;
         };
@@ -460,7 +462,8 @@ mod tests {
                 signature_len: 128,
                 ..CstConfig::default()
             },
-        ).expect("CST config is valid")
+        )
+        .expect("CST config is valid")
     }
 
     fn q(expr: &str) -> Twig {
@@ -545,7 +548,8 @@ mod tests {
         let cst = full_cst(&tree);
         // Leaf's estimate for book(author("Anna")) is the global MO count
         // of the string "Anna" — identical to dblp(...) wrapping.
-        let est1 = cst.estimate(&q(r#"book(author("Anna"))"#), Algorithm::Leaf, CountKind::Presence);
+        let est1 =
+            cst.estimate(&q(r#"book(author("Anna"))"#), Algorithm::Leaf, CountKind::Presence);
         let est2 =
             cst.estimate(&q(r#"dblp(book(author("Anna")))"#), Algorithm::Leaf, CountKind::Presence);
         assert!((est1 - est2).abs() < 1e-9);
@@ -556,9 +560,7 @@ mod tests {
     fn occurrence_exceeds_presence_on_multisets() {
         let mut xml = String::from("<dblp>");
         for _ in 0..10 {
-            xml.push_str(
-                "<book><author>Anna</author><author>Bo</author><year>1999</year></book>",
-            );
+            xml.push_str("<book><author>Anna</author><author>Bo</author><year>1999</year></book>");
         }
         xml.push_str("</dblp>");
         let tree = DataTree::from_xml(&xml).unwrap();
@@ -616,7 +618,8 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Fraction(0.05), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         let query = q(r#"book(author("Anna"),year("1999"))"#);
         for algo in Algorithm::ALL {
             let est = cst.estimate(&query, algo, CountKind::Presence);
@@ -633,10 +636,8 @@ mod discount_tests {
 
     fn cst_for(xml: &str) -> Cst {
         let tree = DataTree::from_xml(xml).unwrap();
-        Cst::build(
-            &tree,
-            &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        ).expect("CST config is valid")
+        Cst::build(&tree, &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() })
+            .expect("CST config is valid")
     }
 
     #[test]
@@ -653,10 +654,7 @@ mod discount_tests {
         let cst = cst_for("<r><b><x>1</x></b><b><x>2</x></b><b><x>3</x></b></r>");
         let twig = Twig::parse(r#"b(x("1"),x)"#).unwrap();
         assert_eq!(cst.sibling_discount(&twig), 0.0);
-        assert_eq!(
-            cst.estimate(&twig, Algorithm::Mosh, CountKind::Occurrence),
-            0.0
-        );
+        assert_eq!(cst.estimate(&twig, Algorithm::Mosh, CountKind::Occurrence), 0.0);
     }
 
     #[test]
@@ -665,12 +663,7 @@ mod discount_tests {
         // discount (3·2)/9 = 2/3.
         let mut xml = String::from("<r>");
         for i in 0..9 {
-            xml.push_str(&format!(
-                "<b><x>v{}</x><x>w{}</x><x>u{}</x></b>",
-                i % 3,
-                i % 3,
-                i % 3
-            ));
+            xml.push_str(&format!("<b><x>v{}</x><x>w{}</x><x>u{}</x></b>", i % 3, i % 3, i % 3));
         }
         xml.push_str("</r>");
         let cst = cst_for(&xml);

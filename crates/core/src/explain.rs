@@ -17,9 +17,7 @@ use twig_tree::Twig;
 use crate::combine::{combine_traced, Element, Factor};
 use crate::cst::Cst;
 use crate::estimate::{Algorithm, CountKind};
-use crate::parse::{
-    covers_query, greedy_pieces, maximal_pieces, piecewise_maximal_pieces, Piece,
-};
+use crate::parse::{covers_query, greedy_pieces, maximal_pieces, piecewise_maximal_pieces, Piece};
 use crate::query::CompiledQuery;
 use crate::twiglets::{mosh_twiglets, msh_twiglets};
 
@@ -137,9 +135,7 @@ impl Cst {
                     let mut elements: Vec<Element> = pieces
                         .iter()
                         .filter(|p| {
-                            !regions
-                                .iter()
-                                .any(|region| p.units.iter().all(|u| region.contains(u)))
+                            !regions.iter().any(|region| p.units.iter().all(|u| region.contains(u)))
                         })
                         .cloned()
                         .map(Element::Single)
@@ -277,7 +273,8 @@ mod tests {
         Cst::build(
             &DataTree::from_xml(&xml).unwrap(),
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        ).expect("CST config is valid")
+        )
+        .expect("CST config is valid")
     }
 
     #[test]

@@ -41,11 +41,7 @@ impl LoreSummary {
     /// Panics if `k < 2` (chaining needs at least bigrams).
     pub fn build(tree: &DataTree, k: usize) -> Self {
         assert!(k >= 2, "Markov order must be at least 2");
-        let config = TrieConfig {
-            max_label_depth: k,
-            max_value_prefix: 4,
-            max_string_suffix: 0,
-        };
+        let config = TrieConfig { max_label_depth: k, max_value_prefix: 4, max_string_suffix: 0 };
         let full = build_suffix_trie(tree, &config);
         Self {
             trie: full.prune(1),
@@ -84,10 +80,7 @@ impl LoreSummary {
         if tokens.is_empty() {
             return self.n as f64;
         }
-        let label_len = tokens
-            .iter()
-            .take_while(|t| matches!(t, PathToken::Element(_)))
-            .count();
+        let label_len = tokens.iter().take_while(|t| matches!(t, PathToken::Element(_))).count();
         if label_len == 0 {
             return 0.0; // value-first sequences have no statistics
         }
@@ -140,20 +133,13 @@ impl LoreSummary {
     /// Estimate of the subtree at `node`, with `context` holding the
     /// label tokens on the path from the twig root down to `node`
     /// (inclusive after push).
-    fn estimate_subtree(
-        &self,
-        twig: &Twig,
-        node: TwigNodeId,
-        context: &mut Vec<PathToken>,
-    ) -> f64 {
+    fn estimate_subtree(&self, twig: &Twig, node: TwigNodeId, context: &mut Vec<PathToken>) -> f64 {
         let tokens = match twig.label(node) {
             TwigLabel::Element(name) => match self.symbol(name) {
                 Some(sym) => vec![PathToken::Element(sym)],
                 None => return 0.0,
             },
-            TwigLabel::Value(value) => {
-                value.bytes().take(4).map(PathToken::Char).collect()
-            }
+            TwigLabel::Value(value) => value.bytes().take(4).map(PathToken::Char).collect(),
             // Wildcards contribute no statistics: treat as a context
             // break (the chain restarts below).
             TwigLabel::Star => {
@@ -182,8 +168,7 @@ impl LoreSummary {
         let mut result = conditional;
         for &child in twig.children(node) {
             let depth = context.len();
-            let child_conditional =
-                self.estimate_subtree(twig, child, context) / self.n as f64;
+            let child_conditional = self.estimate_subtree(twig, child, context) / self.n as f64;
             context.truncate(depth);
             result *= child_conditional;
         }
@@ -207,9 +192,7 @@ mod tests {
         let mut xml = String::from("<dblp>");
         for i in 0..40 {
             let (author, year) = if i < 20 { ("Anna", "1999") } else { ("Bo", "2000") };
-            xml.push_str(&format!(
-                "<book><author>{author}</author><year>{year}</year></book>"
-            ));
+            xml.push_str(&format!("<book><author>{author}</author><year>{year}</year></book>"));
         }
         xml.push_str("</dblp>");
         DataTree::from_xml(&xml).unwrap()
@@ -255,10 +238,7 @@ mod tests {
         let tree = corpus();
         let lore = LoreSummary::build(&tree, 3);
         assert_eq!(lore.estimate(&Twig::parse("nothing").unwrap()), 0.0);
-        assert_eq!(
-            lore.estimate(&Twig::parse(r#"book(publisher("X"))"#).unwrap()),
-            0.0
-        );
+        assert_eq!(lore.estimate(&Twig::parse(r#"book(publisher("X"))"#).unwrap()), 0.0);
     }
 
     #[test]
@@ -301,7 +281,8 @@ mod tests {
                 signature_len: 128,
                 ..CstConfig::default()
             },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         let query = Twig::parse(r#"book(author("Anna"),year("1999"))"#).unwrap();
         let truth = count_occurrence(&tree, &query) as f64;
         let lore_est = lore.estimate(&query);

@@ -85,7 +85,8 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         let twig = Twig::parse("x(a,b)").unwrap();
         let unordered = cst.estimate(&twig, Algorithm::Mosh, CountKind::Occurrence);
         let ordered = cst.estimate_ordered(&twig, Algorithm::Mosh, CountKind::Occurrence);
@@ -111,7 +112,8 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         let twig = Twig::parse("x(a,b)").unwrap();
         let exact_unordered = count_occurrence(&tree, &twig) as f64;
         let exact_ordered = count_occurrence_ordered(&tree, &twig) as f64;
@@ -135,7 +137,8 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         let with_order = Twig::parse("x(a,b)").unwrap();
         let against_order = Twig::parse("x(b,a)").unwrap();
         assert_eq!(count_occurrence_ordered(&tree, &with_order), 40);

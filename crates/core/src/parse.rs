@@ -90,15 +90,17 @@ fn walk_into(
     }
 }
 
-fn piece_at(query: &CompiledQuery, path: usize, start: usize, nodes: &[TrieNodeId]) -> Piece {
+/// The piece for one walked match, or `None` for an empty walk (every
+/// caller guards against one, but the lookup stays total).
+fn piece_at(
+    query: &CompiledQuery,
+    path: usize,
+    start: usize,
+    nodes: &[TrieNodeId],
+) -> Option<Piece> {
+    let (&trie, _) = nodes.split_last()?;
     let end = start + nodes.len();
-    Piece {
-        path,
-        start,
-        end,
-        trie: *nodes.last().expect("non-empty match"),
-        units: query.paths[path].units[start..end].to_vec(),
-    }
+    Some(Piece { path, start, end, trie, units: query.paths[path].units[start..end].to_vec() })
 }
 
 /// Maximal parsing of one token range: all matches not contained in
@@ -129,7 +131,9 @@ pub fn maximal_in_range(
             // increasing, so `end > best_end` is exactly non-containment.
             if end > best_end {
                 best_end = end;
-                pieces.push(piece_at(query, path, start, &scratch.walk));
+                if let Some(piece) = piece_at(query, path, start, &scratch.walk) {
+                    pieces.push(piece);
+                }
             }
         }
     });
@@ -139,7 +143,7 @@ pub fn maximal_in_range(
 /// Removes pieces whose region is contained in another piece's region
 /// (cross-path containment: the paper drops `a.b.c` when `a.b.c.d` from a
 /// sibling path covers it) and exact duplicates from shared prefixes.
-pub fn filter_contained(mut pieces: Vec<Piece>) -> Vec<Piece> {
+pub fn filter_contained(pieces: Vec<Piece>) -> Vec<Piece> {
     let mut keep = vec![true; pieces.len()];
     for i in 0..pieces.len() {
         if !keep[i] {
@@ -149,17 +153,20 @@ pub fn filter_contained(mut pieces: Vec<Piece>) -> Vec<Piece> {
             if i == j || !keep[j] {
                 continue;
             }
-            if pieces[i].contained_in(&pieces[j])
-                && !(pieces[j].contained_in(&pieces[i]) && j > i)
+            if pieces[i].contained_in(&pieces[j]) && !(pieces[j].contained_in(&pieces[i]) && j > i)
             {
                 keep[i] = false;
                 break;
             }
         }
     }
-    let mut iter = keep.iter();
-    pieces.retain(|_| *iter.next().expect("keep mask in sync"));
-    pieces
+    let mut kept = Vec::with_capacity(pieces.len());
+    for (piece, keep_this) in pieces.into_iter().zip(keep) {
+        if keep_this {
+            kept.push(piece);
+        }
+    }
+    kept
 }
 
 /// The **maximal** strategy: MO-parse every root-to-leaf path, then drop
@@ -229,7 +236,7 @@ pub fn greedy_pieces(cst: &Cst, query: &CompiledQuery) -> Option<Vec<Piece>> {
                 if scratch.walk.is_empty() {
                     return None;
                 }
-                let piece = piece_at(query, path, i, &scratch.walk);
+                let piece = piece_at(query, path, i, &scratch.walk)?;
                 i = piece.end;
                 // Dedup shared-prefix pieces across paths.
                 if !pieces.iter().any(|p| p.units == piece.units) {
@@ -271,7 +278,8 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         (tree, cst)
     }
 
@@ -335,7 +343,8 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(3), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         let (_, query) = compiled(&cst, r#"dblp(book(author))"#);
         let pieces = maximal_pieces(&cst, &query);
         // dblp.book.author has pc=3 so it's one piece even here.
@@ -389,10 +398,7 @@ mod tests {
             path: full.path,
             start: full.start,
             end: full.end - 1,
-            trie: cst
-                .trie()
-                .parent(full.trie)
-                .expect("full piece has depth > 1"),
+            trie: cst.trie().parent(full.trie).expect("full piece has depth > 1"),
             units: full.units[..full.units.len() - 1].to_vec(),
         };
         pieces.push(sub);

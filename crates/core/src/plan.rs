@@ -66,10 +66,7 @@ impl QueryPlan {
         QueryPlan::default()
     }
 
-    pub(crate) fn compiled_or_init(
-        &self,
-        init: impl FnOnce() -> CompiledQuery,
-    ) -> &CompiledQuery {
+    pub(crate) fn compiled_or_init(&self, init: impl FnOnce() -> CompiledQuery) -> &CompiledQuery {
         self.compiled.get_or_init(init)
     }
 

@@ -104,14 +104,11 @@ mod tests {
     use twig_tree::DataTree;
 
     fn cst() -> Cst {
-        let tree = DataTree::from_xml(
-            "<dblp><book><author>A1</author><year>Y1</year></book></dblp>",
-        )
-        .unwrap();
-        Cst::build(
-            &tree,
-            &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        ).expect("CST config is valid")
+        let tree =
+            DataTree::from_xml("<dblp><book><author>A1</author><year>Y1</year></book></dblp>")
+                .unwrap();
+        Cst::build(&tree, &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() })
+            .expect("CST config is valid")
     }
 
     #[test]

@@ -94,9 +94,36 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
 /// Guards against absurd counts from corrupt headers before allocating.
 const MAX_REASONABLE: u32 = 1 << 28;
 
+/// The error injected by serialization failpoints, recognizable in tests
+/// by its message prefix. Referenced from failpoint arms that fold away
+/// in default builds, so it is compiled (but unreachable) there.
+fn injected(point: &str) -> io::Error {
+    io::Error::other(format!("injected fault at {point}"))
+}
+
 impl Cst {
     /// Serializes the summary to `out`.
+    ///
+    /// Failpoint `serialize.write`: `error` fails before writing a single
+    /// byte; `partial(p)` emits only the first `p` percent of the encoding
+    /// and then fails — a torn write, as a crashed process would leave.
     pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        if let Some(fault) = twig_util::failpoint!("serialize.write") {
+            match fault {
+                twig_util::failpoint::Fault::Error => return Err(injected("serialize.write")),
+                twig_util::failpoint::Fault::Partial(keep_percent) => {
+                    let mut buffer = Vec::new();
+                    self.write_payload(&mut buffer)?;
+                    let keep = buffer.len() * keep_percent as usize / 100;
+                    out.write_all(&buffer[..keep])?;
+                    return Err(injected("serialize.write"));
+                }
+            }
+        }
+        self.write_payload(out)
+    }
+
+    fn write_payload<W: Write>(&self, out: &mut W) -> io::Result<()> {
         out.write_all(MAGIC)?;
         write_u64(out, self.n())?;
         write_u64(out, size_to_u64(self.source_bytes()))?;
@@ -234,14 +261,39 @@ impl Cst {
     }
 
     /// Deserializes a summary from an in-memory byte buffer.
+    ///
+    /// Failpoint `serialize.read`: `error` fails outright; `partial(p)`
+    /// hands the parser only the first `p` percent of the buffer — a
+    /// short read, exercised through the real corruption-detection paths.
     pub fn from_bytes(bytes: &[u8]) -> Result<Cst, ReadError> {
+        if let Some(fault) = twig_util::failpoint!("serialize.read") {
+            match fault {
+                twig_util::failpoint::Fault::Error => {
+                    return Err(ReadError::Io(injected("serialize.read")));
+                }
+                twig_util::failpoint::Fault::Partial(keep_percent) => {
+                    let keep = bytes.len() * keep_percent as usize / 100;
+                    return Cst::read_from(&mut &bytes[..keep]);
+                }
+            }
+        }
         Cst::read_from(&mut &bytes[..])
     }
 
     /// Reads and deserializes a summary file written by
     /// [`Cst::write_to`]. This is the loading path shared by the CLI and
     /// the `twig-serve` summary registry.
+    ///
+    /// Failpoint `serialize.load_file`: `error` injects an I/O failure
+    /// before the file is opened (a vanished or unreadable file).
     pub fn load_file(path: &Path) -> Result<Cst, ReadError> {
+        if let Some(fault) = twig_util::failpoint!("serialize.load_file") {
+            match fault {
+                twig_util::failpoint::Fault::Error | twig_util::failpoint::Fault::Partial(_) => {
+                    return Err(ReadError::Io(injected("serialize.load_file")));
+                }
+            }
+        }
         let bytes = std::fs::read(path)?;
         Cst::from_bytes(&bytes)
     }
@@ -263,10 +315,8 @@ mod tests {
             "</dblp>"
         ))
         .unwrap();
-        Cst::build(
-            &tree,
-            &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        ).expect("CST config is valid")
+        Cst::build(&tree, &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() })
+            .expect("CST config is valid")
     }
 
     #[test]
@@ -303,10 +353,7 @@ mod tests {
         let mut buffer = Vec::new();
         sample_cst().write_to(&mut buffer).unwrap();
         buffer[0] ^= 0xFF;
-        assert!(matches!(
-            Cst::read_from(&mut buffer.as_slice()),
-            Err(ReadError::BadMagic)
-        ));
+        assert!(matches!(Cst::read_from(&mut buffer.as_slice()), Err(ReadError::BadMagic)));
     }
 
     #[test]
@@ -315,10 +362,7 @@ mod tests {
         sample_cst().write_to(&mut buffer).unwrap();
         for cut in [4usize, 20, buffer.len() / 2, buffer.len() - 1] {
             let truncated = &buffer[..cut];
-            assert!(
-                Cst::read_from(&mut &truncated[..]).is_err(),
-                "cut at {cut} accepted"
-            );
+            assert!(Cst::read_from(&mut &truncated[..]).is_err(), "cut at {cut} accepted");
         }
     }
 
@@ -332,10 +376,8 @@ mod tests {
         assert!(err.source().is_some(), "Io chains to io::Error");
         // Invalid chains to the CstError construction failure; the chain
         // walks to a terminal root (source of the root is None).
-        let invalid = ReadError::Invalid(crate::CstError::SignatureTableMismatch {
-            signatures: 1,
-            nodes: 2,
-        });
+        let invalid =
+            ReadError::Invalid(crate::CstError::SignatureTableMismatch { signatures: 1, nodes: 2 });
         let root = invalid.source().expect("Invalid chains to CstError");
         assert!(root.to_string().contains("signature table"));
         assert!(root.source().is_none());
@@ -358,10 +400,7 @@ mod tests {
         std::fs::write(&path, &buffer).unwrap();
         let loaded = Cst::load_file(&path).unwrap();
         assert_eq!(loaded.node_count(), cst.node_count());
-        assert!(matches!(
-            Cst::load_file(&dir.join("missing.cst")),
-            Err(ReadError::Io(_))
-        ));
+        assert!(matches!(Cst::load_file(&dir.join("missing.cst")), Err(ReadError::Io(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -71,11 +71,9 @@ pub fn mosh_twiglets(query: &CompiledQuery, pieces: &[Piece]) -> (Vec<Twiglet>, 
                 continue;
             }
             let chains: Vec<Piece> = members.iter().map(|&i| pieces[i].clone()).collect();
-            let position = chains
-                .iter()
-                .map(|c| (c.path, c.start))
-                .min()
-                .expect("twiglet has members");
+            let Some(position) = chains.iter().map(|c| (c.path, c.start)).min() else {
+                continue; // unreachable: the size guard above demands >= 2 members
+            };
             for &i in &members {
                 consumed[i] = true;
             }
@@ -117,8 +115,9 @@ pub fn msh_twiglets(cst: &Cst, query: &CompiledQuery, pieces: &[Piece]) -> Vec<T
             if chains.len() < 2 {
                 continue;
             }
-            let position =
-                chains.iter().map(|c| (c.path, c.start)).min().expect("chains non-empty");
+            let Some(position) = chains.iter().map(|c| (c.path, c.start)).min() else {
+                continue; // unreachable: the size guard above demands >= 2 chains
+            };
             twiglets.push(Twiglet { chains, position });
         }
     }
@@ -171,10 +170,13 @@ fn drop_contained_twiglets(twiglets: Vec<Twiglet>) -> Vec<Twiglet> {
             }
         }
     }
-    let mut iter = keep.iter();
-    let mut twiglets = twiglets;
-    twiglets.retain(|_| *iter.next().expect("mask in sync"));
-    twiglets
+    let mut kept = Vec::with_capacity(twiglets.len());
+    for (twiglet, keep_this) in twiglets.into_iter().zip(keep) {
+        if keep_this {
+            kept.push(twiglet);
+        }
+    }
+    kept
 }
 
 #[cfg(test)]
@@ -201,7 +203,8 @@ mod tests {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         (tree, cst)
     }
 

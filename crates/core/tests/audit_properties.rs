@@ -18,11 +18,7 @@ use twig_datagen::{
 use twig_tree::DataTree;
 
 fn dblp_tree(seed: u64) -> DataTree {
-    let xml = generate_dblp(&DblpConfig {
-        target_bytes: 40_000,
-        seed,
-        ..DblpConfig::default()
-    });
+    let xml = generate_dblp(&DblpConfig { target_bytes: 40_000, seed, ..DblpConfig::default() });
     DataTree::from_xml(&xml).expect("generated DBLP XML parses")
 }
 
@@ -103,10 +99,7 @@ fn estimates_pass_audit_on_sampled_workloads() {
             let cst = Cst::build(&tree, &CstConfig { budget, ..CstConfig::default() })
                 .expect("CST config is valid");
             let violations = cst.audit_estimates(&queries);
-            assert!(
-                violations.is_empty(),
-                "seed {seed} budget {budget:?}: {violations:?}"
-            );
+            assert!(violations.is_empty(), "seed {seed} budget {budget:?}: {violations:?}");
         }
     }
 }

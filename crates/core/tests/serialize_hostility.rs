@@ -22,11 +22,9 @@ fn sample_summary_bytes() -> Vec<u8> {
         "</dblp>"
     ))
     .expect("sample XML parses");
-    let cst = Cst::build(
-        &tree,
-        &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-    )
-    .expect("sample CST builds");
+    let cst =
+        Cst::build(&tree, &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() })
+            .expect("sample CST builds");
     let mut buffer = Vec::new();
     cst.write_to(&mut buffer).expect("serialize sample");
     buffer

@@ -61,9 +61,7 @@ fn build_communities(cfg: &DblpConfig, rng: &mut SplitMix64) -> Vec<Community> {
                 })
                 .collect();
             let year_lo = rng.u32_in(1975, 1996);
-            let title_words = (0..8)
-                .map(|_| TITLE_WORDS[rng.index(TITLE_WORDS.len())])
-                .collect();
+            let title_words = (0..8).map(|_| TITLE_WORDS[rng.index(TITLE_WORDS.len())]).collect();
             Community {
                 authors,
                 journal: JOURNALS[community % JOURNALS.len()],
@@ -153,8 +151,11 @@ pub fn generate_dblp(cfg: &DblpConfig) -> String {
             }
             _ => {
                 push_field(&mut out, "publisher", community.publisher);
-                push_field(&mut out, "isbn", &format!("0-{:05}-{:03}-X",
-                    rng.u32_in(10_000, 99_998), rng.u32_in(100, 998)));
+                push_field(
+                    &mut out,
+                    "isbn",
+                    &format!("0-{:05}-{:03}-X", rng.u32_in(10_000, 99_998), rng.u32_in(100, 998)),
+                );
             }
         }
         let year = rng.u32_in(community.year_lo, community.year_hi);
@@ -174,11 +175,7 @@ pub fn generate_dblp(cfg: &DblpConfig) -> String {
                     "author",
                     &cited.authors[zipf_index(&mut rng, cited.authors.len())],
                 );
-                push_field(
-                    &mut out,
-                    "year",
-                    &rng.u32_in(cited.year_lo, cited.year_hi).to_string(),
-                );
+                push_field(&mut out, "year", &rng.u32_in(cited.year_lo, cited.year_hi).to_string());
                 out.push_str("</cite>");
             }
         }
@@ -217,8 +214,18 @@ mod tests {
     fn has_expected_structure() {
         let cfg = DblpConfig { target_bytes: 200_000, seed: 3, ..DblpConfig::default() };
         let tree = DataTree::from_xml(&generate_dblp(&cfg)).unwrap();
-        for label in ["article", "inproceedings", "book", "author", "title", "year",
-                      "journal", "booktitle", "publisher", "pages"] {
+        for label in [
+            "article",
+            "inproceedings",
+            "book",
+            "author",
+            "title",
+            "year",
+            "journal",
+            "booktitle",
+            "publisher",
+            "pages",
+        ] {
             let sym = tree.symbol(label).unwrap_or_else(|| panic!("missing {label}"));
             assert!(!tree.nodes_with_label(sym).is_empty(), "no {label} nodes");
         }
@@ -233,10 +240,8 @@ mod tests {
         let mut saw_multi = false;
         for &a in tree.nodes_with_label(author) {
             let parent = tree.parent(a).unwrap();
-            let authors = tree
-                .children(parent)
-                .filter(|&c| tree.element_symbol(c) == Some(author))
-                .count();
+            let authors =
+                tree.children(parent).filter(|&c| tree.element_symbol(c) == Some(author)).count();
             if authors >= 2 {
                 saw_multi = true;
                 break;
@@ -258,19 +263,16 @@ mod tests {
         for &a in tree.nodes_with_label(author_sym) {
             let name = tree.text(tree.children(a).next().unwrap()).unwrap().to_owned();
             let record = tree.parent(a).unwrap();
-            if let Some(j) = tree
-                .children(record)
-                .find(|&c| tree.element_symbol(c) == Some(journal_sym))
+            if let Some(j) =
+                tree.children(record).find(|&c| tree.element_symbol(c) == Some(journal_sym))
             {
                 let journal = tree.text(tree.children(j).next().unwrap()).unwrap().to_owned();
                 by_author.entry(name).or_default().push(journal);
             }
         }
         // Take the most prolific author; their journals should be few.
-        let (_, journals) = by_author
-            .iter()
-            .max_by_key(|(_, v)| v.len())
-            .expect("some author has articles");
+        let (_, journals) =
+            by_author.iter().max_by_key(|(_, v)| v.len()).expect("some author has articles");
         assert!(journals.len() >= 5, "not enough data to check correlation");
         let distinct: std::collections::HashSet<&String> = journals.iter().collect();
         assert!(

@@ -28,6 +28,4 @@ pub mod workload;
 
 pub use dblp::{generate_dblp, DblpConfig};
 pub use sprot::{generate_sprot, SprotConfig};
-pub use workload::{
-    negative_query_candidates, positive_queries, trivial_queries, WorkloadConfig,
-};
+pub use workload::{negative_query_candidates, positive_queries, trivial_queries, WorkloadConfig};

@@ -4,66 +4,228 @@
 /// sample 1–4 character prefixes, so names sharing prefixes like
 /// "Su"/"Sud" exercise the value-prefix trie the way DBLP does).
 pub const SURNAMES: &[&str] = &[
-    "Suciu", "Sudarshan", "Srivastava", "Stonebraker", "Samet", "Sagiv", "Silberschatz",
-    "Jagadish", "Johnson", "Jones", "Jensen", "Jarke", "Koudas", "Korn", "Kanne", "Kossmann",
-    "Kersten", "Kifer", "Muthukrishnan", "Mendelzon", "Mumick", "Mohan", "Maier", "Motwani",
-    "Ng", "Naughton", "Navathe", "Nestorov", "Chen", "Chaudhuri", "Chamberlin", "Carey",
-    "Ceri", "Codd", "Widom", "Wiederhold", "Wong", "Wood", "Abiteboul", "Aho", "Agrawal",
-    "Afrati", "Bernstein", "Buneman", "Bancilhon", "Beeri", "Gray", "Garcia", "Gupta",
-    "Gottlob", "DeWitt", "Dayal", "Delobel", "Fernandez", "Florescu", "Fagin", "Franklin",
-    "Halevy", "Hellerstein", "Hull", "Haas", "Ioannidis", "Imielinski", "Lenzerini", "Libkin",
-    "Lomet", "Levy", "Ullman", "Vardi", "Vianu", "Valduriez", "Ramakrishnan", "Raghavan",
-    "Reuter", "Rosenthal", "Tannen", "Tsichritzis", "Ozsu", "Papadimitriou", "Pirahesh",
-    "Quass", "Zaniolo", "Zdonik", "Yannakakis", "Yu",
+    "Suciu",
+    "Sudarshan",
+    "Srivastava",
+    "Stonebraker",
+    "Samet",
+    "Sagiv",
+    "Silberschatz",
+    "Jagadish",
+    "Johnson",
+    "Jones",
+    "Jensen",
+    "Jarke",
+    "Koudas",
+    "Korn",
+    "Kanne",
+    "Kossmann",
+    "Kersten",
+    "Kifer",
+    "Muthukrishnan",
+    "Mendelzon",
+    "Mumick",
+    "Mohan",
+    "Maier",
+    "Motwani",
+    "Ng",
+    "Naughton",
+    "Navathe",
+    "Nestorov",
+    "Chen",
+    "Chaudhuri",
+    "Chamberlin",
+    "Carey",
+    "Ceri",
+    "Codd",
+    "Widom",
+    "Wiederhold",
+    "Wong",
+    "Wood",
+    "Abiteboul",
+    "Aho",
+    "Agrawal",
+    "Afrati",
+    "Bernstein",
+    "Buneman",
+    "Bancilhon",
+    "Beeri",
+    "Gray",
+    "Garcia",
+    "Gupta",
+    "Gottlob",
+    "DeWitt",
+    "Dayal",
+    "Delobel",
+    "Fernandez",
+    "Florescu",
+    "Fagin",
+    "Franklin",
+    "Halevy",
+    "Hellerstein",
+    "Hull",
+    "Haas",
+    "Ioannidis",
+    "Imielinski",
+    "Lenzerini",
+    "Libkin",
+    "Lomet",
+    "Levy",
+    "Ullman",
+    "Vardi",
+    "Vianu",
+    "Valduriez",
+    "Ramakrishnan",
+    "Raghavan",
+    "Reuter",
+    "Rosenthal",
+    "Tannen",
+    "Tsichritzis",
+    "Ozsu",
+    "Papadimitriou",
+    "Pirahesh",
+    "Quass",
+    "Zaniolo",
+    "Zdonik",
+    "Yannakakis",
+    "Yu",
 ];
 
 /// First names (used in author strings "First Last").
 pub const FIRST_NAMES: &[&str] = &[
     "Serge", "Rakesh", "Philip", "Michael", "David", "Jennifer", "Hector", "Jeffrey", "Dan",
-    "Divesh", "Nick", "Flip", "Raymond", "Zhiyuan", "Mary", "Alin", "Daniela", "Laura",
-    "Victor", "Moshe", "Umesh", "Peter", "Raghu", "Ioana", "Wenfei", "Limsoon", "Timos",
-    "Gerhard", "Guido", "Catriel", "Anthony", "Yannis", "Christos", "Renee", "Sophie", "Val",
+    "Divesh", "Nick", "Flip", "Raymond", "Zhiyuan", "Mary", "Alin", "Daniela", "Laura", "Victor",
+    "Moshe", "Umesh", "Peter", "Raghu", "Ioana", "Wenfei", "Limsoon", "Timos", "Gerhard", "Guido",
+    "Catriel", "Anthony", "Yannis", "Christos", "Renee", "Sophie", "Val",
 ];
 
 /// Journal names.
 pub const JOURNALS: &[&str] = &[
-    "TODS", "VLDB Journal", "SIGMOD Record", "TKDE", "Information Systems", "JACM",
-    "Data Engineering Bulletin", "Acta Informatica", "JCSS", "Theoretical Computer Science",
-    "Distributed and Parallel Databases", "Knowledge and Information Systems",
+    "TODS",
+    "VLDB Journal",
+    "SIGMOD Record",
+    "TKDE",
+    "Information Systems",
+    "JACM",
+    "Data Engineering Bulletin",
+    "Acta Informatica",
+    "JCSS",
+    "Theoretical Computer Science",
+    "Distributed and Parallel Databases",
+    "Knowledge and Information Systems",
 ];
 
 /// Conference names (booktitle).
 pub const CONFERENCES: &[&str] = &[
-    "SIGMOD Conference", "VLDB", "ICDE", "PODS", "EDBT", "ICDT", "CIKM", "SSDBM", "WebDB",
-    "DASFAA", "ADBIS", "IDEAL",
+    "SIGMOD Conference",
+    "VLDB",
+    "ICDE",
+    "PODS",
+    "EDBT",
+    "ICDT",
+    "CIKM",
+    "SSDBM",
+    "WebDB",
+    "DASFAA",
+    "ADBIS",
+    "IDEAL",
 ];
 
 /// Book publishers.
 pub const PUBLISHERS: &[&str] = &[
-    "Morgan Kaufmann", "Addison-Wesley", "Springer", "Prentice Hall", "McGraw-Hill",
-    "Academic Press", "MIT Press", "Cambridge University Press",
+    "Morgan Kaufmann",
+    "Addison-Wesley",
+    "Springer",
+    "Prentice Hall",
+    "McGraw-Hill",
+    "Academic Press",
+    "MIT Press",
+    "Cambridge University Press",
 ];
 
 /// Title vocabulary (drawn per community so that title words correlate
 /// with venues the way real sub-areas do).
 pub const TITLE_WORDS: &[&str] = &[
-    "query", "optimization", "selectivity", "estimation", "indexing", "histograms",
-    "aggregation", "views", "materialized", "semistructured", "XML", "relational",
-    "transactions", "concurrency", "recovery", "logging", "spatial", "temporal", "streams",
-    "sampling", "sketches", "wavelets", "mining", "association", "clustering",
-    "classification", "warehouse", "OLAP", "cube", "parallel", "distributed", "replication",
-    "mediation", "integration", "wrappers", "schema", "matching", "storage", "compression",
-    "caching", "joins", "nested", "recursive", "datalog", "constraints", "dependencies",
-    "normalization", "design", "evolution", "versioning", "workflow", "access", "control",
-    "security", "privacy", "approximate", "answers", "ranking", "top-k", "similarity",
+    "query",
+    "optimization",
+    "selectivity",
+    "estimation",
+    "indexing",
+    "histograms",
+    "aggregation",
+    "views",
+    "materialized",
+    "semistructured",
+    "XML",
+    "relational",
+    "transactions",
+    "concurrency",
+    "recovery",
+    "logging",
+    "spatial",
+    "temporal",
+    "streams",
+    "sampling",
+    "sketches",
+    "wavelets",
+    "mining",
+    "association",
+    "clustering",
+    "classification",
+    "warehouse",
+    "OLAP",
+    "cube",
+    "parallel",
+    "distributed",
+    "replication",
+    "mediation",
+    "integration",
+    "wrappers",
+    "schema",
+    "matching",
+    "storage",
+    "compression",
+    "caching",
+    "joins",
+    "nested",
+    "recursive",
+    "datalog",
+    "constraints",
+    "dependencies",
+    "normalization",
+    "design",
+    "evolution",
+    "versioning",
+    "workflow",
+    "access",
+    "control",
+    "security",
+    "privacy",
+    "approximate",
+    "answers",
+    "ranking",
+    "top-k",
+    "similarity",
 ];
 
 /// Organism names for the SWISS-PROT-like corpus.
 pub const ORGANISMS: &[&str] = &[
-    "Homo sapiens", "Mus musculus", "Rattus norvegicus", "Escherichia coli",
-    "Saccharomyces cerevisiae", "Drosophila melanogaster", "Caenorhabditis elegans",
-    "Arabidopsis thaliana", "Bacillus subtilis", "Danio rerio", "Gallus gallus",
-    "Xenopus laevis", "Oryza sativa", "Zea mays", "Bos taurus", "Sus scrofa",
+    "Homo sapiens",
+    "Mus musculus",
+    "Rattus norvegicus",
+    "Escherichia coli",
+    "Saccharomyces cerevisiae",
+    "Drosophila melanogaster",
+    "Caenorhabditis elegans",
+    "Arabidopsis thaliana",
+    "Bacillus subtilis",
+    "Danio rerio",
+    "Gallus gallus",
+    "Xenopus laevis",
+    "Oryza sativa",
+    "Zea mays",
+    "Bos taurus",
+    "Sus scrofa",
 ];
 
 /// Taxonomy chains (kingdom → phylum → class → order), one per organism
@@ -83,16 +245,39 @@ pub const LINEAGES: &[&[&str]] = &[
 
 /// Protein keywords.
 pub const KEYWORDS: &[&str] = &[
-    "Hydrolase", "Transferase", "Kinase", "Oxidoreductase", "Ligase", "Isomerase", "Lyase",
-    "Membrane", "Transmembrane", "Signal", "Glycoprotein", "Phosphoprotein", "Zinc-finger",
-    "DNA-binding", "RNA-binding", "ATP-binding", "GTP-binding", "Calcium", "Iron", "Heme",
-    "Mitochondrion", "Nucleus", "Cytoplasm", "Secreted", "Repeat", "Transport", "Receptor",
+    "Hydrolase",
+    "Transferase",
+    "Kinase",
+    "Oxidoreductase",
+    "Ligase",
+    "Isomerase",
+    "Lyase",
+    "Membrane",
+    "Transmembrane",
+    "Signal",
+    "Glycoprotein",
+    "Phosphoprotein",
+    "Zinc-finger",
+    "DNA-binding",
+    "RNA-binding",
+    "ATP-binding",
+    "GTP-binding",
+    "Calcium",
+    "Iron",
+    "Heme",
+    "Mitochondrion",
+    "Nucleus",
+    "Cytoplasm",
+    "Secreted",
+    "Repeat",
+    "Transport",
+    "Receptor",
 ];
 
 /// Feature table types.
 pub const FEATURE_TYPES: &[&str] = &[
-    "DOMAIN", "CHAIN", "SIGNAL", "TRANSMEM", "ACT_SITE", "BINDING", "METAL", "MOD_RES",
-    "DISULFID", "HELIX", "STRAND", "TURN", "VARIANT", "CONFLICT", "REPEAT",
+    "DOMAIN", "CHAIN", "SIGNAL", "TRANSMEM", "ACT_SITE", "BINDING", "METAL", "MOD_RES", "DISULFID",
+    "HELIX", "STRAND", "TURN", "VARIANT", "CONFLICT", "REPEAT",
 ];
 
 #[cfg(test)]

@@ -9,9 +9,7 @@
 
 use twig_util::SplitMix64;
 
-use crate::names::{
-    FEATURE_TYPES, FIRST_NAMES, JOURNALS, KEYWORDS, LINEAGES, ORGANISMS, SURNAMES,
-};
+use crate::names::{FEATURE_TYPES, FIRST_NAMES, JOURNALS, KEYWORDS, LINEAGES, ORGANISMS, SURNAMES};
 
 /// Configuration for [`generate_sprot`].
 #[derive(Debug, Clone)]
@@ -52,17 +50,33 @@ pub fn generate_sprot(cfg: &SprotConfig) -> String {
         let organism_idx = rng.index(ORGANISMS.len());
         let lineage = LINEAGES[organism_idx % LINEAGES.len()];
         out.push_str("<entry>");
-        push_field(&mut out, "id", &format!("P{entry_no:05}_{}", &ORGANISMS[organism_idx][..2].to_uppercase()));
+        push_field(
+            &mut out,
+            "id",
+            &format!("P{entry_no:05}_{}", &ORGANISMS[organism_idx][..2].to_uppercase()),
+        );
         for _ in 0..rng.usize_in(1, 3) {
             push_field(&mut out, "accession", &format!("Q{:05}", rng.u32_in(0, 99_999)));
         }
-        push_field(&mut out, "created", &format!("{}-{:02}", rng.u32_in(1988, 2000), rng.u32_in(1, 12)));
-        push_field(&mut out, "description", &format!(
-            "{} {}",
-            KEYWORDS[rng.index(KEYWORDS.len())],
-            ["precursor", "fragment", "isoform", "homolog", "subunit"][rng.index(5)]
-        ));
-        push_field(&mut out, "gene", &format!("{}{}", ["ab", "cd", "ef", "gh", "rp", "ss"][rng.index(6)], rng.u32_in(1, 29)));
+        push_field(
+            &mut out,
+            "created",
+            &format!("{}-{:02}", rng.u32_in(1988, 2000), rng.u32_in(1, 12)),
+        );
+        push_field(
+            &mut out,
+            "description",
+            &format!(
+                "{} {}",
+                KEYWORDS[rng.index(KEYWORDS.len())],
+                ["precursor", "fragment", "isoform", "homolog", "subunit"][rng.index(5)]
+            ),
+        );
+        push_field(
+            &mut out,
+            "gene",
+            &format!("{}{}", ["ab", "cd", "ef", "gh", "rp", "ss"][rng.index(6)], rng.u32_in(1, 29)),
+        );
 
         // Organism block with a deep taxonomy chain (nested taxon elements).
         out.push_str("<organism>");
@@ -83,11 +97,15 @@ pub fn generate_sprot(cfg: &SprotConfig) -> String {
             push_field(&mut out, "position", &ref_no.to_string());
             out.push_str("<authors>");
             for _ in 0..rng.usize_in(1, 6) {
-                push_field(&mut out, "person", &format!(
-                    "{} {}",
-                    FIRST_NAMES[rng.index(FIRST_NAMES.len())],
-                    SURNAMES[rng.index(SURNAMES.len())]
-                ));
+                push_field(
+                    &mut out,
+                    "person",
+                    &format!(
+                        "{} {}",
+                        FIRST_NAMES[rng.index(FIRST_NAMES.len())],
+                        SURNAMES[rng.index(SURNAMES.len())]
+                    ),
+                );
             }
             out.push_str("</authors>");
             // Journal pool biased by organism group.
@@ -160,11 +178,9 @@ mod tests {
 
     #[test]
     fn more_labels_than_dblp() {
-        let sprot = DataTree::from_xml(&generate_sprot(&SprotConfig {
-            target_bytes: 150_000,
-            seed: 3,
-        }))
-        .unwrap();
+        let sprot =
+            DataTree::from_xml(&generate_sprot(&SprotConfig { target_bytes: 150_000, seed: 3 }))
+                .unwrap();
         let dblp = DataTree::from_xml(&crate::generate_dblp(&crate::DblpConfig {
             target_bytes: 150_000,
             seed: 3,
@@ -181,26 +197,23 @@ mod tests {
 
     #[test]
     fn taxonomy_chains_are_nested() {
-        let tree = DataTree::from_xml(&generate_sprot(&SprotConfig {
-            target_bytes: 60_000,
-            seed: 4,
-        }))
-        .unwrap();
+        let tree =
+            DataTree::from_xml(&generate_sprot(&SprotConfig { target_bytes: 60_000, seed: 4 }))
+                .unwrap();
         let taxon = tree.symbol("taxon").unwrap();
         // Some taxon must contain another taxon (nesting).
-        let nested = tree.nodes_with_label(taxon).iter().any(|&t| {
-            tree.children(t).any(|c| tree.element_symbol(c) == Some(taxon))
-        });
+        let nested = tree
+            .nodes_with_label(taxon)
+            .iter()
+            .any(|&t| tree.children(t).any(|c| tree.element_symbol(c) == Some(taxon)));
         assert!(nested, "lineage taxa are not nested");
     }
 
     #[test]
     fn deeper_than_dblp() {
-        let tree = DataTree::from_xml(&generate_sprot(&SprotConfig {
-            target_bytes: 60_000,
-            seed: 5,
-        }))
-        .unwrap();
+        let tree =
+            DataTree::from_xml(&generate_sprot(&SprotConfig { target_bytes: 60_000, seed: 5 }))
+                .unwrap();
         let mut max_depth = 0;
         tree.for_each_root_to_leaf_path(|path| max_depth = max_depth.max(path.len()));
         assert!(max_depth >= 9, "max depth {max_depth}");

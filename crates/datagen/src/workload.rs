@@ -10,9 +10,9 @@
 //!   harness filters with the exact counter (this crate does not depend
 //!   on `twig-exact`).
 
-use twig_util::SplitMix64;
 use twig_tree::{DataTree, NodeId, Twig, TwigNodeId};
 use twig_util::FxHashMap;
+use twig_util::SplitMix64;
 
 /// Workload shape parameters (defaults follow the paper).
 #[derive(Debug, Clone)]
@@ -36,14 +36,17 @@ impl Default for WorkloadConfig {
 }
 
 fn element_children(tree: &DataTree, node: NodeId) -> Vec<NodeId> {
-    tree.children(node)
-        .filter(|&c| tree.element_symbol(c).is_some())
-        .collect()
+    tree.children(node).filter(|&c| tree.element_symbol(c).is_some()).collect()
 }
 
 /// Walks a random downward element path of exactly `depth` nodes starting
 /// at `start` (inclusive). Returns `None` when the subtree is too shallow.
-fn random_path(tree: &DataTree, rng: &mut SplitMix64, start: NodeId, depth: usize) -> Option<Vec<NodeId>> {
+fn random_path(
+    tree: &DataTree,
+    rng: &mut SplitMix64,
+    start: NodeId,
+    depth: usize,
+) -> Option<Vec<NodeId>> {
     let mut path = vec![start];
     let mut cursor = start;
     for _ in 1..depth {
@@ -59,9 +62,7 @@ fn random_path(tree: &DataTree, rng: &mut SplitMix64, start: NodeId, depth: usiz
 
 /// The leaf value reached below the last element of `path`, if any.
 fn leaf_value(tree: &DataTree, node: NodeId) -> Option<String> {
-    tree.children(node)
-        .find_map(|c| tree.text(c))
-        .map(str::to_owned)
+    tree.children(node).find_map(|c| tree.text(c)).map(str::to_owned)
 }
 
 fn char_prefix(value: &str, chars: usize) -> String {
@@ -71,11 +72,7 @@ fn char_prefix(value: &str, chars: usize) -> String {
 /// Builds a twig from data paths that all start at the same data node,
 /// merging shared data-node prefixes (two paths through *different*
 /// same-labeled children stay separate — the multiset query case).
-fn twig_from_paths(
-    tree: &DataTree,
-    paths: &[Vec<NodeId>],
-    leaves: &[Option<String>],
-) -> Twig {
+fn twig_from_paths(tree: &DataTree, paths: &[Vec<NodeId>], leaves: &[Option<String>]) -> Twig {
     let root_sym = tree.element_symbol(paths[0][0]).expect("paths start at elements");
     let mut twig = Twig::with_root_element(tree.label_str(root_sym));
     let mut node_map: FxHashMap<NodeId, TwigNodeId> = FxHashMap::default();
@@ -200,8 +197,12 @@ pub fn trivial_queries(tree: &DataTree, cfg: &WorkloadConfig) -> Vec<Twig> {
         }
         let root = roots[rng.index(roots.len())];
         let depth = rng.usize_in(single.internal.0, single.internal.1);
-        let Some(path) = random_path(tree, &mut rng, root, depth) else { continue };
-        let Some(value) = leaf_value(tree, *path.last().expect("non-empty")) else { continue };
+        let Some(path) = random_path(tree, &mut rng, root, depth) else {
+            continue;
+        };
+        let Some(value) = leaf_value(tree, *path.last().expect("non-empty")) else {
+            continue;
+        };
         let chars = rng.usize_in(single.leaf_chars.0, single.leaf_chars.1);
         let twig = twig_from_paths(tree, &[path], &[Some(char_prefix(&value, chars))]);
         out.push(twig);
@@ -220,16 +221,9 @@ pub fn negative_query_candidates(tree: &DataTree, cfg: &WorkloadConfig) -> Vec<T
     // Group sampling roots by label so we can glue across instances.
     let mut by_label: FxHashMap<u32, Vec<NodeId>> = FxHashMap::default();
     for &r in &roots {
-        by_label
-            .entry(tree.element_symbol(r).expect("element").0)
-            .or_default()
-            .push(r);
+        by_label.entry(tree.element_symbol(r).expect("element").0).or_default().push(r);
     }
-    let labels: Vec<u32> = by_label
-        .iter()
-        .filter(|(_, v)| v.len() >= 2)
-        .map(|(&l, _)| l)
-        .collect();
+    let labels: Vec<u32> = by_label.iter().filter(|(_, v)| v.len() >= 2).map(|(&l, _)| l).collect();
     assert!(!labels.is_empty(), "no repeated record labels to glue across");
     let mut out = Vec::with_capacity(cfg.count);
     let mut attempts = 0usize;
@@ -306,7 +300,9 @@ mod tests {
             let TwigLabel::Element(root_label) = twig.label(twig.root()) else {
                 panic!("workload twigs have element roots")
             };
-            let Some(sym) = tree.symbol(root_label) else { return 0 };
+            let Some(sym) = tree.symbol(root_label) else {
+                return 0;
+            };
             tree.nodes_with_label(sym)
                 .iter()
                 .filter(|&&v| matches(tree, twig, twig.root(), v))
@@ -418,10 +414,7 @@ mod tests {
         let tree = tree();
         let candidates = negative_query_candidates(&tree, &small_cfg());
         assert!(!candidates.is_empty());
-        let zeros = candidates
-            .iter()
-            .filter(|q| count_presence(&tree, q) == 0)
-            .count();
+        let zeros = candidates.iter().filter(|q| count_presence(&tree, q) == 0).count();
         // Gluing across instances should produce mostly-zero counts.
         assert!(
             zeros * 2 > candidates.len(),
@@ -445,10 +438,7 @@ mod tests {
     fn different_seeds_differ() {
         let tree = tree();
         let a = positive_queries(&tree, &small_cfg());
-        let b = positive_queries(
-            &tree,
-            &WorkloadConfig { seed: 1234, ..small_cfg() },
-        );
+        let b = positive_queries(&tree, &WorkloadConfig { seed: 1234, ..small_cfg() });
         let a_strs: Vec<String> = a.iter().map(ToString::to_string).collect();
         let b_strs: Vec<String> = b.iter().map(ToString::to_string).collect();
         assert_ne!(a_strs, b_strs);

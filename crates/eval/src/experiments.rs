@@ -102,11 +102,8 @@ pub fn parse_divergence(corpus: &Corpus, scale: &Scale, spaces: &[f64]) -> Vec<(
         .iter()
         .map(|&space| {
             let cst = corpus.cst(space, scale);
-            let divergent = workload
-                .queries
-                .iter()
-                .filter(|twig| cst.parses_differently(twig))
-                .count();
+            let divergent =
+                workload.queries.iter().filter(|twig| cst.parses_differently(twig)).count();
             (space, 100.0 * divergent as f64 / workload.queries.len() as f64)
         })
         .collect()
@@ -134,7 +131,9 @@ pub fn divergent_error(
             let truths: Vec<u64> = divergent.iter().map(|&i| workload.truths[i]).collect();
             let mosh: Vec<f64> = divergent
                 .iter()
-                .map(|&i| cst.estimate(&workload.queries[i], Algorithm::Mosh, CountKind::Occurrence))
+                .map(|&i| {
+                    cst.estimate(&workload.queries[i], Algorithm::Mosh, CountKind::Occurrence)
+                })
                 .collect();
             let msh: Vec<f64> = divergent
                 .iter()
@@ -280,10 +279,7 @@ mod tests {
             &workload.truths,
             &workload.estimate_pair(&pair, Algorithm::PureMo),
         );
-        assert!(
-            mo_rel * 2.0 < leaf_rel,
-            "MO rel {mo_rel} should clearly beat Leaf rel {leaf_rel}"
-        );
+        assert!(mo_rel * 2.0 < leaf_rel, "MO rel {mo_rel} should clearly beat Leaf rel {leaf_rel}");
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
 use twig_datagen::{
-    generate_dblp, generate_sprot, negative_query_candidates, positive_queries,
-    trivial_queries, DblpConfig, SprotConfig, WorkloadConfig,
+    generate_dblp, generate_sprot, negative_query_candidates, positive_queries, trivial_queries,
+    DblpConfig, SprotConfig, WorkloadConfig,
 };
 use twig_exact::{count_occurrence, count_presence};
 use twig_pst::{build_suffix_trie, SuffixTrie, TrieConfig};
@@ -201,10 +201,7 @@ impl Workload {
             ..WorkloadConfig::default()
         };
         let queries = trivial_queries(&corpus.tree, &cfg);
-        let truths = queries
-            .iter()
-            .map(|twig| count_occurrence(&corpus.tree, twig))
-            .collect();
+        let truths = queries.iter().map(|twig| count_occurrence(&corpus.tree, twig)).collect();
         Self { queries, truths }
     }
 
@@ -221,11 +218,7 @@ impl Workload {
             .filter(|twig| count_presence(&corpus.tree, twig) == 0)
             .take(scale.queries)
             .collect();
-        assert!(
-            queries.len() >= scale.queries / 2,
-            "too few negative queries: {}",
-            queries.len()
-        );
+        assert!(queries.len() >= scale.queries / 2, "too few negative queries: {}", queries.len());
         let truths = vec![0u64; queries.len()];
         Self { queries, truths }
     }

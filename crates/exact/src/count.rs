@@ -37,18 +37,14 @@ impl<'a> ExactCounter<'a> {
 
     /// Presence count (Definition 2): distinct rooting nodes.
     pub fn presence(&mut self) -> u64 {
-        self.root_candidates()
-            .iter()
-            .filter(|&&v| self.count(self.twig.root(), v) > 0)
-            .count() as u64
+        self.root_candidates().iter().filter(|&&v| self.count(self.twig.root(), v) > 0).count()
+            as u64
     }
 
     /// Occurrence count (Definition 3): total mappings.
     pub fn occurrence(&mut self) -> u64 {
         let root = self.twig.root();
-        self.root_candidates()
-            .iter()
-            .fold(0u64, |acc, &v| acc.saturating_add(self.count(root, v)))
+        self.root_candidates().iter().fold(0u64, |acc, &v| acc.saturating_add(self.count(root, v)))
     }
 
     /// Number of mappings of subtree(q) into subtree(v) with q ↦ v.
@@ -69,10 +65,8 @@ impl<'a> ExactCounter<'a> {
                 _ => 0,
             },
             TwigLabel::Element(name) => {
-                let matches = self
-                    .tree
-                    .element_symbol(v)
-                    .is_some_and(|sym| self.tree.label_str(sym) == name);
+                let matches =
+                    self.tree.element_symbol(v).is_some_and(|sym| self.tree.label_str(sym) == name);
                 if !matches {
                     return 0;
                 }
@@ -200,10 +194,7 @@ mod tests {
 
     #[test]
     fn value_prefix_semantics() {
-        let tree = DataTree::from_xml(
-            "<r><a>Suciu</a><a>Sudarshan</a><a>Korn</a></r>",
-        )
-        .unwrap();
+        let tree = DataTree::from_xml("<r><a>Suciu</a><a>Sudarshan</a><a>Korn</a></r>").unwrap();
         assert_eq!(count_occurrence(&tree, &twig(r#"a("Su")"#)), 2);
         assert_eq!(count_occurrence(&tree, &twig(r#"a("Suciu")"#)), 1);
         assert_eq!(count_occurrence(&tree, &twig(r#"a("uciu")"#)), 0, "not a prefix");
@@ -235,10 +226,7 @@ mod tests {
     #[test]
     fn occurrence_multiplies_along_branches() {
         // Two branch legs each with multiplicity 2 → 4 mappings.
-        let tree = DataTree::from_xml(
-            "<r><x><a>1</a><a>2</a><b>1</b><b>2</b></x></r>",
-        )
-        .unwrap();
+        let tree = DataTree::from_xml("<r><x><a>1</a><a>2</a><b>1</b><b>2</b></x></r>").unwrap();
         let q = twig("x(a,b)");
         assert_eq!(count_presence(&tree, &q), 1);
         assert_eq!(count_occurrence(&tree, &q), 4);
@@ -246,10 +234,7 @@ mod tests {
 
     #[test]
     fn wildcard_matches_chains() {
-        let tree = DataTree::from_xml(
-            "<r><a><b><c>x</c></b></a><a><c>x</c></a></r>",
-        )
-        .unwrap();
+        let tree = DataTree::from_xml("<r><a><b><c>x</c></b></a><a><c>x</c></a></r>").unwrap();
         // r(*(c)): * can be a, a.b, or b... rooted at r: chains a(1st), a.b, a(2nd).
         let q = twig(r#"r(*(c("x")))"#);
         // chains ending at: first a (c? no c child — a's child is b) → 0;
@@ -278,17 +263,9 @@ mod tests {
             "</dblp>"
         ))
         .unwrap();
-        for expr in [
-            r#"book(author("A1"),year("Y1"))"#,
-            "book(author,year)",
-            "book(title)",
-        ] {
+        for expr in [r#"book(author("A1"),year("Y1"))"#, "book(author,year)", "book(title)"] {
             let q = twig(expr);
-            assert_eq!(
-                count_presence(&tree, &q),
-                count_occurrence(&tree, &q),
-                "query {expr}"
-            );
+            assert_eq!(count_presence(&tree, &q), count_occurrence(&tree, &q), "query {expr}");
         }
     }
 

@@ -40,10 +40,8 @@ impl OrderedCounter<'_> {
                 _ => 0,
             },
             TwigLabel::Element(name) => {
-                let matches = self
-                    .tree
-                    .element_symbol(v)
-                    .is_some_and(|sym| self.tree.label_str(sym) == name);
+                let matches =
+                    self.tree.element_symbol(v).is_some_and(|sym| self.tree.label_str(sym) == name);
                 if matches {
                     self.children_mappings(q, v)
                 } else {
@@ -90,11 +88,7 @@ impl OrderedCounter<'_> {
 /// order-preserving mapping.
 pub fn count_presence_ordered(tree: &DataTree, twig: &Twig) -> u64 {
     let mut counter = OrderedCounter { tree, twig, memo: FxHashMap::default() };
-    counter
-        .root_candidates()
-        .iter()
-        .filter(|&&v| counter.count(twig.root(), v) > 0)
-        .count() as u64
+    counter.root_candidates().iter().filter(|&&v| counter.count(twig.root(), v) > 0).count() as u64
 }
 
 /// Ordered occurrence count: total order-preserving mappings.
@@ -146,10 +140,7 @@ mod tests {
                 count_occurrence_ordered(&tree, &q) <= count_occurrence(&tree, &q),
                 "query {expr}"
             );
-            assert!(
-                count_presence_ordered(&tree, &q) <= count_presence(&tree, &q),
-                "query {expr}"
-            );
+            assert!(count_presence_ordered(&tree, &q) <= count_presence(&tree, &q), "query {expr}");
         }
     }
 
@@ -157,8 +148,7 @@ mod tests {
     fn interleaved_siblings_counted_correctly() {
         // x has children a b a b; query x(a,b): ordered pairs with a
         // before b: (a1,b1), (a1,b2), (a2,b2) = 3; unordered = 4.
-        let tree =
-            DataTree::from_xml("<r><x><a>1</a><b>1</b><a>2</a><b>2</b></x></r>").unwrap();
+        let tree = DataTree::from_xml("<r><x><a>1</a><b>1</b><a>2</a><b>2</b></x></r>").unwrap();
         let q = twig("x(a,b)");
         assert_eq!(count_occurrence(&tree, &q), 4);
         assert_eq!(count_occurrence_ordered(&tree, &q), 3);
@@ -166,10 +156,7 @@ mod tests {
 
     #[test]
     fn single_path_queries_unaffected_by_order() {
-        let tree = DataTree::from_xml(
-            "<r><x><a>hello</a></x><x><a>help</a></x></r>",
-        )
-        .unwrap();
+        let tree = DataTree::from_xml("<r><x><a>hello</a></x><x><a>help</a></x></r>").unwrap();
         let q = twig(r#"x(a("hel"))"#);
         assert_eq!(count_occurrence(&tree, &q), count_occurrence_ordered(&tree, &q));
         assert_eq!(count_occurrence_ordered(&tree, &q), 2);
@@ -179,8 +166,8 @@ mod tests {
     fn ordered_presence_counts_roots() {
         let tree = DataTree::from_xml(concat!(
             "<r>",
-            "<x><a>1</a><b>1</b></x>",  // ordered ✓
-            "<x><b>1</b><a>1</a></x>",  // ordered ✗ for (a,b)
+            "<x><a>1</a><b>1</b></x>", // ordered ✓
+            "<x><b>1</b><a>1</a></x>", // ordered ✗ for (a,b)
             "</r>"
         ))
         .unwrap();

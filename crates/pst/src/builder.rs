@@ -290,8 +290,7 @@ mod tests {
     #[test]
     fn depth_caps_respected() {
         let tree = DataTree::from_xml("<a><b><c><d>xyz</d></c></b></a>").unwrap();
-        let config =
-            TrieConfig { max_label_depth: 2, max_value_prefix: 2, max_string_suffix: 2 };
+        let config = TrieConfig { max_label_depth: 2, max_value_prefix: 2, max_string_suffix: 2 };
         let trie = build_suffix_trie(&tree, &config);
         assert!(trie.find(&tokens(&tree, &["a", "b"], "")).is_some());
         assert!(trie.find(&tokens(&tree, &["a", "b", "c"], "")).is_none());
@@ -308,8 +307,7 @@ mod tests {
         // With max_label_depth 2 the chain a.b.c cannot be completed from
         // start `a`, so no value extension may appear under a.b.
         let tree = DataTree::from_xml("<a><b><c>zz</c></b></a>").unwrap();
-        let config =
-            TrieConfig { max_label_depth: 2, max_value_prefix: 8, max_string_suffix: 4 };
+        let config = TrieConfig { max_label_depth: 2, max_value_prefix: 8, max_string_suffix: 4 };
         let trie = build_suffix_trie(&tree, &config);
         let mut ab_z = tokens(&tree, &["a", "b"], "");
         ab_z.push(PathToken::Char(b'z'));
@@ -335,9 +333,7 @@ mod tests {
         // "abab": fragment "ab" occurs at offsets 0 and 2 of one path.
         let tree = DataTree::from_xml("<r><v>abab</v></r>").unwrap();
         let trie = build_suffix_trie(&tree, &TrieConfig::default());
-        let ab = trie
-            .find(&[PathToken::Char(b'a'), PathToken::Char(b'b')])
-            .unwrap();
+        let ab = trie.find(&[PathToken::Char(b'a'), PathToken::Char(b'b')]).unwrap();
         assert_eq!(trie.path_count(ab), 1, "one path contains it");
         assert_eq!(trie.presence(ab), 2, "two start offsets");
     }

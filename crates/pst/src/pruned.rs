@@ -131,7 +131,9 @@ impl SuffixTrie {
         let mut kids: Vec<Vec<(u32, u32)>> = vec![Vec::new()];
         let mut stack: Vec<(u32, u32)> = vec![(0, 0)];
         while let Some((old_id, new_id)) = stack.pop() {
-            let Some(edges) = adjacency.get(&old_id) else { continue };
+            let Some(edges) = adjacency.get(&old_id) else {
+                continue;
+            };
             // Deterministic ordering for reproducible node ids.
             let mut edges = edges.clone();
             edges.sort_unstable();
@@ -167,13 +169,7 @@ impl SuffixTrie {
         }
         child_start.push(children.len() as u32);
         backfill_windows(&child_start, &mut children);
-        PrunedTrie {
-            nodes,
-            child_start,
-            children,
-            total_paths: self.total_paths,
-            threshold,
-        }
+        PrunedTrie { nodes, child_start, children, total_paths: self.total_paths, threshold }
     }
 
     /// Finds the smallest threshold whose pruned trie fits in

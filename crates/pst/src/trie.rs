@@ -119,8 +119,7 @@ pub struct SuffixTrie {
 
 impl SuffixTrie {
     pub(crate) fn new() -> Self {
-        let nodes =
-            vec![NodeData { parent: u32::MAX, edge: u32::MAX, ..NodeData::default() }];
+        let nodes = vec![NodeData { parent: u32::MAX, edge: u32::MAX, ..NodeData::default() }];
         Self { nodes, children: FxHashMap::default(), total_paths: 0 }
     }
 

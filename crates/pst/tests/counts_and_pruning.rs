@@ -5,10 +5,8 @@ use twig_pst::{build_suffix_trie, NodeCostInfo, PathToken, TrieConfig};
 use twig_tree::DataTree;
 
 fn tokens(tree: &DataTree, labels: &[&str], value: &str) -> Vec<PathToken> {
-    let mut out: Vec<PathToken> = labels
-        .iter()
-        .map(|l| PathToken::Element(tree.symbol(l).expect("known label")))
-        .collect();
+    let mut out: Vec<PathToken> =
+        labels.iter().map(|l| PathToken::Element(tree.symbol(l).expect("known label"))).collect();
     out.extend(value.bytes().map(PathToken::Char));
     out
 }
@@ -81,20 +79,15 @@ fn signature_pass_visits_each_rooting_node() {
             continue;
         }
         let distinct_starts = seen.iter().filter(|&&(_, n)| n == node.0).count();
-        assert_eq!(
-            distinct_starts,
-            pruned.presence(node) as usize,
-            "node {node:?}"
-        );
+        assert_eq!(distinct_starts, pruned.presence(node) as usize, "node {node:?}");
     }
 }
 
 #[test]
 fn deep_chain_counts() {
-    let tree = DataTree::from_xml(
-        "<a><b><c><d><e>xyz</e></d></c></b><b><c><d><e>xyz</e></d></c></b></a>",
-    )
-    .unwrap();
+    let tree =
+        DataTree::from_xml("<a><b><c><d><e>xyz</e></d></c></b><b><c><d><e>xyz</e></d></c></b></a>")
+            .unwrap();
     let trie = build_suffix_trie(&tree, &TrieConfig::default());
     for (labels, presence) in [
         (vec!["a"], 1),

@@ -106,10 +106,7 @@ impl Request {
     /// First value of header `name` (lowercase).
     #[must_use]
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     /// Whether the connection should be kept open after responding.
@@ -242,6 +239,13 @@ pub fn read_request(
     limits: &Limits,
     shutdown: &dyn Fn() -> bool,
 ) -> Result<Request, ReadOutcome> {
+    if let Some(fault) = twig_util::failpoint!("http.read") {
+        return Err(match fault {
+            twig_util::failpoint::Fault::Error => ReadOutcome::Io(injected("http.read")),
+            // A torn read looks like the peer vanishing mid-request.
+            twig_util::failpoint::Fault::Partial(_) => ReadOutcome::Malformed("injected torn read"),
+        });
+    }
     let mut buffer = Vec::new();
     let head_end = read_head(stream, &mut buffer, limits, shutdown)?;
     // `read_head` returned the index just past `\r\n\r\n`, so the
@@ -250,13 +254,12 @@ pub fn read_request(
     let head_bytes = buffer
         .get(..head_end.saturating_sub(4))
         .ok_or(ReadOutcome::Malformed("head boundary out of range"))?;
-    let head = std::str::from_utf8(head_bytes)
-        .map_err(|_| ReadOutcome::Malformed("head is not UTF-8"))?;
+    let head =
+        std::str::from_utf8(head_bytes).map_err(|_| ReadOutcome::Malformed("head is not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split(' ');
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
-    {
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
         _ => return Err(ReadOutcome::Malformed("bad request line")),
     };
@@ -270,12 +273,8 @@ pub fn read_request(
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
-    let mut request = Request {
-        method: method.to_owned(),
-        target: target.to_owned(),
-        headers,
-        body: Vec::new(),
-    };
+    let mut request =
+        Request { method: method.to_owned(), target: target.to_owned(), headers, body: Vec::new() };
     let length = match request.header("content-length") {
         None => 0,
         Some(text) => match text.parse::<usize>() {
@@ -290,9 +289,8 @@ pub fn read_request(
         return Err(ReadOutcome::Malformed("transfer-encoding not supported"));
     }
     read_body(stream, &mut buffer, head_end, length, limits)?;
-    let body_end = head_end
-        .checked_add(length)
-        .ok_or(ReadOutcome::Malformed("content-length overflow"))?;
+    let body_end =
+        head_end.checked_add(length).ok_or(ReadOutcome::Malformed("content-length overflow"))?;
     request.body = buffer
         .get(head_end..body_end)
         .ok_or(ReadOutcome::Malformed("body shorter than content-length"))?
@@ -362,10 +360,28 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
+        if let Some(fault) = twig_util::failpoint!("http.write") {
+            if let twig_util::failpoint::Fault::Partial(keep_percent) = fault {
+                // Write a prefix of the head, then fail: the client
+                // sees a torn response on a closed socket.
+                let bytes = head.as_bytes();
+                let cap = usize::try_from(keep_percent).unwrap_or(100).min(100);
+                if let Some((torn, _rest)) = bytes.split_at_checked(bytes.len() * cap / 100) {
+                    let _ = stream.write_all(torn);
+                }
+            }
+            return Err(injected("http.write"));
+        }
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
+}
+
+/// The error value injected by `http.*` failpoints; compiled in default
+/// builds too (the failpoint arms fold to unreachable code there).
+fn injected(point: &str) -> io::Error {
+    io::Error::other(format!("injected fault at {point}"))
 }
 
 /// Reason phrase for the status codes the server emits.
@@ -420,10 +436,7 @@ impl ClientResponse {
     /// First value of header `name` (lowercase).
     #[must_use]
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     /// Body as UTF-8 (lossy).
@@ -468,11 +481,7 @@ pub fn read_response(
         return Err(ReadOutcome::BodyTooLarge { declared: length });
     }
     read_body(stream, &mut buffer, head_end, length, limits)?;
-    Ok(ClientResponse {
-        status,
-        headers,
-        body: buffer[head_end..head_end + length].to_vec(),
-    })
+    Ok(ClientResponse { status, headers, body: buffer[head_end..head_end + length].to_vec() })
 }
 
 #[cfg(test)]
@@ -527,9 +536,7 @@ mod tests {
     fn oversized_body_rejected_before_reading_it() {
         let (mut client, mut server) = pair();
         use std::io::Write as _;
-        client
-            .write_all(b"POST /estimate HTTP/1.1\r\ncontent-length: 999999\r\n\r\n")
-            .unwrap();
+        client.write_all(b"POST /estimate HTTP/1.1\r\ncontent-length: 999999\r\n\r\n").unwrap();
         match read_request(&mut server, &tight_limits(), &|| false) {
             Err(ReadOutcome::BodyTooLarge { declared }) => assert_eq!(declared, 999_999),
             other => panic!("{other:?}"),

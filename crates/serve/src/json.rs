@@ -68,9 +68,7 @@ impl Json {
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
-            Json::Obj(members) => {
-                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -337,8 +335,7 @@ impl<'a> Parser<'a> {
         let high = self.hex4()?;
         if (0xD800..0xDC00).contains(&high) {
             // High surrogate: must be followed by \uDC00..DFFF.
-            if self.bytes.get(self.at) == Some(&b'\\')
-                && self.bytes.get(self.at + 1) == Some(&b'u')
+            if self.bytes.get(self.at) == Some(&b'\\') && self.bytes.get(self.at + 1) == Some(&b'u')
             {
                 self.at += 2;
                 let low = self.hex4()?;
@@ -462,9 +459,31 @@ mod tests {
     #[test]
     fn hostile_inputs_are_errors_not_panics() {
         for bad in [
-            "", "{", "}", "[", "]", "{\"a\"}", "{\"a\":}", "[1,]", "{,}", "nul", "tru",
-            "\"unterminated", "\"\\q\"", "\"\\u12\"", "\"\\ud800\"", "\"\\ud800\\u0041\"",
-            "1.", ".5", "1e", "-", "1 2", "{\"a\":1}x", "1e999", "\u{1}", "\"\u{1}\"",
+            "",
+            "{",
+            "}",
+            "[",
+            "]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1,]",
+            "{,}",
+            "nul",
+            "tru",
+            "\"unterminated",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "1.",
+            ".5",
+            "1e",
+            "-",
+            "1 2",
+            "{\"a\":1}x",
+            "1e999",
+            "\u{1}",
+            "\"\u{1}\"",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }

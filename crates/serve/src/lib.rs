@@ -34,10 +34,12 @@ mod plan;
 pub mod pool;
 pub mod registry;
 pub mod server;
+pub mod snapshot;
 
 pub use json::{Json, JsonError};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use metrics::ServeMetrics;
 pub use pool::{Rejected, ThreadPool};
-pub use registry::{error_chain, LoadError, SummaryRegistry, SummarySpec};
+pub use registry::{error_chain, LoadError, LoadOutcome, SummaryRegistry, SummarySpec};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use snapshot::{SnapshotError, SnapshotStore};

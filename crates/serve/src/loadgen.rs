@@ -72,8 +72,13 @@ pub struct LoadgenReport {
     pub estimates: u64,
     /// Transport errors (connect/read/write failures).
     pub errors: u64,
-    /// Responses with a non-200 status (e.g. `503` under saturation).
+    /// Responses with a non-200, non-503 status.
     pub non_200: u64,
+    /// `503` shed responses (admission control), counted separately so
+    /// saturation is distinguishable from real failures.
+    pub rejected_503: u64,
+    /// Reconnect attempts made after a failure or server-side close.
+    pub retries: u64,
     /// Wall time of the measurement window.
     pub elapsed: Duration,
     /// Exact latency percentiles over successful requests, microseconds.
@@ -95,13 +100,16 @@ impl LoadgenReport {
     #[must_use]
     pub fn render(&self) -> String {
         format!(
-            "requests {} ({:.1}/s), estimates {} ({:.1}/s), non-200 {}, errors {}\n\
+            "requests {} ({:.1}/s), estimates {} ({:.1}/s), non-200 {}, 503 {}, \
+             retries {}, errors {}\n\
              latency µs: p50 {} p95 {} p99 {} max {} (over {:.2}s)",
             self.requests,
             self.requests_per_sec,
             self.estimates,
             self.estimates_per_sec,
             self.non_200,
+            self.rejected_503,
+            self.retries,
             self.errors,
             self.p50_us,
             self.p95_us,
@@ -117,7 +125,44 @@ struct WorkerStats {
     estimates: u64,
     errors: u64,
     non_200: u64,
+    rejected_503: u64,
+    retries: u64,
     latencies_us: Vec<u64>,
+}
+
+/// Capped exponential reconnect backoff, optionally stretched by a
+/// server `Retry-After` hint.
+struct Backoff {
+    delay: Duration,
+}
+
+impl Backoff {
+    const START: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_millis(640);
+    /// Longest a `Retry-After` hint is honored for; a load generator
+    /// sleeping the server's full worst-case hint would stop loading.
+    const HINT_CAP: Duration = Duration::from_secs(2);
+
+    fn fresh() -> Backoff {
+        Backoff { delay: Backoff::START }
+    }
+
+    /// Sleeps the current delay, then doubles it (capped) for the next
+    /// failure in the streak.
+    fn pause(&mut self) {
+        std::thread::sleep(self.delay);
+        self.delay = (self.delay * 2).min(Backoff::CAP);
+    }
+
+    fn reset(&mut self) {
+        self.delay = Backoff::START;
+    }
+
+    /// Stretches the next delay to a server-provided hint (seconds).
+    fn stretch_to(&mut self, hint_secs: u64) {
+        let hinted = Duration::from_secs(hint_secs).min(Backoff::HINT_CAP);
+        self.delay = self.delay.max(hinted);
+    }
 }
 
 /// Deterministic query workload: dblp-shaped twigs over a fixed label
@@ -139,8 +184,7 @@ fn make_query(rng: &mut SplitMix64) -> String {
 }
 
 fn build_body(config: &LoadgenConfig, rng: &mut SplitMix64) -> Vec<u8> {
-    let queries: Vec<Json> =
-        (0..config.batch).map(|_| Json::Str(make_query(rng))).collect();
+    let queries: Vec<Json> = (0..config.batch).map(|_| Json::Str(make_query(rng))).collect();
     Json::Obj(vec![
         ("summary".into(), Json::str(&config.summary)),
         ("algorithm".into(), Json::str(&config.algorithm)),
@@ -176,15 +220,39 @@ fn client_limits() -> Limits {
     }
 }
 
+/// Re-establishes a worker's connection with capped exponential
+/// backoff, giving up when the measurement window ends.
+fn reconnect(
+    config: &LoadgenConfig,
+    stats: &mut WorkerStats,
+    backoff: &mut Backoff,
+    stop_at: Instant,
+) -> Option<TcpStream> {
+    while Instant::now() < stop_at {
+        stats.retries += 1;
+        backoff.pause();
+        if let Ok(stream) = TcpStream::connect(&config.addr) {
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+            backoff.reset();
+            return Some(stream);
+        }
+    }
+    None
+}
+
 fn worker(config: &LoadgenConfig, seed: u64, stop_at: Instant) -> WorkerStats {
     let mut stats = WorkerStats {
         requests: 0,
         estimates: 0,
         errors: 0,
         non_200: 0,
+        rejected_503: 0,
+        retries: 0,
         latencies_us: Vec::new(),
     };
     let mut rng = SplitMix64::new(seed);
+    let mut backoff = Backoff::fresh();
     let connect_deadline = Instant::now() + config.connect_deadline;
     let Some(mut stream) = connect_with_retry(&config.addr, connect_deadline) else {
         stats.errors += 1;
@@ -196,7 +264,7 @@ fn worker(config: &LoadgenConfig, seed: u64, stop_at: Instant) -> WorkerStats {
         let started = Instant::now();
         if write_request(&mut stream, "POST", "/estimate", &body).is_err() {
             stats.errors += 1;
-            match connect_with_retry(&config.addr, Instant::now() + Duration::from_millis(500)) {
+            match reconnect(config, &mut stats, &mut backoff, stop_at) {
                 Some(fresh) => {
                     stream = fresh;
                     continue;
@@ -211,15 +279,21 @@ fn worker(config: &LoadgenConfig, seed: u64, stop_at: Instant) -> WorkerStats {
                     stats.requests += 1;
                     stats.estimates += size_to_u64(config.batch);
                     stats.latencies_us.push(latency);
+                } else if response.status == 503 {
+                    // Shed by admission control: honor the server's
+                    // Retry-After hint (capped) before reconnecting.
+                    stats.rejected_503 += 1;
+                    if let Some(secs) =
+                        response.header("retry-after").and_then(|value| value.parse::<u64>().ok())
+                    {
+                        backoff.stretch_to(secs);
+                    }
                 } else {
                     stats.non_200 += 1;
                 }
-                // Honor a server-side close (e.g. during shutdown).
+                // Honor a server-side close (shutdown, shed, drain).
                 if response.header("connection") == Some("close") {
-                    match connect_with_retry(
-                        &config.addr,
-                        Instant::now() + Duration::from_millis(500),
-                    ) {
+                    match reconnect(config, &mut stats, &mut backoff, stop_at) {
                         Some(fresh) => stream = fresh,
                         None => break,
                     }
@@ -227,8 +301,7 @@ fn worker(config: &LoadgenConfig, seed: u64, stop_at: Instant) -> WorkerStats {
             }
             Err(_) => {
                 stats.errors += 1;
-                match connect_with_retry(&config.addr, Instant::now() + Duration::from_millis(500))
-                {
+                match reconnect(config, &mut stats, &mut backoff, stop_at) {
                     Some(fresh) => stream = fresh,
                     None => break,
                 }
@@ -263,6 +336,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let mut estimates = 0u64;
     let mut errors = 0u64;
     let mut non_200 = 0u64;
+    let mut rejected_503 = 0u64;
+    let mut retries = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
     for handle in handles {
         match handle.join() {
@@ -271,6 +346,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 estimates += stats.estimates;
                 errors += stats.errors;
                 non_200 += stats.non_200;
+                rejected_503 += stats.rejected_503;
+                retries += stats.retries;
                 latencies.extend(stats.latencies_us);
             }
             Err(_) => errors += 1,
@@ -303,6 +380,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         estimates,
         errors,
         non_200,
+        rejected_503,
+        retries,
         elapsed,
         p50_us: percentile(50, 100),
         p95_us: percentile(95, 100),
@@ -346,7 +425,7 @@ pub fn smoke(addr: &str, summary: &str) -> Result<LoadgenReport, String> {
     if report.requests == 0 {
         return Err(format!("smoke run made no successful requests: {}", report.render()));
     }
-    if report.errors > 0 || report.non_200 > 0 {
+    if report.errors > 0 || report.non_200 > 0 || report.rejected_503 > 0 {
         return Err(format!("smoke run saw failures: {}", report.render()));
     }
     Ok(report)

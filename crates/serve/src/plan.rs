@@ -137,8 +137,7 @@ mod tests {
     fn generation_in_key_separates_entries() {
         let cache = PlanCache::new(4, 64);
         cache.probe(&PlanCache::key("default", 1, &Twig::parse("a(b)").unwrap()));
-        let (_, probe) =
-            cache.probe(&PlanCache::key("default", 2, &Twig::parse("a(b)").unwrap()));
+        let (_, probe) = cache.probe(&PlanCache::key("default", 2, &Twig::parse("a(b)").unwrap()));
         assert!(!probe.hit, "a reload generation must never hit old plans");
         assert_eq!(cache.len(), 2);
     }

@@ -28,12 +28,17 @@ use std::time::Duration;
 
 use twig_util::metrics::Counter;
 
+/// Callback invoked (in the panicking worker's thread, after the catch)
+/// each time the pool contains a panic.
+type PanicObserver = Box<dyn Fn() + Send + Sync>;
+
 struct PoolShared<T> {
     queue: Mutex<VecDeque<T>>,
     wake: Condvar,
     shutdown: AtomicBool,
     queue_capacity: usize,
     panics: Counter,
+    on_panic: Mutex<Option<PanicObserver>>,
 }
 
 impl<T> PoolShared<T> {
@@ -75,6 +80,7 @@ impl<T: Send + 'static> ThreadPool<T> {
             shutdown: AtomicBool::new(false),
             queue_capacity,
             panics: Counter::new(),
+            on_panic: Mutex::new(None),
         });
         let handler = Arc::new(handler);
         let mut handles = Vec::with_capacity(workers.max(1));
@@ -104,6 +110,16 @@ impl<T: Send + 'static> ThreadPool<T> {
         drop(queue);
         self.shared.wake.notify_one();
         Ok(())
+    }
+
+    /// Registers a callback invoked every time a worker catches a
+    /// panic, in addition to the internal counter. The server uses this
+    /// to keep `twig_serve_worker_panics_total` live instead of only
+    /// reconciling it at shutdown.
+    pub fn observe_panics(&self, callback: impl Fn() + Send + Sync + 'static) {
+        let mut slot =
+            Mutex::lock(&self.shared.on_panic).unwrap_or_else(std::sync::PoisonError::into_inner);
+        *slot = Some(Box::new(callback));
     }
 
     /// Jobs currently waiting for a worker.
@@ -163,9 +179,25 @@ where
         match job {
             None => return,
             Some(job) => {
-                let caught = std::panic::catch_unwind(AssertUnwindSafe(|| handler(job)));
+                let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    // Injected dispatch fault: abandon the job before
+                    // the handler sees it (the peer observes a closed
+                    // socket). An injected `panic` action fires inside
+                    // this catch, so containment below is exercised
+                    // and the worker survives.
+                    if twig_util::failpoint!("pool.dispatch").is_some() {
+                        drop(job);
+                        return;
+                    }
+                    handler(job);
+                }));
                 if caught.is_err() {
                     shared.panics.inc();
+                    let observer = Mutex::lock(&shared.on_panic)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if let Some(notify) = observer.as_ref() {
+                        notify();
+                    }
                 }
             }
         }
@@ -205,7 +237,7 @@ mod tests {
             let _ = gate.lock().unwrap().recv();
         });
         pool.try_submit(1).unwrap(); // picked up by the worker
-        // Wait for the worker to take job 1 off the queue.
+                                     // Wait for the worker to take job 1 off the queue.
         let deadline = std::time::Instant::now() + Duration::from_secs(2);
         while pool.queue_len() > 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));

@@ -8,11 +8,26 @@
 //! corrupt keeps serving its previous in-memory version, and the error
 //! is reported to the caller — an operator fat-fingering a file must
 //! never take a serving summary down.
+//!
+//! With a [`SnapshotStore`] attached the registry also becomes
+//! **crash-safe**: every successful (re)load is persisted as a
+//! checksummed snapshot generation, and [`load_or_recover`] can bring a
+//! summary back from the last good committed generation when its spec
+//! file is gone or corrupt at startup. An entry serving anything other
+//! than its freshly loaded spec file is *stale* (degraded mode): the
+//! flag is surfaced per summary in `/healthz`, as the
+//! `twig_serve_degraded` gauge, and as the `X-Twig-Stale-Generation`
+//! response header on estimates.
+//!
+//! [`load_or_recover`]: SummaryRegistry::load_or_recover
 
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use twig_core::{Cst, ReadError};
+use twig_util::metrics::Counter;
+
+use crate::snapshot::SnapshotStore;
 
 /// Where a summary comes from: a registry name plus the file backing it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,8 +51,7 @@ impl SummarySpec {
             }
             None => {
                 let path = PathBuf::from(text);
-                let Some(stem) = path.file_stem().map(|s| s.to_string_lossy().into_owned())
-                else {
+                let Some(stem) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) else {
                     return Err(format!("cannot derive a summary name from '{text}'"));
                 };
                 (stem, path)
@@ -99,6 +113,12 @@ struct Entry {
     generation: u64,
     /// Size of the file the current summary was loaded from.
     file_bytes: usize,
+    /// Degraded mode: the served summary is *not* a fresh read of the
+    /// spec file — the last reload failed, or the entry was recovered
+    /// from a snapshot. Cleared by the next successful (re)load.
+    stale: bool,
+    /// Rendered cause chain of the failure that made the entry stale.
+    last_error: Option<String>,
 }
 
 /// Descriptive snapshot of one registry entry (for `/summaries`).
@@ -120,12 +140,37 @@ pub struct SummaryInfo {
     pub threshold: u32,
     /// Min-hash signature length.
     pub signature_len: usize,
+    /// Degraded mode: serving a stale generation (failed reload or
+    /// snapshot recovery).
+    pub stale: bool,
+    /// The failure that made the entry stale, as a rendered cause chain.
+    pub last_error: Option<String>,
+}
+
+/// How [`SummaryRegistry::load_or_recover`] satisfied a load request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// The spec file loaded cleanly; the entry serves it at this
+    /// generation.
+    Fresh(u64),
+    /// The spec file failed but a committed snapshot stood in; the
+    /// entry serves the snapshot, marked stale.
+    Recovered {
+        /// Generation of the recovered snapshot (the entry adopts it).
+        generation: u64,
+        /// Rendered cause chain of the spec-file failure.
+        error: String,
+    },
 }
 
 /// Named summaries behind a reader-writer lock.
 #[derive(Default)]
 pub struct SummaryRegistry {
     entries: RwLock<Vec<Entry>>,
+    /// Optional crash-safe snapshot store (set once at startup).
+    store: OnceLock<SnapshotStore>,
+    /// Failed snapshot persists (serving was unaffected).
+    snapshot_failures: Counter,
 }
 
 impl SummaryRegistry {
@@ -146,21 +191,124 @@ impl SummaryRegistry {
         self.entries.write().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Loads `spec` from disk and inserts it (replacing any entry with
-    /// the same name). The registry is untouched on failure.
-    pub fn load(&self, spec: SummarySpec) -> Result<(), LoadError> {
-        let (cst, file_bytes) = load_cst(&spec)?;
+    /// Attaches the crash-safe snapshot store. Returns `false` (and
+    /// leaves the original) if a store was already attached.
+    pub fn attach_store(&self, store: SnapshotStore) -> bool {
+        self.store.set(store).is_ok()
+    }
+
+    /// The attached snapshot store, if any.
+    #[must_use]
+    pub fn snapshot_store(&self) -> Option<&SnapshotStore> {
+        OnceLock::get(&self.store)
+    }
+
+    /// Failed snapshot persists since startup (serving was unaffected;
+    /// exported as `twig_serve_snapshot_failures_total`).
+    #[must_use]
+    pub fn snapshot_failure_count(&self) -> u64 {
+        Counter::get(&self.snapshot_failures)
+    }
+
+    /// Installs a loaded summary, returning its new generation.
+    /// `generation` pins an explicit generation (snapshot recovery);
+    /// otherwise the entry's previous generation + 1 is used.
+    fn install(
+        &self,
+        spec: SummarySpec,
+        cst: Cst,
+        file_bytes: usize,
+        generation: Option<u64>,
+        stale: bool,
+        last_error: Option<String>,
+    ) -> u64 {
         let mut entries = self.write_entries();
         match entries.iter().position(|e| e.spec.name == spec.name) {
             Some(at) => {
-                let generation = entries[at].generation + 1;
-                entries[at] = Entry { spec, cst: Arc::new(cst), generation, file_bytes };
+                let generation = generation.unwrap_or(entries[at].generation + 1);
+                entries[at] =
+                    Entry { spec, cst: Arc::new(cst), generation, file_bytes, stale, last_error };
+                generation
             }
             None => {
-                entries.push(Entry { spec, cst: Arc::new(cst), generation: 1, file_bytes });
+                let generation = generation.unwrap_or(1);
+                entries.push(Entry {
+                    spec,
+                    cst: Arc::new(cst),
+                    generation,
+                    file_bytes,
+                    stale,
+                    last_error,
+                });
+                generation
             }
         }
+    }
+
+    /// Persists `bytes` as a snapshot generation, best-effort: a store
+    /// failure must never fail the (re)load that produced the summary,
+    /// so it only bumps [`snapshot_failure_count`] here.
+    ///
+    /// [`snapshot_failure_count`]: SummaryRegistry::snapshot_failure_count
+    fn persist_snapshot(&self, name: &str, generation: u64, bytes: &[u8]) {
+        let Some(store) = self.store.get() else {
+            return;
+        };
+        if store.persist(name, generation, bytes).is_err() {
+            self.snapshot_failures.inc();
+        }
+    }
+
+    /// Loads `spec` from disk and inserts it (replacing any entry with
+    /// the same name). The registry is untouched on failure.
+    pub fn load(&self, spec: SummarySpec) -> Result<(), LoadError> {
+        let (cst, bytes) = load_cst(&spec)?;
+        let name = spec.name.clone();
+        let file_bytes = bytes.len();
+        let generation = self.install(spec, cst, file_bytes, None, false, None);
+        self.persist_snapshot(&name, generation, &bytes);
         Ok(())
+    }
+
+    /// Like [`load`](SummaryRegistry::load), but when the spec file
+    /// fails and the attached snapshot store holds a committed
+    /// generation, serves that snapshot instead — marked stale, with
+    /// the spec-file failure recorded. This is the startup-recovery
+    /// path: a torn summary file degrades service instead of refusing
+    /// to boot.
+    pub fn load_or_recover(&self, spec: SummarySpec) -> Result<LoadOutcome, LoadError> {
+        let spec_failure = match load_cst(&spec) {
+            Ok((cst, bytes)) => {
+                let name = spec.name.clone();
+                let file_bytes = bytes.len();
+                let generation = self.install(spec, cst, file_bytes, None, false, None);
+                self.persist_snapshot(&name, generation, &bytes);
+                return Ok(LoadOutcome::Fresh(generation));
+            }
+            Err(err) => err,
+        };
+        let Some(store) = self.store.get() else {
+            return Err(spec_failure);
+        };
+        let Ok(Some(recovered)) = store.recover(&spec.name) else {
+            return Err(spec_failure);
+        };
+        let Ok(cst) = Cst::from_bytes(&recovered.payload) else {
+            // The snapshot verified its checksum but does not parse —
+            // should be impossible; fall back to the spec failure.
+            return Err(spec_failure);
+        };
+        let error = error_chain(&spec_failure);
+        let file_bytes = recovered.payload.len();
+        let generation = self.install(
+            spec,
+            cst,
+            file_bytes,
+            Some(recovered.generation),
+            true,
+            Some(error.clone()),
+        );
+        Ok(LoadOutcome::Recovered { generation, error })
     }
 
     /// The summary registered under `name`, if any. The returned `Arc`
@@ -169,20 +317,31 @@ impl SummaryRegistry {
     /// always computed against one consistent summary.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<Arc<Cst>> {
-        self.read_entries()
-            .iter()
-            .find(|e| e.spec.name == name)
-            .map(|e| Arc::clone(&e.cst))
+        self.read_entries().iter().find(|e| e.spec.name == name).map(|e| Arc::clone(&e.cst))
     }
 
     /// Like [`get`](SummaryRegistry::get), but also returns the entry's
     /// reload generation — the component of the plan-cache key that
-    /// makes cached plans self-invalidating across reloads.
-    pub(crate) fn get_with_generation(&self, name: &str) -> Option<(Arc<Cst>, u64)> {
+    /// makes cached plans self-invalidating across reloads — and its
+    /// staleness (degraded mode) for the response header.
+    pub(crate) fn get_for_serving(&self, name: &str) -> Option<(Arc<Cst>, u64, bool)> {
         self.read_entries()
             .iter()
             .find(|e| e.spec.name == name)
-            .map(|e| (Arc::clone(&e.cst), e.generation))
+            .map(|e| (Arc::clone(&e.cst), e.generation, e.stale))
+    }
+
+    /// Number of entries currently serving a stale generation (the
+    /// `twig_serve_degraded` gauge).
+    #[must_use]
+    pub fn degraded(&self) -> u64 {
+        let mut count = 0u64;
+        for entry in &*self.read_entries() {
+            if entry.stale {
+                count += 1;
+            }
+        }
+        count
     }
 
     /// Registered names, in registration order.
@@ -205,6 +364,8 @@ impl SummaryRegistry {
                 n: e.cst.n(),
                 threshold: e.cst.threshold(),
                 signature_len: e.cst.signature_len(),
+                stale: e.stale,
+                last_error: e.last_error.clone(),
             })
             .collect()
     }
@@ -227,34 +388,30 @@ impl SummaryRegistry {
     /// entries keep serving their previous summary. Returns per-name
     /// results with the new generation on success.
     pub fn reload_all(&self) -> Vec<(String, Result<u64, LoadError>)> {
-        let specs: Vec<SummarySpec> =
-            self.read_entries().iter().map(|e| e.spec.clone()).collect();
+        let specs: Vec<SummarySpec> = self.read_entries().iter().map(|e| e.spec.clone()).collect();
         let mut results = Vec::with_capacity(specs.len());
         for spec in specs {
             let name = spec.name.clone();
             match load_cst(&spec) {
-                Err(err) => results.push((name, Err(err))),
-                Ok((cst, file_bytes)) => {
+                Err(err) => {
+                    // Degraded mode: keep serving the old generation and
+                    // record why it is now stale.
+                    let chain = error_chain(&err);
                     let mut entries = self.write_entries();
-                    match entries.iter().position(|e| e.spec.name == spec.name) {
-                        Some(at) => {
-                            let generation = entries[at].generation + 1;
-                            entries[at] =
-                                Entry { spec, cst: Arc::new(cst), generation, file_bytes };
-                            results.push((name, Ok(generation)));
-                        }
-                        // Entry vanished mid-reload (concurrent admin
-                        // action); treat as a fresh insert.
-                        None => {
-                            entries.push(Entry {
-                                spec,
-                                cst: Arc::new(cst),
-                                generation: 1,
-                                file_bytes,
-                            });
-                            results.push((name, Ok(1)));
+                    for entry in &mut *entries {
+                        if entry.spec.name == name {
+                            entry.stale = true;
+                            entry.last_error = Some(chain.clone());
                         }
                     }
+                    drop(entries);
+                    results.push((name, Err(err)));
+                }
+                Ok((cst, bytes)) => {
+                    let file_bytes = bytes.len();
+                    let generation = self.install(spec, cst, file_bytes, None, false, None);
+                    self.persist_snapshot(&name, generation, &bytes);
+                    results.push((name, Ok(generation)));
                 }
             }
         }
@@ -262,15 +419,30 @@ impl SummaryRegistry {
     }
 }
 
-fn load_cst(spec: &SummarySpec) -> Result<(Cst, usize), LoadError> {
-    let wrap = |source: ReadError| LoadError {
-        name: spec.name.clone(),
-        path: spec.path.clone(),
-        source,
-    };
-    let bytes = std::fs::read(&spec.path).map_err(|e| wrap(ReadError::Io(e)))?;
+/// Reads and parses a spec file, returning the summary *and* its raw
+/// bytes (the snapshot payload).
+///
+/// Failpoint `registry.load`: `error` injects an I/O failure; `partial(p)`
+/// hands the parser only the first `p` percent of the file — a torn read.
+fn load_cst(spec: &SummarySpec) -> Result<(Cst, Vec<u8>), LoadError> {
+    let wrap =
+        |source: ReadError| LoadError { name: spec.name.clone(), path: spec.path.clone(), source };
+    let mut bytes = std::fs::read(&spec.path).map_err(|e| wrap(ReadError::Io(e)))?;
+    if let Some(fault) = twig_util::failpoint!("registry.load") {
+        match fault {
+            twig_util::failpoint::Fault::Error => {
+                return Err(wrap(ReadError::Io(std::io::Error::other(
+                    "injected fault at registry.load",
+                ))));
+            }
+            twig_util::failpoint::Fault::Partial(keep_percent) => {
+                let keep = bytes.len() * keep_percent as usize / 100;
+                Vec::truncate(&mut bytes, keep);
+            }
+        }
+    }
     let cst = Cst::from_bytes(&bytes).map_err(wrap)?;
-    Ok((cst, bytes.len()))
+    Ok((cst, bytes))
 }
 
 /// Loads a summary directly from `path` (CLI convenience, bypassing the
@@ -286,8 +458,11 @@ mod tests {
     use twig_tree::DataTree;
 
     fn temp_dir() -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("twig-registry-test-{}-{:?}", std::process::id(), std::thread::current().id()));
+        let dir = std::env::temp_dir().join(format!(
+            "twig-registry-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -322,9 +497,7 @@ mod tests {
         let path = dir.join("main.cst");
         let original = write_summary(&path, "<r><a><b>x</b></a></r>");
         let registry = SummaryRegistry::new();
-        registry
-            .load(SummarySpec { name: "main".into(), path: path.clone() })
-            .unwrap();
+        registry.load(SummarySpec { name: "main".into(), path: path.clone() }).unwrap();
         assert_eq!(registry.names(), ["main"]);
         let served = registry.get("main").unwrap();
         assert_eq!(served.node_count(), original.node_count());
@@ -332,8 +505,7 @@ mod tests {
         assert_eq!(registry.infos()[0].generation, 1);
 
         // Swap the file for a different tree; reload picks it up.
-        let replacement =
-            write_summary(&path, "<r><a><b>x</b></a><c><d>y</d><d>z</d></c></r>");
+        let replacement = write_summary(&path, "<r><a><b>x</b></a><c><d>y</d><d>z</d></c></r>");
         let results = registry.reload_all();
         assert!(matches!(results[0], (_, Ok(2))));
         assert_eq!(registry.get("main").unwrap().node_count(), replacement.node_count());

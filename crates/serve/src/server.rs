@@ -14,13 +14,15 @@
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use twig_core::{Algorithm, CountKind};
 use twig_tree::Twig;
 use twig_util::cast::{count_to_f64, size_to_u64};
+use twig_util::rng::SplitMix64;
 
 use crate::http::{read_request, Limits, ReadOutcome, Request, Response};
 use crate::json::Json;
@@ -70,6 +72,9 @@ pub struct ServerState {
     plans: PlanCache,
     shutdown: AtomicBool,
     started: Instant,
+    /// Consecutive saturation rejections with no admission in between;
+    /// drives the escalating `Retry-After` hint.
+    saturation_streak: AtomicU64,
 }
 
 impl ServerState {
@@ -143,6 +148,7 @@ impl Server {
                 metrics: ServeMetrics::new(),
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
+                saturation_streak: AtomicU64::new(0),
             }),
         })
     }
@@ -167,6 +173,10 @@ impl Server {
             ThreadPool::new(state.config.workers, state.config.queue_capacity, move |stream| {
                 handle_connection(stream, &pool_state);
             });
+        // Panics the pool catches (e.g. an injected dispatch panic) land
+        // in the metric immediately, not only at shutdown.
+        let observer_state = Arc::clone(&state);
+        pool.observe_panics(move || observer_state.metrics.worker_panics_total.inc());
         self.listener.set_nonblocking(true)?;
         while !state.shutting_down() {
             match self.listener.accept() {
@@ -174,48 +184,71 @@ impl Server {
                     state.metrics.connections_total.inc();
                     prepare_stream(&stream);
                     match pool.try_submit(stream) {
-                        Ok(()) => {}
+                        Ok(()) => {
+                            state.saturation_streak.store(0, Ordering::Relaxed);
+                        }
                         Err(Rejected::Saturated(stream)) => {
+                            let streak =
+                                state.saturation_streak.fetch_add(1, Ordering::Relaxed) + 1;
                             state.metrics.rejected_saturated.inc();
                             state.metrics.count_status(503);
-                            reject_connection(stream, "server saturated, retry shortly");
+                            reject_connection(
+                                stream,
+                                "server saturated, retry shortly",
+                                retry_after_secs(streak),
+                            );
                         }
                         Err(Rejected::ShuttingDown(stream)) => {
                             state.metrics.count_status(503);
-                            reject_connection(stream, "server shutting down");
+                            reject_connection(stream, "server shutting down", 1);
                         }
                     }
                 }
-                Err(err) if matches!(
-                    err.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
                 {
                     std::thread::sleep(Duration::from_millis(20));
                 }
                 // Transient per-connection failures (peer reset during
                 // the handshake); keep serving.
-                Err(err) if matches!(
-                    err.kind(),
-                    std::io::ErrorKind::ConnectionAborted
-                        | std::io::ErrorKind::ConnectionReset
-                        | std::io::ErrorKind::Interrupted
-                ) => {}
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::Interrupted
+                    ) => {}
                 Err(err) => {
                     // Fatal listener error: begin shutdown so in-flight
-                    // work still drains, then surface the error.
+                    // work still drains, then surface the error. The
+                    // panic observer above already counted any panics.
                     state.shutdown.store(true, Ordering::SeqCst);
-                    let panics = pool.shutdown();
-                    state.metrics.worker_panics_total.add(panics);
+                    let _ = pool.shutdown();
                     return Err(err);
                 }
             }
         }
         drop(self.listener); // stop accepting before the drain
-        let panics = pool.shutdown();
-        state.metrics.worker_panics_total.add(panics);
+        let _ = pool.shutdown();
         Ok(())
     }
+}
+
+/// `Retry-After` hint for a saturation rejection. The first rejections
+/// of a streak hint an immediate retry; a sustained streak escalates
+/// the hint with deterministic per-streak jitter so shed clients spread
+/// out instead of thundering back in lockstep.
+fn retry_after_secs(streak: u64) -> u64 {
+    if streak <= 8 {
+        return 1;
+    }
+    let base = (streak / 8).min(8);
+    let mut rng = SplitMix64::new(streak);
+    let jitter = rng.next_below(base + 1);
+    (base + jitter).min(16)
 }
 
 fn prepare_stream(stream: &TcpStream) {
@@ -228,9 +261,10 @@ fn prepare_stream(stream: &TcpStream) {
 
 /// Writes the admission-control `503` from the accept thread. A short
 /// write timeout bounds how long a slow client can stall accepts.
-fn reject_connection(mut stream: TcpStream, message: &str) {
+fn reject_connection(mut stream: TcpStream, message: &str, retry_secs: u64) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    let response = error_response(503, "saturated", message).with_header("retry-after", "1".into());
+    let response = error_response(503, "saturated", message)
+        .with_header("retry-after", retry_secs.to_string());
     let _ = response.write_to(&mut stream, true);
     let _ = stream.flush();
 }
@@ -250,7 +284,21 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
             Ok(request) => {
                 let started = Instant::now();
                 state.metrics.requests_total.inc();
-                let response = route(&request, state);
+                // A panicking handler costs the client a 500, never the
+                // connection (and never the worker: the pool would catch
+                // it too, but then the response is lost).
+                let routed = std::panic::catch_unwind(AssertUnwindSafe(|| route(&request, state)));
+                let response = match routed {
+                    Ok(response) => response,
+                    Err(_) => {
+                        state.metrics.worker_panics_total.inc();
+                        error_response(
+                            500,
+                            "internal_panic",
+                            "request handler panicked; the worker recovered",
+                        )
+                    }
+                };
                 state.metrics.count_status(response.status);
                 state.metrics.request_latency_us.record(micros(started.elapsed()));
                 // Drain policy: during shutdown every response closes.
@@ -301,18 +349,18 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Response {
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => handle_healthz(state),
         ("GET", "/summaries") => handle_summaries(state),
-        ("GET", "/metrics") => Response::text(200, &state.metrics.render_prometheus()),
+        ("GET", "/metrics") => handle_metrics(state),
         ("POST", "/estimate") => handle_estimate(request, state),
         ("POST", "/admin/reload") => handle_reload(state),
         ("POST", "/admin/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
-            Response::json(
-                200,
-                &Json::Obj(vec![("status".into(), Json::str("shutting down"))]),
-            )
+            Response::json(200, &Json::Obj(vec![("status".into(), Json::str("shutting down"))]))
         }
-        (_, "/healthz" | "/summaries" | "/metrics" | "/estimate" | "/admin/reload"
-        | "/admin/shutdown") => error_response(
+        (
+            _,
+            "/healthz" | "/summaries" | "/metrics" | "/estimate" | "/admin/reload"
+            | "/admin/shutdown",
+        ) => error_response(
             405,
             "method_not_allowed",
             &format!("{} does not support {}", request.path(), request.method),
@@ -321,13 +369,49 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Response {
     }
 }
 
+/// Registry-level gauges appended after the fixed counter set: how many
+/// summaries are serving a stale (degraded) generation, and how many
+/// snapshot persists have failed.
+fn handle_metrics(state: &Arc<ServerState>) -> Response {
+    let mut body = state.metrics.render_prometheus();
+    body.push_str("# HELP twig_serve_degraded Summaries serving a stale generation\n");
+    body.push_str("# TYPE twig_serve_degraded gauge\n");
+    body.push_str(&format!("twig_serve_degraded {}\n", state.registry.degraded()));
+    body.push_str("# HELP twig_serve_snapshot_failures_total Snapshot persists that failed\n");
+    body.push_str("# TYPE twig_serve_snapshot_failures_total counter\n");
+    body.push_str(&format!(
+        "twig_serve_snapshot_failures_total {}\n",
+        state.registry.snapshot_failure_count()
+    ));
+    Response::text(200, &body)
+}
+
 fn handle_healthz(state: &Arc<ServerState>) -> Response {
+    let degraded = state.registry.degraded();
+    let health = state
+        .registry
+        .infos()
+        .into_iter()
+        .map(|info| {
+            let mut fields = vec![
+                ("name".into(), Json::Str(info.name)),
+                ("generation".into(), num_u64(info.generation)),
+                ("stale".into(), Json::Bool(info.stale)),
+            ];
+            if let Some(error) = info.last_error {
+                fields.push(("last_error".into(), Json::Str(error)));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
     Response::json(
         200,
         &Json::Obj(vec![
-            ("status".into(), Json::str("ok")),
+            ("status".into(), Json::str(if degraded == 0 { "ok" } else { "degraded" })),
             ("uptime_secs".into(), num_u64(state.started.elapsed().as_secs())),
             ("summaries".into(), num_usize(state.registry.len())),
+            ("degraded".into(), num_u64(degraded)),
+            ("summary_health".into(), Json::Arr(health)),
         ]),
     )
 }
@@ -338,7 +422,7 @@ fn handle_summaries(state: &Arc<ServerState>) -> Response {
         .infos()
         .into_iter()
         .map(|info| {
-            Json::Obj(vec![
+            let mut fields = vec![
                 ("name".into(), Json::Str(info.name)),
                 ("path".into(), Json::Str(info.path.display().to_string())),
                 ("generation".into(), num_u64(info.generation)),
@@ -347,7 +431,12 @@ fn handle_summaries(state: &Arc<ServerState>) -> Response {
                 ("n".into(), num_u64(info.n)),
                 ("threshold".into(), num_u64(u64::from(info.threshold))),
                 ("signature_len".into(), num_usize(info.signature_len)),
-            ])
+                ("stale".into(), Json::Bool(info.stale)),
+            ];
+            if let Some(error) = info.last_error {
+                fields.push(("last_error".into(), Json::Str(error)));
+            }
+            Json::Obj(fields)
         })
         .collect();
     Response::json(200, &Json::Obj(vec![("summaries".into(), Json::Arr(summaries))]))
@@ -480,7 +569,7 @@ fn handle_estimate(request: &Request, state: &Arc<ServerState>) -> Response {
         );
     }
 
-    let Some((cst, generation)) = state.registry.get_with_generation(summary_name) else {
+    let Some((cst, generation, stale)) = state.registry.get_for_serving(summary_name) else {
         return error_response(
             404,
             "unknown_summary",
@@ -533,7 +622,7 @@ fn handle_estimate(request: &Request, state: &Arc<ServerState>) -> Response {
     state.metrics.batches_total.inc();
     state.metrics.estimates_total.add(size_to_u64(estimates.len()));
 
-    Response::json(
+    let response = Response::json(
         200,
         &Json::Obj(vec![
             ("summary".into(), Json::str(summary_name)),
@@ -545,10 +634,18 @@ fn handle_estimate(request: &Request, state: &Arc<ServerState>) -> Response {
                     CountKind::Occurrence => "occurrence",
                 }),
             ),
+            ("generation".into(), num_u64(generation)),
             ("count".into(), num_usize(estimates.len())),
             ("estimates".into(), Json::Arr(estimates)),
         ]),
-    )
+    );
+    if stale {
+        // The summary's latest reload failed; answers come from the
+        // last good generation. Clients that care can detect it here.
+        response.with_header("x-twig-stale-generation", generation.to_string())
+    } else {
+        response
+    }
 }
 
 fn parse_algorithm(name: &str) -> Option<Algorithm> {

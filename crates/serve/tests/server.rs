@@ -11,7 +11,9 @@ use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
 use twig_serve::http::{read_response, write_request, ClientResponse, Limits};
 use twig_serve::json::Json;
 use twig_serve::loadgen;
-use twig_serve::{Server, ServerConfig, ServerHandle, SummaryRegistry, SummarySpec};
+use twig_serve::{
+    LoadOutcome, Server, ServerConfig, ServerHandle, SnapshotStore, SummaryRegistry, SummarySpec,
+};
 use twig_tree::{DataTree, Twig};
 
 const XML: &str = "<dblp>\
@@ -30,8 +32,11 @@ fn build_cst(xml: &str) -> Cst {
 }
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir()
-        .join(format!("twig-serve-test-{tag}-{}-{:?}", std::process::id(), std::thread::current().id()));
+    let dir = std::env::temp_dir().join(format!(
+        "twig-serve-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }
@@ -162,9 +167,8 @@ fn endpoints_and_estimate_parity() {
                 let parsed = Json::parse(&response.body_text()).unwrap();
                 assert_eq!(parsed.get("algorithm").unwrap().as_str(), Some(algorithm.name()));
                 assert_eq!(parsed.get("count_kind").unwrap().as_str(), Some(kind_name));
-                let served = parsed.get("estimates").unwrap().as_array().unwrap()[0]
-                    .as_f64()
-                    .unwrap();
+                let served =
+                    parsed.get("estimates").unwrap().as_array().unwrap()[0].as_f64().unwrap();
                 let expected = cst.estimate(&Twig::parse(query_text).unwrap(), algorithm, kind);
                 assert_eq!(
                     served.to_bits(),
@@ -197,11 +201,8 @@ fn endpoints_and_estimate_parity() {
         .map(|v| v.as_f64().unwrap())
         .collect();
     for (index, query_text) in [queries[0], queries[1], queries[3]].iter().enumerate() {
-        let expected = cst.estimate(
-            &Twig::parse(query_text).unwrap(),
-            Algorithm::Mosh,
-            CountKind::Occurrence,
-        );
+        let expected =
+            cst.estimate(&Twig::parse(query_text).unwrap(), Algorithm::Mosh, CountKind::Occurrence);
         assert_eq!(served[index].to_bits(), expected.to_bits(), "batch[{index}]");
     }
 
@@ -246,10 +247,8 @@ fn endpoints_and_estimate_parity() {
     assert!(text.contains("twig_serve_estimates_total"), "{text}");
     assert!(text.contains("twig_serve_request_latency_us_bucket"), "{text}");
     assert!(text.contains("twig_serve_request_latency_us_count"), "{text}");
-    let estimates_line = text
-        .lines()
-        .find(|line| line.starts_with("twig_serve_estimates_total "))
-        .unwrap();
+    let estimates_line =
+        text.lines().find(|line| line.starts_with("twig_serve_estimates_total ")).unwrap();
     let count: f64 = estimates_line.split(' ').nth(1).unwrap().parse().unwrap();
     assert!(count >= 63.0, "expected >= 63 estimates recorded, got {count}");
 
@@ -280,8 +279,7 @@ fn oversized_body_is_rejected() {
 
     // Batch cap separately from byte cap.
     let many: Vec<String> = (0..9).map(|_| r#""a(b)""#.to_owned()).collect();
-    let config_small_batch =
-        ServerConfig { max_batch: 8, ..ServerConfig::default() };
+    let config_small_batch = ServerConfig { max_batch: 8, ..ServerConfig::default() };
     let (registry2, _) = default_registry(&dir);
     let server2 = TestServer::start(config_small_batch, registry2);
     let body = format!(r#"{{"queries":[{}]}}"#, many.join(","));
@@ -351,10 +349,9 @@ fn reload_swaps_and_is_failsafe() {
             r#"{"summary":"main","query":"book(author(\"AAA\"))","algorithm":"leaf"}"#,
         );
         assert_eq!(response.status, 200, "{}", response.body_text());
-        Json::parse(&response.body_text()).unwrap().get("estimates").unwrap().as_array().unwrap()
-            [0]
-        .as_f64()
-        .unwrap()
+        Json::parse(&response.body_text()).unwrap().get("estimates").unwrap().as_array().unwrap()[0]
+            .as_f64()
+            .unwrap()
     };
 
     let before = estimate(addr);
@@ -431,6 +428,214 @@ fn loadgen_smoke_hits_the_server() {
 }
 
 #[test]
+fn concurrent_estimates_during_reloads_never_mix_summaries() {
+    let dir = temp_dir("concurrent");
+    let path = dir.join("main.cst");
+    write_summary_file(&path, XML);
+    let registry = SummaryRegistry::new();
+    registry.load(SummarySpec { name: "main".into(), path: path.clone() }).unwrap();
+    let config = ServerConfig { workers: 4, queue_capacity: 64, ..ServerConfig::default() };
+    let server = TestServer::start(config, registry);
+    let addr = server.addr.clone();
+
+    const BATCH: &str = r#"{"summary":"main","queries":["book(author(\"AAA\"))","book(author(\"AAA\"),year(\"1999\"))","article(year(\"2003\"))"],"algorithm":"msh"}"#;
+    let estimates_token = |addr: &str| -> String {
+        let response = post_json(addr, "/estimate", BATCH);
+        assert_eq!(response.status, 200, "{}", response.body_text());
+        Json::parse(&response.body_text()).unwrap().get("estimates").unwrap().render()
+    };
+
+    // Two summary variants whose estimates for the batch differ; the
+    // rendered estimates array is a shortest-round-trip encoding, so
+    // comparing tokens is bit-exact value comparison.
+    let token_a = estimates_token(&addr);
+    let variant_b = XML.replace(
+        "</dblp>",
+        "<book><author>AAA</author><year>1999</year><title>T9</title></book></dblp>",
+    );
+    write_summary_file(&path, &variant_b);
+    let response = post_json(&addr, "/admin/reload", "");
+    assert_eq!(response.status, 200);
+    let token_b = estimates_token(&addr);
+    assert_ne!(token_a, token_b, "variants must be distinguishable");
+
+    // Hammer /estimate from four client threads while the main thread
+    // flips the backing file and reloads. Every successful response must
+    // be exactly variant A or exactly variant B — never a mix of the
+    // two — and the generation seen by one client never goes backwards.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = std::sync::Arc::clone(&stop);
+            let (token_a, token_b) = (token_a.clone(), token_b.clone());
+            std::thread::spawn(move || {
+                let mut checked = 0u64;
+                let mut last_generation = 0.0f64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let response = post_json(&addr, "/estimate", BATCH);
+                    if response.status == 503 {
+                        continue; // transient saturation is acceptable here
+                    }
+                    assert_eq!(response.status, 200, "{}", response.body_text());
+                    let body = Json::parse(&response.body_text()).unwrap();
+                    let token = body.get("estimates").unwrap().render();
+                    assert!(
+                        token == token_a || token == token_b,
+                        "mixed-summary response: {token}"
+                    );
+                    let generation = body.get("generation").unwrap().as_f64().unwrap();
+                    assert!(generation >= last_generation, "generation went backwards");
+                    last_generation = generation;
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    for round in 0..10 {
+        if round % 2 == 0 {
+            write_summary_file(&path, XML);
+        } else {
+            write_summary_file(&path, &variant_b);
+        }
+        let response = post_json(&addr, "/admin/reload", "");
+        assert_eq!(response.status, 200);
+        let parsed = Json::parse(&response.body_text()).unwrap();
+        assert_eq!(parsed.get("all_ok").unwrap(), &Json::Bool(true));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut total = 0;
+    for client in clients {
+        total += client.join().unwrap();
+    }
+    assert!(total > 0, "clients must have exercised the server");
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_reload_enters_degraded_mode_and_recovers() {
+    let dir = temp_dir("degraded");
+    let path = dir.join("main.cst");
+    write_summary_file(&path, XML);
+    let registry = SummaryRegistry::new();
+    registry.load(SummarySpec { name: "main".into(), path: path.clone() }).unwrap();
+    let server = TestServer::start(ServerConfig::default(), registry);
+    let addr = &server.addr;
+    const BODY: &str = r#"{"summary":"main","query":"book(author(\"AAA\"))","algorithm":"leaf"}"#;
+
+    // Healthy: no stale header, gauge at zero.
+    let response = post_json(addr, "/estimate", BODY);
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    assert_eq!(response.header("x-twig-stale-generation"), None);
+    let baseline = Json::parse(&response.body_text()).unwrap().get("estimates").unwrap().render();
+    let text = get(addr, "/metrics").body_text();
+    assert!(text.contains("twig_serve_degraded 0\n"), "{text}");
+
+    // Corrupt the backing file: the failed reload keeps serving the old
+    // generation but flips the entry into degraded mode.
+    std::fs::write(&path, b"not a summary").unwrap();
+    let response = post_json(addr, "/admin/reload", "");
+    assert_eq!(response.status, 200);
+    let parsed = Json::parse(&response.body_text()).unwrap();
+    assert_eq!(parsed.get("all_ok").unwrap(), &Json::Bool(false));
+
+    let response = post_json(addr, "/estimate", BODY);
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    assert_eq!(response.header("x-twig-stale-generation"), Some("1"));
+    let served = Json::parse(&response.body_text()).unwrap().get("estimates").unwrap().render();
+    assert_eq!(served, baseline, "degraded mode must keep the last good estimates");
+
+    let health = Json::parse(&get(addr, "/healthz").body_text()).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("degraded"));
+    assert_eq!(health.get("degraded").unwrap().as_f64(), Some(1.0));
+    let entries = health.get("summary_health").unwrap().as_array().unwrap();
+    assert_eq!(entries[0].get("name").unwrap().as_str(), Some("main"));
+    assert_eq!(entries[0].get("stale").unwrap(), &Json::Bool(true));
+    let last_error = entries[0].get("last_error").unwrap().as_str().unwrap();
+    assert!(last_error.contains("cannot load summary 'main'"), "{last_error}");
+    let text = get(addr, "/metrics").body_text();
+    assert!(text.contains("twig_serve_degraded 1\n"), "{text}");
+
+    // Repairing the file and reloading clears degraded mode.
+    write_summary_file(&path, XML);
+    let response = post_json(addr, "/admin/reload", "");
+    assert_eq!(response.status, 200);
+    let parsed = Json::parse(&response.body_text()).unwrap();
+    assert_eq!(parsed.get("all_ok").unwrap(), &Json::Bool(true));
+    let response = post_json(addr, "/estimate", BODY);
+    assert_eq!(response.header("x-twig-stale-generation"), None);
+    assert_eq!(
+        Json::parse(&response.body_text()).unwrap().get("estimates").unwrap().render(),
+        baseline,
+        "the repaired file holds the same summary"
+    );
+    let health = Json::parse(&get(addr, "/healthz").body_text()).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_store_recovers_after_source_corruption() {
+    let dir = temp_dir("snapshot-recover");
+    let path = dir.join("main.cst");
+    let state = dir.join("state");
+    let original = write_summary_file(&path, XML);
+
+    // First boot: loading with an attached store commits generation 1.
+    {
+        let registry = SummaryRegistry::new();
+        assert!(registry.attach_store(SnapshotStore::open(&state).unwrap()));
+        registry.load(SummarySpec { name: "main".into(), path: path.clone() }).unwrap();
+        assert_eq!(registry.snapshot_store().unwrap().committed_generation("main"), Some(1));
+    }
+
+    // Simulated crash: the source file is torn; only the snapshot
+    // survives. Startup recovery serves it, marked stale.
+    std::fs::write(&path, [0u8; 16]).unwrap();
+    let registry = SummaryRegistry::new();
+    assert!(registry.attach_store(SnapshotStore::open(&state).unwrap()));
+    let outcome =
+        registry.load_or_recover(SummarySpec { name: "main".into(), path: path.clone() }).unwrap();
+    let LoadOutcome::Recovered { generation, error } = outcome else {
+        panic!("expected recovery, got {outcome:?}");
+    };
+    assert_eq!(generation, 1);
+    assert!(error.contains("cannot load summary 'main'"), "{error}");
+    assert_eq!(registry.degraded(), 1);
+
+    // The recovered snapshot serves bit-identical estimates under the
+    // stale header.
+    let server = TestServer::start(ServerConfig::default(), registry);
+    let response = post_json(
+        &server.addr,
+        "/estimate",
+        r#"{"summary":"main","query":"book(author(\"AAA\"))","algorithm":"leaf"}"#,
+    );
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    assert_eq!(response.header("x-twig-stale-generation"), Some("1"));
+    let served =
+        Json::parse(&response.body_text()).unwrap().get("estimates").unwrap().as_array().unwrap()
+            [0]
+        .as_f64()
+        .unwrap();
+    let expected = original.estimate(
+        &Twig::parse(r#"book(author("AAA"))"#).unwrap(),
+        Algorithm::Leaf,
+        CountKind::Occurrence,
+    );
+    assert_eq!(served.to_bits(), expected.to_bits());
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn plan_cache_hits_repeated_twigs_and_reload_invalidates() {
     let dir = temp_dir("plancache");
     let path = dir.join("main.cst");
@@ -454,10 +659,9 @@ fn plan_cache_hits_repeated_twigs_and_reload_invalidates() {
             r#"{"summary":"main","query":"book(author(\"AAA\"),year(\"1999\"))","algorithm":"msh"}"#,
         );
         assert_eq!(response.status, 200, "{}", response.body_text());
-        Json::parse(&response.body_text()).unwrap().get("estimates").unwrap().as_array().unwrap()
-            [0]
-        .as_f64()
-        .unwrap()
+        Json::parse(&response.body_text()).unwrap().get("estimates").unwrap().as_array().unwrap()[0]
+            .as_f64()
+            .unwrap()
     };
     let twig = Twig::parse(r#"book(author("AAA"),year("1999"))"#).unwrap();
 

@@ -66,10 +66,7 @@ mod tests {
 
     /// Scalar reference: the obvious branchy union.
     fn union_reference<C: Component>(acc: &[C], other: &[C]) -> Vec<C> {
-        acc.iter()
-            .zip(other)
-            .map(|(&a, &b)| if b < a { b } else { a })
-            .collect()
+        acc.iter().zip(other).map(|(&a, &b)| if b < a { b } else { a }).collect()
     }
 
     /// Scalar reference: the obvious per-position k-way agreement loop.
@@ -109,14 +106,10 @@ mod tests {
     fn union_matches_scalar_reference_u32() {
         let mut rng = SplitMix64::new(0xCAFE);
         for len in [1usize, 5, 31, 32, 33, 128] {
-            let a: Vec<u32> = random_u64s(&mut rng, len, 1 << 20)
-                .into_iter()
-                .map(|v| v as u32)
-                .collect();
-            let b: Vec<u32> = random_u64s(&mut rng, len, 1 << 20)
-                .into_iter()
-                .map(|v| v as u32)
-                .collect();
+            let a: Vec<u32> =
+                random_u64s(&mut rng, len, 1 << 20).into_iter().map(|v| v as u32).collect();
+            let b: Vec<u32> =
+                random_u64s(&mut rng, len, 1 << 20).into_iter().map(|v| v as u32).collect();
             let expected = union_reference(&a, &b);
             let mut got = a.clone();
             union_min_into(&mut got, &b);
@@ -152,8 +145,7 @@ mod tests {
             for k in 0usize..5 {
                 // A tight spread forces plenty of accidental agreement.
                 let first = random_u64s(&mut rng, len, 4);
-                let others: Vec<Vec<u64>> =
-                    (0..k).map(|_| random_u64s(&mut rng, len, 4)).collect();
+                let others: Vec<Vec<u64>> = (0..k).map(|_| random_u64s(&mut rng, len, 4)).collect();
                 let views: Vec<&[u64]> = others.iter().map(Vec::as_slice).collect();
                 assert_eq!(
                     agreement_count(&first, &views),

@@ -101,9 +101,7 @@ impl HashFamily {
     /// order statistic, which plain linear congruences do not.
     #[inline]
     pub fn hash(&self, i: usize, element: u64) -> u64 {
-        let mut x = element
-            .wrapping_mul(self.mults[i])
-            .wrapping_add(self.adds[i]);
+        let mut x = element.wrapping_mul(self.mults[i]).wrapping_add(self.adds[i]);
         x ^= x >> 33;
         x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
         x ^= x >> 33;

@@ -23,10 +23,7 @@ fn random_sets(seed: u64, k: usize, universe: u64) -> Vec<Vec<u64>> {
 }
 
 fn exact_intersection(sets: &[Vec<u64>]) -> usize {
-    sets[0]
-        .iter()
-        .filter(|x| sets[1..].iter().all(|s| s.contains(x)))
-        .count()
+    sets[0].iter().filter(|x| sets[1..].iter().all(|s| s.contains(x))).count()
 }
 
 fn exact_union(sets: &[Vec<u64>]) -> usize {
@@ -39,9 +36,7 @@ fn exact_union(sets: &[Vec<u64>]) -> usize {
 /// Signatures for a family of sets plus their (signature, cardinality)
 /// pairing — the shape the estimators consume.
 fn signatures(family: &HashFamily, sets: &[Vec<u64>]) -> Vec<Signature> {
-    sets.iter()
-        .map(|s| Signature::build(family, s.iter().copied()))
-        .collect()
+    sets.iter().map(|s| Signature::build(family, s.iter().copied())).collect()
 }
 
 /// Resemblance estimates stay within sampling error of the truth.
@@ -80,11 +75,8 @@ fn intersection_tracks_truth() {
             continue;
         }
         let sigs = signatures(&family, &sets);
-        let pairs: Vec<(&Signature, u64)> = sigs
-            .iter()
-            .zip(&sets)
-            .map(|(sig, s)| (sig, s.len() as u64))
-            .collect();
+        let pairs: Vec<(&Signature, u64)> =
+            sigs.iter().zip(&sets).map(|(sig, s)| (sig, s.len() as u64)).collect();
         let estimated = estimate_intersection(&pairs);
         let truth = exact_intersection(&sets) as f64;
         let union = exact_union(&sets) as f64;
@@ -111,11 +103,8 @@ fn union_tracks_truth() {
             continue;
         }
         let sigs = signatures(&family, &sets);
-        let pairs: Vec<(&Signature, u64)> = sigs
-            .iter()
-            .zip(&sets)
-            .map(|(sig, s)| (sig, s.len() as u64))
-            .collect();
+        let pairs: Vec<(&Signature, u64)> =
+            sigs.iter().zip(&sets).map(|(sig, s)| (sig, s.len() as u64)).collect();
         let estimated = estimate_union_size(&pairs);
         let truth = exact_union(&sets) as f64;
         assert!(

@@ -39,9 +39,9 @@ pub enum NodeLabel {
 /// A rooted node-labeled data tree.
 #[derive(Debug, Clone)]
 pub struct DataTree {
-    labels: Vec<u32>,       // Symbol index, or NONE for text leaves
+    labels: Vec<u32>,            // Symbol index, or NONE for text leaves
     text_spans: Vec<(u32, u32)>, // (offset, len) into `text_buf`; parallel index via `text_idx`
-    text_idx: Vec<u32>,     // per node: index into text_spans, or NONE
+    text_idx: Vec<u32>,          // per node: index into text_spans, or NONE
     parent: Vec<u32>,
     first_child: Vec<u32>,
     next_sibling: Vec<u32>,
@@ -485,14 +485,10 @@ mod tests {
         });
         assert_eq!(
             paths,
-            vec![
-                vec!["a", "b", "\"x\""],
-                vec!["a", "c", "d", "\"y\""],
-                vec!["a", "e"],
-            ]
-            .into_iter()
-            .map(|p: Vec<&str>| p.into_iter().map(str::to_owned).collect::<Vec<_>>())
-            .collect::<Vec<_>>()
+            vec![vec!["a", "b", "\"x\""], vec!["a", "c", "d", "\"y\""], vec!["a", "e"],]
+                .into_iter()
+                .map(|p: Vec<&str>| p.into_iter().map(str::to_owned).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -143,10 +143,7 @@ impl Twig {
 
     /// All branch nodes in pre-order.
     pub fn branch_nodes(&self) -> Vec<TwigNodeId> {
-        (0..self.labels.len() as u32)
-            .map(TwigNodeId)
-            .filter(|&n| self.is_branch(n))
-            .collect()
+        (0..self.labels.len() as u32).map(TwigNodeId).filter(|&n| self.is_branch(n)).collect()
     }
 
     /// True when `node` is a leaf of the query.
@@ -305,10 +302,9 @@ impl ExprParser<'_> {
             }
             Some(b) if b.is_ascii_alphanumeric() || b == b'_' => {
                 let start = self.pos;
-                while self
-                    .peek()
-                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.')
-                {
+                while self.peek().is_some_and(|b| {
+                    b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.'
+                }) {
                     self.pos += 1;
                 }
                 let name = std::str::from_utf8(&self.input[start..self.pos])

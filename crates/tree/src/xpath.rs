@@ -132,11 +132,9 @@ impl XPathParser<'_> {
             return Ok(Predicate::SelfValue(self.parse_string()?));
         }
         if self.peek() == Some(b'@') {
-            return Err(
-                "attribute axis '@' is not supported: attributes are modeled as child \
+            return Err("attribute axis '@' is not supported: attributes are modeled as child \
                  elements; use [attrname=\"v\"] instead"
-                    .to_owned(),
-            );
+                .to_owned());
         }
         let name = self.parse_name()?;
         self.skip_ws();
@@ -222,10 +220,7 @@ mod tests {
 
     #[test]
     fn leading_slash_optional() {
-        assert_eq!(
-            parse_xpath("dblp/book").unwrap(),
-            parse_xpath("/dblp/book").unwrap()
-        );
+        assert_eq!(parse_xpath("dblp/book").unwrap(), parse_xpath("/dblp/book").unwrap());
     }
 
     #[test]

@@ -77,10 +77,7 @@ fn label_index_complete() {
         let tree = build_tree(seed, 3, 3);
         for (sym, _) in tree.interner().iter() {
             let indexed = tree.nodes_with_label(sym).len();
-            let scanned = tree
-                .dfs()
-                .filter(|&n| tree.element_symbol(n) == Some(sym))
-                .count();
+            let scanned = tree.dfs().filter(|&n| tree.element_symbol(n) == Some(sym)).count();
             assert_eq!(indexed, scanned, "seed {seed}");
         }
     }
@@ -138,9 +135,8 @@ fn twig_branch_nodes_and_paths_agree() {
     let paths = twig.root_to_leaf_paths();
     assert_eq!(paths.len(), 4);
     // Total leaf count equals path count.
-    let leaves = (0..twig.node_count() as u32)
-        .filter(|&i| twig.is_leaf(twig_tree::TwigNodeId(i)))
-        .count();
+    let leaves =
+        (0..twig.node_count() as u32).filter(|&i| twig.is_leaf(twig_tree::TwigNodeId(i))).count();
     assert_eq!(leaves, paths.len());
     // Branch nodes are exactly a and b.
     assert_eq!(twig.branch_nodes().len(), 2);
@@ -153,8 +149,5 @@ fn twig_label_kinds() {
         .map(|i| twig.label(twig_tree::TwigNodeId(i)).is_value())
         .collect();
     assert_eq!(labels.iter().filter(|&&v| v).count(), 1);
-    assert!(matches!(
-        twig.label(twig_tree::TwigNodeId(1)),
-        TwigLabel::Star
-    ));
+    assert!(matches!(twig.label(twig_tree::TwigNodeId(1)), TwigLabel::Star));
 }

@@ -72,10 +72,7 @@ impl Interner {
 
     /// Iterates `(Symbol, &str)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
-        self.strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+        self.strings.iter().enumerate().map(|(i, s)| (Symbol(i as u32), s.as_ref()))
     }
 }
 

@@ -11,9 +11,12 @@
 //!   min-hash function family reproducibly,
 //! - [`stats`]: summary statistics used by the evaluation harness,
 //! - [`metrics`]: lock-free counters and log-bucketed latency histograms
-//!   for long-running services (the `twig-serve` `/metrics` endpoint).
+//!   for long-running services (the `twig-serve` `/metrics` endpoint),
+//! - [`failpoint`]: deterministic fault injection for robustness tests —
+//!   a zero-cost no-op unless the `failpoints` feature is enabled.
 
 pub mod cast;
+pub mod failpoint;
 pub mod hash;
 pub mod intern;
 pub mod metrics;

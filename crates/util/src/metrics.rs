@@ -47,7 +47,7 @@ impl Counter {
     /// The current value.
     #[must_use]
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        AtomicU64::load(&self.value, Ordering::Relaxed)
     }
 }
 
@@ -244,7 +244,11 @@ mod tests {
         assert_eq!(snap.quantile_bound(0.99), 16384);
         assert_eq!(snap.quantile_bound(1.0), 16384);
         assert!((snap.mean() - 1090.0).abs() < 1e-9);
-        assert_eq!(HistogramSnapshot { count: 0, sum: 0, cumulative: vec![0; LOG_BUCKETS] }.quantile_bound(0.5), 0);
+        assert_eq!(
+            HistogramSnapshot { count: 0, sum: 0, cumulative: vec![0; LOG_BUCKETS] }
+                .quantile_bound(0.5),
+            0
+        );
     }
 
     #[test]

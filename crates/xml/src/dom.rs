@@ -65,8 +65,9 @@ impl Document {
                 },
             }
         }
-        root.map(|root| Document { root })
-            .ok_or_else(|| Error::new(input.len(), ErrorKind::BadDocumentStructure("no root element")))
+        root.map(|root| Document { root }).ok_or_else(|| {
+            Error::new(input.len(), ErrorKind::BadDocumentStructure("no root element"))
+        })
     }
 }
 

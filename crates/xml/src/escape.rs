@@ -23,8 +23,7 @@ pub fn unescape(text: &str) -> Result<Cow<'_, str>, String> {
             "apos" => out.push('\''),
             "quot" => out.push('"'),
             _ if entity.starts_with("#x") || entity.starts_with("#X") => {
-                let code = u32::from_str_radix(&entity[2..], 16)
-                    .map_err(|_| entity.to_owned())?;
+                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| entity.to_owned())?;
                 out.push(char::from_u32(code).ok_or_else(|| entity.to_owned())?);
             }
             _ if entity.starts_with('#') => {
@@ -54,9 +53,7 @@ pub fn escape_attr(text: &str) -> Cow<'_, str> {
 }
 
 fn escape_with(text: &str, quotes: bool) -> Cow<'_, str> {
-    let needs = text
-        .bytes()
-        .any(|b| b == b'&' || b == b'<' || b == b'>' || (quotes && b == b'"'));
+    let needs = text.bytes().any(|b| b == b'&' || b == b'<' || b == b'>' || (quotes && b == b'"'));
     if !needs {
         return Cow::Borrowed(text);
     }
@@ -86,8 +83,10 @@ mod tests {
 
     #[test]
     fn unescape_predefined_entities() {
-        assert_eq!(unescape("a &amp; b &lt; c &gt; d &apos;e&apos; &quot;f&quot;").unwrap(),
-                   "a & b < c > d 'e' \"f\"");
+        assert_eq!(
+            unescape("a &amp; b &lt; c &gt; d &apos;e&apos; &quot;f&quot;").unwrap(),
+            "a & b < c > d 'e' \"f\""
+        );
     }
 
     #[test]

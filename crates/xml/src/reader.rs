@@ -46,7 +46,14 @@ pub struct Reader<'a> {
 impl<'a> Reader<'a> {
     /// Creates a reader over `input`.
     pub fn new(input: &'a str) -> Self {
-        Self { input, pos: 0, stack: Vec::new(), pending_end: None, seen_root: false, finished_root: false }
+        Self {
+            input,
+            pos: 0,
+            stack: Vec::new(),
+            pending_end: None,
+            seen_root: false,
+            finished_root: false,
+        }
     }
 
     /// Current byte offset (for diagnostics).
@@ -89,7 +96,9 @@ impl<'a> Reader<'a> {
                     Markup::Comment => self.skip_until("-->", "comment")?,
                     Markup::Cdata => return self.parse_cdata().map(Some),
                     Markup::Declaration => self.skip_doctype()?,
-                    Markup::ProcessingInstruction => self.skip_until("?>", "processing instruction")?,
+                    Markup::ProcessingInstruction => {
+                        self.skip_until("?>", "processing instruction")?
+                    }
                     Markup::EndTag => return self.parse_end_tag().map(Some),
                     Markup::StartTag => return self.parse_start_tag().map(Some),
                 }
@@ -175,10 +184,8 @@ impl<'a> Reader<'a> {
 
     fn parse_text(&mut self) -> Result<Option<Event<'a>>> {
         let start = self.pos;
-        let end = self.input[start..]
-            .find('<')
-            .map(|found| start + found)
-            .unwrap_or(self.input.len());
+        let end =
+            self.input[start..].find('<').map(|found| start + found).unwrap_or(self.input.len());
         let raw = &self.input[start..end];
         self.pos = end;
         if raw.trim().is_empty() {
@@ -229,7 +236,9 @@ impl<'a> Reader<'a> {
                     self.skip_whitespace();
                     let quote = match self.bytes().get(self.pos) {
                         Some(&q @ (b'"' | b'\'')) => q,
-                        _ => return Err(self.err(ErrorKind::Malformed("attribute (missing quote)"))),
+                        _ => {
+                            return Err(self.err(ErrorKind::Malformed("attribute (missing quote)")))
+                        }
                     };
                     self.pos += 1;
                     let value_start = self.pos;
@@ -239,8 +248,7 @@ impl<'a> Reader<'a> {
                         .ok_or_else(|| self.err(ErrorKind::UnexpectedEof("attribute value")))?;
                     let raw = &self.input[value_start..value_end];
                     self.pos = value_end + 1;
-                    let value =
-                        unescape(raw).map_err(|ent| self.err(ErrorKind::BadEntity(ent)))?;
+                    let value = unescape(raw).map_err(|ent| self.err(ErrorKind::BadEntity(ent)))?;
                     attrs.push((attr_name, value));
                 }
             }
@@ -407,10 +415,7 @@ mod tests {
     #[test]
     fn unopened_end_tag_is_error() {
         let err = parse_error("<a></a></b>");
-        assert!(matches!(
-            err.kind,
-            ErrorKind::UnopenedTag(_) | ErrorKind::BadDocumentStructure(_)
-        ));
+        assert!(matches!(err.kind, ErrorKind::UnopenedTag(_) | ErrorKind::BadDocumentStructure(_)));
     }
 
     #[test]

@@ -53,9 +53,7 @@ mod tests {
 
     #[test]
     fn roundtrip_with_special_chars() {
-        let el = Element::new("a")
-            .with_attr("q", "x \"y\" <z>")
-            .with_text("1 < 2 & 3 > 2");
+        let el = Element::new("a").with_attr("q", "x \"y\" <z>").with_text("1 < 2 & 3 > 2");
         let written = element_to_string(&el);
         let reparsed = Document::parse(&written).unwrap();
         assert_eq!(reparsed.root, el);

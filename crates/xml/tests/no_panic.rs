@@ -44,9 +44,7 @@ fn arbitrary_string(rng: &mut SplitMix64) -> String {
 fn markup_soup(rng: &mut SplitMix64) -> String {
     const ALPHABET: &[u8] = br#"<>/&;="'abcxyz[]!? -"#;
     let len = rng.index(201);
-    (0..len)
-        .map(|_| char::from(ALPHABET[rng.index(ALPHABET.len())]))
-        .collect()
+    (0..len).map(|_| char::from(ALPHABET[rng.index(ALPHABET.len())])).collect()
 }
 
 /// Arbitrary UTF-8 never panics the parser.
@@ -101,8 +99,16 @@ fn truncated_documents_fail_cleanly() {
 #[test]
 fn pathological_nesting_of_brackets() {
     for input in [
-        "<!DOCTYPE [[[[", "<![CDATA[", "<!--", "<?", "</", "<a b=", "<a b='",
-        "&#xFFFFFFFFFF;", "<a>&#x;</a>", "<<<<>>>>",
+        "<!DOCTYPE [[[[",
+        "<![CDATA[",
+        "<!--",
+        "<?",
+        "</",
+        "<a b=",
+        "<a b='",
+        "&#xFFFFFFFFFF;",
+        "<a>&#x;</a>",
+        "<<<<>>>>",
     ] {
         drive(input);
     }

@@ -129,8 +129,15 @@ fn writer_escapes_everything_roundtrip() {
 #[test]
 fn malformed_inputs_fail_cleanly() {
     for bad in [
-        "<a", "<a b></a>", "<a 1k=\"v\"></a>", "< a></a>", "<a></ a>",
-        "<a><![CDATA[x]></a>", "<a>&#;</a>", "<a k=v></a>", "<>x</>",
+        "<a",
+        "<a b></a>",
+        "<a 1k=\"v\"></a>",
+        "< a></a>",
+        "<a></ a>",
+        "<a><![CDATA[x]></a>",
+        "<a>&#;</a>",
+        "<a k=v></a>",
+        "<>x</>",
         "<a k=\"v></a>",
     ] {
         assert!(Document::parse(bad).is_err(), "accepted: {bad}");

@@ -22,11 +22,7 @@ pub(crate) fn normalize(content: &str) -> String {
 }
 
 pub(crate) fn key_of(violation: &Violation) -> Key {
-    (
-        violation.rule.to_owned(),
-        violation.file.clone(),
-        normalize(&violation.content),
-    )
+    (violation.rule.to_owned(), violation.file.clone(), normalize(&violation.content))
 }
 
 /// Parses the TSV baseline. Unknown/malformed lines are rejected loudly —
@@ -44,12 +40,10 @@ pub(crate) fn parse(text: &str) -> Result<BTreeMap<Key, usize>, String> {
         else {
             return Err(format!("baseline line {}: expected 4 tab-separated fields", idx + 1));
         };
-        let count: usize = count
-            .parse()
-            .map_err(|_| format!("baseline line {}: bad count '{count}'", idx + 1))?;
-        *entries
-            .entry((rule.to_owned(), file.to_owned(), content.to_owned()))
-            .or_insert(0) += count;
+        let count: usize =
+            count.parse().map_err(|_| format!("baseline line {}: bad count '{count}'", idx + 1))?;
+        *entries.entry((rule.to_owned(), file.to_owned(), content.to_owned())).or_insert(0) +=
+            count;
     }
     Ok(entries)
 }

@@ -175,23 +175,18 @@ fn trimmed_mean_secs<R>(warmup: usize, samples: usize, mut f: impl FnMut() -> R)
 
 fn run_benchmarks(config: &BenchConfig) -> Result<Vec<(String, f64)>, String> {
     let mut metrics: Vec<(String, f64)> = Vec::new();
-    eprintln!(
-        "generating ~{} KiB corpus (seed {SEED:#x})...",
-        config.corpus_bytes / 1024
-    );
+    eprintln!("generating ~{} KiB corpus (seed {SEED:#x})...", config.corpus_bytes / 1024);
     let xml = generate_dblp(&DblpConfig {
         target_bytes: config.corpus_bytes,
         seed: SEED,
         ..DblpConfig::default()
     });
     let tree = DataTree::from_xml(&xml).map_err(|e| format!("corpus XML invalid: {e}"))?;
-    let cst_config =
-        CstConfig { budget: SpaceBudget::Threshold(2), ..CstConfig::default() };
+    let cst_config = CstConfig { budget: SpaceBudget::Threshold(2), ..CstConfig::default() };
 
     eprintln!("benchmarking summary build...");
-    let build_secs = trimmed_mean_secs(config.warmup, config.samples.min(5), || {
-        Cst::build(&tree, &cst_config)
-    });
+    let build_secs =
+        trimmed_mean_secs(config.warmup, config.samples.min(5), || Cst::build(&tree, &cst_config));
     metrics.push(("build_secs".into(), build_secs));
 
     let cst = Cst::build(&tree, &cst_config).map_err(|e| format!("CST build failed: {e}"))?;

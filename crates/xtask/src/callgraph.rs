@@ -128,7 +128,9 @@ pub(crate) fn call_sites(
                         }
                     }
                 }
-                if !path.is_empty() && !NON_CALL_IDENTS.contains(&path.last().map(String::as_str).unwrap_or("")) {
+                if !path.is_empty()
+                    && !NON_CALL_IDENTS.contains(&path.last().map(String::as_str).unwrap_or(""))
+                {
                     sites.push(CallSite { path, method: false, line });
                 }
             }
@@ -192,8 +194,12 @@ pub(crate) fn build(models: &[FileModel]) -> Graph {
         let sites = call_sites(tokens, body, f.item.impl_type.as_deref());
         let mut seen = vec![false; fns.len()];
         for site in sites {
-            let Some(last) = site.path.last() else { continue };
-            let Some(candidates) = by_name.get(last.as_str()) else { continue };
+            let Some(last) = site.path.last() else {
+                continue;
+            };
+            let Some(candidates) = by_name.get(last.as_str()) else {
+                continue;
+            };
             for &callee in candidates {
                 let target = &fns[callee].item;
                 let matches = if site.method {
@@ -230,10 +236,7 @@ fn suffix_matches(qual: &str, path: &[String]) -> bool {
     if path.len() > segments.len() {
         return false;
     }
-    segments[segments.len() - path.len()..]
-        .iter()
-        .zip(path)
-        .all(|(a, b)| *a == b)
+    segments[segments.len() - path.len()..].iter().zip(path).all(|(a, b)| *a == b)
 }
 
 impl Graph {
@@ -281,10 +284,7 @@ mod tests {
     #[test]
     fn qualified_calls_match_by_suffix() {
         let graph = build(&models(&[
-            (
-                "crates/core/src/a.rs",
-                "pub fn entry() { sig::Signature::union(); other::union(); }",
-            ),
+            ("crates/core/src/a.rs", "pub fn entry() { sig::Signature::union(); other::union(); }"),
             (
                 "crates/sethash/src/lib.rs",
                 "impl Signature { pub fn union() {} }\npub fn union() {}",
@@ -300,10 +300,7 @@ mod tests {
     fn method_calls_resolve_to_methods_only() {
         let graph = build(&models(&[
             ("crates/core/src/a.rs", "pub fn entry(x: W) { x.poke(); poke(); }"),
-            (
-                "crates/util/src/b.rs",
-                "impl W { pub fn poke(&self) {} }\npub fn poke() {}",
-            ),
+            ("crates/util/src/b.rs", "impl W { pub fn poke(&self) {} }\npub fn poke() {}"),
         ]));
         let callees = edge_quals(&graph, "core::entry");
         assert!(callees.contains(&"util::W::poke".to_owned()));

@@ -85,8 +85,9 @@ pub(crate) fn parse_file(
     let mut pending_pub = false;
     let mut i = 0usize;
 
-    let in_test_line =
-        |line: usize| path_is_test || test_lines.get(line.saturating_sub(1)).copied().unwrap_or(false);
+    let in_test_line = |line: usize| {
+        path_is_test || test_lines.get(line.saturating_sub(1)).copied().unwrap_or(false)
+    };
 
     while i < tokens.len() {
         let t = &tokens[i];
@@ -443,7 +444,12 @@ mod inner {
         let quals: Vec<&str> = m.fns.iter().map(|f| f.qual.as_str()).collect();
         assert_eq!(
             quals,
-            ["core::top", "core::inner::helper", "core::inner::Widget::poke", "core::inner::Widget::quiet"]
+            [
+                "core::top",
+                "core::inner::helper",
+                "core::inner::Widget::poke",
+                "core::inner::Widget::quiet"
+            ]
         );
         assert!(m.fns[0].is_pub && !m.fns[1].is_pub);
         assert!(m.fns[2].has_self && !m.fns[3].has_self);

@@ -39,9 +39,23 @@ use crate::tokens::{Token, TokenKind};
 
 /// Method names treated as blocking regardless of receiver.
 const BLOCKING_METHODS: &[&str] = &[
-    "read", "read_exact", "read_to_end", "read_to_string", "write", "write_all", "write_to",
-    "flush", "accept", "join", "recv", "recv_timeout", "wait", "wait_timeout", "wait_while",
-    "connect", "sleep",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write",
+    "write_all",
+    "write_to",
+    "flush",
+    "accept",
+    "join",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "connect",
+    "sleep",
 ];
 
 /// Path-call suffixes treated as blocking.
@@ -201,9 +215,9 @@ impl BlockingIndex {
         } else {
             // At least the final two segments must line up — the same
             // rule the call graph uses for qualified paths.
-            self.quals.iter().any(|q| {
-                (2..=path.len()).any(|k| qual_suffix_matches(q, &path[path.len() - k..]))
-            })
+            self.quals
+                .iter()
+                .any(|q| (2..=path.len()).any(|k| qual_suffix_matches(q, &path[path.len() - k..])))
         }
     }
 }
@@ -288,9 +302,9 @@ fn first_lock_receiver(
     let end = end.min(tokens.len());
     for i in start..end {
         if tokens[i].is_punct(".")
-            && tokens
-                .get(i + 1)
-                .is_some_and(|t| t.kind == TokenKind::Ident && ACQUIRE_METHODS.contains(&t.text.as_str()))
+            && tokens.get(i + 1).is_some_and(|t| {
+                t.kind == TokenKind::Ident && ACQUIRE_METHODS.contains(&t.text.as_str())
+            })
             && at_punct(tokens, i + 2, "(")
         {
             if let Some(lock) = receiver_lock(tokens, start, i, lock_names) {
@@ -462,12 +476,9 @@ fn walk_fn(
                 } else {
                     None
                 };
-                let acquired =
-                    acquired.or_else(|| guard_fns.get(&name.text).cloned());
+                let acquired = acquired.or_else(|| guard_fns.get(&name.text).cloned());
                 if let Some(lock) = acquired {
-                    record_acquisition(
-                        &lock, &live, &mut *edges, model, &qual, name.line,
-                    );
+                    record_acquisition(&lock, &live, &mut *edges, model, &qual, name.line);
                     let close = matching_paren(tokens, i + 2, end);
                     let var = if binds_to_let(tokens, close + 1, end) {
                         current_let.clone()
@@ -543,9 +554,9 @@ fn binds_to_let(tokens: &[Token], mut j: usize, end: usize) -> bool {
             return true;
         }
         if at_punct(tokens, j, ".")
-            && tokens
-                .get(j + 1)
-                .is_some_and(|t| t.kind == TokenKind::Ident && GUARD_CHAIN.contains(&t.text.as_str()))
+            && tokens.get(j + 1).is_some_and(|t| {
+                t.kind == TokenKind::Ident && GUARD_CHAIN.contains(&t.text.as_str())
+            })
             && at_punct(tokens, j + 2, "(")
         {
             j = matching_paren(tokens, j + 2, end) + 1;
@@ -820,7 +831,10 @@ impl Shared {{
 "
             ),
         )]);
-        assert!(findings.iter().all(|f| f.violation.rule != "lock-order-inversion"), "{findings:?}");
+        assert!(
+            findings.iter().all(|f| f.violation.rule != "lock-order-inversion"),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 mod baseline;
 mod bench;
 mod callgraph;
+mod chaos;
 mod items;
 mod locks;
 mod reach;
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
         Some("lint") => lint(&args[1..]),
         Some("flow") => flow(&args[1..]),
         Some("bench") => bench::bench(&args[1..]),
+        Some("chaos") => chaos::chaos(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{USAGE}");
             ExitCode::SUCCESS
@@ -78,7 +80,12 @@ TASKS:
       Run the estimation benchmark harness (seeded corpora, warmup +
       trimmed-mean timing): summary build, CSR vs hashmap trie lookups,
       per-algorithm estimates, the plan-cache hit path, and served
-      throughput. --check fails on a >2x regression vs a prior report.";
+      throughput. --check fails on a >2x regression vs a prior report.
+  chaos [--seeds N]
+      Run the seeded chaos harness: the real server in-process under
+      deterministic fault injection (reload-during-batch, kill-mid-write
+      snapshot recovery, socket resets, pool-worker panics). Requires
+      building xtask with --features failpoints.";
 
 /// Shared CLI flags for the baseline-driven passes.
 struct PassArgs {
@@ -89,8 +96,7 @@ struct PassArgs {
 }
 
 fn parse_pass_args(args: &[String]) -> Result<PassArgs, String> {
-    let mut parsed =
-        PassArgs { json: false, update: false, baseline_path: None, root: None };
+    let mut parsed = PassArgs { json: false, update: false, baseline_path: None, root: None };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -210,13 +216,15 @@ fn flow(args: &[String]) -> ExitCode {
     let mut findings = reach::panic_reachability(&models, &graph);
     findings.extend(locks::analyze(&models, &graph, LOCK_SCOPE));
     findings.sort_by(|a, b| {
-        (&a.violation.file, a.violation.line, a.violation.rule)
-            .cmp(&(&b.violation.file, b.violation.line, b.violation.rule))
+        (&a.violation.file, a.violation.line, a.violation.rule).cmp(&(
+            &b.violation.file,
+            b.violation.line,
+            b.violation.rule,
+        ))
     });
 
     if update {
-        let violations: Vec<Violation> =
-            findings.iter().map(|f| f.violation.clone()).collect();
+        let violations: Vec<Violation> = findings.iter().map(|f| f.violation.clone()).collect();
         let rendered =
             baseline::render_titled("twig-flow", "cargo xtask flow --update-baseline", &violations);
         if let Err(err) = fs::write(&baseline_path, rendered) {
@@ -287,11 +295,7 @@ fn flow_json_report(scanned: usize, old: &[FlowFinding], fresh: &[FlowFinding]) 
         old.len()
     ));
     let mut first = true;
-    for (finding, is_new) in fresh
-        .iter()
-        .map(|f| (f, true))
-        .chain(old.iter().map(|f| (f, false)))
-    {
+    for (finding, is_new) in fresh.iter().map(|f| (f, true)).chain(old.iter().map(|f| (f, false))) {
         if !first {
             out.push(',');
         }
@@ -334,7 +338,9 @@ fn workspace_root() -> PathBuf {
 /// Recursively collects `.rs` files under `dir` as repo-relative
 /// `/`-separated paths, skipping build output and VCS internals.
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
-    let Ok(entries) = fs::read_dir(dir) else { return };
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
     for entry in entries.flatten() {
         let path = entry.path();
         let name = entry.file_name();
@@ -346,8 +352,10 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
             collect_rs_files(root, &path, out);
         } else if name.ends_with(".rs") {
             if let Ok(rel) = path.strip_prefix(root) {
-                let rel: Vec<_> =
-                    rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+                let rel: Vec<_> = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect();
                 out.push(rel.join("/"));
             }
         }
@@ -384,10 +392,7 @@ fn json_report(scanned: usize, old: &[Violation], fresh: &[Violation]) -> String
         old.len()
     ));
     let mut first = true;
-    for (violation, is_new) in fresh
-        .iter()
-        .map(|v| (v, true))
-        .chain(old.iter().map(|v| (v, false)))
+    for (violation, is_new) in fresh.iter().map(|v| (v, true)).chain(old.iter().map(|v| (v, false)))
     {
         if !first {
             out.push(',');

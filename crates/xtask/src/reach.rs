@@ -168,10 +168,9 @@ pub(crate) fn propagate(models: &[FileModel], graph: &Graph) -> Reach {
         models.iter().map(|m| float_hint_lines(&m.tokens)).collect();
     let mut direct = Vec::with_capacity(graph.fns.len());
     for f in &graph.fns {
-        let source = f
-            .item
-            .body
-            .and_then(|body| direct_panic_source(&models[f.model].tokens, body, &float_lines[f.model]));
+        let source = f.item.body.and_then(|body| {
+            direct_panic_source(&models[f.model].tokens, body, &float_lines[f.model])
+        });
         direct.push(source);
     }
 
@@ -331,12 +330,11 @@ mod tests {
 
     #[test]
     fn integer_division_by_non_literal_is_a_source() {
-        assert!(source_of("fn f(a: u64, b: u64) -> u64 { a / b }")
-            .is_some_and(|w| w.contains('/')));
-        assert!(source_of("fn f(a: u64, b: u64) -> u64 { a % b }")
-            .is_some_and(|w| w.contains('%')));
-        assert!(source_of("fn f(a: &mut u64, b: u64) { *a /= b; }")
-            .is_some_and(|w| w.contains("/=")));
+        assert!(source_of("fn f(a: u64, b: u64) -> u64 { a / b }").is_some_and(|w| w.contains('/')));
+        assert!(source_of("fn f(a: u64, b: u64) -> u64 { a % b }").is_some_and(|w| w.contains('%')));
+        assert!(
+            source_of("fn f(a: &mut u64, b: u64) { *a /= b; }").is_some_and(|w| w.contains("/="))
+        );
     }
 
     #[test]
@@ -345,7 +343,10 @@ mod tests {
         assert_eq!(source_of("fn f(a: f64, b: f64) -> f64 { a / 1.5 }"), None);
         // Float evidence on the line suppresses the heuristic.
         assert_eq!(source_of("fn f(a: f64, b: f64) -> f64 { a / b }"), None);
-        assert_eq!(source_of("fn f(a: u64, b: u64) -> f64 { count_to_f64(a) / count_to_f64(b) }"), None);
+        assert_eq!(
+            source_of("fn f(a: u64, b: u64) -> f64 { count_to_f64(a) / count_to_f64(b) }"),
+            None
+        );
     }
 
     #[test]

@@ -24,11 +24,16 @@ pub(crate) struct Violation {
 /// library paths must be panic-free (violations burn down via the
 /// baseline). `crates/serve` joined with an empty baseline — the serving
 /// layer was written panic-free from the start and must stay that way.
+/// The failpoint module joined the same way: fault injection sits inside
+/// every hardened I/O path, so it gets the strictest treatment of all
+/// (its intentional panic stage uses `std::panic::panic_any`, which is
+/// not in the banned macro family).
 const STRICT_SCOPES: &[&str] = &[
     "crates/core/src/",
     "crates/sethash/src/",
     "crates/pst/src/",
     "crates/serve/src/",
+    "crates/util/src/failpoint.rs",
 ];
 
 /// Files inside the strict scope that may still hold bare
@@ -79,10 +84,8 @@ fn word_match(masked: &str, pos: usize) -> bool {
 /// chained `unwrap_or_else` closure), and demanding a word boundary
 /// there would silently skip every such hit.
 fn word_occurrences(line: &str, needle: &str, boundary: bool) -> usize {
-    let self_bounded = needle
-        .as_bytes()
-        .first()
-        .is_some_and(|&b| !(b.is_ascii_alphanumeric() || b == b'_'));
+    let self_bounded =
+        needle.as_bytes().first().is_some_and(|&b| !(b.is_ascii_alphanumeric() || b == b'_'));
     let mut count = 0;
     let mut from = 0;
     while let Some(at) = line[from..].find(needle) {
@@ -102,9 +105,8 @@ const UNWRAP_PATTERNS: &[&str] = &[".unwrap()", ".expect("];
 /// Panic-family macros banned from strict-scope library paths.
 /// `debug_assert*` is deliberately absent: it compiles out of release
 /// builds and is the sanctioned way to state internal expectations.
-const PANIC_PATTERNS: &[&str] = &[
-    "panic!", "assert!", "assert_eq!", "assert_ne!", "unreachable!", "todo!", "unimplemented!",
-];
+const PANIC_PATTERNS: &[&str] =
+    &["panic!", "assert!", "assert_eq!", "assert_ne!", "unreachable!", "todo!", "unimplemented!"];
 
 /// Count↔estimate domain casts: `… as f64` (count widened without saying
 /// whether it is exact) and `… as u64` (estimate truncated without saying
@@ -175,9 +177,8 @@ fn cast_occurrences(line: &str, pattern: &str) -> usize {
         let pos = from + at;
         let end = pos + pattern.len();
         let left_ok = word_match(line, pos);
-        let right_ok = line.as_bytes().get(end).is_none_or(|&b| {
-            !(b.is_ascii_alphanumeric() || b == b'_')
-        });
+        let right_ok =
+            line.as_bytes().get(end).is_none_or(|&b| !(b.is_ascii_alphanumeric() || b == b'_'));
         if left_ok && right_ok {
             count += 1;
         }
@@ -200,8 +201,7 @@ mod tests {
 
     #[test]
     fn expect_flagged_expect_err_not_double_counted() {
-        let violations =
-            check_file("crates/pst/src/foo.rs", "fn f() { x.expect(\"reason\"); }\n");
+        let violations = check_file("crates/pst/src/foo.rs", "fn f() { x.expect(\"reason\"); }\n");
         assert_eq!(violations.len(), 1);
     }
 
@@ -251,11 +251,15 @@ mod tests {
     #[test]
     fn serve_crate_is_strict_including_binaries() {
         let src = "fn f() { x.unwrap(); let y = n as f64; }\n";
-        let rules: Vec<_> =
-            check_file("crates/serve/src/server.rs", src).iter().map(|v| v.rule).collect::<Vec<_>>();
+        let rules: Vec<_> = check_file("crates/serve/src/server.rs", src)
+            .iter()
+            .map(|v| v.rule)
+            .collect::<Vec<_>>();
         assert_eq!(rules, ["no-unwrap", "no-bare-cast"]);
-        let rules: Vec<_> =
-            check_file("crates/serve/src/bin/loadgen.rs", src).iter().map(|v| v.rule).collect::<Vec<_>>();
+        let rules: Vec<_> = check_file("crates/serve/src/bin/loadgen.rs", src)
+            .iter()
+            .map(|v| v.rule)
+            .collect::<Vec<_>>();
         assert_eq!(rules, ["no-unwrap", "no-bare-cast"]);
         // The serve crate's integration tests stay exempt like everyone's.
         assert!(check_file("crates/serve/tests/server.rs", src).is_empty());
@@ -269,8 +273,7 @@ mod tests {
         assert_eq!(violations[0].rule, "no-bare-cast");
         assert!(check_file("crates/util/src/cast.rs", src).is_empty());
         // Other numeric casts are not this rule's business.
-        assert!(check_file("crates/core/src/foo.rs", "fn f(n: usize) { n as u32; }\n")
-            .is_empty());
+        assert!(check_file("crates/core/src/foo.rs", "fn f(n: usize) { n as u32; }\n").is_empty());
     }
 
     #[test]
@@ -281,7 +284,8 @@ mod tests {
 
     #[test]
     fn unsafe_flagged_everywhere_lint_attrs_exempt() {
-        let violations = check_file("crates/cli/src/lib.rs", "unsafe { std::hint::unreachable_unchecked() }\n");
+        let violations =
+            check_file("crates/cli/src/lib.rs", "unsafe { std::hint::unreachable_unchecked() }\n");
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].rule, "no-unsafe");
         assert!(check_file("crates/cli/src/lib.rs", "#![forbid(unsafe_code)]\n").is_empty());

@@ -311,10 +311,7 @@ fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
     if from >= haystack.len() {
         return None;
     }
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
 }
 
 fn line_of(bytes: &[u8], pos: usize) -> usize {

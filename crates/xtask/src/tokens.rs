@@ -94,11 +94,7 @@ pub(crate) fn tokenize(masked: &str) -> Vec<Token> {
             {
                 i += 1;
             }
-            tokens.push(Token {
-                kind: TokenKind::Ident,
-                text: masked[start..i].to_owned(),
-                line,
-            });
+            tokens.push(Token { kind: TokenKind::Ident, text: masked[start..i].to_owned(), line });
             continue;
         }
         if b.is_ascii_digit() {
@@ -124,11 +120,7 @@ pub(crate) fn tokenize(masked: &str) -> Vec<Token> {
                     break;
                 }
             }
-            tokens.push(Token {
-                kind: TokenKind::Number,
-                text: masked[start..i].to_owned(),
-                line,
-            });
+            tokens.push(Token { kind: TokenKind::Number, text: masked[start..i].to_owned(), line });
             continue;
         }
         if b == b'"' {
@@ -143,11 +135,7 @@ pub(crate) fn tokenize(masked: &str) -> Vec<Token> {
                 i += 1;
             }
             i = (i + 1).min(bytes.len());
-            tokens.push(Token {
-                kind: TokenKind::Str,
-                text: masked[start..i].to_owned(),
-                line,
-            });
+            tokens.push(Token { kind: TokenKind::Str, text: masked[start..i].to_owned(), line });
             continue;
         }
         if b == b'\'' {
@@ -186,11 +174,7 @@ pub(crate) fn tokenize(masked: &str) -> Vec<Token> {
             }
         }
         if !matched {
-            tokens.push(Token {
-                kind: TokenKind::Punct,
-                text: masked[i..i + 1].to_owned(),
-                line,
-            });
+            tokens.push(Token { kind: TokenKind::Punct, text: masked[i..i + 1].to_owned(), line });
             i += 1;
         }
     }

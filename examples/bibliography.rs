@@ -19,11 +19,8 @@ use twig_exact::count_occurrence;
 use twig_tree::{DataTree, Twig};
 
 fn main() {
-    let xml = generate_dblp(&DblpConfig {
-        target_bytes: 2 << 20,
-        seed: 2001,
-        ..DblpConfig::default()
-    });
+    let xml =
+        generate_dblp(&DblpConfig { target_bytes: 2 << 20, seed: 2001, ..DblpConfig::default() });
     let tree = DataTree::from_xml(&xml).expect("generated XML is well-formed");
     println!(
         "bibliography: {:.1} MB, {} elements",
@@ -35,7 +32,8 @@ fn main() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.05), ..CstConfig::default() },
-    ).expect("CST config is valid");
+    )
+    .expect("CST config is valid");
     println!(
         "summary: {} nodes, {:.1} KB ({:.2}% of data), built in {:.2?}\n",
         cst.node_count(),
@@ -55,19 +53,14 @@ fn main() {
         r#"article(author("Nonexistent"),year("1999"))"#,
     ];
 
-    println!(
-        "{:<55} {:>10} {:>10} {:>12}",
-        "query", "estimate", "exact", "est. time"
-    );
+    println!("{:<55} {:>10} {:>10} {:>12}", "query", "estimate", "exact", "est. time");
     for text in queries {
         let query = Twig::parse(text).expect("valid query");
         let estimate_start = Instant::now();
         let estimate = cst.estimate(&query, Algorithm::Msh, CountKind::Occurrence);
         let estimate_time = estimate_start.elapsed();
         let exact = count_occurrence(&tree, &query);
-        println!(
-            "{text:<55} {estimate:>10.1} {exact:>10} {estimate_time:>12.2?}"
-        );
+        println!("{text:<55} {estimate:>10.1} {exact:>10} {estimate_time:>12.2?}");
     }
 
     println!(

@@ -39,16 +39,14 @@ fn leg_plans(query: &Twig) -> Vec<Twig> {
 }
 
 fn main() {
-    let xml = generate_dblp(&DblpConfig {
-        target_bytes: 2 << 20,
-        seed: 77,
-        ..DblpConfig::default()
-    });
+    let xml =
+        generate_dblp(&DblpConfig { target_bytes: 2 << 20, seed: 77, ..DblpConfig::default() });
     let tree = DataTree::from_xml(&xml).expect("generated XML is well-formed");
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.05), ..CstConfig::default() },
-    ).expect("CST config is valid");
+    )
+    .expect("CST config is valid");
     println!(
         "corpus {:.1} MB, summary {:.1} KB\n",
         xml.len() as f64 / 1048576.0,

@@ -31,7 +31,8 @@ fn main() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.10), ..CstConfig::default() },
-    ).expect("CST config is valid");
+    )
+    .expect("CST config is valid");
     println!(
         "summary: {} nodes at {:.2}% of the data size\n",
         cst.node_count(),

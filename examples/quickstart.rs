@@ -26,24 +26,15 @@ fn main() {
 
     // 2. Parse it into a node-labeled data tree.
     let tree = DataTree::from_xml(xml).expect("well-formed XML");
-    println!(
-        "data tree: {} nodes ({} elements)",
-        tree.node_count(),
-        tree.element_count()
-    );
+    println!("data tree: {} nodes ({} elements)", tree.node_count(), tree.element_count());
 
     // 3. Build the correlated subpath tree (CST) summary. Space budgets
     //    are normally a small fraction of the data size; for a toy
     //    document keep everything.
-    let cst = Cst::build(
-        &tree,
-        &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-    ).expect("CST config is valid");
-    println!(
-        "CST: {} subpath nodes, {} accounted bytes",
-        cst.node_count(),
-        cst.size_bytes()
-    );
+    let cst =
+        Cst::build(&tree, &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() })
+            .expect("CST config is valid");
+    println!("CST: {} subpath nodes, {} accounted bytes", cst.node_count(), cst.size_bytes());
 
     // 4. Write a twig query: books by Suciu published in 1999.
     //    Identifiers are element labels, quoted strings are value-prefix

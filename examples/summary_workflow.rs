@@ -11,16 +11,14 @@ use twig_tree::{parse_xpath, DataTree};
 
 fn main() {
     // An "offline statistics job" builds the summary from the corpus…
-    let xml = generate_dblp(&DblpConfig {
-        target_bytes: 1 << 20,
-        seed: 1234,
-        ..DblpConfig::default()
-    });
+    let xml =
+        generate_dblp(&DblpConfig { target_bytes: 1 << 20, seed: 1234, ..DblpConfig::default() });
     let tree = DataTree::from_xml(&xml).expect("well-formed");
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.08), ..CstConfig::default() },
-    ).expect("CST config is valid");
+    )
+    .expect("CST config is valid");
     let mut stored = Vec::new();
     cst.write_to(&mut stored).expect("serialize");
     println!(

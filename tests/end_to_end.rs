@@ -15,10 +15,8 @@ fn dblp_tree(bytes: usize, seed: u64) -> DataTree {
 }
 
 fn unpruned(tree: &DataTree) -> Cst {
-    Cst::build(
-        tree,
-        &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-    ).expect("CST config is valid")
+    Cst::build(tree, &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() })
+        .expect("CST config is valid")
 }
 
 #[test]
@@ -30,7 +28,8 @@ fn full_pipeline_runs_on_both_corpora() {
         let cst = Cst::build(
             tree,
             &CstConfig { budget: SpaceBudget::Fraction(0.10), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         assert!(cst.node_count() > 1);
         let queries = positive_queries(
             tree,
@@ -79,10 +78,7 @@ fn unpruned_cst_presence_exact_on_trivial_queries() {
     for query in &queries {
         let truth = count_presence(&tree, query) as f64;
         let est = cst.estimate(query, Algorithm::Mosh, CountKind::Presence);
-        assert!(
-            (est - truth).abs() < 1e-6 * truth.max(1.0),
-            "{query}: est {est} truth {truth}"
-        );
+        assert!((est - truth).abs() < 1e-6 * truth.max(1.0), "{query}: est {est} truth {truth}");
     }
 }
 
@@ -97,7 +93,8 @@ fn estimates_shrink_with_budget_but_never_break() {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Fraction(fraction), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         assert!(
             cst.size_bytes() as f64 <= tree.source_bytes() as f64 * fraction + 1.0,
             "budget overrun at {fraction}"
@@ -141,16 +138,14 @@ fn negative_queries_estimate_small() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.10), ..CstConfig::default() },
-    ).expect("CST config is valid");
+    )
+    .expect("CST config is valid");
     let candidates = twig_datagen::negative_query_candidates(
         &tree,
         &WorkloadConfig { count: 30, seed: 37, ..WorkloadConfig::default() },
     );
-    let negatives: Vec<Twig> = candidates
-        .into_iter()
-        .filter(|q| count_presence(&tree, q) == 0)
-        .take(10)
-        .collect();
+    let negatives: Vec<Twig> =
+        candidates.into_iter().filter(|q| count_presence(&tree, q) == 0).take(10).collect();
     assert!(!negatives.is_empty());
     for query in &negatives {
         // Greedy multiplies small probabilities: near-zero on negatives.

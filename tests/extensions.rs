@@ -16,10 +16,9 @@ fn sprot() -> DataTree {
 #[test]
 fn wildcard_queries_estimate_and_count() {
     let tree = sprot();
-    let cst = Cst::build(
-        &tree,
-        &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-    ).expect("CST config is valid");
+    let cst =
+        Cst::build(&tree, &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() })
+            .expect("CST config is valid");
     // `*` bridges the taxonomy nesting of unknown depth.
     let query = Twig::parse(r#"organism(*(name("Eukaryota")))"#).unwrap();
     let presence = count_presence(&tree, &query);
@@ -32,10 +31,7 @@ fn wildcard_queries_estimate_and_count() {
 
 #[test]
 fn wildcard_chain_length_matters() {
-    let tree = DataTree::from_xml(
-        "<r><a><m><n><x>v</x></n></m></a><a><x>v</x></a></r>",
-    )
-    .unwrap();
+    let tree = DataTree::from_xml("<r><a><m><n><x>v</x></n></m></a><a><x>v</x></a></r>").unwrap();
     // `*` matches element chains of length >= 1 below `a`, and the
     // chain's end must have an `x("v")` child. First record: chains m
     // (no x child) and m.n (x child ✓) -> 1 mapping. Second record: the
@@ -61,10 +57,9 @@ fn ordered_counting_full_workload_invariants() {
 #[test]
 fn ordered_estimation_reasonable_on_workload() {
     let tree = sprot();
-    let cst = Cst::build(
-        &tree,
-        &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-    ).expect("CST config is valid");
+    let cst =
+        Cst::build(&tree, &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() })
+            .expect("CST config is valid");
     let queries = twig_datagen::positive_queries(
         &tree,
         &twig_datagen::WorkloadConfig { count: 15, seed: 8, ..Default::default() },
@@ -83,7 +78,8 @@ fn summary_file_roundtrip_through_disk() {
     let cst = Cst::build(
         &tree,
         &CstConfig { budget: SpaceBudget::Fraction(0.2), ..CstConfig::default() },
-    ).expect("CST config is valid");
+    )
+    .expect("CST config is valid");
     let path = std::env::temp_dir().join(format!("twig-ext-{}.cst", std::process::id()));
     let mut buffer = Vec::new();
     cst.write_to(&mut buffer).unwrap();

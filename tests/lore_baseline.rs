@@ -37,10 +37,9 @@ fn lore_single_path_equals_unpruned_cst() {
     // so they must agree.
     let tree = fixture();
     let lore = LoreSummary::build(&tree, 4);
-    let cst = Cst::build(
-        &tree,
-        &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-    ).expect("CST config is valid");
+    let cst =
+        Cst::build(&tree, &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() })
+            .expect("CST config is valid");
     let queries = twig_datagen::trivial_queries(
         &tree,
         &WorkloadConfig { count: 20, seed: 3, internal: (2, 3), ..WorkloadConfig::default() },
@@ -63,12 +62,9 @@ fn set_hashing_beats_lore_on_twig_workload() {
     let lore = LoreSummary::build(&tree, 3);
     let cst = Cst::build(
         &tree,
-        &CstConfig {
-            budget: SpaceBudget::Threshold(1),
-            signature_len: 64,
-            ..CstConfig::default()
-        },
-    ).expect("CST config is valid");
+        &CstConfig { budget: SpaceBudget::Threshold(1), signature_len: 64, ..CstConfig::default() },
+    )
+    .expect("CST config is valid");
     let queries = positive_queries(
         &tree,
         &WorkloadConfig { count: 40, seed: 4, ..WorkloadConfig::default() },
@@ -83,14 +79,10 @@ fn set_hashing_beats_lore_on_twig_workload() {
         }
         counted += 1;
         lore_err += (truth - lore.estimate(q)).abs() / truth;
-        msh_err +=
-            (truth - cst.estimate(q, Algorithm::Msh, CountKind::Occurrence)).abs() / truth;
+        msh_err += (truth - cst.estimate(q, Algorithm::Msh, CountKind::Occurrence)).abs() / truth;
     }
     assert!(counted >= 30, "not enough queries");
     let lore_avg = lore_err / counted as f64;
     let msh_avg = msh_err / counted as f64;
-    assert!(
-        msh_avg < lore_avg,
-        "MSH avg rel err {msh_avg:.3} must beat Lore {lore_avg:.3}"
-    );
+    assert!(msh_avg < lore_avg, "MSH avg rel err {msh_avg:.3} must beat Lore {lore_avg:.3}");
 }

@@ -127,7 +127,9 @@ fn trie_counts_match_exact_counter() {
                 continue;
             }
             let tokens = pruned.tokens_of(node);
-            let Some(twig) = tokens_to_twig(&tree, &tokens) else { continue };
+            let Some(twig) = tokens_to_twig(&tree, &tokens) else {
+                continue;
+            };
             let presence = count_presence(&tree, &twig);
             let occurrence = count_occurrence(&tree, &twig);
             assert_eq!(
@@ -182,10 +184,7 @@ fn trie_path_counts_monotone() {
         for node in pruned.node_ids().skip(1) {
             let parent = pruned.parent(node).expect("non-root");
             if parent != TrieNodeId::ROOT {
-                assert!(
-                    pruned.path_count(node) <= pruned.path_count(parent),
-                    "seed {seed}"
-                );
+                assert!(pruned.path_count(node) <= pruned.path_count(parent), "seed {seed}");
             }
             assert!(pruned.presence(node) <= pruned.occurrence(node), "seed {seed}");
             assert!(pruned.occurrence(node) >= 1, "seed {seed}");
@@ -238,7 +237,8 @@ fn estimates_always_sane() {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Fraction(fraction), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         let queries = twig_datagen::positive_queries(
             &tree,
             &twig_datagen::WorkloadConfig {
@@ -256,10 +256,7 @@ fn estimates_always_sane() {
             for algo in Algorithm::ALL {
                 for kind in [CountKind::Presence, CountKind::Occurrence] {
                     let est = cst.estimate(query, algo, kind);
-                    assert!(
-                        est.is_finite() && est >= 0.0,
-                        "seed {seed}: {algo} {kind:?} {query}"
-                    );
+                    assert!(est.is_finite() && est >= 0.0, "seed {seed}: {algo} {kind:?} {query}");
                 }
             }
         }
@@ -278,7 +275,8 @@ fn unpruned_trivial_exactness() {
         let cst = Cst::build(
             &tree,
             &CstConfig { budget: SpaceBudget::Threshold(1), ..CstConfig::default() },
-        ).expect("CST config is valid");
+        )
+        .expect("CST config is valid");
         let queries = twig_datagen::trivial_queries(
             &tree,
             &twig_datagen::WorkloadConfig {
