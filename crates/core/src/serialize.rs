@@ -114,8 +114,11 @@ impl Cst {
                 twig_util::failpoint::Fault::Partial(keep_percent) => {
                     let mut buffer = Vec::new();
                     self.write_payload(&mut buffer)?;
-                    let keep = buffer.len() * keep_percent as usize / 100;
-                    out.write_all(&buffer[..keep])?;
+                    let keep = buffer
+                        .len()
+                        .checked_mul(usize::try_from(keep_percent.min(100)).unwrap_or(100))
+                        .map_or(buffer.len(), |scaled| scaled / 100);
+                    out.write_all(buffer.get(..keep).unwrap_or(&buffer))?;
                     return Err(injected("serialize.write"));
                 }
             }
@@ -272,8 +275,14 @@ impl Cst {
                     return Err(ReadError::Io(injected("serialize.read")));
                 }
                 twig_util::failpoint::Fault::Partial(keep_percent) => {
-                    let keep = bytes.len() * keep_percent as usize / 100;
-                    return Cst::read_from(&mut &bytes[..keep]);
+                    // Failpoint percentages come from an env var, so the
+                    // scale is checked like any other untrusted length.
+                    let keep = bytes
+                        .len()
+                        .checked_mul(usize::try_from(keep_percent.min(100)).unwrap_or(100))
+                        .map_or(bytes.len(), |scaled| scaled / 100);
+                    let kept = bytes.get(..keep).unwrap_or(bytes);
+                    return Cst::read_from(&mut &kept[..]);
                 }
             }
         }

@@ -210,7 +210,10 @@ fn read_body(
     length: usize,
     limits: &Limits,
 ) -> Result<(), ReadOutcome> {
-    let want = head_end + length;
+    // `length` is the peer's own content-length claim; unchecked addition
+    // here once wrapped on a hostile declaration (the PR 3 overflow bug).
+    let want =
+        head_end.checked_add(length).ok_or(ReadOutcome::Malformed("content-length overflow"))?;
     let started = Instant::now();
     let mut chunk = [0u8; 16 * 1024];
     while buffer.len() < want {
@@ -454,8 +457,13 @@ pub fn read_response(
     let never_shutdown = || false;
     let mut buffer = Vec::new();
     let head_end = read_head(stream, &mut buffer, limits, &never_shutdown)?;
-    let head = std::str::from_utf8(&buffer[..head_end - 4])
-        .map_err(|_| ReadOutcome::Malformed("head is not UTF-8"))?;
+    // Same discipline as the server side: the response bytes are peer
+    // input, so the head boundary is checked rather than trusted.
+    let head_bytes = buffer
+        .get(..head_end.saturating_sub(4))
+        .ok_or(ReadOutcome::Malformed("head boundary out of range"))?;
+    let head =
+        std::str::from_utf8(head_bytes).map_err(|_| ReadOutcome::Malformed("head is not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or_default();
     let mut parts = status_line.split(' ');
@@ -481,7 +489,13 @@ pub fn read_response(
         return Err(ReadOutcome::BodyTooLarge { declared: length });
     }
     read_body(stream, &mut buffer, head_end, length, limits)?;
-    Ok(ClientResponse { status, headers, body: buffer[head_end..head_end + length].to_vec() })
+    let body_end =
+        head_end.checked_add(length).ok_or(ReadOutcome::Malformed("content-length overflow"))?;
+    let body = buffer
+        .get(head_end..body_end)
+        .ok_or(ReadOutcome::Malformed("body shorter than content-length"))?
+        .to_vec();
+    Ok(ClientResponse { status, headers, body })
 }
 
 #[cfg(test)]

@@ -225,7 +225,8 @@ impl SummaryRegistry {
         let mut entries = self.write_entries();
         match entries.iter().position(|e| e.spec.name == spec.name) {
             Some(at) => {
-                let generation = generation.unwrap_or(entries[at].generation + 1);
+                let generation =
+                    generation.unwrap_or_else(|| entries[at].generation.saturating_add(1));
                 entries[at] =
                     Entry { spec, cst: Arc::new(cst), generation, file_bytes, stale, last_error };
                 generation
@@ -436,8 +437,13 @@ fn load_cst(spec: &SummarySpec) -> Result<(Cst, Vec<u8>), LoadError> {
                 ))));
             }
             twig_util::failpoint::Fault::Partial(keep_percent) => {
-                let keep = bytes.len() * keep_percent as usize / 100;
-                Vec::truncate(&mut bytes, keep);
+                // Env-sourced percentage: checked scale, same as the
+                // `serialize.read` failpoint.
+                let keep = bytes
+                    .len()
+                    .checked_mul(usize::try_from(keep_percent.min(100)).unwrap_or(100))
+                    .map_or(bytes.len(), |scaled| scaled / 100);
+                bytes.truncate(keep);
             }
         }
     }

@@ -120,7 +120,7 @@ fn u64_le(chunk: &[u8]) -> u64 {
 
 /// `payload` plus the checksum/length/magic footer.
 fn frame(payload: &[u8]) -> Vec<u8> {
-    let mut framed = Vec::with_capacity(payload.len() + FOOTER_LEN);
+    let mut framed = Vec::with_capacity(payload.len().saturating_add(FOOTER_LEN));
     framed.extend_from_slice(payload);
     framed.extend_from_slice(&checksum(payload).to_le_bytes());
     framed.extend_from_slice(&twig_util::cast::size_to_u64(payload.len()).to_le_bytes());

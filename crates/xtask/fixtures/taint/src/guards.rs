@@ -1,0 +1,56 @@
+//! Every recognized sanitizer must clean the value it guards — and
+//! `debug_assert!` must not, because it compiles out in release builds.
+
+/// `min` caps the value against a trusted bound.
+pub fn min_guard(table: &[u64]) -> u64 {
+    let raw = std::env::var("TWIG_N").unwrap_or_default();
+    let n: usize = raw.parse().unwrap_or(0);
+    let capped = n.min(table.len().saturating_sub(1)); // CLEAN
+    table[capped] // CLEAN
+}
+
+/// `checked_add` yields an already-validated value.
+pub fn checked_guard(table: &[u64]) -> u64 {
+    let raw = std::env::var("TWIG_N").unwrap_or_default();
+    let n: usize = raw.parse().unwrap_or(0);
+    let total = n.checked_add(4).unwrap_or(0); // CLEAN
+    table.get(total).copied().unwrap_or(0) // CLEAN
+}
+
+/// An explicit length comparison sanitizes the compared variable…
+pub fn compare_guard(table: &[u64]) -> u64 {
+    let raw = std::env::var("TWIG_N").unwrap_or_default();
+    let n: usize = raw.parse().unwrap_or(0);
+    if n < table.len() {
+        return table[n]; // CLEAN
+    }
+    0
+}
+
+/// …but comparing `buffer.len()` must not clean `buffer` itself: the
+/// index value is still whatever the peer made it.
+pub fn compare_does_not_clean_the_buffer(table: &[u64]) -> u64 {
+    let raw = std::env::var("TWIG_N").unwrap_or_default();
+    let n: usize = raw.parse().unwrap_or(0);
+    if raw.len() > 4 {
+        return table[n]; // FLAG: taint-index
+    }
+    0
+}
+
+/// `try_into` is a checked conversion.
+pub fn try_into_guard(table: &[u64]) -> u64 {
+    let raw = std::env::var("TWIG_WIDE").unwrap_or_default();
+    let wide: u64 = raw.parse().unwrap_or(0);
+    let at: usize = wide.try_into().unwrap_or(0); // CLEAN
+    table.get(at).copied().unwrap_or(0) // CLEAN
+}
+
+/// `debug_assert!` is neither a sink (its body folds away in release,
+/// so the `+` inside cannot overflow in production)…
+pub fn debug_assert_is_not_a_sink(table: &[u64]) -> u64 {
+    let raw = std::env::var("TWIG_N").unwrap_or_default();
+    let n: usize = raw.parse().unwrap_or(0);
+    debug_assert!(n + 1 < table.len()); // CLEAN
+    table[n] // FLAG: taint-index
+}

@@ -1,0 +1,54 @@
+//! Reconstructions of the two serving-path bugs PR 3 fixed.
+//!
+//! Both had the same shape: a value derived from peer-controlled bytes
+//! (`head_end` found by scanning the read buffer, `length` from the
+//! peer's own `Content-Length` claim) used in slice bounds or length
+//! arithmetic without a check. The checked forms that shipped as the
+//! fix follow each bug as `CLEAN` counterexamples.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+/// Position just past the `\r\n\r\n` head terminator.
+fn locate_terminator(buffer: &[u8]) -> usize {
+    buffer.len()
+}
+
+/// PR 3 bug #1: the head slice `&buffer[..head_end - 4]` trusted the
+/// scan result. A response with no terminator made `head_end < 4` and
+/// the subtraction wrapped, panicking the worker.
+pub fn head_unchecked(stream: &mut TcpStream) -> Vec<u8> {
+    let mut buffer = Vec::new();
+    stream.read_to_end(&mut buffer).unwrap(); // CLEAN
+    let head_end = locate_terminator(&buffer);
+    buffer[..head_end - 4].to_vec() // FLAG: taint-index
+}
+
+/// The shipped fix: checked slice via `get`, wrap-free subtraction.
+pub fn head_checked(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut buffer = Vec::new();
+    stream.read_to_end(&mut buffer).ok()?;
+    let head_end = locate_terminator(&buffer);
+    Some(buffer.get(..head_end.saturating_sub(4))?.to_vec()) // CLEAN
+}
+
+/// PR 3 bug #2: `head_end + length` with `length` parsed straight out
+/// of the peer's `Content-Length` header. A hostile declaration
+/// overflowed the addition, and the body slice indexed with the wrapped
+/// bound.
+pub fn body_unchecked(stream: &mut TcpStream, length: usize) -> Vec<u8> {
+    let mut buffer = Vec::new();
+    stream.read_exact(&mut buffer).unwrap();
+    let head_end = locate_terminator(&buffer);
+    let want = head_end + length; // FLAG: taint-arith
+    buffer[head_end..want].to_vec() // FLAG: taint-index
+}
+
+/// The shipped fix: `checked_add` for the bound, `get` for the slice.
+pub fn body_checked(stream: &mut TcpStream, length: usize) -> Option<Vec<u8>> {
+    let mut buffer = Vec::new();
+    stream.read_exact(&mut buffer).ok()?;
+    let head_end = locate_terminator(&buffer);
+    let want = head_end.checked_add(length)?; // CLEAN
+    Some(buffer.get(head_end..want)?.to_vec()) // CLEAN
+}

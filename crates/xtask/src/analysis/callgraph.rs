@@ -13,8 +13,8 @@
 
 use std::collections::BTreeMap;
 
-use crate::items::{FileModel, FnItem};
-use crate::tokens::{Token, TokenKind};
+use crate::analysis::items::{FileModel, FnItem};
+use crate::analysis::tokens::{Token, TokenKind};
 
 /// One syntactic call site inside a function body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,6 +173,53 @@ fn skip_angles(tokens: &[Token], i: usize) -> usize {
     tokens.len()
 }
 
+/// Bare-name index over the graph's functions, for suffix resolution.
+/// Shared by the edge builder and the taint analyzer's per-call-site
+/// summary lookups.
+pub(crate) fn name_index(fns: &[GraphFn]) -> BTreeMap<String, Vec<usize>> {
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (idx, f) in fns.iter().enumerate() {
+        by_name.entry(f.item.name.clone()).or_default().push(idx);
+    }
+    by_name
+}
+
+/// Resolves one call site to every function it may reach, using the
+/// same conservative suffix rules the edge builder applies: method
+/// calls reach every same-named method, bare calls every same-named
+/// free/associated fn, qualified calls everything the final two path
+/// segments line up with.
+pub(crate) fn resolve_site(
+    fns: &[GraphFn],
+    by_name: &BTreeMap<String, Vec<usize>>,
+    path: &[String],
+    method: bool,
+) -> Vec<usize> {
+    let Some(last) = path.last() else {
+        return Vec::new();
+    };
+    let Some(candidates) = by_name.get(last.as_str()) else {
+        return Vec::new();
+    };
+    let mut resolved = Vec::new();
+    for &callee in candidates {
+        let target = &fns[callee].item;
+        let matches = if method {
+            target.has_self
+        } else if path.len() == 1 {
+            // A bare call can reach free/associated fns only;
+            // methods need a receiver or a qualified path.
+            !target.has_self && suffix_matches(&target.qual, path)
+        } else {
+            path_matches(&target.qual, path)
+        };
+        if matches {
+            resolved.push(callee);
+        }
+    }
+    resolved
+}
+
 /// Builds the global graph over every file model.
 pub(crate) fn build(models: &[FileModel]) -> Graph {
     let mut fns = Vec::new();
@@ -181,11 +228,7 @@ pub(crate) fn build(models: &[FileModel]) -> Graph {
             fns.push(GraphFn { item: item.clone(), model: model_idx });
         }
     }
-    // Bare-name index for suffix resolution.
-    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    for (idx, f) in fns.iter().enumerate() {
-        by_name.entry(f.item.name.as_str()).or_default().push(idx);
-    }
+    let by_name = name_index(&fns);
 
     let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
     for (caller, f) in fns.iter().enumerate() {
@@ -194,24 +237,8 @@ pub(crate) fn build(models: &[FileModel]) -> Graph {
         let sites = call_sites(tokens, body, f.item.impl_type.as_deref());
         let mut seen = vec![false; fns.len()];
         for site in sites {
-            let Some(last) = site.path.last() else {
-                continue;
-            };
-            let Some(candidates) = by_name.get(last.as_str()) else {
-                continue;
-            };
-            for &callee in candidates {
-                let target = &fns[callee].item;
-                let matches = if site.method {
-                    target.has_self
-                } else if site.path.len() == 1 {
-                    // A bare call can reach free/associated fns only;
-                    // methods need a receiver or a qualified path.
-                    !target.has_self && suffix_matches(&target.qual, &site.path)
-                } else {
-                    path_matches(&target.qual, &site.path)
-                };
-                if matches && !seen[callee] {
+            for callee in resolve_site(&fns, &by_name, &site.path, site.method) {
+                if !seen[callee] {
                     seen[callee] = true;
                     edges[caller].push(Edge { callee, line: site.line });
                 }
@@ -250,9 +277,9 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::items::parse_file;
-    use crate::scan::{mask_source, test_line_mask};
-    use crate::tokens::tokenize;
+    use crate::analysis::items::parse_file;
+    use crate::analysis::scan::{mask_source, test_line_mask};
+    use crate::analysis::tokens::tokenize;
 
     fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
         files

@@ -13,7 +13,7 @@
 //! one's call sites. Over-approximation is safe for reachability; what
 //! matters is never *losing* an edge.
 
-use crate::tokens::{matching_brace, Token, TokenKind};
+use crate::analysis::tokens::{matching_brace, Token, TokenKind};
 
 /// One `fn` item (free function, inherent/trait method, or default
 /// trait method).
@@ -36,6 +36,12 @@ pub(crate) struct FnItem {
     pub(crate) in_test: bool,
     /// Enclosing `impl`/`trait` type name, if any.
     pub(crate) impl_type: Option<String>,
+    /// Parameter names in declaration order, `self` excluded. Pattern
+    /// parameters (`(a, b): (u32, u32)`) contribute nothing — the taint
+    /// summaries that consume this list degrade to "no flow tracked"
+    /// for such parameters, which only loses precision, never soundness
+    /// of what *is* tracked.
+    pub(crate) params: Vec<String>,
     /// Return type text (tokens joined with spaces), empty for `()`.
     pub(crate) ret: String,
     /// Body token range `[start, end)` into the file's token vector
@@ -181,7 +187,7 @@ pub(crate) fn parse_file(
                 pending_pub = false;
                 let name = tokens[i + 1].text.clone();
                 let line = t.line;
-                let (has_self, ret, body_open) = parse_fn_head(&tokens, i + 2);
+                let (has_self, params, ret, body_open) = parse_fn_head(&tokens, i + 2);
                 let impl_type = match scopes.last() {
                     Some((scope, d)) if *d == depth && is_type_name(scope) => Some(scope.clone()),
                     _ => None,
@@ -209,6 +215,7 @@ pub(crate) fn parse_file(
                     has_self,
                     in_test: in_test_line(line),
                     impl_type,
+                    params,
                     ret,
                     body,
                 });
@@ -326,26 +333,39 @@ fn parse_impl_head(tokens: &[Token], i: usize) -> (String, usize) {
 }
 
 /// Parses a fn head after the name: generics, parameter list (checking
-/// for `self`), return type text, and the index of the body `{` (None
-/// for `;`-terminated declarations).
-fn parse_fn_head(tokens: &[Token], mut j: usize) -> (bool, String, Option<usize>) {
+/// for `self` and collecting parameter names), return type text, and
+/// the index of the body `{` (None for `;`-terminated declarations).
+fn parse_fn_head(tokens: &[Token], mut j: usize) -> (bool, Vec<String>, String, Option<usize>) {
     if next_is(tokens, j, "<") {
         j = skip_angles(tokens, j);
     }
     let mut has_self = false;
+    let mut params = Vec::new();
     if next_is(tokens, j, "(") {
         let end = skip_balanced(tokens, j, "(", ")");
         // `self` in the first parameter slot (before the first
-        // top-level comma) marks a method.
+        // top-level comma) marks a method. A parameter name is an
+        // identifier directly followed by `:` at paren depth 1 while
+        // still in binding position (before that parameter's type
+        // started) — identifiers inside type expressions sit either at
+        // deeper nesting or after the `:`.
         let mut depth = 0usize;
-        for t in &tokens[j..end] {
+        let mut in_binding = true;
+        for (offset, t) in tokens[j..end].iter().enumerate() {
             match t.text.as_str() {
                 "(" | "[" | "{" if t.kind == TokenKind::Punct => depth += 1,
                 ")" | "]" | "}" if t.kind == TokenKind::Punct => depth = depth.saturating_sub(1),
-                "," if t.kind == TokenKind::Punct && depth == 1 => break,
-                "self" if t.kind == TokenKind::Ident => {
+                "," if t.kind == TokenKind::Punct && depth == 1 => in_binding = true,
+                ":" if t.kind == TokenKind::Punct && depth == 1 => in_binding = false,
+                "self" if t.kind == TokenKind::Ident && params.is_empty() && in_binding => {
                     has_self = true;
-                    break;
+                }
+                _ if t.kind == TokenKind::Ident
+                    && depth == 1
+                    && in_binding
+                    && next_is(tokens, j + offset + 1, ":") =>
+                {
+                    params.push(t.text.clone());
                 }
                 _ => {}
             }
@@ -356,15 +376,20 @@ fn parse_fn_head(tokens: &[Token], mut j: usize) -> (bool, String, Option<usize>
     if next_is(tokens, j, "->") {
         j += 1;
         let mut angle = 0isize;
+        // `[u8; 8]` return types contain a `;` that must not terminate
+        // the scan; track bracket/paren nesting alongside angles.
+        let mut nest = 0isize;
         while j < tokens.len() {
             let t = &tokens[j];
             match (&t.kind, t.text.as_str()) {
-                (TokenKind::Punct, "{" | ";") if angle <= 0 => break,
-                (TokenKind::Ident, "where") if angle <= 0 => break,
+                (TokenKind::Punct, "{" | ";") if angle <= 0 && nest <= 0 => break,
+                (TokenKind::Ident, "where") if angle <= 0 && nest <= 0 => break,
                 (TokenKind::Punct, "<") => angle += 1,
                 (TokenKind::Punct, "<<") => angle += 2,
                 (TokenKind::Punct, ">") => angle -= 1,
                 (TokenKind::Punct, ">>") => angle -= 2,
+                (TokenKind::Punct, "[" | "(") => nest += 1,
+                (TokenKind::Punct, "]" | ")") => nest -= 1,
                 _ => {}
             }
             if !ret.is_empty() {
@@ -379,9 +404,9 @@ fn parse_fn_head(tokens: &[Token], mut j: usize) -> (bool, String, Option<usize>
         j += 1;
     }
     if next_is(tokens, j, "{") {
-        (has_self, ret, Some(j))
+        (has_self, params, ret, Some(j))
     } else {
-        (has_self, ret, None)
+        (has_self, params, ret, None)
     }
 }
 
@@ -419,8 +444,8 @@ fn collect_lock_fields(body: &[Token], out: &mut Vec<String>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::{mask_source, test_line_mask};
-    use crate::tokens::tokenize;
+    use crate::analysis::scan::{mask_source, test_line_mask};
+    use crate::analysis::tokens::tokenize;
 
     fn model(file: &str, src: &str) -> FileModel {
         let masked = mask_source(src);

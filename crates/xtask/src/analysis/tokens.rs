@@ -202,7 +202,7 @@ pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::mask_source;
+    use crate::analysis::scan::mask_source;
 
     fn kinds(src: &str) -> Vec<(TokenKind, String)> {
         tokenize(&mask_source(src)).into_iter().map(|t| (t.kind, t.text)).collect()
@@ -269,6 +269,35 @@ mod tests {
         assert!(tokens.contains(&(TokenKind::Punct, "/=".into())));
         assert!(tokens.contains(&(TokenKind::Punct, "%=".into())));
         assert!(tokens.contains(&(TokenKind::Punct, "::".into())));
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers() {
+        // The masked husk of a raw string spans its original lines, so
+        // tokens after it must not collapse onto the opening line.
+        let src = "let s = r#\"one\ntwo\nthree\"#;\nlet after = 1;";
+        let tokens = tokenize(&mask_source(src));
+        let after = tokens.iter().find(|t| t.is_ident("after")).expect("after token");
+        assert_eq!(after.line, 4, "{tokens:?}");
+    }
+
+    #[test]
+    fn nested_turbofish_generics_tokenize_structurally() {
+        // `Vec::<Vec<u8>>::with_capacity` — the closing `>>` is one
+        // token; angle-skippers must account for both levels at once.
+        let tokens = kinds("Vec::<Vec<u8>>::with_capacity(n)");
+        assert!(tokens.contains(&(TokenKind::Punct, ">>".into())), "{tokens:?}");
+        assert!(tokens.contains(&(TokenKind::Ident, "with_capacity".into())));
+        let shifts = tokens.iter().filter(|(_, t)| t == ">>").count();
+        assert_eq!(shifts, 1);
+    }
+
+    #[test]
+    fn question_mark_chains_are_single_puncts() {
+        let tokens = kinds("let v = parse(input)?.decode()?;");
+        let questions = tokens.iter().filter(|(_, t)| t == "?").count();
+        assert_eq!(questions, 2, "{tokens:?}");
+        assert!(tokens.contains(&(TokenKind::Ident, "decode".into())));
     }
 
     #[test]

@@ -31,11 +31,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::callgraph::Graph;
-use crate::items::FileModel;
+use crate::analysis::callgraph::Graph;
+use crate::analysis::items::FileModel;
+use crate::analysis::tokens::{Token, TokenKind};
 use crate::reach::FlowFinding;
 use crate::rules::Violation;
-use crate::tokens::{Token, TokenKind};
 
 /// Method names treated as blocking regardless of receiver.
 const BLOCKING_METHODS: &[&str] = &[
@@ -195,7 +195,7 @@ pub(crate) fn analyze(models: &[FileModel], graph: &Graph, scope: &str) -> Vec<F
     findings
 }
 
-fn f_qual(f: &crate::items::FnItem) -> String {
+fn f_qual(f: &crate::analysis::items::FnItem) -> String {
     f.qual.clone()
 }
 
@@ -643,10 +643,10 @@ fn report_blocked(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::callgraph::build;
-    use crate::items::parse_file;
-    use crate::scan::{mask_source, test_line_mask};
-    use crate::tokens::tokenize;
+    use crate::analysis::callgraph::build;
+    use crate::analysis::items::parse_file;
+    use crate::analysis::scan::{mask_source, test_line_mask};
+    use crate::analysis::tokens::tokenize;
 
     fn run(files: &[(&str, &str)]) -> Vec<FlowFinding> {
         let models: Vec<FileModel> = files

@@ -1,15 +1,18 @@
 //! Workspace automation tasks (`cargo xtask <task>`).
 //!
-//! Two tasks today, both described in DESIGN.md §9:
+//! Three analyzers, described in DESIGN.md §9 and §12:
 //!
 //! - `lint` — twig-lint, line-oriented rules over masked source.
 //! - `flow` — twig-flow, the call-graph analyzer: panic-reachability of
 //!   every public entry point of the strict crates (with witness call
 //!   chains) plus lock-discipline over `crates/serve`.
+//! - `taint` — twig-taint, the dataflow analyzer: untrusted-input
+//!   taint tracking into arithmetic/indexing/allocation sinks, plus the
+//!   allocation-discipline pass over the hot-path entry points.
 //!
-//! Both are dependency-free by design — the build container is offline,
-//! so no `syn`, no `serde`, no `walkdir`; the scanner in `scan.rs` is a
-//! purpose-built lexer, `tokens.rs` a purpose-built tokenizer, and the
+//! All are dependency-free by design — the build container is offline,
+//! so no `syn`, no `serde`, no `walkdir`; the shared lexer, tokenizer,
+//! item model and call graph live in the `analysis` module, and the
 //! JSON reports are printed by hand.
 //!
 //! ```text
@@ -18,19 +21,19 @@
 //! cargo xtask lint --update-baseline   # accept the current state
 //! cargo xtask flow                     # panic-reachability + lock discipline
 //! cargo xtask flow --json              # same, machine-readable (with witnesses)
-//! cargo xtask flow --update-baseline   # accept the current state
+//! cargo xtask taint                    # taint dataflow + hot-path allocations
+//! cargo xtask taint --self-test        # verify the fixture tree is fully flagged
 //! ```
 
+mod analysis;
 mod baseline;
 mod bench;
-mod callgraph;
 mod chaos;
-mod items;
+mod hotalloc;
 mod locks;
 mod reach;
 mod rules;
-mod scan;
-mod tokens;
+mod taint;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -51,6 +54,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("flow") => flow(&args[1..]),
+        Some("taint") => taint::taint_task(&args[1..]),
         Some("bench") => bench::bench(&args[1..]),
         Some("chaos") => chaos::chaos(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -76,6 +80,15 @@ TASKS:
       public entry point of the strict crates (each finding carries a
       witness call chain) and lock-discipline over crates/serve. Exits
       non-zero when findings beyond the baseline exist.
+  taint [--json] [--update-baseline] [--baseline FILE] [--root DIR] [--self-test]
+      Run the twig-taint dataflow analyzer: untrusted-input taint
+      (HTTP buffers, deserialized frames, CLI/env input) flowing into
+      indexing / length-arithmetic / allocation sinks without a
+      recognized guard, propagated interprocedurally via per-function
+      summaries, plus the allocation-discipline pass reporting heap
+      allocations reachable from the hot-path entry points.
+      --self-test checks the analyzer against its fixture tree of
+      known-bad patterns instead of the workspace.
   bench [--quick] [--out FILE] [--check FILE]
       Run the estimation benchmark harness (seeded corpora, warmup +
       trimmed-mean timing): summary build, CSR vs hashmap trie lookups,
@@ -124,9 +137,7 @@ fn lint(args: &[String]) -> ExitCode {
     let root = root.unwrap_or_else(workspace_root);
     let baseline_path = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
 
-    let mut files = Vec::new();
-    collect_rs_files(&root, &root, &mut files);
-    files.sort();
+    let files = analysis::workspace_files(&root);
 
     let mut violations: Vec<Violation> = Vec::new();
     for file in &files {
@@ -187,32 +198,12 @@ fn flow(args: &[String]) -> ExitCode {
     let root = root.unwrap_or_else(workspace_root);
     let baseline_path = baseline_path.unwrap_or_else(|| root.join(FLOW_BASELINE_FILE));
 
-    let mut files = Vec::new();
-    collect_rs_files(&root, &root, &mut files);
-    files.sort();
-
     // Stage 1: tokenize + item model for every file.
-    let mut models = Vec::new();
-    for file in &files {
-        match fs::read_to_string(root.join(file)) {
-            Ok(src) => {
-                let masked = scan::mask_source(&src);
-                let test_lines = scan::test_line_mask(&masked);
-                models.push(items::parse_file(
-                    file,
-                    tokens::tokenize(&masked),
-                    &test_lines,
-                    rules::test_path(file),
-                ));
-            }
-            Err(err) => {
-                eprintln!("warning: cannot read {file}: {err}");
-            }
-        }
-    }
+    let files = analysis::workspace_files(&root);
+    let models = analysis::build_models(&root, &files);
 
     // Stage 2: call graph; stage 3: panic-reachability; stage 4: locks.
-    let graph = callgraph::build(&models);
+    let graph = analysis::callgraph::build(&models);
     let mut findings = reach::panic_reachability(&models, &graph);
     findings.extend(locks::analyze(&models, &graph, LOCK_SCOPE));
     findings.sort_by(|a, b| {
@@ -255,9 +246,9 @@ fn flow(args: &[String]) -> ExitCode {
         baseline::partition_by(findings, &baseline, |f| baseline::key_of(&f.violation));
 
     if json {
-        println!("{}", flow_json_report(scanned, &old, &fresh));
+        println!("{}", flow_json_report("twig-flow", scanned, &old, &fresh));
     } else {
-        flow_human_report(scanned, &old, &fresh);
+        flow_human_report("twig-flow", scanned, &old, &fresh);
     }
     if fresh.is_empty() {
         ExitCode::SUCCESS
@@ -266,7 +257,8 @@ fn flow(args: &[String]) -> ExitCode {
     }
 }
 
-fn flow_human_report(scanned: usize, old: &[FlowFinding], fresh: &[FlowFinding]) {
+/// Shared human report for the witness-carrying passes (flow, taint).
+fn flow_human_report(pass: &str, scanned: usize, old: &[FlowFinding], fresh: &[FlowFinding]) {
     for finding in fresh {
         let v = &finding.violation;
         println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.content);
@@ -275,22 +267,30 @@ fn flow_human_report(scanned: usize, old: &[FlowFinding], fresh: &[FlowFinding])
         }
     }
     println!(
-        "twig-flow: {scanned} files scanned, {} new finding(s), {} baselined",
+        "{pass}: {scanned} files scanned, {} new finding(s), {} baselined",
         fresh.len(),
         old.len()
     );
     if !fresh.is_empty() {
+        let task = pass.trim_start_matches("twig-");
         println!(
-            "  break the witness chains above (handle the error, drop the guard), or run\n  \
-             `cargo xtask flow --update-baseline` if they are intentional pre-existing debt"
+            "  break the witness chains above (check the length, handle the error), or run\n  \
+             `cargo xtask {task} --update-baseline` if they are intentional pre-existing debt"
         );
     }
 }
 
-fn flow_json_report(scanned: usize, old: &[FlowFinding], fresh: &[FlowFinding]) -> String {
+/// Shared JSON report for the witness-carrying passes (flow, taint).
+fn flow_json_report(
+    pass: &str,
+    scanned: usize,
+    old: &[FlowFinding],
+    fresh: &[FlowFinding],
+) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
-        "\"files_scanned\":{scanned},\"new\":{},\"baselined\":{},\"findings\":[",
+        "\"pass\":\"{}\",\"files_scanned\":{scanned},\"new\":{},\"baselined\":{},\"findings\":[",
+        json_escape(pass),
         fresh.len(),
         old.len()
     ));
@@ -333,33 +333,6 @@ fn workspace_root() -> PathBuf {
         .nth(2)
         .expect("crates/xtask sits two levels below the workspace root")
         .to_path_buf()
-}
-
-/// Recursively collects `.rs` files under `dir` as repo-relative
-/// `/`-separated paths, skipping build output and VCS internals.
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if matches!(name.as_ref(), "target" | ".git" | "results") {
-                continue;
-            }
-            collect_rs_files(root, &path, out);
-        } else if name.ends_with(".rs") {
-            if let Ok(rel) = path.strip_prefix(root) {
-                let rel: Vec<_> = rel
-                    .components()
-                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
-                    .collect();
-                out.push(rel.join("/"));
-            }
-        }
-    }
 }
 
 fn human_report(scanned: usize, old: &[Violation], fresh: &[Violation]) {
@@ -454,12 +427,12 @@ mod tests {
     }
 
     #[test]
-    fn collect_skips_target_and_finds_sources() {
+    fn collect_skips_target_and_fixtures_and_finds_sources() {
         let root = workspace_root();
-        let mut files = Vec::new();
-        collect_rs_files(&root, &root, &mut files);
+        let files = analysis::workspace_files(&root);
         assert!(files.iter().any(|f| f == "crates/core/src/cst.rs"), "{files:?}");
         assert!(files.iter().all(|f| !f.starts_with("target/")));
+        assert!(files.iter().all(|f| !f.contains("/fixtures/")), "{files:?}");
     }
 
     #[test]
@@ -472,7 +445,7 @@ mod tests {
         fs::write(src_dir.join("lib.rs"), "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n")
             .expect("write");
         let mut files = Vec::new();
-        collect_rs_files(&dir, &dir, &mut files);
+        analysis::collect_rs_files(&dir, &dir, &mut files);
         assert_eq!(files, ["crates/core/src/lib.rs"]);
         let src = fs::read_to_string(dir.join(&files[0])).expect("read");
         let violations = rules::check_file(&files[0], &src);

@@ -22,10 +22,10 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use crate::callgraph::Graph;
-use crate::items::FileModel;
+use crate::analysis::callgraph::Graph;
+use crate::analysis::items::FileModel;
+use crate::analysis::tokens::{Token, TokenKind};
 use crate::rules::Violation;
-use crate::tokens::{Token, TokenKind};
 
 /// Why a function is a direct panic source.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,7 +40,8 @@ const PANIC_MACROS: &[&str] =
     &["panic", "assert", "assert_eq", "assert_ne", "unreachable", "todo", "unimplemented"];
 
 /// Identifiers that precede `[` without forming an index expression.
-const NON_INDEX_PREV: &[&str] = &[
+/// Shared with the taint pass's tainted-index sink detection.
+pub(crate) const NON_INDEX_PREV: &[&str] = &[
     "let", "in", "if", "return", "match", "else", "move", "mut", "ref", "box", "as", "break",
     "continue", "where",
 ];
@@ -271,10 +272,10 @@ pub(crate) fn witness_chain(graph: &Graph, reach: &Reach, entry: usize) -> Vec<S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::callgraph::build;
-    use crate::items::parse_file;
-    use crate::scan::{mask_source, test_line_mask};
-    use crate::tokens::tokenize;
+    use crate::analysis::callgraph::build;
+    use crate::analysis::items::parse_file;
+    use crate::analysis::scan::{mask_source, test_line_mask};
+    use crate::analysis::tokens::tokenize;
 
     fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
         files

@@ -5,7 +5,7 @@
 //! checks stay cheap and deterministic. Violation text is taken from the
 //! original line for readable reports.
 
-use crate::scan::{mask_source, test_line_mask};
+use crate::analysis::scan::{mask_source, test_line_mask};
 
 /// One finding: a rule fired on a line of a file.
 #[derive(Debug, Clone, PartialEq, Eq)]
