@@ -21,6 +21,7 @@ use twig_datagen::{
     DblpConfig, SprotConfig, WorkloadConfig,
 };
 use twig_exact::{count_occurrence, count_occurrence_ordered, count_presence};
+use twig_flat::{AnySummary, FlatCst};
 use twig_serve::{
     error_chain, LoadOutcome, Server, ServerConfig, SnapshotStore, SummaryRegistry, SummarySpec,
 };
@@ -35,6 +36,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "generate" => cmd_generate(&mut args, out),
         "build" => cmd_build(&mut args, out),
         "inspect" => cmd_inspect(&mut args, out),
+        "pack" => cmd_pack(&mut args, out),
         "estimate" => cmd_estimate(&mut args, out),
         "explain" => cmd_explain(&mut args, out),
         "exact" => cmd_exact(&mut args, out),
@@ -58,7 +60,9 @@ USAGE:
   twig generate --kind dblp|sprot [--mb N] [--seed N] --out FILE
   twig build    --input XML [--space FRAC | --bytes N] [--sig L] [--seed N]
                 [--threads N] [--no-signatures] --out FILE
-  twig inspect  --summary FILE
+  twig inspect  --summary FILE            (owned .cst or flat .flt)
+  twig pack     --input FILE --out FILE   (owned summary or TWIGSNP1
+                snapshot -> zero-copy flat TWIGFLT1 container)
   twig estimate --summary FILE (--query TWIG | --xpath XPATH)
                 [--algo NAME] [--count-kind presence|occurrence]
   twig explain  --summary FILE (--query TWIG | --xpath XPATH) [--algo NAME]
@@ -147,9 +151,30 @@ fn load_tree(path: &str) -> Result<DataTree, String> {
     DataTree::from_xml(&xml).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
+fn is_flat(bytes: &[u8]) -> bool {
+    bytes.len() >= 8 && &bytes[..8] == twig_flat::format::MAGIC
+}
+
+/// Loads an owned (`TWIGCST`) summary, for commands that need the full
+/// in-memory structure (explain traces, invariant audits, re-packing).
 fn load_summary(path: &str) -> Result<Cst, String> {
     let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if is_flat(&bytes) {
+        return Err(format!(
+            "{path} is a flat (TWIGFLT1) summary; this command needs an owned (TWIGCST) file"
+        ));
+    }
     Cst::read_from(&mut bytes.as_slice()).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+/// Loads a summary of either format for estimation (flat files are
+/// mapped read-only, owned files are deserialized).
+fn load_any_summary(path: &str) -> Result<AnySummary, String> {
+    if !std::path::Path::new(path).exists() {
+        return Err(format!("cannot read {path}: no such file"));
+    }
+    AnySummary::load_file(std::path::Path::new(path))
+        .map_err(|e| format!("cannot load {path}: {e}"))
 }
 
 fn parse_query(text: &str) -> Result<Twig, String> {
@@ -237,6 +262,17 @@ fn cmd_build(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
 
 fn cmd_inspect(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
     let path = args.require("summary")?;
+    let head = {
+        let mut head = [0u8; 8];
+        let mut file =
+            fs::File::open(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let read = std::io::Read::read(&mut file, &mut head)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        head[..read].to_vec()
+    };
+    if is_flat(&head) {
+        return inspect_flat(&path, out);
+    }
     let cst = load_summary(&path)?;
     writeln!(out, "summary {path}:").map_err(io_err)?;
     writeln!(out, "  trie nodes:        {}", cst.node_count()).map_err(io_err)?;
@@ -255,6 +291,85 @@ fn cmd_inspect(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> 
     Ok(())
 }
 
+/// Inspect output for a flat (`TWIGFLT1`) container: header fields,
+/// the section table, and an eager integrity check.
+fn inspect_flat(path: &str, out: &mut dyn Write) -> Result<(), String> {
+    let flat = FlatCst::open(std::path::Path::new(path))
+        .map_err(|e| format!("cannot load {path}: {e}"))?;
+    let backing = if flat.is_mapped() { "mmap (zero-copy)" } else { "heap" };
+    writeln!(out, "flat summary {path}:").map_err(io_err)?;
+    writeln!(out, "  format:            TWIGFLT1 ({backing})").map_err(io_err)?;
+    writeln!(out, "  file size:         {} bytes", flat.file_len()).map_err(io_err)?;
+    writeln!(out, "  trie nodes:        {}", flat.node_count()).map_err(io_err)?;
+    writeln!(out, "  prune threshold:   {}", flat.threshold()).map_err(io_err)?;
+    writeln!(out, "  data elements (n): {}", flat.n()).map_err(io_err)?;
+    writeln!(out, "  source size:       {} bytes", flat.source_bytes()).map_err(io_err)?;
+    writeln!(out, "  accounted size:    {} bytes", flat.size_bytes()).map_err(io_err)?;
+    writeln!(out, "  signature length:  {}", flat.signature_len()).map_err(io_err)?;
+    writeln!(out, "  min-hash seed:     {:#x}", flat.seed()).map_err(io_err)?;
+    writeln!(out, "  sections:").map_err(io_err)?;
+    for section in flat.sections() {
+        writeln!(
+            out,
+            "    {:<12} offset {:>8}  {:>8} bytes  fnv1a {:016x}",
+            section.name, section.offset, section.len, section.checksum
+        )
+        .map_err(io_err)?;
+    }
+    match flat.verify() {
+        Ok(()) => writeln!(out, "  integrity:         ok (all checksums verified)").map_err(io_err),
+        Err(error) => writeln!(out, "  integrity:         FAILED: {error}").map_err(io_err),
+    }
+}
+
+/// Packs an owned summary — or the verified payload of a `TWIGSNP1`
+/// snapshot-store file — into the zero-copy flat container format.
+fn cmd_pack(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
+    let input = args.require("input")?;
+    let output = args.require("out")?;
+    let bytes = fs::read(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    // A snapshot-store file is the summary plus a checksum footer, so
+    // operators can pack straight out of a serve state dir. Unframe
+    // before the format sniff: a snapshot of a flat summary starts with
+    // the flat magic too.
+    let framed = bytes.len() >= 24 && bytes.ends_with(b"TWIGSNP1");
+    let payload = if framed {
+        twig_serve::snapshot::unframe(bytes)
+            .ok_or_else(|| format!("{input} is a torn TWIGSNP1 snapshot (checksum mismatch)"))?
+    } else {
+        if is_flat(&bytes) {
+            return Err(format!("{input} is already a flat (TWIGFLT1) summary"));
+        }
+        bytes
+    };
+    if is_flat(&payload) {
+        // A snapshot of a summary that was already flat: the payload is
+        // the finished container. Land it atomically (tmp + rename) so
+        // a mapped reader of an existing file never sees a truncation.
+        FlatCst::from_bytes(payload.clone())
+            .map_err(|e| format!("snapshot payload in {input} is not a valid container: {e}"))?;
+        let tmp = format!("{output}.tmp");
+        fs::write(&tmp, &payload).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+        fs::rename(&tmp, &output).map_err(|e| format!("cannot rename to {output}: {e}"))?;
+        writeln!(out, "unpacked flat snapshot payload: {} bytes -> {output}", payload.len())
+            .map_err(io_err)?;
+        return Ok(());
+    }
+    let cst = Cst::read_from(&mut payload.as_slice())
+        .map_err(|e| format!("cannot load {input}: {e}"))?;
+    twig_flat::writer::write_file(&cst, std::path::Path::new(&output))
+        .map_err(|e| format!("cannot pack {input}: {e}"))?;
+    let size = fs::metadata(&output).map(|m| m.len()).unwrap_or(0);
+    writeln!(
+        out,
+        "packed {} nodes ({} accounted bytes) into flat container: {size} bytes -> {output}",
+        cst.node_count(),
+        cst.size_bytes(),
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
 fn cmd_estimate(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
     let summary = args.require("summary")?;
     let query = take_query(args)?;
@@ -264,7 +379,9 @@ fn cmd_estimate(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String>
         Some("presence") => CountKind::Presence,
         Some(other) => return Err(format!("unknown count kind '{other}'")),
     };
-    let cst = load_summary(&summary)?;
+    // Either format estimates: flat summaries are mapped and queried in
+    // place, bit-identical to the owned path.
+    let cst = load_any_summary(&summary)?;
     match algo_name {
         Some(name) => {
             let algo = parse_algorithm(&name)?;
@@ -272,7 +389,8 @@ fn cmd_estimate(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String>
             writeln!(out, "{estimate:.3}").map_err(io_err)?;
         }
         None => {
-            for (algo, estimate) in cst.estimate_all(&query, kind) {
+            for algo in Algorithm::ALL {
+                let estimate = cst.estimate(&query, algo, kind);
                 writeln!(out, "{:<7} {estimate:.3}", algo.name()).map_err(io_err)?;
             }
         }
@@ -653,6 +771,106 @@ mod tests {
         let help = run_capture(&["help"]).expect("help");
         assert!(help.contains("USAGE"));
         assert!(help.contains("twig serve"));
+        assert!(help.contains("twig pack"));
+    }
+
+    #[test]
+    fn pack_and_inspect_flat_summaries() {
+        let corpus = temp_path("corpus8.xml");
+        let summary = temp_path("summary8.cst");
+        let flat = temp_path("summary8.flt");
+        run_capture(&[
+            "generate", "--kind", "dblp", "--mb", "0.05", "--seed", "8", "--out", &corpus,
+        ])
+        .expect("generate");
+        run_capture(&["build", "--input", &corpus, "--space", "0.2", "--out", &summary])
+            .expect("build");
+
+        let packed =
+            run_capture(&["pack", "--input", &summary, "--out", &flat]).expect("pack");
+        assert!(packed.contains("packed"), "{packed}");
+        assert!(packed.contains("flat container"), "{packed}");
+
+        // Inspect sniffs the format: flat output shows the envelope and
+        // the section table, and the integrity check passes.
+        let inspect = run_capture(&["inspect", "--summary", &flat]).expect("inspect flat");
+        assert!(inspect.contains("TWIGFLT1"), "{inspect}");
+        assert!(inspect.contains("trie nodes"), "{inspect}");
+        assert!(inspect.contains("NODE_PARENT"), "{inspect}");
+        assert!(inspect.contains("STR_BYTES"), "{inspect}");
+        assert!(inspect.contains("integrity:         ok"), "{inspect}");
+
+        // Estimates off the flat file match the owned file exactly.
+        let query = r#"article(author("S"))"#;
+        let owned = run_capture(&["estimate", "--summary", &summary, "--query", query])
+            .expect("estimate owned");
+        let mapped =
+            run_capture(&["estimate", "--summary", &flat, "--query", query]).expect("estimate flat");
+        assert_eq!(owned, mapped, "flat estimates must match owned output");
+
+        // Commands that need the owned structure say so.
+        let err = run_capture(&["explain", "--summary", &flat, "--query", query]).unwrap_err();
+        assert!(err.contains("needs an owned"), "{err}");
+        let err = run_capture(&["audit", "--summary", &flat]).unwrap_err();
+        assert!(err.contains("needs an owned"), "{err}");
+
+        // Re-packing a flat file is rejected.
+        let err = run_capture(&["pack", "--input", &flat, "--out", &summary]).unwrap_err();
+        assert!(err.contains("already a flat"), "{err}");
+    }
+
+    #[test]
+    fn pack_migrates_snapshot_store_files() {
+        let corpus = temp_path("corpus9.xml");
+        let summary = temp_path("summary9.cst");
+        let flat = temp_path("summary9.flt");
+        run_capture(&[
+            "generate", "--kind", "dblp", "--mb", "0.05", "--seed", "11", "--out", &corpus,
+        ])
+        .expect("generate");
+        run_capture(&["build", "--input", &corpus, "--space", "0.2", "--out", &summary])
+            .expect("build");
+
+        // A serve state dir persists the summary as a framed TWIGSNP1
+        // snapshot; `twig pack` accepts that file directly.
+        let state = std::path::PathBuf::from(temp_path("state9"));
+        let store = SnapshotStore::open(&state).expect("open store");
+        let payload = fs::read(&summary).expect("read summary");
+        let snapshot = store.persist("dblp", 1, &payload).expect("persist");
+        let snapshot = snapshot.to_string_lossy().into_owned();
+
+        let packed =
+            run_capture(&["pack", "--input", &snapshot, "--out", &flat]).expect("pack snapshot");
+        assert!(packed.contains("packed"), "{packed}");
+        let query = r#"article(author("S"))"#;
+        let owned = run_capture(&["estimate", "--summary", &summary, "--query", query])
+            .expect("estimate owned");
+        let migrated =
+            run_capture(&["estimate", "--summary", &flat, "--query", query]).expect("estimate flat");
+        assert_eq!(owned, migrated, "snapshot migration must preserve estimates");
+
+        // A torn snapshot (payload corrupt, footer present) is refused.
+        let torn = temp_path("torn9.cst");
+        let mut framed = fs::read(&snapshot).expect("read snapshot");
+        framed[10] ^= 0xFF;
+        fs::write(&torn, &framed).expect("write torn");
+        let err = run_capture(&["pack", "--input", &torn, "--out", &flat]).unwrap_err();
+        assert!(err.contains("torn"), "{err}");
+
+        // A snapshot of an already-flat summary unpacks to the container.
+        let flat_payload = fs::read(&flat).expect("read flat");
+        let flat_snapshot_path = store.persist("flatone", 1, &flat_payload).expect("persist flat");
+        let unpacked = temp_path("summary9b.flt");
+        let output = run_capture(&[
+            "pack",
+            "--input",
+            &flat_snapshot_path.to_string_lossy(),
+            "--out",
+            &unpacked,
+        ])
+        .expect("unpack flat snapshot");
+        assert!(output.contains("unpacked flat snapshot payload"), "{output}");
+        assert_eq!(fs::read(&unpacked).expect("read unpacked"), flat_payload);
     }
 
     #[test]

@@ -16,13 +16,13 @@
 //! — the "overlaps themselves are subtrees" case the paper calls out.
 
 use twig_pst::PathToken;
-use twig_sethash::{estimate_intersection, estimate_union_size};
+use twig_sethash::{view_estimate_intersection, view_estimate_union_size, view_resemblance};
 use twig_util::FxHashSet;
 
-use crate::cst::Cst;
 use crate::estimate::CountKind;
 use crate::parse::Piece;
 use crate::query::{CompiledQuery, Token, Unit};
+use crate::summary::{Summary, TrieAccess};
 use crate::twiglets::Twiglet;
 
 /// A combination element: one parsed subpath or one twiglet.
@@ -61,7 +61,7 @@ pub fn order_elements(mut elements: Vec<Element>) -> Vec<Element> {
 }
 
 /// Count (presence or occurrence) of a single CST chain.
-fn chain_count(cst: &Cst, piece: &Piece, kind: CountKind) -> f64 {
+fn chain_count<S: Summary>(cst: &S, piece: &Piece, kind: CountKind) -> f64 {
     match kind {
         CountKind::Presence => cst.presence(piece.trie) as f64,
         CountKind::Occurrence => cst.occurrence(piece.trie) as f64,
@@ -72,7 +72,7 @@ fn chain_count(cst: &Cst, piece: &Piece, kind: CountKind) -> f64 {
 /// unit (a "star"). One chain → exact CST count; several chains →
 /// signature intersection, scaled to occurrences by the per-chain
 /// `Co/Cp` ratios in occurrence mode (Sec. 5).
-pub fn estimate_region(cst: &Cst, chains: &[Piece], kind: CountKind) -> f64 {
+pub fn estimate_region<S: Summary>(cst: &S, chains: &[Piece], kind: CountKind) -> f64 {
     // Dedup identical unit chains (shared prefixes across paths).
     let mut unique: Vec<&Piece> = Vec::new();
     for chain in chains {
@@ -119,7 +119,7 @@ pub fn estimate_region(cst: &Cst, chains: &[Piece], kind: CountKind) -> f64 {
 /// case) and scales by the fraction of branch-label instances that sit
 /// under the prefix path — a uniformity assumption in the same spirit as
 /// the paper's.
-fn star_occurrence(cst: &Cst, chains: &[&Piece]) -> f64 {
+fn star_occurrence<S: Summary>(cst: &S, chains: &[&Piece]) -> f64 {
     let mut lcp = chains[0].units.len();
     for chain in &chains[1..] {
         let common = chain.units.iter().zip(&chains[0].units).take_while(|(a, b)| a == b).count();
@@ -183,7 +183,7 @@ fn star_occurrence(cst: &Cst, chains: &[&Piece]) -> f64 {
 /// estimate falls back to the independence product (the pure-MO
 /// assumption), capped by the resolution bound — so set hashing improves
 /// on MO where it can see, and never zeroes out a query it cannot.
-fn star_presence(cst: &Cst, chains: &[&Piece]) -> f64 {
+fn star_presence<S: Summary>(cst: &S, chains: &[&Piece]) -> f64 {
     let independence = conditional_independence(cst, chains);
     let mut sets = Vec::with_capacity(chains.len());
     for chain in chains {
@@ -199,7 +199,7 @@ fn star_presence(cst: &Cst, chains: &[&Piece]) -> f64 {
     }
     let signatures: Vec<_> = sets.iter().map(|&(sig, _)| sig).collect();
     let len = cst.signature_len().max(1) as f64;
-    let matches = (twig_sethash::Signature::resemblance(&signatures) * len).round();
+    let matches = (view_resemblance(&signatures) * len).round();
     if matches == 0.0 {
         return match cst.fallback() {
             // The paper's literal formula: ρ̂ = 0 ⇒ |∩| = 0.
@@ -208,12 +208,12 @@ fn star_presence(cst: &Cst, chains: &[&Piece]) -> f64 {
             // bound of roughly |∪|/L on the intersection; fall back to
             // the MO-style no-correlation estimate under that bound.
             crate::cst::SignatureFallback::ConditionalIndependence => {
-                let resolution = estimate_union_size(&sets) / len;
+                let resolution = view_estimate_union_size(&sets) / len;
                 independence.min(resolution)
             }
         };
     }
-    let estimate = estimate_intersection(&sets);
+    let estimate = view_estimate_intersection(&sets);
     // Shrink toward the no-correlation baseline in proportion to the
     // evidence: with m matching components the resemblance estimate has
     // relative error ~1/√m, so a single match (which overstates weak
@@ -230,17 +230,23 @@ fn star_presence(cst: &Cst, chains: &[&Piece]) -> f64 {
 /// overlap conditioning computes for the same subpaths. Falling back to
 /// anything weaker would make set hashing worse than MO whenever the
 /// signatures under-resolve.
-fn conditional_independence(cst: &Cst, chains: &[&Piece]) -> f64 {
+fn conditional_independence<S: Summary>(cst: &S, chains: &[&Piece]) -> f64 {
     // Longest common prefix length over the unit chains.
     let mut lcp = chains[0].units.len();
     for chain in &chains[1..] {
         let common = chain.units.iter().zip(&chains[0].units).take_while(|(a, b)| a == b).count();
         lcp = lcp.min(common);
     }
-    // Trie node of the common prefix: walk up from any chain's node.
+    // Trie node of the common prefix: walk up from any chain's node. A
+    // healthy summary always has the parents (the chain is `units.len()`
+    // deep); a degraded one (flat reader with a poisoned parent section)
+    // may not — treat that as an empty region rather than panicking.
     let mut prefix_node = chains[0].trie;
     for _ in 0..(chains[0].units.len() - lcp) {
-        prefix_node = cst.trie().parent(prefix_node).expect("chain deeper than prefix");
+        match cst.trie().parent(prefix_node) {
+            Some(parent) => prefix_node = parent,
+            None => return 0.0,
+        }
     }
     let base = if lcp == 0 { cst.n() as f64 } else { cst.presence(prefix_node) as f64 };
     if base <= 0.0 {
@@ -251,8 +257,8 @@ fn conditional_independence(cst: &Cst, chains: &[&Piece]) -> f64 {
 
 /// The covered-prefix chains of an element's region: for each chain, the
 /// longest prefix whose units are all in `covered`.
-fn overlap_chains(
-    cst: &Cst,
+fn overlap_chains<S: Summary>(
+    cst: &S,
     query: &CompiledQuery,
     chains: &[Piece],
     covered: &FxHashSet<Unit>,
@@ -315,14 +321,19 @@ pub struct Factor {
 /// Runs MO conditioning over ordered elements and returns the final count
 /// estimate (Sec. 3.7). Elements are borrowed so a cached plan can be
 /// combined repeatedly without cloning.
-pub fn combine(cst: &Cst, query: &CompiledQuery, elements: &[Element], kind: CountKind) -> f64 {
+pub fn combine<S: Summary>(
+    cst: &S,
+    query: &CompiledQuery,
+    elements: &[Element],
+    kind: CountKind,
+) -> f64 {
     combine_traced(cst, query, elements, kind, None)
 }
 
 /// [`combine`] with an optional trace sink recording every factor (used
 /// by [`crate::explain`]).
-pub fn combine_traced(
-    cst: &Cst,
+pub fn combine_traced<S: Summary>(
+    cst: &S,
     query: &CompiledQuery,
     elements: &[Element],
     kind: CountKind,
@@ -390,7 +401,7 @@ pub fn combine_traced(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cst::{CstConfig, SpaceBudget};
+    use crate::cst::{Cst, CstConfig, SpaceBudget};
     use crate::parse::maximal_pieces;
     use twig_pst::PathToken as PT;
     use twig_tree::{DataTree, Twig};

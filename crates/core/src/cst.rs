@@ -274,11 +274,13 @@ impl Cst {
     }
 
     /// The pruned subpath trie.
+    #[inline]
     pub fn trie(&self) -> &PrunedTrie {
         &self.trie
     }
 
     /// Signature of the subpath at `node`, if it is label-rooted.
+    #[inline]
     pub fn signature(&self, node: TrieNodeId) -> Option<&CompactSignature> {
         self.signatures[node.index()].as_ref()
     }
@@ -292,6 +294,7 @@ impl Cst {
 
     /// Number of data tree element nodes — the `n` of the estimation
     /// formulae.
+    #[inline]
     pub fn n(&self) -> u64 {
         self.n
     }
@@ -328,11 +331,13 @@ impl Cst {
     }
 
     /// Signature length `L`.
+    #[inline]
     pub fn signature_len(&self) -> usize {
         self.signature_len
     }
 
     /// The below-resolution fallback mode.
+    #[inline]
     pub fn fallback(&self) -> SignatureFallback {
         self.fallback
     }
@@ -349,6 +354,7 @@ impl Cst {
     }
 
     /// Resolves a query label to the data vocabulary.
+    #[inline]
     pub fn symbol(&self, label: &str) -> Option<Symbol> {
         self.interner.get(label)
     }
@@ -358,17 +364,26 @@ impl Cst {
         self.interner.resolve(sym)
     }
 
+    /// The label vocabulary in symbol order (for packing into on-disk
+    /// formats; `Symbol(i)` names the `i`-th yielded label).
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.interner.iter().map(|(_, label)| label)
+    }
+
     /// Looks up the trie node for a token sequence, if fully present.
+    #[inline]
     pub fn lookup(&self, tokens: &[PathToken]) -> Option<TrieNodeId> {
         self.trie.find(tokens)
     }
 
     /// Presence count `Cp(α)` of a trie node.
+    #[inline]
     pub fn presence(&self, node: TrieNodeId) -> u64 {
         u64::from(self.trie.presence(node))
     }
 
     /// Occurrence count `Co(α)` of a trie node.
+    #[inline]
     pub fn occurrence(&self, node: TrieNodeId) -> u64 {
         u64::from(self.trie.occurrence(node))
     }

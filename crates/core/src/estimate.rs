@@ -11,6 +11,7 @@ use crate::parse::{
 };
 use crate::plan::{LeafPathPlan, PlannedEstimator, QueryPlan};
 use crate::query::{CompiledQuery, Token};
+use crate::summary::Summary;
 use crate::twiglets::{mosh_twiglets, msh_twiglets};
 
 /// Which count is being estimated (Sec. 5).
@@ -112,7 +113,7 @@ impl Cst {
     /// piece is absent from the summary (its true count is below the prune
     /// threshold).
     pub fn estimate(&self, twig: &Twig, algorithm: Algorithm, kind: CountKind) -> f64 {
-        self.estimate_raw(twig, algorithm, kind, None) * self.sibling_discount(twig)
+        estimate_summary(self, twig, algorithm, kind)
     }
 
     /// The estimate before the sibling-multiplicity discount — the
@@ -130,19 +131,7 @@ impl Cst {
         kind: CountKind,
         plan: Option<&QueryPlan>,
     ) -> f64 {
-        match plan {
-            Some(plan) => {
-                let query = plan.compiled_or_init(|| CompiledQuery::compile(self, twig));
-                let planned = plan
-                    .estimator_or_init(algorithm, || build_estimator(self, twig, query, algorithm));
-                run_estimator(self, query, planned, kind)
-            }
-            None => {
-                let query = CompiledQuery::compile(self, twig);
-                let planned = build_estimator(self, twig, &query, algorithm);
-                run_estimator(self, &query, &planned, kind)
-            }
-        }
+        estimate_raw_summary(self, twig, algorithm, kind, plan)
     }
 
     /// The sibling-injectivity correction (an implementation refinement
@@ -163,54 +152,7 @@ impl Cst {
     /// Applied uniformly to every algorithm so their relative comparison
     /// is unaffected.
     pub fn sibling_discount(&self, twig: &Twig) -> f64 {
-        use twig_pst::PathToken;
-        use twig_tree::TwigLabel;
-        let mut discount = 1.0;
-        for idx in 0..twig.node_count() as u32 {
-            let parent = twig_tree::TwigNodeId(idx);
-            let TwigLabel::Element(parent_label) = twig.label(parent) else {
-                continue;
-            };
-            let Some(parent_sym) = self.symbol(parent_label) else {
-                continue;
-            };
-            // Count same-labeled element children.
-            let mut groups: Vec<(&str, usize)> = Vec::new();
-            for &child in twig.children(parent) {
-                let TwigLabel::Element(child_label) = twig.label(child) else {
-                    continue;
-                };
-                match groups.iter_mut().find(|(l, _)| *l == child_label.as_str()) {
-                    Some((_, count)) => *count += 1,
-                    None => groups.push((child_label, 1)),
-                }
-            }
-            for (child_label, k) in groups {
-                if k < 2 {
-                    continue;
-                }
-                let Some(child_sym) = self.symbol(child_label) else {
-                    continue;
-                };
-                let Some(node) =
-                    self.lookup(&[PathToken::Element(parent_sym), PathToken::Element(child_sym)])
-                else {
-                    continue; // pair below threshold: no evidence, no discount
-                };
-                let cp = count_to_f64(self.presence(node));
-                let co = count_to_f64(self.occurrence(node));
-                if cp <= 0.0 {
-                    continue;
-                }
-                let multiplicity = co / cp;
-                let mut factor = 1.0;
-                for i in 0..k {
-                    factor *= (multiplicity - size_to_f64(i)).max(0.0) / multiplicity;
-                }
-                discount *= factor;
-            }
-        }
-        discount
+        sibling_discount_summary(self, twig)
     }
 
     /// Convenience: estimates with every algorithm, in [`Algorithm::ALL`]
@@ -246,11 +188,104 @@ impl Cst {
     }
 }
 
+/// Estimates the number of matches of `twig` in the tree summarized by
+/// any [`Summary`] — the generic form of [`Cst::estimate`], shared with
+/// the zero-copy flat summary.
+pub fn estimate_summary<S: Summary>(
+    summary: &S,
+    twig: &Twig,
+    algorithm: Algorithm,
+    kind: CountKind,
+) -> f64 {
+    estimate_raw_summary(summary, twig, algorithm, kind, None)
+        * sibling_discount_summary(summary, twig)
+}
+
+/// The estimate before the sibling-multiplicity discount — the generic
+/// form of [`Cst::estimate_raw`]. With `plan: Some(_)`, the
+/// kind-independent stages are read from — and on first use written into
+/// — the [`QueryPlan`]; both paths run the same code, so the result is
+/// bit-identical with and without a plan.
+pub fn estimate_raw_summary<S: Summary>(
+    summary: &S,
+    twig: &Twig,
+    algorithm: Algorithm,
+    kind: CountKind,
+    plan: Option<&QueryPlan>,
+) -> f64 {
+    match plan {
+        Some(plan) => {
+            let query = plan.compiled_or_init(|| CompiledQuery::compile(summary, twig));
+            let planned = plan
+                .estimator_or_init(algorithm, || build_estimator(summary, twig, query, algorithm));
+            run_estimator(summary, query, planned, kind)
+        }
+        None => {
+            let query = CompiledQuery::compile(summary, twig);
+            let planned = build_estimator(summary, twig, &query, algorithm);
+            run_estimator(summary, &query, &planned, kind)
+        }
+    }
+}
+
+/// The sibling-injectivity correction — the generic form of
+/// [`Cst::sibling_discount`] (see that method for the rationale).
+pub fn sibling_discount_summary<S: Summary>(summary: &S, twig: &Twig) -> f64 {
+    use twig_pst::PathToken;
+    use twig_tree::TwigLabel;
+    let mut discount = 1.0;
+    for idx in 0..twig.node_count() as u32 {
+        let parent = twig_tree::TwigNodeId(idx);
+        let TwigLabel::Element(parent_label) = twig.label(parent) else {
+            continue;
+        };
+        let Some(parent_sym) = summary.symbol(parent_label) else {
+            continue;
+        };
+        // Count same-labeled element children.
+        let mut groups: Vec<(&str, usize)> = Vec::new();
+        for &child in twig.children(parent) {
+            let TwigLabel::Element(child_label) = twig.label(child) else {
+                continue;
+            };
+            match groups.iter_mut().find(|(l, _)| *l == child_label.as_str()) {
+                Some((_, count)) => *count += 1,
+                None => groups.push((child_label, 1)),
+            }
+        }
+        for (child_label, k) in groups {
+            if k < 2 {
+                continue;
+            }
+            let Some(child_sym) = summary.symbol(child_label) else {
+                continue;
+            };
+            let Some(node) =
+                summary.lookup(&[PathToken::Element(parent_sym), PathToken::Element(child_sym)])
+            else {
+                continue; // pair below threshold: no evidence, no discount
+            };
+            let cp = count_to_f64(summary.presence(node));
+            let co = count_to_f64(summary.occurrence(node));
+            if cp <= 0.0 {
+                continue;
+            }
+            let multiplicity = co / cp;
+            let mut factor = 1.0;
+            for i in 0..k {
+                factor *= (multiplicity - size_to_f64(i)).max(0.0) / multiplicity;
+            }
+            discount *= factor;
+        }
+    }
+    discount
+}
+
 /// Builds the kind-independent stages of one algorithm: compile-time
 /// walks, piece parsing, twiglet grouping, element assembly. This is the
 /// stage a [`QueryPlan`] memoizes.
-pub(crate) fn build_estimator(
-    cst: &Cst,
+pub(crate) fn build_estimator<S: Summary>(
+    cst: &S,
     twig: &Twig,
     query: &CompiledQuery,
     algorithm: Algorithm,
@@ -319,8 +354,8 @@ fn mosh_elements(query: &CompiledQuery, pieces: Vec<Piece>) -> Option<Vec<Elemen
 
 /// Runs the count-dependent stage over a built estimator — the only work
 /// a plan-cache hit re-does per estimate.
-pub(crate) fn run_estimator(
-    cst: &Cst,
+pub(crate) fn run_estimator<S: Summary>(
+    cst: &S,
     query: &CompiledQuery,
     planned: &PlannedEstimator,
     kind: CountKind,
@@ -335,7 +370,7 @@ pub(crate) fn run_estimator(
 
 /// The parse stage of the Leaf baseline: per value path, the maximal
 /// parse of the value char range.
-fn build_leaf_paths(cst: &Cst, query: &CompiledQuery) -> Vec<LeafPathPlan> {
+fn build_leaf_paths<S: Summary>(cst: &S, query: &CompiledQuery) -> Vec<LeafPathPlan> {
     let mut plans = Vec::new();
     for path in 0..query.paths.len() {
         let qpath = &query.paths[path];
@@ -354,7 +389,12 @@ fn build_leaf_paths(cst: &Cst, query: &CompiledQuery) -> Vec<LeafPathPlan> {
 
 /// The Leaf baseline: per value leaf, MO-estimate the leaf string from
 /// pure string-fragment statistics, multiply the per-leaf probabilities.
-fn run_leaf(cst: &Cst, query: &CompiledQuery, paths: &[LeafPathPlan], kind: CountKind) -> f64 {
+fn run_leaf<S: Summary>(
+    cst: &S,
+    query: &CompiledQuery,
+    paths: &[LeafPathPlan],
+    kind: CountKind,
+) -> f64 {
     let n = count_to_f64(cst.n());
     if n == 0.0 {
         return 0.0;
@@ -412,7 +452,7 @@ fn run_leaf(cst: &Cst, query: &CompiledQuery, paths: &[LeafPathPlan], kind: Coun
 }
 
 /// The Greedy baseline: greedy parse, independence combination.
-fn run_greedy(cst: &Cst, pieces: Option<&[Piece]>, kind: CountKind) -> f64 {
+fn run_greedy<S: Summary>(cst: &S, pieces: Option<&[Piece]>, kind: CountKind) -> f64 {
     let n = count_to_f64(cst.n());
     if n == 0.0 {
         return 0.0;

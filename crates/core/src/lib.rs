@@ -63,12 +63,16 @@ pub mod parse;
 pub mod plan;
 pub mod query;
 pub mod serialize;
+pub mod summary;
 pub mod twiglets;
 
 #[cfg(any(test, feature = "audit"))]
 pub use audit::AuditViolation;
 pub use cst::{Cst, CstConfig, SignatureFallback, SpaceBudget};
 pub use error::CstError;
-pub use estimate::{Algorithm, CountKind};
+pub use estimate::{
+    estimate_raw_summary, estimate_summary, sibling_discount_summary, Algorithm, CountKind,
+};
 pub use plan::QueryPlan;
 pub use serialize::ReadError;
+pub use summary::{Summary, TrieAccess};

@@ -7,8 +7,8 @@ use twig_pst::TrieNodeId;
 use twig_tree::Twig;
 use twig_util::FxHashSet;
 
-use crate::cst::Cst;
 use crate::query::{CompiledQuery, Token, Unit};
+use crate::summary::{Summary, TrieAccess};
 
 /// Reusable per-thread buffers for the parsing hot loops: one walk
 /// buffer for trie descents and one unit set for coverage checks. Kept
@@ -68,8 +68,8 @@ impl Piece {
 /// Walks the CST from token `start` of `path` into `nodes` (cleared
 /// first): the trie node per matched depth (index `d` = node after
 /// `d+1` tokens).
-fn walk_into(
-    cst: &Cst,
+fn walk_into<S: Summary>(
+    cst: &S,
     query: &CompiledQuery,
     path: usize,
     start: usize,
@@ -106,8 +106,8 @@ fn piece_at(
 /// Maximal parsing of one token range: all matches not contained in
 /// another match of the same range (the MO parse of Jagadish, Ng &
 /// Srivastava, PODS 1999).
-pub fn maximal_in_range(
-    cst: &Cst,
+pub fn maximal_in_range<S: Summary>(
+    cst: &S,
     query: &CompiledQuery,
     path: usize,
     lo: usize,
@@ -171,7 +171,7 @@ pub fn filter_contained(pieces: Vec<Piece>) -> Vec<Piece> {
 
 /// The **maximal** strategy: MO-parse every root-to-leaf path, then drop
 /// cross-path contained pieces.
-pub fn maximal_pieces(cst: &Cst, query: &CompiledQuery) -> Vec<Piece> {
+pub fn maximal_pieces<S: Summary>(cst: &S, query: &CompiledQuery) -> Vec<Piece> {
     let mut pieces = Vec::new();
     for path in 0..query.paths.len() {
         let len = query.paths[path].tokens.len();
@@ -183,7 +183,11 @@ pub fn maximal_pieces(cst: &Cst, query: &CompiledQuery) -> Vec<Piece> {
 /// The **piecewise-maximal** strategy (PMOSH, Sec. 4.3): split each path
 /// into segments at root/branch/leaf boundaries (segments share their
 /// boundary node), MO-parse each segment independently.
-pub fn piecewise_maximal_pieces(cst: &Cst, query: &CompiledQuery, twig: &Twig) -> Vec<Piece> {
+pub fn piecewise_maximal_pieces<S: Summary>(
+    cst: &S,
+    query: &CompiledQuery,
+    twig: &Twig,
+) -> Vec<Piece> {
     let mut pieces = Vec::new();
     for path in 0..query.paths.len() {
         let qpath = &query.paths[path];
@@ -216,7 +220,7 @@ pub fn piecewise_maximal_pieces(cst: &Cst, query: &CompiledQuery, twig: &Twig) -
 /// non-overlapping longest matches,
 /// left to right. Returns `None` when some token cannot be matched at a
 /// piece boundary (the estimate is then 0).
-pub fn greedy_pieces(cst: &Cst, query: &CompiledQuery) -> Option<Vec<Piece>> {
+pub fn greedy_pieces<S: Summary>(cst: &S, query: &CompiledQuery) -> Option<Vec<Piece>> {
     SCRATCH.with(|scratch| {
         let scratch = &mut *scratch.borrow_mut();
         let mut pieces: Vec<Piece> = Vec::new();
@@ -263,7 +267,7 @@ pub fn covers_query(query: &CompiledQuery, pieces: &[Piece]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cst::{CstConfig, SpaceBudget};
+    use crate::cst::{Cst, CstConfig, SpaceBudget};
     use twig_tree::DataTree;
 
     fn fixture() -> (DataTree, Cst) {

@@ -4,7 +4,7 @@
 use twig_pst::PathToken;
 use twig_tree::{Twig, TwigLabel, TwigNodeId};
 
-use crate::cst::Cst;
+use crate::summary::Summary;
 
 /// One coverable position of the query tree.
 ///
@@ -52,8 +52,8 @@ pub struct CompiledQuery {
 }
 
 impl CompiledQuery {
-    /// Compiles `twig` against the CST's label vocabulary.
-    pub fn compile(cst: &Cst, twig: &Twig) -> Self {
+    /// Compiles `twig` against the summary's label vocabulary.
+    pub fn compile<S: Summary>(cst: &S, twig: &Twig) -> Self {
         let mut paths = Vec::new();
         for node_path in twig.root_to_leaf_paths() {
             let mut tokens = Vec::new();
@@ -100,7 +100,7 @@ impl CompiledQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cst::{CstConfig, SpaceBudget};
+    use crate::cst::{Cst, CstConfig, SpaceBudget};
     use twig_tree::DataTree;
 
     fn cst() -> Cst {

@@ -96,9 +96,34 @@ const MAX_REASONABLE: u32 = 1 << 28;
 
 /// The error injected by serialization failpoints, recognizable in tests
 /// by its message prefix. Referenced from failpoint arms that fold away
-/// in default builds, so it is compiled (but unreachable) there.
-fn injected(point: &str) -> io::Error {
-    io::Error::other(format!("injected fault at {point}"))
+/// in default builds, so it is compiled (but unreachable) there. Takes
+/// the full static message so the load path never formats.
+fn injected(message: &'static str) -> io::Error {
+    io::Error::other(message)
+}
+
+/// Forwards at most `left` bytes to the inner writer, then reports
+/// [`io::ErrorKind::WriteZero`] — the torn-write failpoint's stream
+/// truncation, applied without buffering the whole encoding first.
+struct TornWriter<'a, W: Write> {
+    inner: &'a mut W,
+    left: usize,
+}
+
+impl<W: Write> Write for TornWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.left == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        let take = buf.len().min(self.left);
+        let written = self.inner.write(&buf[..take])?;
+        self.left -= written.min(self.left);
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 impl Cst {
@@ -110,20 +135,40 @@ impl Cst {
     pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
         if let Some(fault) = twig_util::failpoint!("serialize.write") {
             match fault {
-                twig_util::failpoint::Fault::Error => return Err(injected("serialize.write")),
+                twig_util::failpoint::Fault::Error => {
+                    return Err(injected("injected fault at serialize.write"));
+                }
                 twig_util::failpoint::Fault::Partial(keep_percent) => {
-                    let mut buffer = Vec::new();
-                    self.write_payload(&mut buffer)?;
-                    let keep = buffer
-                        .len()
+                    // Tear the stream at `keep` percent of the exact
+                    // encoded length, streaming straight to `out` instead
+                    // of double-buffering the payload.
+                    let total = self.encoded_len();
+                    let keep = total
                         .checked_mul(usize::try_from(keep_percent.min(100)).unwrap_or(100))
-                        .map_or(buffer.len(), |scaled| scaled / 100);
-                    out.write_all(buffer.get(..keep).unwrap_or(&buffer))?;
-                    return Err(injected("serialize.write"));
+                        .map_or(total, |scaled| scaled / 100);
+                    let mut torn = TornWriter { inner: out, left: keep };
+                    match self.write_payload(&mut torn) {
+                        // Ran out of byte budget mid-encoding: the tear.
+                        Err(err) if err.kind() == io::ErrorKind::WriteZero => {}
+                        other => other?,
+                    }
+                    return Err(injected("injected fault at serialize.write"));
                 }
             }
         }
         self.write_payload(out)
+    }
+
+    /// Exact byte length of the [`Cst::write_to`] encoding (header,
+    /// label table, node table, signature table).
+    fn encoded_len(&self) -> usize {
+        let labels: usize = self.interner_ref().iter().map(|(_, label)| 4 + label.len()).sum();
+        let signatures: usize = self
+            .trie()
+            .node_ids()
+            .map(|id| 1 + self.signature(id).map_or(0, |sig| sig.components().len() * 4))
+            .sum();
+        MAGIC.len() + 4 * 8 + 3 * 4 + 4 + labels + 4 + self.trie().node_count() * 21 + signatures
     }
 
     fn write_payload<W: Write>(&self, out: &mut W) -> io::Result<()> {
@@ -176,8 +221,10 @@ impl Cst {
             return Err(ReadError::BadMagic);
         }
         let n = read_u64(input)?;
-        let source_bytes = read_u64(input)? as usize;
-        let size_bytes = read_u64(input)? as usize;
+        let source_bytes = usize::try_from(read_u64(input)?)
+            .map_err(|_| ReadError::Corrupt("source size exceeds address space"))?;
+        let size_bytes = usize::try_from(read_u64(input)?)
+            .map_err(|_| ReadError::Corrupt("summary size exceeds address space"))?;
         let seed = read_u64(input)?;
         let signature_len = read_u32(input)? as usize;
         let threshold = read_u32(input)?;
@@ -196,7 +243,8 @@ impl Cst {
             if len > 1 << 20 {
                 return Err(ReadError::Corrupt("implausible label length"));
             }
-            let mut buf = vec![0u8; len as usize];
+            let mut buf = Vec::with_capacity(len as usize);
+            buf.resize(len as usize, 0);
             input.read_exact(&mut buf)?;
             let label =
                 String::from_utf8(buf).map_err(|_| ReadError::Corrupt("label not UTF-8"))?;
@@ -272,7 +320,7 @@ impl Cst {
         if let Some(fault) = twig_util::failpoint!("serialize.read") {
             match fault {
                 twig_util::failpoint::Fault::Error => {
-                    return Err(ReadError::Io(injected("serialize.read")));
+                    return Err(ReadError::Io(injected("injected fault at serialize.read")));
                 }
                 twig_util::failpoint::Fault::Partial(keep_percent) => {
                     // Failpoint percentages come from an env var, so the
@@ -299,7 +347,7 @@ impl Cst {
         if let Some(fault) = twig_util::failpoint!("serialize.load_file") {
             match fault {
                 twig_util::failpoint::Fault::Error | twig_util::failpoint::Fault::Partial(_) => {
-                    return Err(ReadError::Io(injected("serialize.load_file")));
+                    return Err(ReadError::Io(injected("injected fault at serialize.load_file")));
                 }
             }
         }

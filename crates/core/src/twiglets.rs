@@ -17,9 +17,9 @@ use twig_pst::PathToken;
 use twig_tree::TwigNodeId;
 use twig_util::FxHashSet;
 
-use crate::cst::Cst;
 use crate::parse::Piece;
 use crate::query::{CompiledQuery, Token, Unit};
+use crate::summary::Summary;
 
 /// A twiglet: two or more chains sharing a start unit.
 #[derive(Debug, Clone)]
@@ -86,7 +86,7 @@ pub fn mosh_twiglets(query: &CompiledQuery, pieces: &[Piece]) -> (Vec<Twiglet>, 
 /// MSH grouping (Sec. 4.4): for each branch and each start unit of a
 /// maximal piece through it, the suffixes at that start of *all* maximal
 /// pieces through it that contain the start.
-pub fn msh_twiglets(cst: &Cst, query: &CompiledQuery, pieces: &[Piece]) -> Vec<Twiglet> {
+pub fn msh_twiglets<S: Summary>(cst: &S, query: &CompiledQuery, pieces: &[Piece]) -> Vec<Twiglet> {
     let mut twiglets: Vec<Twiglet> = Vec::new();
     for &branch in &query.branches {
         let through: Vec<&Piece> =
@@ -126,7 +126,12 @@ pub fn msh_twiglets(cst: &Cst, query: &CompiledQuery, pieces: &[Piece]) -> Vec<T
 
 /// The suffix of `piece` starting at relative unit `rel`, looked up in the
 /// CST (present by the monotonicity property; `None` only defensively).
-fn suffix_piece(cst: &Cst, query: &CompiledQuery, piece: &Piece, rel: usize) -> Option<Piece> {
+fn suffix_piece<S: Summary>(
+    cst: &S,
+    query: &CompiledQuery,
+    piece: &Piece,
+    rel: usize,
+) -> Option<Piece> {
     if rel == 0 {
         return Some(piece.clone());
     }

@@ -1,0 +1,65 @@
+//! Typed errors for the flat summary format.
+//!
+//! Every malformed-input path in this crate reports through
+//! [`FlatError`]; hostile bytes must never panic or over-read (the
+//! hostility suite sweeps truncations and bit flips over every section
+//! asserting exactly that).
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Why a flat summary could not be opened, validated, or trusted.
+#[derive(Debug)]
+pub enum FlatError {
+    /// The underlying file could not be read or mapped.
+    Io(io::Error),
+    /// The input ends before the fixed header and section table.
+    TooShort,
+    /// The input does not start with the `TWIGFLT1` magic.
+    BadMagic,
+    /// The header carries a format version this build does not speak.
+    BadVersion(u32),
+    /// A structural invariant of the header or section table failed
+    /// (bad alignment, overlap, out-of-bounds or inconsistent sizes).
+    Malformed(&'static str),
+    /// A section's FNV-1a checksum did not match on first touch.
+    Checksum {
+        /// Name of the failing section.
+        section: &'static str,
+    },
+}
+
+impl fmt::Display for FlatError {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlatError::Io(err) => write!(formatter, "flat summary I/O: {err}"),
+            FlatError::TooShort => {
+                write!(formatter, "flat summary truncated before the section table")
+            }
+            FlatError::BadMagic => write!(formatter, "not a TWIGFLT1 flat summary"),
+            FlatError::BadVersion(version) => {
+                write!(formatter, "unsupported flat format version {version}")
+            }
+            FlatError::Malformed(what) => write!(formatter, "malformed flat summary: {what}"),
+            FlatError::Checksum { section } => {
+                write!(formatter, "flat summary checksum mismatch in section {section}")
+            }
+        }
+    }
+}
+
+impl Error for FlatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlatError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FlatError {
+    fn from(err: io::Error) -> Self {
+        FlatError::Io(err)
+    }
+}

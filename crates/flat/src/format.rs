@@ -1,0 +1,329 @@
+//! The `TWIGFLT1` on-disk layout: constants, section registry, header
+//! codec, and panic-free little-endian readers.
+//!
+//! A flat summary is one contiguous byte range:
+//!
+//! ```text
+//! [ header (72 B) ][ section table (13 × 32 B) ][ sections … ]
+//! ```
+//!
+//! Every multi-byte value is little-endian, read via `from_le_bytes` —
+//! never by transmuting — so alignment is a *format* invariant (each
+//! section starts on a 64-byte boundary, friendly to page-cache and
+//! vector loads), not a memory-safety requirement. Offsets are absolute
+//! from the start of the file and validated with checked arithmetic
+//! before anything else is touched; section payloads are guarded by
+//! lazy FNV-1a checksums (see `FlatCst`).
+//!
+//! Section inventory (all fixed-width arrays indexed by dense node id,
+//! mirroring the owned `PrunedTrie`):
+//!
+//! | section        | element                    | count            |
+//! |----------------|----------------------------|------------------|
+//! | `NODE_PARENT`  | `u32` (`u32::MAX` = root)  | node_count       |
+//! | `NODE_EDGE`    | packed `EdgeKey::raw`      | node_count       |
+//! | `NODE_PC`      | `pc(α)`                    | node_count       |
+//! | `NODE_PRESENCE`| `Cp(α)`                    | node_count       |
+//! | `NODE_OCC`     | `Co(α)`                    | node_count       |
+//! | `NODE_FLAGS`   | `u8` (bit 0 label-rooted)  | node_count       |
+//! | `CHILD_START`  | CSR row starts             | node_count + 1   |
+//! | `CHILD_EDGE`   | edge keys, sorted per row  | child_count      |
+//! | `CHILD_TARGET` | child node ids             | child_count      |
+//! | `SIG_INDEX`    | `u32` (`u32::MAX` = none)  | node_count       |
+//! | `SIG_WORDS`    | `u32` × L per signature    | sig_count × L    |
+//! | `STR_OFFSETS`  | label byte offsets         | label_count + 1  |
+//! | `STR_BYTES`    | UTF-8 label bytes          | —                |
+
+use crate::error::FlatError;
+
+/// File magic: the first eight bytes of every flat summary.
+pub const MAGIC: &[u8; 8] = b"TWIGFLT1";
+
+/// Format version this build reads and writes.
+pub const VERSION: u32 = 1;
+
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 72;
+
+/// One section-table entry: kind `u32`, reserved `u32`, offset `u64`,
+/// length `u64`, FNV-1a checksum `u64`.
+pub const TABLE_ENTRY_LEN: usize = 32;
+
+/// Sections start on this alignment (offsets are multiples of it).
+pub const SECTION_ALIGN: usize = 64;
+
+/// Number of sections a version-1 file carries — exactly one of each
+/// [`SectionKind`].
+pub const SECTION_COUNT: usize = 13;
+
+/// Byte offset of the first section table entry.
+pub const TABLE_OFFSET: usize = HEADER_LEN;
+
+/// Byte offset where section payloads may begin.
+pub const PAYLOAD_OFFSET: usize = HEADER_LEN + SECTION_COUNT * TABLE_ENTRY_LEN;
+
+/// Upper bound on declared node counts — far above any real summary,
+/// low enough that hostile headers cannot provoke huge allocations.
+pub const MAX_REASONABLE: u32 = 1 << 28;
+
+/// The thirteen section kinds of a version-1 flat summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// Parent node ids (`u32::MAX` for the root).
+    NodeParent,
+    /// Packed edge keys from the parent (`u32::MAX` for the root).
+    NodeEdge,
+    /// Path counts `pc(α)`.
+    NodePc,
+    /// Presence counts `Cp(α)`.
+    NodePresence,
+    /// Occurrence counts `Co(α)`.
+    NodeOccurrence,
+    /// Per-node flag bytes (bit 0: label-rooted).
+    NodeFlags,
+    /// CSR row starts into the child arrays.
+    ChildStart,
+    /// Child edge keys, sorted within each row.
+    ChildEdge,
+    /// Child target node ids, parallel to `ChildEdge`.
+    ChildTarget,
+    /// Per-node signature slot (`u32::MAX` = no signature).
+    SigIndex,
+    /// Concatenated signature words, `L` per slot.
+    SigWords,
+    /// Label byte offsets into `StrBytes` (count + 1 entries).
+    StrOffsets,
+    /// Concatenated UTF-8 label bytes, in symbol order.
+    StrBytes,
+}
+
+impl SectionKind {
+    /// All kinds, in file order.
+    pub const ALL: [SectionKind; SECTION_COUNT] = [
+        SectionKind::NodeParent,
+        SectionKind::NodeEdge,
+        SectionKind::NodePc,
+        SectionKind::NodePresence,
+        SectionKind::NodeOccurrence,
+        SectionKind::NodeFlags,
+        SectionKind::ChildStart,
+        SectionKind::ChildEdge,
+        SectionKind::ChildTarget,
+        SectionKind::SigIndex,
+        SectionKind::SigWords,
+        SectionKind::StrOffsets,
+        SectionKind::StrBytes,
+    ];
+
+    /// Stable on-disk id (1-based; 0 is reserved as "absent").
+    pub fn id(self) -> u32 {
+        match self {
+            SectionKind::NodeParent => 1,
+            SectionKind::NodeEdge => 2,
+            SectionKind::NodePc => 3,
+            SectionKind::NodePresence => 4,
+            SectionKind::NodeOccurrence => 5,
+            SectionKind::NodeFlags => 6,
+            SectionKind::ChildStart => 7,
+            SectionKind::ChildEdge => 8,
+            SectionKind::ChildTarget => 9,
+            SectionKind::SigIndex => 10,
+            SectionKind::SigWords => 11,
+            SectionKind::StrOffsets => 12,
+            SectionKind::StrBytes => 13,
+        }
+    }
+
+    /// Dense index `0..SECTION_COUNT` (id − 1).
+    pub fn index(self) -> usize {
+        (self.id() as usize).saturating_sub(1)
+    }
+
+    /// Decodes a stable on-disk id.
+    pub fn from_id(id: u32) -> Option<SectionKind> {
+        let idx = (id as usize).checked_sub(1)?;
+        SectionKind::ALL.get(idx).copied()
+    }
+
+    /// Human-readable name (for `twig inspect` and error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::NodeParent => "NODE_PARENT",
+            SectionKind::NodeEdge => "NODE_EDGE",
+            SectionKind::NodePc => "NODE_PC",
+            SectionKind::NodePresence => "NODE_PRESENCE",
+            SectionKind::NodeOccurrence => "NODE_OCC",
+            SectionKind::NodeFlags => "NODE_FLAGS",
+            SectionKind::ChildStart => "CHILD_START",
+            SectionKind::ChildEdge => "CHILD_EDGE",
+            SectionKind::ChildTarget => "CHILD_TARGET",
+            SectionKind::SigIndex => "SIG_INDEX",
+            SectionKind::SigWords => "SIG_WORDS",
+            SectionKind::StrOffsets => "STR_OFFSETS",
+            SectionKind::StrBytes => "STR_BYTES",
+        }
+    }
+}
+
+/// Reads a little-endian `u32` at byte `offset`, or `None` past the end.
+pub fn read_u32(bytes: &[u8], offset: usize) -> Option<u32> {
+    let end = offset.checked_add(4)?;
+    bytes.get(offset..end).and_then(|chunk| chunk.try_into().ok()).map(u32::from_le_bytes)
+}
+
+/// Reads a little-endian `u64` at byte `offset`, or `None` past the end.
+pub fn read_u64(bytes: &[u8], offset: usize) -> Option<u64> {
+    let end = offset.checked_add(8)?;
+    bytes.get(offset..end).and_then(|chunk| chunk.try_into().ok()).map(u64::from_le_bytes)
+}
+
+/// The decoded fixed header (everything but the magic, version and
+/// section count, which the decoder consumes as envelope).
+#[derive(Debug, Clone, Copy)]
+pub struct Header {
+    /// Number of data tree element nodes (`n` of the formulae).
+    pub n: u64,
+    /// Size of the XML source the tree was parsed from.
+    pub source_bytes: u64,
+    /// Accounted summary size under the CST cost model.
+    pub size_bytes: u64,
+    /// Min-hash family seed.
+    pub seed: u64,
+    /// Signature length `L`.
+    pub signature_len: u32,
+    /// Prune threshold the budget search selected.
+    pub threshold: u32,
+    /// Total root-to-leaf paths in the data tree.
+    pub total_paths: u32,
+    /// Number of kept trie nodes (including the root).
+    pub node_count: u32,
+    /// Below-resolution fallback mode (0 = conditional independence,
+    /// 1 = zero).
+    pub fallback: u8,
+}
+
+impl Header {
+    /// Encodes the fixed header (including magic, version and the
+    /// implied section count).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(SECTION_COUNT as u32).to_le_bytes());
+        out.extend_from_slice(&self.n.to_le_bytes());
+        out.extend_from_slice(&self.source_bytes.to_le_bytes());
+        out.extend_from_slice(&self.size_bytes.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.signature_len.to_le_bytes());
+        out.extend_from_slice(&self.threshold.to_le_bytes());
+        out.extend_from_slice(&self.total_paths.to_le_bytes());
+        out.extend_from_slice(&self.node_count.to_le_bytes());
+        out.push(self.fallback);
+        out.resize(HEADER_LEN, 0);
+        out
+    }
+
+    /// Decodes and validates the fixed header, returning the header and
+    /// the declared section count.
+    pub fn decode(bytes: &[u8]) -> Result<(Header, u32), FlatError> {
+        let magic = bytes.get(..8).ok_or(FlatError::TooShort)?;
+        if magic != MAGIC {
+            return Err(FlatError::BadMagic);
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(FlatError::TooShort);
+        }
+        let version = read_u32(bytes, 8).ok_or(FlatError::TooShort)?;
+        if version != VERSION {
+            return Err(FlatError::BadVersion(version));
+        }
+        let section_count = read_u32(bytes, 12).ok_or(FlatError::TooShort)?;
+        let header = Header {
+            n: read_u64(bytes, 16).ok_or(FlatError::TooShort)?,
+            source_bytes: read_u64(bytes, 24).ok_or(FlatError::TooShort)?,
+            size_bytes: read_u64(bytes, 32).ok_or(FlatError::TooShort)?,
+            seed: read_u64(bytes, 40).ok_or(FlatError::TooShort)?,
+            signature_len: read_u32(bytes, 48).ok_or(FlatError::TooShort)?,
+            threshold: read_u32(bytes, 52).ok_or(FlatError::TooShort)?,
+            total_paths: read_u32(bytes, 56).ok_or(FlatError::TooShort)?,
+            node_count: read_u32(bytes, 60).ok_or(FlatError::TooShort)?,
+            fallback: bytes.get(64).copied().ok_or(FlatError::TooShort)?,
+        };
+        if header.fallback > 1 {
+            return Err(FlatError::Malformed("unknown fallback mode"));
+        }
+        Ok((header, section_count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let header = Header {
+            n: 12,
+            source_bytes: 34,
+            size_bytes: 56,
+            seed: 0x5eed,
+            signature_len: 8,
+            threshold: 2,
+            total_paths: 99,
+            node_count: 7,
+            fallback: 1,
+        };
+        let bytes = header.encode();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let (decoded, count) = Header::decode(&bytes).unwrap();
+        assert_eq!(count as usize, SECTION_COUNT);
+        assert_eq!(decoded.n, 12);
+        assert_eq!(decoded.seed, 0x5eed);
+        assert_eq!(decoded.node_count, 7);
+        assert_eq!(decoded.fallback, 1);
+    }
+
+    #[test]
+    fn decode_rejects_bad_envelope() {
+        assert!(matches!(Header::decode(b"TWIG"), Err(FlatError::TooShort)));
+        assert!(matches!(Header::decode(&[0u8; 72]), Err(FlatError::BadMagic)));
+        let mut bytes = Header {
+            n: 0,
+            source_bytes: 0,
+            size_bytes: 0,
+            seed: 0,
+            signature_len: 0,
+            threshold: 0,
+            total_paths: 0,
+            node_count: 1,
+            fallback: 0,
+        }
+        .encode();
+        bytes[8] = 9; // version
+        assert!(matches!(Header::decode(&bytes), Err(FlatError::BadVersion(9))));
+        bytes[8] = 1;
+        bytes[64] = 7; // fallback
+        assert!(matches!(Header::decode(&bytes), Err(FlatError::Malformed(_))));
+    }
+
+    #[test]
+    fn section_ids_roundtrip() {
+        for kind in SectionKind::ALL {
+            assert_eq!(SectionKind::from_id(kind.id()), Some(kind));
+            assert_eq!(SectionKind::ALL.get(kind.index()).copied(), Some(kind));
+        }
+        assert_eq!(SectionKind::from_id(0), None);
+        assert_eq!(SectionKind::from_id(14), None);
+    }
+
+    #[test]
+    fn le_readers_bounds_checked() {
+        let bytes = [1u8, 0, 0, 0, 2, 0, 0, 0];
+        assert_eq!(read_u32(&bytes, 0), Some(1));
+        assert_eq!(read_u32(&bytes, 4), Some(2));
+        assert_eq!(read_u32(&bytes, 5), None);
+        assert_eq!(read_u64(&bytes, 0), Some(1 | (2 << 32)));
+        assert_eq!(read_u64(&bytes, 1), None);
+        assert_eq!(read_u32(&bytes, usize::MAX), None);
+    }
+}

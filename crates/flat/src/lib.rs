@@ -1,0 +1,396 @@
+//! Zero-copy flat summaries: the `TWIGFLT1` on-disk format and its
+//! mmap-backed query view.
+//!
+//! The owned [`Cst`] deserializer (`TWIGCST`) allocates per node; a host
+//! serving *many* summaries pays that cost at every load and reload.
+//! This crate trades a one-time packing step for O(1) loads:
+//!
+//! - [`writer::pack`] lays a built summary out as one page-aligned,
+//!   little-endian, offset-based byte range (header + section table +
+//!   CSR arrays + signature words + label table, each section carrying
+//!   an FNV-1a checksum);
+//! - [`FlatCst`] maps that range read-only (heap fallback) and
+//!   implements the [`Summary`] trait, so all six estimation algorithms
+//!   of the paper run *in place* over the mapped bytes — no per-node
+//!   allocation, bit-identical estimates (the estimators execute the
+//!   same float-op sequence either way; see the seed-sweep tests);
+//! - [`AnySummary`] unifies owned and flat summaries behind one value,
+//!   sniffing the magic bytes on load, so the serving layer hot-swaps
+//!   formats per file: a reload becomes a map-swap, with the old
+//!   generation unmapped when the last in-flight request drops its
+//!   `Arc`.
+//!
+//! # Example
+//!
+//! ```
+//! use twig_core::{Algorithm, CountKind, Cst, CstConfig};
+//! use twig_flat::{writer, FlatCst};
+//! use twig_tree::{DataTree, Twig};
+//!
+//! let xml = "<dblp><book><author>Knuth</author></book></dblp>";
+//! let tree = DataTree::from_xml(xml).unwrap();
+//! let cst = Cst::build(&tree, &CstConfig::default()).unwrap();
+//! let flat = FlatCst::from_bytes(writer::pack(&cst).unwrap()).unwrap();
+//! let query = Twig::parse(r#"book(author("Knuth"))"#).unwrap();
+//! let a = Algorithm::Mosh;
+//! let owned = cst.estimate(&query, a, CountKind::Presence);
+//! let mapped = flat.estimate(&query, a, CountKind::Presence);
+//! assert_eq!(owned.to_bits(), mapped.to_bits());
+//! ```
+
+pub mod error;
+pub mod format;
+mod mmap;
+pub mod reader;
+pub mod writer;
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use twig_core::serialize::ReadError;
+use twig_core::{
+    estimate_raw_summary, estimate_summary, sibling_discount_summary, Algorithm, CountKind, Cst,
+    QueryPlan, SignatureFallback, Summary, TrieAccess,
+};
+use twig_pst::{EdgeKey, PathToken, PrunedTrie, TrieNodeId};
+use twig_sethash::SigView;
+use twig_tree::Twig;
+use twig_util::Symbol;
+
+pub use error::FlatError;
+pub use reader::{FlatCst, FlatTrie, SectionInfo};
+
+/// Why a summary file (of either format) failed to load.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The owned (`TWIGCST`) deserializer rejected the input.
+    Owned(ReadError),
+    /// The flat (`TWIGFLT1`) validator rejected the input.
+    Flat(FlatError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Owned(err) => write!(formatter, "owned summary: {err}"),
+            LoadError::Flat(err) => write!(formatter, "flat summary: {err}"),
+        }
+    }
+}
+
+impl Error for LoadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadError::Owned(err) => Some(err),
+            LoadError::Flat(err) => Some(err),
+        }
+    }
+}
+
+/// An owned or flat summary behind one value — the type the serving
+/// layer hosts, so both formats share registries, plans and handlers.
+#[derive(Debug)]
+pub enum AnySummary {
+    /// Heap-resident owned summary (`TWIGCST`).
+    Owned(Cst),
+    /// Zero-copy flat summary (`TWIGFLT1`), mapped or heap-backed.
+    Flat(FlatCst),
+}
+
+impl AnySummary {
+    /// Loads a summary file of either format, deciding by magic bytes.
+    /// Flat files are memory-mapped; owned files are deserialized.
+    pub fn load_file(path: &Path) -> Result<Self, LoadError> {
+        let mut magic = [0u8; 8];
+        let sniffed = File::open(path)
+            .and_then(|mut file| file.read_exact(&mut magic))
+            .map(|()| magic);
+        match sniffed {
+            Ok(bytes) if &bytes == format::MAGIC => {
+                FlatCst::open(path).map(AnySummary::Flat).map_err(LoadError::Flat)
+            }
+            _ => Cst::load_file(path).map(AnySummary::Owned).map_err(LoadError::Owned),
+        }
+    }
+
+    /// Adopts in-memory summary bytes of either format (e.g. a payload
+    /// recovered from a snapshot container).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, LoadError> {
+        if bytes.get(..8) == Some(format::MAGIC) {
+            FlatCst::from_bytes(bytes).map(AnySummary::Flat).map_err(LoadError::Flat)
+        } else {
+            Cst::from_bytes(&bytes).map(AnySummary::Owned).map_err(LoadError::Owned)
+        }
+    }
+
+    /// Short format tag for diagnostics: `owned`, `flat+mmap`, or
+    /// `flat+heap`.
+    pub fn format_name(&self) -> &'static str {
+        match self {
+            AnySummary::Owned(_) => "owned",
+            AnySummary::Flat(flat) if flat.is_mapped() => "flat+mmap",
+            AnySummary::Flat(_) => "flat+heap",
+        }
+    }
+
+    /// Number of kept trie nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        match self {
+            AnySummary::Owned(cst) => cst.node_count(),
+            AnySummary::Flat(flat) => flat.node_count(),
+        }
+    }
+
+    /// Accounted summary size in bytes under the CST cost model.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            AnySummary::Owned(cst) => twig_util::cast::size_to_u64(cst.size_bytes()),
+            AnySummary::Flat(flat) => flat.size_bytes(),
+        }
+    }
+
+    /// Number of data tree element nodes (`n` of the formulae).
+    pub fn n(&self) -> u64 {
+        match self {
+            AnySummary::Owned(cst) => cst.n(),
+            AnySummary::Flat(flat) => flat.n(),
+        }
+    }
+
+    /// The prune threshold the summary was built with.
+    pub fn threshold(&self) -> u32 {
+        match self {
+            AnySummary::Owned(cst) => cst.threshold(),
+            AnySummary::Flat(flat) => flat.threshold(),
+        }
+    }
+
+    /// Min-hash signature length (components per signature).
+    pub fn signature_len(&self) -> usize {
+        match self {
+            AnySummary::Owned(cst) => cst.signature_len(),
+            AnySummary::Flat(flat) => flat.signature_len(),
+        }
+    }
+
+    /// The flat container bytes when this summary is flat (mapped or
+    /// heap): the exact payload a snapshot store should persist. Owned
+    /// summaries return `None` — their payload is the `TWIGCST` file the
+    /// caller already read.
+    pub fn flat_bytes(&self) -> Option<&[u8]> {
+        match self {
+            AnySummary::Owned(_) => None,
+            AnySummary::Flat(flat) => Some(flat.as_bytes()),
+        }
+    }
+
+    /// Estimate with MO sibling discounting.
+    pub fn estimate(&self, twig: &Twig, algorithm: Algorithm, kind: CountKind) -> f64 {
+        estimate_summary(self, twig, algorithm, kind)
+    }
+
+    /// Raw (undiscounted) estimate, optionally through a cached plan.
+    pub fn estimate_raw(
+        &self,
+        twig: &Twig,
+        algorithm: Algorithm,
+        kind: CountKind,
+        plan: Option<&QueryPlan>,
+    ) -> f64 {
+        estimate_raw_summary(self, twig, algorithm, kind, plan)
+    }
+
+    /// The MO sibling discount factor.
+    pub fn sibling_discount(&self, twig: &Twig) -> f64 {
+        sibling_discount_summary(self, twig)
+    }
+}
+
+/// The borrowed trie view of an [`AnySummary`].
+#[derive(Clone, Copy)]
+pub enum AnyTrie<'a> {
+    /// View over the owned trie.
+    Owned(&'a PrunedTrie),
+    /// View over the mapped CSR arrays.
+    Flat(FlatTrie<'a>),
+}
+
+impl TrieAccess for AnyTrie<'_> {
+    fn child(&self, node: TrieNodeId, edge: EdgeKey) -> Option<TrieNodeId> {
+        match self {
+            AnyTrie::Owned(trie) => trie.child(node, edge),
+            AnyTrie::Flat(trie) => trie.child(node, edge),
+        }
+    }
+
+    fn parent(&self, node: TrieNodeId) -> Option<TrieNodeId> {
+        match self {
+            AnyTrie::Owned(trie) => trie.parent(node),
+            AnyTrie::Flat(trie) => trie.parent(node),
+        }
+    }
+
+    fn tokens_of(&self, node: TrieNodeId) -> Vec<PathToken> {
+        match self {
+            AnyTrie::Owned(trie) => trie.tokens_of(node),
+            AnyTrie::Flat(trie) => trie.tokens_of(node),
+        }
+    }
+}
+
+impl Summary for AnySummary {
+    type Trie<'a> = AnyTrie<'a>;
+
+    fn trie(&self) -> AnyTrie<'_> {
+        match self {
+            AnySummary::Owned(cst) => AnyTrie::Owned(cst.trie()),
+            AnySummary::Flat(flat) => AnyTrie::Flat(Summary::trie(flat)),
+        }
+    }
+
+    fn n(&self) -> u64 {
+        match self {
+            AnySummary::Owned(cst) => cst.n(),
+            AnySummary::Flat(flat) => flat.n(),
+        }
+    }
+
+    fn signature_len(&self) -> usize {
+        match self {
+            AnySummary::Owned(cst) => cst.signature_len(),
+            AnySummary::Flat(flat) => flat.signature_len(),
+        }
+    }
+
+    fn fallback(&self) -> SignatureFallback {
+        match self {
+            AnySummary::Owned(cst) => cst.fallback(),
+            AnySummary::Flat(flat) => flat.fallback(),
+        }
+    }
+
+    fn symbol(&self, label: &str) -> Option<Symbol> {
+        match self {
+            AnySummary::Owned(cst) => cst.symbol(label),
+            AnySummary::Flat(flat) => flat.symbol(label),
+        }
+    }
+
+    fn lookup(&self, tokens: &[PathToken]) -> Option<TrieNodeId> {
+        match self {
+            AnySummary::Owned(cst) => cst.lookup(tokens),
+            AnySummary::Flat(flat) => flat.lookup(tokens),
+        }
+    }
+
+    fn presence(&self, node: TrieNodeId) -> u64 {
+        match self {
+            AnySummary::Owned(cst) => cst.presence(node),
+            AnySummary::Flat(flat) => flat.presence(node),
+        }
+    }
+
+    fn occurrence(&self, node: TrieNodeId) -> u64 {
+        match self {
+            AnySummary::Owned(cst) => cst.occurrence(node),
+            AnySummary::Flat(flat) => flat.occurrence(node),
+        }
+    }
+
+    fn signature(&self, node: TrieNodeId) -> Option<SigView<'_>> {
+        match self {
+            AnySummary::Owned(cst) => Summary::signature(cst, node),
+            AnySummary::Flat(flat) => FlatCst::signature(flat, node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twig_core::CstConfig;
+    use twig_tree::DataTree;
+
+    fn small_cst() -> Cst {
+        let xml = r#"<dblp>
+            <book><author>Suciu</author><year>1999</year></book>
+            <book><author>Korn</author><year>1999</year></book>
+            <article><author>Muthukrishnan</author></article>
+        </dblp>"#;
+        let tree = DataTree::from_xml(xml).unwrap();
+        Cst::build(&tree, &CstConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn pack_open_roundtrip_preserves_structure() {
+        let cst = small_cst();
+        let bytes = writer::pack(&cst).unwrap();
+        let flat = FlatCst::from_bytes(bytes).unwrap();
+        assert_eq!(flat.node_count(), cst.node_count());
+        assert_eq!(flat.n(), cst.n());
+        assert_eq!(flat.signature_len(), cst.signature_len());
+        assert_eq!(flat.threshold(), cst.threshold());
+        assert_eq!(flat.total_paths(), cst.trie().total_paths());
+        assert_eq!(flat.seed(), cst.seed());
+        flat.verify().unwrap();
+        assert!(flat.integrity_error().is_none());
+        // Per-node counts and flags agree.
+        for node in cst.trie().node_ids() {
+            assert_eq!(flat.presence(node), cst.presence(node));
+            assert_eq!(flat.occurrence(node), cst.occurrence(node));
+            assert_eq!(flat.path_count(node), cst.trie().path_count(node));
+            assert_eq!(flat.label_rooted(node), cst.trie().label_rooted(node));
+            assert_eq!(
+                flat.signature(node).is_some(),
+                cst.signature(node).is_some(),
+                "signature presence differs at {node:?}"
+            );
+        }
+        // Vocabulary agrees both ways.
+        assert_eq!(flat.symbol("book"), cst.symbol("book"));
+        assert_eq!(flat.symbol("no-such-label"), None);
+        // Trie navigation agrees: every node's token path resolves back.
+        for node in cst.trie().node_ids() {
+            let tokens = cst.trie().tokens_of(node);
+            assert_eq!(flat.lookup(&tokens), Some(node));
+            assert_eq!(Summary::trie(&flat).tokens_of(node), tokens);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_uses_mmap() {
+        let cst = small_cst();
+        let dir = std::env::temp_dir().join("twig-flat-lib-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round.flt");
+        writer::write_file(&cst, &path).unwrap();
+        let flat = FlatCst::open(&path).unwrap();
+        #[cfg(unix)]
+        assert!(flat.is_mapped());
+        flat.verify().unwrap();
+        assert_eq!(flat.node_count(), cst.node_count());
+
+        let any = AnySummary::load_file(&path).unwrap();
+        assert!(matches!(any, AnySummary::Flat(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn any_summary_sniffs_owned_format() {
+        let cst = small_cst();
+        let mut owned_bytes = Vec::new();
+        cst.write_to(&mut owned_bytes).unwrap();
+        let any = AnySummary::from_bytes(owned_bytes).unwrap();
+        assert!(matches!(any, AnySummary::Owned(_)));
+        assert_eq!(any.format_name(), "owned");
+        assert_eq!(any.node_count(), cst.node_count());
+
+        let flat_bytes = writer::pack(&cst).unwrap();
+        let any = AnySummary::from_bytes(flat_bytes).unwrap();
+        assert_eq!(any.format_name(), "flat+heap");
+        assert_eq!(any.node_count(), cst.node_count());
+    }
+}

@@ -1,0 +1,192 @@
+//! Read-only file mapping with a heap fallback — the workspace's single
+//! `unsafe` boundary.
+//!
+//! The shim keeps the unsafe surface as small as it can be: two FFI
+//! calls (`mmap`, `munmap` — libstd already links libc, so no new
+//! dependency), one `from_raw_parts` over the mapping, and the
+//! `Send`/`Sync` assertions those need. Everything else in the crate is
+//! safe code over the `&[u8]` this module hands out.
+//!
+//! Why this is sound:
+//!
+//! - The region is mapped `PROT_READ | MAP_PRIVATE`: the kernel rejects
+//!   writes through it, and writes to the underlying file by others are
+//!   not guaranteed to be visible but cannot cause memory unsafety for
+//!   byte-wise reads (every access copies out via `from_le_bytes`; no
+//!   references into the mapping outlive the [`Mapping`]).
+//! - `len` is the mapped length captured at creation; `munmap` runs
+//!   exactly once, in `Drop`, with that same pointer and length.
+//! - A read-only mapping owned by value is safe to move and share
+//!   across threads, hence the `Send`/`Sync` impls.
+//!
+//! When `mmap` is unavailable (non-unix) or fails (e.g. a pseudo-file),
+//! the shim silently degrades to reading the file into a `Vec<u8>` —
+//! identical semantics, one copy of the bytes.
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io::{self, Read};
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub(super) const PROT_READ: i32 = 1;
+    pub(super) const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub(super) fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub(super) fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub(super) fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+/// An owned, immutable byte range: either a kernel mapping of a file or
+/// plain heap memory. All format code reads through [`Mapping::bytes`].
+pub(crate) enum Mapping {
+    /// A live `mmap` region (unmapped on drop).
+    #[cfg(unix)]
+    Mapped(MmapRegion),
+    /// Heap-resident bytes (the portable fallback, and the path for
+    /// in-memory payloads such as snapshot recovery).
+    Heap(Vec<u8>),
+}
+
+/// A `PROT_READ`/`MAP_PRIVATE` region; invariant: `ptr` came from a
+/// successful `mmap` of exactly `len > 0` bytes and is unmapped only by
+/// `Drop`.
+#[cfg(unix)]
+pub(crate) struct MmapRegion {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the region is immutable (PROT_READ) for its whole lifetime and
+// freed exactly once by the owner; shared `&self` access only ever reads.
+#[cfg(unix)]
+unsafe impl Send for MmapRegion {}
+#[cfg(unix)]
+unsafe impl Sync for MmapRegion {}
+
+#[cfg(unix)]
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len are the exact values returned by mmap; this is
+        // the only munmap call for them (Drop runs once).
+        let _ = unsafe { sys::munmap(self.ptr.cast_mut().cast(), self.len) };
+    }
+}
+
+impl Mapping {
+    /// The mapped or owned bytes.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            // SAFETY: ptr is valid for len bytes for the region's whole
+            // lifetime (invariant above) and the returned slice borrows
+            // `self`, so it cannot outlive the mapping.
+            Mapping::Mapped(region) => unsafe {
+                std::slice::from_raw_parts(region.ptr, region.len)
+            },
+            Mapping::Heap(bytes) => bytes,
+        }
+    }
+
+    /// True when the bytes live in a kernel mapping (vs the heap).
+    pub(crate) fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            Mapping::Mapped(_) => true,
+            Mapping::Heap(_) => false,
+        }
+    }
+
+    /// Maps `file` read-only, falling back to a heap read when mapping
+    /// is unsupported or refused. Empty files always take the heap path
+    /// (`mmap` rejects zero-length maps).
+    pub(crate) fn map_file(file: &mut File) -> io::Result<Mapping> {
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::other("file exceeds address space"))?;
+        #[cfg(unix)]
+        {
+            if len > 0 {
+                if let Some(region) = platform_map(file, len) {
+                    return Ok(Mapping::Mapped(region));
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        let _ = len;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        Ok(Mapping::Heap(buf))
+    }
+}
+
+#[cfg(unix)]
+fn platform_map(file: &File, len: usize) -> Option<MmapRegion> {
+    use std::os::fd::AsRawFd;
+    // SAFETY: a fresh anonymous-address read-only private mapping of an
+    // open fd; the kernel validates fd and length, and we check for
+    // MAP_FAILED before trusting the pointer.
+    let ptr = unsafe {
+        sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        )
+    };
+    if ptr == sys::map_failed() || ptr.is_null() {
+        return None;
+    }
+    Some(MmapRegion { ptr: ptr.cast_const().cast(), len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_a_real_file_and_reads_it_back() {
+        let dir = std::env::temp_dir().join("twig-flat-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.bin");
+        let payload: Vec<u8> = (0u32..1000).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+
+        let mut file = File::open(&path).unwrap();
+        let mapping = Mapping::map_file(&mut file).unwrap();
+        assert_eq!(mapping.bytes(), &payload[..]);
+        #[cfg(unix)]
+        assert!(mapping.is_mapped(), "expected a kernel mapping on unix");
+        drop(mapping); // munmap must not fault
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_takes_heap_path() {
+        let dir = std::env::temp_dir().join("twig-flat-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::File::create(&path).unwrap();
+        let mut file = File::open(&path).unwrap();
+        let mapping = Mapping::map_file(&mut file).unwrap();
+        assert!(!mapping.is_mapped());
+        assert!(mapping.bytes().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,262 @@
+//! Packing an owned [`Cst`] into the `TWIGFLT1` flat layout.
+//!
+//! [`pack`] lays the summary out exactly as `format.rs` documents —
+//! fixed header, section table, 64-byte-aligned little-endian sections —
+//! and [`write_file`] lands it crash-safely (temp file, `fsync`, atomic
+//! rename, directory `fsync`), with a `flat.pack` failpoint for the
+//! chaos harness to tear mid-write.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use twig_core::Cst;
+use twig_util::cast::size_to_u64;
+use twig_util::fnv1a64;
+
+use crate::error::FlatError;
+use crate::format::{
+    Header, SectionKind, HEADER_LEN, MAX_REASONABLE, SECTION_ALIGN, SECTION_COUNT, TABLE_ENTRY_LEN,
+    TABLE_OFFSET,
+};
+
+/// Serializes `cst` into a complete in-memory flat summary.
+///
+/// Infallible for any summary this workspace can build; the `Err` arms
+/// guard the format's `u32` count fields against absurd inputs.
+pub fn pack(cst: &Cst) -> Result<Vec<u8>, FlatError> {
+    let trie = cst.trie();
+    let node_count = trie.node_count();
+    let count32 =
+        u32::try_from(node_count).map_err(|_| FlatError::Malformed("node table exceeds u32"))?;
+    if count32 == 0 || count32 > MAX_REASONABLE {
+        return Err(FlatError::Malformed("node count out of range"));
+    }
+    let nodes = trie.export_nodes();
+
+    // Per-node columns.
+    let mut parents = Vec::with_capacity(node_count * 4);
+    let mut edges = Vec::with_capacity(node_count * 4);
+    let mut pcs = Vec::with_capacity(node_count * 4);
+    let mut presences = Vec::with_capacity(node_count * 4);
+    let mut occurrences = Vec::with_capacity(node_count * 4);
+    let mut flags = Vec::with_capacity(node_count);
+    for node in &nodes {
+        parents.extend_from_slice(&node.parent.to_le_bytes());
+        edges.extend_from_slice(&node.edge.to_le_bytes());
+        pcs.extend_from_slice(&node.path_count.to_le_bytes());
+        presences.extend_from_slice(&node.presence.to_le_bytes());
+        occurrences.extend_from_slice(&node.occurrence.to_le_bytes());
+        flags.push(u8::from(node.label_rooted));
+    }
+
+    // CSR child arrays: (parent, edge) → child, edge-sorted per row.
+    let mut triples: Vec<(u32, u32, u32)> = Vec::with_capacity(node_count.saturating_sub(1));
+    for (id, node) in nodes.iter().enumerate().skip(1) {
+        let id32 =
+            u32::try_from(id).map_err(|_| FlatError::Malformed("node table exceeds u32"))?;
+        triples.push((node.parent, node.edge, id32));
+    }
+    triples.sort_unstable();
+    let mut row_counts = vec![0u32; node_count];
+    for &(parent, _, _) in &triples {
+        let slot = row_counts
+            .get_mut(parent as usize)
+            .ok_or(FlatError::Malformed("parent out of range"))?;
+        *slot = slot.checked_add(1).ok_or(FlatError::Malformed("child count overflow"))?;
+    }
+    let mut child_start = Vec::with_capacity((node_count + 1) * 4);
+    let mut running = 0u32;
+    child_start.extend_from_slice(&running.to_le_bytes());
+    for count in &row_counts {
+        running =
+            running.checked_add(*count).ok_or(FlatError::Malformed("child count overflow"))?;
+        child_start.extend_from_slice(&running.to_le_bytes());
+    }
+    let mut child_edge = Vec::with_capacity(triples.len() * 4);
+    let mut child_target = Vec::with_capacity(triples.len() * 4);
+    for &(_, edge, child) in &triples {
+        child_edge.extend_from_slice(&edge.to_le_bytes());
+        child_target.extend_from_slice(&child.to_le_bytes());
+    }
+
+    // Signature slots and words.
+    let mut sig_index = Vec::with_capacity(node_count * 4);
+    let mut sig_words = Vec::new();
+    let mut sig_count = 0u32;
+    for id in trie.node_ids() {
+        match cst.signature(id) {
+            Some(sig) => {
+                sig_index.extend_from_slice(&sig_count.to_le_bytes());
+                for &word in sig.components() {
+                    sig_words.extend_from_slice(&word.to_le_bytes());
+                }
+                sig_count = sig_count
+                    .checked_add(1)
+                    .ok_or(FlatError::Malformed("signature count overflow"))?;
+            }
+            None => sig_index.extend_from_slice(&u32::MAX.to_le_bytes()),
+        }
+    }
+
+    // Label table, in symbol order.
+    let mut str_offsets = Vec::new();
+    let mut str_bytes = Vec::new();
+    let mut offset = 0u32;
+    str_offsets.extend_from_slice(&offset.to_le_bytes());
+    for label in cst.labels() {
+        let len = u32::try_from(label.len())
+            .map_err(|_| FlatError::Malformed("label exceeds u32"))?;
+        offset =
+            offset.checked_add(len).ok_or(FlatError::Malformed("label table exceeds u32"))?;
+        str_bytes.extend_from_slice(label.as_bytes());
+        str_offsets.extend_from_slice(&offset.to_le_bytes());
+    }
+
+    let header = Header {
+        n: cst.n(),
+        source_bytes: size_to_u64(cst.source_bytes()),
+        size_bytes: size_to_u64(cst.size_bytes()),
+        seed: cst.seed(),
+        signature_len: u32::try_from(cst.signature_len())
+            .map_err(|_| FlatError::Malformed("signature length exceeds u32"))?,
+        threshold: trie.threshold(),
+        total_paths: trie.total_paths(),
+        node_count: count32,
+        fallback: match cst.fallback() {
+            twig_core::SignatureFallback::ConditionalIndependence => 0,
+            twig_core::SignatureFallback::Zero => 1,
+        },
+    };
+
+    let sections: [(SectionKind, Vec<u8>); SECTION_COUNT] = [
+        (SectionKind::NodeParent, parents),
+        (SectionKind::NodeEdge, edges),
+        (SectionKind::NodePc, pcs),
+        (SectionKind::NodePresence, presences),
+        (SectionKind::NodeOccurrence, occurrences),
+        (SectionKind::NodeFlags, flags),
+        (SectionKind::ChildStart, child_start),
+        (SectionKind::ChildEdge, child_edge),
+        (SectionKind::ChildTarget, child_target),
+        (SectionKind::SigIndex, sig_index),
+        (SectionKind::SigWords, sig_words),
+        (SectionKind::StrOffsets, str_offsets),
+        (SectionKind::StrBytes, str_bytes),
+    ];
+    assemble(&header, &sections)
+}
+
+/// Lays out header + table + aligned sections into one byte vector.
+fn assemble(
+    header: &Header,
+    sections: &[(SectionKind, Vec<u8>); SECTION_COUNT],
+) -> Result<Vec<u8>, FlatError> {
+    let mut cursor = HEADER_LEN
+        .checked_add(SECTION_COUNT * TABLE_ENTRY_LEN)
+        .ok_or(FlatError::Malformed("layout overflow"))?;
+    let mut placed = Vec::with_capacity(SECTION_COUNT);
+    for (kind, bytes) in sections {
+        cursor = align_up(cursor).ok_or(FlatError::Malformed("layout overflow"))?;
+        placed.push((*kind, cursor, bytes));
+        cursor = cursor.checked_add(bytes.len()).ok_or(FlatError::Malformed("layout overflow"))?;
+    }
+
+    let mut out = vec![0u8; cursor];
+    put(&mut out, 0, &header.encode());
+    for (index, (kind, offset, bytes)) in placed.iter().enumerate() {
+        let mut entry = Vec::with_capacity(TABLE_ENTRY_LEN);
+        entry.extend_from_slice(&kind.id().to_le_bytes());
+        entry.extend_from_slice(&0u32.to_le_bytes());
+        entry.extend_from_slice(&size_to_u64(*offset).to_le_bytes());
+        entry.extend_from_slice(&size_to_u64(bytes.len()).to_le_bytes());
+        entry.extend_from_slice(&fnv1a64(bytes).to_le_bytes());
+        put(&mut out, TABLE_OFFSET + index * TABLE_ENTRY_LEN, &entry);
+        put(&mut out, *offset, bytes);
+    }
+    Ok(out)
+}
+
+/// Rounds `cursor` up to the next section boundary.
+fn align_up(cursor: usize) -> Option<usize> {
+    let rem = cursor % SECTION_ALIGN;
+    if rem == 0 {
+        Some(cursor)
+    } else {
+        cursor.checked_add(SECTION_ALIGN - rem)
+    }
+}
+
+/// Copies `src` into `out` at `offset`; the caller sized `out` to fit,
+/// so the guard only defends against arithmetic bugs (silently skipping
+/// would corrupt the file — checksums would catch it — but never panic).
+fn put(out: &mut [u8], offset: usize, src: &[u8]) {
+    if let Some(dst) = offset.checked_add(src.len()).and_then(|end| out.get_mut(offset..end)) {
+        for (to, from) in dst.iter_mut().zip(src) {
+            *to = *from;
+        }
+    }
+}
+
+/// The error injected by the `flat.pack` failpoint, recognizable in
+/// tests by its message prefix.
+fn injected(message: &'static str) -> io::Error {
+    io::Error::other(message)
+}
+
+/// Packs `cst` and lands it at `path` crash-safely: write to
+/// `<path>.tmp`, `fsync`, rename over `path`, `fsync` the directory.
+/// A reader never observes a torn target file — at worst a stale target
+/// plus an orphaned `.tmp`.
+pub fn write_file(cst: &Cst, path: &Path) -> Result<(), FlatError> {
+    let bytes = pack(cst)?;
+    write_atomic(&bytes, path).map_err(FlatError::Io)
+}
+
+/// The crash-safe landing described on [`write_file`], with the
+/// `flat.pack` failpoint: `error` fails before any byte is written;
+/// `partial(p)` leaves a torn `.tmp` behind and errors before rename.
+fn write_atomic(bytes: &[u8], path: &Path) -> io::Result<()> {
+    let mut keep = bytes.len();
+    let mut tear = false;
+    if let Some(fault) = twig_util::failpoint!("flat.pack") {
+        match fault {
+            twig_util::failpoint::Fault::Error => {
+                return Err(injected("injected fault at flat.pack"));
+            }
+            twig_util::failpoint::Fault::Partial(percent) => {
+                keep = bytes
+                    .len()
+                    .checked_mul(usize::try_from(percent.min(100)).unwrap_or(100))
+                    .map_or(bytes.len(), |scaled| scaled / 100);
+                tear = true;
+            }
+        }
+    }
+    let tmp = tmp_path(path);
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes.get(..keep).unwrap_or(bytes))?;
+    file.sync_all()?;
+    drop(file);
+    if tear {
+        return Err(injected("injected fault at flat.pack"));
+    }
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// `<path>.tmp`, preserving the full file name (not replacing the
+/// extension, so `a.flt` tears to `a.flt.tmp`).
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Durably records the rename in the parent directory.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => File::open(dir)?.sync_all(),
+        _ => Ok(()),
+    }
+}

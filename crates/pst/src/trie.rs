@@ -53,16 +53,27 @@ impl EdgeKey {
         (!self.is_element()).then_some((self.0 >> 1) as u8)
     }
 
-    /// Raw packed value (for the global child map).
+    /// Raw packed value (for the global child map and the on-disk flat
+    /// format — the packing `sym << 1 | is_char` is a stable, persisted
+    /// encoding, not an implementation detail).
     #[inline]
-    pub(crate) fn raw(self) -> u32 {
+    pub fn raw(self) -> u32 {
         self.0
     }
 
     /// Rebuilds an `EdgeKey` from a value produced by [`EdgeKey::raw`].
     #[inline]
-    pub(crate) fn from_raw(raw: u32) -> Self {
+    pub fn from_raw(raw: u32) -> Self {
         EdgeKey(raw)
+    }
+
+    /// Decodes the raw value into the token it transports.
+    #[inline]
+    pub fn token(self) -> PathToken {
+        match self.as_element() {
+            Some(sym) => PathToken::Element(sym),
+            None => PathToken::Char((self.0 >> 1) as u8),
+        }
     }
 }
 
@@ -184,6 +195,7 @@ impl SuffixTrie {
     }
 
     /// Parent of `node`, or `None` for the root.
+    #[inline]
     pub fn parent(&self, node: TrieNodeId) -> Option<TrieNodeId> {
         let p = self.nodes[node.index()].parent;
         (p != u32::MAX).then_some(TrieNodeId(p))

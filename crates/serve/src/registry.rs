@@ -19,12 +19,23 @@
 //! `twig_serve_degraded` gauge, and as the `X-Twig-Stale-Generation`
 //! response header on estimates.
 //!
+//! Summaries come in two formats, decided per file by magic sniff:
+//! owned `TWIGCST` files are deserialized onto the heap, flat
+//! `TWIGFLT1` files are memory-mapped and served zero-copy. A reload of
+//! a flat summary is therefore a *map-swap*: the write lock covers only
+//! the `Arc` pointer exchange, and the old generation's mapping is
+//! unmapped when the last in-flight request drops its `Arc` clone.
+//! Snapshot payloads are the raw container bytes of either format;
+//! recovery re-sniffs, so a store can hold generations of both.
+//!
 //! [`load_or_recover`]: SummaryRegistry::load_or_recover
 
+use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock, RwLock};
 
-use twig_core::{Cst, ReadError};
+use twig_core::ReadError;
+use twig_flat::{AnySummary, FlatCst, LoadError as SummaryLoadError};
 use twig_util::metrics::Counter;
 
 use crate::snapshot::SnapshotStore;
@@ -62,17 +73,17 @@ impl SummarySpec {
 }
 
 /// A failure to load one summary. Chains to the underlying
-/// [`ReadError`] (and through it to `io::Error` / `CstError`) via
-/// [`source`](std::error::Error::source), so callers can render the full
-/// cause chain in one error envelope.
+/// format-specific failure (and through it to `io::Error` / `CstError`
+/// / `FlatError`) via [`source`](std::error::Error::source), so callers
+/// can render the full cause chain in one error envelope.
 #[derive(Debug)]
 pub struct LoadError {
     /// The registry name being (re)loaded.
     pub name: String,
     /// The file that failed.
     pub path: PathBuf,
-    /// The underlying read failure.
-    pub source: ReadError,
+    /// The underlying read failure (owned or flat format).
+    pub source: SummaryLoadError,
 }
 
 impl std::fmt::Display for LoadError {
@@ -108,7 +119,7 @@ pub fn error_chain(err: &dyn std::error::Error) -> String {
 
 struct Entry {
     spec: SummarySpec,
-    cst: Arc<Cst>,
+    cst: Arc<AnySummary>,
     /// Bumped on every successful (re)load; lets clients observe swaps.
     generation: u64,
     /// Size of the file the current summary was loaded from.
@@ -140,6 +151,9 @@ pub struct SummaryInfo {
     pub threshold: u32,
     /// Min-hash signature length.
     pub signature_len: usize,
+    /// Storage format serving this entry: `owned`, `flat+mmap`, or
+    /// `flat+heap`.
+    pub format: &'static str,
     /// Degraded mode: serving a stale generation (failed reload or
     /// snapshot recovery).
     pub stale: bool,
@@ -210,13 +224,16 @@ impl SummaryRegistry {
         Counter::get(&self.snapshot_failures)
     }
 
-    /// Installs a loaded summary, returning its new generation.
+    /// Installs a loaded summary, returning its new generation. The
+    /// write lock covers only this pointer swap — for a mapped flat
+    /// summary a reload is a *map-swap*, and the displaced generation's
+    /// mapping is released when the last reader drops its `Arc`.
     /// `generation` pins an explicit generation (snapshot recovery);
     /// otherwise the entry's previous generation + 1 is used.
     fn install(
         &self,
         spec: SummarySpec,
-        cst: Cst,
+        cst: Arc<AnySummary>,
         file_bytes: usize,
         generation: Option<u64>,
         stale: bool,
@@ -227,20 +244,12 @@ impl SummaryRegistry {
             Some(at) => {
                 let generation =
                     generation.unwrap_or_else(|| entries[at].generation.saturating_add(1));
-                entries[at] =
-                    Entry { spec, cst: Arc::new(cst), generation, file_bytes, stale, last_error };
+                entries[at] = Entry { spec, cst, generation, file_bytes, stale, last_error };
                 generation
             }
             None => {
                 let generation = generation.unwrap_or(1);
-                entries.push(Entry {
-                    spec,
-                    cst: Arc::new(cst),
-                    generation,
-                    file_bytes,
-                    stale,
-                    last_error,
-                });
+                entries.push(Entry { spec, cst, generation, file_bytes, stale, last_error });
                 generation
             }
         }
@@ -263,11 +272,14 @@ impl SummaryRegistry {
     /// Loads `spec` from disk and inserts it (replacing any entry with
     /// the same name). The registry is untouched on failure.
     pub fn load(&self, spec: SummarySpec) -> Result<(), LoadError> {
-        let (cst, bytes) = load_cst(&spec)?;
+        let loaded = load_any(&spec)?;
         let name = spec.name.clone();
-        let file_bytes = bytes.len();
-        let generation = self.install(spec, cst, file_bytes, None, false, None);
-        self.persist_snapshot(&name, generation, &bytes);
+        let file_bytes = loaded.file_bytes();
+        let (summary, owned_bytes) = loaded.into_parts();
+        let generation = self.install(spec, Arc::clone(&summary), file_bytes, None, false, None);
+        if let Some(payload) = snapshot_payload(&summary, owned_bytes.as_deref()) {
+            self.persist_snapshot(&name, generation, payload);
+        }
         Ok(())
     }
 
@@ -278,12 +290,16 @@ impl SummaryRegistry {
     /// path: a torn summary file degrades service instead of refusing
     /// to boot.
     pub fn load_or_recover(&self, spec: SummarySpec) -> Result<LoadOutcome, LoadError> {
-        let spec_failure = match load_cst(&spec) {
-            Ok((cst, bytes)) => {
+        let spec_failure = match load_any(&spec) {
+            Ok(loaded) => {
                 let name = spec.name.clone();
-                let file_bytes = bytes.len();
-                let generation = self.install(spec, cst, file_bytes, None, false, None);
-                self.persist_snapshot(&name, generation, &bytes);
+                let file_bytes = loaded.file_bytes();
+                let (summary, owned_bytes) = loaded.into_parts();
+                let generation =
+                    self.install(spec, Arc::clone(&summary), file_bytes, None, false, None);
+                if let Some(payload) = snapshot_payload(&summary, owned_bytes.as_deref()) {
+                    self.persist_snapshot(&name, generation, payload);
+                }
                 return Ok(LoadOutcome::Fresh(generation));
             }
             Err(err) => err,
@@ -294,16 +310,17 @@ impl SummaryRegistry {
         let Ok(Some(recovered)) = store.recover(&spec.name) else {
             return Err(spec_failure);
         };
-        let Ok(cst) = Cst::from_bytes(&recovered.payload) else {
+        let file_bytes = recovered.payload.len();
+        // The payload is a container of either format; re-sniff it.
+        let Ok(summary) = AnySummary::from_bytes(recovered.payload) else {
             // The snapshot verified its checksum but does not parse —
             // should be impossible; fall back to the spec failure.
             return Err(spec_failure);
         };
         let error = error_chain(&spec_failure);
-        let file_bytes = recovered.payload.len();
         let generation = self.install(
             spec,
-            cst,
+            Arc::new(summary),
             file_bytes,
             Some(recovered.generation),
             true,
@@ -317,7 +334,7 @@ impl SummaryRegistry {
     /// swaps the entry mid-request — estimates within one request are
     /// always computed against one consistent summary.
     #[must_use]
-    pub fn get(&self, name: &str) -> Option<Arc<Cst>> {
+    pub fn get(&self, name: &str) -> Option<Arc<AnySummary>> {
         self.read_entries().iter().find(|e| e.spec.name == name).map(|e| Arc::clone(&e.cst))
     }
 
@@ -325,7 +342,7 @@ impl SummaryRegistry {
     /// reload generation — the component of the plan-cache key that
     /// makes cached plans self-invalidating across reloads — and its
     /// staleness (degraded mode) for the response header.
-    pub(crate) fn get_for_serving(&self, name: &str) -> Option<(Arc<Cst>, u64, bool)> {
+    pub(crate) fn get_for_serving(&self, name: &str) -> Option<(Arc<AnySummary>, u64, bool)> {
         self.read_entries()
             .iter()
             .find(|e| e.spec.name == name)
@@ -365,6 +382,7 @@ impl SummaryRegistry {
                 n: e.cst.n(),
                 threshold: e.cst.threshold(),
                 signature_len: e.cst.signature_len(),
+                format: e.cst.format_name(),
                 stale: e.stale,
                 last_error: e.last_error.clone(),
             })
@@ -393,7 +411,7 @@ impl SummaryRegistry {
         let mut results = Vec::with_capacity(specs.len());
         for spec in specs {
             let name = spec.name.clone();
-            match load_cst(&spec) {
+            match load_any(&spec) {
                 Err(err) => {
                     // Degraded mode: keep serving the old generation and
                     // record why it is now stale.
@@ -408,31 +426,80 @@ impl SummaryRegistry {
                     drop(entries);
                     results.push((name, Err(err)));
                 }
-                Ok((cst, bytes)) => {
-                    let file_bytes = bytes.len();
-                    let generation = self.install(spec, cst, file_bytes, None, false, None);
-                    self.persist_snapshot(&name, generation, &bytes);
+                Ok(loaded) => {
+                    let file_bytes = loaded.file_bytes();
+                    let (summary, owned_bytes) = loaded.into_parts();
+                    let generation =
+                        self.install(spec, Arc::clone(&summary), file_bytes, None, false, None);
+                    if let Some(payload) = snapshot_payload(&summary, owned_bytes.as_deref()) {
+                        self.persist_snapshot(&name, generation, payload);
+                    }
                     results.push((name, Ok(generation)));
                 }
             }
         }
         results
     }
+
+    /// Quarantined snapshot files currently sitting in the attached
+    /// store: `(count, newest file name)`. `(0, None)` without a store.
+    /// Surfaced in `/healthz` and as
+    /// `twig_serve_snapshot_quarantined_total`.
+    #[must_use]
+    pub fn quarantined_snapshots(&self) -> (u64, Option<String>) {
+        self.store.get().map_or((0, None), SnapshotStore::quarantined)
+    }
 }
 
-/// Reads and parses a spec file, returning the summary *and* its raw
-/// bytes (the snapshot payload).
+/// One freshly loaded summary plus (for the owned format) the raw file
+/// bytes that double as the snapshot payload. A mapped flat summary
+/// carries no heap copy — its mapping *is* the payload.
+struct LoadedSummary {
+    summary: Arc<AnySummary>,
+    owned_bytes: Option<Vec<u8>>,
+}
+
+impl LoadedSummary {
+    fn file_bytes(&self) -> usize {
+        match (&*self.summary, &self.owned_bytes) {
+            (_, Some(bytes)) => bytes.len(),
+            (AnySummary::Flat(flat), None) => flat.file_len(),
+            (AnySummary::Owned(cst), None) => cst.size_bytes(),
+        }
+    }
+
+    fn into_parts(self) -> (Arc<AnySummary>, Option<Vec<u8>>) {
+        (self.summary, self.owned_bytes)
+    }
+}
+
+/// The snapshot payload for a loaded summary: the owned file bytes when
+/// the loader kept them, otherwise the flat container's own byte range.
+fn snapshot_payload<'a>(
+    summary: &'a AnySummary,
+    owned_bytes: Option<&'a [u8]>,
+) -> Option<&'a [u8]> {
+    owned_bytes.or_else(|| summary.flat_bytes())
+}
+
+/// Reads and parses a spec file of either format, decided by magic
+/// sniff: flat `TWIGFLT1` files are memory-mapped (zero-copy), owned
+/// `TWIGCST` files are read whole and deserialized.
 ///
 /// Failpoint `registry.load`: `error` injects an I/O failure; `partial(p)`
 /// hands the parser only the first `p` percent of the file — a torn read.
-fn load_cst(spec: &SummarySpec) -> Result<(Cst, Vec<u8>), LoadError> {
-    let wrap =
-        |source: ReadError| LoadError { name: spec.name.clone(), path: spec.path.clone(), source };
-    let mut bytes = std::fs::read(&spec.path).map_err(|e| wrap(ReadError::Io(e)))?;
+fn load_any(spec: &SummarySpec) -> Result<LoadedSummary, LoadError> {
+    let wrap = |source: SummaryLoadError| LoadError {
+        name: spec.name.clone(),
+        path: spec.path.clone(),
+        source,
+    };
+    let wrap_io = |e: std::io::Error| SummaryLoadError::Owned(ReadError::Io(e));
     if let Some(fault) = twig_util::failpoint!("registry.load") {
+        let mut bytes = std::fs::read(&spec.path).map_err(|e| wrap(wrap_io(e)))?;
         match fault {
             twig_util::failpoint::Fault::Error => {
-                return Err(wrap(ReadError::Io(std::io::Error::other(
+                return Err(wrap(wrap_io(std::io::Error::other(
                     "injected fault at registry.load",
                 ))));
             }
@@ -446,21 +513,42 @@ fn load_cst(spec: &SummarySpec) -> Result<(Cst, Vec<u8>), LoadError> {
                 bytes.truncate(keep);
             }
         }
+        let owned_bytes = Some(bytes.clone());
+        let summary = AnySummary::from_bytes(bytes).map_err(wrap)?;
+        return Ok(LoadedSummary { summary: Arc::new(summary), owned_bytes });
     }
-    let cst = Cst::from_bytes(&bytes).map_err(wrap)?;
-    Ok((cst, bytes))
+    if sniff_flat(&spec.path) {
+        let flat =
+            FlatCst::open(&spec.path).map_err(|e| wrap(SummaryLoadError::Flat(e)))?;
+        return Ok(LoadedSummary {
+            summary: Arc::new(AnySummary::Flat(flat)),
+            owned_bytes: None,
+        });
+    }
+    let bytes = std::fs::read(&spec.path).map_err(|e| wrap(wrap_io(e)))?;
+    let summary = AnySummary::from_bytes(bytes.clone()).map_err(wrap)?;
+    Ok(LoadedSummary { summary: Arc::new(summary), owned_bytes: Some(bytes) })
+}
+
+/// True when `path` starts with the flat-summary magic. Read failures
+/// answer `false` so the owned loader reports them with full context.
+fn sniff_flat(path: &Path) -> bool {
+    let mut magic = [0u8; 8];
+    std::fs::File::open(path)
+        .and_then(|mut file| file.read_exact(&mut magic))
+        .is_ok_and(|()| &magic == twig_flat::format::MAGIC)
 }
 
 /// Loads a summary directly from `path` (CLI convenience, bypassing the
-/// registry).
-pub fn load_summary_file(path: &Path) -> Result<Cst, ReadError> {
-    Cst::load_file(path)
+/// registry). Sniffs the format like the registry does.
+pub fn load_summary_file(path: &Path) -> Result<AnySummary, SummaryLoadError> {
+    AnySummary::load_file(path)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use twig_core::{CstConfig, SpaceBudget};
+    use twig_core::{Cst, CstConfig, SpaceBudget};
     use twig_tree::DataTree;
 
     fn temp_dir() -> PathBuf {

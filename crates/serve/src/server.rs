@@ -383,6 +383,12 @@ fn handle_metrics(state: &Arc<ServerState>) -> Response {
         "twig_serve_snapshot_failures_total {}\n",
         state.registry.snapshot_failure_count()
     ));
+    let (quarantined, _) = state.registry.quarantined_snapshots();
+    body.push_str(
+        "# HELP twig_serve_snapshot_quarantined_total Torn snapshot files quarantined in the state dir\n",
+    );
+    body.push_str("# TYPE twig_serve_snapshot_quarantined_total counter\n");
+    body.push_str(&format!("twig_serve_snapshot_quarantined_total {quarantined}\n"));
     Response::text(200, &body)
 }
 
@@ -396,6 +402,7 @@ fn handle_healthz(state: &Arc<ServerState>) -> Response {
             let mut fields = vec![
                 ("name".into(), Json::Str(info.name)),
                 ("generation".into(), num_u64(info.generation)),
+                ("format".into(), Json::str(info.format)),
                 ("stale".into(), Json::Bool(info.stale)),
             ];
             if let Some(error) = info.last_error {
@@ -404,16 +411,21 @@ fn handle_healthz(state: &Arc<ServerState>) -> Response {
             Json::Obj(fields)
         })
         .collect();
-    Response::json(
-        200,
-        &Json::Obj(vec![
-            ("status".into(), Json::str(if degraded == 0 { "ok" } else { "degraded" })),
-            ("uptime_secs".into(), num_u64(state.started.elapsed().as_secs())),
-            ("summaries".into(), num_usize(state.registry.len())),
-            ("degraded".into(), num_u64(degraded)),
-            ("summary_health".into(), Json::Arr(health)),
-        ]),
-    )
+    let (quarantined, newest_quarantined) = state.registry.quarantined_snapshots();
+    let mut fields = vec![
+        ("status".into(), Json::str(if degraded == 0 { "ok" } else { "degraded" })),
+        ("uptime_secs".into(), num_u64(state.started.elapsed().as_secs())),
+        ("summaries".into(), num_usize(state.registry.len())),
+        ("degraded".into(), num_u64(degraded)),
+        // Torn snapshot files renamed aside by recovery: evidence of
+        // past corruption an operator should collect and investigate.
+        ("snapshot_quarantined".into(), num_u64(quarantined)),
+    ];
+    if let Some(newest) = newest_quarantined {
+        fields.push(("snapshot_quarantined_newest".into(), Json::Str(newest)));
+    }
+    fields.push(("summary_health".into(), Json::Arr(health)));
+    Response::json(200, &Json::Obj(fields))
 }
 
 fn handle_summaries(state: &Arc<ServerState>) -> Response {
@@ -431,6 +443,7 @@ fn handle_summaries(state: &Arc<ServerState>) -> Response {
                 ("n".into(), num_u64(info.n)),
                 ("threshold".into(), num_u64(u64::from(info.threshold))),
                 ("signature_len".into(), num_usize(info.signature_len)),
+                ("format".into(), Json::str(info.format)),
                 ("stale".into(), Json::Bool(info.stale)),
             ];
             if let Some(error) = info.last_error {

@@ -128,6 +128,15 @@ fn frame(payload: &[u8]) -> Vec<u8> {
     framed
 }
 
+/// Strips and verifies the footer of a framed snapshot file, returning
+/// the raw summary payload; `None` means the file is torn or corrupt.
+/// Public for `twig pack`, which accepts `TWIGSNP1` snapshot files and
+/// migrates their payloads to the flat format.
+#[must_use]
+pub fn unframe(framed: Vec<u8>) -> Option<Vec<u8>> {
+    verified_payload(framed).map(|(payload, _)| payload)
+}
+
 /// Strips and verifies the footer; `None` means the file is torn or
 /// corrupt. Returns the payload and its footer checksum.
 fn verified_payload(mut framed: Vec<u8>) -> Option<(Vec<u8>, u64)> {
@@ -439,6 +448,40 @@ impl SnapshotStore {
         std::fs::rename(&tmp_path, &manifest)
             .map_err(|e| io_error("rename manifest into place", &manifest, e))?;
         Ok(())
+    }
+
+    /// Quarantined snapshot files currently in the store directory:
+    /// `(count, newest file name)`. Newest is by modification time,
+    /// breaking ties (and timestamp-less platforms) by name. Quarantined
+    /// files are evidence of torn writes — recovery renames them aside
+    /// instead of deleting — so operators need to see them without
+    /// grepping the state dir; `/healthz` and `/metrics` surface this.
+    #[must_use]
+    pub fn quarantined(&self) -> (u64, Option<String>) {
+        let Ok(listing) = std::fs::read_dir(&self.dir) else {
+            return (0, None);
+        };
+        let mut count = 0u64;
+        let mut newest: Option<(std::time::SystemTime, String)> = None;
+        for entry in listing.flatten() {
+            let file_name = entry.file_name();
+            let Some(text) = file_name.to_str() else {
+                continue;
+            };
+            if !text.ends_with(".quarantined") {
+                continue;
+            }
+            count += 1;
+            let modified = entry
+                .metadata()
+                .and_then(|meta| meta.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            let candidate = (modified, text.to_owned());
+            if newest.as_ref().map_or(true, |best| candidate > *best) {
+                newest = Some(candidate);
+            }
+        }
+        (count, newest.map(|(_, name)| name))
     }
 
     /// Best-effort cleanup: keeps the current and previous generation of

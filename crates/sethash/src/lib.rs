@@ -222,6 +222,279 @@ impl<C: Component> Signature<C> {
     }
 }
 
+/// A borrowed view of a stored 32-bit signature: either typed words (the
+/// owned [`CompactSignature`] storage) or raw little-endian bytes (the
+/// flat on-disk encoding, length a multiple of 4).
+///
+/// Views exist so the estimation pipeline can run the *same* float code
+/// over owned and memory-mapped summaries: agreement counts are exact
+/// integers, so `Words` and `Bytes` over the same components produce
+/// bit-identical estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigView<'a> {
+    /// Typed `u32` components.
+    Words(&'a [u32]),
+    /// Little-endian `u32` words as raw bytes.
+    Bytes(&'a [u8]),
+}
+
+impl<'a> SigView<'a> {
+    /// Signature length in components.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match *self {
+            SigView::Words(words) => words.len(),
+            SigView::Bytes(bytes) => bytes.len() / 4,
+        }
+    }
+
+    /// True when the view has no components.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Component `i`, or `u32::MAX` (the empty-set sentinel) out of
+    /// range — a view over validated sections never goes out of range,
+    /// and the sentinel keeps the accessor panic-free regardless.
+    #[inline]
+    #[must_use]
+    pub fn component(&self, i: usize) -> u32 {
+        match *self {
+            SigView::Words(words) => words.get(i).copied().unwrap_or(u32::MAX),
+            SigView::Bytes(bytes) => bytes
+                .get(i * 4..i * 4 + 4)
+                .and_then(|chunk| chunk.try_into().ok())
+                .map_or(u32::MAX, u32::from_le_bytes),
+        }
+    }
+
+    /// True when no element was ever inserted (every component is the
+    /// `EMPTY` sentinel — the view-level [`Signature::is_empty_set`]).
+    #[must_use]
+    pub fn is_empty_set(&self) -> bool {
+        self.components().all(|c| c == u32::MAX)
+    }
+
+    /// The typed word slice, when this view has one — the fast path the
+    /// agreement loops take so owned summaries keep the branch-free
+    /// [`kernels`] codegen.
+    #[inline]
+    #[must_use]
+    pub fn as_words(self) -> Option<&'a [u32]> {
+        match self {
+            SigView::Words(words) => Some(words),
+            SigView::Bytes(_) => None,
+        }
+    }
+
+    /// Componentwise iterator — the hot-loop accessor. Unlike repeated
+    /// [`SigView::component`] calls it dispatches on the representation
+    /// once and walks the backing slice without per-index bounds checks.
+    #[inline]
+    #[must_use]
+    pub fn components(self) -> SigComponents<'a> {
+        match self {
+            SigView::Words(words) => SigComponents::Words(words.iter()),
+            SigView::Bytes(bytes) => {
+                // `chunks_exact` drops a trailing partial word, matching
+                // the `len = bytes/4` truncation above.
+                SigComponents::Bytes(bytes.chunks_exact(4))
+            }
+        }
+    }
+}
+
+/// Iterator over a [`SigView`]'s `u32` components (see
+/// [`SigView::components`]).
+#[derive(Debug, Clone)]
+pub enum SigComponents<'a> {
+    /// Walks typed words.
+    Words(core::slice::Iter<'a, u32>),
+    /// Walks 4-byte little-endian chunks.
+    Bytes(core::slice::ChunksExact<'a, u8>),
+}
+
+impl Iterator for SigComponents<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            SigComponents::Words(words) => words.next().copied(),
+            SigComponents::Bytes(chunks) => chunks
+                .next()
+                .map(|chunk| chunk.try_into().map_or(u32::MAX, u32::from_le_bytes)),
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            SigComponents::Words(words) => words.size_hint(),
+            SigComponents::Bytes(chunks) => chunks.size_hint(),
+        }
+    }
+}
+
+/// View-level k-way resemblance: the fraction of components on which
+/// every view agrees — bit-identical to [`Signature::resemblance`] over
+/// the same components (the agreement count is an exact integer).
+/// Returns 0.0 for no views or when any set is empty; allocation- and
+/// panic-free (views of mismatched length read as non-agreeing).
+#[must_use]
+pub fn view_resemblance(signatures: &[SigView<'_>]) -> f64 {
+    let Some(first) = signatures.first() else {
+        return 0.0;
+    };
+    if signatures.iter().any(|s| s.is_empty_set()) {
+        return 0.0;
+    }
+    let rest = signatures.get(1..).unwrap_or_default();
+    let matching = view_agreement_count(*first, rest);
+    size_to_f64(matching) / size_to_f64(first.len())
+}
+
+/// Positions where every view in `rest` agrees with `first`. All-word
+/// inputs (owned signatures, and the union vectors built here) take the
+/// branch-free [`kernels::agreement_count`] path; any byte-backed view
+/// falls back to lockstep componentwise iteration, which produces the
+/// same exact integer count over equal components.
+fn view_agreement_count(first: SigView<'_>, rest: &[SigView<'_>]) -> usize {
+    if let Some(first_words) = first.as_words() {
+        let rest_words: Option<Vec<&[u32]>> = rest.iter().map(|s| s.as_words()).collect();
+        if let Some(rest_words) = rest_words {
+            return kernels::agreement_count(first_words, &rest_words);
+        }
+    }
+    let mut rest_iters: Vec<SigComponents<'_>> = rest.iter().map(|s| s.components()).collect();
+    let mut matching = 0usize;
+    for head in first.components() {
+        let mut agree = true;
+        for iter in &mut rest_iters {
+            agree &= iter.next() == Some(head);
+        }
+        matching += usize::from(agree);
+    }
+    matching
+}
+
+/// View-level union signature: the componentwise minimum, as owned
+/// words — the view counterpart of [`Signature::union`]. Empty input
+/// yields an empty vector.
+#[must_use]
+pub fn view_union(signatures: &[SigView<'_>]) -> Vec<u32> {
+    let len = signatures.first().map_or(0, SigView::len);
+    let mut out = vec![u32::MAX; len];
+    for sig in signatures {
+        for (slot, c) in out.iter_mut().zip(sig.components()) {
+            *slot = if c < *slot { c } else { *slot };
+        }
+    }
+    out
+}
+
+/// View-level [`estimate_union_size`]: identical float-operation
+/// sequence (filter, last-max largest set, union resemblance, the same
+/// fallback sum), so results are bit-identical over equal components.
+/// Returns 0.0 for empty input instead of panicking.
+#[must_use]
+pub fn view_estimate_union_size(sets: &[(SigView<'_>, u64)]) -> f64 {
+    // Mirror the owned filter: drop empty sets, remember the *last*
+    // maximal set (`max_by_key` keeps the last maximum) and the
+    // fallback sum, all in filter order.
+    let mut largest: Option<(SigView<'_>, u64)> = None;
+    let mut sum = 0.0;
+    for &(sig, size) in sets {
+        if size > 0 && !sig.is_empty_set() {
+            sum += count_to_f64(size);
+            if largest.map_or(true, |(_, best)| size >= best) {
+                largest = Some((sig, size));
+            }
+        }
+    }
+    let Some((largest_sig, largest_size)) = largest else {
+        return 0.0;
+    };
+    let union = view_union_of_nonempty(sets, largest_sig.len());
+    let f = view_resemblance(&[largest_sig, SigView::Words(&union)]);
+    if f == 0.0 {
+        return sum;
+    }
+    count_to_f64(largest_size) / f
+}
+
+/// View-level [`estimate_intersection`]: identical float-operation
+/// sequence (empty-set short-circuit, min-size clamp, last-max largest
+/// set, the same degenerate fallback), so results are bit-identical
+/// over equal components. Returns 0.0 for empty input instead of
+/// panicking.
+#[must_use]
+pub fn view_estimate_intersection(sets: &[(SigView<'_>, u64)]) -> f64 {
+    if sets.is_empty() || sets.iter().any(|&(sig, size)| size == 0 || sig.is_empty_set()) {
+        return 0.0;
+    }
+    let min_size = count_to_f64(sets.iter().map(|&(_, size)| size).min().unwrap_or(0));
+    if sets.len() == 1 {
+        return count_to_f64(sets.first().map_or(0, |&(_, size)| size));
+    }
+    let first = sets.first().map_or(SigView::Words(&[]), |&(sig, _)| sig);
+    // `first` agreeing with itself is a no-op, so comparing against the
+    // full set list matches the per-position all-agree semantics.
+    let views: Vec<SigView<'_>> = sets.iter().map(|&(sig, _)| sig).collect();
+    let rho_matching = view_agreement_count(first, &views);
+    let rho = size_to_f64(rho_matching) / size_to_f64(first.len());
+    if rho == 0.0 {
+        return 0.0;
+    }
+    // Largest set gives the most accurate |union| recovery; `max_by_key`
+    // keeps the last maximum, so `>=` preserves its tie-breaking.
+    let mut largest: Option<(SigView<'_>, u64)> = None;
+    for &(sig, size) in sets {
+        if largest.map_or(true, |(_, best)| size >= best) {
+            largest = Some((sig, size));
+        }
+    }
+    let Some((largest_sig, largest_size)) = largest else {
+        return 0.0;
+    };
+    let union = view_union_of_all(sets, largest_sig.len());
+    let f = view_resemblance(&[largest_sig, SigView::Words(&union)]);
+    if f == 0.0 {
+        return (rho * count_to_f64(largest_size)).min(min_size);
+    }
+    let union_size = count_to_f64(largest_size) / f;
+    (rho * union_size).min(min_size)
+}
+
+/// Componentwise minimum over the non-empty sets only (the owned
+/// estimator unions the filtered subset).
+fn view_union_of_nonempty(sets: &[(SigView<'_>, u64)], len: usize) -> Vec<u32> {
+    let mut out = vec![u32::MAX; len];
+    for &(sig, size) in sets {
+        if size > 0 && !sig.is_empty_set() {
+            for (slot, c) in out.iter_mut().zip(sig.components()) {
+                *slot = if c < *slot { c } else { *slot };
+            }
+        }
+    }
+    out
+}
+
+/// Componentwise minimum over every set (the owned intersection
+/// estimator unions all signatures — its empty-set short-circuit
+/// already ran).
+fn view_union_of_all(sets: &[(SigView<'_>, u64)], len: usize) -> Vec<u32> {
+    let mut out = vec![u32::MAX; len];
+    for &(sig, _) in sets {
+        for (slot, c) in out.iter_mut().zip(sig.components()) {
+            *slot = if c < *slot { c } else { *slot };
+        }
+    }
+    out
+}
+
 /// Estimates `|S₁ ∪ … ∪ S_k|` from signatures plus exact sizes: the
 /// largest set's size divided by its resemblance with the union signature
 /// (Step 3 of Sec. 3.6). Returns 0 for all-empty input and falls back to
@@ -471,5 +744,105 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_length_family_rejected() {
         let _ = HashFamily::new(0, 1);
+    }
+
+    fn le_bytes_of(sig: &CompactSignature) -> Vec<u8> {
+        sig.components().iter().flat_map(|c| c.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn view_component_access_words_and_bytes_agree() {
+        let fam = family(64);
+        let sig = Signature::build(&fam, 0..100).truncate();
+        let bytes = le_bytes_of(&sig);
+        let words = SigView::Words(sig.components());
+        let raw = SigView::Bytes(&bytes);
+        assert_eq!(words.len(), 64);
+        assert_eq!(raw.len(), 64);
+        for i in 0..64 {
+            assert_eq!(words.component(i), raw.component(i), "component {i}");
+        }
+        // Out-of-range reads are the empty sentinel, never a panic.
+        assert_eq!(words.component(64), u32::MAX);
+        assert_eq!(raw.component(64), u32::MAX);
+    }
+
+    #[test]
+    fn view_resemblance_bit_identical_to_owned() {
+        let fam = family(256);
+        let sigs: Vec<CompactSignature> = [0..100u64, 50..150, 75..175]
+            .into_iter()
+            .map(|r| Signature::build(&fam, r).truncate())
+            .collect();
+        let owned: Vec<&CompactSignature> = sigs.iter().collect();
+        let words: Vec<SigView> = sigs.iter().map(|s| SigView::Words(s.components())).collect();
+        let byte_store: Vec<Vec<u8>> = sigs.iter().map(le_bytes_of).collect();
+        let bytes: Vec<SigView> = byte_store.iter().map(|b| SigView::Bytes(b)).collect();
+        for k in 1..=3 {
+            let expect = Signature::resemblance(&owned[..k]);
+            assert_eq!(view_resemblance(&words[..k]), expect, "words k={k}");
+            assert_eq!(view_resemblance(&bytes[..k]), expect, "bytes k={k}");
+        }
+        assert_eq!(view_resemblance(&[]), 0.0);
+        assert_eq!(view_resemblance(&[SigView::Words(&[u32::MAX; 4])]), 0.0, "empty set");
+    }
+
+    #[test]
+    fn view_union_matches_owned_union() {
+        let fam = family(64);
+        let a = Signature::build(&fam, 0..50).truncate();
+        let b = Signature::build(&fam, 30..90).truncate();
+        let expect = Signature::union(&[&a, &b]);
+        let got =
+            view_union(&[SigView::Words(a.components()), SigView::Words(b.components())]);
+        assert_eq!(got, expect.components());
+    }
+
+    #[test]
+    fn view_estimators_bit_identical_to_owned() {
+        // Sweep seeds and shapes; ties in set sizes exercise the
+        // last-max tie-breaking the owned estimators inherit from
+        // `max_by_key`.
+        for seed in 0..8u64 {
+            let fam = HashFamily::new(96, seed);
+            let base = seed * 37;
+            let sigs: Vec<CompactSignature> = [
+                (base..base + 400, 400u64),
+                (base + 100..base + 500, 400),
+                (base + 250..base + 900, 650),
+            ]
+            .iter()
+            .map(|(r, _)| Signature::build(&fam, r.clone()).truncate())
+            .collect();
+            let sizes = [400u64, 400, 650];
+            let owned: Vec<(&CompactSignature, u64)> =
+                sigs.iter().zip(sizes).map(|(s, n)| (s, n)).collect();
+            let byte_store: Vec<Vec<u8>> = sigs.iter().map(le_bytes_of).collect();
+            let words: Vec<(SigView, u64)> =
+                sigs.iter().zip(sizes).map(|(s, n)| (SigView::Words(s.components()), n)).collect();
+            let bytes: Vec<(SigView, u64)> =
+                byte_store.iter().zip(sizes).map(|(b, n)| (SigView::Bytes(b), n)).collect();
+            for k in 1..=3 {
+                let expect_int = estimate_intersection(&owned[..k]);
+                assert_eq!(view_estimate_intersection(&words[..k]), expect_int, "int w k={k}");
+                assert_eq!(view_estimate_intersection(&bytes[..k]), expect_int, "int b k={k}");
+                let expect_union = estimate_union_size(&owned[..k]);
+                assert_eq!(view_estimate_union_size(&words[..k]), expect_union, "uni w k={k}");
+                assert_eq!(view_estimate_union_size(&bytes[..k]), expect_union, "uni b k={k}");
+            }
+        }
+        // Degenerate shapes the owned path special-cases.
+        let empty = Signature::<u32>::empty(16);
+        let fam = family(16);
+        let one = Signature::build(&fam, 0..5).truncate();
+        assert_eq!(
+            view_estimate_intersection(&[
+                (SigView::Words(one.components()), 5),
+                (SigView::Words(empty.components()), 0),
+            ]),
+            estimate_intersection(&[(&one, 5), (&empty, 0)]),
+        );
+        assert_eq!(view_estimate_intersection(&[]), 0.0);
+        assert_eq!(view_estimate_union_size(&[]), 0.0);
     }
 }

@@ -84,6 +84,23 @@ pub fn hash_u64(word: u64) -> u64 {
     word.rotate_left(ROTATE).wrapping_mul(SEED64)
 }
 
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a 64-bit hash of a byte stream — the stable checksum used by the
+/// on-disk formats (snapshot footers, flat-summary section tables).
+/// Unlike [`FxHasher`] it is a published, byte-order-independent
+/// definition, so persisted values stay comparable across builds.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_BASIS;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,6 +24,6 @@ pub mod rng;
 pub mod stats;
 
 pub use cast::{count_ratio, count_to_f64, f64_to_count_saturating, size_to_u64};
-pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use hash::{fnv1a64, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
 pub use rng::SplitMix64;

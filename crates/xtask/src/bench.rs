@@ -244,7 +244,93 @@ fn run_benchmarks(config: &BenchConfig) -> Result<Vec<(String, f64)>, String> {
     metrics.push(("serve_requests_per_sec".into(), requests_per_sec));
     metrics.push(("serve_p95_us".into(), approx_u64(p95_us)));
 
+    let many = if config.quick { 16 } else { 100 };
+    eprintln!("benchmarking many-summary hosting ({many} summaries, owned vs flat)...");
+    bench_many_summaries(&cst, many, &mut metrics)?;
+
     Ok(metrics)
+}
+
+/// The many-summary hosting axis: `count` copies of the summary on
+/// disk as owned (`TWIGCST`) files vs flat (`TWIGFLT1`) containers,
+/// measuring the total time to bring every one of them to a servable
+/// state and the resident-set growth while all are held open. The
+/// owned path deserializes each file into heap structures; the flat
+/// path mmaps and validates a fixed-size envelope, so its cost is
+/// O(1) per summary and its residency is demand-paged.
+fn bench_many_summaries(
+    cst: &Cst,
+    count: usize,
+    metrics: &mut Vec<(String, f64)>,
+) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("twig-bench-many-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut owned_bytes = Vec::new();
+    cst.write_to(&mut owned_bytes).map_err(|e| format!("cannot serialize summary: {e}"))?;
+    let flat_bytes =
+        twig_flat::writer::pack(cst).map_err(|e| format!("cannot pack summary: {e}"))?;
+    let mut owned_paths = Vec::with_capacity(count);
+    let mut flat_paths = Vec::with_capacity(count);
+    for index in 0..count {
+        let owned_path = dir.join(format!("many-{index}.cst"));
+        let flat_path = dir.join(format!("many-{index}.flt"));
+        std::fs::write(&owned_path, &owned_bytes).map_err(|e| format!("cannot write: {e}"))?;
+        std::fs::write(&flat_path, &flat_bytes).map_err(|e| format!("cannot write: {e}"))?;
+        owned_paths.push(owned_path);
+        flat_paths.push(flat_path);
+    }
+
+    let load_all = |paths: &[std::path::PathBuf]| -> Result<(f64, f64, usize), String> {
+        let rss_before = resident_kb();
+        let started = Instant::now();
+        let mut summaries = Vec::with_capacity(paths.len());
+        for path in paths {
+            summaries.push(
+                twig_flat::AnySummary::load_file(path)
+                    .map_err(|e| format!("cannot load {}: {e}", path.display()))?,
+            );
+        }
+        let secs = started.elapsed().as_secs_f64();
+        // Keep every summary alive while sampling residency, and touch
+        // each so the loads cannot be optimized away.
+        let nodes: usize = summaries.iter().map(twig_flat::AnySummary::node_count).sum();
+        let rss_kb = resident_kb().saturating_sub(rss_before);
+        black_box(&summaries);
+        Ok((secs, rss_kb as f64, nodes))
+    };
+
+    let (owned_secs, owned_rss_kb, owned_nodes) = load_all(&owned_paths)?;
+    let (flat_secs, flat_rss_kb, flat_nodes) = load_all(&flat_paths)?;
+    if owned_nodes != flat_nodes {
+        return Err(format!(
+            "many-summary node counts diverged: owned {owned_nodes}, flat {flat_nodes}"
+        ));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    metrics.push(("many_owned_load_ms".into(), owned_secs * 1e3));
+    metrics.push(("many_flat_load_ms".into(), flat_secs * 1e3));
+    metrics.push(("many_load_speedup".into(), owned_secs / flat_secs.max(1e-12)));
+    metrics.push(("many_owned_rss_kb".into(), owned_rss_kb));
+    metrics.push(("many_flat_rss_kb".into(), flat_rss_kb));
+    Ok(())
+}
+
+/// Current resident set in KiB via `/proc/self/status` (0 where that
+/// interface does not exist — the rss metrics then read as deltas of
+/// zero and are excluded from regression checks anyway).
+fn resident_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let digits: String = rest.chars().filter(char::is_ascii_digit).collect();
+            return digits.parse().unwrap_or(0);
+        }
+    }
+    0
 }
 
 /// Cold lookups through the CSR layout vs. the pre-CSR global
@@ -411,8 +497,11 @@ fn check_regressions(path: &str, metrics: &[(String, f64)]) -> ExitCode {
         // ratios are excluded because they do not survive a scale
         // change (a --quick run's cache-resident trie makes the cold
         // CSR-vs-hashmap ratio meaningless); their component times are
-        // still compared, which is what catches a real regression.
-        if name == "summary_nodes" || name.ends_with("_speedup") {
+        // still compared, which is what catches a real regression. The
+        // *_rss_kb deltas are excluded because resident-set accounting
+        // is allocator- and kernel-dependent; the load times alongside
+        // them are what regression-checks the hosting axis.
+        if name == "summary_nodes" || name.ends_with("_speedup") || name.ends_with("_rss_kb") {
             continue;
         }
         compared += 1;

@@ -22,8 +22,11 @@
 //! while clients hammer `/estimate`), kill-mid-write (a torn snapshot
 //! persist followed by a simulated restart that must recover the
 //! previous committed generation from the manifest), socket resets
-//! (injected read/write faults on the HTTP layer), and pool-worker
-//! panic (injected dispatch panics that the pool must contain).
+//! (injected read/write faults on the HTTP layer), pool-worker
+//! panic (injected dispatch panics that the pool must contain), and
+//! flat-mmap-hosting (kill-mid-pack of a `TWIGFLT1` container, the
+//! registry serving off the mapped file, and crash recovery from a
+//! snapshot-store flat payload).
 //!
 //! The harness requires failpoints to be compiled in:
 //!
@@ -121,6 +124,7 @@ fn run_seed(world: &World, seed: u64) -> Result<(), String> {
     scenario_kill_mid_write(world, &baseline, seed)?;
     scenario_socket_resets(world, &baseline, seed)?;
     scenario_worker_panic(world, &baseline, seed)?;
+    scenario_flat_mmap_hosting(world, &baseline, seed)?;
     Ok(())
 }
 
@@ -657,6 +661,92 @@ fn scenario_worker_panic(world: &World, baseline: &Baseline, seed: u64) -> Resul
         return Err(format!("{label}: expected live panic counter of 3, got '{panics_line}'"));
     }
     watch.sample(&running.addr).map_err(|e| format!("{label}: {e}"))?;
+    assert_baseline_estimates(&running.addr, &queries, baseline)
+        .map_err(|e| format!("{label}: {e}"))?;
+    running.stop().map_err(|e| format!("{label}: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// Scenario 5: flat container hosting — kill mid-pack, serve off the
+// mapping, recover from a snapshot-store flat payload after a crash
+// ---------------------------------------------------------------------
+
+fn scenario_flat_mmap_hosting(world: &World, baseline: &Baseline, seed: u64) -> Result<(), String> {
+    let label = "flat-mmap-hosting";
+    let queries = world.queries(seed);
+    let state_dir = world.dir.join(format!("state-flat-{seed}"));
+    std::fs::create_dir_all(&state_dir).map_err(|e| e.to_string())?;
+    let flat_path = world.dir.join(format!("chaos-{seed}.flt"));
+    let cst = Cst::read_from(&mut world.summary_bytes.as_slice())
+        .map_err(|e| format!("{label}: cannot deserialize summary: {e}"))?;
+
+    // Kill mid-pack: the partial write dies before the rename, so a
+    // torn container can never land at the final path; the retry lands.
+    failpoint::configure("flat.pack=1*partial(41),off", seed).map_err(|e| e.to_string())?;
+    if twig_flat::writer::write_file(&cst, &flat_path).is_ok() {
+        return Err(format!("{label}: injected pack fault did not fire"));
+    }
+    failpoint::clear_all();
+    if flat_path.exists() {
+        return Err(format!("{label}: torn pack landed at the final path"));
+    }
+    twig_flat::writer::write_file(&cst, &flat_path)
+        .map_err(|e| format!("{label}: clean re-pack failed: {e}"))?;
+
+    // The registry maps the container zero-copy and serves estimates
+    // bit-identical to the owned baseline.
+    let registry = SummaryRegistry::new();
+    let store = SnapshotStore::open(&state_dir).map_err(|e| format!("{label}: {e}"))?;
+    registry.attach_store(store);
+    registry
+        .load(SummarySpec { name: SUMMARY_NAME.into(), path: flat_path.clone() })
+        .map_err(|e| format!("{label}: cannot load flat summary: {e}"))?;
+    let running = boot(registry)?;
+    assert_baseline_estimates(&running.addr, &queries, baseline)
+        .map_err(|e| format!("{label}: {e}"))?;
+
+    // An injected reload failure degrades the entry but keeps the old
+    // mapping serving; the next clean reload heals it (map-swap).
+    failpoint::configure("registry.load=1*error,off", seed).map_err(|e| e.to_string())?;
+    let response = post(&running.addr, "/admin/reload", b"")?;
+    let body = Json::parse(&response.body_text()).map_err(|e| e.to_string())?;
+    if reload_all_ok(&body) {
+        return Err(format!("{label}: injected reload fault did not fire"));
+    }
+    assert_baseline_estimates(&running.addr, &queries, baseline)
+        .map_err(|e| format!("{label}: degraded mapping diverged: {e}"))?;
+    failpoint::clear_all();
+    let response = post(&running.addr, "/admin/reload", b"")?;
+    let body = Json::parse(&response.body_text()).map_err(|e| e.to_string())?;
+    if !reload_all_ok(&body) {
+        return Err(format!("{label}: healing reload failed: {}", response.body_text()));
+    }
+    assert_baseline_estimates(&running.addr, &queries, baseline)
+        .map_err(|e| format!("{label}: {e}"))?;
+    running.stop().map_err(|e| format!("{label}: {e}"))?;
+
+    // Simulated crash: the flat source is replaced with garbage — by
+    // rename, honouring the mmap contract (a live mapping must never
+    // see an in-place truncation). Recovery must come back from the
+    // snapshot store's raw flat payload, marked stale, bit-identical.
+    let garbage = world.dir.join(format!("garbage-{seed}.tmp"));
+    std::fs::write(&garbage, b"definitely not a container").map_err(|e| e.to_string())?;
+    std::fs::rename(&garbage, &flat_path).map_err(|e| e.to_string())?;
+    let restarted = SummaryRegistry::new();
+    let store = SnapshotStore::open(&state_dir).map_err(|e| format!("{label}: {e}"))?;
+    restarted.attach_store(store);
+    let outcome = restarted
+        .load_or_recover(SummarySpec { name: SUMMARY_NAME.into(), path: flat_path })
+        .map_err(|e| format!("{label}: recovery failed: {e}"))?;
+    match outcome {
+        LoadOutcome::Recovered { .. } => {}
+        other => return Err(format!("{label}: expected snapshot recovery, got {other:?}")),
+    }
+    let running = boot(restarted)?;
+    let response = post(&running.addr, "/estimate", &estimate_body(&queries, Algorithm::Msh))?;
+    if response.header("x-twig-stale-generation").is_none() {
+        return Err(format!("{label}: recovered flat summary lacks the stale header"));
+    }
     assert_baseline_estimates(&running.addr, &queries, baseline)
         .map_err(|e| format!("{label}: {e}"))?;
     running.stop().map_err(|e| format!("{label}: {e}"))

@@ -33,6 +33,7 @@ const STRICT_SCOPES: &[&str] = &[
     "crates/sethash/src/",
     "crates/pst/src/",
     "crates/serve/src/",
+    "crates/flat/src/",
     "crates/util/src/failpoint.rs",
 ];
 
@@ -41,9 +42,11 @@ const STRICT_SCOPES: &[&str] = &[
 /// `twig_util::cast`, outside the scope by construction).
 const CAST_ALLOWLIST: &[&str] = &[];
 
-/// Files allowed to contain `unsafe` (none today; additions need a code
-/// review that lands them here *and* an `unsafe_code` lint override).
-const UNSAFE_ALLOWLIST: &[&str] = &[];
+/// Files allowed to contain `unsafe` (additions need a code review that
+/// lands them here *and* an `unsafe_code` lint override). The mmap shim
+/// is the workspace's single unsafe boundary: two FFI calls and the
+/// `Send`/`Sync` assertions for the read-only mapping they return.
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/flat/src/mmap.rs"];
 
 /// Is `file` (repo-relative) test-ish by location alone? Integration
 /// tests, benches, examples and build scripts may panic freely.
