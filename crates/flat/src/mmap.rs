@@ -75,6 +75,8 @@ pub(crate) struct MmapRegion {
 // freed exactly once by the owner; shared `&self` access only ever reads.
 #[cfg(unix)]
 unsafe impl Send for MmapRegion {}
+// SAFETY: same invariant — PROT_READ mapping, no interior mutability, so
+// concurrent `&self` reads from any thread are sound.
 #[cfg(unix)]
 unsafe impl Sync for MmapRegion {}
 

@@ -184,7 +184,10 @@ mod enabled {
     /// `delay` stages; panics the current thread for `panic` stages.
     pub fn hit(point_name: &str) -> Option<Fault> {
         ENV_INIT.call_once(init_from_env);
-        if !AtomicBool::load(&ACTIVE, Ordering::Relaxed) {
+        // Acquire pairs with the Release stores in `set`/`clear_all`:
+        // observing `true` here must also observe the point-table writes
+        // that preceded the flip (twig-race: race-atomic-publish).
+        if !AtomicBool::load(&ACTIVE, Ordering::Acquire) {
             return None;
         }
         let effect = lookup_effect(point_name)?;
@@ -278,7 +281,9 @@ mod enabled {
                 triggered: 0,
             });
         }
-        AtomicBool::store(&ACTIVE, true, Ordering::Relaxed);
+        // Release publishes the table mutations above to `hit`'s
+        // Acquire fast-path load.
+        AtomicBool::store(&ACTIVE, true, Ordering::Release);
         Ok(())
     }
 
@@ -310,7 +315,9 @@ mod enabled {
     pub fn clear_all() {
         let mut table = lock_table();
         Vec::clear(&mut table);
-        AtomicBool::store(&ACTIVE, false, Ordering::Relaxed);
+        // Release keeps the flag's store side uniformly ordered with
+        // `set` (the paired `hit` load is Acquire).
+        AtomicBool::store(&ACTIVE, false, Ordering::Release);
     }
 
     /// How many times the named point has actually fired (injected a

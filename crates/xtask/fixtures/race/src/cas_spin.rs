@@ -1,0 +1,42 @@
+//! `compare_exchange` ordering discipline (`race-cas-order`) and
+//! atomics spun as ad-hoc locks (`race-atomic-lock`).
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+static LATCH: AtomicU8 = AtomicU8::new(0);
+
+pub fn claim_bad() -> bool {
+    LATCH.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Acquire).is_ok() // FLAG: race-cas-order
+}
+
+pub fn claim_ok() -> bool {
+    LATCH.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).is_ok() // CLEAN
+}
+
+pub fn claim_weak_bad() -> bool {
+    LATCH.compare_exchange_weak(0, 1, Ordering::Relaxed, Ordering::SeqCst).is_ok() // FLAG: race-cas-order
+}
+
+// -- spinning on an atomic instead of taking a lock -------------------
+
+static BUSY: AtomicBool = AtomicBool::new(false);
+
+pub fn spin_empty_bad() {
+    while BUSY.swap(true, Ordering::Acquire) {} // FLAG: race-atomic-lock
+}
+
+pub fn spin_hint_bad() {
+    while BUSY.load(Ordering::Acquire) { // FLAG: race-atomic-lock
+        std::hint::spin_loop();
+    }
+}
+
+pub fn wait_parked_ok() {
+    while BUSY.load(Ordering::Acquire) { // CLEAN
+        std::thread::park();
+    }
+}
+
+pub fn release() {
+    BUSY.store(false, Ordering::Release); // CLEAN
+}

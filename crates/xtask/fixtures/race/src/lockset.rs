@@ -1,0 +1,85 @@
+//! GuardedBy-inference patterns (`race-lockset`).
+//!
+//! Once a plain field is accessed under a lock anywhere, every access
+//! must hold the majority lock. `&mut self` methods own the struct
+//! exclusively and are exempt; a field never guarded anywhere is
+//! treated as immutable-after-construction and is not a finding.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Shared {
+    state: Mutex<u32>,
+    hits: u64,
+    tag: u32,
+}
+
+impl Shared {
+    pub fn guarded_read(&self) -> u64 {
+        let g = self.state.lock().unwrap();
+        self.hits // CLEAN
+    }
+
+    pub fn guarded_copy(&self) {
+        let g = self.state.lock().unwrap();
+        let n = self.hits; // CLEAN
+    }
+
+    pub fn unguarded(&self) -> u64 {
+        self.hits // FLAG: race-lockset
+    }
+
+    pub fn exclusive(&mut self) -> u64 {
+        self.hits // CLEAN
+    }
+
+    pub fn never_guarded(&self) -> u32 {
+        self.tag // CLEAN
+    }
+}
+
+// -- two locks, inconsistently held -----------------------------------
+
+pub struct Dual {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    shared: u64,
+}
+
+impl Dual {
+    pub fn under_a(&self) -> u64 {
+        let g = self.a.lock().unwrap();
+        self.shared // CLEAN
+    }
+
+    pub fn under_a_again(&self) -> u64 {
+        let g = self.a.lock().unwrap();
+        self.shared // CLEAN
+    }
+
+    pub fn under_b_only(&self) -> u64 {
+        let g = self.b.lock().unwrap();
+        self.shared // FLAG: race-lockset
+    }
+}
+
+// -- guard-returning helpers resolve to their lock --------------------
+
+pub struct Helper {
+    state: Mutex<u32>,
+    total: u64,
+}
+
+impl Helper {
+    fn lock_state(&self) -> MutexGuard<'_, u32> {
+        self.state.lock().unwrap()
+    }
+
+    pub fn via_helper(&self) -> u64 {
+        let g = self.lock_state();
+        self.total // CLEAN
+    }
+
+    pub fn bare(&self) -> u64 {
+        self.total // FLAG: race-lockset
+    }
+}

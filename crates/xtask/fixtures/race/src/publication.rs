@@ -1,0 +1,97 @@
+//! Atomic publication-latch patterns (`race-atomic-publish`).
+//!
+//! The first block reconstructs the real bug PR 8 fixed in
+//! `crates/util/src/failpoint.rs`: `set()` mutated the point table
+//! under its mutex and then armed the `ACTIVE` fast-path flag with a
+//! `Relaxed` store, while `hit()` gated on the flag with a `Relaxed`
+//! load — a thread observing `true` had no ordering edge to the table
+//! writes that preceded the flip.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+// -- the historical failpoint bug, method form ------------------------
+
+static PUB_BAD: AtomicBool = AtomicBool::new(false);
+static TABLE: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+pub fn arm_bad(point: u32) {
+    let mut table = TABLE.lock().unwrap();
+    table.push(point);
+    PUB_BAD.store(true, Ordering::Relaxed); // FLAG: race-atomic-publish
+}
+
+pub fn hit_bad() -> bool {
+    PUB_BAD.load(Ordering::Relaxed) // CLEAN
+}
+
+// -- the fixed form: Release publish, Acquire consume -----------------
+
+static PUB_OK: AtomicBool = AtomicBool::new(false);
+
+pub fn arm_ok(point: u32) {
+    let mut table = TABLE.lock().unwrap();
+    table.push(point);
+    PUB_OK.store(true, Ordering::Release); // CLEAN
+}
+
+pub fn hit_ok() -> bool {
+    PUB_OK.load(Ordering::Acquire) // CLEAN
+}
+
+// -- qualified-call form (the style failpoint itself uses) ------------
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+pub fn set_qualified(table: &mut Vec<u32>, point: u32) {
+    table.push(point);
+    AtomicBool::store(&ACTIVE, true, Ordering::Relaxed); // FLAG: race-atomic-publish
+}
+
+pub fn check_qualified() -> bool {
+    AtomicBool::load(&ACTIVE, Ordering::Acquire) // CLEAN
+}
+
+// -- asymmetric halves of an Acquire/Release pair ---------------------
+
+static GEN: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump_gen(next: u64) {
+    GEN.store(next, Ordering::Release); // CLEAN
+}
+
+pub fn read_gen_bad() -> u64 {
+    GEN.load(Ordering::Relaxed) // FLAG: race-atomic-publish
+}
+
+// -- counters are exempt by role --------------------------------------
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn record(buf: &mut Vec<u8>) {
+    buf.push(1);
+    HITS.fetch_add(1, Ordering::Relaxed); // CLEAN
+}
+
+pub fn reset_counter(buf: &mut Vec<u8>) {
+    buf.clear();
+    HITS.store(0, Ordering::Relaxed); // CLEAN
+}
+
+pub fn total() -> u64 {
+    HITS.load(Ordering::Relaxed) // CLEAN
+}
+
+// -- resolution through a type alias ----------------------------------
+
+type Flag = AtomicBool;
+static LIVE: Flag = Flag::new(false);
+
+pub fn alias_publish(buf: &mut Vec<u8>) {
+    buf.push(1);
+    LIVE.store(true, Ordering::Relaxed); // FLAG: race-atomic-publish
+}
+
+pub fn alias_observe() -> bool {
+    LIVE.load(Ordering::Acquire) // CLEAN
+}

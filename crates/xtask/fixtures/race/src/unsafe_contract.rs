@@ -1,0 +1,75 @@
+//! Unsafe-contract audit patterns (`race-unsafe-comment`,
+//! `race-unsafe-impl`, `race-unsafe-bound`). Spacing is deliberate:
+//! a justification comment only covers the item within its window
+//! (three lines for blocks and impls, ten for fn doc headers).
+
+use std::slice;
+
+pub struct Region {
+    ptr: *const u8,
+    len: usize,
+}
+
+// The Send assertion below carries no justification within its window.
+
+unsafe impl Send for Region {} // FLAG: race-unsafe-impl
+
+// SAFETY: Region is immutable after construction; concurrent reads
+// through `&self` are sound.
+unsafe impl Sync for Region {} // CLEAN
+
+pub fn read_unchecked(p: *const u8) -> u8 {
+    let q = p;
+    unsafe { *q } // FLAG: race-unsafe-comment
+}
+
+pub fn read_checked(p: *const u8) -> u8 {
+    // SAFETY: caller contract — p points into the mapped region.
+    unsafe { *p } // CLEAN
+}
+
+// The fn below carries no safety doc section within its window.
+// These filler lines keep the previous justification comment outside
+// the fn-header window, so the miss is unambiguous: the declaration
+// itself is what lacks a written contract, not the file.
+//
+// (A real offender usually looks exactly like this — an unsafe fn
+// added in a hurry with the contract left in the author's head.)
+
+pub unsafe fn byte_at_bad(p: *const u8) -> u8 { // FLAG: race-unsafe-comment
+    *p
+}
+
+/// Reads one byte from a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be valid for reads for the whole call.
+pub unsafe fn byte_at(p: *const u8) -> u8 { // CLEAN
+    *p
+}
+
+// -- raw-pointer/len pairs must trace to a validated bound ------------
+
+pub fn view_bad(ptr: *const u8, n: usize) -> &'static [u8] {
+    // SAFETY: the pointer is mapped (but the length is unvalidated).
+    unsafe { slice::from_raw_parts(ptr, n) } // FLAG: race-unsafe-bound
+}
+
+pub fn view_guarded(ptr: *const u8, n: usize, cap: usize) -> &'static [u8] {
+    assert!(n <= cap);
+    // SAFETY: n is bounded by cap just above.
+    unsafe { slice::from_raw_parts(ptr, n) } // CLEAN
+}
+
+pub fn header(ptr: *const u8) -> &'static [u8] {
+    // SAFETY: fixed eight-byte header, always mapped.
+    unsafe { slice::from_raw_parts(ptr, 8) } // CLEAN
+}
+
+impl Region {
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len are tied together by the construction invariant.
+        unsafe { slice::from_raw_parts(self.ptr, self.len) } // CLEAN
+    }
+}

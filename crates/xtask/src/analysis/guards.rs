@@ -1,0 +1,42 @@
+//! Shared guard (sanitizer) recognition.
+//!
+//! Both the taint pass and the race pass's unsafe-contract audit need
+//! to answer the same question: does this call validate a value? Taint
+//! uses it to clean expressions flowing toward sinks; the race pass
+//! uses it to accept a raw-pointer length as carrying a dominating
+//! validated bound. Keeping the list in one place means a new guard
+//! (say, a future `checked_shl` helper) is recognized by every analyzer
+//! at once.
+
+/// Is `name` a sanitizing call? The whole expression it appears in is
+/// treated as validated: `checked_*`/`saturating_*` bound arithmetic,
+/// `try_into`/`try_from` reject out-of-range conversions, `min`/`clamp`
+/// impose an upper bound.
+pub(crate) fn is_guard_ident(name: &str) -> bool {
+    name.starts_with("checked_")
+        || name.starts_with("saturating_")
+        || matches!(name, "try_into" | "try_from" | "min" | "clamp")
+}
+
+/// Comparison operators that establish a bound on their operands — a
+/// variable observed in one of these (typically inside an `if`
+/// condition) counts as range-checked from there on. Shared between the
+/// taint walker's comparison sanitization and the race pass's
+/// dominating-bound search.
+pub(crate) const COMPARISON_OPS: &[&str] = &["<", "<=", ">", ">=", "==", "!="];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_idents_cover_the_sanitizer_families() {
+        assert!(is_guard_ident("checked_add"));
+        assert!(is_guard_ident("saturating_sub"));
+        assert!(is_guard_ident("try_into"));
+        assert!(is_guard_ident("min"));
+        assert!(is_guard_ident("clamp"));
+        assert!(!is_guard_ident("unchecked_add"));
+        assert!(!is_guard_ident("max"));
+    }
+}

@@ -32,6 +32,9 @@ pub(crate) struct FnItem {
     pub(crate) is_pub: bool,
     /// Takes `self` in any form (method).
     pub(crate) has_self: bool,
+    /// Takes `self` exclusively (`&mut self` or by-value `mut self`) —
+    /// such methods cannot race and are exempt from lockset inference.
+    pub(crate) self_mut: bool,
     /// Inside `#[cfg(test)]` code or a test-path file.
     pub(crate) in_test: bool,
     /// Enclosing `impl`/`trait` type name, if any.
@@ -49,6 +52,52 @@ pub(crate) struct FnItem {
     pub(crate) body: Option<(usize, usize)>,
 }
 
+/// One declared struct field or `static` item: name, flattened type
+/// text (token texts joined with spaces, e.g. `RwLock < Vec < Entry > >`),
+/// and declaration line.
+#[derive(Debug, Clone)]
+pub(crate) struct FieldDecl {
+    pub(crate) name: String,
+    pub(crate) ty: String,
+    pub(crate) line: usize,
+}
+
+/// One struct declaration with its named fields (tuple structs carry no
+/// named state the race pass can track and are skipped).
+#[derive(Debug)]
+pub(crate) struct StructDecl {
+    pub(crate) name: String,
+    pub(crate) fields: Vec<FieldDecl>,
+}
+
+/// What kind of `unsafe` region a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UnsafeKind {
+    /// `unsafe { … }` block.
+    Block,
+    /// `unsafe fn` item (the span covers the body).
+    Fn,
+    /// `unsafe impl … for …` (the race pass audits `Send`/`Sync`).
+    Impl,
+}
+
+/// One `unsafe` region: kind, line range, and — for `unsafe impl` — the
+/// asserted trait name (`Send`/`Sync`) when one is present.
+#[derive(Debug)]
+pub(crate) struct UnsafeSpan {
+    pub(crate) kind: UnsafeKind,
+    /// 1-based line of the `unsafe` keyword.
+    pub(crate) line: usize,
+    /// 1-based line of the closing brace (== `line` for bodyless items).
+    pub(crate) end_line: usize,
+    /// `Some("Send" | "Sync" | …)` for `unsafe impl Trait for Type`.
+    pub(crate) trait_name: Option<String>,
+    /// The implementing type for `unsafe impl Trait for Type`.
+    pub(crate) for_type: Option<String>,
+    /// Inside `#[cfg(test)]` code or a test-path file.
+    pub(crate) in_test: bool,
+}
+
 /// Everything the analyzer extracted from one file.
 #[derive(Debug)]
 pub(crate) struct FileModel {
@@ -60,6 +109,15 @@ pub(crate) struct FileModel {
     pub(crate) fns: Vec<FnItem>,
     /// Names of struct fields with `Mutex<…>` / `RwLock<…>` types.
     pub(crate) lock_fields: Vec<String>,
+    /// Struct declarations with full (name, type, line) field lists.
+    pub(crate) structs: Vec<StructDecl>,
+    /// `static NAME: TY` items (including `static mut`).
+    pub(crate) statics: Vec<FieldDecl>,
+    /// `type Alias = Ty;` items, `(alias, flattened type text)` — lets
+    /// the race pass see through `type Flag = AtomicBool;`.
+    pub(crate) type_aliases: Vec<(String, String)>,
+    /// `unsafe` blocks, fns and impls, for the unsafe-contract audit.
+    pub(crate) unsafe_spans: Vec<UnsafeSpan>,
 }
 
 /// The crate segment for a repo-relative path: `crates/<name>/…` uses
@@ -84,6 +142,10 @@ pub(crate) fn parse_file(
     let krate = crate_of(file);
     let mut fns = Vec::new();
     let mut lock_fields = Vec::new();
+    let mut structs = Vec::new();
+    let mut statics = Vec::new();
+    let mut type_aliases = Vec::new();
+    let unsafe_spans = collect_unsafe_spans(&tokens, test_lines, path_is_test);
 
     // (name, depth inside the scope): popped when depth drops back.
     let mut scopes: Vec<(String, usize)> = Vec::new();
@@ -151,6 +213,7 @@ pub(crate) fn parse_file(
             }
             (TokenKind::Ident, "struct" | "enum" | "union") if is_ident(&tokens, i + 1) => {
                 pending_pub = false;
+                let struct_name = tokens[i + 1].text.clone();
                 let mut j = i + 2;
                 if next_is(&tokens, j, "<") {
                     j = skip_angles(&tokens, j);
@@ -165,7 +228,13 @@ pub(crate) fn parse_file(
                 if next_is(&tokens, j, "{") {
                     let close = matching_brace(&tokens, j);
                     if t.text == "struct" {
-                        collect_lock_fields(&tokens[j + 1..close], &mut lock_fields);
+                        let fields = collect_fields(&tokens[j + 1..close]);
+                        for field in &fields {
+                            if type_mentions(&field.ty, &["Mutex", "RwLock"]) {
+                                lock_fields.push(field.name.clone());
+                            }
+                        }
+                        structs.push(StructDecl { name: struct_name, fields });
                     }
                     i = close + 1; // field types hold no fn items
                 } else if next_is(&tokens, j, "(") {
@@ -173,6 +242,31 @@ pub(crate) fn parse_file(
                 } else {
                     i = j + 1;
                 }
+            }
+            (TokenKind::Ident, "static") if is_static_item(&tokens, i) => {
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if is_ident(&tokens, j) && next_is(&tokens, j + 1, ":") {
+                    let name = tokens[j].text.clone();
+                    let line = tokens[j].line;
+                    let (ty, after) = flatten_type(&tokens, j + 2, &["=", ";"]);
+                    statics.push(FieldDecl { name, ty, line });
+                    pending_pub = false;
+                    i = after;
+                } else {
+                    i += 1;
+                }
+            }
+            (TokenKind::Ident, "type")
+                if is_ident(&tokens, i + 1) && next_is(&tokens, i + 2, "=") =>
+            {
+                let alias = tokens[i + 1].text.clone();
+                let (ty, after) = flatten_type(&tokens, i + 3, &[";"]);
+                type_aliases.push((alias, ty));
+                pending_pub = false;
+                i = after;
             }
             (TokenKind::Ident, "macro_rules") if next_is(&tokens, i + 1, "!") => {
                 pending_pub = false;
@@ -187,7 +281,7 @@ pub(crate) fn parse_file(
                 pending_pub = false;
                 let name = tokens[i + 1].text.clone();
                 let line = t.line;
-                let (has_self, params, ret, body_open) = parse_fn_head(&tokens, i + 2);
+                let (has_self, self_mut, params, ret, body_open) = parse_fn_head(&tokens, i + 2);
                 let impl_type = match scopes.last() {
                     Some((scope, d)) if *d == depth && is_type_name(scope) => Some(scope.clone()),
                     _ => None,
@@ -213,6 +307,7 @@ pub(crate) fn parse_file(
                     line,
                     is_pub,
                     has_self,
+                    self_mut,
                     in_test: in_test_line(line),
                     impl_type,
                     params,
@@ -233,7 +328,190 @@ pub(crate) fn parse_file(
 
     lock_fields.sort();
     lock_fields.dedup();
-    FileModel { file: file.to_owned(), tokens, fns, lock_fields }
+    FileModel {
+        file: file.to_owned(),
+        tokens,
+        fns,
+        lock_fields,
+        structs,
+        statics,
+        type_aliases,
+        unsafe_spans,
+    }
+}
+
+/// Does `static` at `i` start a static item? (`'static` lifetimes are a
+/// different token kind; this only needs to recognize the
+/// `static [mut] NAME :` shape.)
+fn is_static_item(tokens: &[Token], i: usize) -> bool {
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    is_ident(tokens, j) && next_is(tokens, j + 1, ":")
+}
+
+/// Flattens a type expression starting at `start` into token texts
+/// joined with spaces, stopping at the first of `stops` at nesting
+/// depth 0. Returns the text and the index of the stop token.
+fn flatten_type(tokens: &[Token], start: usize, stops: &[&str]) -> (String, usize) {
+    let mut ty = String::new();
+    let mut depth = 0isize;
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                s if depth <= 0 && stops.contains(&s) => break,
+                "<" | "(" | "[" => depth += 1,
+                "<<" => depth += 2,
+                ">" | ")" | "]" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+        }
+        if !ty.is_empty() {
+            ty.push(' ');
+        }
+        ty.push_str(&t.text);
+        j += 1;
+    }
+    (ty, j)
+}
+
+/// Does the flattened type text mention one of `names` as a whole token?
+pub(crate) fn type_mentions(ty: &str, names: &[&str]) -> bool {
+    ty.split(' ').any(|tok| names.contains(&tok))
+}
+
+/// Collects `unsafe` regions: blocks, fn bodies, and impls (with the
+/// asserted trait name for `unsafe impl Send/Sync for T`). A linear
+/// pre-pass independent of the item state machine, so nesting inside
+/// skipped regions (struct bodies, macros) cannot hide a span.
+fn collect_unsafe_spans(
+    tokens: &[Token],
+    test_lines: &[bool],
+    path_is_test: bool,
+) -> Vec<UnsafeSpan> {
+    let in_test_line = |line: usize| {
+        path_is_test || test_lines.get(line.saturating_sub(1)).copied().unwrap_or(false)
+    };
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("unsafe") {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        let in_test = in_test_line(line);
+        let mut j = i + 1;
+        // `unsafe extern "C" fn` / `unsafe fn`: skip qualifiers.
+        while tokens.get(j).is_some_and(|t| t.is_ident("extern") || t.kind == TokenKind::Str) {
+            j += 1;
+        }
+        match tokens.get(j) {
+            Some(t) if t.is_punct("{") => {
+                let close = matching_brace(tokens, j);
+                let end_line = tokens.get(close).map_or(line, |t| t.line);
+                spans.push(UnsafeSpan {
+                    kind: UnsafeKind::Block,
+                    line,
+                    end_line,
+                    trait_name: None,
+                    for_type: None,
+                    in_test,
+                });
+                i = j + 1; // walk into the block: nested unsafe still scans
+            }
+            Some(t) if t.is_ident("fn") => {
+                // Body = first `{` before a `;` (bodyless trait decls
+                // have none).
+                let mut k = j + 1;
+                while k < tokens.len() && !tokens[k].is_punct("{") && !tokens[k].is_punct(";") {
+                    k += 1;
+                }
+                let end_line = if next_is(tokens, k, "{") {
+                    let close = matching_brace(tokens, k);
+                    tokens.get(close).map_or(line, |t| t.line)
+                } else {
+                    line
+                };
+                spans.push(UnsafeSpan {
+                    kind: UnsafeKind::Fn,
+                    line,
+                    end_line,
+                    trait_name: None,
+                    for_type: None,
+                    in_test,
+                });
+                i = j + 1;
+            }
+            Some(t) if t.is_ident("impl") => {
+                // Trait name: the last plain ident before `for` (or the
+                // `{` when there is no `for` clause).
+                let mut trait_name = None;
+                let mut k = j + 1;
+                let mut angle = 0isize;
+                while k < tokens.len() {
+                    let t = &tokens[k];
+                    match (&t.kind, t.text.as_str()) {
+                        (TokenKind::Punct, "{" | ";") if angle <= 0 => break,
+                        (TokenKind::Ident, "for") if angle <= 0 => break,
+                        (TokenKind::Punct, "<") => angle += 1,
+                        (TokenKind::Punct, "<<") => angle += 2,
+                        (TokenKind::Punct, ">") => angle -= 1,
+                        (TokenKind::Punct, ">>") => angle -= 2,
+                        (TokenKind::Ident, name) if angle <= 0 => {
+                            trait_name = Some(name.to_owned());
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                // The implementing type: last plain ident before the
+                // body (after `for`, when present).
+                let mut for_type = None;
+                let mut angle = 0isize;
+                while k < tokens.len() && !tokens[k].is_punct("{") && !tokens[k].is_punct(";") {
+                    let t = &tokens[k];
+                    match (&t.kind, t.text.as_str()) {
+                        (TokenKind::Punct, "<") => angle += 1,
+                        (TokenKind::Punct, "<<") => angle += 2,
+                        (TokenKind::Punct, ">") => angle -= 1,
+                        (TokenKind::Punct, ">>") => angle -= 2,
+                        (TokenKind::Ident, name)
+                            if angle <= 0 && name != "for" && name != "where" =>
+                        {
+                            for_type = Some(name.to_owned());
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let end_line = if next_is(tokens, k, "{") {
+                    let close = matching_brace(tokens, k);
+                    tokens.get(close).map_or(line, |t| t.line)
+                } else {
+                    line
+                };
+                spans.push(UnsafeSpan {
+                    kind: UnsafeKind::Impl,
+                    line,
+                    end_line,
+                    trait_name,
+                    for_type,
+                    in_test,
+                });
+                i = j + 1;
+            }
+            _ => {
+                // `unsafe trait`, fn-pointer types, …: no auditable span.
+                i = j;
+            }
+        }
+    }
+    spans
 }
 
 /// Heuristic: impl/trait scope names are capitalized type names; module
@@ -335,11 +613,15 @@ fn parse_impl_head(tokens: &[Token], i: usize) -> (String, usize) {
 /// Parses a fn head after the name: generics, parameter list (checking
 /// for `self` and collecting parameter names), return type text, and
 /// the index of the body `{` (None for `;`-terminated declarations).
-fn parse_fn_head(tokens: &[Token], mut j: usize) -> (bool, Vec<String>, String, Option<usize>) {
+fn parse_fn_head(
+    tokens: &[Token],
+    mut j: usize,
+) -> (bool, bool, Vec<String>, String, Option<usize>) {
     if next_is(tokens, j, "<") {
         j = skip_angles(tokens, j);
     }
     let mut has_self = false;
+    let mut self_mut = false;
     let mut params = Vec::new();
     if next_is(tokens, j, "(") {
         let end = skip_balanced(tokens, j, "(", ")");
@@ -359,6 +641,10 @@ fn parse_fn_head(tokens: &[Token], mut j: usize) -> (bool, Vec<String>, String, 
                 ":" if t.kind == TokenKind::Punct && depth == 1 => in_binding = false,
                 "self" if t.kind == TokenKind::Ident && params.is_empty() && in_binding => {
                     has_self = true;
+                    // `&mut self` / by-value `mut self` = exclusive
+                    // receiver; `&self` and `self: Arc<Self>` are not.
+                    self_mut = j + offset >= 1
+                        && tokens.get(j + offset - 1).is_some_and(|p| p.is_ident("mut"));
                 }
                 _ if t.kind == TokenKind::Ident
                     && depth == 1
@@ -404,41 +690,29 @@ fn parse_fn_head(tokens: &[Token], mut j: usize) -> (bool, Vec<String>, String, 
         j += 1;
     }
     if next_is(tokens, j, "{") {
-        (has_self, params, ret, Some(j))
+        (has_self, self_mut, params, ret, Some(j))
     } else {
-        (has_self, params, ret, None)
+        (has_self, self_mut, params, ret, None)
     }
 }
 
-/// Records struct fields whose type mentions `Mutex`/`RwLock`.
-fn collect_lock_fields(body: &[Token], out: &mut Vec<String>) {
+/// Records every named struct field with its flattened type text. The
+/// lock-discipline pass filters for `Mutex`/`RwLock` mentions; the race
+/// pass additionally needs atomics, cells and plain fields.
+fn collect_fields(body: &[Token]) -> Vec<FieldDecl> {
+    let mut out = Vec::new();
     let mut i = 0usize;
     while i < body.len() {
         if body[i].kind == TokenKind::Ident && next_is(body, i + 1, ":") {
             let name = body[i].text.clone();
-            let mut j = i + 2;
-            let mut depth = 0isize;
-            let mut is_lock = false;
-            while j < body.len() {
-                let t = &body[j];
-                match (&t.kind, t.text.as_str()) {
-                    (TokenKind::Punct, ",") if depth <= 0 => break,
-                    (TokenKind::Punct, "<" | "(") => depth += 1,
-                    (TokenKind::Punct, "<<") => depth += 2,
-                    (TokenKind::Punct, ">" | ")") => depth -= 1,
-                    (TokenKind::Punct, ">>") => depth -= 2,
-                    (TokenKind::Ident, "Mutex" | "RwLock") => is_lock = true,
-                    _ => {}
-                }
-                j += 1;
-            }
-            if is_lock {
-                out.push(name);
-            }
-            i = j;
+            let line = body[i].line;
+            let (ty, after) = flatten_type(body, i + 2, &[","]);
+            out.push(FieldDecl { name, ty, line });
+            i = after;
         }
         i += 1;
     }
+    out
 }
 
 #[cfg(test)]
@@ -557,5 +831,107 @@ impl R {
         let m = model("crates/core/src/x.rs", src);
         assert_eq!(m.fns.len(), 1);
         assert!(m.fns[0].is_pub);
+    }
+
+    #[test]
+    fn struct_fields_carry_types_and_lines() {
+        let src = "
+struct State {
+    shutdown: AtomicBool,
+    entries: RwLock<Vec<Entry>>,
+    generation: u64,
+    state: [AtomicU8; 4],
+}
+";
+        let m = model("crates/serve/src/x.rs", src);
+        assert_eq!(m.structs.len(), 1);
+        let s = &m.structs[0];
+        assert_eq!(s.name, "State");
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["shutdown", "entries", "generation", "state"]);
+        assert!(type_mentions(&s.fields[0].ty, &["AtomicBool"]));
+        assert!(type_mentions(&s.fields[3].ty, &["AtomicU8"]), "{}", s.fields[3].ty);
+        assert!(!type_mentions(&s.fields[2].ty, &["AtomicU64"]));
+        assert_eq!(m.lock_fields, ["entries"]);
+        assert_eq!(s.fields[1].line, 4);
+    }
+
+    #[test]
+    fn statics_and_type_aliases_are_collected() {
+        let src = "
+type Flag = AtomicBool;
+static ACTIVE: Flag = Flag::new(false);
+static mut RAW: u64 = 0;
+fn with_lifetime(x: &'static str) {}
+";
+        let m = model("crates/util/src/x.rs", src);
+        assert_eq!(m.type_aliases, [("Flag".to_owned(), "AtomicBool".to_owned())]);
+        let names: Vec<&str> = m.statics.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["ACTIVE", "RAW"]);
+        assert_eq!(m.statics[0].ty, "Flag");
+    }
+
+    #[test]
+    fn unsafe_block_vs_unsafe_fn_spans() {
+        let src = "
+fn outer() {
+    let x = unsafe {
+        do_thing()
+    };
+}
+unsafe fn raw_read(p: *const u8) -> u8 {
+    *p
+}
+trait T { unsafe fn decl(&self); }
+";
+        let m = model("crates/flat/src/x.rs", src);
+        assert_eq!(m.unsafe_spans.len(), 3, "{:?}", m.unsafe_spans);
+        assert_eq!(m.unsafe_spans[0].kind, UnsafeKind::Block);
+        assert_eq!((m.unsafe_spans[0].line, m.unsafe_spans[0].end_line), (3, 5));
+        assert_eq!(m.unsafe_spans[1].kind, UnsafeKind::Fn);
+        assert_eq!((m.unsafe_spans[1].line, m.unsafe_spans[1].end_line), (7, 9));
+        // Bodyless trait declaration: the span collapses to its line.
+        assert_eq!(m.unsafe_spans[2].kind, UnsafeKind::Fn);
+        assert_eq!(m.unsafe_spans[2].line, m.unsafe_spans[2].end_line);
+    }
+
+    #[test]
+    fn unsafe_impl_send_sync_carries_the_trait_name() {
+        let src = "
+unsafe impl Send for Region {}
+unsafe impl Sync for Region {}
+unsafe impl<T> MarkerWith<T> for Holder<T> {}
+";
+        let m = model("crates/flat/src/x.rs", src);
+        let traits: Vec<Option<&str>> =
+            m.unsafe_spans.iter().map(|s| s.trait_name.as_deref()).collect();
+        assert_eq!(traits, [Some("Send"), Some("Sync"), Some("MarkerWith")]);
+        assert!(m.unsafe_spans.iter().all(|s| s.kind == UnsafeKind::Impl));
+        let types: Vec<Option<&str>> =
+            m.unsafe_spans.iter().map(|s| s.for_type.as_deref()).collect();
+        assert_eq!(types, [Some("Region"), Some("Region"), Some("Holder")]);
+    }
+
+    #[test]
+    fn mut_self_receivers_are_distinguished() {
+        let src = "
+impl S {
+    fn shared(&self) {}
+    fn excl(&mut self) {}
+    fn owned(mut self) {}
+    fn free(x: u32) {}
+}
+";
+        let m = model("crates/serve/src/x.rs", src);
+        let muts: Vec<bool> = m.fns.iter().map(|f| f.self_mut).collect();
+        assert_eq!(muts, [false, true, true, false]);
+    }
+
+    #[test]
+    fn unsafe_extern_fn_is_a_fn_span() {
+        let src = "unsafe extern \"C\" fn cb(x: u32) -> u32 { x }";
+        let m = model("crates/flat/src/x.rs", src);
+        assert_eq!(m.unsafe_spans.len(), 1);
+        assert_eq!(m.unsafe_spans[0].kind, UnsafeKind::Fn);
     }
 }

@@ -10,6 +10,7 @@
 //! understands.
 
 pub(crate) mod callgraph;
+pub(crate) mod guards;
 pub(crate) mod items;
 pub(crate) mod scan;
 pub(crate) mod tokens;

@@ -1,6 +1,8 @@
-//! Lock-discipline analysis for the serving layer.
+//! Lock-discipline analysis for the strict-scope crates.
 //!
-//! `crates/serve` keeps shared state behind `Mutex`/`RwLock`; the two
+//! `crates/serve` (and since PR 8 `crates/flat` and `crates/util` too —
+//! see `LOCK_SCOPES` in `main.rs`) keeps shared state behind
+//! `Mutex`/`RwLock`; the two
 //! failure modes no node-local lint can see are (a) a guard held across
 //! a blocking call — a slow peer then stalls every thread that wants the
 //! lock — and (b) two locks acquired in opposite orders on different
@@ -72,13 +74,13 @@ const BLOCKING_PATHS: &[&str] = &[
 ];
 
 /// Acquisition method names on a lock-typed receiver.
-const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+pub(crate) const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
 
 /// Chained methods that still yield the guard: `let g =
 /// queue.lock().unwrap_or_else(PoisonError::into_inner);` binds the
 /// guard to `g`, while any other chain (`.lock().len()`) consumes it
 /// into a temporary that dies at the statement end.
-const GUARD_CHAIN: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+pub(crate) const GUARD_CHAIN: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
 
 #[derive(Debug)]
 struct LiveGuard {
@@ -101,10 +103,11 @@ struct OrderEdge {
     in_fn: String,
 }
 
-/// Runs the pass over every in-scope file. `scope` is a path prefix
-/// (production: `crates/serve/src/`); `graph` supplies call edges for
-/// the transitive-blocking fixpoint.
-pub(crate) fn analyze(models: &[FileModel], graph: &Graph, scope: &str) -> Vec<FlowFinding> {
+/// Runs the pass over every in-scope file. `scopes` is a list of path
+/// prefixes (production: `LOCK_SCOPES` in `main.rs`); `graph` supplies
+/// call edges for the transitive-blocking fixpoint.
+pub(crate) fn analyze(models: &[FileModel], graph: &Graph, scopes: &[&str]) -> Vec<FlowFinding> {
+    let in_scope = |m: &&FileModel| scopes.iter().any(|s| m.file.starts_with(s));
     // Lock field names across the whole workspace: the blocking
     // classifier needs them everywhere to tell `entries.read()` (RwLock
     // acquisition) from `stream.read()` (blocking I/O).
@@ -115,7 +118,7 @@ pub(crate) fn analyze(models: &[FileModel], graph: &Graph, scope: &str) -> Vec<F
 
     // Guard-returning fns → the lock identity they acquire.
     let mut guard_fns: BTreeMap<String, String> = BTreeMap::new();
-    for model in models.iter().filter(|m| m.file.starts_with(scope)) {
+    for model in models.iter().filter(in_scope) {
         for f in &model.fns {
             if !f.ret.contains("Guard") {
                 continue;
@@ -147,7 +150,7 @@ pub(crate) fn analyze(models: &[FileModel], graph: &Graph, scope: &str) -> Vec<F
     let mut findings = Vec::new();
     let mut edges: Vec<OrderEdge> = Vec::new();
     let mut seen: BTreeSet<(String, usize, String)> = BTreeSet::new();
-    for model in models.iter().filter(|m| m.file.starts_with(scope)) {
+    for model in models.iter().filter(in_scope) {
         for f in model.fns.iter().filter(|f| !f.in_test) {
             let Some(body) = f.body else { continue };
             walk_fn(
@@ -293,7 +296,7 @@ fn is_blocking_path(path: &[String]) -> bool {
 
 /// The first `.lock()`/`.read()`/`.write()` receiver naming a lock in
 /// the range — how a guard-returning helper reveals which lock it takes.
-fn first_lock_receiver(
+pub(crate) fn first_lock_receiver(
     tokens: &[Token],
     range: (usize, usize),
     lock_names: &BTreeSet<String>,
@@ -317,7 +320,7 @@ fn first_lock_receiver(
 
 /// Walks backward through a `a.b.c` receiver chain ending at the `.` at
 /// `dot`; returns the first component naming a known lock.
-fn receiver_lock(
+pub(crate) fn receiver_lock(
     tokens: &[Token],
     start: usize,
     dot: usize,
@@ -341,7 +344,7 @@ fn receiver_lock(
 
 /// Extracts a `a::b::c(`-style path call starting at the ident at `i`;
 /// returns the segments and the index of the `(`.
-fn path_call_at(tokens: &[Token], i: usize, end: usize) -> Option<(Vec<String>, usize)> {
+pub(crate) fn path_call_at(tokens: &[Token], i: usize, end: usize) -> Option<(Vec<String>, usize)> {
     // Not a call start when preceded by `.` (method), `fn` (declaration)
     // or `::` (mid-path: the `new` of `Arc::new` must not re-parse as a
     // bare call named `new`).
@@ -366,7 +369,7 @@ fn path_call_at(tokens: &[Token], i: usize, end: usize) -> Option<(Vec<String>, 
 }
 
 /// Matching close paren for the `(` at `open` (token index).
-fn matching_paren(tokens: &[Token], open: usize, end: usize) -> usize {
+pub(crate) fn matching_paren(tokens: &[Token], open: usize, end: usize) -> usize {
     let mut depth = 0usize;
     for (i, t) in tokens.iter().enumerate().take(end).skip(open) {
         if t.is_punct("(") {
@@ -381,7 +384,7 @@ fn matching_paren(tokens: &[Token], open: usize, end: usize) -> usize {
     end.saturating_sub(1)
 }
 
-fn at_punct(tokens: &[Token], i: usize, punct: &str) -> bool {
+pub(crate) fn at_punct(tokens: &[Token], i: usize, punct: &str) -> bool {
     tokens.get(i).is_some_and(|t| t.is_punct(punct))
 }
 
@@ -548,7 +551,7 @@ fn walk_fn(
 /// Does the expression whose closing paren sits just before `j` flow
 /// into the enclosing `let` binding? True when the rest of the
 /// statement is only guard-preserving chained calls followed by `;`.
-fn binds_to_let(tokens: &[Token], mut j: usize, end: usize) -> bool {
+pub(crate) fn binds_to_let(tokens: &[Token], mut j: usize, end: usize) -> bool {
     loop {
         if at_punct(tokens, j, ";") {
             return true;
@@ -658,7 +661,7 @@ mod tests {
             })
             .collect();
         let graph = build(&models);
-        analyze(&models, &graph, "crates/serve/src/")
+        analyze(&models, &graph, &["crates/serve/src/", "crates/util/src/"])
     }
 
     const POOLISH: &str = "
@@ -853,6 +856,32 @@ impl Shared {{
             ),
         )]);
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn guard_bound_inside_a_closure_stays_scoped_to_it() {
+        // The walker treats a braced closure body like any other block:
+        // a guard captured/bound inside it is live across blocking calls
+        // *inside* the closure, and dies at the closure's `}` — the
+        // blocking call after the closure must not flag.
+        let findings = run(&[(
+            "crates/serve/src/a.rs",
+            &format!(
+                "{POOLISH}
+impl Shared {{
+    fn with_cb(&self, stream: &mut TcpStream) {{
+        let cb = move |n: u32| {{
+            let q = self.queue.lock();
+            stream.write(&buf);
+        }};
+        stream.read(&mut buf);
+    }}
+}}
+"
+            ),
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].violation.content.contains(".write()"), "{findings:?}");
     }
 
     #[test]

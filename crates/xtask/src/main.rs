@@ -1,14 +1,19 @@
 //! Workspace automation tasks (`cargo xtask <task>`).
 //!
-//! Three analyzers, described in DESIGN.md §9 and §12:
+//! Four analyzers, described in DESIGN.md §9, §12 and §14:
 //!
 //! - `lint` — twig-lint, line-oriented rules over masked source.
 //! - `flow` — twig-flow, the call-graph analyzer: panic-reachability of
 //!   every public entry point of the strict crates (with witness call
-//!   chains) plus lock-discipline over `crates/serve`.
+//!   chains) plus lock-discipline over the strict-scope crates.
 //! - `taint` — twig-taint, the dataflow analyzer: untrusted-input
 //!   taint tracking into arithmetic/indexing/allocation sinks, plus the
 //!   allocation-discipline pass over the hot-path entry points.
+//! - `race` — twig-race, the concurrency analyzer: GuardedBy-inference
+//!   lockset checking, atomic-ordering discipline (publication via
+//!   `Relaxed`, mismatched `compare_exchange` orderings, spin locks),
+//!   and the unsafe-contract audit (SAFETY comments, validated
+//!   raw-pointer bounds).
 //!
 //! All are dependency-free by design — the build container is offline,
 //! so no `syn`, no `serde`, no `walkdir`; the shared lexer, tokenizer,
@@ -23,6 +28,8 @@
 //! cargo xtask flow --json              # same, machine-readable (with witnesses)
 //! cargo xtask taint                    # taint dataflow + hot-path allocations
 //! cargo xtask taint --self-test        # verify the fixture tree is fully flagged
+//! cargo xtask race                     # locksets + atomics + unsafe contracts
+//! cargo xtask race --self-test         # verify the race fixture tree
 //! ```
 
 mod analysis;
@@ -31,6 +38,7 @@ mod bench;
 mod chaos;
 mod hotalloc;
 mod locks;
+mod race;
 mod reach;
 mod rules;
 mod taint;
@@ -45,9 +53,10 @@ use rules::Violation;
 const BASELINE_FILE: &str = "lint-baseline.tsv";
 const FLOW_BASELINE_FILE: &str = "flow-baseline.tsv";
 
-/// Path prefix the lock-discipline pass runs over: the serving layer is
-/// where locks guard cross-thread state.
-const LOCK_SCOPE: &str = "crates/serve/src/";
+/// Path prefixes the lock-discipline pass runs over: the serving layer
+/// plus the two crates whose locks it shares state with — flat's mmap
+/// hosting and util's failpoint table are both touched cross-thread.
+const LOCK_SCOPES: &[&str] = &["crates/serve/src/", "crates/flat/src/", "crates/util/src/"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +64,7 @@ fn main() -> ExitCode {
         Some("lint") => lint(&args[1..]),
         Some("flow") => flow(&args[1..]),
         Some("taint") => taint::taint_task(&args[1..]),
+        Some("race") => race::race_task(&args[1..]),
         Some("bench") => bench::bench(&args[1..]),
         Some("chaos") => chaos::chaos(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -78,8 +88,9 @@ TASKS:
   flow [--json] [--update-baseline] [--baseline FILE] [--root DIR]
       Run the twig-flow call-graph analyzer: panic-reachability of every
       public entry point of the strict crates (each finding carries a
-      witness call chain) and lock-discipline over crates/serve. Exits
-      non-zero when findings beyond the baseline exist.
+      witness call chain) and lock-discipline over the strict-scope
+      crates (serve, flat, util). Exits non-zero when findings beyond
+      the baseline exist.
   taint [--json] [--update-baseline] [--baseline FILE] [--root DIR] [--self-test]
       Run the twig-taint dataflow analyzer: untrusted-input taint
       (HTTP buffers, deserialized frames, CLI/env input) flowing into
@@ -89,6 +100,14 @@ TASKS:
       allocations reachable from the hot-path entry points.
       --self-test checks the analyzer against its fixture tree of
       known-bad patterns instead of the workspace.
+  race [--json] [--update-baseline] [--baseline FILE] [--root DIR] [--self-test]
+      Run the twig-race concurrency analyzer: GuardedBy-inference
+      lockset checking over shared struct fields, atomic-ordering
+      discipline (Relaxed publication, mismatched compare_exchange
+      orderings, atomics spun as ad-hoc locks), and the unsafe-contract
+      audit (SAFETY justification comments, raw-pointer/len pairs
+      flowing from a validated bound). --self-test checks the analyzer
+      against its annotated fixture tree instead of the workspace.
   bench [--quick] [--out FILE] [--check FILE]
       Run the estimation benchmark harness (seeded corpora, warmup +
       trimmed-mean timing): summary build, CSR vs hashmap trie lookups,
@@ -130,6 +149,7 @@ fn parse_pass_args(args: &[String]) -> Result<PassArgs, String> {
 }
 
 fn lint(args: &[String]) -> ExitCode {
+    let started = std::time::Instant::now();
     let PassArgs { json, update, baseline_path, root } = match parse_pass_args(args) {
         Ok(parsed) => parsed,
         Err(message) => return usage_error(&message),
@@ -178,10 +198,11 @@ fn lint(args: &[String]) -> ExitCode {
     let scanned = files.len();
     let (old, fresh) = baseline::partition(violations, &baseline);
 
+    let elapsed_ms = started.elapsed().as_millis();
     if json {
-        println!("{}", json_report(scanned, &old, &fresh));
+        println!("{}", json_report(scanned, &old, &fresh, elapsed_ms));
     } else {
-        human_report(scanned, &old, &fresh);
+        human_report(scanned, &old, &fresh, elapsed_ms);
     }
     if fresh.is_empty() {
         ExitCode::SUCCESS
@@ -191,6 +212,7 @@ fn lint(args: &[String]) -> ExitCode {
 }
 
 fn flow(args: &[String]) -> ExitCode {
+    let started = std::time::Instant::now();
     let PassArgs { json, update, baseline_path, root } = match parse_pass_args(args) {
         Ok(parsed) => parsed,
         Err(message) => return usage_error(&message),
@@ -205,7 +227,7 @@ fn flow(args: &[String]) -> ExitCode {
     // Stage 2: call graph; stage 3: panic-reachability; stage 4: locks.
     let graph = analysis::callgraph::build(&models);
     let mut findings = reach::panic_reachability(&models, &graph);
-    findings.extend(locks::analyze(&models, &graph, LOCK_SCOPE));
+    findings.extend(locks::analyze(&models, &graph, LOCK_SCOPES));
     findings.sort_by(|a, b| {
         (&a.violation.file, a.violation.line, a.violation.rule).cmp(&(
             &b.violation.file,
@@ -245,10 +267,11 @@ fn flow(args: &[String]) -> ExitCode {
     let (old, fresh) =
         baseline::partition_by(findings, &baseline, |f| baseline::key_of(&f.violation));
 
+    let elapsed_ms = started.elapsed().as_millis();
     if json {
-        println!("{}", flow_json_report("twig-flow", scanned, &old, &fresh));
+        println!("{}", flow_json_report("twig-flow", scanned, &old, &fresh, elapsed_ms));
     } else {
-        flow_human_report("twig-flow", scanned, &old, &fresh);
+        flow_human_report("twig-flow", scanned, &old, &fresh, elapsed_ms);
     }
     if fresh.is_empty() {
         ExitCode::SUCCESS
@@ -257,8 +280,15 @@ fn flow(args: &[String]) -> ExitCode {
     }
 }
 
-/// Shared human report for the witness-carrying passes (flow, taint).
-fn flow_human_report(pass: &str, scanned: usize, old: &[FlowFinding], fresh: &[FlowFinding]) {
+/// Shared human report for the witness-carrying passes (flow, taint,
+/// race).
+fn flow_human_report(
+    pass: &str,
+    scanned: usize,
+    old: &[FlowFinding],
+    fresh: &[FlowFinding],
+    elapsed_ms: u128,
+) {
     for finding in fresh {
         let v = &finding.violation;
         println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.content);
@@ -267,7 +297,7 @@ fn flow_human_report(pass: &str, scanned: usize, old: &[FlowFinding], fresh: &[F
         }
     }
     println!(
-        "{pass}: {scanned} files scanned, {} new finding(s), {} baselined",
+        "{pass}: {scanned} files scanned, {} new finding(s), {} baselined, {elapsed_ms}ms",
         fresh.len(),
         old.len()
     );
@@ -280,16 +310,19 @@ fn flow_human_report(pass: &str, scanned: usize, old: &[FlowFinding], fresh: &[F
     }
 }
 
-/// Shared JSON report for the witness-carrying passes (flow, taint).
+/// Shared JSON report for the witness-carrying passes (flow, taint,
+/// race). `elapsed_ms` is the pass's wall time — CI sums these across
+/// analyzers and gates on regression (see `analyzer-budget.ms`).
 fn flow_json_report(
     pass: &str,
     scanned: usize,
     old: &[FlowFinding],
     fresh: &[FlowFinding],
+    elapsed_ms: u128,
 ) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
-        "\"pass\":\"{}\",\"files_scanned\":{scanned},\"new\":{},\"baselined\":{},\"findings\":[",
+        "\"pass\":\"{}\",\"files_scanned\":{scanned},\"elapsed_ms\":{elapsed_ms},\"new\":{},\"baselined\":{},\"findings\":[",
         json_escape(pass),
         fresh.len(),
         old.len()
@@ -335,7 +368,7 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn human_report(scanned: usize, old: &[Violation], fresh: &[Violation]) {
+fn human_report(scanned: usize, old: &[Violation], fresh: &[Violation], elapsed_ms: u128) {
     for violation in fresh {
         println!(
             "{}:{}: [{}] {}",
@@ -343,7 +376,7 @@ fn human_report(scanned: usize, old: &[Violation], fresh: &[Violation]) {
         );
     }
     println!(
-        "twig-lint: {scanned} files scanned, {} new violation(s), {} baselined",
+        "twig-lint: {scanned} files scanned, {} new violation(s), {} baselined, {elapsed_ms}ms",
         fresh.len(),
         old.len()
     );
@@ -357,10 +390,10 @@ fn human_report(scanned: usize, old: &[Violation], fresh: &[Violation]) {
 
 /// Renders the machine-readable report. Hand-rolled (offline build, no
 /// serde); `json_escape` covers everything source lines can contain.
-fn json_report(scanned: usize, old: &[Violation], fresh: &[Violation]) -> String {
+fn json_report(scanned: usize, old: &[Violation], fresh: &[Violation], elapsed_ms: u128) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
-        "\"files_scanned\":{scanned},\"new\":{},\"baselined\":{},\"violations\":[",
+        "\"files_scanned\":{scanned},\"elapsed_ms\":{elapsed_ms},\"new\":{},\"baselined\":{},\"violations\":[",
         fresh.len(),
         old.len()
     ));
@@ -419,9 +452,10 @@ mod tests {
             line: 3,
             content: "x.unwrap() // \"quoted\"".into(),
         }];
-        let report = json_report(10, &[], &fresh);
+        let report = json_report(10, &[], &fresh, 42);
         assert!(report.starts_with('{') && report.ends_with('}'));
         assert!(report.contains("\"files_scanned\":10"));
+        assert!(report.contains("\"elapsed_ms\":42"));
         assert!(report.contains("\"new\":1"));
         assert!(report.contains("\\\"quoted\\\""));
     }

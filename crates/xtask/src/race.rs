@@ -1,0 +1,1566 @@
+//! Concurrency-safety analysis (`cargo xtask race`) — DESIGN.md §14.
+//!
+//! The fourth analyzer on the shared substrate, built ahead of the
+//! event-loop rewrite of `crates/serve`: readiness-driven state
+//! machines will share connection and registry state across cores, and
+//! the runtime suites only observe schedules that happen to occur. The
+//! pass is three audits over the item model:
+//!
+//! 1. **Lockset inference** (`race-lockset`): for every struct holding
+//!    at least one `Mutex`/`RwLock` field, simulate guard lifetimes
+//!    through its methods (the same simulation `locks.rs` uses) and
+//!    record which locks are held at each access to a plain (not
+//!    self-synchronizing) field. If the field is guarded *somewhere*,
+//!    every access must hold the majority lock; accesses that don't
+//!    are flagged with witnesses citing the guarded sites. Fields never
+//!    guarded anywhere are left alone — immutable-after-construction
+//!    state is the common legitimate shape.
+//! 2. **Atomic-ordering discipline** (`race-atomic-publish`,
+//!    `race-cas-order`, `race-atomic-lock`): every atomic site (method
+//!    form `x.store(…)` and qualified form `AtomicBool::store(&X, …)`)
+//!    is resolved to its declaring field or static — through `type`
+//!    aliases — and the entity is classified by role: *counter* (RMW
+//!    traffic, stores only reset), *latch* (has compare_exchange),
+//!    *flag* (bool), *stamp* (everything else). Flagged patterns:
+//!    `Relaxed` publication (a store that must release prior writes, or
+//!    an asymmetric `Relaxed` half of an Acquire/Release pair),
+//!    `compare_exchange` with a failure ordering stronger than its
+//!    success ordering, and atomics spun as ad-hoc locks.
+//! 3. **Unsafe-contract audit** (`race-unsafe-comment`,
+//!    `race-unsafe-impl`, `race-unsafe-bound`): every `unsafe` block or
+//!    fn needs a SAFETY comment within a few lines above it;
+//!    `unsafe impl Send/Sync` needs a written justification; and every
+//!    `from_raw_parts`-family length operand must be a literal, share
+//!    its receiver with the pointer operand (a struct invariant), or
+//!    trace to a dominating validated bound (the guard recognition
+//!    shared with taint via `analysis::guards`).
+//!
+//! False-positive policy: the pass over-approximates on purpose (no
+//! types, no cross-file aliasing) and routes deliberate exceptions
+//! through `race-baseline.tsv`, whose comment headers carry per-group
+//! justifications. A counter's `Relaxed` traffic is exempt by role, a
+//! never-guarded field is not a finding, and a site only counts as
+//! atomic when an `Ordering::` argument is present — receiver-name
+//! collisions (`registry.load(spec)`) never misclassify.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use crate::analysis;
+use crate::analysis::guards::{is_guard_ident, COMPARISON_OPS};
+use crate::analysis::items::{FileModel, FnItem, UnsafeKind};
+use crate::analysis::scan::{mask_source, test_line_mask};
+use crate::analysis::tokens::{Token, TokenKind};
+use crate::baseline;
+use crate::locks::{at_punct, binds_to_let, first_lock_receiver, matching_paren, receiver_lock};
+use crate::reach::FlowFinding;
+use crate::rules::Violation;
+
+pub(crate) const RACE_BASELINE_FILE: &str = "race-baseline.tsv";
+
+/// Atomic cell type names (resolved through `type` aliases too).
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+/// Method names that touch an atomic cell. A site only registers when
+/// the call also carries an `Ordering::` argument.
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Field types that synchronize themselves — exempt from lockset
+/// inference. `Counter`/`LogHistogram` are the util metric cells
+/// (internally atomic).
+const SELF_SYNC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+    "OnceLock",
+    "Once",
+    "Condvar",
+    "Counter",
+    "LogHistogram",
+];
+
+/// Mutating method names that count as "non-atomic writes" before a
+/// publication store.
+const MUTATING_METHODS: &[&str] = &[
+    "push",
+    "push_str",
+    "insert",
+    "remove",
+    "clear",
+    "extend",
+    "append",
+    "truncate",
+    "copy_from_slice",
+    "clone_from",
+    "write_all",
+    "fill",
+];
+
+/// Compound-assignment puncts (plain `=` handled separately so
+/// `let`-bindings can be excluded).
+const ASSIGN_OPS: &[&str] = &["+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>="];
+
+pub(crate) struct RaceCtx<'a> {
+    pub(crate) models: &'a [FileModel],
+    /// Raw (unmasked) sources by file — the SAFETY-comment checks must
+    /// see comment text the masker blanks.
+    pub(crate) sources: BTreeMap<String, String>,
+    /// Self-test mode: report findings in `#[cfg(test)]` code too.
+    pub(crate) report_all: bool,
+}
+
+impl<'a> RaceCtx<'a> {
+    pub(crate) fn new(root: &Path, models: &'a [FileModel], report_all: bool) -> Self {
+        let mut sources = BTreeMap::new();
+        for model in models {
+            if let Ok(src) = fs::read_to_string(root.join(&model.file)) {
+                sources.insert(model.file.clone(), src);
+            }
+        }
+        RaceCtx { models, sources, report_all }
+    }
+}
+
+pub(crate) fn analyze(ctx: &RaceCtx) -> Vec<FlowFinding> {
+    let mut findings = lockset_pass(ctx);
+    findings.extend(atomic_pass(ctx));
+    findings.extend(unsafe_pass(ctx));
+    findings.sort_by(|a, b| {
+        (&a.violation.file, a.violation.line, a.violation.rule).cmp(&(
+            &b.violation.file,
+            b.violation.line,
+            b.violation.rule,
+        ))
+    });
+    findings
+}
+
+fn skip_fn(f: &FnItem, ctx: &RaceCtx) -> bool {
+    f.in_test && !ctx.report_all
+}
+
+/// Innermost fn whose span covers `line`, for stable finding text.
+fn enclosing_qual(model: &FileModel, line: usize) -> String {
+    model
+        .fns
+        .iter()
+        .filter(|f| {
+            f.line <= line
+                && f.body.is_some_and(|(_, end)| {
+                    model.tokens.get(end.saturating_sub(1)).is_some_and(|t| t.line >= line)
+                })
+        })
+        .max_by_key(|f| f.line)
+        .map_or_else(|| format!("{} (file scope)", model.file), |f| f.qual.clone())
+}
+
+// ---- pass 1: lockset inference --------------------------------------
+
+#[derive(Debug)]
+struct FieldAccess {
+    file: String,
+    line: usize,
+    qual: String,
+    locks_held: BTreeSet<String>,
+}
+
+fn lockset_pass(ctx: &RaceCtx) -> Vec<FlowFinding> {
+    let mut findings = Vec::new();
+    for model in ctx.models {
+        for st in &model.structs {
+            let lock_fields: BTreeSet<String> = st
+                .fields
+                .iter()
+                .filter(|f| crate::analysis::items::type_mentions(&f.ty, &["Mutex", "RwLock"]))
+                .map(|f| f.name.clone())
+                .collect();
+            if lock_fields.is_empty() {
+                continue;
+            }
+            let plain_fields: BTreeSet<String> = st
+                .fields
+                .iter()
+                .filter(|f| {
+                    !lock_fields.contains(&f.name)
+                        && !type_resolves_to(&f.ty, SELF_SYNC_TYPES, &model.type_aliases)
+                })
+                .map(|f| f.name.clone())
+                .collect();
+            if plain_fields.is_empty() {
+                continue;
+            }
+
+            // Guard-returning helpers of this impl resolve to the lock
+            // their body takes first (same trick locks.rs uses).
+            let mut guard_fns: BTreeMap<String, String> = BTreeMap::new();
+            for f in model.fns.iter().filter(|f| f.impl_type.as_deref() == Some(&st.name)) {
+                if !f.ret.contains("Guard") {
+                    continue;
+                }
+                if let Some(lock) =
+                    f.body.and_then(|body| first_lock_receiver(&model.tokens, body, &lock_fields))
+                {
+                    guard_fns.insert(f.name.clone(), lock);
+                }
+            }
+
+            // Record every plain-field access with the lockset live at
+            // that point. `&mut self` methods and constructors own the
+            // struct exclusively and are exempt.
+            let mut accesses: BTreeMap<String, Vec<FieldAccess>> = BTreeMap::new();
+            for f in model.fns.iter().filter(|f| f.impl_type.as_deref() == Some(&st.name)) {
+                if skip_fn(f, ctx) || !f.has_self || f.self_mut {
+                    continue;
+                }
+                if f.ret.contains("Self") || f.ret.contains(&st.name) {
+                    continue;
+                }
+                let Some(body) = f.body else { continue };
+                record_accesses(
+                    model,
+                    &f.qual,
+                    body,
+                    &lock_fields,
+                    &guard_fns,
+                    &plain_fields,
+                    &mut accesses,
+                );
+            }
+
+            let decl_lines: BTreeMap<&str, usize> =
+                st.fields.iter().map(|f| (f.name.as_str(), f.line)).collect();
+            findings.extend(judge_field_locksets(&st.name, &model.file, &decl_lines, &accesses));
+        }
+    }
+    findings
+}
+
+/// Simplified guard-lifetime walk: tracks `{`/`}` depth, statement
+/// temporaries, `drop(g)`, and `let g = self.lock.…` bindings, and logs
+/// `self.field` reads/writes of plain fields under the live lockset.
+fn record_accesses(
+    model: &FileModel,
+    qual: &str,
+    body: (usize, usize),
+    lock_fields: &BTreeSet<String>,
+    guard_fns: &BTreeMap<String, String>,
+    plain_fields: &BTreeSet<String>,
+    accesses: &mut BTreeMap<String, Vec<FieldAccess>>,
+) {
+    let tokens = &model.tokens;
+    let (start, end) = body;
+    let end = end.min(tokens.len());
+    struct Guard {
+        var: Option<String>,
+        lock: String,
+        depth: usize,
+    }
+    let mut live: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut current_let: Option<String> = None;
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        match (&t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "{") => {
+                depth += 1;
+                i += 1;
+            }
+            (TokenKind::Punct, "}") => {
+                depth = depth.saturating_sub(1);
+                live.retain(|g| g.depth <= depth);
+                current_let = None;
+                i += 1;
+            }
+            (TokenKind::Punct, ";") => {
+                live.retain(|g| g.var.is_some());
+                current_let = None;
+                i += 1;
+            }
+            (TokenKind::Ident, "let") => {
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if tokens.get(j).is_some_and(|t| t.kind == TokenKind::Ident)
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct("="))
+                {
+                    current_let = Some(tokens[j].text.clone());
+                    i = j + 2;
+                } else {
+                    i += 1;
+                }
+            }
+            (TokenKind::Ident, "drop")
+                if at_punct(tokens, i + 1, "(")
+                    && tokens.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+                    && at_punct(tokens, i + 3, ")") =>
+            {
+                let var = &tokens[i + 2].text;
+                live.retain(|g| g.var.as_deref() != Some(var.as_str()));
+                i += 4;
+            }
+            (TokenKind::Punct, ".") => {
+                let Some(name) = tokens.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                let is_call = at_punct(tokens, i + 2, "(");
+                // `self.field` access (a field read keeps going through
+                // `.method(` chains; the *field* token is what counts).
+                if plain_fields.contains(&name.text)
+                    && !is_call
+                    && i > start
+                    && tokens[i - 1].is_ident("self")
+                {
+                    accesses.entry(name.text.clone()).or_default().push(FieldAccess {
+                        file: model.file.clone(),
+                        line: name.line,
+                        qual: qual.to_owned(),
+                        locks_held: live.iter().map(|g| g.lock.clone()).collect(),
+                    });
+                    i += 2;
+                    continue;
+                }
+                if !is_call {
+                    i += 2;
+                    continue;
+                }
+                let acquired = if crate::locks::ACQUIRE_METHODS.contains(&name.text.as_str()) {
+                    receiver_lock(tokens, start, i, lock_fields)
+                } else {
+                    guard_fns.get(&name.text).cloned()
+                };
+                if let Some(lock) = acquired {
+                    let close = matching_paren(tokens, i + 2, end);
+                    let var = if binds_to_let(tokens, close + 1, end) {
+                        current_let.clone()
+                    } else {
+                        None
+                    };
+                    live.push(Guard { var, lock, depth });
+                }
+                i += 3;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Emits `race-lockset` findings: once a field is guarded anywhere, the
+/// majority lock becomes its inferred GuardedBy contract.
+fn judge_field_locksets(
+    struct_name: &str,
+    decl_file: &str,
+    decl_lines: &BTreeMap<&str, usize>,
+    accesses: &BTreeMap<String, Vec<FieldAccess>>,
+) -> Vec<FlowFinding> {
+    let mut findings = Vec::new();
+    for (field, recs) in accesses {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for rec in recs {
+            for lock in &rec.locks_held {
+                *counts.entry(lock).or_default() += 1;
+            }
+        }
+        // Never guarded: immutable-after-construction is the common
+        // legitimate shape; not a finding.
+        let Some((&majority, _)) = counts.iter().max_by_key(|&(name, &n)| (n, name)) else {
+            continue;
+        };
+        let guarded: Vec<&FieldAccess> =
+            recs.iter().filter(|r| r.locks_held.contains(majority)).collect();
+        for rec in recs.iter().filter(|r| !r.locks_held.contains(majority)) {
+            let mut witness: Vec<String> = guarded
+                .iter()
+                .take(3)
+                .map(|g| {
+                    format!(
+                        "{} ({}:{}) accesses '{field}' holding '{majority}'",
+                        g.qual, g.file, g.line
+                    )
+                })
+                .collect();
+            if let Some(line) = decl_lines.get(field.as_str()) {
+                witness.push(format!("field declared at {decl_file}:{line}"));
+            }
+            findings.push(FlowFinding {
+                violation: Violation {
+                    rule: "race-lockset",
+                    file: rec.file.clone(),
+                    line: rec.line,
+                    content: format!(
+                        "field '{struct_name}.{field}' accessed without inferred guard \
+                         '{majority}' in {}",
+                        rec.qual
+                    ),
+                },
+                witness,
+            });
+        }
+    }
+    findings
+}
+
+// ---- pass 2: atomic-ordering discipline -----------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteKind {
+    Load,
+    Store,
+    Rmw,
+    Cas,
+}
+
+#[derive(Debug)]
+struct AtomicSite {
+    entity: String,
+    file: String,
+    line: usize,
+    qual: String,
+    kind: SiteKind,
+    orderings: Vec<String>,
+    /// `store(0, …)` / `store(false, …)` — a reset, not a publication.
+    store_reset: bool,
+    /// A non-atomic write (assignment or mutating call) precedes this
+    /// site in the same body.
+    mutation_before: bool,
+}
+
+fn ordering_strength(name: &str) -> u8 {
+    match name {
+        "Relaxed" => 0,
+        "Acquire" | "Release" => 1,
+        "AcqRel" => 2,
+        _ => 3, // SeqCst
+    }
+}
+
+fn site_kind(method: &str) -> SiteKind {
+    match method {
+        "load" => SiteKind::Load,
+        "store" => SiteKind::Store,
+        "compare_exchange" | "compare_exchange_weak" => SiteKind::Cas,
+        _ => SiteKind::Rmw,
+    }
+}
+
+/// Does `ty` (flattened type text) resolve to one of `names`, possibly
+/// through `type` aliases? Bounded chase — alias cycles terminate.
+fn type_resolves_to(ty: &str, names: &[&str], aliases: &[(String, String)]) -> bool {
+    let mut current = ty.to_owned();
+    for _ in 0..4 {
+        if crate::analysis::items::type_mentions(&current, names) {
+            return true;
+        }
+        let Some((_, target)) = aliases
+            .iter()
+            .find(|(alias, _)| crate::analysis::items::type_mentions(&current, &[alias.as_str()]))
+        else {
+            return false;
+        };
+        current = target.clone();
+    }
+    false
+}
+
+/// `Ordering::X` arguments inside a token range, in order.
+fn orderings_in(tokens: &[Token], start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i + 2 < end {
+        if tokens[i].is_ident("Ordering")
+            && tokens[i + 1].is_punct("::")
+            && tokens[i + 2].kind == TokenKind::Ident
+        {
+            out.push(tokens[i + 2].text.clone());
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Is the first argument of a `store(` call a literal reset value?
+fn first_arg_is_reset(tokens: &[Token], open: usize, close: usize) -> bool {
+    let mut args_end = close;
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().take(close).skip(open + 1) {
+        match t.text.as_str() {
+            "(" | "[" | "{" if t.kind == TokenKind::Punct => depth += 1,
+            ")" | "]" | "}" if t.kind == TokenKind::Punct => depth = depth.saturating_sub(1),
+            "," if t.kind == TokenKind::Punct && depth == 0 => {
+                args_end = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    args_end == open + 2
+        && (tokens[open + 1].kind == TokenKind::Number && tokens[open + 1].text == "0"
+            || tokens[open + 1].is_ident("false"))
+}
+
+/// Atomic entities declared in a file: match-name → display name.
+/// Fields display as `Struct.field`, statics as their bare name.
+fn atomic_entities(model: &FileModel) -> BTreeMap<String, (String, bool)> {
+    let mut out = BTreeMap::new();
+    for st in &model.structs {
+        for f in &st.fields {
+            if type_resolves_to(&f.ty, ATOMIC_TYPES, &model.type_aliases) {
+                let is_bool = type_resolves_to(&f.ty, &["AtomicBool"], &model.type_aliases);
+                out.entry(f.name.clone()).or_insert((format!("{}.{}", st.name, f.name), is_bool));
+            }
+        }
+    }
+    for s in &model.statics {
+        if type_resolves_to(&s.ty, ATOMIC_TYPES, &model.type_aliases) {
+            let is_bool = type_resolves_to(&s.ty, &["AtomicBool"], &model.type_aliases);
+            out.insert(s.name.clone(), (s.name.clone(), is_bool));
+        }
+    }
+    out
+}
+
+fn atomic_pass(ctx: &RaceCtx) -> Vec<FlowFinding> {
+    let mut sites: Vec<AtomicSite> = Vec::new();
+    let mut bools: BTreeSet<String> = BTreeSet::new();
+    let mut findings = Vec::new();
+
+    for model in ctx.models {
+        let entities = atomic_entities(model);
+        if entities.is_empty() {
+            continue;
+        }
+        for (display, is_bool) in entities.values() {
+            if *is_bool {
+                bools.insert(display.clone());
+            }
+        }
+        for f in model.fns.iter().filter(|f| !skip_fn(f, ctx)) {
+            let Some(body) = f.body else { continue };
+            collect_atomic_sites(model, f, body, &entities, &mut sites);
+            findings.extend(spin_lock_scan(model, f, body, &entities));
+        }
+    }
+
+    // Aggregate per entity, then judge each site against its peers.
+    #[derive(Default)]
+    struct EntityInfo {
+        load_orderings: BTreeSet<String>,
+        store_orderings: BTreeSet<String>,
+        has_load: bool,
+        has_fetch_rmw: bool,
+        has_cas: bool,
+        all_stores_reset: bool,
+        has_store: bool,
+    }
+    let mut info: BTreeMap<String, EntityInfo> = BTreeMap::new();
+    for site in &sites {
+        let e = info.entry(site.entity.clone()).or_default();
+        match site.kind {
+            SiteKind::Load => {
+                e.has_load = true;
+                e.load_orderings.extend(site.orderings.iter().cloned());
+            }
+            SiteKind::Store => {
+                if !e.has_store {
+                    e.all_stores_reset = true;
+                }
+                e.has_store = true;
+                e.all_stores_reset &= site.store_reset;
+                e.store_orderings.extend(site.orderings.iter().cloned());
+            }
+            SiteKind::Rmw => e.has_fetch_rmw = true,
+            SiteKind::Cas => e.has_cas = true,
+        }
+    }
+    let role = |entity: &str| -> &'static str {
+        let e = &info[entity];
+        if e.has_fetch_rmw && !bools.contains(entity) && (!e.has_store || e.all_stores_reset) {
+            "counter"
+        } else if e.has_cas {
+            "latch"
+        } else if bools.contains(entity) {
+            "flag"
+        } else {
+            "stamp"
+        }
+    };
+
+    let mut seen: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    let mut push =
+        |file: &str, line: usize, rule: &'static str, content: String, witness: Vec<String>| {
+            if seen.insert((file.to_owned(), line, content.clone())) {
+                findings.push(FlowFinding {
+                    violation: Violation { rule, file: file.to_owned(), line, content },
+                    witness,
+                });
+            }
+        };
+
+    for site in &sites {
+        let e = &info[&site.entity];
+        let entity_role = role(&site.entity);
+        let role_note = format!(
+            "entity '{}' classified as {entity_role} (loads: {:?}; stores: {:?})",
+            site.entity, e.load_orderings, e.store_orderings
+        );
+        match site.kind {
+            SiteKind::Cas if site.orderings.len() >= 2 => {
+                let (s, f) = (&site.orderings[0], &site.orderings[1]);
+                if ordering_strength(f) > ordering_strength(s) {
+                    push(
+                        &site.file,
+                        site.line,
+                        "race-cas-order",
+                        format!(
+                            "compare_exchange on '{}' in {}: failure ordering {f} stronger \
+                             than success {s}",
+                            site.entity, site.qual
+                        ),
+                        vec![role_note.clone()],
+                    );
+                }
+            }
+            SiteKind::Store if entity_role != "counter" => {
+                let relaxed = site.orderings.first().is_some_and(|o| o == "Relaxed");
+                if !relaxed {
+                    continue;
+                }
+                if e.load_orderings.contains("Acquire") || e.load_orderings.contains("SeqCst") {
+                    push(
+                        &site.file,
+                        site.line,
+                        "race-atomic-publish",
+                        format!(
+                            "Relaxed store of '{}' in {} but Acquire/SeqCst loads exist",
+                            site.entity, site.qual
+                        ),
+                        vec![role_note.clone()],
+                    );
+                } else if !site.store_reset && site.mutation_before && e.has_load {
+                    push(
+                        &site.file,
+                        site.line,
+                        "race-atomic-publish",
+                        format!(
+                            "non-atomic writes published by Relaxed store of '{}' in {}",
+                            site.entity, site.qual
+                        ),
+                        vec![role_note.clone()],
+                    );
+                }
+            }
+            SiteKind::Load if entity_role != "counter" => {
+                let relaxed = site.orderings.first().is_some_and(|o| o == "Relaxed");
+                if relaxed
+                    && (e.store_orderings.contains("Release")
+                        || e.store_orderings.contains("SeqCst"))
+                {
+                    push(
+                        &site.file,
+                        site.line,
+                        "race-atomic-publish",
+                        format!(
+                            "Relaxed load of '{}' in {} but Release/SeqCst stores exist",
+                            site.entity, site.qual
+                        ),
+                        vec![role_note.clone()],
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+/// Records every atomic site in one fn body — method form
+/// (`x.store(v, Ordering::…)`) and qualified form
+/// (`AtomicBool::store(&X, v, Ordering::…)`, the style failpoint uses
+/// to dodge method-name lints).
+fn collect_atomic_sites(
+    model: &FileModel,
+    f: &FnItem,
+    body: (usize, usize),
+    entities: &BTreeMap<String, (String, bool)>,
+    sites: &mut Vec<AtomicSite>,
+) {
+    let tokens = &model.tokens;
+    let (start, end) = body;
+    let end = end.min(tokens.len());
+    let entity_names: BTreeSet<String> = entities.keys().cloned().collect();
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        // Method form: `recv.method(args…)`.
+        if t.is_punct(".") {
+            if let Some(name) = tokens.get(i + 1).filter(|t| t.kind == TokenKind::Ident) {
+                if ATOMIC_METHODS.contains(&name.text.as_str()) && at_punct(tokens, i + 2, "(") {
+                    if let Some(recv) = receiver_lock(tokens, start, i, &entity_names) {
+                        record_site(model, f, body, entities, &recv, &name.text, i + 2, sites);
+                    }
+                }
+            }
+            i += 2;
+            continue;
+        }
+        // Qualified form: `AtomicTy::method(&NAME, args…)`.
+        if t.kind == TokenKind::Ident
+            && type_resolves_to(&t.text, ATOMIC_TYPES, &model.type_aliases)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+        {
+            if let Some(name) = tokens.get(i + 2).filter(|t| t.kind == TokenKind::Ident) {
+                if ATOMIC_METHODS.contains(&name.text.as_str())
+                    && at_punct(tokens, i + 3, "(")
+                    && at_punct(tokens, i + 4, "&")
+                    && tokens.get(i + 5).is_some_and(|t| entity_names.contains(&t.text))
+                {
+                    let recv = tokens[i + 5].text.clone();
+                    record_site(model, f, body, entities, &recv, &name.text, i + 3, sites);
+                }
+            }
+            i += 3;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal recorder; the args are the site
+fn record_site(
+    model: &FileModel,
+    f: &FnItem,
+    body: (usize, usize),
+    entities: &BTreeMap<String, (String, bool)>,
+    recv: &str,
+    method: &str,
+    open: usize,
+    sites: &mut Vec<AtomicSite>,
+) {
+    let tokens = &model.tokens;
+    let (start, end) = body;
+    let end = end.min(tokens.len());
+    let close = matching_paren(tokens, open, end);
+    let orderings = orderings_in(tokens, open, close);
+    if orderings.is_empty() {
+        return; // not an atomic call — receiver-name collision
+    }
+    let kind = site_kind(method);
+    let store_reset = kind == SiteKind::Store && first_arg_is_reset(tokens, open, close);
+    sites.push(AtomicSite {
+        entity: entities[recv].0.clone(),
+        file: model.file.clone(),
+        line: tokens[open].line,
+        qual: f.qual.clone(),
+        kind,
+        orderings,
+        store_reset,
+        mutation_before: has_mutation_before(tokens, start, open),
+    });
+}
+
+/// Any non-atomic write between `start` and `at`: a compound
+/// assignment, a plain `=` that is not a `let` binding, or a mutating
+/// method call.
+fn has_mutation_before(tokens: &[Token], start: usize, at: usize) -> bool {
+    for i in start..at {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Punct {
+            if t.kind == TokenKind::Ident
+                && MUTATING_METHODS.contains(&t.text.as_str())
+                && i > start
+                && tokens[i - 1].is_punct(".")
+                && at_punct(tokens, i + 1, "(")
+            {
+                return true;
+            }
+            continue;
+        }
+        if ASSIGN_OPS.contains(&t.text.as_str()) {
+            return true;
+        }
+        if t.text == "=" && i >= 2 {
+            let lhs_is_let_binding = tokens[i - 1].kind == TokenKind::Ident
+                && (tokens[i - 2].is_ident("let") || tokens[i - 2].is_ident("mut"));
+            if !lhs_is_let_binding {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// `while <atomic op> { <empty or spin-hint body> }` — an atomic spun
+/// as an ad-hoc lock. A body that parks the thread is the sanctioned
+/// blocking shape and stays clean.
+fn spin_lock_scan(
+    model: &FileModel,
+    f: &FnItem,
+    body: (usize, usize),
+    entities: &BTreeMap<String, (String, bool)>,
+) -> Vec<FlowFinding> {
+    let tokens = &model.tokens;
+    let (start, end) = body;
+    let end = end.min(tokens.len());
+    let mut findings = Vec::new();
+    for i in start..end {
+        if !tokens[i].is_ident("while") {
+            continue;
+        }
+        // Condition: tokens up to the body `{` at paren depth 0.
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        while j < end {
+            let t = &tokens[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth = depth.saturating_sub(1);
+            } else if t.is_punct("{") && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        if j >= end {
+            continue;
+        }
+        let cond = &tokens[i + 1..j];
+        let has_atomic_op = cond.iter().any(|t| {
+            t.kind == TokenKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "compare_exchange" | "compare_exchange_weak" | "swap" | "load"
+                )
+        });
+        let has_ordering = cond.iter().any(|t| t.is_ident("Ordering"));
+        let Some(entity_tok) =
+            cond.iter().find(|t| t.kind == TokenKind::Ident && entities.contains_key(&t.text))
+        else {
+            continue;
+        };
+        if !has_atomic_op || !has_ordering {
+            continue;
+        }
+        let close = crate::analysis::tokens::matching_brace(tokens, j);
+        let body_toks = &tokens[j + 1..close.min(end)];
+        if body_toks.iter().any(|t| t.is_ident("park")) {
+            continue;
+        }
+        let spins = body_toks.len() <= 1
+            || body_toks.iter().any(|t| t.is_ident("spin_loop") || t.is_ident("yield_now"));
+        if spins {
+            let entity = &entities[&entity_tok.text].0;
+            findings.push(FlowFinding {
+                violation: Violation {
+                    rule: "race-atomic-lock",
+                    file: model.file.clone(),
+                    line: tokens[i].line,
+                    content: format!("atomic '{entity}' spun as an ad-hoc lock in {}", f.qual),
+                },
+                witness: vec![format!(
+                    "busy-wait loop at {}:{} — prefer Mutex/Condvar or thread::park",
+                    model.file, tokens[i].line
+                )],
+            });
+        }
+    }
+    findings
+}
+
+// ---- pass 3: unsafe-contract audit ----------------------------------
+
+/// Lines above an `unsafe` item that may carry its SAFETY comment:
+/// blocks and impls justify immediately above; `unsafe fn` headers get
+/// a wider window for `# Safety` doc sections.
+const SAFETY_WINDOW_BLOCK: usize = 3;
+const SAFETY_WINDOW_FN: usize = 10;
+
+fn has_safety_comment(src_lines: &[&str], line: usize, window: usize) -> bool {
+    let first = line.saturating_sub(window + 1); // 0-based index of window start
+    let last = line; // include the `unsafe` line itself (trailing comment)
+    src_lines
+        .iter()
+        .take(last.min(src_lines.len()))
+        .skip(first)
+        .any(|l| l.contains("SAFETY") || l.contains("# Safety"))
+}
+
+/// `from_raw_parts`-family calls whose length operands must trace to a
+/// validated bound.
+const RAW_PARTS_FNS: &[&str] = &["from_raw_parts", "from_raw_parts_mut"];
+
+fn unsafe_pass(ctx: &RaceCtx) -> Vec<FlowFinding> {
+    let mut findings = Vec::new();
+    for model in ctx.models {
+        let Some(src) = ctx.sources.get(&model.file) else { continue };
+        let src_lines: Vec<&str> = src.lines().collect();
+
+        for span in &model.unsafe_spans {
+            if span.in_test && !ctx.report_all {
+                continue;
+            }
+            match span.kind {
+                UnsafeKind::Block | UnsafeKind::Fn => {
+                    let window = if span.kind == UnsafeKind::Fn {
+                        SAFETY_WINDOW_FN
+                    } else {
+                        SAFETY_WINDOW_BLOCK
+                    };
+                    if !has_safety_comment(&src_lines, span.line, window) {
+                        let what =
+                            if span.kind == UnsafeKind::Fn { "unsafe fn" } else { "unsafe block" };
+                        findings.push(FlowFinding {
+                            violation: Violation {
+                                rule: "race-unsafe-comment",
+                                file: model.file.clone(),
+                                line: span.line,
+                                content: format!(
+                                    "{what} without a SAFETY comment in {}",
+                                    enclosing_qual(model, span.line)
+                                ),
+                            },
+                            witness: vec![format!(
+                                "unsafe region spans {}:{}-{}",
+                                model.file, span.line, span.end_line
+                            )],
+                        });
+                    }
+                }
+                UnsafeKind::Impl => {
+                    let trait_name = span.trait_name.as_deref().unwrap_or("?");
+                    if !matches!(trait_name, "Send" | "Sync") {
+                        continue;
+                    }
+                    if !has_safety_comment(&src_lines, span.line, SAFETY_WINDOW_BLOCK) {
+                        let for_type = span.for_type.as_deref().unwrap_or("?");
+                        findings.push(FlowFinding {
+                            violation: Violation {
+                                rule: "race-unsafe-impl",
+                                file: model.file.clone(),
+                                line: span.line,
+                                content: format!(
+                                    "unsafe impl {trait_name} for {for_type} lacks a SAFETY \
+                                     justification comment"
+                                ),
+                            },
+                            witness: vec![format!("declaration at {}:{}", model.file, span.line)],
+                        });
+                    }
+                }
+            }
+        }
+
+        for f in model.fns.iter().filter(|f| !skip_fn(f, ctx)) {
+            let Some(body) = f.body else { continue };
+            findings.extend(raw_parts_scan(model, f, body));
+        }
+    }
+    findings
+}
+
+/// One top-level argument range `[from, to)` split on depth-0 commas.
+fn split_args(tokens: &[Token], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut from = open + 1;
+    for (i, t) in tokens.iter().enumerate().take(close).skip(open + 1) {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+            "," if depth == 0 => {
+                args.push((from, i));
+                from = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if from < close {
+        args.push((from, close));
+    }
+    args
+}
+
+/// First plain ident of an argument expression (skipping `&`/`*`/`mut`).
+fn arg_anchor(tokens: &[Token], range: (usize, usize)) -> Option<String> {
+    tokens[range.0..range.1]
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && !t.is_ident("mut"))
+        .map(|t| t.text.clone())
+}
+
+fn raw_parts_scan(model: &FileModel, f: &FnItem, body: (usize, usize)) -> Vec<FlowFinding> {
+    let tokens = &model.tokens;
+    let (start, end) = body;
+    let end = end.min(tokens.len());
+    let mut findings = Vec::new();
+    for i in start..end {
+        if tokens[i].kind != TokenKind::Ident
+            || !RAW_PARTS_FNS.contains(&tokens[i].text.as_str())
+            || !at_punct(tokens, i + 1, "(")
+        {
+            continue;
+        }
+        let close = matching_paren(tokens, i + 1, end);
+        let args = split_args(tokens, i + 1, close);
+        if args.len() < 2 {
+            continue;
+        }
+        let ptr_anchor = arg_anchor(tokens, args[0]);
+        for &len_arg in &args[1..] {
+            let text: Vec<&str> =
+                tokens[len_arg.0..len_arg.1].iter().map(|t| t.text.as_str()).collect();
+            let text = text.join(" ");
+            // Literal lengths carry their own bound.
+            if len_arg.1 == len_arg.0 + 1 && tokens[len_arg.0].kind == TokenKind::Number {
+                continue;
+            }
+            let anchor = arg_anchor(tokens, len_arg);
+            // `region.ptr, region.len`: the pair flows from one
+            // receiver whose invariant ties them together.
+            if anchor.is_some() && anchor == ptr_anchor {
+                continue;
+            }
+            let validated =
+                anchor.as_deref().is_some_and(|a| has_dominating_guard(tokens, start, i, a));
+            if !validated {
+                findings.push(FlowFinding {
+                    violation: Violation {
+                        rule: "race-unsafe-bound",
+                        file: model.file.clone(),
+                        line: tokens[i].line,
+                        content: format!(
+                            "raw-pointer length '{text}' not traced to a validated bound in {}",
+                            f.qual
+                        ),
+                    },
+                    witness: vec![format!(
+                        "{} ({}:{}) passes '{text}' to {} unvalidated",
+                        f.qual, model.file, tokens[i].line, tokens[i].text
+                    )],
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Does `anchor` appear before `at` in a validating position — next to
+/// a comparison operator or flowing through a recognized guard call?
+fn has_dominating_guard(tokens: &[Token], start: usize, at: usize, anchor: &str) -> bool {
+    for i in start..at {
+        if !tokens[i].is_ident(anchor) {
+            continue;
+        }
+        let lo = i.saturating_sub(4).max(start);
+        let hi = (i + 5).min(at);
+        for j in lo..hi {
+            let t = &tokens[j];
+            if t.kind == TokenKind::Punct && COMPARISON_OPS.contains(&t.text.as_str()) {
+                return true;
+            }
+            if t.kind == TokenKind::Ident && is_guard_ident(&t.text) && at_punct(tokens, j + 1, "(")
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---- task entry -----------------------------------------------------
+
+pub(crate) fn race_task(args: &[String]) -> ExitCode {
+    let started = std::time::Instant::now();
+    let mut rest = Vec::new();
+    let mut self_test = false;
+    for arg in args {
+        if arg == "--self-test" {
+            self_test = true;
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    let crate::PassArgs { json, update, baseline_path, root } = match crate::parse_pass_args(&rest)
+    {
+        Ok(parsed) => parsed,
+        Err(message) => return crate::usage_error(&message),
+    };
+    let root = root.unwrap_or_else(crate::workspace_root);
+    if self_test {
+        return run_self_test(&root);
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join(RACE_BASELINE_FILE));
+
+    let files = analysis::workspace_files(&root);
+    let models = analysis::build_models(&root, &files);
+    let ctx = RaceCtx::new(&root, &models, false);
+    let findings = analyze(&ctx);
+
+    if update {
+        let violations: Vec<Violation> = findings.iter().map(|f| f.violation.clone()).collect();
+        let rendered =
+            baseline::render_titled("twig-race", "cargo xtask race --update-baseline", &violations);
+        if let Err(err) = fs::write(&baseline_path, rendered) {
+            eprintln!("error: cannot write {}: {err}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "baseline updated: {} finding(s) across {} file(s) recorded in {}",
+            findings.len(),
+            files.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(parsed) => parsed,
+            Err(err) => {
+                eprintln!("error: {}: {err}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Default::default(), // no baseline: everything is new
+    };
+    let scanned = files.len();
+    let (old, fresh) =
+        baseline::partition_by(findings, &baseline, |f| baseline::key_of(&f.violation));
+
+    let elapsed_ms = started.elapsed().as_millis();
+    if json {
+        println!("{}", crate::flow_json_report("twig-race", scanned, &old, &fresh, elapsed_ms));
+    } else {
+        crate::flow_human_report("twig-race", scanned, &old, &fresh, elapsed_ms);
+    }
+    if fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Self-test over `crates/xtask/fixtures/race/`: every `// FLAG: rule`
+/// line must be reported with that rule, every `// CLEAN` line must be
+/// silent. Fixture files live under a test path, so models are built
+/// with the test flag forced off — the self-test must exercise the same
+/// reporting rules production code gets.
+fn run_self_test(root: &Path) -> ExitCode {
+    let fixture_dir = root.join("crates/xtask/fixtures/race");
+    let mut files = Vec::new();
+    analysis::collect_rs_files(root, &fixture_dir, &mut files);
+    files.sort();
+    if files.is_empty() {
+        eprintln!("error: no fixtures under {}", fixture_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut models = Vec::new();
+    let mut sources = BTreeMap::new();
+    for file in &files {
+        match fs::read_to_string(root.join(file)) {
+            Ok(src) => {
+                let masked = mask_source(&src);
+                let test_lines = test_line_mask(&masked);
+                models.push(crate::analysis::items::parse_file(
+                    file,
+                    crate::analysis::tokens::tokenize(&masked),
+                    &test_lines,
+                    false,
+                ));
+                sources.insert(file.clone(), src);
+            }
+            Err(err) => {
+                eprintln!("error: cannot read {file}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let ctx = RaceCtx { models: &models, sources: sources.clone(), report_all: true };
+    let findings = analyze(&ctx);
+
+    let mut failures = 0usize;
+    let mut checks = 0usize;
+    for file in &files {
+        let Some(src) = sources.get(file) else { continue };
+        for (idx, text) in src.lines().enumerate() {
+            let line = idx + 1;
+            if let Some(pos) = text.find("/ FLAG:") {
+                for rule in text[pos + "/ FLAG:".len()..].split(',') {
+                    let rule = rule.trim();
+                    checks += 1;
+                    let hit = findings.iter().any(|f| {
+                        f.violation.rule == rule
+                            && f.violation.file == *file
+                            && f.violation.line == line
+                    });
+                    if hit {
+                        println!("ok   {file}:{line} [{rule}]");
+                    } else {
+                        println!("MISS {file}:{line} [{rule}] — known-bad pattern not flagged");
+                        failures += 1;
+                    }
+                }
+            } else if text.contains("// CLEAN") {
+                checks += 1;
+                match findings
+                    .iter()
+                    .find(|f| f.violation.file == *file && f.violation.line == line)
+                {
+                    Some(f) => {
+                        println!(
+                            "FALSE POSITIVE {file}:{line} [{}] — line annotated CLEAN",
+                            f.violation.rule
+                        );
+                        failures += 1;
+                    }
+                    None => println!("ok   {file}:{line} [clean]"),
+                }
+            }
+        }
+    }
+    println!(
+        "twig-race self-test: {checks} annotation(s) checked, {failures} failure(s), \
+         {} finding(s) total",
+        findings.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::items::parse_file;
+    use crate::analysis::tokens::tokenize;
+
+    fn run(files: &[(&str, &str)]) -> Vec<FlowFinding> {
+        let models: Vec<FileModel> = files
+            .iter()
+            .map(|(file, src)| {
+                let masked = mask_source(src);
+                let test_lines = test_line_mask(&masked);
+                parse_file(file, tokenize(&masked), &test_lines, false)
+            })
+            .collect();
+        let sources: BTreeMap<String, String> =
+            files.iter().map(|(f, s)| ((*f).to_owned(), (*s).to_owned())).collect();
+        let ctx = RaceCtx { models: &models, sources, report_all: false };
+        analyze(&ctx)
+    }
+
+    fn rules(findings: &[FlowFinding]) -> Vec<&str> {
+        findings.iter().map(|f| f.violation.rule).collect()
+    }
+
+    #[test]
+    fn relaxed_publication_after_writes_is_flagged() {
+        let findings = run(&[(
+            "crates/serve/src/a.rs",
+            "
+static READY: AtomicBool = AtomicBool::new(false);
+struct T { buf: Vec<u8> }
+impl T {
+    fn publish(&mut self, data: &[u8]) {
+        self.buf.extend(data);
+        READY.store(true, Ordering::Relaxed);
+    }
+    fn consume(&self) -> bool { READY.load(Ordering::Relaxed) }
+}
+",
+        )]);
+        assert_eq!(rules(&findings), ["race-atomic-publish"], "{findings:?}");
+        assert!(findings[0].violation.content.contains("non-atomic writes"), "{findings:?}");
+    }
+
+    #[test]
+    fn release_publication_is_clean() {
+        let findings = run(&[(
+            "crates/serve/src/a.rs",
+            "
+static READY: AtomicBool = AtomicBool::new(false);
+fn publish(buf: &mut Vec<u8>, data: &[u8]) {
+    buf.extend(data);
+    READY.store(true, Ordering::Release);
+}
+fn consume() -> bool { READY.load(Ordering::Acquire) }
+",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn asymmetric_relaxed_halves_are_flagged() {
+        let findings = run(&[(
+            "crates/serve/src/a.rs",
+            "
+static GEN: AtomicU64 = AtomicU64::new(0);
+fn bump(next: u64) { GEN.store(next, Ordering::Release); }
+fn peek() -> u64 { GEN.load(Ordering::Relaxed) }
+static GATE: AtomicU64 = AtomicU64::new(0);
+fn open(v: u64) { GATE.store(v, Ordering::Relaxed); }
+fn check() -> u64 { GATE.load(Ordering::Acquire) }
+",
+        )]);
+        assert_eq!(
+            rules(&findings),
+            ["race-atomic-publish", "race-atomic-publish"],
+            "{findings:?}"
+        );
+        assert!(findings.iter().any(|f| f.violation.content.contains("Relaxed load of 'GEN'")));
+        assert!(findings.iter().any(|f| f.violation.content.contains("Relaxed store of 'GATE'")));
+    }
+
+    #[test]
+    fn counters_are_exempt_from_publish_rules() {
+        let findings = run(&[(
+            "crates/serve/src/a.rs",
+            "
+static HITS: AtomicU64 = AtomicU64::new(0);
+fn hit() { HITS.fetch_add(1, Ordering::Relaxed); }
+fn total() -> u64 { HITS.load(Ordering::Relaxed) }
+fn reset(buf: &mut Vec<u8>) {
+    buf.clear();
+    HITS.store(0, Ordering::Relaxed);
+}
+",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn atomic_through_type_alias_is_still_classified() {
+        let findings = run(&[(
+            "crates/serve/src/a.rs",
+            "
+type Flag = AtomicBool;
+static LIVE: Flag = Flag::new(false);
+fn publish(buf: &mut Vec<u8>) {
+    buf.push(1);
+    LIVE.store(true, Ordering::Relaxed);
+}
+fn observe() -> bool { LIVE.load(Ordering::Acquire) }
+",
+        )]);
+        assert_eq!(rules(&findings), ["race-atomic-publish"], "{findings:?}");
+        assert!(findings[0].violation.content.contains("'LIVE'"), "{findings:?}");
+    }
+
+    #[test]
+    fn qualified_atomic_calls_resolve_like_failpoint_style() {
+        let findings = run(&[(
+            "crates/util/src/a.rs",
+            "
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+fn arm(table: &mut Vec<u32>, p: u32) {
+    table.push(p);
+    AtomicBool::store(&ACTIVE, true, Ordering::Relaxed);
+}
+fn armed() -> bool { AtomicBool::load(&ACTIVE, Ordering::Relaxed) }
+",
+        )]);
+        assert_eq!(rules(&findings), ["race-atomic-publish"], "{findings:?}");
+    }
+
+    #[test]
+    fn receiver_name_collision_without_ordering_is_ignored() {
+        // `registry.load(spec)` is a SummaryRegistry method, not an
+        // atomic op — no Ordering argument, no site.
+        let findings = run(&[(
+            "crates/serve/src/a.rs",
+            "
+struct S { state: AtomicU8, registry: Registry }
+impl S {
+    fn go(&self, spec: &Spec) { self.registry.load(spec); }
+    fn fine(&self) -> u8 { self.state.load(Ordering::Acquire) }
+}
+",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn cas_failure_stronger_than_success_is_flagged() {
+        let findings = run(&[(
+            "crates/serve/src/a.rs",
+            "
+static LATCH: AtomicU8 = AtomicU8::new(0);
+fn claim() -> bool {
+    LATCH.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Acquire).is_ok()
+}
+fn claim_ok() -> bool {
+    LATCH.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).is_ok()
+}
+",
+        )]);
+        assert_eq!(rules(&findings), ["race-cas-order"], "{findings:?}");
+    }
+
+    #[test]
+    fn atomic_spun_as_lock_is_flagged_but_park_is_clean() {
+        let findings = run(&[(
+            "crates/serve/src/a.rs",
+            "
+static BUSY: AtomicBool = AtomicBool::new(false);
+fn acquire() {
+    while BUSY.swap(true, Ordering::Acquire) {}
+}
+fn wait() {
+    while BUSY.load(Ordering::Acquire) { std::thread::park(); }
+}
+",
+        )]);
+        assert_eq!(rules(&findings), ["race-atomic-lock"], "{findings:?}");
+        assert!(findings[0].violation.content.contains("'BUSY'"));
+    }
+
+    #[test]
+    fn inconsistent_lockset_is_flagged_with_witness() {
+        let findings = run(&[(
+            "crates/serve/src/a.rs",
+            "
+struct Shared { state: Mutex<u32>, hits: u64 }
+impl Shared {
+    fn guarded(&self) -> u64 {
+        let g = self.state.lock().unwrap();
+        self.hits
+    }
+    fn guarded_too(&self) {
+        let g = self.state.lock().unwrap();
+        let n = self.hits;
+    }
+    fn unguarded(&self) -> u64 { self.hits }
+}
+",
+        )]);
+        assert_eq!(rules(&findings), ["race-lockset"], "{findings:?}");
+        assert!(findings[0].violation.content.contains("'Shared.hits'"), "{findings:?}");
+        assert!(findings[0].violation.content.contains("'state'"), "{findings:?}");
+        assert!(!findings[0].witness.is_empty());
+    }
+
+    #[test]
+    fn mut_self_and_never_guarded_fields_are_exempt() {
+        let findings = run(&[(
+            "crates/serve/src/a.rs",
+            "
+struct Shared { state: Mutex<u32>, hits: u64, tag: u32 }
+impl Shared {
+    fn guarded(&self) -> u64 {
+        let g = self.state.lock().unwrap();
+        self.hits
+    }
+    fn exclusive(&mut self) { self.hits += 1; }
+    fn tagged(&self) -> u32 { self.tag }
+}
+",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let findings = run(&[(
+            "crates/flat/src/a.rs",
+            "
+fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+fn read_ok(p: *const u8) -> u8 {
+    // SAFETY: caller validated p against the mapped range.
+    unsafe { *p }
+}
+",
+        )]);
+        assert_eq!(rules(&findings), ["race-unsafe-comment"], "{findings:?}");
+        assert_eq!(findings[0].violation.line, 3);
+    }
+
+    #[test]
+    fn unsafe_impl_without_justification_is_flagged() {
+        let findings = run(&[(
+            "crates/flat/src/a.rs",
+            "
+struct Region { ptr: usize }
+unsafe impl Send for Region {}
+// SAFETY: the region is read-only after construction.
+unsafe impl Sync for Region {}
+",
+        )]);
+        assert_eq!(rules(&findings), ["race-unsafe-impl"], "{findings:?}");
+        assert!(findings[0].violation.content.contains("Send for Region"), "{findings:?}");
+    }
+
+    #[test]
+    fn raw_parts_len_needs_a_dominating_bound() {
+        let findings = run(&[(
+            "crates/flat/src/a.rs",
+            "
+fn bad(ptr: *const u8, n: usize) -> &'static [u8] {
+    // SAFETY: pointer is valid (but n is unchecked).
+    unsafe { slice::from_raw_parts(ptr, n) }
+}
+fn shared(region: &Region) -> &[u8] {
+    // SAFETY: region ties ptr and len together.
+    unsafe { slice::from_raw_parts(region.ptr, region.len) }
+}
+fn guarded(ptr: *const u8, n: usize, cap: usize) -> &'static [u8] {
+    assert!(n <= cap);
+    // SAFETY: n is bounded by cap above.
+    unsafe { slice::from_raw_parts(ptr, n) }
+}
+fn literal(ptr: *const u8) -> &'static [u8] {
+    // SAFETY: fixed-size header.
+    unsafe { slice::from_raw_parts(ptr, 16) }
+}
+",
+        )]);
+        assert_eq!(rules(&findings), ["race-unsafe-bound"], "{findings:?}");
+        assert!(findings[0].violation.content.contains("'n'"), "{findings:?}");
+    }
+}

@@ -88,12 +88,9 @@ const SOURCE_PATHS: &[&str] =
 /// produce attacker-controlled bytes.
 const READ_METHODS: &[&str] = &["read", "read_exact", "read_to_end", "read_to_string", "read_line"];
 
-/// Is `name` a sanitizing call? Its whole expression becomes clean.
-fn is_guard_ident(name: &str) -> bool {
-    name.starts_with("checked_")
-        || name.starts_with("saturating_")
-        || matches!(name, "try_into" | "try_from" | "min" | "clamp")
-}
+// Guard (sanitizer) recognition is shared with the race pass's
+// unsafe-contract audit; see `analysis::guards`.
+use crate::analysis::guards::is_guard_ident;
 
 /// `::`-aligned suffix match: `core::Cst::from_bytes` matches
 /// `Cst::from_bytes` but `MyCst::from_bytes` does not.
@@ -1062,6 +1059,7 @@ const NON_CALL_IDENTS: &[&str] = &[
 // ---- task entry -----------------------------------------------------
 
 pub(crate) fn taint_task(args: &[String]) -> ExitCode {
+    let started = std::time::Instant::now();
     let mut rest = Vec::new();
     let mut self_test = false;
     for arg in args {
@@ -1130,10 +1128,11 @@ pub(crate) fn taint_task(args: &[String]) -> ExitCode {
     let (old, fresh) =
         baseline::partition_by(findings, &baseline, |f| baseline::key_of(&f.violation));
 
+    let elapsed_ms = started.elapsed().as_millis();
     if json {
-        println!("{}", crate::flow_json_report("twig-taint", scanned, &old, &fresh));
+        println!("{}", crate::flow_json_report("twig-taint", scanned, &old, &fresh, elapsed_ms));
     } else {
-        crate::flow_human_report("twig-taint", scanned, &old, &fresh);
+        crate::flow_human_report("twig-taint", scanned, &old, &fresh, elapsed_ms);
     }
     if fresh.is_empty() {
         ExitCode::SUCCESS
