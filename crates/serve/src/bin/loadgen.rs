@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7716 [--connections 8] [--secs 5] [--batch 16]
-//!         [--summary default] [--algo msh] [--count-kind occurrence]
-//!         [--seed N] [--shutdown] [--smoke]
+//!         [--pipeline 1] [--summary default] [--algo msh]
+//!         [--count-kind occurrence] [--seed N] [--shutdown] [--smoke]
 //! ```
+//!
+//! `--pipeline N` keeps N requests in flight per connection
+//! (HTTP/1.1 pipelining); 1 is the strictly closed loop.
 //!
 //! `--smoke` runs a short fixed burst, requires nonzero throughput with
 //! zero failures, shuts the server down, and exits nonzero otherwise —
@@ -36,8 +39,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen --addr HOST:PORT [--connections N] [--secs S] \
-                     [--batch B] [--summary NAME] [--algo NAME] [--count-kind KIND] \
-                     [--seed N] [--shutdown] [--smoke]"
+                     [--batch B] [--pipeline P] [--summary NAME] [--algo NAME] \
+                     [--count-kind KIND] [--seed N] [--shutdown] [--smoke]"
                 );
                 return Ok(());
             }
@@ -47,6 +50,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--count-kind" => config.count_kind = value(&mut iter, "--count-kind")?,
             "--connections" => config.connections = parsed(&mut iter, "--connections")?,
             "--batch" => config.batch = parsed(&mut iter, "--batch")?,
+            "--pipeline" => config.pipeline = parsed(&mut iter, "--pipeline")?,
             "--seed" => config.seed = parsed(&mut iter, "--seed")?,
             "--secs" => {
                 let secs: f64 = parsed(&mut iter, "--secs")?;
@@ -67,8 +71,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
     let report = loadgen::run(&config)?;
     println!(
-        "loadgen: {} conns, batch {}, {:?} against {}",
-        config.connections, config.batch, config.duration, config.addr
+        "loadgen: {} conns, batch {}, pipeline {}, {:?} against {}",
+        config.connections, config.batch, config.pipeline, config.duration, config.addr
     );
     println!("{}", report.render());
     if report.requests == 0 {

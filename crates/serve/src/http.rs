@@ -13,11 +13,14 @@
 //!   the read loop polls an externally supplied shutdown flag, so an
 //!   idle keep-alive connection never pins a worker during shutdown.
 //!
-//! Requests on a connection are strictly sequential (no pipelining):
-//! bytes a client sends past one complete request are not buffered for
-//! the next read. Closed-loop clients (every client this workspace
-//! ships) never pipeline; a client that does will see framing errors and
-//! a closed connection, never corrupted responses.
+//! Parsing is *incremental*: [`parse_request_bytes`] inspects a receive
+//! buffer and either yields one complete request plus the byte count it
+//! consumed, or asks for more bytes — it never loses data. That is what
+//! makes HTTP/1.1 pipelining work: bytes past one complete request stay
+//! in the buffer and frame the next one. The blocking [`read_request`]
+//! (used by tests and the portable fallback path) is a thin read loop
+//! over the same parser, so blocking and nonblocking servers cannot
+//! disagree about what a request means.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -202,6 +205,12 @@ fn find_head_end(buffer: &[u8]) -> Option<usize> {
     buffer.windows(4).position(|w| w == b"\r\n\r\n").map(|at| at + 4)
 }
 
+/// Whether `buffer` already holds a complete request head (used to
+/// distinguish mid-head from mid-body EOF in the reactor).
+pub(crate) fn head_complete(buffer: &[u8]) -> bool {
+    find_head_end(buffer).is_some()
+}
+
 /// Reads body bytes until `buffer` holds `head_end + length` bytes.
 fn read_body(
     stream: &mut TcpStream,
@@ -235,25 +244,35 @@ fn read_body(
     Ok(())
 }
 
-/// Reads one request from `stream`. `shutdown` is polled while the
-/// connection is idle so shutdown never waits out a full idle deadline.
-pub fn read_request(
-    stream: &mut TcpStream,
-    limits: &Limits,
-    shutdown: &dyn Fn() -> bool,
-) -> Result<Request, ReadOutcome> {
-    if let Some(fault) = twig_util::failpoint!("http.read") {
-        return Err(match fault {
-            twig_util::failpoint::Fault::Error => ReadOutcome::Io(injected("http.read")),
-            // A torn read looks like the peer vanishing mid-request.
-            twig_util::failpoint::Fault::Partial(_) => ReadOutcome::Malformed("injected torn read"),
-        });
-    }
-    let mut buffer = Vec::new();
-    let head_end = read_head(stream, &mut buffer, limits, shutdown)?;
-    // `read_head` returned the index just past `\r\n\r\n`, so the
-    // bound holds by construction — but slice checked anyway: a panic
-    // here would take down a worker on attacker-controlled input.
+/// Outcome of one [`parse_request_bytes`] pass over a receive buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// The buffer does not yet hold one complete request.
+    NeedMore,
+    /// One complete request; the first `consumed` buffer bytes framed it
+    /// (the caller drains them and re-parses — pipelined requests queue
+    /// behind them untouched).
+    Request {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed (head + body).
+        consumed: usize,
+    },
+}
+
+/// Parses at most one request from the front of `buffer`.
+///
+/// Incremental: safe to call after every partial read. Limit violations
+/// (`HeadTooLarge`, `BodyTooLarge`) are detected as early as the bytes
+/// allow — an oversized declared body is rejected from its head alone,
+/// before any body byte arrives.
+pub fn parse_request_bytes(buffer: &[u8], limits: &Limits) -> Result<Parsed, ReadOutcome> {
+    let Some(head_end) = find_head_end(buffer) else {
+        if buffer.len() > limits.max_head_bytes {
+            return Err(ReadOutcome::HeadTooLarge);
+        }
+        return Ok(Parsed::NeedMore);
+    };
     let head_bytes = buffer
         .get(..head_end.saturating_sub(4))
         .ok_or(ReadOutcome::Malformed("head boundary out of range"))?;
@@ -291,14 +310,87 @@ pub fn read_request(
     if request.header("transfer-encoding").is_some() {
         return Err(ReadOutcome::Malformed("transfer-encoding not supported"));
     }
-    read_body(stream, &mut buffer, head_end, length, limits)?;
     let body_end =
         head_end.checked_add(length).ok_or(ReadOutcome::Malformed("content-length overflow"))?;
+    if buffer.len() < body_end {
+        return Ok(Parsed::NeedMore);
+    }
     request.body = buffer
         .get(head_end..body_end)
         .ok_or(ReadOutcome::Malformed("body shorter than content-length"))?
         .to_vec();
-    Ok(request)
+    Ok(Parsed::Request { request, consumed: body_end })
+}
+
+/// Reads one request from `stream`. `shutdown` is polled while the
+/// connection is idle so shutdown never waits out a full idle deadline.
+///
+/// This is the blocking read loop over [`parse_request_bytes`]; the
+/// nonblocking reactor uses the parser directly.
+pub fn read_request(
+    stream: &mut TcpStream,
+    limits: &Limits,
+    shutdown: &dyn Fn() -> bool,
+) -> Result<Request, ReadOutcome> {
+    if let Some(fault) = twig_util::failpoint!("http.read") {
+        return Err(match fault {
+            twig_util::failpoint::Fault::Error => ReadOutcome::Io(injected("http.read")),
+            // A torn read looks like the peer vanishing mid-request.
+            twig_util::failpoint::Fault::Partial(_) => ReadOutcome::Malformed("injected torn read"),
+        });
+    }
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        return Err(ReadOutcome::Malformed("cannot set read timeout"));
+    }
+    let idle_start = Instant::now();
+    let mut first_byte_at: Option<Instant> = None;
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match parse_request_bytes(&buffer, limits)? {
+            Parsed::Request { request, .. } => return Ok(request),
+            Parsed::NeedMore => {}
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if buffer.is_empty() {
+                    ReadOutcome::Closed
+                } else if find_head_end(&buffer).is_none() {
+                    ReadOutcome::Malformed("connection closed mid-head")
+                } else {
+                    ReadOutcome::Malformed("connection closed mid-body")
+                });
+            }
+            Ok(n) => {
+                if first_byte_at.is_none() {
+                    first_byte_at = Some(Instant::now());
+                }
+                // A sane `Read` never returns more than the buffer
+                // holds; map a broken impl to an error, not a panic.
+                match chunk.get(..n) {
+                    Some(filled) => buffer.extend_from_slice(filled),
+                    None => return Err(ReadOutcome::Malformed("read length out of range")),
+                }
+            }
+            Err(err) if is_timeout(&err) => match first_byte_at {
+                Some(started) => {
+                    if started.elapsed() > limits.read_deadline {
+                        return Err(ReadOutcome::Timeout);
+                    }
+                }
+                None => {
+                    if shutdown() {
+                        return Err(ReadOutcome::ShuttingDown);
+                    }
+                    if idle_start.elapsed() > limits.idle_deadline {
+                        return Err(ReadOutcome::IdleTimeout);
+                    }
+                }
+            },
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(ReadOutcome::Io(err)),
+        }
+    }
 }
 
 /// A response under construction.
@@ -345,9 +437,8 @@ impl Response {
         self
     }
 
-    /// Serializes the response to `stream`. `close` controls the
-    /// `Connection` header.
-    pub fn write_to(&self, stream: &mut TcpStream, close: bool) -> io::Result<()> {
+    /// Renders the head (status line through blank line) as a string.
+    fn head_string(&self, close: bool) -> String {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
@@ -363,6 +454,29 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
+        head
+    }
+
+    /// Appends just the head's wire form to `out` (the reactor's write
+    /// queue splices large bodies in as their own vectored segment).
+    pub(crate) fn encode_head_into(&self, out: &mut Vec<u8>, close: bool) {
+        out.extend_from_slice(self.head_string(close).as_bytes());
+    }
+
+    /// Appends the full wire form (head + body) to `out`.
+    ///
+    /// The reactor serializes every response into a reusable
+    /// per-connection write buffer and flushes on writability; pipelined
+    /// responses simply append in order.
+    pub fn encode_into(&self, out: &mut Vec<u8>, close: bool) {
+        out.extend_from_slice(self.head_string(close).as_bytes());
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Serializes the response to `stream`. `close` controls the
+    /// `Connection` header.
+    pub fn write_to(&self, stream: &mut TcpStream, close: bool) -> io::Result<()> {
+        let head = self.head_string(close);
         if let Some(fault) = twig_util::failpoint!("http.write") {
             if let twig_util::failpoint::Fault::Partial(keep_percent) = fault {
                 // Write a prefix of the head, then fail: the client
@@ -408,19 +522,31 @@ pub fn reason(status: u16) -> &'static str {
 // Client side (loadgen, tests)
 // ---------------------------------------------------------------------
 
-/// Writes one client request with an optional body.
+/// Appends one encoded client request (head + body) to `out` without
+/// touching the socket — callers batch several into one write when
+/// pipelining.
+pub fn encode_request(out: &mut Vec<u8>, method: &str, target: &str, body: &[u8]) {
+    use std::io::Write as _;
+    // Writing into a Vec cannot fail.
+    let _ = write!(
+        out,
+        "{method} {target} HTTP/1.1\r\nhost: twig-serve\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    out.extend_from_slice(body);
+}
+
+/// Writes one client request with an optional body (a single syscall:
+/// head and body go out together).
 pub fn write_request(
     stream: &mut TcpStream,
     method: &str,
     target: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nhost: twig-serve\r\ncontent-length: {}\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    let mut wire = Vec::with_capacity(96 + body.len());
+    encode_request(&mut wire, method, target, body);
+    stream.write_all(&wire)?;
     stream.flush()
 }
 
@@ -449,14 +575,30 @@ impl ClientResponse {
     }
 }
 
-/// Reads one response from `stream` (client side).
+/// Reads one response from `stream` (client side). Any bytes read past
+/// the response are discarded with the internal buffer, so this is only
+/// correct when at most one response is in flight on the connection;
+/// pipelined clients must use [`read_response_pipelined`].
 pub fn read_response(
     stream: &mut TcpStream,
     limits: &Limits,
 ) -> Result<ClientResponse, ReadOutcome> {
+    read_response_pipelined(stream, &mut Vec::new(), limits)
+}
+
+/// Reads one response from a connection that may carry several
+/// (HTTP/1.1 pipelining): a single socket read can deliver the tail of
+/// response N together with the head of response N+1, so the caller
+/// owns `buffer` for the connection's lifetime and exactly one
+/// response's bytes are drained from it per call. Reset the buffer on
+/// reconnect.
+pub fn read_response_pipelined(
+    stream: &mut TcpStream,
+    buffer: &mut Vec<u8>,
+    limits: &Limits,
+) -> Result<ClientResponse, ReadOutcome> {
     let never_shutdown = || false;
-    let mut buffer = Vec::new();
-    let head_end = read_head(stream, &mut buffer, limits, &never_shutdown)?;
+    let head_end = read_head(stream, buffer, limits, &never_shutdown)?;
     // Same discipline as the server side: the response bytes are peer
     // input, so the head boundary is checked rather than trusted.
     let head_bytes = buffer
@@ -488,13 +630,15 @@ pub fn read_response(
     if length > limits.max_body_bytes {
         return Err(ReadOutcome::BodyTooLarge { declared: length });
     }
-    read_body(stream, &mut buffer, head_end, length, limits)?;
+    read_body(stream, buffer, head_end, length, limits)?;
     let body_end =
         head_end.checked_add(length).ok_or(ReadOutcome::Malformed("content-length overflow"))?;
     let body = buffer
         .get(head_end..body_end)
         .ok_or(ReadOutcome::Malformed("body shorter than content-length"))?
         .to_vec();
+    // Consume exactly this response; pipelined successors stay queued.
+    buffer.drain(..body_end);
     Ok(ClientResponse { status, headers, body })
 }
 

@@ -3,11 +3,14 @@
 //! Wraps the offline estimator pipeline (`twig-core`) in a long-running
 //! network service built entirely on `std`:
 //!
-//! - [`server::Server`] — an HTTP/1.1 service over `std::net` with a
-//!   bounded worker [`pool::ThreadPool`], explicit admission control
-//!   (queue full → `503` + `Retry-After`, written inline by the accept
-//!   thread), per-connection read/idle deadlines, body-size limits, and
-//!   a graceful shutdown that drains in-flight work.
+//! - [`server::Server`] — an HTTP/1.1 service over `std::net` hosted on
+//!   per-core epoll reactor threads (Linux; a blocking fallback serves
+//!   elsewhere): each reactor owns a `SO_REUSEPORT` listener shard and
+//!   a slab of nonblocking connection state machines with incremental
+//!   request parsing, pipelining, and vectored response writes.
+//!   Admission control is explicit (per-reactor connection cap → `503`
+//!   with escalating `Retry-After`, written inline), deadlines ride a
+//!   timer wheel, and shutdown drains in-flight work gracefully.
 //! - [`registry::SummaryRegistry`] — named CST summaries behind an
 //!   `RwLock`, hot-reloadable via `POST /admin/reload` without dropping
 //!   traffic (a failed reload keeps the old summary serving).
@@ -15,31 +18,31 @@
 //!   rendering is shortest-round-trip, so served estimates are
 //!   bit-identical to `twig estimate` output.
 //! - [`metrics::ServeMetrics`] — atomic counters plus log-bucketed
-//!   latency histograms, exposed at `GET /metrics` in the Prometheus
-//!   text format.
+//!   latency histograms (and per-reactor accept/connection gauges),
+//!   exposed at `GET /metrics` in the Prometheus text format.
 //! - [`loadgen`] — a closed-loop load generator (also shipped as the
-//!   `loadgen` binary) with a deterministic seeded workload and exact
-//!   latency percentiles.
+//!   `loadgen` binary) with a deterministic seeded workload, optional
+//!   request pipelining, and exact latency percentiles.
 //!
 //! Endpoints: `POST /estimate` (single query or batch; any
 //! [`twig_core::Algorithm`] and count kind), `GET /healthz`,
 //! `GET /summaries`, `GET /metrics`, `POST /admin/reload`,
-//! `POST /admin/shutdown`. See `DESIGN.md` §8 for the full contract.
+//! `POST /admin/shutdown`. See `DESIGN.md` §8 and §15 for the full
+//! contract.
 
 pub mod http;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
 mod plan;
-pub mod pool;
+mod reactor;
 pub mod registry;
 pub mod server;
 pub mod snapshot;
 
 pub use json::{Json, JsonError};
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{ConnectionLatency, LoadgenConfig, LoadgenReport};
 pub use metrics::ServeMetrics;
-pub use pool::{Rejected, ThreadPool};
 pub use registry::{error_chain, LoadError, LoadOutcome, SummaryRegistry, SummarySpec};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use snapshot::{SnapshotError, SnapshotStore};

@@ -1,16 +1,21 @@
 //! Closed-loop load generator for the estimation server.
 //!
 //! Drives N concurrent keep-alive connections, each sending batched
-//! `/estimate` requests back-to-back (closed loop: the next request
-//! leaves only after the previous response arrived), from a
-//! deterministic seeded workload. Reports throughput plus exact latency
-//! percentiles (every request's latency is recorded, then sorted — no
-//! histogram approximation on the client side).
+//! `/estimate` requests from a deterministic seeded workload. With
+//! `pipeline: 1` the loop is strictly closed (the next request leaves
+//! only after the previous response arrived); with `pipeline: k` each
+//! connection keeps up to `k` requests in flight HTTP/1.1-pipelined,
+//! which is how a single generator process drives the reactor server
+//! past 100k req/s. Reports throughput plus exact latency percentiles
+//! (every request's latency is recorded, then sorted — no histogram
+//! approximation on the client side), globally and per connection.
 //!
 //! Ships as the `loadgen` binary; the library entry point
 //! ([`run`], [`smoke`]) is reused by the integration tests and the CI
 //! smoke job.
 
+use std::collections::VecDeque;
+use std::io::Write;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -18,7 +23,7 @@ use twig_tree::Twig;
 use twig_util::cast::{count_to_f64, size_to_u64};
 use twig_util::SplitMix64;
 
-use crate::http::{read_response, write_request, Limits};
+use crate::http::{encode_request, read_response, read_response_pipelined, write_request, Limits};
 use crate::json::Json;
 
 /// Load generator parameters.
@@ -32,6 +37,9 @@ pub struct LoadgenConfig {
     pub duration: Duration,
     /// Queries per `/estimate` request.
     pub batch: usize,
+    /// Requests each connection keeps in flight (1 = strictly closed
+    /// loop; >1 = HTTP/1.1 pipelining with a window this deep).
+    pub pipeline: usize,
     /// Summary name to query.
     pub summary: String,
     /// Estimation algorithm name.
@@ -53,6 +61,7 @@ impl Default for LoadgenConfig {
             connections: 8,
             duration: Duration::from_secs(5),
             batch: 16,
+            pipeline: 1,
             summary: "default".to_owned(),
             algorithm: "msh".to_owned(),
             count_kind: "occurrence".to_owned(),
@@ -93,13 +102,34 @@ pub struct LoadgenReport {
     pub requests_per_sec: f64,
     /// Estimates per second.
     pub estimates_per_sec: f64,
+    /// Latency summary per driven connection (index-aligned with the
+    /// generator's connection threads), so a skewed reuseport shard or
+    /// one slow connection is visible instead of averaged away.
+    pub per_connection: Vec<ConnectionLatency>,
+}
+
+/// Exact latency percentiles for one generator connection.
+#[derive(Debug, Clone)]
+pub struct ConnectionLatency {
+    /// Connection index (0-based).
+    pub connection: usize,
+    /// Successful requests on this connection.
+    pub requests: u64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
 }
 
 impl LoadgenReport {
     /// Human-readable one-paragraph report.
     #[must_use]
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "requests {} ({:.1}/s), estimates {} ({:.1}/s), non-200 {}, 503 {}, \
              retries {}, errors {}\n\
              latency µs: p50 {} p95 {} p99 {} max {} (over {:.2}s)",
@@ -116,7 +146,14 @@ impl LoadgenReport {
             self.p99_us,
             self.max_us,
             self.elapsed.as_secs_f64(),
-        )
+        );
+        for conn in &self.per_connection {
+            out.push_str(&format!(
+                "\n  conn {}: {} reqs, µs p50 {} p95 {} p99 {} max {}",
+                conn.connection, conn.requests, conn.p50_us, conn.p95_us, conn.p99_us, conn.max_us,
+            ));
+        }
+        out
     }
 }
 
@@ -258,6 +295,10 @@ fn worker(config: &LoadgenConfig, seed: u64, stop_at: Instant) -> WorkerStats {
         stats.errors += 1;
         return stats;
     };
+    if config.pipeline > 1 {
+        pipelined_loop(config, &mut rng, &mut stats, &mut backoff, stream, stop_at);
+        return stats;
+    }
     let limits = client_limits();
     while Instant::now() < stop_at {
         let body = build_body(config, &mut rng);
@@ -311,10 +352,120 @@ fn worker(config: &LoadgenConfig, seed: u64, stop_at: Instant) -> WorkerStats {
     stats
 }
 
+/// The pipelined request loop: keep up to `config.pipeline` requests in
+/// flight, reading responses in order (HTTP/1.1 pipelining guarantees
+/// FIFO). Latency is measured from each request's own send instant, so
+/// it includes time queued behind windowmates — the honest in-flight
+/// latency of the window depth, which is what the bench gate checks.
+///
+/// On any transport failure or server-side close the window's
+/// outstanding responses are unrecoverable: they are discarded (neither
+/// counted as successes nor failures beyond the one triggering error)
+/// and the connection re-primes after reconnect.
+fn pipelined_loop(
+    config: &LoadgenConfig,
+    rng: &mut SplitMix64,
+    stats: &mut WorkerStats,
+    backoff: &mut Backoff,
+    mut stream: TcpStream,
+    stop_at: Instant,
+) {
+    let limits = client_limits();
+    let mut window: VecDeque<Instant> = VecDeque::with_capacity(config.pipeline);
+    // One socket read can carry several responses; `inbound` holds the
+    // surplus between `read_response_pipelined` calls and is reset with
+    // the window whenever the connection is replaced.
+    let mut inbound: Vec<u8> = Vec::new();
+    // Request bodies are precomputed from the seeded stream and cycled:
+    // the generator's job is to saturate the server, so per-request
+    // JSON rendering must not bill client CPU against the measurement
+    // (they share cores). The traffic stays deterministic — the pool is
+    // exactly the first `BODY_POOL` bodies the seed produces.
+    const BODY_POOL: usize = 256;
+    let bodies: Vec<Vec<u8>> = (0..BODY_POOL).map(|_| build_body(config, rng)).collect();
+    let mut next_body = 0usize;
+    let mut outbound: Vec<u8> = Vec::new();
+    loop {
+        // Prime: (re)fill the window while the clock allows, encoding
+        // the whole refill into one buffer for a single write.
+        outbound.clear();
+        let mut queued = 0;
+        while window.len() + queued < config.pipeline && Instant::now() < stop_at {
+            encode_request(&mut outbound, "POST", "/estimate", &bodies[next_body % BODY_POOL]);
+            next_body = next_body.wrapping_add(1);
+            queued += 1;
+        }
+        if queued > 0 {
+            let sent = Instant::now();
+            if stream.write_all(&outbound).is_err() {
+                stats.errors += 1;
+                window.clear();
+                inbound.clear();
+                match reconnect(config, stats, backoff, stop_at) {
+                    Some(fresh) => stream = fresh,
+                    None => return,
+                }
+                continue;
+            }
+            for _ in 0..queued {
+                window.push_back(sent);
+            }
+        }
+        // Past the deadline with nothing in flight: done.
+        let Some(&oldest) = window.front() else { return };
+        match read_response_pipelined(&mut stream, &mut inbound, &limits) {
+            Ok(response) => {
+                window.pop_front();
+                let latency = u64::try_from(oldest.elapsed().as_micros()).unwrap_or(u64::MAX);
+                if response.status == 200 {
+                    stats.requests += 1;
+                    stats.estimates += size_to_u64(config.batch);
+                    stats.latencies_us.push(latency);
+                } else if response.status == 503 {
+                    stats.rejected_503 += 1;
+                    if let Some(secs) =
+                        response.header("retry-after").and_then(|value| value.parse::<u64>().ok())
+                    {
+                        backoff.stretch_to(secs);
+                    }
+                } else {
+                    stats.non_200 += 1;
+                }
+                if response.header("connection") == Some("close") {
+                    window.clear();
+                    inbound.clear();
+                    match reconnect(config, stats, backoff, stop_at) {
+                        Some(fresh) => stream = fresh,
+                        None => return,
+                    }
+                }
+            }
+            Err(_) => {
+                stats.errors += 1;
+                window.clear();
+                inbound.clear();
+                match reconnect(config, stats, backoff, stop_at) {
+                    Some(fresh) => stream = fresh,
+                    None => return,
+                }
+            }
+        }
+    }
+}
+
+/// Exact percentile over an already-sorted latency slice.
+fn percentile_of(sorted: &[u64], numerator: usize, denominator: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let index = ((sorted.len() - 1) * numerator) / denominator;
+    sorted.get(index).copied().unwrap_or(0)
+}
+
 /// Runs the closed loop and aggregates a report.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
-    if config.connections == 0 || config.batch == 0 {
-        return Err("connections and batch must be positive".to_owned());
+    if config.connections == 0 || config.batch == 0 || config.pipeline == 0 {
+        return Err("connections, batch and pipeline must be positive".to_owned());
     }
     // The workload must consist of parseable twigs; one deterministic
     // spot-check per form catches a template regression before the run.
@@ -339,15 +490,25 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let mut rejected_503 = 0u64;
     let mut retries = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
-    for handle in handles {
+    let mut per_connection = Vec::with_capacity(config.connections);
+    for (connection, handle) in handles.into_iter().enumerate() {
         match handle.join() {
-            Ok(stats) => {
+            Ok(mut stats) => {
                 requests += stats.requests;
                 estimates += stats.estimates;
                 errors += stats.errors;
                 non_200 += stats.non_200;
                 rejected_503 += stats.rejected_503;
                 retries += stats.retries;
+                stats.latencies_us.sort_unstable();
+                per_connection.push(ConnectionLatency {
+                    connection,
+                    requests: stats.requests,
+                    p50_us: percentile_of(&stats.latencies_us, 50, 100),
+                    p95_us: percentile_of(&stats.latencies_us, 95, 100),
+                    p99_us: percentile_of(&stats.latencies_us, 99, 100),
+                    max_us: stats.latencies_us.last().copied().unwrap_or(0),
+                });
                 latencies.extend(stats.latencies_us);
             }
             Err(_) => errors += 1,
@@ -361,11 +522,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
 
     latencies.sort_unstable();
     let percentile = |numerator: usize, denominator: usize| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let index = ((latencies.len() - 1) * numerator) / denominator;
-        latencies.get(index).copied().unwrap_or(0)
+        percentile_of(&latencies, numerator, denominator)
     };
     let secs = elapsed.as_secs_f64();
     let per_sec = |count: u64| -> f64 {
@@ -389,6 +546,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         max_us: latencies.last().copied().unwrap_or(0),
         requests_per_sec: per_sec(requests),
         estimates_per_sec: per_sec(estimates),
+        per_connection,
     })
 }
 
@@ -466,6 +624,8 @@ mod tests {
         let config = LoadgenConfig { connections: 0, ..LoadgenConfig::default() };
         assert!(run(&config).is_err());
         let config = LoadgenConfig { batch: 0, ..LoadgenConfig::default() };
+        assert!(run(&config).is_err());
+        let config = LoadgenConfig { pipeline: 0, ..LoadgenConfig::default() };
         assert!(run(&config).is_err());
     }
 }

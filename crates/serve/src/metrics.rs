@@ -7,8 +7,45 @@
 //! relaxed `fetch_add`, and rendering cannot race with registration.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use twig_util::metrics::{bucket_bound, Counter, HistogramSnapshot, LogHistogram, LOG_BUCKETS};
+
+/// Per-reactor instruments, exposed with a `reactor="<index>"` label.
+/// The reactor thread updates these single-writer; `/metrics` renders
+/// concurrently, so the fields are relaxed atomics (counters with
+/// `fetch_add`/`fetch_sub` only — no ordering-sensitive publication).
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    /// Connections this reactor's listener shard accepted.
+    pub accepted: AtomicU64,
+    /// Connections currently open on this reactor (gauge).
+    connections: AtomicU64,
+}
+
+impl ReactorStats {
+    /// Bumps the accepted-connections counter.
+    pub fn accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection opening on this reactor.
+    pub fn conn_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closing on this reactor.
+    pub fn conn_closed(&self) {
+        self.connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Currently open connections.
+    #[must_use]
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+}
 
 /// All metrics the server exposes.
 #[derive(Debug, Default)]
@@ -41,10 +78,15 @@ pub struct ServeMetrics {
     pub plan_cache_misses_total: Counter,
     /// Plans evicted from a full plan-cache shard.
     pub plan_cache_evictions_total: Counter,
+    /// Requests parsed from a receive buffer that already yielded an
+    /// earlier request in the same readiness pass (HTTP/1.1 pipelining).
+    pub pipelined_requests_total: Counter,
     /// Wall time per routed request, microseconds.
     pub request_latency_us: LogHistogram,
     /// Wall time per single estimate inside a batch, microseconds.
     pub estimate_latency_us: LogHistogram,
+    /// Per-reactor instruments, sized once at reactor spawn.
+    reactors: OnceLock<Vec<ReactorStats>>,
 }
 
 impl ServeMetrics {
@@ -52,6 +94,17 @@ impl ServeMetrics {
     #[must_use]
     pub fn new() -> ServeMetrics {
         ServeMetrics::default()
+    }
+
+    /// Sizes the per-reactor stat set (idempotent; first caller wins).
+    pub fn init_reactors(&self, count: usize) {
+        let _ = self.reactors.get_or_init(|| (0..count).map(|_| ReactorStats::default()).collect());
+    }
+
+    /// The stats slot for reactor `index`, if initialized.
+    #[must_use]
+    pub fn reactor(&self, index: usize) -> Option<&ReactorStats> {
+        self.reactors.get().and_then(|stats| stats.get(index))
     }
 
     /// Buckets a response status into the class counters.
@@ -68,7 +121,7 @@ impl ServeMetrics {
     #[must_use]
     pub fn render_prometheus(&self) -> String {
         let mut out = String::with_capacity(4096);
-        let counters: [(&str, &str, &Counter); 14] = [
+        let counters: [(&str, &str, &Counter); 15] = [
             ("twig_serve_connections_total", "Connections accepted", &self.connections_total),
             (
                 "twig_serve_rejected_saturated_total",
@@ -103,6 +156,11 @@ impl ServeMetrics {
                 "Plans evicted from a full cache shard",
                 &self.plan_cache_evictions_total,
             ),
+            (
+                "twig_serve_pipelined_requests_total",
+                "Requests that arrived pipelined behind another",
+                &self.pipelined_requests_total,
+            ),
         ];
         for (name, help, counter) in counters {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -121,6 +179,32 @@ impl ServeMetrics {
             "Per-estimate wall time, microseconds",
             &self.estimate_latency_us.snapshot(),
         );
+        if let Some(reactors) = self.reactors.get() {
+            let _ = writeln!(
+                out,
+                "# HELP twig_serve_reactor_accepted_total Connections accepted per reactor shard"
+            );
+            let _ = writeln!(out, "# TYPE twig_serve_reactor_accepted_total counter");
+            for (index, stats) in reactors.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "twig_serve_reactor_accepted_total{{reactor=\"{index}\"}} {}",
+                    stats.accepted.load(Ordering::Relaxed)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# HELP twig_serve_reactor_connections Open connections per reactor shard"
+            );
+            let _ = writeln!(out, "# TYPE twig_serve_reactor_connections gauge");
+            for (index, stats) in reactors.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "twig_serve_reactor_connections{{reactor=\"{index}\"}} {}",
+                    stats.connections()
+                );
+            }
+        }
         out
     }
 }
@@ -169,6 +253,30 @@ mod tests {
         assert!(text.contains("twig_serve_request_latency_us_sum 1000"), "{text}");
         assert!(text.contains("twig_serve_request_latency_us_count 2"), "{text}");
         // Every line is well-formed exposition: name{labels} value or # comment.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_reactor_stats_render_labeled_and_well_formed() {
+        let metrics = ServeMetrics::new();
+        metrics.init_reactors(2);
+        let reactor0 = metrics.reactor(0).unwrap();
+        reactor0.accept();
+        reactor0.conn_opened();
+        reactor0.conn_opened();
+        reactor0.conn_closed();
+        assert_eq!(reactor0.connections(), 1);
+        assert!(metrics.reactor(2).is_none());
+        let text = metrics.render_prometheus();
+        assert!(text.contains("twig_serve_reactor_accepted_total{reactor=\"0\"} 1"), "{text}");
+        assert!(text.contains("twig_serve_reactor_accepted_total{reactor=\"1\"} 0"), "{text}");
+        assert!(text.contains("twig_serve_reactor_connections{reactor=\"0\"} 1"), "{text}");
+        assert!(text.contains("twig_serve_reactor_connections{reactor=\"1\"} 0"), "{text}");
         for line in text.lines() {
             assert!(
                 line.starts_with('#') || line.split(' ').count() == 2,

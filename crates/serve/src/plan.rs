@@ -2,10 +2,15 @@
 //!
 //! `/estimate` traffic from a query optimizer repeats the same twigs —
 //! every join-order candidate re-asks the selectivity of the same
-//! predicates. A [`PlanCache`] keeps one [`twig_core::QueryPlan`] (plus
-//! the memoized sibling discount) per `(summary, generation, twig)`
-//! key, so a repeated twig skips compilation, trie walking, parsing and
-//! twiglet grouping entirely and only re-runs the cheap combination.
+//! predicates. A [`PlanCache`] keeps the parsed [`Twig`] and one
+//! [`twig_core::QueryPlan`] (plus the memoized sibling discount) per
+//! `(summary, generation, query text)` key, so a repeated query skips
+//! twig parsing, compilation, trie walking and twiglet grouping
+//! entirely and only re-runs the cheap combination. Keys use the raw
+//! request text (not the canonical twig rendering): building a key
+//! must not require a parse, or the parse would be back on the hit
+//! path. Whitespace variants of one twig therefore occupy separate
+//! entries — a capacity nuance, not a correctness one.
 //!
 //! The cache is sharded (one mutex per shard, key-hashed) so workers
 //! rarely contend, and bounded per shard with least-recently-probed
@@ -20,17 +25,12 @@ use twig_tree::Twig;
 use twig_util::cast::size_to_u64;
 use twig_util::FxHashMap;
 
-/// One cached fast path: the lazily filled plan and the memoized
-/// sibling-injectivity discount for the same twig.
+/// One cached fast path: the parsed twig, the lazily filled plan and
+/// the memoized sibling-injectivity discount for the same query text.
 pub(crate) struct CachedPlan {
+    pub(crate) twig: Twig,
     pub(crate) plan: QueryPlan,
     pub(crate) discount: OnceLock<f64>,
-}
-
-/// What one [`PlanCache::probe`] did, for the metrics counters.
-pub(crate) struct Probe {
-    pub(crate) hit: bool,
-    pub(crate) evicted: bool,
 }
 
 struct Shard {
@@ -58,21 +58,34 @@ impl PlanCache {
         }
     }
 
-    /// The cache key: registry name, reload generation, canonical twig
+    /// The cache key: registry name, reload generation, raw query
     /// text. The generation component makes reloads self-invalidating.
-    pub(crate) fn key(summary: &str, generation: u64, twig: &Twig) -> String {
-        format!("{summary}@{generation}:{twig}")
+    pub(crate) fn key(summary: &str, generation: u64, query_text: &str) -> String {
+        format!("{summary}@{generation}:{query_text}")
     }
 
-    /// Returns the plan for `key`, inserting a fresh empty one on miss
-    /// (evicting the least-recently-probed entry of a full shard).
-    pub(crate) fn probe(&self, key: &str) -> (Arc<CachedPlan>, Probe) {
+    /// Returns the cached entry for `key`, bumping its recency stamp.
+    pub(crate) fn lookup(&self, key: &str) -> Option<Arc<CachedPlan>> {
+        let shard = &mut *self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
+        shard.clock += 1;
+        let stamp = shard.clock;
+        let (plan, last_probed) = shard.entries.get_mut(key)?;
+        *last_probed = stamp;
+        Some(Arc::clone(plan))
+    }
+
+    /// Inserts a freshly parsed twig under `key` (evicting the
+    /// least-recently-probed entry of a full shard) and returns the
+    /// shared entry. If another thread inserted the same key first,
+    /// its entry wins and `twig` is dropped — the two parses are
+    /// identical by construction. The flag reports an eviction.
+    pub(crate) fn insert(&self, key: &str, twig: Twig) -> (Arc<CachedPlan>, bool) {
         let shard = &mut *self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
         shard.clock += 1;
         let stamp = shard.clock;
         if let Some((plan, last_probed)) = shard.entries.get_mut(key) {
             *last_probed = stamp;
-            return (Arc::clone(plan), Probe { hit: true, evicted: false });
+            return (Arc::clone(plan), false);
         }
         let mut evicted = false;
         if shard.entries.len() >= self.shard_capacity {
@@ -85,9 +98,9 @@ impl PlanCache {
                 evicted = shard.entries.remove(&stale).is_some();
             }
         }
-        let plan = Arc::new(CachedPlan { plan: QueryPlan::new(), discount: OnceLock::new() });
+        let plan = Arc::new(CachedPlan { twig, plan: QueryPlan::new(), discount: OnceLock::new() });
         shard.entries.insert(key.to_owned(), (Arc::clone(&plan), stamp));
-        (plan, Probe { hit: false, evicted })
+        (plan, evicted)
     }
 
     /// Drops every cached plan (called on `/admin/reload`).
@@ -114,7 +127,13 @@ impl PlanCache {
             hash = hash.wrapping_mul(0x100_0000_01b3);
         }
         let index = (hash % size_to_u64(self.shards.len())) as usize;
-        &self.shards[index]
+        // The modulo keeps `index` in range of the (non-empty) shard
+        // vector; the checked access keeps request-derived bytes out
+        // of any indexing sink.
+        match self.shards.get(index) {
+            Some(shard) => shard,
+            None => &self.shards[0],
+        }
     }
 }
 
@@ -122,50 +141,62 @@ impl PlanCache {
 mod tests {
     use super::*;
 
+    fn twig() -> Twig {
+        Twig::parse("a(b)").unwrap()
+    }
+
     #[test]
-    fn probe_miss_then_hit_shares_the_plan() {
+    fn miss_insert_then_hit_shares_the_plan() {
         let cache = PlanCache::new(4, 64);
-        let (first, probe) = cache.probe("default@1:a(b)");
-        assert!(!probe.hit);
-        let (second, probe) = cache.probe("default@1:a(b)");
-        assert!(probe.hit);
+        assert!(cache.lookup("default@1:a(b)").is_none());
+        let (first, evicted) = cache.insert("default@1:a(b)", twig());
+        assert!(!evicted);
+        let second = cache.lookup("default@1:a(b)").expect("inserted key hits");
         assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn racing_insert_keeps_the_first_entry() {
+        let cache = PlanCache::new(4, 64);
+        let (first, _) = cache.insert("k", twig());
+        let (second, evicted) = cache.insert("k", twig());
+        assert!(!evicted);
+        assert!(Arc::ptr_eq(&first, &second), "second insert must not replace");
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
     fn generation_in_key_separates_entries() {
         let cache = PlanCache::new(4, 64);
-        cache.probe(&PlanCache::key("default", 1, &Twig::parse("a(b)").unwrap()));
-        let (_, probe) = cache.probe(&PlanCache::key("default", 2, &Twig::parse("a(b)").unwrap()));
-        assert!(!probe.hit, "a reload generation must never hit old plans");
-        assert_eq!(cache.len(), 2);
+        cache.insert(&PlanCache::key("default", 1, "a(b)"), twig());
+        assert!(
+            cache.lookup(&PlanCache::key("default", 2, "a(b)")).is_none(),
+            "a reload generation must never hit old plans"
+        );
     }
 
     #[test]
     fn full_shard_evicts_least_recently_probed() {
         let cache = PlanCache::new(1, 2);
-        cache.probe("a");
-        cache.probe("b");
-        cache.probe("a"); // refresh a: b is now the eviction victim
-        let (_, probe) = cache.probe("c");
-        assert!(probe.evicted);
-        let (_, probe) = cache.probe("a");
-        assert!(probe.hit, "refreshed entry survives");
-        let (_, probe) = cache.probe("b");
-        assert!(!probe.hit, "stale entry was evicted");
+        cache.insert("a", twig());
+        cache.insert("b", twig());
+        cache.lookup("a"); // refresh a: b is now the eviction victim
+        let (_, evicted) = cache.insert("c", twig());
+        assert!(evicted);
+        assert!(cache.lookup("a").is_some(), "refreshed entry survives");
+        assert!(cache.lookup("b").is_none(), "stale entry was evicted");
     }
 
     #[test]
     fn clear_empties_every_shard() {
         let cache = PlanCache::new(4, 64);
         for key in ["a", "b", "c", "d", "e"] {
-            cache.probe(key);
+            cache.insert(key, twig());
         }
         assert_eq!(cache.len(), 5);
         cache.clear();
         assert_eq!(cache.len(), 0);
-        let (_, probe) = cache.probe("a");
-        assert!(!probe.hit);
+        assert!(cache.lookup("a").is_none());
     }
 }

@@ -1,0 +1,730 @@
+//! The nonblocking serve core: per-core reactor threads, each owning an
+//! epoll instance, a `SO_REUSEPORT` listener shard, and a slab of
+//! connection state machines (DESIGN.md §15).
+//!
+//! One reactor is strictly single-threaded: every connection it accepts
+//! lives and dies on its thread, so connection state needs no locks and
+//! the saturation streak driving `Retry-After` escalation is a plain
+//! integer. Cross-thread coordination is exactly what the blocking
+//! server already had — the shared [`ServerState`] (registry, metrics,
+//! plan cache, shutdown flag) — plus the kernel's own accept
+//! distribution across the port shards.
+//!
+//! Readiness is edge-triggered (`EPOLLIN | EPOLLOUT | EPOLLRDHUP |
+//! EPOLLET`, registered once per connection): every event drains its
+//! condition to `WouldBlock`, requests are framed by the incremental
+//! parser in `http.rs` (pipelined requests queue naturally in the
+//! receive buffer), and responses flush as vectored writes from the
+//! connection's reusable write queue. Deadlines live in a lazy-deletion
+//! timer wheel; `epoll_wait` sleeps until the next occupied slot
+//! (capped, so the shutdown flag is always observed promptly).
+
+pub(crate) mod conn;
+#[cfg(target_os = "linux")]
+pub(crate) mod sys;
+pub(crate) mod wheel;
+
+#[cfg(target_os = "linux")]
+pub(crate) use linux::{bind_shard, run};
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::io::{self, IoSlice, Read as _, Write as _};
+    use std::net::{TcpListener, ToSocketAddrs as _};
+    use std::os::fd::AsRawFd as _;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use super::conn::{Conn, Phase, MAX_IOVECS};
+    use super::sys;
+    use super::wheel::{Wheel, WheelKey};
+    use crate::http::{parse_request_bytes, Limits, Parsed, ReadOutcome};
+    use crate::server::{
+        limits_for, process_request, read_error_response, reject_connection, retry_after_secs,
+        Dispatched, ServerState,
+    };
+
+    /// Epoll token for the listener shard (connection tokens encode a
+    /// slab slot, which is always far below this).
+    const LISTENER_TOKEN: u64 = u64::MAX;
+    /// Events fetched per `epoll_wait`.
+    const EVENT_CAPACITY: usize = 256;
+    /// Read syscall granularity.
+    const READ_CHUNK: usize = 16 * 1024;
+    /// Stop dispatching parsed requests while at least this many
+    /// response bytes await the socket (the client is not reading;
+    /// parsing further pipelined requests would buffer unboundedly).
+    const WRITE_HIGH_WATER: usize = 256 * 1024;
+    /// Upper bound on one `epoll_wait` sleep, so the shutdown flag set
+    /// by another thread is observed within this window even when no
+    /// deadline is near.
+    const POLL_CAP: Duration = Duration::from_millis(100);
+
+    /// Binds one `SO_REUSEPORT` listener shard for `addr` (a host:port
+    /// string, as `TcpListener::bind` takes).
+    pub(crate) fn bind_shard(addr: &str) -> io::Result<TcpListener> {
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            match sys::reuseport_listener(candidate) {
+                Ok(listener) => return Ok(listener),
+                Err(err) => last_err = Some(err),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address to bind")))
+    }
+
+    /// Runs `workers` reactor threads sharing `first`'s port, returning
+    /// once every reactor has drained after shutdown. The error of the
+    /// first reactor to fail fatally (if any) is propagated, matching
+    /// the blocking server's fatal-listener-error contract.
+    pub(crate) fn run(first: TcpListener, state: Arc<ServerState>) -> io::Result<()> {
+        let reactors = state.config.workers.max(1);
+        let addr = first.local_addr()?;
+        let mut listeners = vec![first];
+        for _ in 1..reactors {
+            listeners.push(sys::reuseport_listener(addr)?);
+        }
+        state.metrics.init_reactors(reactors);
+        // Each reactor admits the full `workers + queue_capacity` the
+        // blocking server allowed globally: the kernel's reuseport hash
+        // is not a balancer, so splitting the cap across shards would
+        // 503 workloads the old server accepted whenever a few
+        // connections happened to collide on one shard.
+        let per_reactor = state.config.workers.max(1) + state.config.queue_capacity;
+
+        let mut handles = Vec::with_capacity(reactors);
+        for (index, listener) in listeners.into_iter().enumerate() {
+            let thread_state = Arc::clone(&state);
+            let spawned = std::thread::Builder::new()
+                .name(format!("twig-serve-reactor-{index}"))
+                .spawn(move || Reactor::new(index, listener, thread_state, per_reactor)?.serve());
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(err) => {
+                    // Could not spawn the full complement: stop the
+                    // reactors already running and surface the error.
+                    state.shutdown.store(true, Ordering::SeqCst);
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        let mut first_err = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(err)) => {
+                    if first_err.is_none() {
+                        first_err = Some(err);
+                    }
+                }
+                Err(_) => {
+                    if first_err.is_none() {
+                        first_err = Some(io::Error::other("reactor thread panicked"));
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether connection processing may continue.
+    #[derive(PartialEq, Eq)]
+    enum Flow {
+        Live,
+        Closed,
+    }
+
+    /// Connection slab: slot reuse with generations, so a stale epoll
+    /// event or wheel entry for a recycled slot is provably stale.
+    struct Slab {
+        slots: Vec<Option<Conn>>,
+        free: Vec<usize>,
+        live: usize,
+        next_generation: u64,
+    }
+
+    impl Slab {
+        fn new() -> Slab {
+            Slab { slots: Vec::new(), free: Vec::new(), live: 0, next_generation: 1 }
+        }
+
+        fn insert(&mut self, make: impl FnOnce(u64) -> Conn) -> usize {
+            let generation = self.next_generation;
+            self.next_generation += 1;
+            self.live += 1;
+            let conn = Some(make(generation));
+            match self.free.pop() {
+                Some(slot) => {
+                    if let Some(cell) = self.slots.get_mut(slot) {
+                        *cell = conn;
+                    }
+                    slot
+                }
+                None => {
+                    self.slots.push(conn);
+                    self.slots.len() - 1
+                }
+            }
+        }
+
+        fn get(&self, slot: usize) -> Option<&Conn> {
+            self.slots.get(slot).and_then(Option::as_ref)
+        }
+
+        fn get_mut(&mut self, slot: usize) -> Option<&mut Conn> {
+            self.slots.get_mut(slot).and_then(Option::as_mut)
+        }
+
+        fn remove(&mut self, slot: usize) -> Option<Conn> {
+            let conn = self.slots.get_mut(slot).and_then(Option::take);
+            if conn.is_some() {
+                self.live -= 1;
+                self.free.push(slot);
+            }
+            conn
+        }
+    }
+
+    /// Token layout: low 32 bits slot, high 32 bits generation (mod
+    /// 2^32 — ample to disambiguate a slot recycled within one event
+    /// batch, which is the only window a stale token can survive).
+    fn token_for(slot: usize, generation: u64) -> u64 {
+        (generation << 32) | (u64::try_from(slot).unwrap_or(0) & 0xFFFF_FFFF)
+    }
+
+    fn token_slot(token: u64) -> usize {
+        usize::try_from(token & 0xFFFF_FFFF).unwrap_or(usize::MAX)
+    }
+
+    fn token_matches(token: u64, generation: u64) -> bool {
+        (token >> 32) == (generation & 0xFFFF_FFFF)
+    }
+
+    pub(super) struct Reactor {
+        index: usize,
+        epoll: sys::Epoll,
+        listener: Option<TcpListener>,
+        state: Arc<ServerState>,
+        limits: Limits,
+        slab: Slab,
+        wheel: Wheel,
+        events: Vec<sys::EpollEvent>,
+        due: Vec<WheelKey>,
+        scratch: Vec<u8>,
+        max_conns: usize,
+        /// Consecutive saturation rejections on this reactor with no
+        /// admission in between; reset on admission and on drain.
+        streak: u64,
+        draining: bool,
+        fatal: Option<io::Error>,
+    }
+
+    impl Reactor {
+        pub(super) fn new(
+            index: usize,
+            listener: TcpListener,
+            state: Arc<ServerState>,
+            max_conns: usize,
+        ) -> io::Result<Reactor> {
+            let limits = limits_for(&state.config);
+            Ok(Reactor {
+                index,
+                epoll: sys::Epoll::new()?,
+                listener: Some(listener),
+                state,
+                limits,
+                slab: Slab::new(),
+                wheel: Wheel::new(Instant::now()),
+                events: Vec::with_capacity(EVENT_CAPACITY),
+                due: Vec::new(),
+                scratch: vec![0u8; READ_CHUNK],
+                max_conns: max_conns.max(1),
+                streak: 0,
+                draining: false,
+                fatal: None,
+            })
+        }
+
+        pub(super) fn serve(mut self) -> io::Result<()> {
+            if let Some(listener) = &self.listener {
+                listener.set_nonblocking(true)?;
+                self.epoll.add(
+                    listener.as_raw_fd(),
+                    LISTENER_TOKEN,
+                    sys::EPOLLIN | sys::EPOLLET,
+                )?;
+            }
+            loop {
+                if self.state.shutting_down() {
+                    self.begin_drain();
+                    if self.slab.live == 0 {
+                        return match self.fatal.take() {
+                            Some(err) => Err(err),
+                            None => Ok(()),
+                        };
+                    }
+                }
+                let timeout = self.poll_timeout();
+                match self.epoll.wait(&mut self.events, timeout) {
+                    Ok(_) => {}
+                    Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(err) => {
+                        // Fatal poller error: begin a global drain so
+                        // sibling reactors finish in-flight work, then
+                        // surface the error from this one.
+                        self.state.shutdown.store(true, Ordering::SeqCst);
+                        return Err(err);
+                    }
+                }
+                for at in 0..self.events.len() {
+                    let Some(event) = self.events.get(at).copied() else {
+                        break;
+                    };
+                    if event.token() == LISTENER_TOKEN {
+                        self.accept_burst();
+                    } else {
+                        self.on_conn_event(event);
+                    }
+                }
+                self.expire_due();
+            }
+        }
+
+        /// How long this `epoll_wait` may sleep.
+        fn poll_timeout(&self) -> i32 {
+            let cap = if self.draining { Duration::from_millis(10) } else { POLL_CAP };
+            let sleep = match self.wheel.next_wakeup(Instant::now()) {
+                Some(until_deadline) => until_deadline.min(cap),
+                None => cap,
+            };
+            i32::try_from(sleep.as_millis()).unwrap_or(i32::MAX).max(1)
+        }
+
+        /// Accepts until the listener would block (edge-triggered).
+        fn accept_burst(&mut self) {
+            loop {
+                let Some(listener) = &self.listener else { return };
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        self.state.metrics.connections_total.inc();
+                        if let Some(stats) = self.state.metrics.reactor(self.index) {
+                            stats.accept();
+                        }
+                        if self.state.shutting_down() {
+                            self.state.metrics.count_status(503);
+                            reject_connection(stream, "server shutting down", 1);
+                            continue;
+                        }
+                        if self.slab.live >= self.max_conns {
+                            self.streak += 1;
+                            self.state.metrics.rejected_saturated.inc();
+                            self.state.metrics.count_status(503);
+                            reject_connection(
+                                stream,
+                                "server saturated, retry shortly",
+                                retry_after_secs(self.streak),
+                            );
+                            continue;
+                        }
+                        self.streak = 0;
+                        self.admit(stream);
+                    }
+                    Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(err)
+                        if matches!(
+                            err.kind(),
+                            io::ErrorKind::ConnectionAborted
+                                | io::ErrorKind::ConnectionReset
+                                | io::ErrorKind::Interrupted
+                        ) => {}
+                    Err(err) => {
+                        // Fatal listener error: same contract as the
+                        // blocking accept loop — drain, then report.
+                        self.state.shutdown.store(true, Ordering::SeqCst);
+                        if self.fatal.is_none() {
+                            self.fatal = Some(err);
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+
+        fn admit(&mut self, stream: std::net::TcpStream) {
+            if stream.set_nonblocking(true).is_err() {
+                return; // drop: the socket is unusable for the reactor
+            }
+            let _ = stream.set_nodelay(true);
+            let idle_until = Instant::now() + self.limits.idle_deadline;
+            let slot = self.slab.insert(|generation| Conn::new(stream, generation, idle_until));
+            let Some(conn) = self.slab.get(slot) else { return };
+            let token = token_for(slot, conn.generation);
+            let interest = sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLRDHUP | sys::EPOLLET;
+            if self.epoll.add(conn.stream.as_raw_fd(), token, interest).is_err() {
+                self.slab.remove(slot);
+                return;
+            }
+            self.wheel.schedule(idle_until, (slot, conn.generation));
+            if let Some(stats) = self.state.metrics.reactor(self.index) {
+                stats.conn_opened();
+            }
+        }
+
+        fn close(&mut self, slot: usize) {
+            if self.slab.remove(slot).is_some() {
+                // Dropping the Conn closes the fd, which deregisters it
+                // from epoll (the reactor holds no dup).
+                if let Some(stats) = self.state.metrics.reactor(self.index) {
+                    stats.conn_closed();
+                }
+            }
+        }
+
+        fn on_conn_event(&mut self, event: sys::EpollEvent) {
+            let slot = token_slot(event.token());
+            let Some(conn) = self.slab.get(slot) else { return };
+            if !token_matches(event.token(), conn.generation) {
+                return; // recycled slot; the event belongs to a past life
+            }
+            if event.readable() {
+                if self.fill_rbuf(slot) == Flow::Closed {
+                    return;
+                }
+            } else if !event.writable() {
+                return;
+            }
+            self.pump(slot);
+        }
+
+        /// Reads until `WouldBlock`/EOF, appending to the receive
+        /// buffer. The `http.read` failpoint injects transport faults at
+        /// this boundary, exactly where the blocking reader had it.
+        fn fill_rbuf(&mut self, slot: usize) -> Flow {
+            if let Some(fault) = twig_util::failpoint!("http.read") {
+                return match fault {
+                    // An injected transport error behaves like any other
+                    // socket I/O failure: silent close.
+                    twig_util::failpoint::Fault::Error => {
+                        self.close(slot);
+                        Flow::Closed
+                    }
+                    // A torn read surfaces as a malformed request.
+                    twig_util::failpoint::Fault::Partial(_) => {
+                        self.fail_read(slot, &ReadOutcome::Malformed("injected torn read"))
+                    }
+                };
+            }
+            // Bound buffered-but-unparsed input: one full head + body
+            // plus a read chunk of pipelined follow-on bytes.
+            let rbuf_cap = self.limits.max_head_bytes + self.limits.max_body_bytes + READ_CHUNK;
+            let scratch = &mut self.scratch;
+            let Some(conn) = self.slab.get_mut(slot) else { return Flow::Closed };
+            loop {
+                if conn.rbuf.len() >= rbuf_cap {
+                    // Backpressure: resume from `pump` once responses
+                    // drain. The consumed edge is re-polled directly.
+                    break;
+                }
+                match conn.stream.read(scratch) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        if conn.phase == Phase::Idle {
+                            conn.phase = Phase::Busy { since: Instant::now() };
+                        }
+                        match scratch.get(..n) {
+                            Some(filled) => conn.rbuf.extend_from_slice(filled),
+                            None => break, // broken Read impl; treat as drained
+                        }
+                    }
+                    Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.close(slot);
+                        return Flow::Closed;
+                    }
+                }
+            }
+            Flow::Live
+        }
+
+        /// Parses and dispatches every complete request buffered on the
+        /// connection, then flushes; repeats while forward progress is
+        /// possible without waiting on the socket.
+        fn pump(&mut self, slot: usize) {
+            loop {
+                if self.process_rbuf(slot) == Flow::Closed {
+                    return;
+                }
+                if self.flush(slot) == Flow::Closed {
+                    return;
+                }
+                let Some(conn) = self.slab.get(slot) else { return };
+                // Another round only pays off when the write queue fully
+                // drained and buffered input may still hold requests
+                // (the high-water pause above, or a paused read).
+                let rbuf_cap = self.limits.max_head_bytes + self.limits.max_body_bytes;
+                let read_was_paused = conn.rbuf.len() >= rbuf_cap;
+                if !(conn.wq.is_empty() && !conn.rbuf.is_empty() && !conn.close_after_flush) {
+                    break;
+                }
+                if read_was_paused && self.fill_rbuf(slot) == Flow::Closed {
+                    return;
+                }
+                let Some(conn) = self.slab.get(slot) else { return };
+                // Anything but NeedMore means at least one more request
+                // (or an error) is ready to process this round.
+                if let Ok(Parsed::NeedMore) = parse_request_bytes(&conn.rbuf, &self.limits) {
+                    break;
+                }
+            }
+            self.settle(slot);
+        }
+
+        /// Frames and dispatches requests out of the receive buffer.
+        fn process_rbuf(&mut self, slot: usize) -> Flow {
+            let mut dispatched = 0u64;
+            loop {
+                let Some(conn) = self.slab.get_mut(slot) else { return Flow::Closed };
+                if conn.close_after_flush || conn.wq.pending() >= WRITE_HIGH_WATER {
+                    break;
+                }
+                match parse_request_bytes(&conn.rbuf, &self.limits) {
+                    Ok(Parsed::NeedMore) => {
+                        if conn.peer_closed && !conn.rbuf.is_empty() {
+                            // EOF mid-request: same taxonomy as the
+                            // blocking reader.
+                            let what = if crate::http::head_complete(&conn.rbuf) {
+                                "connection closed mid-body"
+                            } else {
+                                "connection closed mid-head"
+                            };
+                            return self.fail_read(slot, &ReadOutcome::Malformed(what));
+                        }
+                        break;
+                    }
+                    Ok(Parsed::Request { request, consumed }) => {
+                        conn.rbuf.drain(..consumed);
+                        if dispatched > 0 {
+                            self.state.metrics.pipelined_requests_total.inc();
+                        }
+                        dispatched += 1;
+                        match process_request(&self.state, &request) {
+                            Dispatched::Drop => {
+                                // Injected dispatch fault: abandon the
+                                // connection, response unsent — the peer
+                                // observes a closed socket.
+                                self.close(slot);
+                                return Flow::Closed;
+                            }
+                            Dispatched::Respond(response) => {
+                                // Evaluated after dispatch: the handler
+                                // itself may have requested shutdown
+                                // (`/admin/shutdown`), and drain policy
+                                // closes every response.
+                                let keep_alive =
+                                    request.keep_alive() && !self.state.shutting_down();
+                                let Some(conn) = self.slab.get_mut(slot) else {
+                                    return Flow::Closed;
+                                };
+                                conn.wq.push(response, !keep_alive);
+                                if !keep_alive {
+                                    conn.close_after_flush = true;
+                                }
+                            }
+                        }
+                    }
+                    Err(outcome) => return self.fail_read(slot, &outcome),
+                }
+            }
+            Flow::Live
+        }
+
+        /// Answers a failed request read the way the blocking server
+        /// did: typed error response where one is defined, silent close
+        /// otherwise; either way the connection ends.
+        fn fail_read(&mut self, slot: usize, outcome: &ReadOutcome) -> Flow {
+            let response = read_error_response(&self.state, outcome);
+            let Some(conn) = self.slab.get_mut(slot) else { return Flow::Closed };
+            match response {
+                Some(response) => {
+                    self.state.metrics.count_status(response.status);
+                    conn.rbuf.clear();
+                    conn.wq.push(response, true);
+                    conn.close_after_flush = true;
+                    if self.flush(slot) == Flow::Closed {
+                        return Flow::Closed;
+                    }
+                    self.settle(slot);
+                    Flow::Live
+                }
+                None => {
+                    self.close(slot);
+                    Flow::Closed
+                }
+            }
+        }
+
+        /// Writes the pending response bytes until drained or
+        /// `WouldBlock`. The `http.write` failpoint tears the stream at
+        /// this boundary.
+        fn flush(&mut self, slot: usize) -> Flow {
+            let Some(conn) = self.slab.get_mut(slot) else { return Flow::Closed };
+            if conn.wq.is_empty() {
+                return self.after_flush(slot);
+            }
+            if let Some(fault) = twig_util::failpoint!("http.write") {
+                if let twig_util::failpoint::Fault::Partial(keep_percent) = fault {
+                    // Best-effort prefix, then sever: the client sees a
+                    // torn response on a closed socket.
+                    let cap = usize::try_from(keep_percent).unwrap_or(100).min(100);
+                    let torn = conn.wq.pending() * cap / 100;
+                    let mut slices: [IoSlice<'_>; MAX_IOVECS] =
+                        std::array::from_fn(|_| IoSlice::new(&[]));
+                    let count = conn.wq.slices(&mut slices);
+                    let mut budget = torn;
+                    for slice in slices.iter().take(count) {
+                        if budget == 0 {
+                            break;
+                        }
+                        let part = budget.min(slice.len());
+                        if let Some(bytes) = slice.get(..part) {
+                            let _ = conn.stream.write_all(bytes);
+                        }
+                        budget -= part;
+                    }
+                }
+                self.close(slot);
+                return Flow::Closed;
+            }
+            loop {
+                let Some(conn) = self.slab.get_mut(slot) else { return Flow::Closed };
+                let mut slices: [IoSlice<'_>; MAX_IOVECS] =
+                    std::array::from_fn(|_| IoSlice::new(&[]));
+                let count = conn.wq.slices(&mut slices);
+                let Some(filled) = slices.get(..count) else { break };
+                if filled.is_empty() {
+                    break;
+                }
+                match conn.stream.write_vectored(filled) {
+                    Ok(0) => {
+                        self.close(slot);
+                        return Flow::Closed;
+                    }
+                    Ok(n) => conn.wq.advance(n),
+                    Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Flow::Live,
+                    Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.close(slot);
+                        return Flow::Closed;
+                    }
+                }
+            }
+            self.after_flush(slot)
+        }
+
+        /// Post-drain disposition: close if a close was queued or the
+        /// peer is gone with nothing left to serve.
+        fn after_flush(&mut self, slot: usize) -> Flow {
+            let Some(conn) = self.slab.get(slot) else { return Flow::Closed };
+            if conn.close_after_flush || (conn.peer_closed && conn.rbuf.is_empty()) {
+                self.close(slot);
+                return Flow::Closed;
+            }
+            Flow::Live
+        }
+
+        /// Recomputes the connection's phase and deadline after a burst
+        /// of work, rescheduling its wheel hint when it moved earlier.
+        fn settle(&mut self, slot: usize) {
+            let now = Instant::now();
+            let limits_idle = self.limits.idle_deadline;
+            let limits_read = self.limits.read_deadline;
+            let Some(conn) = self.slab.get_mut(slot) else { return };
+            let (phase, deadline) = if conn.rbuf.is_empty() && conn.wq.is_empty() {
+                (Phase::Idle, now + limits_idle)
+            } else {
+                let since = match conn.phase {
+                    Phase::Busy { since } => since,
+                    Phase::Idle => now,
+                };
+                (Phase::Busy { since }, since + limits_read)
+            };
+            conn.phase = phase;
+            if deadline < conn.deadline {
+                // Moved earlier: the existing wheel hint fires too late
+                // to notice, so plant a fresh one.
+                self.wheel.schedule(deadline, (slot, conn.generation));
+            }
+            conn.deadline = deadline;
+        }
+
+        /// Visits due wheel entries, expiring connections whose
+        /// authoritative deadline has truly passed and rescheduling the
+        /// rest (lazy deletion).
+        fn expire_due(&mut self) {
+            let now = Instant::now();
+            let mut due = std::mem::take(&mut self.due);
+            self.wheel.expire(now, &mut due);
+            for (slot, generation) in due.drain(..) {
+                let Some(conn) = self.slab.get(slot) else { continue };
+                if conn.generation != generation {
+                    continue;
+                }
+                if conn.deadline > now {
+                    // Early visit (stale or clamped hint): rearm at the
+                    // authoritative deadline.
+                    self.wheel.schedule(conn.deadline, (slot, generation));
+                    continue;
+                }
+                match conn.phase {
+                    // Idle keep-alive expiry closes silently — normal
+                    // keep-alive churn, exactly like the blocking path.
+                    Phase::Idle => self.close(slot),
+                    Phase::Busy { .. } => {
+                        if conn.wq.is_empty() && !conn.rbuf.is_empty() {
+                            // A request started arriving but never
+                            // completed: answer 408, then close.
+                            let _ = self.fail_read(slot, &ReadOutcome::Timeout);
+                            self.close(slot);
+                        } else {
+                            // Stalled flush (peer not reading): sever.
+                            self.close(slot);
+                        }
+                    }
+                }
+            }
+            self.due = due;
+        }
+
+        /// Transitions into drain mode (idempotent): stop accepting,
+        /// reset backpressure escalation, shed idle connections.
+        fn begin_drain(&mut self) {
+            if self.draining {
+                return;
+            }
+            self.draining = true;
+            self.streak = 0;
+            self.listener = None; // closes the shard; accepting stops
+            for slot in 0..self.slab.slots.len() {
+                let Some(conn) = self.slab.get(slot) else { continue };
+                if conn.rbuf.is_empty() && conn.wq.is_empty() {
+                    // Idle keep-alive connections close immediately; in
+                    // flight ones finish their request (the response
+                    // carries `Connection: close`) and then close.
+                    self.close(slot);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Raw-syscall shim for the epoll reactor — the serve crate's single
+//! `unsafe` boundary.
+//!
+//! The workspace bans dependencies, so the handful of facilities the
+//! reactor needs beyond `std::net` come straight from libc (which
+//! libstd already links — no new dependency): `epoll` itself, and
+//! socket creation with `SO_REUSEPORT` set *before* `bind` (std's
+//! `TcpListener::bind` binds eagerly, which is too late for port
+//! sharding).
+//!
+//! The unsafe surface is kept minimal and is contained to this file:
+//!
+//! - seven `extern "C"` declarations (`socket`, `setsockopt`, `bind`,
+//!   `listen`, `epoll_create1`, `epoll_ctl`, `epoll_wait`),
+//! - `OwnedFd::from_raw_fd` on descriptors those calls return.
+//!
+//! Every descriptor is wrapped in an [`OwnedFd`] the moment it is
+//! validated, so lifetimes and close() are managed by safe RAII from
+//! then on; listener fds are further converted to `std::net::TcpListener`
+//! (a safe `From`), so accepting, nonblocking mode, and local-addr
+//! queries all go through std. No raw pointer outlives the call it is
+//! passed to, and no `from_raw_parts` is involved anywhere.
+#![allow(unsafe_code)]
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+/// Readable-readiness event mask bit.
+pub(crate) const EPOLLIN: u32 = 0x001;
+/// Writable-readiness event mask bit.
+pub(crate) const EPOLLOUT: u32 = 0x004;
+/// Error condition event mask bit (always reported; listed for masks).
+pub(crate) const EPOLLERR: u32 = 0x008;
+/// Hangup event mask bit (always reported; listed for masks).
+pub(crate) const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half.
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery.
+pub(crate) const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+
+const AF_INET: u16 = 2;
+const AF_INET6: u16 = 10;
+const SOCK_STREAM: i32 = 1;
+const SOCK_CLOEXEC: i32 = 0o2000000;
+const SOL_SOCKET: i32 = 1;
+const SO_REUSEPORT: i32 = 15;
+const LISTEN_BACKLOG: i32 = 1024;
+
+/// One `struct epoll_event`. The kernel ABI packs this on x86-64 (and
+/// only there); field reads below copy by value, so the unaligned
+/// layout never produces a misaligned reference.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy)]
+#[repr(C, packed)]
+pub(crate) struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// One `struct epoll_event` (naturally aligned ABI on non-x86-64).
+#[cfg(not(target_arch = "x86_64"))]
+#[derive(Clone, Copy)]
+#[repr(C)]
+pub(crate) struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// The token registered with [`Epoll::add`].
+    pub(crate) fn token(self) -> u64 {
+        self.data
+    }
+
+    /// Readable-readiness (or an error/hangup condition, which must
+    /// wake the reader so it can observe the failure).
+    pub(crate) fn readable(self) -> bool {
+        self.events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// Writable-readiness.
+    pub(crate) fn writable(self) -> bool {
+        self.events & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0
+    }
+}
+
+mod ffi {
+    use std::ffi::c_void;
+
+    extern "C" {
+        pub(super) fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        pub(super) fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const c_void,
+            len: u32,
+        ) -> i32;
+        pub(super) fn bind(fd: i32, addr: *const c_void, len: u32) -> i32;
+        pub(super) fn listen(fd: i32, backlog: i32) -> i32;
+        pub(super) fn epoll_create1(flags: i32) -> i32;
+        pub(super) fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut c_void) -> i32;
+        pub(super) fn epoll_wait(epfd: i32, events: *mut c_void, max: i32, timeout_ms: i32) -> i32;
+    }
+}
+
+/// `struct sockaddr_in` (network byte order where the ABI says so).
+#[repr(C)]
+struct SockaddrIn {
+    family: u16,
+    port_be: u16,
+    addr_be: u32,
+    zero: [u8; 8],
+}
+
+/// `struct sockaddr_in6`.
+#[repr(C)]
+struct SockaddrIn6 {
+    family: u16,
+    port_be: u16,
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
+/// An owned epoll instance.
+pub(crate) struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub(crate) fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 takes no pointers; the returned fd is
+        // validated before ownership is claimed, and from_raw_fd sees a
+        // fresh descriptor nothing else owns.
+        let fd = unsafe { ffi::epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: fd was just returned by a successful epoll_create1 and
+        // has exactly this one owner.
+        Ok(Epoll { fd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    /// Registers `fd` for edge-triggered readiness with `token` as the
+    /// event payload.
+    pub(crate) fn add(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        let mut event = EpollEvent { events, data: token };
+        // SAFETY: the event pointer refers to a live stack value for the
+        // duration of the call; the kernel copies it before returning.
+        let rc = unsafe {
+            ffi::epoll_ctl(
+                self.fd.as_raw_fd(),
+                EPOLL_CTL_ADD,
+                fd,
+                std::ptr::addr_of_mut!(event).cast(),
+            )
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Waits up to `timeout_ms` for readiness, filling `events`.
+    pub(crate) fn wait(&self, events: &mut Vec<EpollEvent>, timeout_ms: i32) -> io::Result<usize> {
+        let capacity = i32::try_from(events.capacity()).unwrap_or(i32::MAX).max(1);
+        events.clear();
+        // SAFETY: the spare capacity of `events` is valid writable memory
+        // for `capacity` EpollEvent values; the kernel writes at most
+        // that many and we only set_len to the count it reports.
+        let rc = unsafe {
+            ffi::epoll_wait(self.fd.as_raw_fd(), events.as_mut_ptr().cast(), capacity, timeout_ms)
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let count = usize::try_from(rc).unwrap_or(0).min(events.capacity());
+        // SAFETY: the kernel initialized the first `count` elements
+        // (count is clamped to the capacity handed to epoll_wait).
+        unsafe { events.set_len(count) };
+        Ok(count)
+    }
+}
+
+/// Creates a listener on `addr` with `SO_REUSEPORT` set before binding,
+/// so several reactor shards can share one port. The result is a plain
+/// `std::net::TcpListener`; all further operations on it are safe std.
+pub(crate) fn reuseport_listener(addr: SocketAddr) -> io::Result<TcpListener> {
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    // SAFETY: socket takes no pointers; the fd is validated below and
+    // wrapped into its single OwnedFd owner immediately after.
+    let raw = unsafe { ffi::socket(i32::from(domain), SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if raw < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: raw came from a successful socket() call just above and
+    // nothing else has claimed it.
+    let fd = unsafe { OwnedFd::from_raw_fd(raw) };
+
+    let one: i32 = 1;
+    // SAFETY: the option value pointer refers to a live i32 for the
+    // duration of the call and the length matches its size.
+    let rc = unsafe {
+        ffi::setsockopt(
+            fd.as_raw_fd(),
+            SOL_SOCKET,
+            SO_REUSEPORT,
+            std::ptr::addr_of!(one).cast(),
+            size_of_u32::<i32>(),
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+
+    match addr {
+        SocketAddr::V4(v4) => {
+            let sa = SockaddrIn {
+                family: AF_INET,
+                port_be: v4.port().to_be(),
+                addr_be: u32::from_be_bytes(v4.ip().octets()).to_be(),
+                zero: [0; 8],
+            };
+            // SAFETY: the sockaddr pointer refers to a live, correctly
+            // sized struct for the duration of the call.
+            let rc = unsafe {
+                ffi::bind(
+                    fd.as_raw_fd(),
+                    std::ptr::addr_of!(sa).cast(),
+                    size_of_u32::<SockaddrIn>(),
+                )
+            };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let sa = SockaddrIn6 {
+                family: AF_INET6,
+                port_be: v6.port().to_be(),
+                flowinfo: 0,
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            // SAFETY: the sockaddr pointer refers to a live, correctly
+            // sized struct for the duration of the call.
+            let rc = unsafe {
+                ffi::bind(
+                    fd.as_raw_fd(),
+                    std::ptr::addr_of!(sa).cast(),
+                    size_of_u32::<SockaddrIn6>(),
+                )
+            };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+    }
+
+    // SAFETY: listen takes no pointers; fd is the bound socket above.
+    let rc = unsafe { ffi::listen(fd.as_raw_fd(), LISTEN_BACKLOG) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(TcpListener::from(fd))
+}
+
+/// `size_of::<T>()` as the `u32` the socket ABI wants (every struct
+/// passed here is tens of bytes, so the cast cannot truncate).
+fn size_of_u32<T>() -> u32 {
+    u32::try_from(std::mem::size_of::<T>()).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    #[test]
+    fn two_shards_share_a_port_and_both_accept() {
+        let first = reuseport_listener("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        let second = reuseport_listener(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap().port(), addr.port());
+        // The kernel hashes connections across shards; with both
+        // listeners live, every connect must land on one of them.
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+        let mut accepted = 0;
+        for _ in 0..8 {
+            let client = TcpStream::connect(addr).unwrap();
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            loop {
+                match first.accept().or_else(|_| second.accept()) {
+                    Ok(_) => {
+                        accepted += 1;
+                        break;
+                    }
+                    Err(_) if std::time::Instant::now() < deadline => {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    Err(err) => panic!("accept never succeeded: {err}"),
+                }
+            }
+            drop(client);
+        }
+        assert_eq!(accepted, 8);
+    }
+
+    #[test]
+    fn epoll_reports_readability_with_the_registered_token() {
+        let listener = reuseport_listener("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let epoll = Epoll::new().unwrap();
+        epoll.add(server.as_raw_fd(), 0x5EED, EPOLLIN | EPOLLET).unwrap();
+        let mut events = Vec::with_capacity(16);
+
+        // Nothing pending: a zero-timeout wait returns no events.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        client.write_all(b"ping").unwrap();
+        let count = epoll.wait(&mut events, 2000).unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(events[0].token(), 0x5EED);
+        assert!(events[0].readable());
+
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+        // Edge-triggered: the consumed edge does not re-fire.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+}

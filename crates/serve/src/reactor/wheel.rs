@@ -1,0 +1,173 @@
+//! A hashed timer wheel with lazy deletion, replacing per-socket read
+//! timeouts in the reactor.
+//!
+//! The blocking server paid for deadlines with one 50 ms poll tick per
+//! worker per wait; the reactor instead keeps every connection's next
+//! deadline in a coarse wheel and sleeps in `epoll_wait` until the
+//! earliest occupied slot. Entries are *hints*, not truth: a connection
+//! reschedules its deadline every time it makes progress, but stale
+//! wheel entries are never removed — when a slot comes due the reactor
+//! re-validates each candidate against the connection's authoritative
+//! deadline (and generation) and simply reschedules survivors. That
+//! makes `schedule` O(1) with no cancel bookkeeping, at the cost of the
+//! occasional spurious wakeup — the right trade for deadlines that are
+//! seconds coarse and connections that are mostly short-lived.
+//!
+//! Deadlines beyond the wheel horizon are clamped to the last slot:
+//! such an entry is visited early, fails validation, and is rescheduled
+//! closer to its due time — correctness never depends on the horizon.
+
+use std::time::{Duration, Instant};
+
+/// Wheel slot width. Deadlines are seconds coarse (5–30 s in every
+/// shipped config), so 128 ms slots keep expiry within ~3% of exact.
+const SLOT_MILLIS: u64 = 128;
+/// Slot count; horizon = `SLOT_MILLIS * SLOTS` ≈ 32 s, matching the
+/// default idle deadline (longer deadlines just revisit once).
+const SLOTS: usize = 256;
+
+/// A scheduled key: connection slab slot plus its generation, so a
+/// recycled slot never honors a predecessor's deadline.
+pub(crate) type WheelKey = (usize, u64);
+
+pub(crate) struct Wheel {
+    slots: Vec<Vec<WheelKey>>,
+    /// Wheel epoch; tick numbers are offsets from here.
+    base: Instant,
+    /// The next tick `expire` has yet to visit.
+    cursor: u64,
+    /// Live (possibly stale) entries across all slots.
+    occupancy: usize,
+}
+
+impl Wheel {
+    pub(crate) fn new(now: Instant) -> Wheel {
+        Wheel {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            base: now,
+            cursor: 0,
+            occupancy: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let millis = at.saturating_duration_since(self.base).as_millis();
+        u64::try_from(millis / u128::from(SLOT_MILLIS)).unwrap_or(u64::MAX)
+    }
+
+    /// Schedules `key` to be offered for expiry around `deadline`.
+    pub(crate) fn schedule(&mut self, deadline: Instant, key: WheelKey) {
+        let horizon = u64::try_from(SLOTS).unwrap_or(u64::MAX) - 1;
+        // Never schedule behind the cursor (it would wait a full lap);
+        // never past the horizon (clamp → early revisit → reschedule).
+        let tick = self.tick_of(deadline).clamp(self.cursor, self.cursor + horizon);
+        let index = usize::try_from(tick % u64::try_from(SLOTS).unwrap_or(u64::MAX)).unwrap_or(0);
+        if let Some(slot) = self.slots.get_mut(index) {
+            slot.push(key);
+            self.occupancy += 1;
+        }
+    }
+
+    /// How long `epoll_wait` may sleep before the next occupied slot
+    /// comes due. `None` when the wheel is empty.
+    pub(crate) fn next_wakeup(&self, now: Instant) -> Option<Duration> {
+        if self.occupancy == 0 {
+            return None;
+        }
+        let now_tick = self.tick_of(now);
+        let slots = u64::try_from(SLOTS).unwrap_or(u64::MAX);
+        for offset in 0..slots {
+            let tick = self.cursor + offset;
+            let index = usize::try_from(tick % slots).unwrap_or(0);
+            if self.slots.get(index).is_some_and(|slot| !slot.is_empty()) {
+                if tick <= now_tick {
+                    return Some(Duration::ZERO);
+                }
+                let due = self.base + Duration::from_millis(tick.saturating_mul(SLOT_MILLIS));
+                return Some(due.saturating_duration_since(now));
+            }
+        }
+        None
+    }
+
+    /// Drains every entry whose slot is due at `now` into `out`. The
+    /// caller re-validates each key against the connection's actual
+    /// deadline and reschedules the ones that are merely early.
+    pub(crate) fn expire(&mut self, now: Instant, out: &mut Vec<WheelKey>) {
+        let now_tick = self.tick_of(now);
+        let slots = u64::try_from(SLOTS).unwrap_or(u64::MAX);
+        // Visit at most one full lap per call: past that, slots repeat.
+        let last = now_tick.min(self.cursor.saturating_add(slots - 1));
+        while self.cursor <= last {
+            let index = usize::try_from(self.cursor % slots).unwrap_or(0);
+            if let Some(slot) = self.slots.get_mut(index) {
+                self.occupancy = self.occupancy.saturating_sub(slot.len());
+                out.append(slot);
+            }
+            self.cursor += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expires_at_the_scheduled_slot_not_before() {
+        let t0 = Instant::now();
+        let mut wheel = Wheel::new(t0);
+        wheel.schedule(t0 + Duration::from_millis(500), (7, 1));
+        let mut due = Vec::new();
+
+        wheel.expire(t0 + Duration::from_millis(100), &mut due);
+        assert!(due.is_empty(), "not due yet");
+        let wakeup = wheel.next_wakeup(t0 + Duration::from_millis(100)).unwrap();
+        assert!(wakeup <= Duration::from_millis(500));
+
+        wheel.expire(t0 + Duration::from_millis(700), &mut due);
+        assert_eq!(due, vec![(7, 1)]);
+        assert!(wheel.next_wakeup(t0 + Duration::from_millis(700)).is_none());
+    }
+
+    #[test]
+    fn stale_entries_coexist_and_all_come_back() {
+        // Lazy deletion: rescheduling does not remove the old entry;
+        // both surface and the caller's validation sorts them out.
+        let t0 = Instant::now();
+        let mut wheel = Wheel::new(t0);
+        wheel.schedule(t0 + Duration::from_millis(200), (3, 1));
+        wheel.schedule(t0 + Duration::from_millis(900), (3, 1));
+        let mut due = Vec::new();
+        wheel.expire(t0 + Duration::from_secs(2), &mut due);
+        assert_eq!(due, vec![(3, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn far_deadline_clamps_to_horizon_and_revisits() {
+        let t0 = Instant::now();
+        let mut wheel = Wheel::new(t0);
+        // Far beyond the ~32 s horizon.
+        wheel.schedule(t0 + Duration::from_secs(300), (9, 4));
+        let mut due = Vec::new();
+        // It surfaces within one lap (early), ready for rescheduling.
+        wheel.expire(t0 + Duration::from_secs(40), &mut due);
+        assert_eq!(due, vec![(9, 4)]);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_expire() {
+        let t0 = Instant::now();
+        let mut wheel = Wheel::new(t0);
+        let mut due = Vec::new();
+        wheel.expire(t0 + Duration::from_secs(5), &mut due); // advance the cursor
+        assert!(due.is_empty());
+        // A deadline already in the past lands on the cursor slot and
+        // fires within one slot width.
+        wheel.schedule(t0 + Duration::from_secs(1), (2, 8));
+        let wakeup = wheel.next_wakeup(t0 + Duration::from_secs(5)).unwrap();
+        assert!(wakeup <= Duration::from_millis(SLOT_MILLIS));
+        wheel.expire(t0 + Duration::from_secs(6), &mut due);
+        assert_eq!(due, vec![(2, 8)]);
+    }
+}

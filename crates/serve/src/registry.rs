@@ -518,12 +518,8 @@ fn load_any(spec: &SummarySpec) -> Result<LoadedSummary, LoadError> {
         return Ok(LoadedSummary { summary: Arc::new(summary), owned_bytes });
     }
     if sniff_flat(&spec.path) {
-        let flat =
-            FlatCst::open(&spec.path).map_err(|e| wrap(SummaryLoadError::Flat(e)))?;
-        return Ok(LoadedSummary {
-            summary: Arc::new(AnySummary::Flat(flat)),
-            owned_bytes: None,
-        });
+        let flat = FlatCst::open(&spec.path).map_err(|e| wrap(SummaryLoadError::Flat(e)))?;
+        return Ok(LoadedSummary { summary: Arc::new(AnySummary::Flat(flat)), owned_bytes: None });
     }
     let bytes = std::fs::read(&spec.path).map_err(|e| wrap(wrap_io(e)))?;
     let summary = AnySummary::from_bytes(bytes.clone()).map_err(wrap)?;

@@ -1,21 +1,23 @@
-//! The estimation server: accept loop, routing, endpoint handlers,
-//! backpressure and graceful shutdown.
+//! The estimation server: routing, endpoint handlers, backpressure and
+//! graceful shutdown, hosted on the reactor event loop.
 //!
-//! Threading model (documented in DESIGN.md §8): one accept thread (the
-//! caller of [`Server::run`]) plus a bounded worker pool. A job is one
-//! *connection*; a worker owns its connection for the connection's
-//! lifetime and serves any number of keep-alive requests on it. When the
-//! pool queue is full, the accept thread itself writes a `503` with a
-//! `Retry-After` hint and closes — admission control costs one small
-//! write, never a queued latency pile-up. Shutdown stops admission,
-//! lets every worker finish the request in flight (responses during
-//! drain carry `Connection: close`), serves already-queued connections
-//! one final request, then joins all workers.
+//! Threading model (documented in DESIGN.md §15): on Linux,
+//! [`Server::run`] hands its `SO_REUSEPORT` listener shard to
+//! `reactor::run`, which spawns one epoll reactor per configured worker;
+//! each reactor owns a shard of the same port and a slab of nonblocking
+//! connection state machines. Admission control is per reactor: past its
+//! share of `workers + queue_capacity` connections it writes a `503`
+//! with an escalating `Retry-After` hint and closes — one small write,
+//! never a queued latency pile-up. Shutdown stops admission, lets every
+//! connection finish the request in flight (responses during drain carry
+//! `Connection: close`), then joins all reactors. Elsewhere a portable
+//! blocking fallback (thread per admitted connection, same admission cap
+//! and drain policy) preserves the contract.
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,8 +29,7 @@ use twig_util::rng::SplitMix64;
 use crate::http::{read_request, Limits, ReadOutcome, Request, Response};
 use crate::json::Json;
 use crate::metrics::ServeMetrics;
-use crate::plan::PlanCache;
-use crate::pool::{Rejected, ThreadPool};
+use crate::plan::{CachedPlan, PlanCache};
 use crate::registry::{error_chain, SummaryRegistry};
 
 /// Tunables for one server instance.
@@ -64,17 +65,14 @@ impl Default for ServerConfig {
     }
 }
 
-/// State shared between the accept thread, workers, and handles.
+/// State shared between the reactors and handles.
 pub struct ServerState {
-    config: ServerConfig,
+    pub(crate) config: ServerConfig,
     registry: SummaryRegistry,
-    metrics: ServeMetrics,
+    pub(crate) metrics: ServeMetrics,
     plans: PlanCache,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     started: Instant,
-    /// Consecutive saturation rejections with no admission in between;
-    /// drives the escalating `Retry-After` hint.
-    saturation_streak: AtomicU64,
 }
 
 impl ServerState {
@@ -90,7 +88,7 @@ impl ServerState {
         &self.metrics
     }
 
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 }
@@ -136,6 +134,11 @@ impl Server {
         config: ServerConfig,
         registry: SummaryRegistry,
     ) -> std::io::Result<Server> {
+        // The first listener shard; `run` adds sibling `SO_REUSEPORT`
+        // shards on the same resolved address, one per reactor.
+        #[cfg(target_os = "linux")]
+        let listener = crate::reactor::bind_shard(addr)?;
+        #[cfg(not(target_os = "linux"))]
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Server {
@@ -148,7 +151,6 @@ impl Server {
                 metrics: ServeMetrics::new(),
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
-                saturation_streak: AtomicU64::new(0),
             }),
         })
     }
@@ -167,81 +169,104 @@ impl Server {
 
     /// Serves until shutdown is requested, then drains and returns.
     pub fn run(self) -> std::io::Result<()> {
-        let state = self.state;
-        let pool_state = Arc::clone(&state);
-        let pool: ThreadPool<TcpStream> =
-            ThreadPool::new(state.config.workers, state.config.queue_capacity, move |stream| {
-                handle_connection(stream, &pool_state);
-            });
-        // Panics the pool catches (e.g. an injected dispatch panic) land
-        // in the metric immediately, not only at shutdown.
-        let observer_state = Arc::clone(&state);
-        pool.observe_panics(move || observer_state.metrics.worker_panics_total.inc());
-        self.listener.set_nonblocking(true)?;
-        while !state.shutting_down() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    state.metrics.connections_total.inc();
-                    prepare_stream(&stream);
-                    match pool.try_submit(stream) {
-                        Ok(()) => {
-                            state.saturation_streak.store(0, Ordering::Relaxed);
-                        }
-                        Err(Rejected::Saturated(stream)) => {
-                            let streak =
-                                state.saturation_streak.fetch_add(1, Ordering::Relaxed) + 1;
-                            state.metrics.rejected_saturated.inc();
-                            state.metrics.count_status(503);
-                            reject_connection(
-                                stream,
-                                "server saturated, retry shortly",
-                                retry_after_secs(streak),
-                            );
-                        }
-                        Err(Rejected::ShuttingDown(stream)) => {
-                            state.metrics.count_status(503);
-                            reject_connection(stream, "server shutting down", 1);
-                        }
-                    }
+        #[cfg(target_os = "linux")]
+        {
+            crate::reactor::run(self.listener, self.state)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            run_blocking(self.listener, self.state)
+        }
+    }
+}
+
+/// Portable fallback serve loop for platforms without the epoll
+/// reactor: one accept thread plus a blocking thread per admitted
+/// connection, capped at the same `workers + queue_capacity` total the
+/// reactor model enforces. Admission 503s, `Retry-After` escalation,
+/// failpoints (inside `read_request`/`process_request`) and the drain
+/// contract all match the reactor path.
+#[cfg_attr(target_os = "linux", allow(dead_code))]
+fn run_blocking(listener: TcpListener, state: Arc<ServerState>) -> std::io::Result<()> {
+    use std::sync::atomic::AtomicUsize;
+
+    let capacity = state.config.workers.max(1) + state.config.queue_capacity;
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut streak = 0u64;
+    listener.set_nonblocking(true)?;
+    let result = loop {
+        if state.shutting_down() {
+            break Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.metrics.connections_total.inc();
+                // Accepted sockets must be blocking regardless of what
+                // the listener inherits; per-call read timeouts wait.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                if active.load(Ordering::SeqCst) >= capacity {
+                    streak += 1;
+                    state.metrics.rejected_saturated.inc();
+                    state.metrics.count_status(503);
+                    reject_connection(
+                        stream,
+                        "server saturated, retry shortly",
+                        retry_after_secs(streak),
+                    );
+                    continue;
                 }
-                Err(err)
-                    if matches!(
-                        err.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                // Transient per-connection failures (peer reset during
-                // the handshake); keep serving.
-                Err(err)
-                    if matches!(
-                        err.kind(),
-                        std::io::ErrorKind::ConnectionAborted
-                            | std::io::ErrorKind::ConnectionReset
-                            | std::io::ErrorKind::Interrupted
-                    ) => {}
-                Err(err) => {
-                    // Fatal listener error: begin shutdown so in-flight
-                    // work still drains, then surface the error. The
-                    // panic observer above already counted any panics.
-                    state.shutdown.store(true, Ordering::SeqCst);
-                    let _ = pool.shutdown();
-                    return Err(err);
+                streak = 0;
+                active.fetch_add(1, Ordering::SeqCst);
+                let conn_state = Arc::clone(&state);
+                let conn_active = Arc::clone(&active);
+                let spawned =
+                    std::thread::Builder::new().name("twig-serve-conn".into()).spawn(move || {
+                        handle_connection(stream, &conn_state);
+                        conn_active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    active.fetch_sub(1, Ordering::SeqCst);
                 }
             }
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            // Transient per-connection failures (peer reset during the
+            // handshake); keep serving.
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(err) => {
+                // Fatal listener error: begin shutdown so in-flight work
+                // still drains, then surface the error.
+                state.shutdown.store(true, Ordering::SeqCst);
+                break Err(err);
+            }
         }
-        drop(self.listener); // stop accepting before the drain
-        let _ = pool.shutdown();
-        Ok(())
+    };
+    drop(listener); // stop accepting before the drain
+    while active.load(Ordering::SeqCst) > 0 {
+        std::thread::sleep(Duration::from_millis(10));
     }
+    result
 }
 
 /// `Retry-After` hint for a saturation rejection. The first rejections
 /// of a streak hint an immediate retry; a sustained streak escalates
 /// the hint with deterministic per-streak jitter so shed clients spread
 /// out instead of thundering back in lockstep.
-fn retry_after_secs(streak: u64) -> u64 {
+pub(crate) fn retry_after_secs(streak: u64) -> u64 {
     if streak <= 8 {
         return 1;
     }
@@ -251,17 +276,20 @@ fn retry_after_secs(streak: u64) -> u64 {
     (base + jitter).min(16)
 }
 
-fn prepare_stream(stream: &TcpStream) {
-    // Accepted sockets must be blocking regardless of what the listener
-    // inherits; per-call read timeouts do the waiting.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+/// The HTTP limits a server config implies.
+pub(crate) fn limits_for(config: &ServerConfig) -> Limits {
+    Limits {
+        max_head_bytes: 16 * 1024,
+        max_body_bytes: config.max_body_bytes,
+        read_deadline: config.read_deadline,
+        idle_deadline: config.idle_deadline,
+    }
 }
 
-/// Writes the admission-control `503` from the accept thread. A short
-/// write timeout bounds how long a slow client can stall accepts.
-fn reject_connection(mut stream: TcpStream, message: &str, retry_secs: u64) {
+/// Writes the admission-control `503` from the accepting thread. A
+/// short write timeout bounds how long a slow client can stall accepts.
+pub(crate) fn reject_connection(mut stream: TcpStream, message: &str, retry_secs: u64) {
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let response = error_response(503, "saturated", message)
         .with_header("retry-after", retry_secs.to_string());
@@ -269,56 +297,101 @@ fn reject_connection(mut stream: TcpStream, message: &str, retry_secs: u64) {
     let _ = stream.flush();
 }
 
+/// How a dispatched request ended.
+pub(crate) enum Dispatched {
+    /// An injected dispatch fault consumed the request: the connection
+    /// must drop with no response at all (what a dead worker looked
+    /// like under the retired thread pool).
+    Drop,
+    /// The handler produced a response (possibly the panic `500`).
+    Respond(Response),
+}
+
+/// Runs one parsed request through the `pool.dispatch` failpoint and
+/// the router, with panic containment: a panicking handler costs the
+/// client a `500`, never the serving thread. Status-class and latency
+/// metrics are recorded here.
+pub(crate) fn process_request(state: &Arc<ServerState>, request: &Request) -> Dispatched {
+    enum Step {
+        Drop,
+        Respond(Response),
+    }
+    let started = Instant::now();
+    let routed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        // The dispatch failpoint sits where the pool's job hand-off
+        // used to be: before the request counts as routed.
+        if twig_util::failpoint!("pool.dispatch").is_some() {
+            return Step::Drop;
+        }
+        state.metrics.requests_total.inc();
+        Step::Respond(route(request, state))
+    }));
+    match routed {
+        Ok(Step::Drop) => Dispatched::Drop,
+        Ok(Step::Respond(response)) => {
+            state.metrics.count_status(response.status);
+            state.metrics.request_latency_us.record(micros(started.elapsed()));
+            Dispatched::Respond(response)
+        }
+        Err(payload) => {
+            state.metrics.worker_panics_total.inc();
+            if payload.is::<twig_util::failpoint::PointPanic>() {
+                // An injected dispatch panic kills the connection the
+                // way the old pool worker died: silently.
+                Dispatched::Drop
+            } else {
+                let response = error_response(
+                    500,
+                    "internal_panic",
+                    "request handler panicked; the worker recovered",
+                );
+                state.metrics.count_status(response.status);
+                state.metrics.request_latency_us.record(micros(started.elapsed()));
+                Dispatched::Respond(response)
+            }
+        }
+    }
+}
+
 /// Serves one connection for its whole lifetime (any number of
-/// keep-alive requests).
+/// keep-alive requests). Fallback path only; the reactor runs the same
+/// request pipeline nonblocking.
+#[cfg_attr(target_os = "linux", allow(dead_code))]
 fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
-    let limits = Limits {
-        max_head_bytes: 16 * 1024,
-        max_body_bytes: state.config.max_body_bytes,
-        read_deadline: state.config.read_deadline,
-        idle_deadline: state.config.idle_deadline,
-    };
+    let limits = limits_for(&state.config);
     loop {
         let shutdown_probe = || state.shutting_down();
         match read_request(&mut stream, &limits, &shutdown_probe) {
             Ok(request) => {
-                let started = Instant::now();
-                state.metrics.requests_total.inc();
-                // A panicking handler costs the client a 500, never the
-                // connection (and never the worker: the pool would catch
-                // it too, but then the response is lost).
-                let routed = std::panic::catch_unwind(AssertUnwindSafe(|| route(&request, state)));
-                let response = match routed {
-                    Ok(response) => response,
-                    Err(_) => {
-                        state.metrics.worker_panics_total.inc();
-                        error_response(
-                            500,
-                            "internal_panic",
-                            "request handler panicked; the worker recovered",
-                        )
+                match process_request(state, &request) {
+                    Dispatched::Drop => return,
+                    Dispatched::Respond(response) => {
+                        // Evaluated after dispatch (the handler may have
+                        // requested shutdown); during shutdown every
+                        // response closes.
+                        let keep_alive = request.keep_alive() && !state.shutting_down();
+                        if response.write_to(&mut stream, !keep_alive).is_err() || !keep_alive {
+                            return;
+                        }
                     }
-                };
-                state.metrics.count_status(response.status);
-                state.metrics.request_latency_us.record(micros(started.elapsed()));
-                // Drain policy: during shutdown every response closes.
-                let keep_alive = request.keep_alive() && !state.shutting_down();
-                if response.write_to(&mut stream, !keep_alive).is_err() || !keep_alive {
-                    return;
                 }
             }
             Err(outcome) => {
-                respond_to_read_error(&mut stream, state, &outcome);
+                if let Some(response) = read_error_response(state, &outcome) {
+                    state.metrics.count_status(response.status);
+                    let _ = response.write_to(&mut stream, true);
+                }
                 return;
             }
         }
     }
 }
 
-/// Sends the appropriate error response (if any) for a failed request
-/// read, then lets the connection close.
-fn respond_to_read_error(stream: &mut TcpStream, state: &Arc<ServerState>, outcome: &ReadOutcome) {
-    let response = match outcome {
+/// The error response (if any) owed for a failed request read; the
+/// connection closes either way. Pure mapping — the caller counts the
+/// status and writes the response on its own I/O path.
+pub(crate) fn read_error_response(state: &ServerState, outcome: &ReadOutcome) -> Option<Response> {
+    match outcome {
         // Nothing arrived (clean close / idle / shutdown while idle):
         // closing silently is the correct keep-alive protocol.
         ReadOutcome::Closed | ReadOutcome::IdleTimeout | ReadOutcome::ShuttingDown => None,
@@ -338,10 +411,6 @@ fn respond_to_read_error(stream: &mut TcpStream, state: &Arc<ServerState>, outco
         ReadOutcome::Malformed(what) => {
             Some(error_response(400, "malformed", &format!("malformed request: {what}")))
         }
-    };
-    if let Some(response) = response {
-        state.metrics.count_status(response.status);
-        let _ = response.write_to(stream, true);
     }
 }
 
@@ -593,10 +662,47 @@ fn handle_estimate(request: &Request, state: &Arc<ServerState>) -> Response {
         );
     };
 
+    // Resolve every query before estimating any (a bad query at index
+    // i must fail the whole batch with no partial work): each query is
+    // either an owned parse (cache off) or a shared cache entry whose
+    // twig was parsed the first time this text was seen — the plan
+    // cache is keyed by raw request text exactly so a hit skips
+    // `Twig::parse` entirely.
+    enum Resolved {
+        Owned(Twig),
+        Cached(Arc<CachedPlan>),
+    }
+    let cache_off = state.config.plan_cache_capacity == 0;
     let mut queries = Vec::with_capacity(query_texts.len());
     for (index, text) in query_texts.iter().enumerate() {
+        if !cache_off {
+            let key = PlanCache::key(summary_name, generation, text);
+            if let Some(cached) = state.plans.lookup(&key) {
+                state.metrics.plan_cache_hits_total.inc();
+                queries.push(Resolved::Cached(cached));
+                continue;
+            }
+            state.metrics.plan_cache_misses_total.inc();
+            match Twig::parse(text) {
+                Ok(query) => {
+                    let (cached, evicted) = state.plans.insert(&key, query);
+                    if evicted {
+                        state.metrics.plan_cache_evictions_total.inc();
+                    }
+                    queries.push(Resolved::Cached(cached));
+                }
+                Err(err) => {
+                    return error_response(
+                        400,
+                        "bad_query",
+                        &format!("queries[{index}] '{text}' does not parse: {err}"),
+                    )
+                }
+            }
+            continue;
+        }
         match Twig::parse(text) {
-            Ok(query) => queries.push(query),
+            Ok(query) => queries.push(Resolved::Owned(query)),
             Err(err) => {
                 return error_response(
                     400,
@@ -610,24 +716,15 @@ fn handle_estimate(request: &Request, state: &Arc<ServerState>) -> Response {
     let mut estimates = Vec::with_capacity(queries.len());
     for query in &queries {
         let started = Instant::now();
-        let estimate = if state.config.plan_cache_capacity == 0 {
-            cst.estimate(query, algorithm, kind)
-        } else {
-            let key = PlanCache::key(summary_name, generation, query);
-            let (cached, probe) = state.plans.probe(&key);
-            if probe.hit {
-                state.metrics.plan_cache_hits_total.inc();
-            } else {
-                state.metrics.plan_cache_misses_total.inc();
+        let estimate = match query {
+            Resolved::Owned(query) => cst.estimate(query, algorithm, kind),
+            Resolved::Cached(cached) => {
+                // Same stages the plan-free path runs, memoized: the
+                // product below is bit-identical to `cst.estimate(...)`.
+                let raw = cst.estimate_raw(&cached.twig, algorithm, kind, Some(&cached.plan));
+                let discount = *cached.discount.get_or_init(|| cst.sibling_discount(&cached.twig));
+                raw * discount
             }
-            if probe.evicted {
-                state.metrics.plan_cache_evictions_total.inc();
-            }
-            // Same stages the plan-free path runs, memoized: the product
-            // below is bit-identical to `cst.estimate(...)`.
-            let raw = cst.estimate_raw(query, algorithm, kind, Some(&cached.plan));
-            let discount = *cached.discount.get_or_init(|| cst.sibling_discount(query));
-            raw * discount
         };
         state.metrics.estimate_latency_us.record(micros(started.elapsed()));
         estimates.push(Json::Num(estimate));
@@ -695,4 +792,31 @@ fn num_u64(value: u64) -> Json {
 
 fn num_usize(value: usize) -> Json {
     Json::Num(count_to_f64(size_to_u64(value)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_escalates_from_one_to_a_capped_sixteen() {
+        // The first eight rejections of a streak hint an immediate retry.
+        for streak in 1..=8u64 {
+            assert_eq!(retry_after_secs(streak), 1, "streak {streak}");
+        }
+        // Then the hint escalates with bounded per-streak jitter: at
+        // least the base, at most double it, never past 16 seconds.
+        for streak in 9..=200u64 {
+            let base = (streak / 8).min(8);
+            let hint = retry_after_secs(streak);
+            assert!(hint >= base, "streak {streak}: hint {hint} below base {base}");
+            assert!(hint <= (2 * base).min(16), "streak {streak}: hint {hint} over cap");
+        }
+        // Deep in a sustained streak the cap is reachable and binding.
+        let deep: Vec<u64> = (1000..1100u64).map(retry_after_secs).collect();
+        assert!(deep.iter().all(|&hint| (8..=16).contains(&hint)), "{deep:?}");
+        assert!(deep.contains(&16), "cap never reached: {deep:?}");
+        // The jitter is per-streak deterministic (same seed, same hint).
+        assert_eq!(retry_after_secs(77), retry_after_secs(77));
+    }
 }

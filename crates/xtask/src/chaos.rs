@@ -23,10 +23,14 @@
 //! persist followed by a simulated restart that must recover the
 //! previous committed generation from the manifest), socket resets
 //! (injected read/write faults on the HTTP layer), pool-worker
-//! panic (injected dispatch panics that the pool must contain), and
+//! panic (injected dispatch panics that the reactor must contain),
 //! flat-mmap-hosting (kill-mid-pack of a `TWIGFLT1` container, the
 //! registry serving off the mapped file, and crash recovery from a
-//! snapshot-store flat payload).
+//! snapshot-store flat payload), and pipelined-reset-storm (read/write
+//! faults firing on connections that pipeline all six algorithms while
+//! `/admin/reload` runs concurrently — every delivered response slot
+//! must be a baseline-identical 200 or a typed error, never a torn
+//! frame).
 //!
 //! The harness requires failpoints to be compiled in:
 //!
@@ -42,7 +46,9 @@ use std::time::Duration;
 
 use twig_core::{Algorithm, Cst, CstConfig, SpaceBudget};
 use twig_datagen::{generate_dblp, positive_queries, DblpConfig, WorkloadConfig};
-use twig_serve::http::{read_response, write_request, ClientResponse, Limits};
+use twig_serve::http::{
+    read_response, read_response_pipelined, write_request, ClientResponse, Limits,
+};
 use twig_serve::{
     Json, LoadOutcome, Server, ServerConfig, SnapshotStore, SummaryRegistry, SummarySpec,
 };
@@ -125,6 +131,7 @@ fn run_seed(world: &World, seed: u64) -> Result<(), String> {
     scenario_socket_resets(world, &baseline, seed)?;
     scenario_worker_panic(world, &baseline, seed)?;
     scenario_flat_mmap_hosting(world, &baseline, seed)?;
+    scenario_pipelined_reset_storm(world, &baseline, seed)?;
     Ok(())
 }
 
@@ -749,5 +756,192 @@ fn scenario_flat_mmap_hosting(world: &World, baseline: &Baseline, seed: u64) -> 
     }
     assert_baseline_estimates(&running.addr, &queries, baseline)
         .map_err(|e| format!("{label}: {e}"))?;
+    running.stop().map_err(|e| format!("{label}: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// Scenario 6: socket-reset storm over pipelined batches, with reloads
+// racing the traffic — the reactor's framing invariant under faults
+// ---------------------------------------------------------------------
+
+/// Sends one pipelined batch — all six algorithms back to back on a
+/// single connection — and reads the responses in order. Each delivered
+/// slot is `Some(token)` for a 200 or `None` for a typed error
+/// envelope; the batch truncates at the first transport error (the
+/// connection was reset, so later slots are legitimately undelivered).
+/// An `Err` means a framing invariant broke: a 200 whose body does not
+/// parse, or an error response without the typed envelope.
+fn pipelined_batch(
+    addr: &str,
+    queries: &[String],
+) -> Result<Vec<(Algorithm, Option<String>)>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut sent = Vec::new();
+    for algorithm in Algorithm::ALL {
+        // A write error means the server reset mid-batch; the slots
+        // already written may still answer, so keep reading below.
+        if write_request(&mut stream, "POST", "/estimate", &estimate_body(queries, algorithm))
+            .is_err()
+        {
+            break;
+        }
+        sent.push(algorithm);
+    }
+    let limits = client_limits();
+    let mut inbound = Vec::new();
+    let mut slots = Vec::new();
+    for algorithm in sent {
+        match read_response_pipelined(&mut stream, &mut inbound, &limits) {
+            Ok(response) if response.status == 200 => {
+                let token = estimates_token(&response)?;
+                slots.push((algorithm, Some(token)));
+            }
+            Ok(response) => {
+                assert_typed_error(&response)?;
+                slots.push((algorithm, None));
+                // Error responses close the connection; the next read
+                // simply reports a transport error and ends the batch.
+            }
+            Err(_) => break,
+        }
+    }
+    Ok(slots)
+}
+
+fn scenario_pipelined_reset_storm(
+    world: &World,
+    baseline: &Baseline,
+    seed: u64,
+) -> Result<(), String> {
+    let label = "pipelined-reset-storm";
+    let queries = world.queries(seed);
+    let running = boot(fresh_registry(world, None)?)?;
+    let mut watch = MetricsWatch::default();
+    watch.sample(&running.addr).map_err(|e| format!("{label}: {e}"))?;
+
+    failpoint::configure(
+        "http.read=12%error,10%partial(50);http.write=12%partial(60),8%error",
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Reloads race the pipelined traffic on their own connections; the
+    // registry itself is not faulted, so any reload that survives the
+    // socket faults must report `all_ok` (map-swap under load).
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reload_ok = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let reloader = {
+        let addr = running.addr.clone();
+        let stop = std::sync::Arc::clone(&stop);
+        let reload_ok = std::sync::Arc::clone(&reload_ok);
+        std::thread::spawn(move || -> Result<u64, String> {
+            let mut attempts = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                attempts += 1;
+                if let Ok(response) = post(&addr, "/admin/reload", b"") {
+                    if response.status != 200 {
+                        // Socket faults can turn the reload request into
+                        // a typed error (e.g. an injected torn read);
+                        // anything else is a broken envelope.
+                        assert_typed_error(&response)?;
+                    } else {
+                        match Json::parse(&response.body_text()) {
+                            Ok(body) if reload_all_ok(&body) => {
+                                reload_ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            // A torn body would fail read_response
+                            // (framing guards it); a parsed body must
+                            // say all_ok — the registry is not faulted.
+                            Ok(_) => return Err("fault-free reload reported failure".into()),
+                            Err(e) => return Err(format!("reload body unparseable: {e}")),
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok(attempts)
+        })
+    };
+
+    // Storm until every probe has evidence: at least one baseline-exact
+    // 200, at least one fault outcome (typed error or reset batch), and
+    // at least one reload that went through cleanly.
+    let mut delivered_ok = 0u64;
+    let mut typed_errors = 0u64;
+    let mut reset_slots = 0u64;
+    let mut rounds = 0u64;
+    let outcome = loop {
+        rounds += 1;
+        let slots = match pipelined_batch(&running.addr, &queries) {
+            Ok(slots) => slots,
+            Err(e) => break Err(format!("{label}: round {rounds}: {e}")),
+        };
+        reset_slots += (Algorithm::ALL.len() - slots.len()) as u64;
+        let mut bad = None;
+        for (algorithm, slot) in &slots {
+            match slot {
+                Some(token) => {
+                    let expected = baseline.get(algorithm.name());
+                    if Some(token) != expected {
+                        bad = Some(format!(
+                            "{label}: {} estimates diverged in a pipelined batch",
+                            algorithm.name()
+                        ));
+                        break;
+                    }
+                    delivered_ok += 1;
+                }
+                None => typed_errors += 1,
+            }
+        }
+        if let Some(message) = bad {
+            break Err(message);
+        }
+        let reloads = reload_ok.load(std::sync::atomic::Ordering::Relaxed);
+        if rounds >= 12 && delivered_ok > 0 && typed_errors + reset_slots > 0 && reloads > 0 {
+            break Ok(());
+        }
+        if rounds >= 400 {
+            break Err(format!(
+                "{label}: storm never converged after {rounds} rounds \
+                 (ok {delivered_ok}, typed {typed_errors}, reset {reset_slots}, \
+                 clean reloads {reloads})"
+            ));
+        }
+    };
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let reload_result = reloader.join();
+    outcome?;
+    match reload_result {
+        Ok(Ok(attempts)) if attempts > 0 => {}
+        Ok(Ok(_)) => return Err(format!("{label}: reloader made zero attempts")),
+        Ok(Err(err)) => return Err(format!("{label}: reloader: {err}")),
+        Err(_) => return Err(format!("{label}: reloader thread panicked")),
+    }
+
+    // Faults clear: one pipelined batch must deliver all six slots as
+    // baseline-identical 200s, and the sequential path must agree.
+    failpoint::clear_all();
+    let slots = pipelined_batch(&running.addr, &queries).map_err(|e| format!("{label}: {e}"))?;
+    if slots.len() != Algorithm::ALL.len() {
+        return Err(format!(
+            "{label}: clean pipelined batch delivered {} of {} slots",
+            slots.len(),
+            Algorithm::ALL.len()
+        ));
+    }
+    for (algorithm, slot) in &slots {
+        let expected = baseline.get(algorithm.name());
+        if slot.as_ref() != expected {
+            return Err(format!(
+                "{label}: {} diverged in the clean pipelined batch",
+                algorithm.name()
+            ));
+        }
+    }
+    assert_baseline_estimates(&running.addr, &queries, baseline)
+        .map_err(|e| format!("{label}: {e}"))?;
+    watch.sample(&running.addr).map_err(|e| format!("{label}: {e}"))?;
     running.stop().map_err(|e| format!("{label}: {e}"))
 }

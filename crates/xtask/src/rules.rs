@@ -44,9 +44,10 @@ const CAST_ALLOWLIST: &[&str] = &[];
 
 /// Files allowed to contain `unsafe` (additions need a code review that
 /// lands them here *and* an `unsafe_code` lint override). The mmap shim
-/// is the workspace's single unsafe boundary: two FFI calls and the
-/// `Send`/`Sync` assertions for the read-only mapping they return.
-const UNSAFE_ALLOWLIST: &[&str] = &["crates/flat/src/mmap.rs"];
+/// and the reactor's syscall shim are the workspace's two unsafe
+/// boundaries: raw FFI calls (mmap/munmap, epoll/socket) plus the
+/// `Send`/`Sync` assertions for the read-only mapping.
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/flat/src/mmap.rs", "crates/serve/src/reactor/sys.rs"];
 
 /// Is `file` (repo-relative) test-ish by location alone? Integration
 /// tests, benches, examples and build scripts may panic freely.
