@@ -264,8 +264,7 @@ fn cmd_inspect(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> 
     let path = args.require("summary")?;
     let head = {
         let mut head = [0u8; 8];
-        let mut file =
-            fs::File::open(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut file = fs::File::open(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let read = std::io::Read::read(&mut file, &mut head)
             .map_err(|e| format!("cannot read {path}: {e}"))?;
         head[..read].to_vec()
@@ -355,8 +354,8 @@ fn cmd_pack(args: &mut Arguments, out: &mut dyn Write) -> Result<(), String> {
             .map_err(io_err)?;
         return Ok(());
     }
-    let cst = Cst::read_from(&mut payload.as_slice())
-        .map_err(|e| format!("cannot load {input}: {e}"))?;
+    let cst =
+        Cst::read_from(&mut payload.as_slice()).map_err(|e| format!("cannot load {input}: {e}"))?;
     twig_flat::writer::write_file(&cst, std::path::Path::new(&output))
         .map_err(|e| format!("cannot pack {input}: {e}"))?;
     let size = fs::metadata(&output).map(|m| m.len()).unwrap_or(0);
@@ -786,8 +785,7 @@ mod tests {
         run_capture(&["build", "--input", &corpus, "--space", "0.2", "--out", &summary])
             .expect("build");
 
-        let packed =
-            run_capture(&["pack", "--input", &summary, "--out", &flat]).expect("pack");
+        let packed = run_capture(&["pack", "--input", &summary, "--out", &flat]).expect("pack");
         assert!(packed.contains("packed"), "{packed}");
         assert!(packed.contains("flat container"), "{packed}");
 
@@ -804,8 +802,8 @@ mod tests {
         let query = r#"article(author("S"))"#;
         let owned = run_capture(&["estimate", "--summary", &summary, "--query", query])
             .expect("estimate owned");
-        let mapped =
-            run_capture(&["estimate", "--summary", &flat, "--query", query]).expect("estimate flat");
+        let mapped = run_capture(&["estimate", "--summary", &flat, "--query", query])
+            .expect("estimate flat");
         assert_eq!(owned, mapped, "flat estimates must match owned output");
 
         // Commands that need the owned structure say so.
@@ -845,8 +843,8 @@ mod tests {
         let query = r#"article(author("S"))"#;
         let owned = run_capture(&["estimate", "--summary", &summary, "--query", query])
             .expect("estimate owned");
-        let migrated =
-            run_capture(&["estimate", "--summary", &flat, "--query", query]).expect("estimate flat");
+        let migrated = run_capture(&["estimate", "--summary", &flat, "--query", query])
+            .expect("estimate flat");
         assert_eq!(owned, migrated, "snapshot migration must preserve estimates");
 
         // A torn snapshot (payload corrupt, footer present) is refused.

@@ -138,6 +138,9 @@ impl Cst {
                 twig_util::failpoint::Fault::Error => {
                     return Err(injected("injected fault at serialize.write"));
                 }
+                twig_util::failpoint::Fault::Errno(code) => {
+                    return Err(io::Error::from_raw_os_error(code));
+                }
                 twig_util::failpoint::Fault::Partial(keep_percent) => {
                     // Tear the stream at `keep` percent of the exact
                     // encoded length, streaming straight to `out` instead
@@ -243,8 +246,7 @@ impl Cst {
             if len > 1 << 20 {
                 return Err(ReadError::Corrupt("implausible label length"));
             }
-            let mut buf = Vec::with_capacity(len as usize);
-            buf.resize(len as usize, 0);
+            let mut buf = vec![0; len as usize];
             input.read_exact(&mut buf)?;
             let label =
                 String::from_utf8(buf).map_err(|_| ReadError::Corrupt("label not UTF-8"))?;
@@ -322,6 +324,9 @@ impl Cst {
                 twig_util::failpoint::Fault::Error => {
                     return Err(ReadError::Io(injected("injected fault at serialize.read")));
                 }
+                twig_util::failpoint::Fault::Errno(code) => {
+                    return Err(ReadError::Io(io::Error::from_raw_os_error(code)));
+                }
                 twig_util::failpoint::Fault::Partial(keep_percent) => {
                     // Failpoint percentages come from an env var, so the
                     // scale is checked like any other untrusted length.
@@ -348,6 +353,9 @@ impl Cst {
             match fault {
                 twig_util::failpoint::Fault::Error | twig_util::failpoint::Fault::Partial(_) => {
                     return Err(ReadError::Io(injected("injected fault at serialize.load_file")));
+                }
+                twig_util::failpoint::Fault::Errno(code) => {
+                    return Err(ReadError::Io(io::Error::from_raw_os_error(code)));
                 }
             }
         }

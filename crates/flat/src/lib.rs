@@ -92,6 +92,12 @@ impl Error for LoadError {
 
 /// An owned or flat summary behind one value — the type the serving
 /// layer hosts, so both formats share registries, plans and handlers.
+///
+/// The size skew between variants is deliberate: summaries live behind
+/// an `Arc` in the registry, never in collections of `AnySummary`, so
+/// boxing the flat variant would buy nothing and cost an indirection on
+/// the zero-copy read path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum AnySummary {
     /// Heap-resident owned summary (`TWIGCST`).
@@ -105,9 +111,8 @@ impl AnySummary {
     /// Flat files are memory-mapped; owned files are deserialized.
     pub fn load_file(path: &Path) -> Result<Self, LoadError> {
         let mut magic = [0u8; 8];
-        let sniffed = File::open(path)
-            .and_then(|mut file| file.read_exact(&mut magic))
-            .map(|()| magic);
+        let sniffed =
+            File::open(path).and_then(|mut file| file.read_exact(&mut magic)).map(|()| magic);
         match sniffed {
             Ok(bytes) if &bytes == format::MAGIC => {
                 FlatCst::open(path).map(AnySummary::Flat).map_err(LoadError::Flat)

@@ -142,14 +142,7 @@ fn platform_map(file: &File, len: usize) -> Option<MmapRegion> {
     // open fd; the kernel validates fd and length, and we check for
     // MAP_FAILED before trusting the pointer.
     let ptr = unsafe {
-        sys::mmap(
-            std::ptr::null_mut(),
-            len,
-            sys::PROT_READ,
-            sys::MAP_PRIVATE,
-            file.as_raw_fd(),
-            0,
-        )
+        sys::mmap(std::ptr::null_mut(), len, sys::PROT_READ, sys::MAP_PRIVATE, file.as_raw_fd(), 0)
     };
     if ptr == sys::map_failed() || ptr.is_null() {
         return None;

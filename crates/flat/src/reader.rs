@@ -124,15 +124,13 @@ impl FlatCst {
             if offset < PAYLOAD_OFFSET {
                 return Err(FlatError::Malformed("section overlaps header"));
             }
-            let end = offset
-                .checked_add(len)
-                .ok_or(FlatError::Malformed("section length overflow"))?;
+            let end =
+                offset.checked_add(len).ok_or(FlatError::Malformed("section length overflow"))?;
             if end > bytes.len() {
                 return Err(FlatError::Malformed("section out of bounds"));
             }
-            let slot = seen
-                .get_mut(kind.index())
-                .ok_or(FlatError::Malformed("unknown section kind"))?;
+            let slot =
+                seen.get_mut(kind.index()).ok_or(FlatError::Malformed("unknown section kind"))?;
             if *slot {
                 return Err(FlatError::Malformed("duplicate section"));
             }
@@ -195,8 +193,7 @@ impl FlatCst {
         if len_of(SectionKind::NodeFlags) != nc {
             return Err(FlatError::Malformed("flags section size mismatch"));
         }
-        let starts =
-            word_len(nc + 1).ok_or(FlatError::Malformed("node count overflow"))?;
+        let starts = word_len(nc + 1).ok_or(FlatError::Malformed("node count overflow"))?;
         if len_of(SectionKind::ChildStart) != starts {
             return Err(FlatError::Malformed("child index size mismatch"));
         }
@@ -231,8 +228,7 @@ impl FlatCst {
     #[inline]
     fn section(&self, kind: SectionKind) -> &[u8] {
         let index = kind.index();
-        let (Some(section), Some(state)) = (self.sections.get(index), self.state.get(index))
-        else {
+        let (Some(section), Some(state)) = (self.sections.get(index), self.state.get(index)) else {
             return &[];
         };
         let bytes = self.data.bytes().get(section.start..section.end).unwrap_or(&[]);
@@ -294,8 +290,7 @@ impl FlatCst {
         SectionKind::ALL
             .iter()
             .map(|&kind| {
-                let section =
-                    self.sections.get(kind.index()).copied().unwrap_or_default();
+                let section = self.sections.get(kind.index()).copied().unwrap_or_default();
                 SectionInfo {
                     name: kind.name(),
                     offset: section.start,
@@ -406,8 +401,7 @@ impl FlatCst {
             } else if probe > raw {
                 hi = mid;
             } else {
-                let target =
-                    read_u32(self.section(SectionKind::ChildTarget), mid.checked_mul(4)?)?;
+                let target = read_u32(self.section(SectionKind::ChildTarget), mid.checked_mul(4)?)?;
                 return ((target as usize) < self.node_count()).then_some(TrieNodeId(target));
             }
         }

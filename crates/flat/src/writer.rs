@@ -53,8 +53,7 @@ pub fn pack(cst: &Cst) -> Result<Vec<u8>, FlatError> {
     // CSR child arrays: (parent, edge) → child, edge-sorted per row.
     let mut triples: Vec<(u32, u32, u32)> = Vec::with_capacity(node_count.saturating_sub(1));
     for (id, node) in nodes.iter().enumerate().skip(1) {
-        let id32 =
-            u32::try_from(id).map_err(|_| FlatError::Malformed("node table exceeds u32"))?;
+        let id32 = u32::try_from(id).map_err(|_| FlatError::Malformed("node table exceeds u32"))?;
         triples.push((node.parent, node.edge, id32));
     }
     triples.sort_unstable();
@@ -105,10 +104,9 @@ pub fn pack(cst: &Cst) -> Result<Vec<u8>, FlatError> {
     let mut offset = 0u32;
     str_offsets.extend_from_slice(&offset.to_le_bytes());
     for label in cst.labels() {
-        let len = u32::try_from(label.len())
-            .map_err(|_| FlatError::Malformed("label exceeds u32"))?;
-        offset =
-            offset.checked_add(len).ok_or(FlatError::Malformed("label table exceeds u32"))?;
+        let len =
+            u32::try_from(label.len()).map_err(|_| FlatError::Malformed("label exceeds u32"))?;
+        offset = offset.checked_add(len).ok_or(FlatError::Malformed("label table exceeds u32"))?;
         str_bytes.extend_from_slice(label.as_bytes());
         str_offsets.extend_from_slice(&offset.to_le_bytes());
     }
@@ -223,6 +221,9 @@ fn write_atomic(bytes: &[u8], path: &Path) -> io::Result<()> {
         match fault {
             twig_util::failpoint::Fault::Error => {
                 return Err(injected("injected fault at flat.pack"));
+            }
+            twig_util::failpoint::Fault::Errno(code) => {
+                return Err(io::Error::from_raw_os_error(code));
             }
             twig_util::failpoint::Fault::Partial(percent) => {
                 keep = bytes

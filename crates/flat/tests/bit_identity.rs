@@ -68,11 +68,8 @@ fn assert_bit_identical(cst: &Cst, flat: &FlatCst, queries: &[Twig], context: &s
 #[test]
 fn dblp_sweep_owned_vs_flat_bit_identical() {
     for seed in [0xF1A7_0001u64, 0xF1A7_0002] {
-        let xml = generate_dblp(&DblpConfig {
-            target_bytes: 50_000,
-            seed,
-            ..DblpConfig::default()
-        });
+        let xml =
+            generate_dblp(&DblpConfig { target_bytes: 50_000, seed, ..DblpConfig::default() });
         let tree = DataTree::from_xml(&xml).expect("generated DBLP parses");
         for (threshold, signature_len) in [(1, 8), (3, 32)] {
             let cst = Cst::build(
@@ -84,8 +81,7 @@ fn dblp_sweep_owned_vs_flat_bit_identical() {
                 },
             )
             .expect("CST builds");
-            let flat =
-                FlatCst::from_bytes(writer::pack(&cst).expect("packs")).expect("flat opens");
+            let flat = FlatCst::from_bytes(writer::pack(&cst).expect("packs")).expect("flat opens");
             flat.verify().expect("checksums verify");
             let queries = workload(&tree, seed ^ 0x51);
             assert_bit_identical(

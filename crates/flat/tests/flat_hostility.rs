@@ -15,9 +15,7 @@
 //! All sweeps are deterministic (SplitMix64-seeded).
 
 use twig_core::{Algorithm, CountKind, Cst, CstConfig, SpaceBudget};
-use twig_flat::format::{
-    HEADER_LEN, PAYLOAD_OFFSET, SECTION_COUNT, TABLE_ENTRY_LEN, TABLE_OFFSET,
-};
+use twig_flat::format::{HEADER_LEN, PAYLOAD_OFFSET, SECTION_COUNT, TABLE_ENTRY_LEN, TABLE_OFFSET};
 use twig_flat::{writer, FlatCst, FlatError};
 use twig_tree::{DataTree, Twig};
 use twig_util::SplitMix64;

@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7716 [--connections 8] [--secs 5] [--batch 16]
-//!         [--pipeline 1] [--summary default] [--algo msh]
+//!         [--pipeline 1] [--trickle 0] [--summary default] [--algo msh]
 //!         [--count-kind occurrence] [--seed N] [--shutdown] [--smoke]
 //! ```
 //!
 //! `--pipeline N` keeps N requests in flight per connection
 //! (HTTP/1.1 pipelining); 1 is the strictly closed loop.
+//!
+//! `--trickle B` switches every connection to slow-client mode: request
+//! bytes dribble out at B bytes/second, exercising the server's
+//! minimum-progress (slowloris) defenses. Kills show up as errors.
 //!
 //! `--smoke` runs a short fixed burst, requires nonzero throughput with
 //! zero failures, shuts the server down, and exits nonzero otherwise —
@@ -39,7 +43,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen --addr HOST:PORT [--connections N] [--secs S] \
-                     [--batch B] [--pipeline P] [--summary NAME] [--algo NAME] \
+                     [--batch B] [--pipeline P] [--trickle BYTES_PER_SEC] \
+                     [--summary NAME] [--algo NAME] \
                      [--count-kind KIND] [--seed N] [--shutdown] [--smoke]"
                 );
                 return Ok(());
@@ -51,6 +56,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--connections" => config.connections = parsed(&mut iter, "--connections")?,
             "--batch" => config.batch = parsed(&mut iter, "--batch")?,
             "--pipeline" => config.pipeline = parsed(&mut iter, "--pipeline")?,
+            "--trickle" => config.trickle = parsed(&mut iter, "--trickle")?,
             "--seed" => config.seed = parsed(&mut iter, "--seed")?,
             "--secs" => {
                 let secs: f64 = parsed(&mut iter, "--secs")?;

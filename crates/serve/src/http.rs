@@ -335,6 +335,9 @@ pub fn read_request(
     if let Some(fault) = twig_util::failpoint!("http.read") {
         return Err(match fault {
             twig_util::failpoint::Fault::Error => ReadOutcome::Io(injected("http.read")),
+            twig_util::failpoint::Fault::Errno(code) => {
+                ReadOutcome::Io(io::Error::from_raw_os_error(code))
+            }
             // A torn read looks like the peer vanishing mid-request.
             twig_util::failpoint::Fault::Partial(_) => ReadOutcome::Malformed("injected torn read"),
         });

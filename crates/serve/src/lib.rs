@@ -40,6 +40,14 @@ pub mod registry;
 pub mod server;
 pub mod snapshot;
 
+/// `RLIMIT_NOFILE` inspection and adjustment (Linux), re-exported for
+/// fd-exhaustion tests and the chaos harness: lower the soft limit,
+/// drive the server into `EMFILE`, and restore it afterwards.
+#[cfg(target_os = "linux")]
+pub mod rlimit {
+    pub use crate::reactor::sys::{nofile_limit, set_nofile_limit, Rlimit};
+}
+
 pub use json::{Json, JsonError};
 pub use loadgen::{ConnectionLatency, LoadgenConfig, LoadgenReport};
 pub use metrics::ServeMetrics;

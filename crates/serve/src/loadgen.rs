@@ -52,6 +52,12 @@ pub struct LoadgenConfig {
     pub connect_deadline: Duration,
     /// POST `/admin/shutdown` after the run.
     pub shutdown_after: bool,
+    /// Slow-client mode: dribble request bytes at this rate (bytes per
+    /// second) instead of writing whole requests. `0` disables. Used to
+    /// exercise the server's slowloris defenses — a trickling
+    /// connection below the server's minimum-progress rate should be
+    /// killed, which this mode reports as errors, not throughput.
+    pub trickle: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -68,6 +74,7 @@ impl Default for LoadgenConfig {
             seed: 0x010A_D6E4,
             connect_deadline: Duration::from_secs(5),
             shutdown_after: false,
+            trickle: 0,
         }
     }
 }
@@ -295,6 +302,10 @@ fn worker(config: &LoadgenConfig, seed: u64, stop_at: Instant) -> WorkerStats {
         stats.errors += 1;
         return stats;
     };
+    if config.trickle > 0 {
+        trickle_loop(config, &mut rng, &mut stats, &mut backoff, stream, stop_at);
+        return stats;
+    }
     if config.pipeline > 1 {
         pipelined_loop(config, &mut rng, &mut stats, &mut backoff, stream, stop_at);
         return stats;
@@ -443,6 +454,83 @@ fn pipelined_loop(
             Err(_) => {
                 stats.errors += 1;
                 window.clear();
+                inbound.clear();
+                match reconnect(config, stats, backoff, stop_at) {
+                    Some(fresh) => stream = fresh,
+                    None => return,
+                }
+            }
+        }
+    }
+}
+
+/// The slow-client loop (`--trickle <bytes/s>`): encodes requests with
+/// the same machinery as the pipelined loop, but writes them a few
+/// bytes at a time at the configured rate. Against a server with
+/// progress deadlines the expected outcome is a kill mid-request
+/// (counted under `errors`, with a reconnect and another drip); a
+/// request that does complete reads its response through the shared
+/// pipelined response reader and is counted normally.
+fn trickle_loop(
+    config: &LoadgenConfig,
+    rng: &mut SplitMix64,
+    stats: &mut WorkerStats,
+    backoff: &mut Backoff,
+    mut stream: TcpStream,
+    stop_at: Instant,
+) {
+    let limits = client_limits();
+    let mut inbound: Vec<u8> = Vec::new();
+    let mut outbound: Vec<u8> = Vec::new();
+    // ~10 slices per second, at least one byte each.
+    let chunk = usize::try_from(config.trickle / 10).unwrap_or(usize::MAX).max(1);
+    'conn: while Instant::now() < stop_at {
+        outbound.clear();
+        encode_request(&mut outbound, "POST", "/estimate", &build_body(config, rng));
+        let started = Instant::now();
+        let mut sent = 0usize;
+        while sent < outbound.len() {
+            if Instant::now() >= stop_at {
+                return;
+            }
+            let end = (sent + chunk).min(outbound.len());
+            let Some(piece) = outbound.get(sent..end) else { return };
+            if stream.write_all(piece).is_err() {
+                // Severed mid-drip — the server's slow-client defense
+                // at work. Reconnect and resume dripping.
+                stats.errors += 1;
+                inbound.clear();
+                match reconnect(config, stats, backoff, stop_at) {
+                    Some(fresh) => stream = fresh,
+                    None => return,
+                }
+                continue 'conn;
+            }
+            sent = end;
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        match read_response_pipelined(&mut stream, &mut inbound, &limits) {
+            Ok(response) => {
+                let latency = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                if response.status == 200 {
+                    stats.requests += 1;
+                    stats.estimates += size_to_u64(config.batch);
+                    stats.latencies_us.push(latency);
+                } else if response.status == 503 {
+                    stats.rejected_503 += 1;
+                } else {
+                    stats.non_200 += 1;
+                }
+                if response.header("connection") == Some("close") {
+                    inbound.clear();
+                    match reconnect(config, stats, backoff, stop_at) {
+                        Some(fresh) => stream = fresh,
+                        None => return,
+                    }
+                }
+            }
+            Err(_) => {
+                stats.errors += 1;
                 inbound.clear();
                 match reconnect(config, stats, backoff, stop_at) {
                     Some(fresh) => stream = fresh,

@@ -9,19 +9,31 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 use twig_util::metrics::{bucket_bound, Counter, HistogramSnapshot, LogHistogram, LOG_BUCKETS};
+
+/// A reactor whose heartbeat is older than this is reported stalled (in
+/// `/healthz` and the `twig_serve_reactor_stalled` gauge). The serve
+/// loop stamps every iteration and sleeps at most ~100 ms, so five full
+/// seconds of silence means the thread is wedged, not merely idle.
+pub const REACTOR_STALL_AFTER: Duration = Duration::from_secs(5);
 
 /// Per-reactor instruments, exposed with a `reactor="<index>"` label.
 /// The reactor thread updates these single-writer; `/metrics` renders
 /// concurrently, so the fields are relaxed atomics (counters with
-/// `fetch_add`/`fetch_sub` only — no ordering-sensitive publication).
+/// `fetch_add`/`fetch_sub` only, plus one single-writer timestamp stamp
+/// — no ordering-sensitive publication).
 #[derive(Debug, Default)]
 pub struct ReactorStats {
     /// Connections this reactor's listener shard accepted.
     pub accepted: AtomicU64,
     /// Connections currently open on this reactor (gauge).
     connections: AtomicU64,
+    /// Liveness stamp: milliseconds since the metrics heartbeat epoch at
+    /// the reactor's last serve-loop iteration. Single writer (the
+    /// reactor thread); readers only compare staleness.
+    heartbeat_ms: AtomicU64,
 }
 
 impl ReactorStats {
@@ -44,6 +56,73 @@ impl ReactorStats {
     #[must_use]
     pub fn connections(&self) -> u64 {
         self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Stamps the liveness heartbeat (`now_ms` from
+    /// [`ServeMetrics::now_ms`]).
+    pub fn beat(&self, now_ms: u64) {
+        self.heartbeat_ms.store(now_ms, Ordering::Relaxed);
+    }
+
+    /// The last heartbeat stamp, milliseconds since the epoch.
+    #[must_use]
+    pub fn heartbeat_ms(&self) -> u64 {
+        self.heartbeat_ms.load(Ordering::Relaxed)
+    }
+}
+
+/// Accept-path failures bucketed by errno class, exposed as
+/// `twig_serve_accept_errors_total{errno="..."}`. Fixed label set — one
+/// counter per class the reactor's taxonomy distinguishes.
+#[derive(Debug, Default)]
+pub struct AcceptErrorStats {
+    emfile: Counter,
+    enfile: Counter,
+    enomem: Counter,
+    eintr: Counter,
+    aborted: Counter,
+    reset: Counter,
+    other: Counter,
+}
+
+impl AcceptErrorStats {
+    /// Counts one accept failure by its raw OS errno (Linux values:
+    /// the only platform with the reactor accept path).
+    pub fn count(&self, raw_errno: Option<i32>) {
+        match raw_errno {
+            Some(24) => self.emfile.inc(),
+            Some(23) => self.enfile.inc(),
+            Some(12) => self.enomem.inc(),
+            Some(4) => self.eintr.inc(),
+            Some(103) => self.aborted.inc(),
+            Some(104) => self.reset.inc(),
+            _ => self.other.inc(),
+        }
+    }
+
+    /// Label/counter pairs, in render order.
+    fn rows(&self) -> [(&'static str, &Counter); 7] {
+        [
+            ("emfile", &self.emfile),
+            ("enfile", &self.enfile),
+            ("enomem", &self.enomem),
+            ("eintr", &self.eintr),
+            ("aborted", &self.aborted),
+            ("reset", &self.reset),
+            ("other", &self.other),
+        ]
+    }
+
+    /// Total failures counted under fd-exhaustion errnos.
+    #[must_use]
+    pub fn fd_exhausted(&self) -> u64 {
+        self.emfile.get() + self.enfile.get()
+    }
+
+    /// Total failures across every class.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.rows().iter().map(|(_, counter)| counter.get()).sum()
     }
 }
 
@@ -81,12 +160,21 @@ pub struct ServeMetrics {
     /// Requests parsed from a receive buffer that already yielded an
     /// earlier request in the same readiness pass (HTTP/1.1 pipelining).
     pub pipelined_requests_total: Counter,
+    /// Idle connections evicted to admit new work under slab pressure.
+    pub conns_evicted_total: Counter,
+    /// Connections killed for violating the minimum-progress deadline
+    /// (slow-read / slow-write abuse).
+    pub progress_kills_total: Counter,
+    /// Accept-path syscall failures, bucketed by errno class.
+    pub accept_errors: AcceptErrorStats,
     /// Wall time per routed request, microseconds.
     pub request_latency_us: LogHistogram,
     /// Wall time per single estimate inside a batch, microseconds.
     pub estimate_latency_us: LogHistogram,
     /// Per-reactor instruments, sized once at reactor spawn.
     reactors: OnceLock<Vec<ReactorStats>>,
+    /// Epoch for heartbeat stamps, fixed at first use.
+    heartbeat_epoch: OnceLock<Instant>,
 }
 
 impl ServeMetrics {
@@ -97,14 +185,53 @@ impl ServeMetrics {
     }
 
     /// Sizes the per-reactor stat set (idempotent; first caller wins).
+    /// Each slot starts with a fresh heartbeat so a reactor is not
+    /// reported stalled before its first loop iteration.
     pub fn init_reactors(&self, count: usize) {
-        let _ = self.reactors.get_or_init(|| (0..count).map(|_| ReactorStats::default()).collect());
+        let now = self.now_ms();
+        let _ = self.reactors.get_or_init(|| {
+            (0..count)
+                .map(|_| {
+                    let stats = ReactorStats::default();
+                    stats.beat(now);
+                    stats
+                })
+                .collect()
+        });
     }
 
     /// The stats slot for reactor `index`, if initialized.
     #[must_use]
     pub fn reactor(&self, index: usize) -> Option<&ReactorStats> {
         self.reactors.get().and_then(|stats| stats.get(index))
+    }
+
+    /// Every reactor's stats, in index order (empty before reactor spawn).
+    #[must_use]
+    pub fn reactor_stats(&self) -> &[ReactorStats] {
+        self.reactors.get().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Milliseconds since this metric set's heartbeat epoch; the clock
+    /// reactors stamp via [`ReactorStats::beat`].
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        let epoch = self.heartbeat_epoch.get_or_init(Instant::now);
+        u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// How many reactors have not stamped a heartbeat within
+    /// `stall_after`.
+    #[must_use]
+    pub fn stalled_reactors(&self, stall_after: Duration) -> u64 {
+        let now = self.now_ms();
+        let horizon = u64::try_from(stall_after.as_millis()).unwrap_or(u64::MAX);
+        let stalled = self
+            .reactor_stats()
+            .iter()
+            .filter(|stats| now.saturating_sub(stats.heartbeat_ms()) > horizon)
+            .count();
+        u64::try_from(stalled).unwrap_or(u64::MAX)
     }
 
     /// Buckets a response status into the class counters.
@@ -121,7 +248,7 @@ impl ServeMetrics {
     #[must_use]
     pub fn render_prometheus(&self) -> String {
         let mut out = String::with_capacity(4096);
-        let counters: [(&str, &str, &Counter); 15] = [
+        let counters: [(&str, &str, &Counter); 17] = [
             ("twig_serve_connections_total", "Connections accepted", &self.connections_total),
             (
                 "twig_serve_rejected_saturated_total",
@@ -161,6 +288,16 @@ impl ServeMetrics {
                 "Requests that arrived pipelined behind another",
                 &self.pipelined_requests_total,
             ),
+            (
+                "twig_serve_conns_evicted_total",
+                "Idle connections evicted under slab pressure",
+                &self.conns_evicted_total,
+            ),
+            (
+                "twig_serve_progress_kills_total",
+                "Connections killed for missing the minimum-progress deadline",
+                &self.progress_kills_total,
+            ),
         ];
         for (name, help, counter) in counters {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -178,6 +315,28 @@ impl ServeMetrics {
             "twig_serve_estimate_latency_us",
             "Per-estimate wall time, microseconds",
             &self.estimate_latency_us.snapshot(),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP twig_serve_accept_errors_total Accept-path syscall failures by errno class"
+        );
+        let _ = writeln!(out, "# TYPE twig_serve_accept_errors_total counter");
+        for (label, counter) in self.accept_errors.rows() {
+            let _ = writeln!(
+                out,
+                "twig_serve_accept_errors_total{{errno=\"{label}\"}} {}",
+                counter.get()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP twig_serve_reactor_stalled Reactors with a heartbeat older than the stall threshold"
+        );
+        let _ = writeln!(out, "# TYPE twig_serve_reactor_stalled gauge");
+        let _ = writeln!(
+            out,
+            "twig_serve_reactor_stalled {}",
+            self.stalled_reactors(REACTOR_STALL_AFTER)
         );
         if let Some(reactors) = self.reactors.get() {
             let _ = writeln!(
@@ -259,6 +418,51 @@ mod tests {
                 "malformed exposition line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn accept_errors_and_stall_gauge_render() {
+        let metrics = ServeMetrics::new();
+        metrics.init_reactors(2);
+        metrics.accept_errors.count(Some(24)); // EMFILE
+        metrics.accept_errors.count(Some(23)); // ENFILE
+        metrics.accept_errors.count(Some(4)); // EINTR
+        metrics.accept_errors.count(Some(999));
+        metrics.accept_errors.count(None);
+        assert_eq!(metrics.accept_errors.fd_exhausted(), 2);
+        assert_eq!(metrics.accept_errors.total(), 5);
+        let text = metrics.render_prometheus();
+        assert!(text.contains("twig_serve_accept_errors_total{errno=\"emfile\"} 1"), "{text}");
+        assert!(text.contains("twig_serve_accept_errors_total{errno=\"enfile\"} 1"), "{text}");
+        assert!(text.contains("twig_serve_accept_errors_total{errno=\"eintr\"} 1"), "{text}");
+        assert!(text.contains("twig_serve_accept_errors_total{errno=\"other\"} 2"), "{text}");
+        assert!(text.contains("twig_serve_conns_evicted_total 0"), "{text}");
+        assert!(text.contains("twig_serve_progress_kills_total 0"), "{text}");
+        // Fresh heartbeats: nothing is stalled yet.
+        assert!(text.contains("twig_serve_reactor_stalled 0"), "{text}");
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn stalled_reactor_detection_uses_heartbeat_age() {
+        let metrics = ServeMetrics::new();
+        metrics.init_reactors(3);
+        // All fresh: none stalled under a generous threshold.
+        assert_eq!(metrics.stalled_reactors(Duration::from_secs(3600)), 0);
+        // Let the clock advance past a tight threshold, then stamp two
+        // of the three reactors fresh: only the silent one is stalled.
+        std::thread::sleep(Duration::from_millis(5));
+        metrics.reactor(0).unwrap().beat(metrics.now_ms());
+        metrics.reactor(2).unwrap().beat(metrics.now_ms());
+        assert_eq!(metrics.stalled_reactors(Duration::from_millis(1)), 1);
+        // Re-stamping clears the stall.
+        metrics.reactor(1).unwrap().beat(metrics.now_ms());
+        assert_eq!(metrics.stalled_reactors(Duration::from_millis(1)), 0);
     }
 
     #[test]

@@ -53,6 +53,16 @@ pub(crate) struct Conn {
     pub(crate) deadline: Instant,
     /// Slab generation, so recycled slots ignore stale wheel/epoll keys.
     pub(crate) generation: u64,
+    /// Bytes moved (read or written) in the current progress window.
+    /// A `Busy` connection that fails to move a minimum number of bytes
+    /// per window is a slow-read/slow-write client and gets killed.
+    pub(crate) progress: u64,
+    /// When the current progress window closes.
+    pub(crate) window_deadline: Instant,
+    /// Earliest wheel hint planted for this connection; replanting only
+    /// happens when the wanted wakeup is earlier than this (lazy
+    /// deletion keeps stale later hints harmless).
+    pub(crate) next_wake: Instant,
     /// Close once the write queue drains.
     pub(crate) close_after_flush: bool,
     /// Peer sent EOF (or RDHUP): serve what is buffered, then close.
@@ -68,6 +78,9 @@ impl Conn {
             phase: Phase::Idle,
             deadline: idle_until,
             generation,
+            progress: 0,
+            window_deadline: idle_until,
+            next_wake: idle_until,
             close_after_flush: false,
             peer_closed: false,
         }

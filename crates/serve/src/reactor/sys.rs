@@ -10,8 +10,9 @@
 //!
 //! The unsafe surface is kept minimal and is contained to this file:
 //!
-//! - seven `extern "C"` declarations (`socket`, `setsockopt`, `bind`,
-//!   `listen`, `epoll_create1`, `epoll_ctl`, `epoll_wait`),
+//! - ten `extern "C"` declarations (`socket`, `setsockopt`, `bind`,
+//!   `listen`, `epoll_create1`, `epoll_ctl`, `epoll_wait`, `eventfd`,
+//!   `getrlimit`, `setrlimit`),
 //! - `OwnedFd::from_raw_fd` on descriptors those calls return.
 //!
 //! Every descriptor is wrapped in an [`OwnedFd`] the moment it is
@@ -20,11 +21,31 @@
 //! (a safe `From`), so accepting, nonblocking mode, and local-addr
 //! queries all go through std. No raw pointer outlives the call it is
 //! passed to, and no `from_raw_parts` is involved anywhere.
+//!
+//! ## Fault injection and EINTR discipline
+//!
+//! This module is also the reactor's syscall *fault boundary*: every
+//! operation the reactor performs against the kernel funnels through a
+//! shim here that consults a failpoint first (`sys.accept`,
+//! `sys.epoll_ctl`, `sys.epoll_wait`, `sys.read`, `sys.write`,
+//! `sys.eventfd`). `errno(...)` stages surface as the exact
+//! `io::Error::from_raw_os_error` the kernel would produce; `partial(p)`
+//! stages become short reads / short writes / spurious epoll wakeups.
+//! Injection happens *before* [`retry_eintr`], deliberately: injected
+//! `EINTR` exercises the reactor's own retry arms, while real signal
+//! interruptions of `epoll_ctl`/`accept` are absorbed by the helper.
+//!
+//! `close` is the one syscall that must NOT be retried on `EINTR`: on
+//! Linux the descriptor is freed before the interruption is reported,
+//! so a retry could close a descriptor another thread just received.
+//! Descriptor release therefore stays with `OwnedFd`'s Drop (libstd
+//! calls `close` exactly once and ignores the result), which is the
+//! correct Linux-side behavior.
 #![allow(unsafe_code)]
 #![cfg(target_os = "linux")]
 
-use std::io;
-use std::net::{SocketAddr, TcpListener};
+use std::io::{self, IoSlice, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
 
 /// Readable-readiness event mask bit.
@@ -42,6 +63,24 @@ pub(crate) const EPOLLET: u32 = 1 << 31;
 
 const EPOLL_CLOEXEC: i32 = 0o2000000;
 const EPOLL_CTL_ADD: i32 = 1;
+
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// Interrupted system call.
+pub(crate) const EINTR: i32 = 4;
+/// Resource temporarily unavailable (`EWOULDBLOCK`).
+pub(crate) const EAGAIN: i32 = 11;
+/// Out of kernel memory.
+pub(crate) const ENOMEM: i32 = 12;
+/// System-wide file table full.
+pub(crate) const ENFILE: i32 = 23;
+/// Per-process fd limit reached.
+pub(crate) const EMFILE: i32 = 24;
+/// Connection aborted before accept completed.
+pub(crate) const ECONNABORTED: i32 = 103;
+/// Connection reset by peer.
+pub(crate) const ECONNRESET: i32 = 104;
 
 const AF_INET: u16 = 2;
 const AF_INET6: u16 = 10;
@@ -106,7 +145,190 @@ mod ffi {
         pub(super) fn epoll_create1(flags: i32) -> i32;
         pub(super) fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut c_void) -> i32;
         pub(super) fn epoll_wait(epfd: i32, events: *mut c_void, max: i32, timeout_ms: i32) -> i32;
+        pub(super) fn eventfd(initval: u32, flags: i32) -> i32;
+        pub(super) fn getrlimit(resource: i32, rlim: *mut c_void) -> i32;
+        pub(super) fn setrlimit(resource: i32, rlim: *const c_void) -> i32;
     }
+}
+
+/// Retries `op` while it fails with `EINTR`. This is the shared retry
+/// discipline for interruptible syscalls (`accept`, `epoll_ctl`,
+/// blocking reads/writes); see the module docs for why `close` is
+/// deliberately excluded.
+pub(crate) fn retry_eintr<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    loop {
+        match op() {
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+            other => return other,
+        }
+    }
+}
+
+/// Short-I/O length for a `partial(keep)` fault: at least one byte, so
+/// an injected short write is never confused with a peer close
+/// (`Ok(0)`), and a short read still makes forward progress.
+fn short_len(len: usize, keep_percent: u32) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let keep = usize::try_from(keep_percent.min(100)).unwrap_or(100);
+    len.checked_mul(keep).map_or(len, |scaled| scaled / 100).max(1)
+}
+
+/// Accepts one connection, with the `sys.accept` failpoint in front:
+/// `errno(E)` surfaces as that raw OS error (the reactor's accept-error
+/// taxonomy sees exactly what the kernel would produce), `error` as
+/// `ECONNABORTED`. Real `EINTR` is absorbed by [`retry_eintr`];
+/// injected `EINTR` deliberately reaches the caller's retry arm.
+pub(crate) fn accept(listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
+    if let Some(fault) = twig_util::failpoint!("sys.accept") {
+        return Err(match fault {
+            twig_util::failpoint::Fault::Errno(code) => io::Error::from_raw_os_error(code),
+            twig_util::failpoint::Fault::Error | twig_util::failpoint::Fault::Partial(_) => {
+                io::Error::from_raw_os_error(ECONNABORTED)
+            }
+        });
+    }
+    retry_eintr(|| listener.accept())
+}
+
+/// Reads into `buf`, with the `sys.read` failpoint in front: `errno(E)`
+/// fails with that raw OS error; `partial(p)` caps the buffer *before*
+/// the read (a genuine short read — no buffered bytes are lost), so
+/// request framing sees exactly what a stingy kernel would deliver.
+pub(crate) fn read(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+    if let Some(fault) = twig_util::failpoint!("sys.read") {
+        match fault {
+            twig_util::failpoint::Fault::Errno(code) => {
+                return Err(io::Error::from_raw_os_error(code));
+            }
+            twig_util::failpoint::Fault::Error => {
+                return Err(io::Error::from_raw_os_error(ECONNRESET));
+            }
+            twig_util::failpoint::Fault::Partial(keep) => {
+                let cap = short_len(buf.len(), keep);
+                let Some(head) = buf.get_mut(..cap) else { return Ok(0) };
+                return stream.read(head);
+            }
+        }
+    }
+    stream.read(buf)
+}
+
+/// Vectored write, with the `sys.write` failpoint in front: `errno(E)`
+/// fails with that raw OS error; `partial(p)` writes only a prefix of
+/// the first non-empty slice (at least one byte — `Ok(0)` from a
+/// writable socket means the connection died, and an injected short
+/// write must not impersonate that).
+pub(crate) fn write_vectored(stream: &mut TcpStream, slices: &[IoSlice<'_>]) -> io::Result<usize> {
+    if let Some(fault) = twig_util::failpoint!("sys.write") {
+        match fault {
+            twig_util::failpoint::Fault::Errno(code) => {
+                return Err(io::Error::from_raw_os_error(code));
+            }
+            twig_util::failpoint::Fault::Error => {
+                return Err(io::Error::from_raw_os_error(EPIPE_ERRNO));
+            }
+            twig_util::failpoint::Fault::Partial(keep) => {
+                for slice in slices {
+                    if slice.is_empty() {
+                        continue;
+                    }
+                    let cap = short_len(slice.len(), keep);
+                    let Some(head) = slice.get(..cap) else { continue };
+                    return stream.write(head);
+                }
+                return Ok(0);
+            }
+        }
+    }
+    stream.write_vectored(slices)
+}
+
+/// Broken pipe — only used by the `sys.write` `error` mapping.
+const EPIPE_ERRNO: i32 = 32;
+
+/// Creates a nonblocking close-on-exec eventfd (the reactor's wakeup
+/// channel), with the `sys.eventfd` failpoint in front so creation
+/// failure (`ENOMEM`, fd exhaustion) is injectable — the reactor must
+/// degrade to timeout polling, not die.
+pub(crate) fn eventfd() -> io::Result<OwnedFd> {
+    if let Some(fault) = twig_util::failpoint!("sys.eventfd") {
+        return Err(match fault {
+            twig_util::failpoint::Fault::Errno(code) => io::Error::from_raw_os_error(code),
+            twig_util::failpoint::Fault::Error | twig_util::failpoint::Fault::Partial(_) => {
+                io::Error::from_raw_os_error(ENOMEM)
+            }
+        });
+    }
+    // SAFETY: eventfd takes no pointers; the returned fd is validated
+    // before ownership is claimed and has exactly this one owner.
+    let fd = unsafe { ffi::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: fd was just returned by a successful eventfd call.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// Posts one wakeup to an eventfd. The 8-byte counter write cannot
+/// short-write; `EAGAIN` (counter saturated) already means the reader
+/// has a pending wakeup, so it is success for our purposes.
+pub(crate) fn eventfd_signal(fd: &OwnedFd) -> io::Result<()> {
+    let payload = 1u64.to_ne_bytes();
+    let mut file = std::fs::File::from(fd.try_clone()?);
+    match retry_eintr(|| file.write(&payload)) {
+        Ok(_) => Ok(()),
+        Err(error) if error.raw_os_error() == Some(EAGAIN) => Ok(()),
+        Err(error) => Err(error),
+    }
+}
+
+/// Drains a nonblocking eventfd so the next signal produces a fresh
+/// edge. `EAGAIN` (nothing pending — a spurious wake) is fine.
+pub(crate) fn eventfd_drain(fd: &OwnedFd) {
+    let mut counter = [0u8; 8];
+    if let Ok(clone) = fd.try_clone() {
+        let mut file = std::fs::File::from(clone);
+        let _ = retry_eintr(|| file.read(&mut counter));
+    }
+}
+
+/// `RLIMIT_NOFILE` on Linux.
+const RLIMIT_NOFILE: i32 = 7;
+
+/// `struct rlimit` (64-bit fields on Linux).
+#[repr(C)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rlimit {
+    /// Soft limit — the one the kernel enforces.
+    pub cur: u64,
+    /// Hard ceiling the soft limit may be raised back up to.
+    pub max: u64,
+}
+
+/// Reads the process `RLIMIT_NOFILE` (soft, hard).
+pub fn nofile_limit() -> io::Result<Rlimit> {
+    let mut limit = Rlimit { cur: 0, max: 0 };
+    // SAFETY: the rlim pointer refers to a live, correctly sized struct
+    // for the duration of the call; the kernel fills it before return.
+    let rc = unsafe { ffi::getrlimit(RLIMIT_NOFILE, std::ptr::addr_of_mut!(limit).cast()) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(limit)
+}
+
+/// Sets the process `RLIMIT_NOFILE`. Used by the chaos harness to run
+/// the server into genuine fd exhaustion (and restore afterwards).
+pub fn set_nofile_limit(limit: Rlimit) -> io::Result<()> {
+    // SAFETY: the rlim pointer refers to a live, correctly sized struct
+    // for the duration of the call; the kernel copies it.
+    let rc = unsafe { ffi::setrlimit(RLIMIT_NOFILE, std::ptr::addr_of!(limit).cast()) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
 }
 
 /// `struct sockaddr_in` (network byte order where the ABI says so).
@@ -149,29 +371,51 @@ impl Epoll {
     }
 
     /// Registers `fd` for edge-triggered readiness with `token` as the
-    /// event payload.
+    /// event payload. Failpoint `sys.epoll_ctl`: `errno(E)` fails the
+    /// registration; real `EINTR` is retried by [`retry_eintr`].
     pub(crate) fn add(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
-        let mut event = EpollEvent { events, data: token };
-        // SAFETY: the event pointer refers to a live stack value for the
-        // duration of the call; the kernel copies it before returning.
-        let rc = unsafe {
-            ffi::epoll_ctl(
-                self.fd.as_raw_fd(),
-                EPOLL_CTL_ADD,
-                fd,
-                std::ptr::addr_of_mut!(event).cast(),
-            )
-        };
-        if rc < 0 {
-            return Err(io::Error::last_os_error());
+        if let Some(fault) = twig_util::failpoint!("sys.epoll_ctl") {
+            return Err(match fault {
+                twig_util::failpoint::Fault::Errno(code) => io::Error::from_raw_os_error(code),
+                twig_util::failpoint::Fault::Error | twig_util::failpoint::Fault::Partial(_) => {
+                    io::Error::from_raw_os_error(ENOMEM)
+                }
+            });
         }
-        Ok(())
+        retry_eintr(|| {
+            let mut event = EpollEvent { events, data: token };
+            // SAFETY: the event pointer refers to a live stack value for
+            // the duration of the call; the kernel copies it before
+            // returning.
+            let rc = unsafe {
+                ffi::epoll_ctl(
+                    self.fd.as_raw_fd(),
+                    EPOLL_CTL_ADD,
+                    fd,
+                    std::ptr::addr_of_mut!(event).cast(),
+                )
+            };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        })
     }
 
     /// Waits up to `timeout_ms` for readiness, filling `events`.
+    /// Failpoint `sys.epoll_wait`: `errno(EINTR)` exercises the serve
+    /// loop's interrupted-wait arm; `partial(p)` returns a spurious
+    /// wakeup (zero events) — the loop must treat both as non-fatal.
     pub(crate) fn wait(&self, events: &mut Vec<EpollEvent>, timeout_ms: i32) -> io::Result<usize> {
-        let capacity = i32::try_from(events.capacity()).unwrap_or(i32::MAX).max(1);
         events.clear();
+        if let Some(fault) = twig_util::failpoint!("sys.epoll_wait") {
+            return match fault {
+                twig_util::failpoint::Fault::Errno(code) => Err(io::Error::from_raw_os_error(code)),
+                twig_util::failpoint::Fault::Error => Err(io::Error::from_raw_os_error(EINTR)),
+                twig_util::failpoint::Fault::Partial(_) => Ok(0),
+            };
+        }
+        let capacity = i32::try_from(events.capacity()).unwrap_or(i32::MAX).max(1);
         // SAFETY: the spare capacity of `events` is valid writable memory
         // for `capacity` EpollEvent values; the kernel writes at most
         // that many and we only set_len to the count it reports.
@@ -284,7 +528,6 @@ fn size_of_u32<T>() -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{Read as _, Write as _};
     use std::net::TcpStream;
 
     #[test]
@@ -316,6 +559,81 @@ mod tests {
             drop(client);
         }
         assert_eq!(accepted, 8);
+    }
+
+    #[test]
+    fn errno_mapping_matches_io_error_kinds() {
+        // The reactor's taxonomy leans on these std mappings; pin them.
+        assert_eq!(io::Error::from_raw_os_error(EINTR).kind(), io::ErrorKind::Interrupted);
+        assert_eq!(io::Error::from_raw_os_error(EAGAIN).kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(io::Error::from_raw_os_error(ENOMEM).kind(), io::ErrorKind::OutOfMemory);
+        assert_eq!(
+            io::Error::from_raw_os_error(ECONNABORTED).kind(),
+            io::ErrorKind::ConnectionAborted
+        );
+        assert_eq!(io::Error::from_raw_os_error(ECONNRESET).kind(), io::ErrorKind::ConnectionReset);
+        // EMFILE/ENFILE have no stable ErrorKind; the reactor matches on
+        // raw_os_error, which must round-trip.
+        assert_eq!(io::Error::from_raw_os_error(EMFILE).raw_os_error(), Some(EMFILE));
+        assert_eq!(io::Error::from_raw_os_error(ENFILE).raw_os_error(), Some(ENFILE));
+    }
+
+    #[test]
+    fn retry_eintr_retries_only_interruptions() {
+        let mut attempts = 0;
+        let result: io::Result<u32> = retry_eintr(|| {
+            attempts += 1;
+            if attempts < 3 {
+                Err(io::Error::from_raw_os_error(EINTR))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(attempts, 3);
+
+        let mut attempts = 0;
+        let result: io::Result<u32> = retry_eintr(|| {
+            attempts += 1;
+            Err(io::Error::from_raw_os_error(EMFILE))
+        });
+        assert_eq!(result.unwrap_err().raw_os_error(), Some(EMFILE));
+        assert_eq!(attempts, 1, "non-EINTR errors must not be retried");
+    }
+
+    #[test]
+    fn short_len_always_makes_progress() {
+        assert_eq!(short_len(0, 50), 0);
+        assert_eq!(short_len(100, 0), 1, "a short I/O still moves one byte");
+        assert_eq!(short_len(100, 35), 35);
+        assert_eq!(short_len(100, 100), 100);
+        assert_eq!(short_len(1, 200), 1, "percent is clamped");
+    }
+
+    #[test]
+    fn eventfd_signals_and_drains() {
+        let fd = eventfd().unwrap();
+        eventfd_signal(&fd).unwrap();
+        eventfd_signal(&fd).unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(fd.as_raw_fd(), 9, EPOLLIN | EPOLLET).unwrap();
+        let mut events = Vec::with_capacity(4);
+        assert_eq!(epoll.wait(&mut events, 1000).unwrap(), 1);
+        assert_eq!(events[0].token(), 9);
+        eventfd_drain(&fd);
+        // Drained: the edge is consumed and a fresh signal re-arms it.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        eventfd_signal(&fd).unwrap();
+        assert_eq!(epoll.wait(&mut events, 1000).unwrap(), 1);
+    }
+
+    #[test]
+    fn nofile_limit_round_trips() {
+        let limit = nofile_limit().unwrap();
+        assert!(limit.cur > 0 && limit.cur <= limit.max);
+        // Setting the limit to its current value must be accepted.
+        set_nofile_limit(limit).unwrap();
+        assert_eq!(nofile_limit().unwrap(), limit);
     }
 
     #[test]

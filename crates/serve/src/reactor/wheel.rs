@@ -50,7 +50,7 @@ impl Wheel {
         }
     }
 
-    fn tick_of(&self, at: Instant) -> u64 {
+    pub(crate) fn tick_of(&self, at: Instant) -> u64 {
         let millis = at.saturating_duration_since(self.base).as_millis();
         u64::try_from(millis / u128::from(SLOT_MILLIS)).unwrap_or(u64::MAX)
     }
@@ -88,6 +88,28 @@ impl Wheel {
             }
         }
         None
+    }
+
+    /// Visits every live entry in due order (one lap from the cursor),
+    /// calling `visit(tick, key)` until it returns `false`. Entries may
+    /// be stale hints — the caller validates generation and deadline,
+    /// typically via `tick_of(conn's authoritative deadline) == tick`.
+    /// Used to find the least-recently-active idle connection when the
+    /// slab is full: earliest surviving deadline == longest idle.
+    pub(crate) fn scan(&self, mut visit: impl FnMut(u64, WheelKey) -> bool) {
+        let slots = u64::try_from(SLOTS).unwrap_or(u64::MAX);
+        for offset in 0..slots {
+            let tick = self.cursor + offset;
+            let index = usize::try_from(tick % slots).unwrap_or(0);
+            let Some(slot) = self.slots.get(index) else {
+                continue;
+            };
+            for &key in slot {
+                if !visit(tick, key) {
+                    return;
+                }
+            }
+        }
     }
 
     /// Drains every entry whose slot is due at `now` into `out`. The
@@ -153,6 +175,31 @@ mod tests {
         // It surfaces within one lap (early), ready for rescheduling.
         wheel.expire(t0 + Duration::from_secs(40), &mut due);
         assert_eq!(due, vec![(9, 4)]);
+    }
+
+    #[test]
+    fn scan_visits_in_due_order_and_stops_on_false() {
+        let t0 = Instant::now();
+        let mut wheel = Wheel::new(t0);
+        wheel.schedule(t0 + Duration::from_secs(9), (5, 1));
+        wheel.schedule(t0 + Duration::from_secs(1), (2, 1));
+        wheel.schedule(t0 + Duration::from_secs(4), (8, 1));
+        let mut seen = Vec::new();
+        wheel.scan(|tick, key| {
+            seen.push((tick, key));
+            true
+        });
+        let keys: Vec<WheelKey> = seen.iter().map(|&(_, key)| key).collect();
+        assert_eq!(keys, vec![(2, 1), (8, 1), (5, 1)], "earliest deadline first");
+        // Ticks are what `tick_of` would report for the deadlines.
+        assert_eq!(seen[0].0, wheel.tick_of(t0 + Duration::from_secs(1)));
+        // Early exit: a visitor returning false stops the walk.
+        let mut count = 0;
+        wheel.scan(|_, _| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 1);
     }
 
     #[test]

@@ -503,6 +503,9 @@ fn load_any(spec: &SummarySpec) -> Result<LoadedSummary, LoadError> {
                     "injected fault at registry.load",
                 ))));
             }
+            twig_util::failpoint::Fault::Errno(code) => {
+                return Err(wrap(wrap_io(std::io::Error::from_raw_os_error(code))));
+            }
             twig_util::failpoint::Fault::Partial(keep_percent) => {
                 // Env-sourced percentage: checked scale, same as the
                 // `serialize.read` failpoint.

@@ -49,6 +49,13 @@ pub struct ServerConfig {
     pub idle_deadline: Duration,
     /// Query plans cached across `/estimate` requests (0 disables).
     pub plan_cache_capacity: usize,
+    /// Progress-window width for busy connections: every window, a
+    /// connection mid-request (or mid-response) must move at least
+    /// [`ServerConfig::min_progress_bytes`] or it is killed as a
+    /// slow-read/slow-write client (slowloris defense, reactor only).
+    pub progress_window: Duration,
+    /// Minimum bytes a busy connection must move per progress window.
+    pub min_progress_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +68,8 @@ impl Default for ServerConfig {
             read_deadline: Duration::from_secs(10),
             idle_deadline: Duration::from_secs(30),
             plan_cache_capacity: 1024,
+            progress_window: Duration::from_secs(2),
+            min_progress_bytes: 128,
         }
     }
 }
@@ -73,6 +82,11 @@ pub struct ServerState {
     plans: PlanCache,
     pub(crate) shutdown: AtomicBool,
     started: Instant,
+    /// One eventfd per reactor that managed to create one; signalled on
+    /// shutdown so a reactor parked in `epoll_wait` wakes immediately
+    /// instead of at its next poll-cap timeout.
+    #[cfg(target_os = "linux")]
+    wakers: std::sync::Mutex<Vec<std::os::fd::OwnedFd>>,
 }
 
 impl ServerState {
@@ -91,6 +105,49 @@ impl ServerState {
     pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
+
+    /// Sets the shutdown flag and wakes every parked reactor. Safe to
+    /// call repeatedly and from any thread (handles, routes, reactors
+    /// reporting fatal errors).
+    pub(crate) fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        {
+            // A poisoned lock only means some thread panicked while
+            // registering; waking the survivors still matters.
+            let wakers = match self.wakers.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for waker in wakers.iter() {
+                let _ = crate::reactor::sys::eventfd_signal(waker);
+            }
+        }
+    }
+
+    /// Registers a reactor's wakeup eventfd for shutdown signalling.
+    #[cfg(target_os = "linux")]
+    pub(crate) fn register_waker(&self, fd: std::os::fd::OwnedFd) {
+        let mut wakers = match self.wakers.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        wakers.push(fd);
+    }
+
+    /// Bare state for reactor unit tests: no listener, no threads.
+    #[cfg(all(test, target_os = "linux"))]
+    pub(crate) fn test_state(config: ServerConfig) -> Arc<ServerState> {
+        Arc::new(ServerState {
+            plans: PlanCache::new(config.workers.max(1), config.plan_cache_capacity),
+            config,
+            registry: SummaryRegistry::new(),
+            metrics: ServeMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            wakers: std::sync::Mutex::new(Vec::new()),
+        })
+    }
 }
 
 /// A cloneable handle that can stop a running server.
@@ -100,10 +157,10 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Requests shutdown: admission stops, in-flight work drains,
-    /// [`Server::run`] returns.
+    /// Requests shutdown: admission stops, parked reactors wake,
+    /// in-flight work drains, [`Server::run`] returns.
     pub fn shutdown(&self) {
-        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.request_shutdown();
     }
 
     /// Whether shutdown has been requested.
@@ -151,6 +208,8 @@ impl Server {
                 metrics: ServeMetrics::new(),
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
+                #[cfg(target_os = "linux")]
+                wakers: std::sync::Mutex::new(Vec::new()),
             }),
         })
     }
@@ -422,7 +481,7 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Response {
         ("POST", "/estimate") => handle_estimate(request, state),
         ("POST", "/admin/reload") => handle_reload(state),
         ("POST", "/admin/shutdown") => {
-            state.shutdown.store(true, Ordering::SeqCst);
+            state.request_shutdown();
             Response::json(200, &Json::Obj(vec![("status".into(), Json::str("shutting down"))]))
         }
         (
@@ -481,17 +540,43 @@ fn handle_healthz(state: &Arc<ServerState>) -> Response {
         })
         .collect();
     let (quarantined, newest_quarantined) = state.registry.quarantined_snapshots();
+    // Per-reactor liveness: heartbeat age against the stall threshold.
+    // A wedged reactor thread flips overall status to "degraded" — the
+    // most actionable health signal the server can self-report.
+    let stall_after = crate::metrics::REACTOR_STALL_AFTER;
+    let stalled = state.metrics.stalled_reactors(stall_after);
+    let now_ms = state.metrics.now_ms();
+    let reactors: Vec<Json> = state
+        .metrics
+        .reactor_stats()
+        .iter()
+        .enumerate()
+        .map(|(index, stats)| {
+            let age_ms = now_ms.saturating_sub(stats.heartbeat_ms());
+            Json::Obj(vec![
+                ("index".into(), num_usize(index)),
+                ("connections".into(), num_u64(stats.connections())),
+                ("heartbeat_age_ms".into(), num_u64(age_ms)),
+                ("stalled".into(), Json::Bool(u128::from(age_ms) > stall_after.as_millis())),
+            ])
+        })
+        .collect();
+    let healthy = degraded == 0 && stalled == 0;
     let mut fields = vec![
-        ("status".into(), Json::str(if degraded == 0 { "ok" } else { "degraded" })),
+        ("status".into(), Json::str(if healthy { "ok" } else { "degraded" })),
         ("uptime_secs".into(), num_u64(state.started.elapsed().as_secs())),
         ("summaries".into(), num_usize(state.registry.len())),
         ("degraded".into(), num_u64(degraded)),
+        ("reactors_stalled".into(), num_u64(stalled)),
         // Torn snapshot files renamed aside by recovery: evidence of
         // past corruption an operator should collect and investigate.
         ("snapshot_quarantined".into(), num_u64(quarantined)),
     ];
     if let Some(newest) = newest_quarantined {
         fields.push(("snapshot_quarantined_newest".into(), Json::Str(newest)));
+    }
+    if !reactors.is_empty() {
+        fields.push(("reactors".into(), Json::Arr(reactors)));
     }
     fields.push(("summary_health".into(), Json::Arr(health)));
     Response::json(200, &Json::Obj(fields))

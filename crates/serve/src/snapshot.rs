@@ -477,7 +477,7 @@ impl SnapshotStore {
                 .and_then(|meta| meta.modified())
                 .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
             let candidate = (modified, text.to_owned());
-            if newest.as_ref().map_or(true, |best| candidate > *best) {
+            if newest.as_ref().is_none_or(|best| candidate > *best) {
                 newest = Some(candidate);
             }
         }
@@ -524,6 +524,9 @@ fn apply_write_fault(
     match fault {
         twig_util::failpoint::Fault::Error => {
             io_error("write snapshot file", final_path, injected("snapshot.write"))
+        }
+        twig_util::failpoint::Fault::Errno(code) => {
+            io_error("write snapshot file", final_path, std::io::Error::from_raw_os_error(code))
         }
         twig_util::failpoint::Fault::Partial(keep_percent) => {
             let framed = frame(payload);

@@ -323,9 +323,9 @@ impl Iterator for SigComponents<'_> {
     fn next(&mut self) -> Option<u32> {
         match self {
             SigComponents::Words(words) => words.next().copied(),
-            SigComponents::Bytes(chunks) => chunks
-                .next()
-                .map(|chunk| chunk.try_into().map_or(u32::MAX, u32::from_le_bytes)),
+            SigComponents::Bytes(chunks) => {
+                chunks.next().map(|chunk| chunk.try_into().map_or(u32::MAX, u32::from_le_bytes))
+            }
         }
     }
 
@@ -409,7 +409,7 @@ pub fn view_estimate_union_size(sets: &[(SigView<'_>, u64)]) -> f64 {
     for &(sig, size) in sets {
         if size > 0 && !sig.is_empty_set() {
             sum += count_to_f64(size);
-            if largest.map_or(true, |(_, best)| size >= best) {
+            if largest.is_none_or(|(_, best)| size >= best) {
                 largest = Some((sig, size));
             }
         }
@@ -452,7 +452,7 @@ pub fn view_estimate_intersection(sets: &[(SigView<'_>, u64)]) -> f64 {
     // keeps the last maximum, so `>=` preserves its tie-breaking.
     let mut largest: Option<(SigView<'_>, u64)> = None;
     for &(sig, size) in sets {
-        if largest.map_or(true, |(_, best)| size >= best) {
+        if largest.is_none_or(|(_, best)| size >= best) {
             largest = Some((sig, size));
         }
     }
@@ -793,8 +793,7 @@ mod tests {
         let a = Signature::build(&fam, 0..50).truncate();
         let b = Signature::build(&fam, 30..90).truncate();
         let expect = Signature::union(&[&a, &b]);
-        let got =
-            view_union(&[SigView::Words(a.components()), SigView::Words(b.components())]);
+        let got = view_union(&[SigView::Words(a.components()), SigView::Words(b.components())]);
         assert_eq!(got, expect.components());
     }
 
@@ -815,8 +814,7 @@ mod tests {
             .map(|(r, _)| Signature::build(&fam, r.clone()).truncate())
             .collect();
             let sizes = [400u64, 400, 650];
-            let owned: Vec<(&CompactSignature, u64)> =
-                sigs.iter().zip(sizes).map(|(s, n)| (s, n)).collect();
+            let owned: Vec<(&CompactSignature, u64)> = sigs.iter().zip(sizes).collect();
             let byte_store: Vec<Vec<u8>> = sigs.iter().map(le_bytes_of).collect();
             let words: Vec<(SigView, u64)> =
                 sigs.iter().zip(sizes).map(|(s, n)| (SigView::Words(s.components()), n)).collect();

@@ -31,7 +31,8 @@
 //! ```text
 //! spec   := stage ("," stage)*
 //! stage  := [pct "%"] [cnt "*"] action
-//! action := "off" | "error" | "panic" | "partial(" pct ")" | "delay(" ms ")"
+//! action := "off" | "error" | "panic" | "partial(" pct ")"
+//!         | "delay(" ms ")" | "errno(" name-or-number ")"
 //! ```
 //!
 //! `2*error` injects an error twice, then falls through to the next
@@ -42,7 +43,14 @@
 //! via `std::panic::panic_any` with a [`PointPanic`] payload — the
 //! deliberate, typed escape hatch for worker-containment tests (the
 //! lint-banned `panic!` family is never used, so twig-lint and
-//! twig-flow stay clean by construction).
+//! twig-flow stay clean by construction). `errno(EINTR)` (or
+//! `errno(4)`) asks the call site to fail exactly as the underlying
+//! syscall would with that errno — the syscall-shim points in the serve
+//! reactor (`sys.accept`, `sys.read`, …) turn it into
+//! `io::Error::from_raw_os_error`, so retry loops, fd-exhaustion
+//! handling, and errno taxonomies are exercised on the real paths.
+//! Recognized names: `EINTR`, `EAGAIN`, `ENOMEM`, `ENFILE`, `EMFILE`,
+//! `EPIPE`, `ECONNABORTED`, `ECONNRESET` (Linux asm-generic values).
 
 use std::fmt;
 
@@ -54,6 +62,11 @@ pub enum Fault {
     /// Complete only this percentage (0..=100) of the I/O, then fail as
     /// the underlying stream would (short read, torn write).
     Partial(u32),
+    /// Fail the operation as the underlying syscall would with this raw
+    /// OS errno (e.g. 4 = `EINTR`, 24 = `EMFILE`). Call sites should map
+    /// it through `io::Error::from_raw_os_error` so kind-based retry and
+    /// errno taxonomies see exactly what the kernel would produce.
+    Errno(i32),
 }
 
 /// Panic payload used by `panic` stages, so `catch_unwind` sites and
@@ -112,6 +125,7 @@ mod enabled {
         Panic,
         Partial(u32),
         Delay(u64),
+        Errno(i32),
     }
 
     #[derive(Debug, Clone)]
@@ -235,6 +249,10 @@ mod enabled {
                 Action::Partial(keep) => {
                     point.triggered += 1;
                     Some(Effect::Fault(Fault::Partial(keep)))
+                }
+                Action::Errno(code) => {
+                    point.triggered += 1;
+                    Some(Effect::Fault(Fault::Errno(code)))
                 }
                 Action::Delay(millis) => {
                     point.triggered += 1;
@@ -451,7 +469,37 @@ mod enabled {
         if let Some(args) = call_args(text, "delay") {
             return Ok(Action::Delay(parse_u64_digits(args)?));
         }
+        if let Some(args) = call_args(text, "errno") {
+            return Ok(Action::Errno(parse_errno(args.trim())?));
+        }
         Err(SpecError::bad(format!("unknown action `{text}`")))
+    }
+
+    /// Errno names accepted by `errno(...)`, with their Linux
+    /// asm-generic values; bare numbers are also accepted.
+    const ERRNO_NAMES: [(&str, i32); 8] = [
+        ("EINTR", 4),
+        ("EAGAIN", 11),
+        ("ENOMEM", 12),
+        ("ENFILE", 23),
+        ("EMFILE", 24),
+        ("EPIPE", 32),
+        ("ECONNABORTED", 103),
+        ("ECONNRESET", 104),
+    ];
+
+    fn parse_errno(text: &str) -> Result<i32, SpecError> {
+        for &(errno_name, code) in &ERRNO_NAMES {
+            if text.eq_ignore_ascii_case(errno_name) {
+                return Ok(code);
+            }
+        }
+        let value = parse_u64_digits(text)
+            .map_err(|_| SpecError::bad(format!("unknown errno `{text}`")))?;
+        if value == 0 || value > 4095 {
+            return Err(SpecError::bad(format!("errno `{value}` out of range")));
+        }
+        i32::try_from(value).map_err(|_| SpecError::bad("errno out of range".to_owned()))
     }
 }
 
@@ -569,6 +617,20 @@ mod tests {
         assert!(configure("x=partial(200)", 0).is_err());
         assert!(configure("x=150%error", 0).is_err());
         assert!(configure("x=partial(abc)", 0).is_err());
+    }
+
+    #[test]
+    fn errno_stages_parse_names_and_numbers() {
+        let _gate = exclusive();
+        set("sys", "1*errno(EINTR),1*errno(emfile),1*errno(104),off").expect("spec");
+        assert_eq!(hit("sys"), Some(Fault::Errno(4)));
+        assert_eq!(hit("sys"), Some(Fault::Errno(24)));
+        assert_eq!(hit("sys"), Some(Fault::Errno(104)));
+        assert_eq!(hit("sys"), None);
+        assert_eq!(trigger_count("sys"), 3);
+        assert!(set("sys", "errno(NOTREAL)").is_err());
+        assert!(set("sys", "errno(0)").is_err());
+        assert!(set("sys", "errno(99999)").is_err());
     }
 
     #[test]

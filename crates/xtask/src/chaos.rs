@@ -30,7 +30,12 @@
 //! faults firing on connections that pipeline all six algorithms while
 //! `/admin/reload` runs concurrently — every delivered response slot
 //! must be a baseline-identical 200 or a typed error, never a torn
-//! frame).
+//! frame), and syscall-storm-and-exhaustion (seeded errno faults on the
+//! reactor's accept/read/write/epoll shims, a slowloris trickle fleet
+//! that must die to progress-window kills while normal clients keep
+//! getting baseline 200s, and a genuine `RLIMIT_NOFILE` exhaustion run
+//! where accepts shed queued clients with typed `503`s via the reserve
+//! fd — after every storm the server must answer bit-identically).
 //!
 //! The harness requires failpoints to be compiled in:
 //!
@@ -132,6 +137,7 @@ fn run_seed(world: &World, seed: u64) -> Result<(), String> {
     scenario_worker_panic(world, &baseline, seed)?;
     scenario_flat_mmap_hosting(world, &baseline, seed)?;
     scenario_pipelined_reset_storm(world, &baseline, seed)?;
+    scenario_syscall_storm_and_exhaustion(world, &baseline, seed)?;
     Ok(())
 }
 
@@ -213,14 +219,22 @@ impl Running {
     }
 }
 
-fn boot(registry: SummaryRegistry) -> Result<Running, String> {
-    let config = ServerConfig {
+/// The harness default: small enough to saturate, big enough to serve.
+fn chaos_server_config() -> ServerConfig {
+    ServerConfig {
         workers: 4,
         queue_capacity: 16,
         read_deadline: Duration::from_secs(5),
         idle_deadline: Duration::from_secs(5),
         ..ServerConfig::default()
-    };
+    }
+}
+
+fn boot(registry: SummaryRegistry) -> Result<Running, String> {
+    boot_with(chaos_server_config(), registry)
+}
+
+fn boot_with(config: ServerConfig, registry: SummaryRegistry) -> Result<Running, String> {
     let server = Server::bind("127.0.0.1:0", config, registry)
         .map_err(|e| format!("cannot bind chaos server: {e}"))?;
     let addr = server.local_addr().to_string();
@@ -940,6 +954,313 @@ fn scenario_pipelined_reset_storm(
             ));
         }
     }
+    assert_baseline_estimates(&running.addr, &queries, baseline)
+        .map_err(|e| format!("{label}: {e}"))?;
+    watch.sample(&running.addr).map_err(|e| format!("{label}: {e}"))?;
+    running.stop().map_err(|e| format!("{label}: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// Scenario 7: syscall fault storm, slowloris fleet, fd exhaustion —
+// the reactor's resource-exhaustion defenses (DESIGN.md §16)
+// ---------------------------------------------------------------------
+
+/// All samples of metric `name` (labeled or not) from `/metrics`.
+#[cfg(target_os = "linux")]
+fn metric_samples(addr: &str, name: &str) -> Result<Vec<u64>, String> {
+    let response = get(addr, "/metrics")?;
+    if response.status != 200 {
+        return Err(format!("/metrics returned {}", response.status));
+    }
+    let mut samples = Vec::new();
+    for line in response.body_text().lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((metric, value)) = line.split_once(' ') else {
+            continue;
+        };
+        let matches = metric == name
+            || (metric.starts_with(name) && metric.as_bytes().get(name.len()) == Some(&b'{'));
+        if !matches {
+            continue;
+        }
+        if let Ok(value) = value.trim().parse::<u64>() {
+            samples.push(value);
+        }
+    }
+    Ok(samples)
+}
+
+/// Asserts `/healthz` answers 200 with `status: "ok"` (no degraded
+/// summaries, no stalled reactor heartbeats).
+#[cfg(target_os = "linux")]
+fn assert_healthy(label: &str, addr: &str) -> Result<(), String> {
+    let health = get(addr, "/healthz")?;
+    if health.status != 200 {
+        return Err(format!("{label}: /healthz returned {} after recovery", health.status));
+    }
+    let body = Json::parse(&health.body_text()).map_err(|e| e.to_string())?;
+    if body.get("status").and_then(Json::as_str) != Some("ok") {
+        return Err(format!("{label}: health not ok after recovery: {}", health.body_text()));
+    }
+    Ok(())
+}
+
+#[cfg(target_os = "linux")]
+fn scenario_syscall_storm_and_exhaustion(
+    world: &World,
+    baseline: &Baseline,
+    seed: u64,
+) -> Result<(), String> {
+    phase_errno_storm(world, baseline, seed)?;
+    phase_slowloris_fleet(world, baseline, seed)?;
+    phase_fd_exhaustion(world, baseline, seed)
+}
+
+/// The reactor's syscall shims only exist on Linux (the blocking
+/// fallback has no accept taxonomy or progress windows to storm).
+#[cfg(not(target_os = "linux"))]
+fn scenario_syscall_storm_and_exhaustion(
+    _world: &World,
+    _baseline: &Baseline,
+    _seed: u64,
+) -> Result<(), String> {
+    Ok(())
+}
+
+/// Phase 7a: seeded errno faults on every reactor syscall shim at once.
+/// `sys.epoll_wait` may only see `errno(EINTR)` and spurious wakeups —
+/// any other poller errno is *designed* to be fatal (global drain), so
+/// injecting one would assert the wrong contract.
+#[cfg(target_os = "linux")]
+fn phase_errno_storm(world: &World, baseline: &Baseline, seed: u64) -> Result<(), String> {
+    let label = "syscall-errno-storm";
+    let queries = world.queries(seed);
+    let running = boot(fresh_registry(world, None)?)?;
+    let mut watch = MetricsWatch::default();
+    watch.sample(&running.addr).map_err(|e| format!("{label}: {e}"))?;
+
+    failpoint::configure(
+        "sys.accept=8%errno(EINTR),4%errno(EMFILE),2%errno(ENOMEM),4%errno(ECONNABORTED);\
+         sys.read=10%errno(EINTR),10%partial(35);\
+         sys.write=10%errno(EINTR),10%partial(40);\
+         sys.epoll_ctl=4%errno(EINTR);\
+         sys.epoll_wait=10%errno(EINTR),5%partial(0)",
+        seed,
+    )
+    .map_err(|e| format!("{label}: {e}"))?;
+
+    let expected = baseline.get(Algorithm::Msh.name()).cloned().unwrap_or_default();
+    let mut ok = 0u64;
+    let mut typed_errors = 0u64;
+    let mut transport_errors = 0u64;
+    for _ in 0..60 {
+        match post(&running.addr, "/estimate", &estimate_body(&queries, Algorithm::Msh)) {
+            Ok(response) if response.status == 200 => {
+                let token = estimates_token(&response).map_err(|e| format!("{label}: {e}"))?;
+                if token != expected {
+                    return Err(format!("{label}: estimates changed under syscall faults"));
+                }
+                ok += 1;
+            }
+            Ok(response) => {
+                assert_typed_error(&response).map_err(|e| format!("{label}: {e}"))?;
+                typed_errors += 1;
+            }
+            // An admit dropped by an injected epoll_ctl fault, a reset
+            // injected mid-read, or an EMFILE-shed close: the client may
+            // legitimately see a dead socket. The server must not.
+            Err(_) => transport_errors += 1,
+        }
+    }
+    failpoint::clear_all();
+    if ok == 0 {
+        return Err(format!("{label}: no request survived the fault storm"));
+    }
+    if typed_errors + transport_errors == 0 {
+        return Err(format!("{label}: injected syscall faults never fired"));
+    }
+
+    // The accept-path errno taxonomy must have observed the storm …
+    let accept_errors: u64 =
+        metric_samples(&running.addr, "twig_serve_accept_errors_total")?.iter().sum();
+    if accept_errors == 0 {
+        return Err(format!("{label}: accept errno taxonomy never counted a fault"));
+    }
+    // … and slab occupancy stays bounded by the per-shard admission cap.
+    let config = chaos_server_config();
+    let cap = (config.workers + config.queue_capacity) as u64;
+    let max_open = metric_samples(&running.addr, "twig_serve_reactor_connections")?
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+    if max_open > cap {
+        return Err(format!("{label}: reactor slab exceeded its cap: {max_open} > {cap}"));
+    }
+
+    // Faults clear: healthy heartbeats, bit-identical answers.
+    assert_healthy(label, &running.addr)?;
+    assert_baseline_estimates(&running.addr, &queries, baseline)
+        .map_err(|e| format!("{label}: {e}"))?;
+    watch.sample(&running.addr).map_err(|e| format!("{label}: {e}"))?;
+    running.stop().map_err(|e| format!("{label}: {e}"))
+}
+
+/// Phase 7b: a fleet of trickle clients (loadgen's slow-client mode)
+/// dribbles request bytes below the minimum-progress floor; every one
+/// must die to a progress-window kill while a normal client keeps
+/// getting baseline-identical 200s.
+#[cfg(target_os = "linux")]
+fn phase_slowloris_fleet(world: &World, baseline: &Baseline, seed: u64) -> Result<(), String> {
+    use twig_serve::LoadgenConfig;
+
+    let label = "slowloris-fleet";
+    let queries = world.queries(seed);
+    let config = ServerConfig {
+        // Tight windows so the fleet dies within the phase budget: a
+        // busy connection must move 2 KiB per 300 ms; trickle clients
+        // manage ~120 bytes.
+        progress_window: Duration::from_millis(300),
+        min_progress_bytes: 2048,
+        ..chaos_server_config()
+    };
+    let running = boot_with(config, fresh_registry(world, None)?)?;
+    let mut watch = MetricsWatch::default();
+    watch.sample(&running.addr).map_err(|e| format!("{label}: {e}"))?;
+
+    let fleet = {
+        let addr = running.addr.clone();
+        std::thread::spawn(move || {
+            let config = LoadgenConfig {
+                addr,
+                connections: 4,
+                duration: Duration::from_secs(2),
+                trickle: 400, // bytes/sec — far below 2048 per 300 ms
+                summary: SUMMARY_NAME.into(),
+                seed,
+                ..LoadgenConfig::default()
+            };
+            twig_serve::loadgen::run(&config)
+        })
+    };
+
+    // While the fleet trickles, a well-behaved client sees no slowdown
+    // and no divergence.
+    std::thread::sleep(Duration::from_millis(200));
+    assert_baseline_estimates(&running.addr, &queries, baseline)
+        .map_err(|e| format!("{label}: normal client during fleet: {e}"))?;
+
+    let report = match fleet.join() {
+        Ok(Ok(report)) => report,
+        Ok(Err(err)) => return Err(format!("{label}: trickle loadgen failed: {err}")),
+        Err(_) => return Err(format!("{label}: trickle loadgen panicked")),
+    };
+    // Every kill severs a trickle connection mid-write; the client sees
+    // it as an error on its next chunk.
+    if report.errors == 0 {
+        return Err(format!("{label}: no trickle client was ever severed"));
+    }
+    let kills: u64 = metric_samples(&running.addr, "twig_serve_progress_kills_total")?.iter().sum();
+    if kills == 0 {
+        return Err(format!("{label}: progress watchdog never killed a trickle client"));
+    }
+
+    assert_healthy(label, &running.addr)?;
+    assert_baseline_estimates(&running.addr, &queries, baseline)
+        .map_err(|e| format!("{label}: {e}"))?;
+    watch.sample(&running.addr).map_err(|e| format!("{label}: {e}"))?;
+    running.stop().map_err(|e| format!("{label}: {e}"))
+}
+
+/// Phase 7c: genuine fd exhaustion — `RLIMIT_NOFILE` is lowered to just
+/// above current usage and the headroom hogged, so the kernel hands the
+/// reactor real `EMFILE`. Queued clients must be shed with a typed
+/// `503` through the reserve fd (or see a clean close), never hang; the
+/// restored server must answer bit-identically.
+#[cfg(target_os = "linux")]
+fn phase_fd_exhaustion(world: &World, baseline: &Baseline, seed: u64) -> Result<(), String> {
+    use twig_serve::rlimit::{nofile_limit, set_nofile_limit, Rlimit};
+
+    /// Restores the saved limit even on an early error return.
+    struct RestoreLimit(Rlimit);
+    impl Drop for RestoreLimit {
+        fn drop(&mut self) {
+            let _ = set_nofile_limit(self.0);
+        }
+    }
+
+    let label = "fd-exhaustion";
+    let queries = world.queries(seed);
+    let running = boot(fresh_registry(world, None)?)?;
+    let mut watch = MetricsWatch::default();
+    watch.sample(&running.addr).map_err(|e| format!("{label}: {e}"))?;
+
+    let saved = nofile_limit().map_err(|e| format!("{label}: getrlimit: {e}"))?;
+    let _restore = RestoreLimit(saved);
+    let used = u64::try_from(
+        std::fs::read_dir("/proc/self/fd")
+            .map_err(|e| format!("{label}: cannot count open fds: {e}"))?
+            .count(),
+    )
+    .unwrap_or(u64::MAX);
+    let lowered = Rlimit { cur: (used + 8).min(saved.max), max: saved.max };
+    set_nofile_limit(lowered).map_err(|e| format!("{label}: setrlimit: {e}"))?;
+
+    // Each round re-hogs the headroom (connections closed since the
+    // previous round return their fds) and then frees exactly one fd —
+    // enough for the client's socket, none for the server's accept,
+    // which must hit EMFILE and shed the queued connection through its
+    // reserve fd.
+    let mut hogs = Vec::new();
+    let mut shed_503 = 0u64;
+    let mut severed = 0u64;
+    for round in 0..8 {
+        if round > 0 {
+            // Let the reactor observe the previous round's client
+            // hangup and release the server-side fd before re-hogging.
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        while let Ok(hog) = std::fs::File::open("/dev/null") {
+            hogs.push(hog);
+            if hogs.len() > 4096 {
+                return Err(format!("{label}: lowered RLIMIT_NOFILE did not take effect"));
+            }
+        }
+        if hogs.pop().is_none() {
+            return Err(format!("{label}: no headroom left for a client socket"));
+        }
+        match post(&running.addr, "/estimate", &estimate_body(&queries, Algorithm::Msh)) {
+            Ok(response) if response.status == 503 => {
+                assert_typed_error(&response).map_err(|e| format!("{label}: {e}"))?;
+                shed_503 += 1;
+            }
+            // Freed fds can accumulate across rounds (each shed client
+            // closes its socket), so a later accept may legitimately
+            // succeed and serve the request.
+            Ok(response) if response.status == 200 => {}
+            Ok(response) => {
+                assert_typed_error(&response).map_err(|e| format!("{label}: {e}"))?;
+            }
+            Err(_) => severed += 1,
+        }
+    }
+    drop(hogs);
+    set_nofile_limit(saved).map_err(|e| format!("{label}: restore setrlimit: {e}"))?;
+    if shed_503 + severed == 0 {
+        return Err(format!("{label}: exhaustion never produced a shed or severed client"));
+    }
+
+    // The kernel's EMFILE must have been counted by the accept taxonomy
+    // (queried only now: under exhaustion /metrics itself has no fd).
+    let fd_errors: u64 =
+        metric_samples(&running.addr, "twig_serve_accept_errors_total")?.iter().sum();
+    if fd_errors == 0 {
+        return Err(format!("{label}: accept taxonomy never observed fd exhaustion"));
+    }
+
+    // Accepts resume within one backoff interval; recovery is exact.
+    assert_healthy(label, &running.addr)?;
     assert_baseline_estimates(&running.addr, &queries, baseline)
         .map_err(|e| format!("{label}: {e}"))?;
     watch.sample(&running.addr).map_err(|e| format!("{label}: {e}"))?;
